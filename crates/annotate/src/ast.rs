@@ -1,0 +1,102 @@
+//! AST for the split annotation language (Listing 3 of the paper):
+//!
+//! ```text
+//! splittype ArraySplit(int);
+//! ArraySplit(size) => (size);
+//!
+//! @splittable(size: SizeSplit(size), a: ArraySplit(size),
+//!             mut out: ArraySplit(size))
+//! void vdAdd(long size, double *a, double *b, double *out);
+//! ```
+
+/// A split type declaration: name and parameter arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitTypeDecl {
+    /// Split type name `N`.
+    pub name: String,
+    /// Parameter type names (the paper uses `int` throughout).
+    pub params: Vec<String>,
+}
+
+/// A constructor declaration `Name(a, b) => (expr-args)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstructorDecl {
+    /// Split type name.
+    pub name: String,
+    /// Constructor argument names.
+    pub args: Vec<String>,
+    /// Parameter expressions (kept as raw text; the runtime evaluates
+    /// them through the splitting API).
+    pub exprs: Vec<String>,
+}
+
+/// The split type expression assigned to one argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `Name(arg, ...)` — a concrete split type with constructor args.
+    Concrete {
+        /// Split type name.
+        name: String,
+        /// Names of the function arguments fed to the constructor.
+        ctor_args: Vec<String>,
+    },
+    /// A single uppercase identifier used as a generic (`S`).
+    Generic(String),
+    /// `_` — the missing split type.
+    Missing,
+    /// `unknown`.
+    Unknown,
+}
+
+/// One annotated argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgAnnotation {
+    /// `mut` tag.
+    pub mutable: bool,
+    /// Argument name.
+    pub name: String,
+    /// Assigned split type.
+    pub ty: TypeExpr,
+}
+
+/// A C-style parameter in the function declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CParam {
+    /// Type text, e.g. `double *`.
+    pub ctype: String,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// An annotated function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotatedFn {
+    /// Argument annotations, in order.
+    pub args: Vec<ArgAnnotation>,
+    /// Return value's split type, if annotated.
+    pub ret: Option<TypeExpr>,
+    /// C return type text.
+    pub c_ret: String,
+    /// Function name.
+    pub name: String,
+    /// C parameters.
+    pub params: Vec<CParam>,
+}
+
+/// A parsed annotation file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnnotationFile {
+    /// Declared split types.
+    pub split_types: Vec<SplitTypeDecl>,
+    /// Declared constructors.
+    pub constructors: Vec<ConstructorDecl>,
+    /// Annotated functions.
+    pub functions: Vec<AnnotatedFn>,
+}
+
+impl AnnotatedFn {
+    /// Index of the annotated argument named `name`.
+    pub fn arg_index(&self, name: &str) -> Option<usize> {
+        self.args.iter().position(|a| a.name == name)
+    }
+}

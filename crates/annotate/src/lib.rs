@@ -1,0 +1,87 @@
+//! # mozart-annotate — the SA parser and wrapper generator
+//!
+//! The Rust analogue of the paper's `annotate` command-line tool
+//! (§4.1): "An annotator registers split types, the splitting API, and
+//! SAs over C++ functions by using a command line tool we have built
+//! called annotate. This tool takes these definitions as input and
+//! generates namespaced wrapper functions around each annotated library
+//! function."
+//!
+//! The [`parser`] accepts the paper's annotation syntax (Listing 3):
+//! `splittype` declarations, constructor mappings, and
+//! `@splittable(...)` SAs over C-style declarations. The [`codegen`]
+//! emits a Rust wrapper module in the same style as the hand-written
+//! `sa-*` crates. The tool also performs the §7.1 sanity check that a
+//! split type is always used consistently.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod parser;
+
+pub use ast::{AnnotatedFn, AnnotationFile, TypeExpr};
+pub use codegen::generate;
+pub use parser::{parse, ParseError};
+
+use std::collections::HashMap;
+
+/// The §7.1 lint: "the annotate tool ... will ensure that a split type
+/// is always associated with the same concrete type". Here we check the
+/// analogous property available at parse time: every concrete split
+/// type is always applied to C parameters of one type.
+pub fn check_consistent_types(file: &AnnotationFile) -> Result<(), String> {
+    let mut seen: HashMap<&str, &str> = HashMap::new();
+    for f in &file.functions {
+        for a in &f.args {
+            if let TypeExpr::Concrete { name, .. } = &a.ty {
+                let Some(param) = f.params.iter().find(|p| p.name == a.name) else {
+                    continue;
+                };
+                match seen.get(name.as_str()) {
+                    None => {
+                        seen.insert(name, &param.ctype);
+                    }
+                    Some(t) if *t == param.ctype => {}
+                    Some(t) => {
+                        return Err(format!(
+                            "split type {name} applied to both {t:?} and {:?} (in {})",
+                            param.ctype, f.name
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_check_accepts_uniform_use() {
+        let src = r#"
+            @splittable(size: SizeSplit(size), mut a: ArraySplit(size))
+            void f(long size, double *a);
+            @splittable(size: SizeSplit(size), mut b: ArraySplit(size))
+            void g(long size, double *b);
+        "#;
+        let file = parse(src).unwrap();
+        assert!(check_consistent_types(&file).is_ok());
+    }
+
+    #[test]
+    fn consistency_check_rejects_mixed_use() {
+        let src = r#"
+            @splittable(mut a: ArraySplit(a))
+            void f(double *a);
+            @splittable(mut b: ArraySplit(b))
+            void g(long b);
+        "#;
+        let file = parse(src).unwrap();
+        let err = check_consistent_types(&file).unwrap_err();
+        assert!(err.contains("ArraySplit"), "{err}");
+    }
+}

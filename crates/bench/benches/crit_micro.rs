@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks: substrate kernel throughput and the
+//! Mozart runtime's fixed overheads (registration, planning). These
+//! support the Figure 5 overhead analysis at finer granularity.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mozart_core::{Config, MozartContext, SharedVec};
+
+fn kernels(c: &mut Criterion) {
+    let n = 1 << 16;
+    let a = vec![1.000003f64; n];
+    let b = vec![0.999997f64; n];
+    let mut out = vec![0.0f64; n];
+    let mut g = c.benchmark_group("vectormath");
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    g.bench_function("vd_add", |bench| {
+        bench.iter(|| vectormath::vd_add(&a, &b, &mut out));
+    });
+    g.bench_function("vd_exp", |bench| {
+        bench.iter(|| vectormath::vd_exp(&a, &mut out));
+    });
+    g.bench_function("vd_erf", |bench| {
+        bench.iter(|| vectormath::vd_erf(&a, &mut out));
+    });
+    g.finish();
+}
+
+fn runtime_overheads(c: &mut Criterion) {
+    workloads::register_all_defaults();
+    let mut g = c.benchmark_group("mozart-runtime");
+
+    // Cost of registering one annotated call (the "client" phase).
+    g.bench_function("register_call", |bench| {
+        let data = SharedVec::from_vec(vec![1.0; 64]);
+        bench.iter_batched(
+            || MozartContext::new(Config::with_workers(1)),
+            |ctx| {
+                sa_vectormath::vd_sqrt(&ctx, 64, &data, &data).expect("register");
+                ctx
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Cost of planning + executing a tiny one-call graph.
+    g.bench_function("plan_and_execute_small", |bench| {
+        bench.iter_batched(
+            || {
+                let ctx = MozartContext::new(Config::with_workers(1));
+                let data = SharedVec::from_vec(vec![1.0; 256]);
+                sa_vectormath::vd_sqrt(&ctx, 256, &data, &data).expect("register");
+                (ctx, data)
+            },
+            |(ctx, _data)| {
+                ctx.evaluate().expect("evaluate");
+                ctx
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, kernels, runtime_overheads);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 1: Black Scholes with MKL on 1–16 threads — MKL (internally
+//! parallel library), the fused-compiler stand-in (Weld), and MKL with
+//! Mozart.
+
+use mozart_bench::{report_figure, time_min, with_mkl_threads, BenchOpts, Series};
+use workloads::black_scholes as bs;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let n = opts.size(1 << 21);
+    let inp = bs::generate(n, 42);
+    println!("fig1: black scholes (MKL), n = {n}, reps = {}", opts.reps);
+
+    let mut mkl = Series { name: "MKL".into(), points: vec![] };
+    let mut weld = Series { name: "Weld(fused)".into(), points: vec![] };
+    let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+
+    for &t in &opts.threads {
+        let d = time_min(opts.reps, || {
+            with_mkl_threads(t, || {
+                std::hint::black_box(bs::mkl_base(&inp));
+            })
+        });
+        mkl.points.push((t, d.as_secs_f64()));
+
+        let d = time_min(opts.reps, || {
+            std::hint::black_box(bs::fused(&inp, t));
+        });
+        weld.points.push((t, d.as_secs_f64()));
+
+        let d = time_min(opts.reps, || {
+            let ctx = workloads::mozart_context(t);
+            std::hint::black_box(bs::mkl_mozart(&inp, &ctx).expect("mozart run"));
+        });
+        mozart.points.push((t, d.as_secs_f64()));
+    }
+
+    report_figure(
+        "fig1",
+        "Black Scholes benchmark, MKL vs Weld(fused stand-in) vs Mozart",
+        &[mkl, weld, mozart],
+    );
+}

@@ -1,0 +1,58 @@
+//! Figures 4n–o: the ImageMagick workloads (Nashville, Gotham) — the
+//! internally-parallel library vs the fused stand-in vs Mozart, which
+//! pipelines row bands across operators (but pays crop/append copies).
+
+use mozart_bench::{report_figure, time_min, with_image_threads, BenchOpts, Series};
+use workloads::images as im;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let w = opts.size(1600);
+    let h = opts.size(1200);
+    let img = im::generate(w, h, 3);
+    println!("fig4n/4o: instagram filters (ImageMagick), image = {w}x{h}");
+
+    // ---- 4n: Nashville ---------------------------------------------------
+    {
+        let mut base = Series { name: "ImageMagick".into(), points: vec![] };
+        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
+        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        for &t in &opts.threads {
+            base.points.push((t, time_min(opts.reps, || {
+                with_image_threads(t, || {
+                    std::hint::black_box(im::nashville_base(&img));
+                })
+            }).as_secs_f64()));
+            fused.points.push((t, time_min(opts.reps, || {
+                std::hint::black_box(im::nashville_fused(&img, t));
+            }).as_secs_f64()));
+            mozart.points.push((t, time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(im::nashville_mozart(&img, &ctx).expect("run"));
+            }).as_secs_f64()));
+        }
+        report_figure("fig4n_nashville_imagemagick", "Nashville (ImageMagick)", &[base, fused, mozart]);
+    }
+
+    // ---- 4o: Gotham --------------------------------------------------------
+    {
+        let mut base = Series { name: "ImageMagick".into(), points: vec![] };
+        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
+        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        for &t in &opts.threads {
+            base.points.push((t, time_min(opts.reps, || {
+                with_image_threads(t, || {
+                    std::hint::black_box(im::gotham_base(&img));
+                })
+            }).as_secs_f64()));
+            fused.points.push((t, time_min(opts.reps, || {
+                std::hint::black_box(im::gotham_fused(&img, t));
+            }).as_secs_f64()));
+            mozart.points.push((t, time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(im::gotham_mozart(&img, &ctx).expect("run"));
+            }).as_secs_f64()));
+        }
+        report_figure("fig4o_gotham_imagemagick", "Gotham (ImageMagick)", &[base, fused, mozart]);
+    }
+}

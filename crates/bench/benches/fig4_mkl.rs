@@ -1,0 +1,117 @@
+//! Figures 4j–m: the MKL workloads — the already-parallel library vs
+//! the fused-compiler stand-in vs Mozart. Speedups over MKL here come
+//! from data-movement optimization, not parallelization.
+
+use mozart_bench::{report_figure, time_min, with_mkl_threads, BenchOpts, Series};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+
+    // ---- 4j: Black Scholes ------------------------------------------------
+    {
+        use workloads::black_scholes as bs;
+        let n = opts.size(1 << 21);
+        let inp = bs::generate(n, 42);
+        println!("fig4j: black scholes (MKL), n = {n}");
+        let (mut mkl, mut fused, mut mozart) = three();
+        for &t in &opts.threads {
+            mkl.points.push((t, time_min(opts.reps, || {
+                with_mkl_threads(t, || {
+                    std::hint::black_box(bs::mkl_base(&inp));
+                })
+            }).as_secs_f64()));
+            fused.points.push((t, time_min(opts.reps, || {
+                std::hint::black_box(bs::fused(&inp, t));
+            }).as_secs_f64()));
+            mozart.points.push((t, time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(bs::mkl_mozart(&inp, &ctx).expect("run"));
+            }).as_secs_f64()));
+        }
+        report_figure("fig4j_blackscholes_mkl", "Black Scholes (MKL)", &[mkl, fused, mozart]);
+    }
+
+    // ---- 4k: Haversine ------------------------------------------------------
+    {
+        use workloads::haversine as hv;
+        let n = opts.size(1 << 21);
+        let inp = hv::generate(n, 7);
+        println!("fig4k: haversine (MKL), n = {n}");
+        let (mut mkl, mut fused, mut mozart) = three();
+        for &t in &opts.threads {
+            mkl.points.push((t, time_min(opts.reps, || {
+                with_mkl_threads(t, || {
+                    std::hint::black_box(hv::mkl_base(&inp));
+                })
+            }).as_secs_f64()));
+            fused.points.push((t, time_min(opts.reps, || {
+                std::hint::black_box(hv::fused(&inp, t));
+            }).as_secs_f64()));
+            mozart.points.push((t, time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(hv::mkl_mozart(&inp, &ctx).expect("run"));
+            }).as_secs_f64()));
+        }
+        report_figure("fig4k_haversine_mkl", "Haversine (MKL)", &[mkl, fused, mozart]);
+    }
+
+    // ---- 4l: nBody -------------------------------------------------------------
+    {
+        use workloads::nbody as nb;
+        let n = opts.size(700);
+        let steps = 2;
+        let dt = 0.01;
+        let b = nb::generate(n, 5);
+        println!("fig4l: nbody (MKL), n = {n}, steps = {steps}");
+        let (mut mkl, mut fused, mut mozart) = three();
+        for &t in &opts.threads {
+            mkl.points.push((t, time_min(opts.reps, || {
+                with_mkl_threads(t, || {
+                    std::hint::black_box(nb::mkl_base(&b, steps, dt));
+                })
+            }).as_secs_f64()));
+            fused.points.push((t, time_min(opts.reps, || {
+                std::hint::black_box(nb::fused(&b, steps, dt, t));
+            }).as_secs_f64()));
+            mozart.points.push((t, time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(nb::mkl_mozart(&b, steps, dt, &ctx).expect("run"));
+            }).as_secs_f64()));
+        }
+        report_figure("fig4l_nbody_mkl", "nBody (MKL)", &[mkl, fused, mozart]);
+    }
+
+    // ---- 4m: Shallow Water ---------------------------------------------------------
+    {
+        use workloads::shallow_water as sw;
+        let n = opts.size(384);
+        let steps = 4;
+        let dt = 0.005;
+        let g = sw::generate(n);
+        println!("fig4m: shallow water (MKL), grid = {n}x{n}, steps = {steps}");
+        let (mut mkl, mut fused, mut mozart) = three();
+        for &t in &opts.threads {
+            mkl.points.push((t, time_min(opts.reps, || {
+                with_mkl_threads(t, || {
+                    std::hint::black_box(sw::mkl_base(&g, steps, dt));
+                })
+            }).as_secs_f64()));
+            fused.points.push((t, time_min(opts.reps, || {
+                std::hint::black_box(sw::fused(&g, steps, dt, t));
+            }).as_secs_f64()));
+            mozart.points.push((t, time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(sw::mkl_mozart(&g, steps, dt, &ctx).expect("run"));
+            }).as_secs_f64()));
+        }
+        report_figure("fig4m_shallowwater_mkl", "Shallow Water (MKL)", &[mkl, fused, mozart]);
+    }
+}
+
+fn three() -> (Series, Series, Series) {
+    (
+        Series { name: "MKL".into(), points: vec![] },
+        Series { name: "Weld(fused)".into(), points: vec![] },
+        Series { name: "Mozart".into(), points: vec![] },
+    )
+}

@@ -1,0 +1,125 @@
+//! Figures 4a–d: the NumPy workloads (Black Scholes, Haversine, nBody,
+//! Shallow Water) — single-threaded NumPy base vs the fused-compiler
+//! stand-in vs Mozart, 1–16 threads.
+
+use mozart_bench::{report_figure, time_min, BenchOpts, Series};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+
+    // ---- 4a: Black Scholes --------------------------------------------
+    {
+        use workloads::black_scholes as bs;
+        let n = opts.size(1 << 20);
+        let inp = bs::generate(n, 42);
+        println!("fig4a: black scholes (NumPy), n = {n}");
+        let base_t = time_min(opts.reps, || {
+            std::hint::black_box(bs::numpy_base(&inp));
+        })
+        .as_secs_f64();
+        let mut base = Series { name: "NumPy(base)".into(), points: vec![] };
+        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
+        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        for &t in &opts.threads {
+            base.points.push((t, base_t)); // single-threaded library
+            let d = time_min(opts.reps, || {
+                std::hint::black_box(bs::fused(&inp, t));
+            });
+            fused.points.push((t, d.as_secs_f64()));
+            let d = time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(bs::numpy_mozart(&inp, &ctx).expect("run"));
+            });
+            mozart.points.push((t, d.as_secs_f64()));
+        }
+        report_figure("fig4a_blackscholes_numpy", "Black Scholes (NumPy)", &[base, fused, mozart]);
+    }
+
+    // ---- 4b: Haversine -------------------------------------------------
+    {
+        use workloads::haversine as hv;
+        let n = opts.size(1 << 20);
+        let inp = hv::generate(n, 7);
+        println!("fig4b: haversine (NumPy), n = {n}");
+        let base_t = time_min(opts.reps, || {
+            std::hint::black_box(hv::numpy_base(&inp));
+        })
+        .as_secs_f64();
+        let mut base = Series { name: "NumPy(base)".into(), points: vec![] };
+        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
+        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        for &t in &opts.threads {
+            base.points.push((t, base_t));
+            let d = time_min(opts.reps, || {
+                std::hint::black_box(hv::fused(&inp, t));
+            });
+            fused.points.push((t, d.as_secs_f64()));
+            let d = time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(hv::numpy_mozart(&inp, &ctx).expect("run"));
+            });
+            mozart.points.push((t, d.as_secs_f64()));
+        }
+        report_figure("fig4b_haversine_numpy", "Haversine (NumPy)", &[base, fused, mozart]);
+    }
+
+    // ---- 4c: nBody ------------------------------------------------------
+    {
+        use workloads::nbody as nb;
+        let n = opts.size(700);
+        let steps = 2;
+        let dt = 0.01;
+        let b = nb::generate(n, 5);
+        println!("fig4c: nbody (NumPy), n = {n}, steps = {steps}");
+        let base_t = time_min(opts.reps, || {
+            std::hint::black_box(nb::numpy_base(&b, steps, dt));
+        })
+        .as_secs_f64();
+        let mut base = Series { name: "NumPy(base)".into(), points: vec![] };
+        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
+        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        for &t in &opts.threads {
+            base.points.push((t, base_t));
+            let d = time_min(opts.reps, || {
+                std::hint::black_box(nb::fused(&b, steps, dt, t));
+            });
+            fused.points.push((t, d.as_secs_f64()));
+            let d = time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(nb::numpy_mozart(&b, steps, dt, &ctx).expect("run"));
+            });
+            mozart.points.push((t, d.as_secs_f64()));
+        }
+        report_figure("fig4c_nbody_numpy", "nBody (NumPy)", &[base, fused, mozart]);
+    }
+
+    // ---- 4d: Shallow Water ----------------------------------------------
+    {
+        use workloads::shallow_water as sw;
+        let n = opts.size(384);
+        let steps = 4;
+        let dt = 0.005;
+        let g = sw::generate(n);
+        println!("fig4d: shallow water (NumPy), grid = {n}x{n}, steps = {steps}");
+        let base_t = time_min(opts.reps, || {
+            std::hint::black_box(sw::numpy_base(&g, steps, dt));
+        })
+        .as_secs_f64();
+        let mut base = Series { name: "NumPy(base)".into(), points: vec![] };
+        let mut fused = Series { name: "Bohrium(fused)".into(), points: vec![] };
+        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        for &t in &opts.threads {
+            base.points.push((t, base_t));
+            let d = time_min(opts.reps, || {
+                std::hint::black_box(sw::fused(&g, steps, dt, t));
+            });
+            fused.points.push((t, d.as_secs_f64()));
+            let d = time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(sw::numpy_mozart(&g, steps, dt, &ctx).expect("run"));
+            });
+            mozart.points.push((t, d.as_secs_f64()));
+        }
+        report_figure("fig4d_shallowwater_numpy", "Shallow Water (NumPy)", &[base, fused, mozart]);
+    }
+}

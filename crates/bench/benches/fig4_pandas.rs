@@ -1,0 +1,121 @@
+//! Figures 4e–h: the Pandas workloads (Data Cleaning, Crime Index,
+//! Birth Analysis, MovieLens) — single-threaded Pandas base vs the
+//! fused-compiler stand-in (Weld) vs Mozart.
+
+use mozart_bench::{report_figure, time_min, BenchOpts, Series};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+
+    // ---- 4e: Data Cleaning ----------------------------------------------
+    {
+        use workloads::data_cleaning as dc;
+        let n = opts.size(1 << 20);
+        let df = dc::generate(n, 3);
+        println!("fig4e: data cleaning (Pandas), rows = {n}");
+        let base_t =
+            time_min(opts.reps, || {
+                std::hint::black_box(dc::base(&df));
+            }).as_secs_f64();
+        let mut base = Series { name: "Pandas(base)".into(), points: vec![] };
+        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
+        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        for &t in &opts.threads {
+            base.points.push((t, base_t));
+            let d = time_min(opts.reps, || {
+                std::hint::black_box(dc::fused(&df, t));
+            });
+            fused.points.push((t, d.as_secs_f64()));
+            let d = time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(dc::mozart(&df, &ctx).expect("run"));
+            });
+            mozart.points.push((t, d.as_secs_f64()));
+        }
+        report_figure("fig4e_datacleaning_pandas", "Data Cleaning (Pandas)", &[base, fused, mozart]);
+    }
+
+    // ---- 4f: Crime Index --------------------------------------------------
+    {
+        use workloads::crime_index as ci;
+        let n = opts.size(1 << 21);
+        let df = ci::generate(n, 4);
+        println!("fig4f: crime index (Pandas), rows = {n}");
+        let base_t =
+            time_min(opts.reps, || {
+                std::hint::black_box(ci::base(&df));
+            }).as_secs_f64();
+        let mut base = Series { name: "Pandas(base)".into(), points: vec![] };
+        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
+        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        for &t in &opts.threads {
+            base.points.push((t, base_t));
+            let d = time_min(opts.reps, || {
+                std::hint::black_box(ci::fused(&df, t));
+            });
+            fused.points.push((t, d.as_secs_f64()));
+            let d = time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(ci::mozart(&df, &ctx).expect("run"));
+            });
+            mozart.points.push((t, d.as_secs_f64()));
+        }
+        report_figure("fig4f_crimeindex_pandas", "Crime Index (Pandas)", &[base, fused, mozart]);
+    }
+
+    // ---- 4g: Birth Analysis -------------------------------------------------
+    {
+        use workloads::birth_analysis as ba;
+        let n = opts.size(1 << 20);
+        let df = ba::generate(n, 5);
+        println!("fig4g: birth analysis (Pandas), rows = {n}");
+        let base_t =
+            time_min(opts.reps, || {
+                std::hint::black_box(ba::base(&df));
+            }).as_secs_f64();
+        let mut base = Series { name: "Pandas(base)".into(), points: vec![] };
+        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
+        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        for &t in &opts.threads {
+            base.points.push((t, base_t));
+            let d = time_min(opts.reps, || {
+                std::hint::black_box(ba::fused(&df));
+            });
+            fused.points.push((t, d.as_secs_f64()));
+            let d = time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(ba::mozart(&df, &ctx).expect("run"));
+            });
+            mozart.points.push((t, d.as_secs_f64()));
+        }
+        report_figure("fig4g_birthanalysis_pandas", "Birth Analysis (Pandas)", &[base, fused, mozart]);
+    }
+
+    // ---- 4h: MovieLens --------------------------------------------------------
+    {
+        use workloads::movielens as ml;
+        let n = opts.size(1 << 20);
+        let d0 = ml::generate(n, 6);
+        println!("fig4h: movielens (Pandas), ratings = {n}");
+        let base_t =
+            time_min(opts.reps, || {
+                std::hint::black_box(ml::base(&d0));
+            }).as_secs_f64();
+        let mut base = Series { name: "Pandas(base)".into(), points: vec![] };
+        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
+        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        for &t in &opts.threads {
+            base.points.push((t, base_t));
+            let d = time_min(opts.reps, || {
+                std::hint::black_box(ml::fused(&d0));
+            });
+            fused.points.push((t, d.as_secs_f64()));
+            let d = time_min(opts.reps, || {
+                let ctx = workloads::mozart_context(t);
+                std::hint::black_box(ml::mozart(&d0, &ctx).expect("run"));
+            });
+            mozart.points.push((t, d.as_secs_f64()));
+        }
+        report_figure("fig4h_movielens_pandas", "MovieLens (Pandas)", &[base, fused, mozart]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 4i: Speech Tag (spaCy) — single-threaded tagger vs Mozart.
+//! No compiler supported spaCy, so there is no fused comparator.
+
+use mozart_bench::{report_figure, time_min, BenchOpts, Series};
+use workloads::speech_tag as st;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let docs = opts.size(3000);
+    let words = 120;
+    let corpus = st::generate(docs, words, 9);
+    println!("fig4i: speech tag (spaCy), docs = {docs}, words/doc = {words}");
+
+    let base_t = time_min(opts.reps, || {
+        std::hint::black_box(st::base(&corpus));
+    })
+    .as_secs_f64();
+    let mut base = Series { name: "spaCy(base)".into(), points: vec![] };
+    let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+    for &t in &opts.threads {
+        base.points.push((t, base_t));
+        let d = time_min(opts.reps, || {
+            let ctx = workloads::mozart_context(t);
+            std::hint::black_box(st::mozart(&corpus, &ctx).expect("run"));
+        });
+        mozart.points.push((t, d.as_secs_f64()));
+    }
+    report_figure("fig4i_speechtag_spacy", "Speech Tag (spaCy)", &[base, mozart]);
+}

@@ -1,0 +1,53 @@
+//! Figure 5: breakdown of total running time — client library
+//! registration, unprotect, planner, split, task execution, merge —
+//! for the Black Scholes (MKL) and Nashville workloads.
+
+use mozart_bench::{write_results, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let threads = *opts.threads.last().unwrap_or(&16);
+    let mut csv = String::from("workload,client,unprotect,planner,split,task,merge\n");
+
+    // ---- Black Scholes (MKL) ----
+    {
+        use workloads::black_scholes as bs;
+        let n = opts.size(1 << 21);
+        let inp = bs::generate(n, 42);
+        let ctx = workloads::mozart_context(threads);
+        bs::mkl_mozart(&inp, &ctx).expect("run");
+        let p = ctx.take_stats();
+        print_breakdown("black scholes", &p.percentages());
+        push_csv(&mut csv, "black_scholes", &p.percentages());
+    }
+
+    // ---- Nashville (ImageMagick) ----
+    {
+        use workloads::images as im;
+        let img = im::generate(opts.size(1600), opts.size(1200), 3);
+        let ctx = workloads::mozart_context(threads);
+        im::nashville_mozart(&img, &ctx).expect("run");
+        let p = ctx.take_stats();
+        print_breakdown("nashville", &p.percentages());
+        push_csv(&mut csv, "nashville", &p.percentages());
+    }
+
+    write_results("fig5.csv", &csv);
+    println!("\npaper shape: task dominates; client+unprotect+planner < 0.5%;");
+    println!("nashville has the highest split/merge share (crop+append copy pixels).");
+}
+
+fn print_breakdown(name: &str, p: &[f64; 6]) {
+    println!("\n=== fig5: {name} — percent of total runtime ===");
+    let labels = ["client", "unprotect", "planner", "split", "task", "merge"];
+    for (l, v) in labels.iter().zip(p) {
+        println!("{l:>10}: {v:6.2}% {}", "#".repeat((v / 2.0).round() as usize));
+    }
+}
+
+fn push_csv(csv: &mut String, name: &str, p: &[f64; 6]) {
+    csv.push_str(&format!(
+        "{name},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+        p[0], p[1], p[2], p[3], p[4], p[5]
+    ));
+}

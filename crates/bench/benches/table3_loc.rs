@@ -1,0 +1,108 @@
+//! Table 3: integration effort — lines of code per library integration,
+//! measured directly from this repository's `sa-*` crates, split into
+//! SA/wrapper code vs splitting-API code, next to the paper's reported
+//! numbers for its Mozart and Weld integrations.
+
+use std::path::Path;
+
+use mozart_bench::write_results;
+
+/// Count non-empty, non-comment source lines in a file.
+fn loc(path: &Path) -> usize {
+    let Ok(text) = std::fs::read_to_string(path) else { return 0 };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!"))
+        .count()
+}
+
+struct Integration {
+    library: &'static str,
+    crate_dir: &'static str,
+    /// Files holding the SAs / wrapper functions.
+    sa_files: &'static [&'static str],
+    /// Files holding the splitting API (split types).
+    split_files: &'static [&'static str],
+    /// Paper-reported (SA LoC, splitting API LoC, Weld total LoC).
+    paper: (usize, usize, Option<usize>),
+}
+
+const INTEGRATIONS: &[Integration] = &[
+    Integration {
+        library: "NumPy",
+        crate_dir: "sa-ndarray",
+        sa_files: &["wrappers.rs"],
+        split_files: &["split.rs", "reduce.rs"],
+        paper: (47, 37, Some(394)),
+    },
+    Integration {
+        library: "Pandas",
+        crate_dir: "sa-dataframe",
+        sa_files: &["wrappers.rs"],
+        split_files: &["split.rs", "groupsplit.rs"],
+        paper: (72, 49, Some(2076)),
+    },
+    Integration {
+        library: "spaCy",
+        crate_dir: "sa-text",
+        sa_files: &["lib.rs"],
+        split_files: &[],
+        paper: (8, 12, None),
+    },
+    Integration {
+        library: "MKL",
+        crate_dir: "sa-vectormath",
+        sa_files: &["wrappers.rs"],
+        split_files: &["matrix.rs", "reduce.rs", "lib.rs"],
+        paper: (74, 90, None),
+    },
+    Integration {
+        library: "ImageMagick",
+        crate_dir: "sa-image",
+        sa_files: &["lib.rs"],
+        split_files: &[],
+        paper: (49, 63, None),
+    },
+];
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    println!("=== Table 3: integration effort (lines of code per library) ===");
+    println!(
+        "{:<14} {:>10} {:>12} {:>8} | {:>9} {:>10} {:>10}",
+        "Library", "SAs", "Split.API", "Total", "paper-SA", "paper-API", "paper-Weld"
+    );
+    let mut csv =
+        String::from("library,sa_loc,split_api_loc,total,paper_sa,paper_api,paper_weld\n");
+    for i in INTEGRATIONS {
+        let src = root.join(i.crate_dir).join("src");
+        let sa: usize = i.sa_files.iter().map(|f| loc(&src.join(f))).sum();
+        let split: usize = i.split_files.iter().map(|f| loc(&src.join(f))).sum();
+        let (psa, papi, pweld) = i.paper;
+        println!(
+            "{:<14} {:>10} {:>12} {:>8} | {:>9} {:>10} {:>10}",
+            i.library,
+            sa,
+            split,
+            sa + split,
+            psa,
+            papi,
+            pweld.map(|w| w.to_string()).unwrap_or_else(|| "-".into())
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            i.library,
+            sa,
+            split,
+            sa + split,
+            psa,
+            papi,
+            pweld.map(|w| w.to_string()).unwrap_or_default()
+        ));
+    }
+    write_results("table3.csv", &csv);
+    println!("\nNote: this Rust reproduction's wrappers are more verbose than the");
+    println!("paper's generated C headers / Python decorators, but stay 1-2 orders");
+    println!("of magnitude below a Weld-style per-operator IR rewrite (paper: 2076");
+    println!("LoC for Pandas alone, plus the >25K LoC compiler).");
+}

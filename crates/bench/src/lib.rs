@@ -1,0 +1,164 @@
+//! Shared harness utilities for the figure/table benchmarks.
+//!
+//! Every bench target regenerates one table or figure of the paper:
+//! it prints the same rows/series the paper reports and writes a CSV
+//! under `bench_results/`. Sizes are scaled for a laptop-class machine;
+//! set `MOZART_BENCH_SCALE` (float) to grow them and
+//! `MOZART_BENCH_THREADS` (comma list) / `MOZART_BENCH_REPS` to adjust
+//! the sweep.
+
+#![warn(missing_docs)]
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Sweep configuration from the environment.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Worker counts to sweep (the paper uses 1–16).
+    pub threads: Vec<usize>,
+    /// Repetitions per measurement (result is the minimum).
+    pub reps: usize,
+    /// Input-size multiplier.
+    pub scale: f64,
+}
+
+impl BenchOpts {
+    /// Read options from the environment.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("MOZART_BENCH_THREADS")
+            .ok()
+            .map(|s| {
+                s.split(',')
+                    .filter_map(|t| t.trim().parse::<usize>().ok())
+                    .collect::<Vec<_>>()
+            })
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
+        let reps = std::env::var("MOZART_BENCH_REPS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2)
+            .max(1);
+        let scale = std::env::var("MOZART_BENCH_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        BenchOpts { threads, reps, scale }
+    }
+
+    /// Scale a base size.
+    pub fn size(&self, base: usize) -> usize {
+        ((base as f64 * self.scale) as usize).max(16)
+    }
+}
+
+/// Minimum wall-clock time over `reps` runs of `f`.
+pub fn time_min(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+/// A measured series (one line in a figure).
+pub struct Series {
+    /// System name (e.g. "Mozart").
+    pub name: String,
+    /// `(threads, seconds)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Print a figure's series in the paper's layout and write a CSV.
+pub fn report_figure(figure: &str, caption: &str, series: &[Series]) {
+    println!("\n=== {figure}: {caption} ===");
+    print!("{:>12}", "threads");
+    for s in series {
+        print!("{:>14}", s.name);
+    }
+    println!();
+    let threads: Vec<usize> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.0).collect())
+        .unwrap_or_default();
+    for (row, &t) in threads.iter().enumerate() {
+        print!("{t:>12}");
+        for s in series {
+            print!("{:>13.4}s", s.points[row].1);
+        }
+        println!();
+    }
+    // Speedup annotation like the red labels in Figure 4: base vs
+    // Mozart at the largest thread count.
+    if let (Some(base), Some(moz)) = (
+        series.iter().find(|s| s.name.contains("base") || s.name == "MKL" || s.name == "Base"),
+        series.iter().find(|s| s.name.contains("Mozart")),
+    ) {
+        if let (Some(b), Some(m)) = (base.points.last(), moz.points.last()) {
+            if m.1 > 0.0 {
+                println!("    speedup (Mozart vs {} @ {} threads): {:.1}x", base.name, b.0, b.1 / m.1);
+            }
+        }
+    }
+    let mut csv = String::from("threads");
+    for s in series {
+        csv.push_str(&format!(",{}", s.name));
+    }
+    csv.push('\n');
+    for (row, &t) in threads.iter().enumerate() {
+        csv.push_str(&t.to_string());
+        for s in series {
+            csv.push_str(&format!(",{}", s.points[row].1));
+        }
+        csv.push('\n');
+    }
+    write_results(&format!("{figure}.csv"), &csv);
+}
+
+/// Write a file under `bench_results/` (best effort).
+pub fn write_results(name: &str, contents: &str) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        if let Ok(mut f) = std::fs::File::create(dir.join(name)) {
+            let _ = f.write_all(contents.as_bytes());
+        }
+    }
+}
+
+/// Run a closure with vectormath's internal threading set, restoring 1
+/// afterwards.
+pub fn with_mkl_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    vectormath::set_num_threads(threads);
+    let out = f();
+    vectormath::set_num_threads(1);
+    out
+}
+
+/// Run a closure with imagelib's internal threading set.
+pub fn with_image_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    imagelib::set_num_threads(threads);
+    let out = f();
+    imagelib::set_num_threads(1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        let o = BenchOpts { threads: vec![1, 2], reps: 2, scale: 0.5 };
+        assert_eq!(o.size(100), 50);
+        assert_eq!(o.size(1), 16, "sizes are floored");
+    }
+
+    #[test]
+    fn time_min_measures() {
+        let d = time_min(2, || std::thread::sleep(Duration::from_millis(2)));
+        assert!(d >= Duration::from_millis(2));
+    }
+}

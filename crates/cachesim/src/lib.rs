@@ -1,0 +1,246 @@
+//! # cachesim — a set-associative LRU cache model
+//!
+//! Machine-independent stand-in for the hardware performance counters
+//! the paper samples with Linux `perf` (Table 4). The `vectormath`
+//! library can record the byte ranges each kernel scans; replaying
+//! those streams through this model yields an LLC miss rate that is
+//! deterministic and independent of the host CPU.
+//!
+//! The model is a single cache level with configurable capacity,
+//! associativity, and line size, using true-LRU replacement and a
+//! write-allocate policy — a reasonable approximation of an inclusive
+//! last-level cache for streaming numeric workloads.
+
+#![warn(missing_docs)]
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Ways per set.
+    pub associativity: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// A typical server LLC slice: 8 MiB, 16-way, 64-byte lines.
+    pub fn llc_8mb() -> Self {
+        CacheConfig { size_bytes: 8 << 20, associativity: 16, line_bytes: 64 }
+    }
+
+    /// A typical per-core L2: 256 KiB, 8-way, 64-byte lines.
+    pub fn l2_256kb() -> Self {
+        CacheConfig { size_bytes: 256 << 10, associativity: 8, line_bytes: 64 }
+    }
+
+    fn num_sets(&self) -> usize {
+        self.size_bytes / (self.associativity * self.line_bytes)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total line-granular accesses.
+    pub accesses: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Write accesses (subset of `accesses`).
+    pub writes: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in percent (0 when no accesses).
+    pub fn miss_rate_pct(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64 * 100.0
+        }
+    }
+}
+
+/// One set: tags in LRU order (front = most recent).
+struct Set {
+    tags: Vec<u64>,
+}
+
+/// A set-associative, true-LRU, write-allocate cache.
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Set>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets, non-power-of-two
+    /// line size).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let sets = config.num_sets();
+        assert!(sets > 0, "cache must have at least one set");
+        Cache {
+            config,
+            sets: (0..sets).map(|_| Set { tags: Vec::new() }).collect(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset counters (keeping cache contents — useful for warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Access one byte address. Returns `true` on hit.
+    pub fn access(&mut self, addr: usize, write: bool) -> bool {
+        let line = (addr / self.config.line_bytes) as u64;
+        let set_idx = (line as usize) % self.sets.len();
+        let set = &mut self.sets[set_idx];
+        self.stats.accesses += 1;
+        if write {
+            self.stats.writes += 1;
+        }
+        if let Some(pos) = set.tags.iter().position(|&t| t == line) {
+            // Hit: move to MRU position.
+            let t = set.tags.remove(pos);
+            set.tags.insert(0, t);
+            true
+        } else {
+            self.stats.misses += 1;
+            set.tags.insert(0, line);
+            if set.tags.len() > self.config.associativity {
+                set.tags.pop();
+            }
+            false
+        }
+    }
+
+    /// Replay a sequential scan of `[addr, addr + bytes)` at line
+    /// granularity.
+    pub fn scan(&mut self, addr: usize, bytes: usize, write: bool) {
+        if bytes == 0 {
+            return;
+        }
+        let first = addr / self.config.line_bytes;
+        let last = (addr + bytes - 1) / self.config.line_bytes;
+        for line in first..=last {
+            self.access(line * self.config.line_bytes, write);
+        }
+    }
+}
+
+/// Replay a recorded operand-stream trace (see `vectormath::trace`)
+/// through a fresh cache, returning the final counters.
+pub fn replay_trace(config: CacheConfig, trace: &[(usize, usize, bool)]) -> CacheStats {
+    let mut c = Cache::new(config);
+    for &(addr, bytes, write) in trace {
+        c.scan(addr, bytes, write);
+    }
+    c.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets * 2 ways * 64B lines = 512 B.
+        Cache::new(CacheConfig { size_bytes: 512, associativity: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0, false));
+        assert!(c.access(8, false)); // same line
+        assert!(c.access(63, false));
+        assert!(!c.access(64, false)); // next line
+        let s = c.stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.miss_rate_pct(), 50.0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Lines mapping to set 0: line numbers ≡ 0 (mod 4): 0, 4, 8 ...
+        let line = |i: usize| i * 4 * 64;
+        assert!(!c.access(line(0), false));
+        assert!(!c.access(line(1), false));
+        // Set 0 full (2 ways). Touch line 0 so line 1 is LRU.
+        assert!(c.access(line(0), false));
+        // Insert line 2: evicts line 1.
+        assert!(!c.access(line(2), false));
+        assert!(c.access(line(0), false), "line 0 must survive");
+        assert!(!c.access(line(1), false), "line 1 was evicted");
+    }
+
+    #[test]
+    fn scan_touches_each_line_once() {
+        let mut c = tiny();
+        c.scan(0, 256, false); // 4 lines
+        assert_eq!(c.stats().accesses, 4);
+        c.scan(10, 1, true); // within line 0
+        assert_eq!(c.stats().accesses, 5);
+        assert_eq!(c.stats().writes, 1);
+        c.scan(0, 0, false); // empty scan
+        assert_eq!(c.stats().accesses, 5);
+    }
+
+    #[test]
+    fn streaming_larger_than_cache_always_misses() {
+        let mut c = tiny();
+        // Two full passes over 4 KiB (8x the 512 B capacity).
+        for _ in 0..2 {
+            c.scan(0, 4096, false);
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses, 128);
+        // Every line is evicted before its reuse: 100% misses.
+        assert_eq!(s.misses, 128);
+    }
+
+    #[test]
+    fn blocked_reuse_hits_in_cache() {
+        // The pipelining effect in miniature: process 4KiB in 256 B
+        // blocks, touching each block twice back-to-back (fits in
+        // cache) instead of two full passes (doesn't).
+        let mut c = tiny();
+        for block in 0..16 {
+            c.scan(block * 256, 256, false);
+            c.scan(block * 256, 256, true);
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses, 128);
+        // Second touch of each block hits: 50% miss rate vs 100% above.
+        assert_eq!(s.misses, 64);
+    }
+
+    #[test]
+    fn replay_matches_manual() {
+        let trace = vec![(0usize, 256usize, false), (0, 256, true)];
+        let s = replay_trace(
+            CacheConfig { size_bytes: 512, associativity: 2, line_bytes: 64 },
+            &trace,
+        );
+        assert_eq!(s.accesses, 8);
+        assert_eq!(s.misses, 4);
+    }
+}

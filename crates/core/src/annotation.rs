@@ -1,0 +1,260 @@
+//! Split annotations (§3.2) — the metadata an annotator attaches to an
+//! unmodified, side-effect-free library function.
+//!
+//! An [`Annotation`] corresponds to one `@splittable(...)` declaration
+//! (Listing 3): it names each argument, marks mutability, assigns each
+//! argument and the return value a [`SplitTypeExpr`], and carries the
+//! black-box function itself as a callable.
+
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::split::Splitter;
+use crate::value::{DataObject, DataValue};
+
+/// Identifier of a generic split type variable within one annotation
+/// (the paper's `S`; names are local to an SA, §3.2 "Generics").
+pub type GenericId = u32;
+
+/// The split type expression assigned to an argument or return value.
+#[derive(Clone)]
+#[allow(missing_docs)] // variant docs describe the fields
+pub enum SplitTypeExpr {
+    /// A named split type with a constructor. `ctor_args` are the indices
+    /// of the annotated function's arguments fed to the constructor
+    /// (the paper's `Name(A0...An)` syntax).
+    Concrete { splitter: Arc<dyn Splitter>, ctor_args: Vec<usize> },
+    /// A generic split type variable (`S`).
+    Generic(GenericId),
+    /// The "missing" split type `_`: the argument is not split but copied
+    /// (pointer-copied) to each pipeline.
+    Missing,
+    /// The `unknown` split type (return position only): the result's
+    /// split type is a fresh unique type. `merger` defines how the pieces
+    /// a stage produced are merged into the final value.
+    Unknown { merger: Arc<dyn Splitter> },
+}
+
+impl std::fmt::Debug for SplitTypeExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplitTypeExpr::Concrete { splitter, ctor_args } => {
+                write!(f, "{}({:?})", splitter.name(), ctor_args)
+            }
+            SplitTypeExpr::Generic(g) => write!(f, "S{g}"),
+            SplitTypeExpr::Missing => write!(f, "_"),
+            SplitTypeExpr::Unknown { .. } => write!(f, "unknown"),
+        }
+    }
+}
+
+/// One annotated argument.
+#[derive(Clone, Debug)]
+pub struct ArgSpec {
+    /// Name assigned in the SA (used by constructors and diagnostics).
+    pub name: &'static str,
+    /// Whether the function mutates this argument (`mut` tag). Mozart
+    /// uses this to add data-dependency edges (§4).
+    pub mutable: bool,
+    /// The argument's split type.
+    pub ty: SplitTypeExpr,
+}
+
+/// Arguments handed to the black-box function for one batch.
+///
+/// Pieces appear in the same order as the annotation's arguments;
+/// `_`-typed arguments receive the original unsplit value.
+pub struct Invocation<'a> {
+    /// The annotated function's name (for diagnostics).
+    pub function: &'static str,
+    /// Argument pieces for this batch.
+    pub args: &'a [DataValue],
+}
+
+impl<'a> Invocation<'a> {
+    /// Downcast argument `i` to a concrete library type.
+    pub fn arg<T: DataObject>(&self, i: usize) -> Result<&T> {
+        let v = self.args.get(i).ok_or(Error::ArgCount {
+            function: self.function,
+            expected: i + 1,
+            actual: self.args.len(),
+        })?;
+        v.downcast_ref::<T>().ok_or(Error::ArgType {
+            function: self.function,
+            arg: i,
+            expected: std::any::type_name::<T>(),
+            actual: v.type_name(),
+        })
+    }
+
+    /// Extract an `i64` scalar argument.
+    pub fn int(&self, i: usize) -> Result<i64> {
+        Ok(self.arg::<crate::value::IntValue>(i)?.0)
+    }
+
+    /// Extract an `f64` scalar argument.
+    pub fn float(&self, i: usize) -> Result<f64> {
+        Ok(self.arg::<crate::value::FloatValue>(i)?.0)
+    }
+}
+
+/// The black-box callable: receives one batch of argument pieces and
+/// optionally returns a result piece.
+pub type LibFn =
+    Arc<dyn Fn(&Invocation<'_>) -> Result<Option<DataValue>> + Send + Sync>;
+
+/// A split annotation over one library function.
+pub struct Annotation {
+    /// Function name (diagnostics, logging, pedantic mode).
+    pub name: &'static str,
+    /// Argument specifications, in call order.
+    pub args: Vec<ArgSpec>,
+    /// Split type of the return value, if the function returns one.
+    pub ret: Option<SplitTypeExpr>,
+    /// The function itself.
+    pub func: LibFn,
+}
+
+impl Annotation {
+    /// Start building an annotation for `name` wrapping `func`.
+    pub fn new(
+        name: &'static str,
+        func: impl Fn(&Invocation<'_>) -> Result<Option<DataValue>> + Send + Sync + 'static,
+    ) -> AnnotationBuilder {
+        AnnotationBuilder {
+            name,
+            args: Vec::new(),
+            ret: None,
+            func: Arc::new(func),
+        }
+    }
+
+    /// Index of the argument named `name`, if any.
+    pub fn arg_index(&self, name: &str) -> Option<usize> {
+        self.args.iter().position(|a| a.name == name)
+    }
+}
+
+impl std::fmt::Debug for Annotation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "@splittable(")?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if a.mutable {
+                write!(f, "mut ")?;
+            }
+            write!(f, "{}: {:?}", a.name, a.ty)?;
+        }
+        write!(f, ")")?;
+        if let Some(r) = &self.ret {
+            write!(f, " -> {r:?}")?;
+        }
+        write!(f, " {}", self.name)
+    }
+}
+
+/// Builder for [`Annotation`].
+pub struct AnnotationBuilder {
+    name: &'static str,
+    args: Vec<ArgSpec>,
+    ret: Option<SplitTypeExpr>,
+    func: LibFn,
+}
+
+impl AnnotationBuilder {
+    /// Add an immutable argument.
+    pub fn arg(mut self, name: &'static str, ty: SplitTypeExpr) -> Self {
+        self.args.push(ArgSpec { name, mutable: false, ty });
+        self
+    }
+
+    /// Add a mutable (`mut`) argument.
+    pub fn mut_arg(mut self, name: &'static str, ty: SplitTypeExpr) -> Self {
+        self.args.push(ArgSpec { name, mutable: true, ty });
+        self
+    }
+
+    /// Set the return value's split type.
+    pub fn ret(mut self, ty: SplitTypeExpr) -> Self {
+        self.ret = Some(ty);
+        self
+    }
+
+    /// Finish, producing a shareable annotation.
+    pub fn build(self) -> Arc<Annotation> {
+        Arc::new(Annotation {
+            name: self.name,
+            args: self.args,
+            ret: self.ret,
+            func: self.func,
+        })
+    }
+}
+
+/// Shorthand for a concrete split type expression.
+///
+/// `ctor_args` are argument *names*, resolved against the argument list
+/// at build time by [`resolve_ctor_names`], or indices via
+/// [`SplitTypeExpr::Concrete`] directly.
+pub fn concrete(splitter: Arc<dyn Splitter>, ctor_args: Vec<usize>) -> SplitTypeExpr {
+    SplitTypeExpr::Concrete { splitter, ctor_args }
+}
+
+/// Shorthand for a generic split type variable.
+pub fn generic(id: GenericId) -> SplitTypeExpr {
+    SplitTypeExpr::Generic(id)
+}
+
+/// Shorthand for the missing split type `_`.
+pub fn missing() -> SplitTypeExpr {
+    SplitTypeExpr::Missing
+}
+
+/// Shorthand for the `unknown` split type with the given merger.
+pub fn unknown(merger: Arc<dyn Splitter>) -> SplitTypeExpr {
+    SplitTypeExpr::Unknown { merger }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::SizeSplit;
+    use crate::value::IntValue;
+
+    #[test]
+    fn builder_roundtrip() {
+        let a = Annotation::new("f", |_inv| Ok(None))
+            .arg("size", concrete(Arc::new(SizeSplit), vec![0]))
+            .mut_arg("out", generic(0))
+            .build();
+        assert_eq!(a.name, "f");
+        assert_eq!(a.args.len(), 2);
+        assert!(!a.args[0].mutable);
+        assert!(a.args[1].mutable);
+        assert_eq!(a.arg_index("out"), Some(1));
+        assert_eq!(a.arg_index("nope"), None);
+        let dbg = format!("{a:?}");
+        assert!(dbg.contains("mut out"));
+        assert!(dbg.contains("SizeSplit"));
+    }
+
+    #[test]
+    fn invocation_downcasts_and_reports_errors() {
+        let args = vec![DataValue::new(IntValue(5))];
+        let inv = Invocation { function: "f", args: &args };
+        assert_eq!(inv.int(0).unwrap(), 5);
+        match inv.float(0) {
+            Err(Error::ArgType { function, arg, .. }) => {
+                assert_eq!(function, "f");
+                assert_eq!(arg, 0);
+            }
+            other => panic!("expected ArgType error, got {other:?}"),
+        }
+        match inv.int(3) {
+            Err(Error::ArgCount { .. }) => {}
+            other => panic!("expected ArgCount error, got {other:?}"),
+        }
+    }
+}

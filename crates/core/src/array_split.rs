@@ -1,0 +1,192 @@
+//! `ArraySplit` — the paper's canonical split type (§2.1, §3.2): a C
+//! array split into regularly-sized pieces. Parameter: the array length.
+//!
+//! Pieces are [`SliceView`]s aliasing the parent buffer, so functions
+//! that mutate their output argument write directly into the final
+//! location and no merge is required (the MKL convention).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::buffer::{SliceView, VecValue};
+use crate::error::{Error, Result};
+use crate::registry::register_default_splitter;
+use crate::split::{Params, RuntimeInfo, Splitter};
+use crate::value::DataValue;
+
+/// Split type for [`VecValue`] (shared `f64` buffers).
+pub struct ArraySplit;
+
+impl ArraySplit {
+    /// Register `ArraySplit` as the default split type for `VecValue`,
+    /// used when type inference cannot resolve a generic (§5.1).
+    pub fn register_default() {
+        register_default_splitter::<VecValue>(Arc::new(ArraySplit));
+    }
+}
+
+impl Splitter for ArraySplit {
+    fn name(&self) -> &'static str {
+        "ArraySplit"
+    }
+
+    fn construct(&self, ctor_args: &[&DataValue]) -> Result<Params> {
+        // Constructed either from a size argument (MKL style, where the
+        // length precedes the array) or from the array itself.
+        let first = ctor_args.first().ok_or_else(|| Error::Constructor {
+            split_type: "ArraySplit",
+            message: "expected a size or array argument".into(),
+        })?;
+        if let Some(n) = crate::value::as_i64(first) {
+            return Ok(vec![n]);
+        }
+        if let Some(v) = first.downcast_ref::<VecValue>() {
+            return Ok(vec![v.0.len() as i64]);
+        }
+        Err(Error::Constructor {
+            split_type: "ArraySplit",
+            message: format!("cannot derive length from {}", first.type_name()),
+        })
+    }
+
+    fn info(&self, _arg: &DataValue, params: &Params) -> Result<RuntimeInfo> {
+        Ok(RuntimeInfo {
+            total_elements: params.first().copied().unwrap_or(0).max(0) as u64,
+            elem_size_bytes: std::mem::size_of::<f64>() as u64,
+        })
+    }
+
+    fn split(
+        &self,
+        arg: &DataValue,
+        range: Range<u64>,
+        params: &Params,
+    ) -> Result<Option<DataValue>> {
+        let v = arg.downcast_ref::<VecValue>().ok_or_else(|| Error::Split {
+            split_type: "ArraySplit",
+            message: format!("expected VecValue, got {}", arg.type_name()),
+        })?;
+        let total = params.first().copied().unwrap_or(0).max(0) as u64;
+        if v.0.len() as u64 != total {
+            return Err(Error::Split {
+                split_type: "ArraySplit",
+                message: format!(
+                    "array length {} does not match split type parameter {}",
+                    v.0.len(),
+                    total
+                ),
+            });
+        }
+        if range.start >= total {
+            return Ok(None);
+        }
+        let end = range.end.min(total);
+        Ok(Some(DataValue::new(SliceView {
+            parent: v.0.clone(),
+            start: range.start as usize,
+            len: (end - range.start) as usize,
+        })))
+    }
+
+    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+        // Pieces alias a single parent buffer; the merged value is that
+        // buffer.
+        let first = pieces.first().ok_or_else(|| Error::Merge {
+            split_type: "ArraySplit",
+            message: "no pieces to merge".into(),
+        })?;
+        let parent = first
+            .downcast_ref::<SliceView>()
+            .ok_or_else(|| Error::Merge {
+                split_type: "ArraySplit",
+                message: format!("expected SliceView piece, got {}", first.type_name()),
+            })?
+            .parent
+            .clone();
+        for p in &pieces[1..] {
+            let v = p.downcast_ref::<SliceView>().ok_or_else(|| Error::Merge {
+                split_type: "ArraySplit",
+                message: "mixed piece types".into(),
+            })?;
+            if !v.parent.same_storage(&parent) {
+                return Err(Error::Merge {
+                    split_type: "ArraySplit",
+                    message: "pieces come from different buffers".into(),
+                });
+            }
+        }
+        Ok(DataValue::new(VecValue(parent)))
+    }
+
+    fn needs_merge(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::SharedVec;
+
+    fn vec_value(n: usize) -> DataValue {
+        DataValue::new(VecValue(SharedVec::from_vec(
+            (0..n).map(|i| i as f64).collect(),
+        )))
+    }
+
+    #[test]
+    fn construct_from_size_or_array() {
+        let s = ArraySplit;
+        let size = DataValue::new(crate::value::IntValue(8));
+        assert_eq!(s.construct(&[&size]).unwrap(), vec![8]);
+        let arr = vec_value(5);
+        assert_eq!(s.construct(&[&arr]).unwrap(), vec![5]);
+        assert!(s.construct(&[]).is_err());
+    }
+
+    #[test]
+    fn split_produces_aliasing_views() {
+        let s = ArraySplit;
+        let arr = vec_value(10);
+        let params = vec![10];
+        let piece = s.split(&arr, 2..5, &params).unwrap().unwrap();
+        let view = piece.downcast_ref::<SliceView>().unwrap();
+        assert_eq!(view.start, 2);
+        assert_eq!(view.len, 3);
+        // SAFETY: single-threaded test.
+        assert_eq!(unsafe { view.as_slice() }, &[2.0, 3.0, 4.0]);
+        // Clamps the tail and terminates past the end.
+        let piece = s.split(&arr, 8..16, &params).unwrap().unwrap();
+        assert_eq!(piece.downcast_ref::<SliceView>().unwrap().len, 2);
+        assert!(s.split(&arr, 10..12, &params).unwrap().is_none());
+    }
+
+    #[test]
+    fn split_rejects_stale_params() {
+        let s = ArraySplit;
+        let arr = vec_value(10);
+        assert!(s.split(&arr, 0..4, &vec![12]).is_err());
+    }
+
+    #[test]
+    fn merge_recovers_parent() {
+        let s = ArraySplit;
+        let arr = vec_value(10);
+        let params = vec![10];
+        let a = s.split(&arr, 0..5, &params).unwrap().unwrap();
+        let b = s.split(&arr, 5..10, &params).unwrap().unwrap();
+        let merged = s.merge(vec![a, b], &params).unwrap();
+        let v = merged.downcast_ref::<VecValue>().unwrap();
+        assert_eq!(v.0.len(), 10);
+        assert!(!s.needs_merge());
+    }
+
+    #[test]
+    fn merge_rejects_foreign_pieces() {
+        let s = ArraySplit;
+        let a = s.split(&vec_value(4), 0..2, &vec![4]).unwrap().unwrap();
+        let b = s.split(&vec_value(4), 2..4, &vec![4]).unwrap().unwrap();
+        assert!(s.merge(vec![a, b], &vec![4]).is_err());
+        assert!(s.merge(vec![], &vec![4]).is_err());
+    }
+}

@@ -1,0 +1,421 @@
+//! Shared, splittable buffers.
+//!
+//! [`SharedVec`] is the storage type the substrate libraries in this
+//! repository use for dense numeric data (standing in for the raw C arrays
+//! that Intel MKL operates on). It provides:
+//!
+//! * cheap cloning (handles share one allocation),
+//! * *disjoint* mutable range access from multiple worker threads, which
+//!   is what lets Mozart run unmodified kernels on split pieces in
+//!   parallel, and
+//! * a protection flag that reproduces the paper's `mprotect`-based lazy
+//!   evaluation trigger (§4.1): when an annotated call that mutates the
+//!   buffer is registered with a context, the buffer is *protected*; any
+//!   subsequent read through the safe API forces the context to evaluate
+//!   its dataflow graph first, exactly like the SIGSEGV handler in the
+//!   paper (but at the cost of an atomic load instead of a page fault —
+//!   the paper's proposed `pkeys` optimization has the same effect).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::value::{DataObject, DataValue};
+
+/// Something that can evaluate a pending dataflow graph.
+///
+/// Implemented by the Mozart context; buffers hold a weak reference so a
+/// protected read can force evaluation without a dependency cycle.
+pub trait EvalTrigger: Send + Sync {
+    /// Evaluate all pending work. Must be idempotent.
+    fn force(&self);
+}
+
+/// Lazy-evaluation trigger attached to mutable storage.
+///
+/// `protected == true` means the dataflow graph of the attached context
+/// contains a pending call that mutates this storage, so its current
+/// contents are stale.
+pub struct ProtectFlag {
+    protected: AtomicBool,
+    trigger: Mutex<Option<Weak<dyn EvalTrigger>>>,
+}
+
+impl Default for ProtectFlag {
+    fn default() -> Self {
+        ProtectFlag { protected: AtomicBool::new(false), trigger: Mutex::new(None) }
+    }
+}
+
+impl ProtectFlag {
+    /// Mark the storage as pending mutation by `trigger`'s graph.
+    pub fn protect(&self, trigger: Weak<dyn EvalTrigger>) {
+        *self.trigger.lock() = Some(trigger);
+        self.protected.store(true, Ordering::Release);
+    }
+
+    /// Clear the protection (called when the graph is evaluated).
+    pub fn unprotect(&self) {
+        self.protected.store(false, Ordering::Release);
+        *self.trigger.lock() = None;
+    }
+
+    /// Whether the storage currently has pending mutations.
+    pub fn is_protected(&self) -> bool {
+        self.protected.load(Ordering::Acquire)
+    }
+
+    /// If protected, force the owning context to evaluate. Cheap when not
+    /// protected (a single atomic load — this is the fast path every safe
+    /// read takes).
+    pub fn ensure_evaluated(&self) {
+        if self.protected.load(Ordering::Acquire) {
+            let trigger = self.trigger.lock().clone();
+            if let Some(t) = trigger.and_then(|w| w.upgrade()) {
+                t.force();
+            } else {
+                // The owning context is gone; the data can never be
+                // brought up to date, but it is also unobservable through
+                // that context, so clear the flag and return what we have.
+                self.unprotect();
+            }
+        }
+    }
+}
+
+/// Raw storage cell. Interior mutability is required because disjoint
+/// ranges of one allocation are mutated concurrently by worker threads.
+struct RawStorage<T>(Box<[UnsafeCell<T>]>);
+
+// SAFETY: `RawStorage` is a plain array of `Copy` data. All mutable access
+// goes through `SharedVec::slice_mut_unchecked`, whose contract requires
+// callers (the Mozart executor and annotated wrappers) to access disjoint
+// ranges from different threads. Shared reads through the safe API only
+// happen when no execution is in flight (enforced by the protect flag and
+// the context's evaluation lock).
+unsafe impl<T: Send + Sync> Sync for RawStorage<T> {}
+unsafe impl<T: Send + Sync> Send for RawStorage<T> {}
+
+struct Inner<T> {
+    storage: RawStorage<T>,
+    protect: ProtectFlag,
+}
+
+/// A shared, fixed-length vector supporting disjoint parallel mutation.
+///
+/// This is the "C array" of the reproduction: the substrate libraries take
+/// plain slices, and the split types hand out [`SliceView`] pieces that
+/// reference ranges of a `SharedVec`.
+pub struct SharedVec<T: Copy + Send + Sync + 'static> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T: Copy + Send + Sync + 'static> Clone for SharedVec<T> {
+    fn clone(&self) -> Self {
+        SharedVec { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Copy + Send + Sync + Default + 'static> SharedVec<T> {
+    /// Allocate a zero-initialized (default-initialized) buffer of `len`
+    /// elements.
+    pub fn zeros(len: usize) -> Self {
+        Self::from_vec(vec![T::default(); len])
+    }
+}
+
+impl<T: Copy + Send + Sync + 'static> SharedVec<T> {
+    /// Take ownership of a `Vec`'s contents.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        let storage: Box<[UnsafeCell<T>]> =
+            v.into_iter().map(UnsafeCell::new).collect();
+        SharedVec {
+            inner: Arc::new(Inner {
+                storage: RawStorage(storage),
+                protect: ProtectFlag::default(),
+            }),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.storage.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Address of the backing allocation; used as the buffer's stable
+    /// identity for dependency tracking.
+    pub fn storage_addr(&self) -> usize {
+        Arc::as_ptr(&self.inner) as *const () as usize
+    }
+
+    /// Whether two handles share the same backing storage.
+    pub fn same_storage(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// The buffer's lazy-evaluation flag.
+    pub fn protect_flag(&self) -> &ProtectFlag {
+        &self.inner.protect
+    }
+
+    /// Read access to the whole buffer, forcing any pending lazy
+    /// computation that mutates it first (the paper's evaluation point
+    /// for values "allocated outside of the dataflow graph but mutated by
+    /// an annotated function", §4.1).
+    pub fn as_slice(&self) -> &[T] {
+        self.inner.protect.ensure_evaluated();
+        // SAFETY: `ensure_evaluated` completed all pending mutations, and
+        // new mutations only begin after another annotated call is
+        // registered, which cannot happen while `&self` borrows from this
+        // call are live in well-formed programs; see module docs for the
+        // runtime discipline.
+        unsafe { self.slice_unchecked(0, self.len()) }
+    }
+
+    /// Copy the contents out as a `Vec`, forcing pending computation.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+
+    /// Read a range without checking the protect flag.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that no thread concurrently mutates any
+    /// element of `[start, start + len)`. The Mozart executor guarantees
+    /// this by assigning workers disjoint element ranges.
+    pub unsafe fn slice_unchecked(&self, start: usize, len: usize) -> &[T] {
+        debug_assert!(start + len <= self.len());
+        let base = self.inner.storage.0.as_ptr() as *const T;
+        // SAFETY: in-bounds per the debug_assert and the type invariant
+        // that `storage` is a single allocation; aliasing discipline is
+        // the caller's obligation per this function's contract.
+        unsafe { std::slice::from_raw_parts(base.add(start), len) }
+    }
+
+    /// Mutable access to a range of the buffer.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that the range `[start, start + len)` is
+    /// not accessed (read or written) by any other live reference while
+    /// the returned slice is alive. The Mozart executor upholds this by
+    /// giving each worker thread a disjoint element range and pipelining
+    /// batches sequentially within a worker.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut_unchecked(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start + len <= self.len());
+        let base = self.inner.storage.0.as_ptr() as *mut T;
+        // SAFETY: see function contract.
+        unsafe { std::slice::from_raw_parts_mut(base.add(start), len) }
+    }
+
+    /// Raw base pointer (for kernels with MKL-style aliasing semantics,
+    /// e.g. in-place `out == a`).
+    pub fn base_ptr(&self) -> *mut T {
+        self.inner.storage.0.as_ptr() as *mut T
+    }
+}
+
+impl<T: Copy + Send + Sync + std::fmt::Debug + 'static> std::fmt::Debug for SharedVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedVec(len={})", self.len())
+    }
+}
+
+/// A `DataValue` wrapper around a whole [`SharedVec<f64>`].
+///
+/// This is the value type the MKL-style integrations capture in the
+/// dataflow graph. Identity is the backing storage, so in-place mutation
+/// chains (`d1 = log(d1); d1 = d1 + tmp; ...`) produce dependency edges.
+#[derive(Clone, Debug)]
+pub struct VecValue(pub SharedVec<f64>);
+
+impl DataObject for VecValue {
+    fn type_name(&self) -> &'static str {
+        "VecValue"
+    }
+    fn stable_identity(&self) -> Option<usize> {
+        Some(self.0.storage_addr())
+    }
+    fn protect_flag(&self) -> Option<&ProtectFlag> {
+        Some(self.0.protect_flag())
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl VecValue {
+    /// Wrap into a dynamic value handle.
+    pub fn into_value(self) -> DataValue {
+        DataValue::new(self)
+    }
+}
+
+/// A split piece of a [`SharedVec<f64>`]: the element range
+/// `[start, start + len)` of `parent`.
+///
+/// Pieces alias the parent's storage; "merging" in-place pieces is a
+/// no-op, exactly like the paper's MKL integration (§3.3: "updates occur
+/// in-place, so no merge operation is needed").
+#[derive(Clone, Debug)]
+pub struct SliceView {
+    /// Buffer the piece refers into.
+    pub parent: SharedVec<f64>,
+    /// First element of the piece.
+    pub start: usize,
+    /// Number of elements in the piece.
+    pub len: usize,
+}
+
+impl SliceView {
+    /// Read the piece's elements.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`SharedVec::slice_unchecked`]: no concurrent
+    /// mutation of this range.
+    pub unsafe fn as_slice(&self) -> &[f64] {
+        // SAFETY: forwarded contract.
+        unsafe { self.parent.slice_unchecked(self.start, self.len) }
+    }
+
+    /// Mutate the piece's elements.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`SharedVec::slice_mut_unchecked`].
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn as_slice_mut(&self) -> &mut [f64] {
+        // SAFETY: forwarded contract.
+        unsafe { self.parent.slice_mut_unchecked(self.start, self.len) }
+    }
+
+    /// Raw pointer to the first element of the piece. Kernels that allow
+    /// `out == in` aliasing (the MKL in-place convention) should use the
+    /// pointer API.
+    pub fn ptr(&self) -> *mut f64 {
+        // In-bounds: `start <= parent.len()` is a construction invariant.
+        unsafe { self.parent.base_ptr().add(self.start) }
+    }
+}
+
+impl DataObject for SliceView {
+    fn type_name(&self) -> &'static str {
+        "SliceView"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let v = SharedVec::from_vec(vec![1.0, 2.0, 3.0]);
+        assert_eq!(v.as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let v = SharedVec::from_vec(vec![0u8; 8]);
+        let w = v.clone();
+        assert!(v.same_storage(&w));
+        assert_eq!(v.storage_addr(), w.storage_addr());
+    }
+
+    #[test]
+    fn disjoint_parallel_mutation() {
+        let v: SharedVec<f64> = SharedVec::zeros(1000);
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let v = v.clone();
+                s.spawn(move || {
+                    // SAFETY: each worker owns the disjoint range
+                    // [w*250, (w+1)*250).
+                    let chunk = unsafe { v.slice_mut_unchecked(w * 250, 250) };
+                    for x in chunk.iter_mut() {
+                        *x = w as f64;
+                    }
+                });
+            }
+        });
+        let s = v.as_slice();
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s[999], 3.0);
+        assert_eq!(s[500], 2.0);
+    }
+
+    struct CountingTrigger(AtomicUsize);
+    impl EvalTrigger for CountingTrigger {
+        fn force(&self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn protected_read_forces_evaluation() {
+        let trig = Arc::new(CountingTrigger(AtomicUsize::new(0)));
+        let v: SharedVec<f64> = SharedVec::zeros(4);
+        let weak: Weak<dyn EvalTrigger> = {
+            let t: Arc<dyn EvalTrigger> = trig.clone();
+            Arc::downgrade(&t)
+        };
+        v.protect_flag().protect(weak);
+        assert!(v.protect_flag().is_protected());
+        let _ = v.as_slice();
+        assert_eq!(trig.0.load(Ordering::SeqCst), 1);
+        // The trigger is responsible for unprotecting; simulate that.
+        v.protect_flag().unprotect();
+        let _ = v.as_slice();
+        assert_eq!(trig.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn protected_read_with_dead_context_degrades_gracefully() {
+        let v: SharedVec<f64> = SharedVec::from_vec(vec![7.0]);
+        {
+            let t: Arc<dyn EvalTrigger> = Arc::new(CountingTrigger(AtomicUsize::new(0)));
+            v.protect_flag().protect(Arc::downgrade(&t));
+        } // trigger dropped
+        assert_eq!(v.as_slice(), &[7.0]);
+        assert!(!v.protect_flag().is_protected());
+    }
+
+    #[test]
+    fn slice_view_aliases_parent() {
+        let v = SharedVec::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let piece = SliceView { parent: v.clone(), start: 1, len: 2 };
+        // SAFETY: no concurrent mutation in this test.
+        unsafe {
+            piece.as_slice_mut()[0] = 20.0;
+            assert_eq!(piece.as_slice(), &[20.0, 3.0]);
+        }
+        assert_eq!(v.as_slice(), &[1.0, 20.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn vec_value_identity_tracks_storage() {
+        let v = SharedVec::from_vec(vec![0.0]);
+        let a = DataValue::new(VecValue(v.clone()));
+        let b = DataValue::new(VecValue(v.clone()));
+        // Distinct handles, same storage => same identity.
+        assert_eq!(a.identity(), b.identity());
+        let other = DataValue::new(VecValue(SharedVec::from_vec(vec![0.0])));
+        assert_ne!(a.identity(), other.identity());
+    }
+}

@@ -1,0 +1,151 @@
+//! Runtime configuration (worker count, batch-size heuristic, debugging
+//! aids).
+
+/// Configuration of a [`MozartContext`](crate::MozartContext).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of worker threads. The paper leaves this to the user; the
+    /// default is the machine's available parallelism.
+    pub workers: usize,
+    /// L2 cache size in bytes, the basis of the batch-size heuristic
+    /// `batch = C * L2 / Σ sizeof(element)` (§5.2 step 1).
+    pub l2_bytes: u64,
+    /// The constant `C` in the batch-size heuristic. The paper found a
+    /// fixed constant works well because intermediates still fit in the
+    /// larger shared LLC.
+    pub batch_constant: f64,
+    /// Fixed batch size in elements, overriding the heuristic (used by
+    /// the Figure 6 batch-size sweep).
+    pub batch_override: Option<u64>,
+    /// When `false`, every function gets its own stage: data is split and
+    /// parallelized per call but never pipelined across calls. This is
+    /// the paper's "Mozart (-pipe)" ablation (Table 4).
+    pub pipeline: bool,
+    /// Pedantic mode (§7.1): panic-free runtime checks that splits agree
+    /// on element counts, pieces are non-NULL, etc., surfaced as errors.
+    pub pedantic: bool,
+    /// Log every function call on every split piece (§7.1 debugging aid).
+    pub log_calls: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            workers: default_workers(),
+            l2_bytes: detect_l2_bytes(),
+            batch_constant: 1.0,
+            batch_override: None,
+            pipeline: true,
+            pedantic: cfg!(debug_assertions),
+            log_calls: false,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration with a fixed worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        Config { workers: workers.max(1), ..Config::default() }
+    }
+
+    /// Compute the batch size for a stage whose split inputs have the
+    /// given total per-element footprint in bytes.
+    ///
+    /// Returns a value clamped to `[1, total_elements]`.
+    pub fn batch_elements(&self, sum_elem_bytes: u64, total_elements: u64) -> u64 {
+        if total_elements == 0 {
+            return 1;
+        }
+        if let Some(b) = self.batch_override {
+            return b.clamp(1, total_elements);
+        }
+        if sum_elem_bytes == 0 {
+            // Nothing contributes to cache pressure: one batch.
+            return total_elements;
+        }
+        let b = (self.batch_constant * self.l2_bytes as f64 / sum_elem_bytes as f64) as u64;
+        b.clamp(1, total_elements)
+    }
+}
+
+/// Worker-count default: `MOZART_WORKERS` env var, else available
+/// parallelism.
+pub fn default_workers() -> usize {
+    if let Ok(s) = std::env::var("MOZART_WORKERS") {
+        if let Ok(n) = s.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Read the L2 cache size from sysfs, falling back to 256 KiB (the paper
+/// targets per-core L2). Overridable with `MOZART_L2_BYTES`.
+pub fn detect_l2_bytes() -> u64 {
+    if let Ok(s) = std::env::var("MOZART_L2_BYTES") {
+        if let Ok(n) = s.parse::<u64>() {
+            return n.max(4096);
+        }
+    }
+    if let Ok(s) = std::fs::read_to_string("/sys/devices/system/cpu/cpu0/cache/index2/size") {
+        let s = s.trim();
+        if let Some(kb) = s.strip_suffix('K').and_then(|n| n.parse::<u64>().ok()) {
+            return kb * 1024;
+        }
+        if let Some(mb) = s.strip_suffix('M').and_then(|n| n.parse::<u64>().ok()) {
+            return mb * 1024 * 1024;
+        }
+        if let Ok(b) = s.parse::<u64>() {
+            return b;
+        }
+    }
+    256 * 1024
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            workers: 4,
+            l2_bytes: 1 << 20,
+            batch_constant: 1.0,
+            batch_override: None,
+            pipeline: true,
+            pedantic: true,
+            log_calls: false,
+        }
+    }
+
+    #[test]
+    fn batch_size_follows_heuristic() {
+        let c = cfg();
+        // Three f64 arrays: 24 bytes per element.
+        let b = c.batch_elements(24, 1 << 30);
+        assert_eq!(b, (1u64 << 20) / 24);
+    }
+
+    #[test]
+    fn batch_size_clamps_to_total() {
+        let c = cfg();
+        assert_eq!(c.batch_elements(8, 100), 100);
+        assert_eq!(c.batch_elements(0, 100), 100);
+        assert_eq!(c.batch_elements(8, 0), 1);
+    }
+
+    #[test]
+    fn batch_override_wins() {
+        let mut c = cfg();
+        c.batch_override = Some(4096);
+        assert_eq!(c.batch_elements(24, 1 << 30), 4096);
+        assert_eq!(c.batch_elements(24, 100), 100);
+    }
+
+    #[test]
+    fn huge_elements_still_get_a_batch() {
+        let c = cfg();
+        // One element is larger than L2: batch must still be >= 1.
+        assert_eq!(c.batch_elements(1 << 22, 10), 1);
+    }
+}

@@ -1,0 +1,347 @@
+//! The Mozart client library (`libmozart`, §4): lazy capture of a
+//! dataflow graph from an unmodified application, and the evaluation
+//! entry points.
+//!
+//! Annotated wrapper functions call [`MozartContext::call`] (the paper's
+//! `register(function, args)`), which records the call and returns a
+//! lazy [`FutureHandle`]. Evaluation is forced when (1) a `Future` is
+//! accessed, or (2) a buffer mutated by a pending call is read through
+//! its safe API — the Rust analogue of the paper's memory-protection
+//! trick (see [`crate::buffer`]).
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::annotation::Annotation;
+use crate::buffer::EvalTrigger;
+use crate::config::Config;
+use crate::error::{Error, Result};
+use crate::executor::execute_stage;
+use crate::graph::{DataflowGraph, FutureToken, Node, ValueEntry, ValueId, ValueOrigin};
+use crate::planner::plan_next_stage;
+use crate::stats::PhaseStats;
+use crate::value::{DataObject, DataValue};
+
+static CTX_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+struct State {
+    graph: DataflowGraph,
+    config: Config,
+    stats: PhaseStats,
+    /// Values whose storage is protected pending evaluation.
+    protected: Vec<DataValue>,
+    /// First evaluation error, if any, reported to later accessors.
+    poisoned: Option<Error>,
+}
+
+/// Shared interior of a context.
+pub struct ContextInner {
+    id: u64,
+    state: Mutex<State>,
+}
+
+impl EvalTrigger for ContextInner {
+    fn force(&self) {
+        // Errors surface on explicit `Future::get` / `evaluate` calls;
+        // a protected read cannot return them, so they poison the state.
+        let mut st = self.state.lock();
+        let _ = evaluate_locked(self, &mut st);
+    }
+}
+
+/// A handle to the Mozart runtime: captures calls, owns the dataflow
+/// graph, and evaluates it on demand.
+///
+/// Cloning is cheap and clones share all state.
+#[derive(Clone)]
+pub struct MozartContext {
+    inner: Arc<ContextInner>,
+}
+
+impl Default for MozartContext {
+    fn default() -> Self {
+        Self::new(Config::default())
+    }
+}
+
+impl MozartContext {
+    /// Create a context with the given configuration.
+    pub fn new(config: Config) -> Self {
+        MozartContext {
+            inner: Arc::new(ContextInner {
+                id: CTX_COUNTER.fetch_add(1, Ordering::Relaxed),
+                state: Mutex::new(State {
+                    graph: DataflowGraph::default(),
+                    config,
+                    stats: PhaseStats::default(),
+                    protected: Vec::new(),
+                    poisoned: None,
+                }),
+            }),
+        }
+    }
+
+    /// Create a context with `workers` threads and defaults otherwise.
+    pub fn with_workers(workers: usize) -> Self {
+        Self::new(Config::with_workers(workers))
+    }
+
+    /// Unique id of this context (used to tag lazy values).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Replace the configuration. Affects stages planned after the call.
+    pub fn set_config(&self, config: Config) {
+        self.inner.state.lock().config = config;
+    }
+
+    /// Read a copy of the current configuration.
+    pub fn config(&self) -> Config {
+        self.inner.state.lock().config.clone()
+    }
+
+    /// Register a call to an annotated function (the paper's
+    /// `register`). Returns a lazy handle to the return value if the
+    /// annotation declares one.
+    pub fn call(
+        &self,
+        annot: &Arc<Annotation>,
+        args: Vec<DataValue>,
+    ) -> Result<Option<FutureHandle>> {
+        let t0 = Instant::now();
+        let mut st = self.inner.state.lock();
+        if let Some(e) = &st.poisoned {
+            return Err(e.clone());
+        }
+        if args.len() != annot.args.len() {
+            return Err(Error::ArgCount {
+                function: annot.name,
+                expected: annot.args.len(),
+                actual: args.len(),
+            });
+        }
+
+        // Resolve reads first so an in-place call (out == a) reads the
+        // pre-mutation version.
+        let mut arg_ids: Vec<ValueId> = Vec::with_capacity(args.len());
+        for dv in &args {
+            let vid = match dv {
+                DataValue::Lazy { ctx_id, value } => {
+                    if *ctx_id != self.inner.id {
+                        return Err(Error::ForeignValue);
+                    }
+                    *value
+                }
+                _ => st.graph.resolve_arg(dv),
+            };
+            arg_ids.push(vid);
+        }
+
+        // Create mut-versions and protect the mutated storage.
+        let node_id = crate::graph::NodeId(st.graph.nodes.len() as u32);
+        let mut mut_out: Vec<Option<ValueId>> = vec![None; args.len()];
+        for (i, spec) in annot.args.iter().enumerate() {
+            if !spec.mutable {
+                continue;
+            }
+            let dv = &args[i];
+            let prev = arg_ids[i];
+            let mv = st.graph.push_value(ValueEntry {
+                origin: ValueOrigin::MutVersion { node: node_id, arg: i, prev },
+                data: Some(dv.clone()),
+                ready: false,
+                consumers: Vec::new(),
+                user_token: None,
+            });
+            if let Some(ident) = dv.identity() {
+                st.graph.identity_map.insert(ident, mv);
+            }
+            if dv.protect_flag().is_some() {
+                let trigger: Arc<dyn EvalTrigger> = self.inner.clone();
+                dv.protect_flag()
+                    .expect("checked above")
+                    .protect(Arc::downgrade(&trigger));
+                st.protected.push(dv.clone());
+            }
+            mut_out[i] = Some(mv);
+        }
+
+        // Create the return value and its liveness token.
+        let mut future = None;
+        let mut ret = None;
+        if annot.ret.is_some() {
+            let token = Arc::new(FutureToken);
+            let rv = st.graph.push_value(ValueEntry {
+                origin: ValueOrigin::Ret(node_id),
+                data: None,
+                ready: false,
+                consumers: Vec::new(),
+                user_token: Some(Arc::downgrade(&token)),
+            });
+            ret = Some(rv);
+            future = Some(FutureHandle { ctx: self.clone(), value: rv, _token: token });
+        }
+
+        st.graph.push_node(Node {
+            annot: annot.clone(),
+            args: arg_ids,
+            mut_out,
+            ret,
+            executed: false,
+        });
+        st.stats.client += t0.elapsed();
+        Ok(future)
+    }
+
+    /// Evaluate all pending calls (the paper's `evaluate()`).
+    pub fn evaluate(&self) -> Result<()> {
+        let mut st = self.inner.state.lock();
+        evaluate_locked(&self.inner, &mut st)
+    }
+
+    /// Data of a graph value, if it has been produced.
+    pub fn value_data(&self, id: ValueId) -> Option<DataValue> {
+        self.inner.state.lock().graph.value_data(id).cloned()
+    }
+
+    /// Force evaluation and fetch the data of a value.
+    pub fn force_value(&self, id: ValueId) -> Result<DataValue> {
+        if let Some(d) = self.value_data(id) {
+            return Ok(d);
+        }
+        self.evaluate()?;
+        self.value_data(id).ok_or(Error::ValueUnavailable)
+    }
+
+    /// Cumulative phase statistics.
+    pub fn stats(&self) -> PhaseStats {
+        self.inner.state.lock().stats
+    }
+
+    /// Take and reset the phase statistics.
+    pub fn take_stats(&self) -> PhaseStats {
+        std::mem::take(&mut self.inner.state.lock().stats)
+    }
+
+    /// Number of pending (captured but unexecuted) calls.
+    pub fn pending_calls(&self) -> usize {
+        self.inner.state.lock().graph.pending_nodes()
+    }
+}
+
+fn evaluate_locked(inner: &ContextInner, st: &mut State) -> Result<()> {
+    if let Some(e) = &st.poisoned {
+        return Err(e.clone());
+    }
+    if st.graph.fully_executed() {
+        return Ok(());
+    }
+
+    // Unprotect everything first: during execution the runtime itself
+    // reads and writes these buffers through the unchecked APIs, and the
+    // data will be up to date when evaluation returns.
+    let t0 = Instant::now();
+    for dv in st.protected.drain(..) {
+        if let Some(flag) = dv.protect_flag() {
+            flag.unprotect();
+        }
+    }
+    st.stats.unprotect += t0.elapsed();
+
+    let _ = inner; // reserved for future per-context callbacks
+
+    while !st.graph.fully_executed() {
+        let t1 = Instant::now();
+        let plan = plan_next_stage(&st.graph, &st.config);
+        st.stats.planner += t1.elapsed();
+        let stage = match plan {
+            Ok(Some(stage)) => stage,
+            Ok(None) => break,
+            Err(e) => {
+                st.poisoned = Some(e.clone());
+                return Err(e);
+            }
+        };
+        // Borrow split: executor needs &mut graph + &config + &mut stats.
+        let State { graph, config, stats, .. } = st;
+        if let Err(e) = execute_stage(graph, &stage, config, stats) {
+            st.poisoned = Some(e.clone());
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// An untyped lazy result handle (the paper's `Future<T>` before
+/// typing). Holding it keeps the result observable; dropping every
+/// handle lets the runtime discard the value if no later call reads it.
+pub struct FutureHandle {
+    ctx: MozartContext,
+    value: ValueId,
+    _token: Arc<FutureToken>,
+}
+
+impl std::fmt::Debug for FutureHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FutureHandle(ctx={}, v={})", self.ctx.id(), self.value.0)
+    }
+}
+
+impl FutureHandle {
+    /// The lazy value, usable as an argument to further annotated calls
+    /// (pipelineable). Keep the handle alive until evaluation if you also
+    /// want to read the result yourself.
+    pub fn as_value(&self) -> DataValue {
+        DataValue::Lazy { ctx_id: self.ctx.id(), value: self.value }
+    }
+
+    /// Force evaluation and return the materialized value.
+    pub fn get(&self) -> Result<DataValue> {
+        self.ctx.force_value(self.value)
+    }
+
+    /// The graph value this future refers to.
+    pub fn value_id(&self) -> ValueId {
+        self.value
+    }
+
+    /// Add a concrete result type.
+    pub fn typed<T: DataObject + Clone>(self) -> Future<T> {
+        Future { raw: self, _pd: PhantomData }
+    }
+}
+
+/// A typed lazy result handle.
+pub struct Future<T: DataObject + Clone> {
+    raw: FutureHandle,
+    _pd: PhantomData<fn() -> T>,
+}
+
+impl<T: DataObject + Clone> Future<T> {
+    /// Force evaluation and return a clone of the result (clones of
+    /// library values are cheap `Arc`-backed handles).
+    pub fn get(&self) -> Result<T> {
+        let dv = self.raw.get()?;
+        dv.downcast_ref::<T>().cloned().ok_or(Error::ArgType {
+            function: "Future::get",
+            arg: 0,
+            expected: std::any::type_name::<T>(),
+            actual: dv.type_name(),
+        })
+    }
+
+    /// The lazy value, usable as an argument to further annotated calls.
+    pub fn as_value(&self) -> DataValue {
+        self.raw.as_value()
+    }
+
+    /// The untyped handle.
+    pub fn raw(&self) -> &FutureHandle {
+        &self.raw
+    }
+}

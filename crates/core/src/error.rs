@@ -1,0 +1,131 @@
+//! Error types for the Mozart runtime.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the annotation layer, planner, or executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant docs describe the fields
+pub enum Error {
+    /// A wrapper downcast an argument to the wrong concrete type.
+    ///
+    /// Carries the function name, argument index, and the expected /
+    /// actual type names.
+    ArgType {
+        function: &'static str,
+        arg: usize,
+        expected: &'static str,
+        actual: &'static str,
+    },
+    /// A function was called with the wrong number of arguments.
+    ArgCount {
+        function: &'static str,
+        expected: usize,
+        actual: usize,
+    },
+    /// A split type constructor could not derive its parameters.
+    Constructor {
+        split_type: &'static str,
+        message: String,
+    },
+    /// The splitting API was applied to an incompatible value.
+    Split {
+        split_type: &'static str,
+        message: String,
+    },
+    /// A merge operation failed (e.g. zero pieces, mismatched shapes).
+    Merge {
+        split_type: &'static str,
+        message: String,
+    },
+    /// The inputs of a stage disagreed on the total number of elements.
+    ///
+    /// The paper requires all split functions of a stage to produce the
+    /// same number of splits (§3.4); Mozart checks this at runtime (§5.2).
+    ElementMismatch { expected: u64, actual: u64 },
+    /// A lazy value from a different [`MozartContext`](crate::MozartContext)
+    /// was passed to this context.
+    ForeignValue,
+    /// A value handle was consumed before the graph produced it.
+    ///
+    /// Indicates an internal scheduling bug, or a `Future` whose result
+    /// was discarded as dead and later requested.
+    ValueUnavailable,
+    /// A generic split type could not be inferred and no default splitter
+    /// is registered for the argument's data type.
+    NoDefaultSplit { type_name: &'static str },
+    /// A pedantic-mode invariant was violated (§7.1 "pedantic mode").
+    Pedantic(String),
+    /// The annotated library function itself reported a failure.
+    Library(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ArgType { function, arg, expected, actual } => write!(
+                f,
+                "{function}: argument {arg} has type {actual}, expected {expected}"
+            ),
+            Error::ArgCount { function, expected, actual } => write!(
+                f,
+                "{function}: expected {expected} arguments, got {actual}"
+            ),
+            Error::Constructor { split_type, message } => {
+                write!(f, "constructor for split type {split_type} failed: {message}")
+            }
+            Error::Split { split_type, message } => {
+                write!(f, "split for split type {split_type} failed: {message}")
+            }
+            Error::Merge { split_type, message } => {
+                write!(f, "merge for split type {split_type} failed: {message}")
+            }
+            Error::ElementMismatch { expected, actual } => write!(
+                f,
+                "stage inputs disagree on total elements: expected {expected}, got {actual}"
+            ),
+            Error::ForeignValue => {
+                write!(f, "lazy value belongs to a different Mozart context")
+            }
+            Error::ValueUnavailable => {
+                write!(f, "value has not been produced by the dataflow graph")
+            }
+            Error::NoDefaultSplit { type_name } => write!(
+                f,
+                "cannot infer split type and no default splitter registered for {type_name}"
+            ),
+            Error::Pedantic(m) => write!(f, "pedantic mode violation: {m}"),
+            Error::Library(m) => write!(f, "library function failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::ArgType {
+            function: "vd_add",
+            arg: 1,
+            expected: "VecValue",
+            actual: "IntValue",
+        };
+        let s = e.to_string();
+        assert!(s.contains("vd_add"));
+        assert!(s.contains("VecValue"));
+        assert!(s.contains("IntValue"));
+    }
+
+    #[test]
+    fn element_mismatch_reports_both_counts() {
+        let e = Error::ElementMismatch { expected: 10, actual: 20 };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains("20"));
+    }
+}

@@ -1,0 +1,348 @@
+//! The parallel, pipelined execution engine (§5.2).
+//!
+//! Each stage is executed by (1) discovering runtime parameters via the
+//! splitting API's `Info` function and choosing a cache-sized batch,
+//! (2) statically partitioning elements across worker threads, each of
+//! which runs the *driver loop* — split every input, call every function
+//! in the stage on the pieces, stash result pieces — and (3) merging
+//! partial results per worker and then once more on the calling thread.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::annotation::Invocation;
+use crate::config::Config;
+use crate::error::{Error, Result};
+use crate::graph::{DataflowGraph, ValueId};
+use crate::planner::{OutputKind, StagePlan};
+use crate::split::SplitInstance;
+use crate::stats::PhaseStats;
+use crate::value::DataValue;
+
+/// Immutable description of a stage shared across worker threads.
+struct ExecStage {
+    nodes: Vec<ExecNode>,
+    inputs: Vec<ExecInput>,
+    /// Materialized values passed whole to every batch: `(value, data)`.
+    broadcast: Vec<(ValueId, DataValue)>,
+    /// Outputs whose pieces must be collected and merged.
+    merge_outputs: Vec<(ValueId, SplitInstance)>,
+    total_elements: u64,
+    batch: u64,
+    log_calls: bool,
+    pedantic: bool,
+}
+
+struct ExecInput {
+    value: ValueId,
+    instance: SplitInstance,
+    data: DataValue,
+}
+
+struct ExecNode {
+    name: &'static str,
+    func: crate::annotation::LibFn,
+    args: Vec<ValueId>,
+    /// `(arg index, mut-version value)`: after the call, the mut version
+    /// aliases the argument's piece.
+    mut_alias: Vec<(usize, ValueId)>,
+    ret: Option<ValueId>,
+}
+
+/// Per-worker result: merged partials and phase timings.
+struct WorkerOut {
+    /// One merged partial per merge output (None if the worker produced
+    /// no pieces for it).
+    partials: Vec<Option<DataValue>>,
+    split: Duration,
+    task: Duration,
+    merge: Duration,
+    batches: u64,
+    calls: u64,
+}
+
+/// Execute one stage, materializing its outputs into the graph.
+pub fn execute_stage(
+    graph: &mut DataflowGraph,
+    stage: &StagePlan,
+    config: &Config,
+    stats: &mut PhaseStats,
+) -> Result<()> {
+    let exec = build_exec_stage(graph, stage, config)?;
+
+    let workers = effective_workers(config.workers, exec.total_elements);
+    let per_worker = exec.total_elements.div_ceil(workers as u64);
+
+    let mut outs: Vec<WorkerOut> = Vec::with_capacity(workers);
+    if workers == 1 {
+        outs.push(run_worker(&exec, 0..exec.total_elements)?);
+    } else {
+        let mut results: Vec<Option<Result<WorkerOut>>> = Vec::new();
+        results.resize_with(workers, || None);
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let start = w as u64 * per_worker;
+                let end = (start + per_worker).min(exec.total_elements);
+                let exec = &exec;
+                handles.push(s.spawn(move || run_worker(exec, start..end)));
+            }
+            for (slot, h) in results.iter_mut().zip(handles) {
+                *slot = Some(h.join().unwrap_or_else(|_| {
+                    Err(Error::Library("worker thread panicked".into()))
+                }));
+            }
+        });
+        for r in results {
+            outs.push(r.expect("worker result collected")?);
+        }
+    }
+
+    // Final merge on the calling thread (§5.2 step 3).
+    let t0 = Instant::now();
+    for (i, (vid, instance)) in exec.merge_outputs.iter().enumerate() {
+        let pieces: Vec<DataValue> =
+            outs.iter().filter_map(|o| o.partials[i].clone()).collect();
+        if pieces.is_empty() {
+            return Err(Error::Merge {
+                split_type: instance.splitter.name(),
+                message: format!("no pieces produced for output of stage"),
+            });
+        }
+        let merged = instance.splitter.merge(pieces, &instance.params)?;
+        let entry = &mut graph.values[vid.0 as usize];
+        entry.data = Some(merged);
+        entry.ready = true;
+    }
+    let final_merge = t0.elapsed();
+
+    // Materialize in-place and discarded outputs.
+    for out in &stage.outputs {
+        let entry = &mut graph.values[out.value.0 as usize];
+        match out.kind {
+            OutputKind::InPlace => entry.ready = true,
+            OutputKind::Discard => entry.ready = false,
+            OutputKind::Merge => {} // handled above
+        }
+    }
+
+    for &n in &stage.nodes {
+        graph.nodes[n.0 as usize].executed = true;
+    }
+    graph.next_unplanned += stage.nodes.len();
+
+    // Phase accounting: worker-parallel phases report the per-stage max.
+    stats.stages += 1;
+    stats.split += outs.iter().map(|o| o.split).max().unwrap_or_default();
+    stats.task += outs.iter().map(|o| o.task).max().unwrap_or_default();
+    stats.merge +=
+        outs.iter().map(|o| o.merge).max().unwrap_or_default() + final_merge;
+    stats.batches += outs.iter().map(|o| o.batches).sum::<u64>();
+    stats.calls += outs.iter().map(|o| o.calls).sum::<u64>();
+    Ok(())
+}
+
+fn effective_workers(configured: usize, total: u64) -> usize {
+    configured.max(1).min(total.max(1) as usize)
+}
+
+/// Gather materialized data, run `Info`, and size batches.
+fn build_exec_stage(
+    graph: &DataflowGraph,
+    stage: &StagePlan,
+    config: &Config,
+) -> Result<ExecStage> {
+    let mut inputs = Vec::with_capacity(stage.inputs.len());
+    let mut total: Option<u64> = None;
+    let mut sum_elem_bytes: u64 = 0;
+
+    for (vid, instance) in &stage.inputs {
+        let data = graph.value_data(*vid).cloned().ok_or(Error::ValueUnavailable)?;
+        let info = instance.splitter.info(&data, &instance.params)?;
+        match total {
+            None => total = Some(info.total_elements),
+            Some(t) if t == info.total_elements => {}
+            Some(t) => {
+                return Err(Error::ElementMismatch {
+                    expected: t,
+                    actual: info.total_elements,
+                })
+            }
+        }
+        sum_elem_bytes += info.elem_size_bytes;
+        inputs.push(ExecInput { value: *vid, instance: instance.clone(), data });
+    }
+
+    // A stage with no split inputs (e.g. a call whose arguments are all
+    // `_`) executes as a single batch of one element.
+    let total_elements = total.unwrap_or(1);
+    let batch = config.batch_elements(sum_elem_bytes, total_elements);
+
+    let mut broadcast = Vec::with_capacity(stage.broadcast.len());
+    for vid in &stage.broadcast {
+        let data = graph.value_data(*vid).cloned().ok_or(Error::ValueUnavailable)?;
+        broadcast.push((*vid, data));
+    }
+
+    let mut nodes = Vec::with_capacity(stage.nodes.len());
+    for &nid in &stage.nodes {
+        let node = &graph.nodes[nid.0 as usize];
+        let mut_alias = node
+            .mut_out
+            .iter()
+            .enumerate()
+            .filter_map(|(i, mv)| mv.map(|v| (i, v)))
+            .collect();
+        nodes.push(ExecNode {
+            name: node.annot.name,
+            func: node.annot.func.clone(),
+            args: node.args.clone(),
+            mut_alias,
+            ret: node.ret,
+        });
+    }
+
+    let merge_outputs = stage
+        .outputs
+        .iter()
+        .filter(|o| o.kind == OutputKind::Merge)
+        .map(|o| (o.value, o.instance.clone()))
+        .collect();
+
+    Ok(ExecStage {
+        nodes,
+        inputs,
+        broadcast,
+        merge_outputs,
+        total_elements,
+        batch,
+        log_calls: config.log_calls,
+        pedantic: config.pedantic,
+    })
+}
+
+/// The driver loop (§5.2 step 2) for one worker's element range.
+fn run_worker(exec: &ExecStage, range: std::ops::Range<u64>) -> Result<WorkerOut> {
+    let mut out = WorkerOut {
+        partials: vec![None; exec.merge_outputs.len()],
+        split: Duration::ZERO,
+        task: Duration::ZERO,
+        merge: Duration::ZERO,
+        batches: 0,
+        calls: 0,
+    };
+    let mut pending: Vec<Vec<DataValue>> = vec![Vec::new(); exec.merge_outputs.len()];
+    let mut slots: HashMap<ValueId, DataValue> = HashMap::new();
+
+    let mut start = range.start;
+    'driver: while start < range.end {
+        let end = (start + exec.batch).min(range.end);
+
+        // Split every input for this batch.
+        let t0 = Instant::now();
+        slots.clear();
+        for (vid, data) in &exec.broadcast {
+            slots.insert(*vid, data.clone());
+        }
+        let mut produced = 0usize;
+        for input in &exec.inputs {
+            match input.instance.splitter.split(
+                &input.data,
+                start..end,
+                &input.instance.params,
+            )? {
+                Some(piece) => {
+                    slots.insert(input.value, piece);
+                    produced += 1;
+                }
+                None => {
+                    if exec.pedantic && produced > 0 {
+                        return Err(Error::Pedantic(format!(
+                            "split type {} returned NULL while other inputs produced pieces",
+                            input.instance.splitter.name()
+                        )));
+                    }
+                    out.split += t0.elapsed();
+                    break 'driver;
+                }
+            }
+        }
+        out.split += t0.elapsed();
+
+        // Run the pipeline on this batch's pieces.
+        let t1 = Instant::now();
+        for node in &exec.nodes {
+            let mut args: Vec<DataValue> = Vec::with_capacity(node.args.len());
+            for vid in &node.args {
+                match slots.get(vid) {
+                    Some(piece) => args.push(piece.clone()),
+                    None => return Err(Error::ValueUnavailable),
+                }
+            }
+            if exec.log_calls {
+                eprintln!(
+                    "mozart: call {} on elements [{start}, {end}) ({} args)",
+                    node.name,
+                    args.len()
+                );
+            }
+            let inv = Invocation { function: node.name, args: &args };
+            let ret = (node.func)(&inv)?;
+            for &(arg_idx, mv) in &node.mut_alias {
+                let piece = args[arg_idx].clone();
+                slots.insert(mv, piece);
+            }
+            match (ret, node.ret) {
+                (Some(piece), Some(rv)) => {
+                    slots.insert(rv, piece);
+                }
+                (None, None) => {}
+                (None, Some(_)) => {
+                    return Err(Error::Library(format!(
+                        "{} is annotated with a return split type but returned nothing",
+                        node.name
+                    )))
+                }
+                (Some(_), None) => {
+                    return Err(Error::Library(format!(
+                        "{} returned a value but its annotation declares none",
+                        node.name
+                    )))
+                }
+            }
+            out.calls += 1;
+        }
+        out.task += t1.elapsed();
+
+        // Stash pieces of observable outputs ("moved to a list of
+        // partial results", §5.2).
+        for (i, (vid, instance)) in exec.merge_outputs.iter().enumerate() {
+            match slots.get(vid) {
+                Some(piece) => pending[i].push(piece.clone()),
+                None if exec.pedantic => {
+                    return Err(Error::Pedantic(format!(
+                        "output of split type {} missing after batch",
+                        instance.splitter.name()
+                    )))
+                }
+                None => {}
+            }
+        }
+
+        out.batches += 1;
+        start = end;
+    }
+
+    // Worker-local merge (§5.2 step 3, first level).
+    let t2 = Instant::now();
+    for (i, (_, instance)) in exec.merge_outputs.iter().enumerate() {
+        let pieces = std::mem::take(&mut pending[i]);
+        out.partials[i] = match pieces.len() {
+            0 => None,
+            1 => Some(pieces.into_iter().next().expect("len checked")),
+            _ => Some(instance.splitter.merge(pieces, &instance.params)?),
+        };
+    }
+    out.merge += t2.elapsed();
+    Ok(out)
+}

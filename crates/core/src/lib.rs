@@ -1,0 +1,98 @@
+//! # Mozart: split annotations for unmodified libraries
+//!
+//! A from-scratch Rust reproduction of *"Optimizing Data-Intensive
+//! Computations in Existing Libraries with Split Annotations"* (Palkar &
+//! Zaharia, SOSP 2019).
+//!
+//! Split annotations (SAs) let an annotator — the library developer or a
+//! third party — enable cross-function **data-movement optimization**
+//! (cache-sized pipelining) and **automatic parallelization** over
+//! functions that are never modified. The annotator:
+//!
+//! 1. defines [split types](split::Splitter) for the library's data types
+//!    and implements the splitting API (constructor / split / merge /
+//!    info, Table 1 of the paper), and
+//! 2. attaches an [`Annotation`] to each side-effect-free function,
+//!    assigning each argument and return value a
+//!    [`SplitTypeExpr`](annotation::SplitTypeExpr).
+//!
+//! At runtime, wrapper functions register calls with a [`MozartContext`]
+//! (the paper's `libmozart`), which lazily captures a dataflow graph.
+//! When a lazy value is accessed, the [planner](planner) groups
+//! compatible calls into *stages* using split type equality and type
+//! inference, and the [executor](executor) splits stage inputs into
+//! batches sized to the L2 cache, pipelines each batch through every
+//! function in the stage on one worker thread, and merges the partial
+//! results.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mozart_core::prelude::*;
+//!
+//! // An "existing library" function: elementwise doubling, in place.
+//! fn double(xs: &mut [f64]) {
+//!     for x in xs {
+//!         *x *= 2.0;
+//!     }
+//! }
+//!
+//! // The annotator wraps it once.
+//! let annot = Annotation::new("double", |inv| {
+//!     let piece = inv.arg::<SliceView>(0)?;
+//!     // SAFETY: the Mozart executor hands each worker disjoint ranges.
+//!     double(unsafe { piece.as_slice_mut() });
+//!     Ok(None)
+//! })
+//! .mut_arg("xs", concrete(Arc::new(ArraySplit), vec![0]))
+//! .build();
+//!
+//! // The application uses the wrapped function as always.
+//! let ctx = MozartContext::with_workers(2);
+//! let data = SharedVec::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+//! let dv = DataValue::new(VecValue(data.clone()));
+//! ctx.call(&annot, vec![dv.clone()]).unwrap();
+//! ctx.call(&annot, vec![dv]).unwrap();
+//! // Reading the buffer forces evaluation (the paper's mprotect trick).
+//! assert_eq!(data.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod annotation;
+pub mod array_split;
+pub mod buffer;
+pub mod config;
+pub mod context;
+pub mod error;
+pub mod executor;
+pub mod graph;
+pub mod planner;
+pub mod registry;
+pub mod split;
+pub mod stats;
+pub mod value;
+
+pub use annotation::{Annotation, ArgSpec, Invocation, SplitTypeExpr};
+pub use array_split::ArraySplit;
+pub use buffer::{ProtectFlag, SharedVec, SliceView, VecValue};
+pub use config::Config;
+pub use context::{Future, FutureHandle, MozartContext};
+pub use error::{Error, Result};
+pub use split::{Params, RuntimeInfo, SizeSplit, SplitInstance, Splitter};
+pub use stats::PhaseStats;
+pub use value::{BoolValue, DataValue, FloatValue, IntValue, StrValue};
+
+/// Convenient glob-import surface for integrations and applications.
+pub mod prelude {
+    pub use crate::annotation::{concrete, generic, missing, unknown, Annotation, Invocation};
+    pub use crate::array_split::ArraySplit;
+    pub use crate::buffer::{SharedVec, SliceView, VecValue};
+    pub use crate::config::Config;
+    pub use crate::context::{Future, FutureHandle, MozartContext};
+    pub use crate::error::{Error, Result};
+    pub use crate::registry::register_default_splitter;
+    pub use crate::split::{Params, RuntimeInfo, SizeSplit, SplitInstance, Splitter};
+    pub use crate::value::{BoolValue, DataValue, FloatValue, IntValue, StrValue};
+}

@@ -1,0 +1,407 @@
+//! The planner: converting a dataflow graph into stages (§5.1).
+//!
+//! Two consecutive functions belong to the same stage iff every value
+//! passed between them has the same split type. Generic split types are
+//! resolved by pushing known types along the graph's edges (local type
+//! inference); generics that remain unbound fall back to the data type's
+//! registered default split type. `unknown` return types produce fresh
+//! unique instances, so they never pipeline into other split values but
+//! still flow into generic arguments.
+//!
+//! Planning is interleaved with execution: the planner plans one stage,
+//! the executor runs it, then the planner continues. This is how split
+//! type constructors can depend on values produced by earlier stages
+//! (e.g. the length of a filtered table): by the time the consuming
+//! stage is planned, the value is materialized.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::annotation::{GenericId, SplitTypeExpr};
+use crate::config::Config;
+use crate::error::{Error, Result};
+use crate::graph::{DataflowGraph, NodeId, ValueId};
+use crate::registry::default_instance_for;
+use crate::split::SplitInstance;
+use crate::value::DataValue;
+
+/// How a merged stage output is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputKind {
+    /// Collect the pieces each batch produced and merge them.
+    Merge,
+    /// The output aliases storage mutated in place; nothing to merge.
+    InPlace,
+    /// The output is not observable (dead intermediate); drop the pieces.
+    Discard,
+}
+
+/// One value a stage produces.
+#[derive(Clone)]
+pub struct StageOutput {
+    /// The produced value.
+    pub value: ValueId,
+    /// Its split type (used to merge).
+    pub instance: SplitInstance,
+    /// How to materialize it.
+    pub kind: OutputKind,
+}
+
+/// An executable stage: an ordered run of pipelinable calls.
+pub struct StagePlan {
+    /// Nodes in pipeline order.
+    pub nodes: Vec<NodeId>,
+    /// Stage inputs: materialized values split per batch.
+    pub inputs: Vec<(ValueId, SplitInstance)>,
+    /// Materialized values passed whole to every batch (`_` split type).
+    pub broadcast: Vec<ValueId>,
+    /// Values the stage produces.
+    pub outputs: Vec<StageOutput>,
+}
+
+/// Incremental state while growing a stage.
+struct StageBuilder {
+    nodes: Vec<NodeId>,
+    node_set: HashSet<NodeId>,
+    /// Required split type per stage input value.
+    input_types: HashMap<ValueId, SplitInstance>,
+    input_order: Vec<ValueId>,
+    broadcast: HashSet<ValueId>,
+    broadcast_order: Vec<ValueId>,
+    /// Split types of values produced within the stage (rets and
+    /// in-place mut versions).
+    produced: HashMap<ValueId, SplitInstance>,
+    /// Total element count the stage's split inputs agreed on, once any
+    /// split input exists. All split functions of a stage must produce
+    /// the same number of splits (§3.4), so a call whose inputs have a
+    /// different total cannot join the stage.
+    total_elements: Option<u64>,
+}
+
+impl StageBuilder {
+    fn new() -> Self {
+        StageBuilder {
+            nodes: Vec::new(),
+            node_set: HashSet::new(),
+            input_types: HashMap::new(),
+            input_order: Vec::new(),
+            broadcast: HashSet::new(),
+            broadcast_order: Vec::new(),
+            produced: HashMap::new(),
+            total_elements: None,
+        }
+    }
+
+    fn known_type(&self, v: ValueId) -> Option<&SplitInstance> {
+        self.produced.get(&v).or_else(|| self.input_types.get(&v))
+    }
+}
+
+/// Result of attempting to add one node to the stage being built.
+enum AddOutcome {
+    /// The node joined the stage.
+    Added,
+    /// The node's split types are incompatible with the current stage;
+    /// it must start the next stage.
+    Incompatible,
+}
+
+/// Plan the next stage starting at `graph.next_unplanned`.
+///
+/// Returns `None` when there are no pending nodes.
+pub fn plan_next_stage(graph: &DataflowGraph, config: &Config) -> Result<Option<StagePlan>> {
+    if graph.fully_executed() {
+        return Ok(None);
+    }
+    let mut b = StageBuilder::new();
+    let mut cursor = graph.next_unplanned;
+    while cursor < graph.nodes.len() {
+        let node_id = NodeId(cursor as u32);
+        match try_add(graph, &mut b, node_id)? {
+            AddOutcome::Added => {
+                cursor += 1;
+                if !config.pipeline {
+                    break; // "-pipe" ablation: one function per stage.
+                }
+            }
+            AddOutcome::Incompatible => {
+                if b.nodes.is_empty() {
+                    // A single node must always be schedulable by itself;
+                    // reaching this indicates a broken annotation.
+                    return Err(Error::Pedantic(format!(
+                        "node {} cannot be scheduled even in a fresh stage",
+                        graph.nodes[cursor].annot.name
+                    )));
+                }
+                break;
+            }
+        }
+    }
+    Ok(Some(finish_stage(graph, b)))
+}
+
+/// Attempt to add `node_id` to the stage; on success, commits the node's
+/// argument and output types to the builder.
+fn try_add(graph: &DataflowGraph, b: &mut StageBuilder, node_id: NodeId) -> Result<AddOutcome> {
+    let node = &graph.nodes[node_id.0 as usize];
+    let annot = &node.annot;
+
+    let mut bindings: HashMap<GenericId, SplitInstance> = HashMap::new();
+
+    // Pass 1: bind generics from types already flowing into this node.
+    for (i, spec) in annot.args.iter().enumerate() {
+        if let SplitTypeExpr::Generic(g) = &spec.ty {
+            let vid = node.args[i];
+            if let Some(t) = b.known_type(vid) {
+                if t.terminal() {
+                    // Partial results (reductions) must merge first.
+                    return Ok(AddOutcome::Incompatible);
+                }
+                match bindings.get(g) {
+                    None => {
+                        bindings.insert(*g, t.clone());
+                    }
+                    Some(existing) if existing.same_type(t) => {}
+                    Some(_) => return Ok(AddOutcome::Incompatible),
+                }
+            }
+        }
+    }
+
+    // Pass 2: resolve every argument, staging changes so an incompatible
+    // node leaves the builder untouched.
+    let mut new_inputs: Vec<(ValueId, SplitInstance)> = Vec::new();
+    let mut new_broadcast: Vec<ValueId> = Vec::new();
+    let mut arg_instances: Vec<Option<SplitInstance>> = Vec::with_capacity(annot.args.len());
+
+    // Classify a value use against the current stage + staged changes.
+    let check_use = |b: &StageBuilder,
+                         new_inputs: &mut Vec<(ValueId, SplitInstance)>,
+                         vid: ValueId,
+                         required: &SplitInstance|
+     -> Result<bool> {
+        if let Some(t) = b.known_type(vid) {
+            // Partial results (reductions) must merge before use.
+            return Ok(!t.terminal() && t.same_type(required));
+        }
+        if let Some((_, t)) = new_inputs.iter().find(|(v, _)| *v == vid) {
+            return Ok(t.same_type(required));
+        }
+        if b.broadcast.contains(&vid) {
+            // Used both whole and split within one stage: not pipelinable.
+            return Ok(false);
+        }
+        // A fresh stage input must be materialized.
+        if graph.value_data(vid).is_none() {
+            return Ok(false);
+        }
+        new_inputs.push((vid, required.clone()));
+        Ok(true)
+    };
+
+    for (i, spec) in annot.args.iter().enumerate() {
+        let vid = node.args[i];
+        match &spec.ty {
+            SplitTypeExpr::Missing => {
+                if b.produced.contains_key(&vid) {
+                    // Produced inside the stage but needed whole: the
+                    // producer must merge first.
+                    return Ok(AddOutcome::Incompatible);
+                }
+                if b.input_types.contains_key(&vid)
+                    || new_inputs.iter().any(|(v, _)| *v == vid)
+                {
+                    // Split for another function but needed whole here.
+                    return Ok(AddOutcome::Incompatible);
+                }
+                if graph.value_data(vid).is_none() {
+                    return Ok(AddOutcome::Incompatible);
+                }
+                if !b.broadcast.contains(&vid) && !new_broadcast.contains(&vid) {
+                    new_broadcast.push(vid);
+                }
+                arg_instances.push(None);
+            }
+            SplitTypeExpr::Concrete { splitter, ctor_args } => {
+                let inst = match construct_instance(graph, node.args.as_slice(), splitter, ctor_args)? {
+                    Some(i) => i,
+                    None => return Ok(AddOutcome::Incompatible),
+                };
+                if !check_use(b, &mut new_inputs, vid, &inst)? {
+                    return Ok(AddOutcome::Incompatible);
+                }
+                arg_instances.push(Some(inst));
+            }
+            SplitTypeExpr::Generic(g) => {
+                let inst = match bindings.get(g) {
+                    Some(t) => t.clone(),
+                    None => {
+                        // Unbound generic: default split for the data type
+                        // (§5.1). The value must be materialized.
+                        let data = match graph.value_data(vid) {
+                            Some(d) => d.clone(),
+                            None => return Ok(AddOutcome::Incompatible),
+                        };
+                        let t = default_instance_for(&data)?;
+                        bindings.insert(*g, t.clone());
+                        t
+                    }
+                };
+                if !check_use(b, &mut new_inputs, vid, &inst)? {
+                    return Ok(AddOutcome::Incompatible);
+                }
+                arg_instances.push(Some(inst));
+            }
+            SplitTypeExpr::Unknown { .. } => {
+                return Err(Error::Pedantic(format!(
+                    "{}: `unknown` is only valid in return position",
+                    annot.name
+                )));
+            }
+        }
+    }
+
+    // Resolve the return type.
+    let ret_instance = match (&annot.ret, node.ret) {
+        (Some(expr), Some(_)) => Some(match expr {
+            SplitTypeExpr::Concrete { splitter, ctor_args } => {
+                match construct_instance(graph, node.args.as_slice(), splitter, ctor_args)? {
+                    Some(i) => i,
+                    None => return Ok(AddOutcome::Incompatible),
+                }
+            }
+            SplitTypeExpr::Generic(g) => match bindings.get(g) {
+                Some(t) => t.clone(),
+                None => {
+                    return Err(Error::Pedantic(format!(
+                        "{}: return generic S{g} is not bound by any argument",
+                        annot.name
+                    )))
+                }
+            },
+            SplitTypeExpr::Unknown { merger } => SplitInstance::fresh_unknown(merger.clone()),
+            SplitTypeExpr::Missing => {
+                return Err(Error::Pedantic(format!(
+                    "{}: return value cannot have the missing split type",
+                    annot.name
+                )))
+            }
+        }),
+        (None, None) => None,
+        _ => {
+            return Err(Error::Pedantic(format!(
+                "{}: annotation and node disagree on return value",
+                annot.name
+            )))
+        }
+    };
+
+    // All split inputs of a stage must agree on the number of elements;
+    // otherwise their split functions would produce different numbers of
+    // splits (§3.4) and the pipeline would be ill-formed.
+    let mut total = b.total_elements;
+    for (vid, inst) in &new_inputs {
+        let data = match graph.captured_data(*vid) {
+            Some(d) => d,
+            None => return Ok(AddOutcome::Incompatible),
+        };
+        let info = inst.splitter.info(data, &inst.params)?;
+        match total {
+            None => total = Some(info.total_elements),
+            Some(t) if t == info.total_elements => {}
+            Some(_) => return Ok(AddOutcome::Incompatible),
+        }
+    }
+
+    // Commit.
+    b.total_elements = total;
+    for (vid, inst) in new_inputs {
+        b.input_types.insert(vid, inst);
+        b.input_order.push(vid);
+    }
+    for vid in new_broadcast {
+        b.broadcast.insert(vid);
+        b.broadcast_order.push(vid);
+    }
+    for (i, inst) in arg_instances.iter().enumerate() {
+        if let (Some(mv), Some(inst)) = (node.mut_out[i], inst) {
+            b.produced.insert(mv, inst.clone());
+        }
+    }
+    if let (Some(rv), Some(inst)) = (node.ret, ret_instance) {
+        b.produced.insert(rv, inst);
+    }
+    b.nodes.push(node_id);
+    b.node_set.insert(node_id);
+    Ok(AddOutcome::Added)
+}
+
+/// Evaluate a split type constructor against materialized argument data.
+///
+/// Returns `Ok(None)` when a constructor argument is not yet materialized
+/// (the node must wait for the next stage).
+fn construct_instance(
+    graph: &DataflowGraph,
+    node_args: &[ValueId],
+    splitter: &std::sync::Arc<dyn crate::split::Splitter>,
+    ctor_args: &[usize],
+) -> Result<Option<SplitInstance>> {
+    let mut datas: Vec<DataValue> = Vec::with_capacity(ctor_args.len());
+    for &idx in ctor_args {
+        let vid = node_args.get(idx).copied().ok_or_else(|| Error::Constructor {
+            split_type: splitter.name(),
+            message: format!("constructor references argument {idx} beyond arity"),
+        })?;
+        match graph.captured_data(vid) {
+            Some(d) => datas.push(d.clone()),
+            None => return Ok(None),
+        }
+    }
+    let refs: Vec<&DataValue> = datas.iter().collect();
+    let params = splitter.construct(&refs)?;
+    Ok(Some(SplitInstance::new(splitter.clone(), params)))
+}
+
+/// Close the stage: compute its outputs and their merge plans.
+fn finish_stage(graph: &DataflowGraph, b: StageBuilder) -> StagePlan {
+    let mut outputs = Vec::new();
+    for &node_id in &b.nodes {
+        let node = &graph.nodes[node_id.0 as usize];
+        for mv in node.mut_out.iter().flatten() {
+            if let Some(inst) = b.produced.get(mv) {
+                outputs.push(StageOutput {
+                    value: *mv,
+                    instance: inst.clone(),
+                    kind: OutputKind::InPlace,
+                });
+            }
+        }
+        if let Some(rv) = node.ret {
+            let inst = b.produced.get(&rv).expect("ret type was committed").clone();
+            let entry = &graph.values[rv.0 as usize];
+            let consumed_later = entry
+                .consumers
+                .iter()
+                .any(|c| !b.node_set.contains(c) && !graph.nodes[c.0 as usize].executed);
+            let user_visible = entry
+                .user_token
+                .as_ref()
+                .map(|w| w.strong_count() > 0)
+                .unwrap_or(false);
+            let kind = if consumed_later || user_visible {
+                OutputKind::Merge
+            } else {
+                OutputKind::Discard
+            };
+            outputs.push(StageOutput { value: rv, instance: inst, kind });
+        }
+    }
+    StagePlan {
+        nodes: b.nodes,
+        inputs: b.input_order
+            .iter()
+            .map(|v| (*v, b.input_types[v].clone()))
+            .collect(),
+        broadcast: b.broadcast_order,
+        outputs,
+    }
+}

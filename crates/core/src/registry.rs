@@ -1,0 +1,75 @@
+//! Default split type registry (§5.1).
+//!
+//! When type inference cannot resolve a generic split type (e.g. every
+//! function in a pipeline is generic), Mozart "falls back to a default
+//! for the data type: annotators provide a default split type constructor
+//! per data type". Integration crates register their defaults here.
+
+use std::any::TypeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Error, Result};
+use crate::split::{SplitInstance, Splitter};
+use crate::value::{DataObject, DataValue};
+
+static REGISTRY: RwLock<Option<HashMap<TypeId, Arc<dyn Splitter>>>> = RwLock::new(None);
+
+/// Register `splitter` as the default split type for data type `T`.
+///
+/// Later registrations for the same type replace earlier ones (so tests
+/// can override defaults).
+pub fn register_default_splitter<T: DataObject>(splitter: Arc<dyn Splitter>) {
+    let mut guard = REGISTRY.write();
+    guard
+        .get_or_insert_with(HashMap::new)
+        .insert(TypeId::of::<T>(), splitter);
+}
+
+/// Look up the default splitter for a value's concrete type.
+pub fn default_splitter_for(value: &DataValue) -> Option<Arc<dyn Splitter>> {
+    let type_id = match value {
+        DataValue::Data(d) => d.as_any().type_id(),
+        DataValue::Lazy { .. } => return None,
+    };
+    REGISTRY.read().as_ref()?.get(&type_id).cloned()
+}
+
+/// Build the default split instance for a value, constructing the
+/// splitter's parameters directly from the value.
+pub fn default_instance_for(value: &DataValue) -> Result<SplitInstance> {
+    let splitter = default_splitter_for(value).ok_or(Error::NoDefaultSplit {
+        type_name: value.type_name(),
+    })?;
+    let params = splitter.default_params(value)?;
+    Ok(SplitInstance::new(splitter, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::SizeSplit;
+    use crate::value::IntValue;
+
+    #[test]
+    fn register_and_lookup_default() {
+        register_default_splitter::<IntValue>(Arc::new(SizeSplit));
+        let v = DataValue::new(IntValue(12));
+        let inst = default_instance_for(&v).unwrap();
+        assert_eq!(inst.splitter.name(), "SizeSplit");
+        assert_eq!(inst.params, vec![12]);
+    }
+
+    #[test]
+    fn missing_default_is_an_error() {
+        let v = DataValue::new(crate::value::BoolValue(true));
+        match default_instance_for(&v) {
+            Err(Error::NoDefaultSplit { type_name }) => {
+                assert_eq!(type_name, "BoolValue")
+            }
+            other => panic!("expected NoDefaultSplit, got {other:?}"),
+        }
+    }
+}

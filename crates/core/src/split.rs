@@ -1,0 +1,256 @@
+//! Split types and the splitting API (§3 of the paper).
+//!
+//! A *split type* is a parameterized (dependent) type `N<V0..Vn>`: two
+//! split types are equal iff their names and parameter values are equal.
+//! Annotators implement the splitting API — constructor, `split`, `merge`
+//! and `info` (Table 1) — once per split type, and the runtime uses split
+//! type equality to decide which functions may be pipelined.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::value::{DataValue, IntValue};
+
+/// Parameter values of a split type instance.
+///
+/// The paper models parameters as integers (array lengths, matrix
+/// dimensions, axes); we do the same.
+pub type Params = Vec<i64>;
+
+/// Information a split type relays to the runtime so it can choose batch
+/// sizes (§5.2 step 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeInfo {
+    /// Total number of splittable elements the argument will produce
+    /// (array elements, matrix rows, DataFrame rows, ...).
+    pub total_elements: u64,
+    /// Size of one element in bytes; used in the batch-size heuristic
+    /// `batch = C * L2 / Σ sizeof(element)`. Zero for arguments that do
+    /// not contribute to cache pressure (e.g. a split size scalar).
+    pub elem_size_bytes: u64,
+}
+
+/// The splitting API an annotator implements per split type (Table 1).
+///
+/// All methods receive the instance's `params` (produced by
+/// [`Splitter::construct`]) so one implementation can serve every
+/// instance of the type.
+pub trait Splitter: Send + Sync + 'static {
+    /// The split type's name `N`. Equality of split types compares names
+    /// and parameters.
+    fn name(&self) -> &'static str;
+
+    /// The constructor `A0..An => V0..Vn`: map the designated function
+    /// arguments to this type's parameter values. Must not modify its
+    /// arguments.
+    fn construct(&self, ctor_args: &[&DataValue]) -> Result<Params>;
+
+    /// Derive default parameters directly from a value, used when type
+    /// inference cannot resolve a generic and the runtime falls back to
+    /// the data type's default split (§5.1).
+    fn default_params(&self, arg: &DataValue) -> Result<Params> {
+        self.construct(&[arg])
+    }
+
+    /// Runtime info for batch sizing. `arg` is the full (unsplit) value.
+    fn info(&self, arg: &DataValue, params: &Params) -> Result<RuntimeInfo>;
+
+    /// Produce the piece covering elements `[range.start, range.end)` of
+    /// `arg`. Returning `Ok(None)` terminates the driver loop for this
+    /// worker (the paper's `NULL` return).
+    fn split(&self, arg: &DataValue, range: Range<u64>, params: &Params)
+        -> Result<Option<DataValue>>;
+
+    /// Associatively merge pieces back into a full value. Pieces arrive
+    /// in element order (workers own contiguous ranges; batches are
+    /// processed in order within a worker).
+    fn merge(&self, pieces: Vec<DataValue>, params: &Params) -> Result<DataValue>;
+
+    /// Whether function results carrying this split type must be merged.
+    /// `false` for in-place views whose writes land directly in the
+    /// parent buffer (the MKL convention).
+    fn needs_merge(&self) -> bool {
+        true
+    }
+
+    /// Whether pieces of this split type are *partial results* rather
+    /// than a partition of the final value (reductions, grouped
+    /// aggregations). Terminal values must be merged before any other
+    /// function consumes them, so they always end their stage.
+    fn terminal(&self) -> bool {
+        false
+    }
+}
+
+/// A fully-applied split type: implementation + concrete parameters.
+///
+/// `unique` is `Some` for the `unknown` split type, which the paper
+/// defines as "a unique split type" — every occurrence is distinct, so
+/// two unknown values never type-check as pipelinable with each other,
+/// while a single unknown value can still flow into generic arguments.
+#[derive(Clone)]
+pub struct SplitInstance {
+    /// The splitting API implementation.
+    pub splitter: Arc<dyn Splitter>,
+    /// Concrete parameter values (empty for `unknown`).
+    pub params: Params,
+    /// Uniqueness token for `unknown` instances.
+    pub unique: Option<u64>,
+}
+
+static UNKNOWN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl SplitInstance {
+    /// A concrete instance of `splitter` with `params`.
+    pub fn new(splitter: Arc<dyn Splitter>, params: Params) -> Self {
+        SplitInstance { splitter, params, unique: None }
+    }
+
+    /// A fresh `unknown` instance whose merges are delegated to `merger`.
+    pub fn fresh_unknown(merger: Arc<dyn Splitter>) -> Self {
+        SplitInstance {
+            splitter: merger,
+            params: Params::new(),
+            unique: Some(UNKNOWN_COUNTER.fetch_add(1, Ordering::Relaxed)),
+        }
+    }
+
+    /// Whether this is an `unknown` instance.
+    pub fn is_unknown(&self) -> bool {
+        self.unique.is_some()
+    }
+
+    /// Whether this instance's pieces are partial results that must be
+    /// merged before further consumption (see [`Splitter::terminal`]).
+    pub fn terminal(&self) -> bool {
+        self.splitter.terminal()
+    }
+
+    /// Split type equality: same name, same parameters, same uniqueness
+    /// token (§3.2).
+    pub fn same_type(&self, other: &SplitInstance) -> bool {
+        self.unique == other.unique
+            && self.splitter.name() == other.splitter.name()
+            && self.params == other.params
+    }
+}
+
+impl std::fmt::Debug for SplitInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.unique {
+            Some(u) => write!(f, "unknown#{u}"),
+            None => write!(f, "{}{:?}", self.splitter.name(), self.params),
+        }
+    }
+}
+
+/// The paper's `SizeSplit` (§2.1, Listing 2): splits an integer length
+/// argument so that each piece carries the length of the corresponding
+/// array piece. Parameter: the total size.
+pub struct SizeSplit;
+
+impl Splitter for SizeSplit {
+    fn name(&self) -> &'static str {
+        "SizeSplit"
+    }
+
+    fn construct(&self, ctor_args: &[&DataValue]) -> Result<Params> {
+        let v = ctor_args.first().and_then(|v| crate::value::as_i64(v)).ok_or_else(|| {
+            Error::Constructor {
+                split_type: "SizeSplit",
+                message: "expected one integer argument".into(),
+            }
+        })?;
+        Ok(vec![v])
+    }
+
+    fn info(&self, _arg: &DataValue, params: &Params) -> Result<RuntimeInfo> {
+        Ok(RuntimeInfo {
+            total_elements: params.first().copied().unwrap_or(0).max(0) as u64,
+            elem_size_bytes: 0,
+        })
+    }
+
+    fn split(
+        &self,
+        _arg: &DataValue,
+        range: Range<u64>,
+        params: &Params,
+    ) -> Result<Option<DataValue>> {
+        let total = params.first().copied().unwrap_or(0).max(0) as u64;
+        if range.start >= total {
+            return Ok(None);
+        }
+        let end = range.end.min(total);
+        Ok(Some(DataValue::new(IntValue((end - range.start) as i64))))
+    }
+
+    fn merge(&self, _pieces: Vec<DataValue>, params: &Params) -> Result<DataValue> {
+        // The merged size is just the original total.
+        Ok(DataValue::new(IntValue(params.first().copied().unwrap_or(0))))
+    }
+
+    fn needs_merge(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size_instance(n: i64) -> SplitInstance {
+        SplitInstance::new(Arc::new(SizeSplit), vec![n])
+    }
+
+    #[test]
+    fn size_split_pieces_carry_chunk_lengths() {
+        let s = SizeSplit;
+        let arg = DataValue::new(IntValue(10));
+        let params = s.construct(&[&arg]).unwrap();
+        assert_eq!(params, vec![10]);
+        let info = s.info(&arg, &params).unwrap();
+        assert_eq!(info.total_elements, 10);
+        assert_eq!(info.elem_size_bytes, 0);
+
+        let p = s.split(&arg, 0..4, &params).unwrap().unwrap();
+        assert_eq!(p.downcast_ref::<IntValue>().unwrap().0, 4);
+        // Clamped final chunk.
+        let p = s.split(&arg, 8..12, &params).unwrap().unwrap();
+        assert_eq!(p.downcast_ref::<IntValue>().unwrap().0, 2);
+        // Past the end terminates the driver loop.
+        assert!(s.split(&arg, 10..14, &params).unwrap().is_none());
+    }
+
+    #[test]
+    fn instance_equality_is_name_and_params() {
+        let a = size_instance(10);
+        let b = size_instance(10);
+        let c = size_instance(20);
+        assert!(a.same_type(&b));
+        assert!(!a.same_type(&c));
+    }
+
+    #[test]
+    fn unknown_instances_are_unique() {
+        let m: Arc<dyn Splitter> = Arc::new(SizeSplit);
+        let a = SplitInstance::fresh_unknown(m.clone());
+        let b = SplitInstance::fresh_unknown(m.clone());
+        assert!(a.is_unknown());
+        assert!(a.same_type(&a.clone()));
+        assert!(!a.same_type(&b));
+        // An unknown never equals a concrete instance of the same splitter.
+        let c = SplitInstance::new(m, vec![]);
+        assert!(!a.same_type(&c));
+    }
+
+    #[test]
+    fn constructor_rejects_wrong_argument() {
+        let s = SizeSplit;
+        let arg = DataValue::new(crate::value::FloatValue(1.0));
+        assert!(s.construct(&[&arg]).is_err());
+        assert!(s.construct(&[]).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-phase timing statistics, used to regenerate Figure 5 (system
+//! overhead breakdown) of the paper.
+
+use std::time::Duration;
+
+/// Cumulative wall-clock time spent in each runtime phase.
+///
+/// Matches the phases reported in the paper's Figure 5: client library
+/// (task registration), unprotect (clearing lazy-evaluation protection),
+/// planner, split, task execution, and merge. Worker-parallel phases
+/// (split/task/merge) report the *maximum* across workers per stage,
+/// summed over stages, so the total approximates elapsed time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Registering calls with the dataflow graph.
+    pub client: Duration,
+    /// Clearing protection flags at evaluation start.
+    pub unprotect: Duration,
+    /// Converting the dataflow graph into stages.
+    pub planner: Duration,
+    /// Running split functions.
+    pub split: Duration,
+    /// Running the library functions themselves.
+    pub task: Duration,
+    /// Running merge functions (worker-local and final).
+    pub merge: Duration,
+    /// Number of stages executed.
+    pub stages: u64,
+    /// Number of batches processed (summed over workers).
+    pub batches: u64,
+    /// Number of library function invocations (per piece).
+    pub calls: u64,
+}
+
+impl PhaseStats {
+    /// Total accounted time.
+    pub fn total(&self) -> Duration {
+        self.client + self.unprotect + self.planner + self.split + self.task + self.merge
+    }
+
+    /// Merge another stats block into this one.
+    pub fn accumulate(&mut self, other: &PhaseStats) {
+        self.client += other.client;
+        self.unprotect += other.unprotect;
+        self.planner += other.planner;
+        self.split += other.split;
+        self.task += other.task;
+        self.merge += other.merge;
+        self.stages += other.stages;
+        self.batches += other.batches;
+        self.calls += other.calls;
+    }
+
+    /// Percentage breakdown `(client, unprotect, planner, split, task,
+    /// merge)` of the accounted total, for Figure 5-style reporting.
+    pub fn percentages(&self) -> [f64; 6] {
+        let t = self.total().as_secs_f64();
+        if t == 0.0 {
+            return [0.0; 6];
+        }
+        [
+            self.client.as_secs_f64() / t * 100.0,
+            self.unprotect.as_secs_f64() / t * 100.0,
+            self.planner.as_secs_f64() / t * 100.0,
+            self.split.as_secs_f64() / t * 100.0,
+            self.task.as_secs_f64() / t * 100.0,
+            self.merge.as_secs_f64() / t * 100.0,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = PhaseStats { client: Duration::from_millis(1), stages: 1, ..Default::default() };
+        let b = PhaseStats {
+            client: Duration::from_millis(2),
+            task: Duration::from_millis(10),
+            stages: 2,
+            calls: 5,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.client, Duration::from_millis(3));
+        assert_eq!(a.task, Duration::from_millis(10));
+        assert_eq!(a.stages, 3);
+        assert_eq!(a.calls, 5);
+        assert_eq!(a.total(), Duration::from_millis(13));
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let s = PhaseStats {
+            client: Duration::from_millis(10),
+            unprotect: Duration::from_millis(10),
+            planner: Duration::from_millis(20),
+            split: Duration::from_millis(20),
+            task: Duration::from_millis(30),
+            merge: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let p = s.percentages();
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9, "sum was {sum}");
+        assert!((p[4] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_percentages() {
+        assert_eq!(PhaseStats::default().percentages(), [0.0; 6]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Typed columns with zero-copy row slicing.
+//!
+//! A [`Column`] is the storage unit of the DataFrame library (the
+//! reproduction's `pandas.Series` values). Storage is shared (`Arc`) and
+//! row ranges are views, so the row-based split type the annotator
+//! writes for Mozart is zero-copy, like `df.iloc[a:b]` on a contiguous
+//! frame.
+//!
+//! Missing data follows the Pandas convention: `f64` columns use NaN as
+//! the null sentinel (integer and string columns are null-free; casting
+//! with [`Column::to_f64`]-style parsers introduces NaN).
+
+use std::sync::Arc;
+
+/// Shared storage for one column's values plus a row-range view.
+#[derive(Clone, Debug)]
+pub struct ColData<T> {
+    data: Arc<Vec<T>>,
+    start: usize,
+    len: usize,
+}
+
+impl<T: Clone> ColData<T> {
+    /// Take ownership of values.
+    pub fn new(v: Vec<T>) -> Self {
+        let len = v.len();
+        ColData { data: Arc::new(v), start: 0, len }
+    }
+
+    /// Number of rows in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The viewed values.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data[self.start..self.start + self.len]
+    }
+
+    /// Zero-copy sub-view of rows `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the view.
+    pub fn slice(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.len, "column slice out of bounds");
+        ColData { data: Arc::clone(&self.data), start: self.start + start, len: end - start }
+    }
+
+    /// Copy the rows selected by a boolean mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length differs.
+    pub fn filter(&self, mask: &[bool]) -> Self {
+        assert_eq!(mask.len(), self.len, "mask length mismatch");
+        let out: Vec<T> = self
+            .as_slice()
+            .iter()
+            .zip(mask)
+            .filter(|(_, keep)| **keep)
+            .map(|(v, _)| v.clone())
+            .collect();
+        ColData::new(out)
+    }
+
+    /// Copy rows at the given indices (used by joins).
+    pub fn take(&self, idx: &[usize]) -> Self {
+        let s = self.as_slice();
+        ColData::new(idx.iter().map(|&i| s[i].clone()).collect())
+    }
+}
+
+/// A typed column of row values.
+#[derive(Clone, Debug)]
+pub enum Column {
+    /// 64-bit integers (null-free).
+    I64(ColData<i64>),
+    /// 64-bit floats; NaN is the null sentinel.
+    F64(ColData<f64>),
+    /// UTF-8 strings (null-free).
+    Str(ColData<String>),
+    /// Booleans (null-free).
+    Bool(ColData<bool>),
+}
+
+impl Column {
+    /// Integer column from values.
+    pub fn from_i64(v: Vec<i64>) -> Self {
+        Column::I64(ColData::new(v))
+    }
+    /// Float column from values.
+    pub fn from_f64(v: Vec<f64>) -> Self {
+        Column::F64(ColData::new(v))
+    }
+    /// String column from values.
+    pub fn from_str(v: Vec<String>) -> Self {
+        Column::Str(ColData::new(v))
+    }
+    /// String column from `&str` values.
+    pub fn from_strs(v: &[&str]) -> Self {
+        Column::Str(ColData::new(v.iter().map(|s| s.to_string()).collect()))
+    }
+    /// Boolean column from values.
+    pub fn from_bool(v: Vec<bool>) -> Self {
+        Column::Bool(ColData::new(v))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I64(c) => c.len(),
+            Column::F64(c) => c.len(),
+            Column::Str(c) => c.len(),
+            Column::Bool(c) => c.len(),
+        }
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short name of the column's data type.
+    pub fn dtype(&self) -> &'static str {
+        match self {
+            Column::I64(_) => "i64",
+            Column::F64(_) => "f64",
+            Column::Str(_) => "str",
+            Column::Bool(_) => "bool",
+        }
+    }
+
+    /// Zero-copy view of rows `[start, end)`.
+    pub fn slice(&self, start: usize, end: usize) -> Column {
+        match self {
+            Column::I64(c) => Column::I64(c.slice(start, end)),
+            Column::F64(c) => Column::F64(c.slice(start, end)),
+            Column::Str(c) => Column::Str(c.slice(start, end)),
+            Column::Bool(c) => Column::Bool(c.slice(start, end)),
+        }
+    }
+
+    /// Copy rows selected by a boolean mask.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        match self {
+            Column::I64(c) => Column::I64(c.filter(mask)),
+            Column::F64(c) => Column::F64(c.filter(mask)),
+            Column::Str(c) => Column::Str(c.filter(mask)),
+            Column::Bool(c) => Column::Bool(c.filter(mask)),
+        }
+    }
+
+    /// Copy rows at the given indices.
+    pub fn take(&self, idx: &[usize]) -> Column {
+        match self {
+            Column::I64(c) => Column::I64(c.take(idx)),
+            Column::F64(c) => Column::F64(c.take(idx)),
+            Column::Str(c) => Column::Str(c.take(idx)),
+            Column::Bool(c) => Column::Bool(c.take(idx)),
+        }
+    }
+
+    /// Concatenate columns of the same type.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or mixed types.
+    pub fn concat(parts: &[Column]) -> Column {
+        assert!(!parts.is_empty(), "concat of zero columns");
+        match &parts[0] {
+            Column::I64(_) => {
+                let mut out = Vec::new();
+                for p in parts {
+                    match p {
+                        Column::I64(c) => out.extend_from_slice(c.as_slice()),
+                        other => panic!("concat: mixed types i64 vs {}", other.dtype()),
+                    }
+                }
+                Column::from_i64(out)
+            }
+            Column::F64(_) => {
+                let mut out = Vec::new();
+                for p in parts {
+                    match p {
+                        Column::F64(c) => out.extend_from_slice(c.as_slice()),
+                        other => panic!("concat: mixed types f64 vs {}", other.dtype()),
+                    }
+                }
+                Column::from_f64(out)
+            }
+            Column::Str(c0) => {
+                let mut out: Vec<String> = Vec::with_capacity(c0.len());
+                for p in parts {
+                    match p {
+                        Column::Str(c) => out.extend(c.as_slice().iter().cloned()),
+                        other => panic!("concat: mixed types str vs {}", other.dtype()),
+                    }
+                }
+                Column::from_str(out)
+            }
+            Column::Bool(_) => {
+                let mut out = Vec::new();
+                for p in parts {
+                    match p {
+                        Column::Bool(c) => out.extend_from_slice(c.as_slice()),
+                        other => panic!("concat: mixed types bool vs {}", other.dtype()),
+                    }
+                }
+                Column::from_bool(out)
+            }
+        }
+    }
+
+    /// Borrow as `i64` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is not `i64`.
+    pub fn i64s(&self) -> &[i64] {
+        match self {
+            Column::I64(c) => c.as_slice(),
+            other => panic!("expected i64 column, got {}", other.dtype()),
+        }
+    }
+
+    /// Borrow as `f64` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is not `f64`.
+    pub fn f64s(&self) -> &[f64] {
+        match self {
+            Column::F64(c) => c.as_slice(),
+            other => panic!("expected f64 column, got {}", other.dtype()),
+        }
+    }
+
+    /// Borrow as strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is not `str`.
+    pub fn strs(&self) -> &[String] {
+        match self {
+            Column::Str(c) => c.as_slice(),
+            other => panic!("expected str column, got {}", other.dtype()),
+        }
+    }
+
+    /// Borrow as booleans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is not `bool`.
+    pub fn bools(&self) -> &[bool] {
+        match self {
+            Column::Bool(c) => c.as_slice(),
+            other => panic!("expected bool column, got {}", other.dtype()),
+        }
+    }
+
+    /// Cast to `f64` (integers cast exactly; strings parse with NaN on
+    /// failure; booleans become 0.0/1.0; floats are returned as-is).
+    pub fn to_f64(&self) -> Column {
+        match self {
+            Column::F64(_) => self.clone(),
+            Column::I64(c) => {
+                Column::from_f64(c.as_slice().iter().map(|&v| v as f64).collect())
+            }
+            Column::Str(c) => Column::from_f64(
+                c.as_slice()
+                    .iter()
+                    .map(|s| s.trim().parse::<f64>().unwrap_or(f64::NAN))
+                    .collect(),
+            ),
+            Column::Bool(c) => Column::from_f64(
+                c.as_slice().iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slicing_is_zero_copy_and_nested() {
+        let c = Column::from_i64((0..10).collect());
+        let v = c.slice(2, 8);
+        assert_eq!(v.i64s(), &[2, 3, 4, 5, 6, 7]);
+        let vv = v.slice(1, 3);
+        assert_eq!(vv.i64s(), &[3, 4]);
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let c = Column::from_strs(&["a", "b", "c", "d"]);
+        let f = c.filter(&[true, false, false, true]);
+        assert_eq!(f.strs(), &["a".to_string(), "d".to_string()]);
+        let t = c.take(&[3, 0, 0]);
+        assert_eq!(t.strs(), &["d".to_string(), "a".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn concat_roundtrips_slices() {
+        let c = Column::from_f64((0..6).map(|i| i as f64).collect());
+        let merged = Column::concat(&[c.slice(0, 2), c.slice(2, 5), c.slice(5, 6)]);
+        assert_eq!(merged.f64s(), c.f64s());
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed types")]
+    fn concat_rejects_mixed_types() {
+        Column::concat(&[Column::from_i64(vec![1]), Column::from_f64(vec![1.0])]);
+    }
+
+    #[test]
+    fn casting() {
+        let c = Column::from_strs(&["1.5", "x", " 2 "]);
+        let f = c.to_f64();
+        let v = f.f64s();
+        assert_eq!(v[0], 1.5);
+        assert!(v[1].is_nan());
+        assert_eq!(v[2], 2.0);
+        assert_eq!(Column::from_i64(vec![3]).to_f64().f64s(), &[3.0]);
+        assert_eq!(Column::from_bool(vec![true, false]).to_f64().f64s(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected i64 column")]
+    fn typed_access_checks() {
+        Column::from_f64(vec![1.0]).i64s();
+    }
+}

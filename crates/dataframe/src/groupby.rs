@@ -1,0 +1,397 @@
+//! Hash-based groupBy with commutative aggregations.
+//!
+//! The paper's Pandas integration supports groupBys through a dedicated
+//! `GroupSplit` split type: chunks of a frame are grouped into *partial
+//! aggregations*, and the merger re-groups and re-aggregates them (§7).
+//! That strategy only works for commutative, re-aggregatable functions,
+//! so each [`Agg`] here defines both its direct form and its
+//! partial/re-aggregation form (`Mean` becomes sum+count partials).
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::frame::DataFrame;
+
+/// A group key part; float keys are disallowed (NaN breaks hashing),
+/// matching Pandas' practical guidance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeyPart {
+    /// Integer key component.
+    I64(i64),
+    /// String key component.
+    Str(String),
+    /// Boolean key component.
+    Bool(bool),
+}
+
+/// Aggregation functions supported under splitting (all commutative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Sum of an `f64` column (NaN-skipping).
+    Sum,
+    /// Count of non-null values.
+    Count,
+    /// Mean (decomposes into sum + count partials).
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// One aggregation request: input column, function, output column name.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// Column to aggregate.
+    pub col: String,
+    /// Aggregation function.
+    pub agg: Agg,
+    /// Name of the output column.
+    pub out: String,
+}
+
+impl AggSpec {
+    /// Convenience constructor.
+    pub fn new(col: &str, agg: Agg, out: &str) -> Self {
+        AggSpec { col: col.to_string(), agg, out: out.to_string() }
+    }
+}
+
+fn key_column(df: &DataFrame, name: &str) -> Vec<KeyPart> {
+    match df.col(name) {
+        Column::I64(c) => c.as_slice().iter().map(|&v| KeyPart::I64(v)).collect(),
+        Column::Str(c) => c.as_slice().iter().map(|s| KeyPart::Str(s.clone())).collect(),
+        Column::Bool(c) => c.as_slice().iter().map(|&b| KeyPart::Bool(b)).collect(),
+        Column::F64(_) => panic!("cannot group by float column {name}"),
+    }
+}
+
+/// Row keys for the given key columns.
+fn row_keys(df: &DataFrame, keys: &[&str]) -> Vec<Vec<KeyPart>> {
+    let parts: Vec<Vec<KeyPart>> = keys.iter().map(|k| key_column(df, k)).collect();
+    (0..df.num_rows())
+        .map(|r| parts.iter().map(|p| p[r].clone()).collect())
+        .collect()
+}
+
+/// Running state per (group, aggregation).
+#[derive(Debug, Clone, Copy)]
+struct AccState {
+    sum: f64,
+    count: i64,
+    min: f64,
+    max: f64,
+}
+
+impl AccState {
+    fn new() -> Self {
+        AccState { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+    fn push(&mut self, v: f64) {
+        if !v.is_nan() {
+            self.sum += v;
+            self.count += 1;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+    fn finish(&self, agg: Agg) -> f64 {
+        match agg {
+            Agg::Sum => self.sum,
+            Agg::Count => self.count as f64,
+            Agg::Mean => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+            Agg::Min => self.min,
+            Agg::Max => self.max,
+        }
+    }
+}
+
+fn accumulate(
+    df: &DataFrame,
+    keys: &[&str],
+    specs: &[AggSpec],
+) -> (Vec<Vec<KeyPart>>, HashMap<Vec<KeyPart>, Vec<AccState>>) {
+    let rk = row_keys(df, keys);
+    let cols: Vec<&[f64]> = specs.iter().map(|s| df.col(&s.col).f64s()).collect();
+    let mut table: HashMap<Vec<KeyPart>, Vec<AccState>> = HashMap::new();
+    let mut order: Vec<Vec<KeyPart>> = Vec::new();
+    for (r, key) in rk.into_iter().enumerate() {
+        let entry = table.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            vec![AccState::new(); specs.len()]
+        });
+        for (i, col) in cols.iter().enumerate() {
+            entry[i].push(col[r]);
+        }
+    }
+    (order, table)
+}
+
+fn build_result(
+    df: &DataFrame,
+    keys: &[&str],
+    specs: &[AggSpec],
+    order: Vec<Vec<KeyPart>>,
+    table: HashMap<Vec<KeyPart>, Vec<AccState>>,
+    finish: impl Fn(&AccState, &AggSpec) -> f64,
+) -> DataFrame {
+    let mut key_cols: Vec<Vec<KeyPart>> = vec![Vec::with_capacity(order.len()); keys.len()];
+    let mut agg_cols: Vec<Vec<f64>> = vec![Vec::with_capacity(order.len()); specs.len()];
+    for key in &order {
+        let states = &table[key];
+        for (i, part) in key.iter().enumerate() {
+            key_cols[i].push(part.clone());
+        }
+        for (i, spec) in specs.iter().enumerate() {
+            agg_cols[i].push(finish(&states[i], spec));
+        }
+    }
+    let mut cols: Vec<(String, Column)> = Vec::new();
+    for (i, k) in keys.iter().enumerate() {
+        // Type the key column from the source frame so empty results
+        // (e.g. an all-filtered chunk under split execution) keep the
+        // right dtype for later concatenation.
+        let col = match df.col(k) {
+            Column::I64(_) => Column::from_i64(
+                key_cols[i]
+                    .iter()
+                    .map(|p| match p {
+                        KeyPart::I64(v) => *v,
+                        _ => unreachable!("mixed key types"),
+                    })
+                    .collect(),
+            ),
+            Column::Str(_) => Column::from_str(
+                key_cols[i]
+                    .iter()
+                    .map(|p| match p {
+                        KeyPart::Str(s) => s.clone(),
+                        _ => unreachable!("mixed key types"),
+                    })
+                    .collect(),
+            ),
+            Column::Bool(_) => Column::from_bool(
+                key_cols[i]
+                    .iter()
+                    .map(|p| match p {
+                        KeyPart::Bool(b) => *b,
+                        _ => unreachable!("mixed key types"),
+                    })
+                    .collect(),
+            ),
+            Column::F64(_) => unreachable!("float keys rejected earlier"),
+        };
+        cols.push((k.to_string(), col));
+    }
+    for (i, spec) in specs.iter().enumerate() {
+        cols.push((spec.out.clone(), Column::from_f64(std::mem::take(&mut agg_cols[i]))));
+    }
+    DataFrame::new(cols)
+}
+
+/// Group `df` by the key columns and aggregate (like
+/// `df.groupby(keys).agg(...)` with `as_index=False`).
+///
+/// Output rows appear in first-seen key order. Aggregated columns must
+/// be `f64` (cast first with [`Column::to_f64`]).
+///
+/// # Panics
+///
+/// Panics on missing columns, float keys, or non-`f64` agg inputs.
+pub fn groupby_agg(df: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> DataFrame {
+    let (order, table) = accumulate(df, keys, specs);
+    build_result(df, keys, specs, order, table, |st, spec| st.finish(spec.agg))
+}
+
+/// Partial aggregation for split execution: like [`groupby_agg`] but
+/// `Mean` produces re-aggregatable `sum`/`count` pairs. The output
+/// contains, per spec, the columns the matching [`reaggregate`] expects.
+pub fn partial_groupby_agg(df: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> DataFrame {
+    let expanded = expand_partial_specs(specs);
+    groupby_agg(df, keys, &expanded)
+}
+
+/// Re-aggregate concatenated partial aggregations into final results.
+///
+/// `partials` must have been produced by [`partial_groupby_agg`] with
+/// the same `keys` and `specs`.
+pub fn reaggregate(partials: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> DataFrame {
+    // Combine partial rows per key with the appropriate combiner.
+    let expanded = expand_partial_specs(specs);
+    let combine: Vec<AggSpec> = expanded
+        .iter()
+        .map(|s| {
+            let agg = match s.agg {
+                Agg::Sum | Agg::Mean => Agg::Sum,
+                Agg::Count => Agg::Sum, // counts add up
+                Agg::Min => Agg::Min,
+                Agg::Max => Agg::Max,
+            };
+            AggSpec { col: s.out.clone(), agg, out: s.out.clone() }
+        })
+        .collect();
+    let combined = groupby_agg(partials, keys, &combine);
+    // Post-process: compute means from sum/count and project columns.
+    let mut cols: Vec<(String, Column)> =
+        keys.iter().map(|k| (k.to_string(), combined.col(k).clone())).collect();
+    for spec in specs {
+        match spec.agg {
+            Agg::Mean => {
+                let sums = combined.col(&format!("__{}_sum", spec.out)).f64s();
+                let counts = combined.col(&format!("__{}_count", spec.out)).f64s();
+                let mean: Vec<f64> = sums
+                    .iter()
+                    .zip(counts)
+                    .map(|(s, c)| if *c == 0.0 { f64::NAN } else { s / c })
+                    .collect();
+                cols.push((spec.out.clone(), Column::from_f64(mean)));
+            }
+            _ => cols.push((spec.out.clone(), combined.col(&spec.out).clone())),
+        }
+    }
+    DataFrame::new(cols)
+}
+
+fn expand_partial_specs(specs: &[AggSpec]) -> Vec<AggSpec> {
+    let mut out = Vec::new();
+    for s in specs {
+        match s.agg {
+            Agg::Mean => {
+                out.push(AggSpec::new(&s.col, Agg::Sum, &format!("__{}_sum", s.out)));
+                out.push(AggSpec::new(&s.col, Agg::Count, &format!("__{}_count", s.out)));
+            }
+            _ => out.push(s.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::from_cols(vec![
+            ("sex", Column::from_strs(&["F", "M", "F", "F", "M"])),
+            ("year", Column::from_i64(vec![2000, 2000, 2001, 2000, 2001])),
+            ("births", Column::from_f64(vec![10.0, 20.0, 30.0, 40.0, f64::NAN])),
+        ])
+    }
+
+    #[test]
+    fn single_key_sum_and_count() {
+        let g = groupby_agg(
+            &df(),
+            &["sex"],
+            &[
+                AggSpec::new("births", Agg::Sum, "total"),
+                AggSpec::new("births", Agg::Count, "n"),
+            ],
+        );
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.col("sex").strs(), &["F".to_string(), "M".to_string()]);
+        assert_eq!(g.col("total").f64s(), &[80.0, 20.0]);
+        assert_eq!(g.col("n").f64s(), &[3.0, 1.0]); // NaN skipped
+    }
+
+    #[test]
+    fn multi_key_mean_min_max() {
+        let g = groupby_agg(
+            &df(),
+            &["sex", "year"],
+            &[
+                AggSpec::new("births", Agg::Mean, "avg"),
+                AggSpec::new("births", Agg::Min, "lo"),
+                AggSpec::new("births", Agg::Max, "hi"),
+            ],
+        );
+        let g = g.sort_by("year");
+        assert_eq!(g.num_rows(), 4);
+        // (F, 2000): mean of 10 and 40.
+        let sexes = g.col("sex").strs();
+        let years = g.col("year").i64s();
+        let avgs = g.col("avg").f64s();
+        let i = (0..4).find(|&i| sexes[i] == "F" && years[i] == 2000).unwrap();
+        assert_eq!(avgs[i], 25.0);
+        assert_eq!(g.col("lo").f64s()[i], 10.0);
+        assert_eq!(g.col("hi").f64s()[i], 40.0);
+        // (M, 2001) is all-NaN: mean is NaN.
+        let j = (0..4).find(|&i| sexes[i] == "M" && years[i] == 2001).unwrap();
+        assert!(avgs[j].is_nan());
+    }
+
+    #[test]
+    fn partial_then_reaggregate_equals_direct() {
+        let d = df();
+        let specs = vec![
+            AggSpec::new("births", Agg::Mean, "avg"),
+            AggSpec::new("births", Agg::Sum, "total"),
+            AggSpec::new("births", Agg::Min, "lo"),
+        ];
+        let direct = groupby_agg(&d, &["sex", "year"], &specs).sort_by("year");
+
+        // Split into chunks, partially aggregate, concat, re-aggregate —
+        // exactly what the GroupSplit split type does under Mozart.
+        let p1 = partial_groupby_agg(&d.slice_rows(0, 2), &["sex", "year"], &specs);
+        let p2 = partial_groupby_agg(&d.slice_rows(2, 5), &["sex", "year"], &specs);
+        let merged = reaggregate(&DataFrame::concat(&[p1, p2]), &["sex", "year"], &specs)
+            .sort_by("year");
+
+        assert_eq!(direct.num_rows(), merged.num_rows());
+        for c in ["avg", "total", "lo"] {
+            let a = direct.col(c).f64s();
+            let b = merged.col(c).f64s();
+            for i in 0..a.len() {
+                assert!(
+                    (a[i] == b[i]) || (a[i].is_nan() && b[i].is_nan()),
+                    "{c}[{i}]: {} vs {}",
+                    a[i],
+                    b[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot group by float column")]
+    fn float_keys_rejected() {
+        groupby_agg(&df(), &["births"], &[AggSpec::new("births", Agg::Sum, "s")]);
+    }
+}
+
+#[cfg(test)]
+mod empty_group_tests {
+    use super::*;
+    use crate::column::Column;
+
+    /// Regression: a groupBy over an empty (fully filtered) chunk must
+    /// keep key column dtypes so partial aggregations still concat.
+    #[test]
+    fn empty_input_preserves_key_dtypes() {
+        let df = DataFrame::from_cols(vec![
+            ("sex", Column::from_strs(&[])),
+            ("year", Column::from_i64(vec![])),
+            ("births", Column::from_f64(vec![])),
+        ]);
+        let specs = [AggSpec::new("births", Agg::Sum, "total")];
+        let g = groupby_agg(&df, &["sex", "year"], &specs);
+        assert_eq!(g.num_rows(), 0);
+        assert_eq!(g.col("sex").dtype(), "str");
+        assert_eq!(g.col("year").dtype(), "i64");
+        // Concats with a non-empty partial.
+        let df2 = DataFrame::from_cols(vec![
+            ("sex", Column::from_strs(&["F"])),
+            ("year", Column::from_i64(vec![2000])),
+            ("births", Column::from_f64(vec![3.0])),
+        ]);
+        let g2 = groupby_agg(&df2, &["sex", "year"], &specs);
+        let merged = DataFrame::concat(&[g, g2]);
+        assert_eq!(merged.num_rows(), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Hash joins.
+//!
+//! Under Mozart, joins "split one table and broadcast the other" (§7):
+//! the probe side is row-split, the build side is passed whole (`_`
+//! split type), and the result carries the `unknown` split type because
+//! output cardinality is data-dependent.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::frame::DataFrame;
+use crate::groupby::KeyPart;
+
+fn join_keys(df: &DataFrame, on: &str) -> Vec<KeyPart> {
+    match df.col(on) {
+        Column::I64(c) => c.as_slice().iter().map(|&v| KeyPart::I64(v)).collect(),
+        Column::Str(c) => c.as_slice().iter().map(|s| KeyPart::Str(s.clone())).collect(),
+        Column::Bool(c) => c.as_slice().iter().map(|&b| KeyPart::Bool(b)).collect(),
+        Column::F64(_) => panic!("cannot join on float column {on}"),
+    }
+}
+
+/// Inner hash join of `left` and `right` on the equally-named key
+/// column `on`.
+///
+/// The right side is the build side. Non-key columns appearing in both
+/// frames get `_x` / `_y` suffixes (Pandas convention). Output row
+/// order follows the left (probe) side, so row-splitting the left frame
+/// and concatenating the piecewise results reproduces the unsplit
+/// result exactly — the property the SA exploits.
+///
+/// # Panics
+///
+/// Panics if either frame lacks `on` or the key is a float column.
+pub fn inner_join(left: &DataFrame, right: &DataFrame, on: &str) -> DataFrame {
+    let lk = join_keys(left, on);
+    let rk = join_keys(right, on);
+
+    // Build: key -> right row indices.
+    let mut table: HashMap<&KeyPart, Vec<usize>> = HashMap::new();
+    for (i, k) in rk.iter().enumerate() {
+        table.entry(k).or_default().push(i);
+    }
+
+    // Probe in left order.
+    let mut left_idx: Vec<usize> = Vec::new();
+    let mut right_idx: Vec<usize> = Vec::new();
+    for (i, k) in lk.iter().enumerate() {
+        if let Some(matches) = table.get(k) {
+            for &j in matches {
+                left_idx.push(i);
+                right_idx.push(j);
+            }
+        }
+    }
+
+    let mut cols: Vec<(String, Column)> = Vec::new();
+    for (name, col) in left.columns() {
+        cols.push((name.clone(), col.take(&left_idx)));
+    }
+    for (name, col) in right.columns() {
+        if name == on {
+            continue;
+        }
+        let out_name = if left.get(name).is_some() {
+            // Disambiguate like Pandas: left gets _x, right gets _y.
+            let lpos = cols.iter().position(|(n, _)| n == name).expect("present");
+            let lname = format!("{name}_x");
+            cols[lpos].0 = lname;
+            format!("{name}_y")
+        } else {
+            name.clone()
+        };
+        cols.push((out_name, col.take(&right_idx)));
+    }
+    DataFrame::new(cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users() -> DataFrame {
+        DataFrame::from_cols(vec![
+            ("user_id", Column::from_i64(vec![1, 2, 3])),
+            ("gender", Column::from_strs(&["F", "M", "F"])),
+        ])
+    }
+
+    fn ratings() -> DataFrame {
+        DataFrame::from_cols(vec![
+            ("user_id", Column::from_i64(vec![3, 1, 1, 9])),
+            ("rating", Column::from_f64(vec![5.0, 3.0, 4.0, 1.0])),
+        ])
+    }
+
+    #[test]
+    fn inner_join_basic() {
+        let j = inner_join(&ratings(), &users(), "user_id");
+        assert_eq!(j.num_rows(), 3); // user 9 unmatched
+        assert_eq!(j.col("user_id").i64s(), &[3, 1, 1]);
+        assert_eq!(j.col("gender").strs(), &["F", "F", "F"]);
+        assert_eq!(j.col("rating").f64s(), &[5.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn join_duplicates_on_build_side() {
+        let right = DataFrame::from_cols(vec![
+            ("k", Column::from_i64(vec![1, 1])),
+            ("v", Column::from_f64(vec![10.0, 20.0])),
+        ]);
+        let left = DataFrame::from_cols(vec![
+            ("k", Column::from_i64(vec![1])),
+            ("w", Column::from_f64(vec![0.5])),
+        ]);
+        let j = inner_join(&left, &right, "k");
+        assert_eq!(j.num_rows(), 2);
+        assert_eq!(j.col("v").f64s(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn overlapping_columns_get_suffixes() {
+        let left = DataFrame::from_cols(vec![
+            ("k", Column::from_i64(vec![1])),
+            ("v", Column::from_f64(vec![1.0])),
+        ]);
+        let right = DataFrame::from_cols(vec![
+            ("k", Column::from_i64(vec![1])),
+            ("v", Column::from_f64(vec![2.0])),
+        ]);
+        let j = inner_join(&left, &right, "k");
+        assert_eq!(j.col("v_x").f64s(), &[1.0]);
+        assert_eq!(j.col("v_y").f64s(), &[2.0]);
+    }
+
+    #[test]
+    fn probe_side_splitting_composes() {
+        // The correctness condition for the join SA (§3.4): joining
+        // row-chunks of the probe side and concatenating equals joining
+        // the whole probe side.
+        let l = ratings();
+        let r = users();
+        let whole = inner_join(&l, &r, "user_id");
+        let a = inner_join(&l.slice_rows(0, 2), &r, "user_id");
+        let b = inner_join(&l.slice_rows(2, 4), &r, "user_id");
+        let merged = DataFrame::concat(&[a, b]);
+        assert_eq!(whole.num_rows(), merged.num_rows());
+        assert_eq!(whole.col("rating").f64s(), merged.col("rating").f64s());
+        assert_eq!(whole.col("gender").strs(), merged.col("gender").strs());
+    }
+
+    #[test]
+    fn string_keys() {
+        let l = DataFrame::from_cols(vec![("city", Column::from_strs(&["sf", "nyc"]))]);
+        let r = DataFrame::from_cols(vec![
+            ("city", Column::from_strs(&["nyc", "sf"])),
+            ("pop", Column::from_f64(vec![8.0, 1.0])),
+        ]);
+        let j = inner_join(&l, &r, "city");
+        assert_eq!(j.col("pop").f64s(), &[1.0, 8.0]);
+    }
+}

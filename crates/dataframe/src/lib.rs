@@ -1,0 +1,23 @@
+//! # dataframe — a Pandas-style columnar table library
+//!
+//! The reproduction's stand-in for Pandas (§7): typed shared-storage
+//! columns, Series operators (arithmetic, predicates, string methods,
+//! null handling), row filters, hash groupBy with commutative
+//! aggregations, and inner hash joins.
+//!
+//! Row slicing is zero-copy, which is what makes the row-based split
+//! type the `sa-dataframe` crate defines cheap. The library itself knows
+//! nothing about Mozart.
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod frame;
+pub mod groupby;
+pub mod join;
+pub mod ops;
+
+pub use column::{ColData, Column};
+pub use frame::DataFrame;
+pub use groupby::{groupby_agg, partial_groupby_agg, reaggregate, Agg, AggSpec, KeyPart};
+pub use join::inner_join;

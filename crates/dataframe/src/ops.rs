@@ -1,0 +1,335 @@
+//! Series operators: arithmetic, comparisons, boolean logic, null
+//! handling, string methods, and scalar aggregations.
+//!
+//! These are the per-column operators the paper's Pandas integration
+//! annotates ("most unary and binary Series operators, filters,
+//! predicate masks", §7). All are pure functions returning fresh
+//! columns, which is what makes them safely splittable by rows.
+
+use crate::column::Column;
+
+// ------------------------------ arithmetic ------------------------------
+
+fn zip_f64(a: &Column, b: &Column, f: impl Fn(f64, f64) -> f64, op: &str) -> Column {
+    let (x, y) = (a.f64s(), b.f64s());
+    assert_eq!(x.len(), y.len(), "{op}: length mismatch");
+    Column::from_f64(x.iter().zip(y).map(|(p, q)| f(*p, *q)).collect())
+}
+
+macro_rules! series_binary {
+    ($(#[$doc:meta])* $name:ident, $sname:ident, $f:expr) => {
+        $(#[$doc])*
+        ///
+        /// # Panics
+        ///
+        /// Panics if lengths differ or a column is not `f64`.
+        pub fn $name(a: &Column, b: &Column) -> Column {
+            zip_f64(a, b, $f, stringify!($name))
+        }
+
+        /// Scalar variant of the operator.
+        pub fn $sname(a: &Column, k: f64) -> Column {
+            let f = $f;
+            Column::from_f64(a.f64s().iter().map(|&x| f(x, k)).collect())
+        }
+    };
+}
+
+series_binary!(
+    /// Elementwise addition of two `f64` series.
+    add, add_scalar, |x: f64, y: f64| x + y
+);
+series_binary!(
+    /// Elementwise subtraction.
+    sub, sub_scalar, |x: f64, y: f64| x - y
+);
+series_binary!(
+    /// Elementwise multiplication.
+    mul, mul_scalar, |x: f64, y: f64| x * y
+);
+series_binary!(
+    /// Elementwise division.
+    div, div_scalar, |x: f64, y: f64| x / y
+);
+
+// ------------------------------ comparisons -----------------------------
+
+macro_rules! series_compare {
+    ($(#[$doc:meta])* $name:ident, $op:tt) => {
+        $(#[$doc])*
+        pub fn $name(a: &Column, k: f64) -> Column {
+            Column::from_bool(a.f64s().iter().map(|&x| x $op k).collect())
+        }
+    };
+}
+
+series_compare!(
+    /// `a > k` mask.
+    gt_scalar, >
+);
+series_compare!(
+    /// `a < k` mask.
+    lt_scalar, <
+);
+series_compare!(
+    /// `a >= k` mask.
+    ge_scalar, >=
+);
+series_compare!(
+    /// `a <= k` mask.
+    le_scalar, <=
+);
+
+/// `a == k` mask over an integer series.
+pub fn eq_i64(a: &Column, k: i64) -> Column {
+    Column::from_bool(a.i64s().iter().map(|&x| x == k).collect())
+}
+
+/// Elementwise `a > b` over two `f64` series.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn gt(a: &Column, b: &Column) -> Column {
+    let (x, y) = (a.f64s(), b.f64s());
+    assert_eq!(x.len(), y.len(), "gt: length mismatch");
+    Column::from_bool(x.iter().zip(y).map(|(p, q)| p > q).collect())
+}
+
+// ------------------------------ boolean ---------------------------------
+
+/// Elementwise AND of two boolean masks.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn and(a: &Column, b: &Column) -> Column {
+    let (x, y) = (a.bools(), b.bools());
+    assert_eq!(x.len(), y.len(), "and: length mismatch");
+    Column::from_bool(x.iter().zip(y).map(|(p, q)| *p && *q).collect())
+}
+
+/// Elementwise OR of two boolean masks.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn or(a: &Column, b: &Column) -> Column {
+    let (x, y) = (a.bools(), b.bools());
+    assert_eq!(x.len(), y.len(), "or: length mismatch");
+    Column::from_bool(x.iter().zip(y).map(|(p, q)| *p || *q).collect())
+}
+
+/// Elementwise NOT of a boolean mask.
+pub fn not(a: &Column) -> Column {
+    Column::from_bool(a.bools().iter().map(|b| !b).collect())
+}
+
+// ------------------------------ nulls -----------------------------------
+
+/// NaN mask of an `f64` series (like `Series.isnull()`); all-false for
+/// null-free column types.
+pub fn is_null(a: &Column) -> Column {
+    match a {
+        Column::F64(c) => Column::from_bool(c.as_slice().iter().map(|x| x.is_nan()).collect()),
+        other => Column::from_bool(vec![false; other.len()]),
+    }
+}
+
+/// Replace NaN with `v` (like `Series.fillna`).
+pub fn fillna(a: &Column, v: f64) -> Column {
+    Column::from_f64(
+        a.f64s().iter().map(|&x| if x.is_nan() { v } else { x }).collect(),
+    )
+}
+
+/// Conditionally replace values: where `mask` is true, use `v`
+/// (`Series.mask` in Pandas). Works on `f64` and `str` columns; for
+/// `str`, `v = NaN` is not representable, use [`mask_assign_str`].
+///
+/// # Panics
+///
+/// Panics if lengths differ or the column is not `f64`.
+pub fn mask_assign(a: &Column, mask: &Column, v: f64) -> Column {
+    let (x, m) = (a.f64s(), mask.bools());
+    assert_eq!(x.len(), m.len(), "mask_assign: length mismatch");
+    Column::from_f64(
+        x.iter().zip(m).map(|(&val, &hit)| if hit { v } else { val }).collect(),
+    )
+}
+
+/// Conditionally replace string values where `mask` is true.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the column is not `str`.
+pub fn mask_assign_str(a: &Column, mask: &Column, v: &str) -> Column {
+    let (x, m) = (a.strs(), mask.bools());
+    assert_eq!(x.len(), m.len(), "mask_assign_str: length mismatch");
+    Column::from_str(
+        x.iter()
+            .zip(m)
+            .map(|(val, &hit)| if hit { v.to_string() } else { val.clone() })
+            .collect(),
+    )
+}
+
+// ------------------------------ strings ---------------------------------
+
+/// `s == k` mask over a string series.
+pub fn str_eq(a: &Column, k: &str) -> Column {
+    Column::from_bool(a.strs().iter().map(|s| s == k).collect())
+}
+
+/// Membership mask: `s ∈ set`.
+pub fn str_isin(a: &Column, set: &[&str]) -> Column {
+    Column::from_bool(a.strs().iter().map(|s| set.contains(&s.as_str())).collect())
+}
+
+/// String lengths as an integer series (`Series.str.len()`).
+pub fn str_len(a: &Column) -> Column {
+    Column::from_i64(a.strs().iter().map(|s| s.len() as i64).collect())
+}
+
+/// Substring `[start, end)` clamped to each string (`Series.str.slice`).
+pub fn str_slice(a: &Column, start: usize, end: usize) -> Column {
+    Column::from_str(
+        a.strs()
+            .iter()
+            .map(|s| {
+                let e = end.min(s.len());
+                let b = start.min(e);
+                s[b..e].to_string()
+            })
+            .collect(),
+    )
+}
+
+/// Prefix mask (`Series.str.startswith`).
+pub fn str_startswith(a: &Column, prefix: &str) -> Column {
+    Column::from_bool(a.strs().iter().map(|s| s.starts_with(prefix)).collect())
+}
+
+/// Substring mask (`Series.str.contains`).
+pub fn str_contains(a: &Column, needle: &str) -> Column {
+    Column::from_bool(a.strs().iter().map(|s| s.contains(needle)).collect())
+}
+
+/// Uppercase every string.
+pub fn str_upper(a: &Column) -> Column {
+    Column::from_str(a.strs().iter().map(|s| s.to_uppercase()).collect())
+}
+
+// ------------------------------ reductions ------------------------------
+
+/// Sum of an `f64` series, skipping NaN (Pandas semantics).
+pub fn sum(a: &Column) -> f64 {
+    a.f64s().iter().filter(|x| !x.is_nan()).sum()
+}
+
+/// Count of non-null values.
+pub fn count(a: &Column) -> i64 {
+    match a {
+        Column::F64(c) => c.as_slice().iter().filter(|x| !x.is_nan()).count() as i64,
+        other => other.len() as i64,
+    }
+}
+
+/// Mean of an `f64` series, skipping NaN.
+pub fn mean(a: &Column) -> f64 {
+    let c = count(a);
+    if c == 0 {
+        f64::NAN
+    } else {
+        sum(a) / c as f64
+    }
+}
+
+/// Minimum, skipping NaN (`inf` if all-null).
+pub fn min(a: &Column) -> f64 {
+    a.f64s().iter().copied().filter(|x| !x.is_nan()).fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum, skipping NaN (`-inf` if all-null).
+pub fn max(a: &Column) -> f64 {
+    a.f64s().iter().copied().filter(|x| !x.is_nan()).fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Distinct values of a string series, in first-seen order.
+pub fn unique_str(a: &Column) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for s in a.strs() {
+        if seen.insert(s.clone()) {
+            out.push(s.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_compare() {
+        let a = Column::from_f64(vec![1.0, 2.0, 3.0]);
+        let b = Column::from_f64(vec![10.0, 20.0, 30.0]);
+        assert_eq!(add(&a, &b).f64s(), &[11.0, 22.0, 33.0]);
+        assert_eq!(mul_scalar(&a, 2.0).f64s(), &[2.0, 4.0, 6.0]);
+        assert_eq!(gt_scalar(&a, 1.5).bools(), &[false, true, true]);
+        assert_eq!(gt(&b, &a).bools(), &[true, true, true]);
+        assert_eq!(eq_i64(&Column::from_i64(vec![1, 2, 1]), 1).bools(), &[true, false, true]);
+    }
+
+    #[test]
+    fn boolean_logic() {
+        let a = Column::from_bool(vec![true, true, false]);
+        let b = Column::from_bool(vec![true, false, false]);
+        assert_eq!(and(&a, &b).bools(), &[true, false, false]);
+        assert_eq!(or(&a, &b).bools(), &[true, true, false]);
+        assert_eq!(not(&b).bools(), &[false, true, true]);
+    }
+
+    #[test]
+    fn null_handling() {
+        let a = Column::from_f64(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(is_null(&a).bools(), &[false, true, false]);
+        assert_eq!(fillna(&a, 0.0).f64s(), &[1.0, 0.0, 3.0]);
+        assert_eq!(sum(&a), 4.0);
+        assert_eq!(count(&a), 2);
+        assert_eq!(mean(&a), 2.0);
+        assert!(is_null(&Column::from_i64(vec![1])).bools() == &[false]);
+    }
+
+    #[test]
+    fn string_methods() {
+        let s = Column::from_strs(&["00000", "12345-678", "Leslie", "Lesley"]);
+        assert_eq!(str_eq(&s, "00000").bools(), &[true, false, false, false]);
+        assert_eq!(str_len(&s).i64s(), &[5, 9, 6, 6]);
+        assert_eq!(str_slice(&s, 0, 5).strs()[1], "12345");
+        assert_eq!(str_startswith(&s, "Lesl").bools(), &[false, false, true, true]);
+        assert_eq!(str_contains(&s, "-").bools(), &[false, true, false, false]);
+        assert_eq!(str_isin(&s, &["00000", "Lesley"]).bools(), &[true, false, false, true]);
+        assert_eq!(str_upper(&s).strs()[2], "LESLIE");
+    }
+
+    #[test]
+    fn mask_assignment() {
+        let a = Column::from_f64(vec![1.0, 2.0, 3.0]);
+        let m = Column::from_bool(vec![false, true, false]);
+        let out = mask_assign(&a, &m, f64::NAN);
+        assert!(out.f64s()[1].is_nan());
+        assert_eq!(out.f64s()[0], 1.0);
+
+        let s = Column::from_strs(&["a", "bb"]);
+        let m = Column::from_bool(vec![true, false]);
+        assert_eq!(mask_assign_str(&s, &m, "z").strs(), &["z".to_string(), "bb".to_string()]);
+    }
+
+    #[test]
+    fn unique_preserves_first_seen_order() {
+        let s = Column::from_strs(&["b", "a", "b", "c", "a"]);
+        assert_eq!(unique_str(&s), vec!["b", "a", "c"]);
+    }
+}

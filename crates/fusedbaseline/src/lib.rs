@@ -1,0 +1,30 @@
+//! # fusedbaseline — hand-fused baselines standing in for IR compilers
+//!
+//! The paper compares Mozart against optimizing compilers (Weld,
+//! Bohrium, Numba) that rewrite library functions in an IR, fuse loops,
+//! and JIT parallel code. We cannot run those systems here, so this
+//! crate provides what such a compiler would *produce* for each
+//! workload: a **single fused pass** over the data, parallelized across
+//! threads, with all intermediates kept in registers.
+//!
+//! One deliberate fidelity detail: the paper found Weld loses to
+//! MKL-with-Mozart on transcendental-heavy workloads because Weld "does
+//! not generate vectorized code for several operators that MKL does
+//! vectorize" (§2.1). We reproduce that by computing `erf`/`exp`/trig
+//! here with **scalar, branch-heavy** implementations ([`math`]) that
+//! LLVM will not vectorize, while the `vectormath` library uses
+//! branch-light polynomial kernels that autovectorize.
+
+#![warn(missing_docs)]
+
+pub mod black_scholes;
+pub mod haversine;
+pub mod images;
+pub mod math;
+pub mod nbody;
+pub mod pandas;
+pub mod parallel;
+pub mod shallow_water;
+pub mod text;
+
+pub use parallel::parallel_ranges;

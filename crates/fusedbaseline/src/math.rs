@@ -1,0 +1,84 @@
+//! Scalar, branch-heavy math — what an IR compiler emits when it does
+//! not vectorize a transcendental (the Weld behaviour the paper
+//! observed). Deliberately data-dependent loops: accurate, but LLVM
+//! cannot vectorize them.
+
+/// Scalar error function via its Maclaurin series with a data-dependent
+/// convergence loop (high accuracy, no vectorization).
+pub fn erf_scalar(x: f64) -> f64 {
+    // The Maclaurin series cancels catastrophically past |x| ~ 4;
+    // erf(4) is within 1.6e-8 of ±1, so saturate there.
+    if x.abs() > 4.0 {
+        return x.signum();
+    }
+    let mut term = x;
+    let mut sum = x;
+    let mut n = 1;
+    // Converges in a data-dependent number of iterations.
+    while term.abs() > 1e-17 * sum.abs().max(1e-300) && n < 200 {
+        term *= -x * x / n as f64;
+        sum += term / (2 * n + 1) as f64;
+        n += 1;
+    }
+    sum * 2.0 / std::f64::consts::PI.sqrt()
+}
+
+/// Cumulative normal distribution via [`erf_scalar`].
+pub fn cnd_scalar(x: f64) -> f64 {
+    0.5 + 0.5 * erf_scalar(x * std::f64::consts::FRAC_1_SQRT_2)
+}
+
+/// Scalar exponential (libm; one call per element, not vectorized).
+#[inline]
+pub fn exp_scalar(x: f64) -> f64 {
+    x.exp()
+}
+
+/// Scalar `ln(1+x)`.
+#[inline]
+pub fn log1p_scalar(x: f64) -> f64 {
+    x.ln_1p()
+}
+
+/// Scalar sine.
+#[inline]
+pub fn sin_scalar(x: f64) -> f64 {
+    x.sin()
+}
+
+/// Scalar cosine.
+#[inline]
+pub fn cos_scalar(x: f64) -> f64 {
+    x.cos()
+}
+
+/// Scalar arcsine.
+#[inline]
+pub fn asin_scalar(x: f64) -> f64 {
+    x.asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_scalar_is_accurate() {
+        // Compare against the vectorized approximation: the scalar
+        // series is the more accurate of the two.
+        for i in -40..=40 {
+            let x = i as f64 * 0.1;
+            let fast = vectormath::fastmath::erf(x);
+            assert!((erf_scalar(x) - fast).abs() < 5e-7, "x={x}");
+        }
+        assert_eq!(erf_scalar(10.0), 1.0);
+        assert_eq!(erf_scalar(-10.0), -1.0);
+    }
+
+    #[test]
+    fn cnd_limits() {
+        assert!((cnd_scalar(0.0) - 0.5).abs() < 1e-12);
+        assert!(cnd_scalar(8.0) > 0.999999);
+        assert!(cnd_scalar(-8.0) < 0.000001);
+    }
+}

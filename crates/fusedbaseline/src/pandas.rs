@@ -1,0 +1,166 @@
+//! Fused data-science baselines: each Pandas workload as the single
+//! fused pass an IR compiler would generate (filters, maps, and
+//! aggregations combined; hash tables for groupBys and joins).
+
+use std::collections::HashMap;
+
+use crate::parallel::parallel_reduce;
+
+/// Fused Data Cleaning: classify raw zip strings, fix long zips,
+/// parse, and count valid entries — one pass over the strings.
+///
+/// Returns `(valid_count, null_count, checksum_of_parsed_zips)`.
+pub fn data_cleaning(zips: &[String], bad_values: &[&str], threads: usize) -> (u64, u64, f64) {
+    parallel_reduce(
+        zips.len(),
+        threads,
+        || (0u64, 0u64, 0.0f64),
+        |(valid, nulls, sum), i| {
+            let raw = zips[i].as_str();
+            if bad_values.contains(&raw) {
+                return (valid, nulls + 1, sum);
+            }
+            let fixed = if raw.len() > 5 { &raw[..5] } else { raw };
+            match fixed.parse::<f64>() {
+                Ok(z) => (valid + 1, nulls, sum + z),
+                Err(_) => (valid, nulls + 1, sum),
+            }
+        },
+        |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2),
+    )
+}
+
+/// Fused Crime Index: filter big cities, compute the weighted index,
+/// and sum — one pass.
+pub fn crime_index(
+    total_population: &[f64],
+    adult_population: &[f64],
+    num_robberies: &[f64],
+    threads: usize,
+) -> f64 {
+    parallel_reduce(
+        total_population.len(),
+        threads,
+        || 0.0f64,
+        |acc, i| {
+            let tp = total_population[i];
+            if tp > 500_000.0 {
+                let index =
+                    (adult_population[i] / tp - 2.0 * num_robberies[i] / tp).clamp(0.0, 1.0);
+                acc + index
+            } else {
+                acc
+            }
+        },
+        |a, b| a + b,
+    )
+}
+
+/// Fused Birth Analysis: fraction of births with names starting with
+/// `prefix`, grouped by `(sex, year)` — a single hash-aggregating pass.
+///
+/// Returns `((sex, year) -> (prefix_births, total_births))`.
+pub fn birth_analysis(
+    names: &[String],
+    sexes: &[String],
+    years: &[i64],
+    births: &[f64],
+    prefix: &str,
+) -> HashMap<(String, i64), (f64, f64)> {
+    let mut table: HashMap<(String, i64), (f64, f64)> = HashMap::new();
+    for i in 0..names.len() {
+        let e = table.entry((sexes[i].clone(), years[i])).or_insert((0.0, 0.0));
+        if names[i].starts_with(prefix) {
+            e.0 += births[i];
+        }
+        e.1 += births[i];
+    }
+    table
+}
+
+/// Fused MovieLens: both joins and the grouped mean in one pass over
+/// the ratings (users and movies become hash tables first).
+///
+/// Returns `(title_id -> (f_sum, f_count, m_sum, m_count))`.
+pub fn movielens(
+    rating_user: &[i64],
+    rating_movie: &[i64],
+    rating_value: &[f64],
+    user_ids: &[i64],
+    user_gender: &[String],
+    movie_ids: &[i64],
+) -> HashMap<i64, (f64, f64, f64, f64)> {
+    let users: HashMap<i64, bool> = user_ids
+        .iter()
+        .zip(user_gender)
+        .map(|(&id, g)| (id, g == "F"))
+        .collect();
+    let movies: std::collections::HashSet<i64> = movie_ids.iter().copied().collect();
+    let mut table: HashMap<i64, (f64, f64, f64, f64)> = HashMap::new();
+    for i in 0..rating_user.len() {
+        let Some(&is_f) = users.get(&rating_user[i]) else { continue };
+        if !movies.contains(&rating_movie[i]) {
+            continue;
+        }
+        let e = table.entry(rating_movie[i]).or_insert((0.0, 0.0, 0.0, 0.0));
+        if is_f {
+            e.0 += rating_value[i];
+            e.1 += 1.0;
+        } else {
+            e.2 += rating_value[i];
+            e.3 += 1.0;
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_cleaning_counts() {
+        let zips: Vec<String> =
+            ["02139", "N/A", "94016-1234", "xxxxx", "10001"].iter().map(|s| s.to_string()).collect();
+        let (valid, nulls, sum) = data_cleaning(&zips, &["N/A", "NO CLUE", "0"], 2);
+        assert_eq!(valid, 3); // 02139, 94016 (truncated), 10001
+        assert_eq!(nulls, 2); // N/A and xxxxx
+        assert_eq!(sum, 2139.0 + 94016.0 + 10001.0);
+    }
+
+    #[test]
+    fn crime_index_filters_small_cities() {
+        let tp = vec![100.0, 1_000_000.0, 2_000_000.0];
+        let ap = vec![80.0, 800_000.0, 1_500_000.0];
+        let rob = vec![5.0, 1000.0, 2000.0];
+        let idx = crime_index(&tp, &ap, &rob, 1);
+        let expect = (0.8 - 2.0 * 1000.0 / 1_000_000.0) + (0.75 - 2.0 * 2000.0 / 2_000_000.0);
+        assert!((idx - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn birth_analysis_fractions() {
+        let names = vec!["Leslie".to_string(), "Bob".to_string(), "Lesley".to_string()];
+        let sexes = vec!["F".to_string(), "M".to_string(), "F".to_string()];
+        let years = vec![1990, 1990, 1990];
+        let births = vec![10.0, 5.0, 30.0];
+        let t = birth_analysis(&names, &sexes, &years, &births, "Lesl");
+        assert_eq!(t[&("F".to_string(), 1990)], (40.0, 40.0));
+        assert_eq!(t[&("M".to_string(), 1990)], (0.0, 5.0));
+    }
+
+    #[test]
+    fn movielens_grouped_means() {
+        let t = movielens(
+            &[1, 2, 1, 9],
+            &[100, 100, 200, 100],
+            &[5.0, 3.0, 4.0, 1.0],
+            &[1, 2],
+            &["F".to_string(), "M".to_string()],
+            &[100, 200],
+        );
+        assert_eq!(t[&100], (5.0, 1.0, 3.0, 1.0));
+        assert_eq!(t[&200], (4.0, 1.0, 0.0, 0.0));
+        assert!(!t.contains_key(&300));
+    }
+}

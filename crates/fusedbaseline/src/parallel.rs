@@ -1,0 +1,94 @@
+//! Fork-join helper, the analogue of the parallel runtime an IR
+//! compiler emits calls into.
+
+/// Run `f(start, end)` over `[0, n)` split across `threads` workers.
+pub fn parallel_ranges(n: usize, threads: usize, f: impl Fn(usize, usize) + Send + Sync) {
+    let t = threads.max(1);
+    if t == 1 || n < 1024 {
+        f(0, n);
+        return;
+    }
+    let per = n.div_ceil(t);
+    std::thread::scope(|s| {
+        for w in 0..t {
+            let start = w * per;
+            if start >= n {
+                break;
+            }
+            let end = (start + per).min(n);
+            let f = &f;
+            s.spawn(move || f(start, end));
+        }
+    });
+}
+
+/// Parallel map-reduce over `[0, n)`: each worker folds its range with
+/// `fold`, partials combine with `combine`.
+pub fn parallel_reduce<T: Send>(
+    n: usize,
+    threads: usize,
+    identity: impl Fn() -> T + Sync,
+    fold: impl Fn(T, usize) -> T + Sync,
+    combine: impl Fn(T, T) -> T,
+) -> T {
+    let t = threads.max(1);
+    if t == 1 || n < 1024 {
+        let mut acc = identity();
+        for i in 0..n {
+            acc = fold(acc, i);
+        }
+        return acc;
+    }
+    let per = n.div_ceil(t);
+    let mut partials: Vec<Option<T>> = Vec::new();
+    partials.resize_with(t, || None);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..t {
+            let start = w * per;
+            if start >= n {
+                break;
+            }
+            let end = (start + per).min(n);
+            let identity = &identity;
+            let fold = &fold;
+            handles.push(s.spawn(move || {
+                let mut acc = identity();
+                for i in start..end {
+                    acc = fold(acc, i);
+                }
+                acc
+            }));
+        }
+        for (slot, h) in partials.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("worker panicked"));
+        }
+    });
+    let mut acc = identity();
+    for p in partials.into_iter().flatten() {
+        acc = combine(acc, p);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn ranges_cover_exactly() {
+        let n = 10_000;
+        let sum = AtomicU64::new(0);
+        parallel_ranges(n, 4, |a, b| {
+            sum.fetch_add((a..b).map(|x| x as u64).sum(), Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), (0..n as u64).sum());
+    }
+
+    #[test]
+    fn reduce_matches_serial() {
+        let got = parallel_reduce(5000, 3, || 0u64, |acc, i| acc + i as u64, |a, b| a + b);
+        assert_eq!(got, (0..5000u64).sum());
+    }
+}

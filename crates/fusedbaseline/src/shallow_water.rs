@@ -1,0 +1,105 @@
+//! Fused shallow-water step: the roll-based finite-difference update
+//! written as direct stencil loops with periodic boundaries, fused over
+//! the whole grid per step.
+
+use crate::parallel::parallel_ranges;
+
+/// Grid state: height and x/y momenta, row-major `n x n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// Grid side length.
+    pub n: usize,
+    /// Water column height.
+    pub h: Vec<f64>,
+    /// x momentum.
+    pub u: Vec<f64>,
+    /// y momentum.
+    pub v: Vec<f64>,
+}
+
+impl Grid {
+    /// A centered Gaussian drop on a flat pool, the benchmark's initial
+    /// condition.
+    pub fn droplet(n: usize) -> Grid {
+        let mut h = vec![1.0; n * n];
+        let c = n as f64 / 2.0;
+        for y in 0..n {
+            for x in 0..n {
+                let dx = x as f64 - c;
+                let dy = y as f64 - c;
+                h[y * n + x] += 0.5 * (-(dx * dx + dy * dy) / (n as f64)).exp();
+            }
+        }
+        Grid { n, h, u: vec![0.0; n * n], v: vec![0.0; n * n] }
+    }
+
+    /// Total water volume (a conserved diagnostic).
+    pub fn total_mass(&self) -> f64 {
+        self.h.iter().sum()
+    }
+}
+
+/// Gravity constant used by the model.
+pub const GRAV: f64 = 9.8;
+
+/// One explicit timestep with periodic boundaries, fused and parallel
+/// over rows.
+pub fn step(g: &mut Grid, dt: f64, threads: usize) {
+    let n = g.n;
+    let (h0, u0, v0) = (g.h.clone(), g.u.clone(), g.v.clone());
+    let h_addr = g.h.as_mut_ptr() as usize;
+    let u_addr = g.u.as_mut_ptr() as usize;
+    let v_addr = g.v.as_mut_ptr() as usize;
+    let dx = 1.0;
+    parallel_ranges(n, threads, move |r0, r1| {
+        let h = h_addr as *mut f64;
+        let u = u_addr as *mut f64;
+        let v = v_addr as *mut f64;
+        for y in r0..r1 {
+            let ym = (y + n - 1) % n;
+            let yp = (y + 1) % n;
+            for x in 0..n {
+                let xm = (x + n - 1) % n;
+                let xp = (x + 1) % n;
+                let i = y * n + x;
+                // Central differences on the rolled grids.
+                let dhdx = (h0[y * n + xp] - h0[y * n + xm]) / (2.0 * dx);
+                let dhdy = (h0[yp * n + x] - h0[ym * n + x]) / (2.0 * dx);
+                let dudx = (u0[y * n + xp] - u0[y * n + xm]) / (2.0 * dx);
+                let dvdy = (v0[yp * n + x] - v0[ym * n + x]) / (2.0 * dx);
+                // SAFETY: each worker owns rows [r0, r1).
+                unsafe {
+                    *u.add(i) = u0[i] - dt * GRAV * dhdx;
+                    *v.add(i) = v0[i] - dt * GRAV * dhdy;
+                    *h.add(i) = h0[i] - dt * h0[i] * (dudx + dvdy)
+                        - dt * (u0[i] * dhdx + v0[i] * dhdy);
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wave_spreads_and_parallel_matches_serial() {
+        let run = |threads: usize| {
+            let mut g = Grid::droplet(32);
+            for _ in 0..5 {
+                step(&mut g, 0.01, threads);
+            }
+            g
+        };
+        let a = run(1);
+        let b = run(3);
+        assert_eq!(a, b);
+        // The droplet flattens: center height decreases.
+        let init = Grid::droplet(32);
+        let c = 16 * 32 + 16;
+        assert!(a.h[c] < init.h[c]);
+        // Mass stays near-conserved over a few small steps.
+        assert!((a.total_mass() - init.total_mass()).abs() / init.total_mass() < 1e-3);
+    }
+}

@@ -1,0 +1,38 @@
+//! Parallel speech tagging baseline.
+//!
+//! The paper notes "no compilers supported spaCy", so there is no
+//! Weld-style comparator for this workload; this module provides the
+//! straightforward thread-parallel tagging used for sanity checks.
+
+use textproc::{tag_corpus, DocFeatures, TaggedDoc};
+
+/// Tag a corpus in parallel over document chunks.
+pub fn tag_parallel(corpus: &[String], threads: usize) -> Vec<(TaggedDoc, DocFeatures)> {
+    let t = threads.max(1);
+    if t == 1 || corpus.len() < 8 {
+        return tag_corpus(corpus);
+    }
+    let per = corpus.len().div_ceil(t);
+    let mut out = Vec::with_capacity(corpus.len());
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for chunk in corpus.chunks(per) {
+            handles.push(s.spawn(move || tag_corpus(chunk)));
+        }
+        for h in handles {
+            out.extend(h.join().expect("tagger panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let corpus = textproc::synthetic_corpus(33, 25, 4);
+        assert_eq!(tag_parallel(&corpus, 1), tag_parallel(&corpus, 4));
+    }
+}

@@ -1,0 +1,267 @@
+//! The [`Image`] type and its structural API.
+//!
+//! Mirrors the parts of ImageMagick's `MagickWand` API the paper's
+//! integration uses (§7): images are opaque handles; the library offers
+//! a **crop** that clones a row range out of an image and an **append**
+//! that stacks images vertically — exactly the two operations the
+//! annotator builds the split type from. Like the real library, crop
+//! and append allocate and copy, which is why the paper reports split/
+//! merge overheads dominating the ImageMagick workloads (§8.2).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+static THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the library's internal thread count. Like ImageMagick, the
+/// library parallelizes each operator internally; the paper's
+/// Figures 4n-o compare Mozart against exactly this baseline.
+pub fn set_num_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::SeqCst);
+}
+
+/// Current internal thread count.
+pub fn num_threads() -> usize {
+    THREADS.load(Ordering::Relaxed)
+}
+
+/// An RGB image with `f32` channels in `[0, 1]`, row-major interleaved.
+///
+/// Cloning is O(1) (shared storage); all pixel operators return new
+/// images (the wand convention of "clone then operate" without exposing
+/// mutation to the annotator).
+#[derive(Clone)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Arc<Vec<f32>>,
+}
+
+impl Image {
+    /// Number of `f32` channels per pixel.
+    pub const CHANNELS: usize = 3;
+
+    /// Build from interleaved RGB data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height * 3`.
+    pub fn from_rgb(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            width * height * Self::CHANNELS,
+            "image data size mismatch"
+        );
+        Image { width, height, data: Arc::new(data) }
+    }
+
+    /// Solid-color image.
+    pub fn solid(width: usize, height: usize, rgb: [f32; 3]) -> Self {
+        let mut data = Vec::with_capacity(width * height * Self::CHANNELS);
+        for _ in 0..width * height {
+            data.extend_from_slice(&rgb);
+        }
+        Self::from_rgb(width, height, data)
+    }
+
+    /// Deterministic synthetic test image (smooth gradients + texture),
+    /// standing in for the photographs the instagram-filter workloads
+    /// process.
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
+        let mut data = Vec::with_capacity(width * height * Self::CHANNELS);
+        let s = seed as f32 * 0.001;
+        for y in 0..height {
+            for x in 0..width {
+                let fx = x as f32 / width as f32;
+                let fy = y as f32 / height as f32;
+                let tex = ((x * 31 + y * 17) % 97) as f32 / 97.0;
+                data.push((fx * 0.8 + tex * 0.2 + s).fract());
+                data.push((fy * 0.7 + fx * 0.2 + tex * 0.1 + s).fract());
+                data.push(((fx + fy) * 0.4 + tex * 0.3 + s).fract());
+            }
+        }
+        Self::from_rgb(width, height, data)
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The interleaved channel data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Pixel at `(x, y)`.
+    pub fn pixel(&self, x: usize, y: usize) -> [f32; 3] {
+        let i = (y * self.width + x) * Self::CHANNELS;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Clone rows `[y0, y1)` into a new image (the `MagickWand` crop the
+    /// split type uses). Copies, like the real API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn crop_rows(&self, y0: usize, y1: usize) -> Image {
+        assert!(y0 <= y1 && y1 <= self.height, "crop range out of bounds");
+        let stride = self.width * Self::CHANNELS;
+        Image::from_rgb(
+            self.width,
+            y1 - y0,
+            self.data[y0 * stride..y1 * stride].to_vec(),
+        )
+    }
+
+    /// Stack images vertically (the append API the merger uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or mismatched widths.
+    pub fn append_rows(parts: &[Image]) -> Image {
+        assert!(!parts.is_empty(), "append of zero images");
+        let width = parts[0].width;
+        let mut height = 0;
+        let mut data = Vec::new();
+        for p in parts {
+            assert_eq!(p.width, width, "append: width mismatch");
+            height += p.height;
+            data.extend_from_slice(&p.data);
+        }
+        Image::from_rgb(width, height, data)
+    }
+
+    /// Map every pixel through `f` (the shared loop all color operators
+    /// use). Returns a new image. Parallelizes across the library's
+    /// internal threads when the image is large enough.
+    pub(crate) fn map_pixels(&self, f: impl Fn([f32; 3]) -> [f32; 3] + Send + Sync) -> Image {
+        let n = self.width * self.height;
+        let mut out = vec![0.0f32; self.data.len()];
+        let t = num_threads();
+        if t <= 1 || n < 1 << 14 {
+            map_range(&self.data, &mut out, &f, 0, n);
+        } else {
+            let per = n.div_ceil(t);
+            let out_addr = out.as_mut_ptr() as usize;
+            let src = &self.data;
+            std::thread::scope(|s| {
+                for w in 0..t {
+                    let start = w * per;
+                    if start >= n {
+                        break;
+                    }
+                    let len = per.min(n - start);
+                    let f = &f;
+                    s.spawn(move || {
+                        // SAFETY: each worker writes the disjoint pixel
+                        // range [start, start + len).
+                        let dst = unsafe {
+                            std::slice::from_raw_parts_mut(
+                                (out_addr as *mut f32).add(start * Self::CHANNELS),
+                                len * Self::CHANNELS,
+                            )
+                        };
+                        map_chunk(&src[start * Self::CHANNELS..(start + len) * Self::CHANNELS], dst, f);
+                    });
+                }
+            });
+        }
+        Image::from_rgb(self.width, self.height, out)
+    }
+
+    /// Mean absolute per-channel difference against another image
+    /// (testing aid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn mean_abs_diff(&self, other: &Image) -> f32 {
+        assert_eq!(self.width, other.width, "diff: width mismatch");
+        assert_eq!(self.height, other.height, "diff: height mismatch");
+        let n = self.data.len() as f32;
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / n
+    }
+}
+
+fn map_range(
+    src: &[f32],
+    out: &mut [f32],
+    f: &(impl Fn([f32; 3]) -> [f32; 3] + Send + Sync),
+    start: usize,
+    len: usize,
+) {
+    let s = &src[start * Image::CHANNELS..(start + len) * Image::CHANNELS];
+    let d = &mut out[start * Image::CHANNELS..(start + len) * Image::CHANNELS];
+    map_chunk(s, d, f);
+}
+
+fn map_chunk(src: &[f32], dst: &mut [f32], f: &(impl Fn([f32; 3]) -> [f32; 3] + Send + Sync)) {
+    for (s, d) in src.chunks_exact(Image::CHANNELS).zip(dst.chunks_exact_mut(Image::CHANNELS)) {
+        let [r, g, b] = f([s[0], s[1], s[2]]);
+        d[0] = r.clamp(0.0, 1.0);
+        d[1] = g.clamp(0.0, 1.0);
+        d[2] = b.clamp(0.0, 1.0);
+    }
+}
+
+impl std::fmt::Debug for Image {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Image({}x{})", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_pixels() {
+        let img = Image::solid(2, 2, [0.5, 0.25, 1.0]);
+        assert_eq!(img.width(), 2);
+        assert_eq!(img.height(), 2);
+        assert_eq!(img.pixel(1, 1), [0.5, 0.25, 1.0]);
+    }
+
+    #[test]
+    fn crop_append_roundtrip() {
+        let img = Image::synthetic(8, 10, 42);
+        let parts = vec![img.crop_rows(0, 3), img.crop_rows(3, 7), img.crop_rows(7, 10)];
+        let merged = Image::append_rows(&parts);
+        assert_eq!(merged.width(), 8);
+        assert_eq!(merged.height(), 10);
+        assert_eq!(merged.mean_abs_diff(&img), 0.0);
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let a = Image::synthetic(16, 16, 7);
+        let b = Image::synthetic(16, 16, 7);
+        assert_eq!(a.mean_abs_diff(&b), 0.0);
+        let c = Image::synthetic(16, 16, 8);
+        assert!(a.mean_abs_diff(&c) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crop range out of bounds")]
+    fn crop_bounds() {
+        Image::solid(2, 2, [0.0; 3]).crop_rows(1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "append: width mismatch")]
+    fn append_checks_width() {
+        Image::append_rows(&[Image::solid(2, 1, [0.0; 3]), Image::solid(3, 1, [0.0; 3])]);
+    }
+}

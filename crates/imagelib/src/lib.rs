@@ -1,0 +1,21 @@
+//! # imagelib — an ImageMagick-style image processing library
+//!
+//! The reproduction's stand-in for ImageMagick's `MagickWand` API (§7):
+//! an opaque image handle, per-pixel color operators (gamma, modulate,
+//! contrast, colorize, colortone, ...), a row-range **crop** and a
+//! vertical **append** — the two structural operations the `sa-image`
+//! annotator builds its split type from — and a Gaussian [`ops::blur`]
+//! whose edge boundary condition makes it deliberately *not* annotatable
+//! (the paper's §7.1 example).
+//!
+//! The library knows nothing about Mozart.
+
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod ops;
+
+pub use image::{num_threads, set_num_threads, Image};
+pub use ops::{
+    blur, colorize, colortone, contrast, gamma, grayscale, invert, levels, modulate, sepia,
+};

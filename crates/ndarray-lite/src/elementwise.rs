@@ -1,0 +1,315 @@
+//! Elementwise operators over [`NdArray`], backed by the `vectormath`
+//! kernels (this reproduces the common NumPy-on-MKL deployment: each
+//! operator performs one full, optimized pass over its operands).
+
+use crate::array::NdArray;
+use vectormath as vm;
+
+/// Limited NumPy-style broadcasting for rank ≤ 2:
+/// equal shapes, `[m, n] ⊕ [n]` (row vector), and `[m, n] ⊕ [m, 1]`
+/// (column vector).
+fn broadcast_shapes<'a>(a: &'a [usize], b: &'a [usize]) -> Option<Vec<usize>> {
+    if a == b {
+        return Some(a.to_vec());
+    }
+    match (a.len(), b.len()) {
+        (2, 1) if a[1] == b[0] => Some(a.to_vec()),
+        (1, 2) if b[1] == a[0] => Some(b.to_vec()),
+        (2, 2) if a[0] == b[0] && b[1] == 1 => Some(a.to_vec()),
+        (2, 2) if a[0] == b[0] && a[1] == 1 => Some(b.to_vec()),
+        _ => None,
+    }
+}
+
+fn binary(a: &NdArray, b: &NdArray, f: fn(&[f64], &[f64], &mut [f64]), op: &str) -> NdArray {
+    let shape = broadcast_shapes(a.shape(), b.shape())
+        .unwrap_or_else(|| panic!("{op}: cannot broadcast {:?} with {:?}", a.shape(), b.shape()));
+    if a.shape() == b.shape() {
+        let mut out = vec![0.0; a.len()];
+        f(a.as_slice(), b.as_slice(), &mut out);
+        return NdArray::from_shape_vec(&shape, out);
+    }
+    // Materialize the smaller operand against the output shape, then run
+    // the kernel once (NumPy does the equivalent with strided loops).
+    let (rows, cols) = (shape[0], shape[1]);
+    let expand = |x: &NdArray| -> Vec<f64> {
+        if x.shape() == shape.as_slice() {
+            return x.to_vec();
+        }
+        let mut out = Vec::with_capacity(rows * cols);
+        if x.ndim() == 1 || x.shape()[0] == 1 {
+            // Row vector: repeat per row.
+            let row = x.as_slice();
+            for _ in 0..rows {
+                out.extend_from_slice(row);
+            }
+        } else {
+            // Column vector: repeat each value across a row.
+            let col = x.as_slice();
+            for r in 0..rows {
+                out.extend(std::iter::repeat(col[r]).take(cols));
+            }
+        }
+        out
+    };
+    let ea = expand(a);
+    let eb = expand(b);
+    let mut out = vec![0.0; rows * cols];
+    f(&ea, &eb, &mut out);
+    NdArray::from_shape_vec(&shape, out)
+}
+
+fn unary(a: &NdArray, f: fn(&[f64], &mut [f64])) -> NdArray {
+    let mut out = vec![0.0; a.len()];
+    f(a.as_slice(), &mut out);
+    NdArray::from_shape_vec(a.shape(), out)
+}
+
+fn scalar(a: &NdArray, k: f64, f: fn(&[f64], f64, &mut [f64])) -> NdArray {
+    let mut out = vec![0.0; a.len()];
+    f(a.as_slice(), k, &mut out);
+    NdArray::from_shape_vec(a.shape(), out)
+}
+
+macro_rules! nd_binary {
+    ($(#[$doc:meta])* $name:ident, $kernel:path) => {
+        $(#[$doc])*
+        ///
+        /// # Panics
+        ///
+        /// Panics if the shapes cannot broadcast.
+        pub fn $name(a: &NdArray, b: &NdArray) -> NdArray {
+            binary(a, b, $kernel, stringify!($name))
+        }
+    };
+}
+
+macro_rules! nd_unary {
+    ($(#[$doc:meta])* $name:ident, $kernel:path) => {
+        $(#[$doc])*
+        pub fn $name(a: &NdArray) -> NdArray {
+            unary(a, $kernel)
+        }
+    };
+}
+
+macro_rules! nd_scalar {
+    ($(#[$doc:meta])* $name:ident, $kernel:path) => {
+        $(#[$doc])*
+        pub fn $name(a: &NdArray, k: f64) -> NdArray {
+            scalar(a, k, $kernel)
+        }
+    };
+}
+
+nd_binary!(
+    /// Elementwise `a + b` with limited broadcasting.
+    add, vm::vd_add
+);
+nd_binary!(
+    /// Elementwise `a - b` with limited broadcasting.
+    sub, vm::vd_sub
+);
+nd_binary!(
+    /// Elementwise `a * b` with limited broadcasting.
+    mul, vm::vd_mul
+);
+nd_binary!(
+    /// Elementwise `a / b` with limited broadcasting.
+    div, vm::vd_div
+);
+nd_binary!(
+    /// Elementwise `a ^ b` with limited broadcasting.
+    pow, vm::vd_pow
+);
+nd_binary!(
+    /// Elementwise maximum with limited broadcasting.
+    maximum, vm::vd_fmax
+);
+nd_binary!(
+    /// Elementwise minimum with limited broadcasting.
+    minimum, vm::vd_fmin
+);
+
+nd_unary!(
+    /// Elementwise square root.
+    sqrt, vm::vd_sqrt
+);
+nd_unary!(
+    /// Elementwise `e^x`.
+    exp, vm::vd_exp
+);
+nd_unary!(
+    /// Elementwise natural logarithm.
+    ln, vm::vd_ln
+);
+nd_unary!(
+    /// Elementwise `ln(1 + x)`.
+    log1p, vm::vd_log1p
+);
+nd_unary!(
+    /// Elementwise error function.
+    erf, vm::vd_erf
+);
+nd_unary!(
+    /// Elementwise sine.
+    sin, vm::vd_sin
+);
+nd_unary!(
+    /// Elementwise cosine.
+    cos, vm::vd_cos
+);
+nd_unary!(
+    /// Elementwise arcsine.
+    asin, vm::vd_asin
+);
+nd_unary!(
+    /// Elementwise absolute value.
+    abs, vm::vd_abs
+);
+nd_unary!(
+    /// Elementwise square.
+    square, vm::vd_sqr
+);
+nd_unary!(
+    /// Elementwise negation.
+    neg, vm::vd_neg
+);
+nd_unary!(
+    /// Elementwise reciprocal.
+    recip, vm::vd_inv
+);
+
+nd_scalar!(
+    /// `a * k`.
+    mul_scalar, vm::vd_scale
+);
+nd_scalar!(
+    /// `a + k`.
+    add_scalar, vm::vd_shift
+);
+nd_scalar!(
+    /// `a ^ k`.
+    pow_scalar, vm::vd_powx
+);
+nd_scalar!(
+    /// `k - a`.
+    rsub_scalar, vm::vd_rsub
+);
+nd_scalar!(
+    /// `k / a`.
+    rdiv_scalar, vm::vd_rdiv
+);
+
+/// `a - k` (convenience over [`add_scalar`]).
+pub fn sub_scalar(a: &NdArray, k: f64) -> NdArray {
+    add_scalar(a, -k)
+}
+
+/// `a / k` (convenience over [`mul_scalar`]).
+pub fn div_scalar(a: &NdArray, k: f64) -> NdArray {
+    mul_scalar(a, 1.0 / k)
+}
+
+/// Elementwise comparison `a < b`, producing a 0.0/1.0 mask.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn lt(a: &NdArray, b: &NdArray) -> NdArray {
+    assert_eq!(a.shape(), b.shape(), "lt: shape mismatch");
+    let out = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| if x < y { 1.0 } else { 0.0 })
+        .collect();
+    NdArray::from_shape_vec(a.shape(), out)
+}
+
+/// Elementwise select: `mask ? x : y` with a 0.0/1.0 mask.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn where_mask(mask: &NdArray, x: &NdArray, y: &NdArray) -> NdArray {
+    assert_eq!(mask.shape(), x.shape(), "where: shape mismatch");
+    assert_eq!(mask.shape(), y.shape(), "where: shape mismatch");
+    let out = mask
+        .as_slice()
+        .iter()
+        .zip(x.as_slice().iter().zip(y.as_slice()))
+        .map(|(m, (a, b))| if *m != 0.0 { *a } else { *b })
+        .collect();
+    NdArray::from_shape_vec(mask.shape(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m23() -> NdArray {
+        NdArray::from_shape_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn same_shape_ops() {
+        let a = m23();
+        let b = NdArray::full(&[2, 3], 2.0);
+        assert_eq!(add(&a, &b).as_slice(), &[3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(mul(&a, &b).at(1, 2), 12.0);
+        assert_eq!(sub(&a, &b).get(0), -1.0);
+        assert_eq!(div(&a, &b).get(1), 1.0);
+    }
+
+    #[test]
+    fn row_vector_broadcast() {
+        let a = m23();
+        let r = NdArray::from_vec(vec![10.0, 20.0, 30.0]);
+        let s = add(&a, &r);
+        assert_eq!(s.as_slice(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        // Symmetric.
+        let s2 = add(&r, &a);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn column_vector_broadcast() {
+        let a = m23();
+        let c = NdArray::from_shape_vec(&[2, 1], vec![100.0, 200.0]);
+        let s = add(&a, &c);
+        assert_eq!(s.as_slice(), &[101.0, 102.0, 103.0, 204.0, 205.0, 206.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn bad_broadcast_panics() {
+        let a = m23();
+        let b = NdArray::zeros(&[3, 2]);
+        add(&a, &b);
+    }
+
+    #[test]
+    fn unary_and_scalar_ops() {
+        let a = NdArray::from_vec(vec![1.0, 4.0, 9.0]);
+        assert_eq!(sqrt(&a).as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(mul_scalar(&a, 2.0).as_slice(), &[2.0, 8.0, 18.0]);
+        assert_eq!(sub_scalar(&a, 1.0).as_slice(), &[0.0, 3.0, 8.0]);
+        assert_eq!(rsub_scalar(&a, 10.0).as_slice(), &[9.0, 6.0, 1.0]);
+        assert_eq!(div_scalar(&a, 2.0).as_slice(), &[0.5, 2.0, 4.5]);
+        assert!((exp(&a).get(0) - 1.0f64.exp()).abs() < 1e-12);
+        assert_eq!(square(&a).as_slice(), &[1.0, 16.0, 81.0]);
+        assert_eq!(neg(&a).get(2), -9.0);
+        assert_eq!(recip(&a).get(1), 0.25);
+    }
+
+    #[test]
+    fn masks_and_select() {
+        let a = NdArray::from_vec(vec![1.0, 5.0, 3.0]);
+        let b = NdArray::from_vec(vec![2.0, 2.0, 3.0]);
+        let m = lt(&a, &b);
+        assert_eq!(m.as_slice(), &[1.0, 0.0, 0.0]);
+        let sel = where_mask(&m, &a, &b);
+        assert_eq!(sel.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+}

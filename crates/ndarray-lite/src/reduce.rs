@@ -1,0 +1,145 @@
+//! Reductions over [`NdArray`]: full reductions and axis reductions.
+//!
+//! Axis reductions are the operators the paper calls out as stage
+//! boundaries in Shallow Water ("performs several row-wise matrix
+//! operations and then aggregates along columns"): a row-split matrix
+//! can still be reduced along either axis because the partial results
+//! merge associatively (Ex. 5 of Listing 4).
+
+use crate::array::NdArray;
+
+/// Sum of all elements.
+pub fn sum(a: &NdArray) -> f64 {
+    a.as_slice().iter().sum()
+}
+
+/// Mean of all elements (NaN for empty arrays).
+pub fn mean(a: &NdArray) -> f64 {
+    sum(a) / a.len() as f64
+}
+
+/// Minimum element (`inf` for empty arrays).
+pub fn min(a: &NdArray) -> f64 {
+    a.as_slice().iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum element (`-inf` for empty arrays).
+pub fn max(a: &NdArray) -> f64 {
+    a.as_slice().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Reduce a rank-2 array along `axis`:
+/// `axis = 0` collapses rows (result has one value per column);
+/// `axis = 1` collapses columns (result has one value per row).
+///
+/// # Panics
+///
+/// Panics on rank-1 input or `axis > 1`.
+pub fn sum_axis(a: &NdArray, axis: usize) -> NdArray {
+    fold_axis(a, axis, 0.0, |acc, x| acc + x)
+}
+
+/// Mean along an axis (see [`sum_axis`]).
+pub fn mean_axis(a: &NdArray, axis: usize) -> NdArray {
+    let n = if axis == 0 { a.rows() } else { a.cols() };
+    let s = sum_axis(a, axis);
+    crate::elementwise::div_scalar(&s, n as f64)
+}
+
+/// Minimum along an axis.
+pub fn min_axis(a: &NdArray, axis: usize) -> NdArray {
+    fold_axis(a, axis, f64::INFINITY, f64::min)
+}
+
+/// Maximum along an axis.
+pub fn max_axis(a: &NdArray, axis: usize) -> NdArray {
+    fold_axis(a, axis, f64::NEG_INFINITY, f64::max)
+}
+
+fn fold_axis(a: &NdArray, axis: usize, init: f64, f: fn(f64, f64) -> f64) -> NdArray {
+    assert_eq!(a.ndim(), 2, "axis reductions require rank-2 arrays");
+    assert!(axis <= 1, "axis must be 0 or 1, got {axis}");
+    let (rows, cols) = (a.rows(), a.cols());
+    let data = a.as_slice();
+    if axis == 0 {
+        let mut out = vec![init; cols];
+        for r in 0..rows {
+            let row = &data[r * cols..(r + 1) * cols];
+            for c in 0..cols {
+                out[c] = f(out[c], row[c]);
+            }
+        }
+        NdArray::from_vec(out)
+    } else {
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &data[r * cols..(r + 1) * cols];
+            out.push(row.iter().copied().fold(init, f));
+        }
+        NdArray::from_vec(out)
+    }
+}
+
+/// Dot product of two rank-1 arrays.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are not rank-1.
+pub fn dot(a: &NdArray, b: &NdArray) -> f64 {
+    assert_eq!(a.ndim(), 1, "dot requires rank-1 arrays");
+    assert_eq!(b.ndim(), 1, "dot requires rank-1 arrays");
+    vectormath::ddot(a.as_slice(), b.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m23() -> NdArray {
+        NdArray::from_shape_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn full_reductions() {
+        let a = m23();
+        assert_eq!(sum(&a), 21.0);
+        assert_eq!(mean(&a), 3.5);
+        assert_eq!(min(&a), 1.0);
+        assert_eq!(max(&a), 6.0);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let a = m23();
+        assert_eq!(sum_axis(&a, 0).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sum_axis(&a, 1).as_slice(), &[6.0, 15.0]);
+        assert_eq!(mean_axis(&a, 0).as_slice(), &[2.5, 3.5, 4.5]);
+        assert_eq!(mean_axis(&a, 1).as_slice(), &[2.0, 5.0]);
+        assert_eq!(min_axis(&a, 1).as_slice(), &[1.0, 4.0]);
+        assert_eq!(max_axis(&a, 0).as_slice(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn axis_reduction_is_associative_over_row_chunks() {
+        // The property Ex. 5's ReduceSplit merge relies on.
+        let a = NdArray::from_shape_vec(&[4, 2], (0..8).map(|i| i as f64).collect());
+        let whole = sum_axis(&a, 0);
+        let top = sum_axis(&a.view_rows(0, 2), 0);
+        let bot = sum_axis(&a.view_rows(2, 4), 0);
+        let merged = crate::elementwise::add(&top, &bot);
+        assert_eq!(whole, merged);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0]);
+        let b = NdArray::from_vec(vec![4.0, 5.0, 6.0]);
+        assert_eq!(dot(&a, &b), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis reductions require rank-2")]
+    fn axis_reduction_requires_rank2() {
+        sum_axis(&NdArray::from_vec(vec![1.0]), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Structural operators: concatenation, transpose, roll, tiling.
+//!
+//! `roll` along axis 0 moves data *between* rows — the kind of operator
+//! a row-based split type cannot support (it becomes a stage boundary
+//! or an unannotated call under Mozart). `roll` along axis 1 permutes
+//! *within* each row and splits fine. The Shallow Water workload uses
+//! both, which is why the paper reports it pipelines only partially.
+
+use crate::array::NdArray;
+
+/// Concatenate along axis 0 (rows for rank-2; elements for rank-1).
+///
+/// # Panics
+///
+/// Panics if the arrays' trailing dimensions differ or `parts` is empty.
+pub fn concat(parts: &[NdArray]) -> NdArray {
+    assert!(!parts.is_empty(), "concat of zero arrays");
+    let first = &parts[0];
+    let trailing: &[usize] = &first.shape()[1..];
+    let mut rows = 0;
+    for p in parts {
+        assert_eq!(p.ndim(), first.ndim(), "concat: rank mismatch");
+        assert_eq!(&p.shape()[1..], trailing, "concat: trailing shape mismatch");
+        rows += p.shape()[0];
+    }
+    let mut data = Vec::with_capacity(rows * trailing.iter().product::<usize>().max(1));
+    for p in parts {
+        data.extend_from_slice(p.as_slice());
+    }
+    let mut shape = first.shape().to_vec();
+    shape[0] = rows;
+    NdArray::from_shape_vec(&shape, data)
+}
+
+/// Transpose a rank-2 array (copies).
+///
+/// # Panics
+///
+/// Panics on rank-1 input.
+pub fn transpose(a: &NdArray) -> NdArray {
+    assert_eq!(a.ndim(), 2, "transpose requires rank-2");
+    let (rows, cols) = (a.rows(), a.cols());
+    let src = a.as_slice();
+    let mut out = vec![0.0; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = src[r * cols + c];
+        }
+    }
+    NdArray::from_shape_vec(&[cols, rows], out)
+}
+
+/// Circularly shift a rank-2 array by `k` along `axis` (like
+/// `numpy.roll`). Positive `k` shifts toward higher indices.
+///
+/// # Panics
+///
+/// Panics on rank-1 input or `axis > 1`.
+pub fn roll(a: &NdArray, k: i64, axis: usize) -> NdArray {
+    assert_eq!(a.ndim(), 2, "roll requires rank-2");
+    assert!(axis <= 1, "axis must be 0 or 1");
+    let (rows, cols) = (a.rows(), a.cols());
+    let src = a.as_slice();
+    let mut out = vec![0.0; rows * cols];
+    if axis == 0 {
+        let shift = k.rem_euclid(rows as i64) as usize;
+        for r in 0..rows {
+            let dst_r = (r + shift) % rows;
+            out[dst_r * cols..(dst_r + 1) * cols]
+                .copy_from_slice(&src[r * cols..(r + 1) * cols]);
+        }
+    } else {
+        let shift = k.rem_euclid(cols as i64) as usize;
+        for r in 0..rows {
+            let row = &src[r * cols..(r + 1) * cols];
+            let dst = &mut out[r * cols..(r + 1) * cols];
+            for c in 0..cols {
+                dst[(c + shift) % cols] = row[c];
+            }
+        }
+    }
+    NdArray::from_shape_vec(&[rows, cols], out)
+}
+
+/// Repeat a rank-1 array as the rows of a new rank-2 array (like
+/// `numpy.tile(v, (rows, 1))`).
+///
+/// # Panics
+///
+/// Panics on rank-2 input.
+pub fn tile_rows(v: &NdArray, rows: usize) -> NdArray {
+    assert_eq!(v.ndim(), 1, "tile_rows requires rank-1");
+    let mut data = Vec::with_capacity(rows * v.len());
+    for _ in 0..rows {
+        data.extend_from_slice(v.as_slice());
+    }
+    NdArray::from_shape_vec(&[rows, v.len()], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m23() -> NdArray {
+        NdArray::from_shape_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn concat_restores_row_splits() {
+        let a = NdArray::from_shape_vec(&[4, 2], (0..8).map(|i| i as f64).collect());
+        let parts = vec![a.view_rows(0, 1), a.view_rows(1, 3), a.view_rows(3, 4)];
+        assert_eq!(concat(&parts), a);
+    }
+
+    #[test]
+    fn concat_rank1() {
+        let a = NdArray::from_vec(vec![1.0, 2.0]);
+        let b = NdArray::from_vec(vec![3.0]);
+        assert_eq!(concat(&[a, b]).as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = m23();
+        let t = transpose(&a);
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(2, 1), 6.0);
+        assert_eq!(transpose(&t), a);
+    }
+
+    #[test]
+    fn roll_axis0_moves_rows() {
+        let a = m23();
+        let r = roll(&a, 1, 0);
+        assert_eq!(r.as_slice(), &[4.0, 5.0, 6.0, 1.0, 2.0, 3.0]);
+        let r = roll(&a, -1, 0);
+        assert_eq!(r.as_slice(), &[4.0, 5.0, 6.0, 1.0, 2.0, 3.0]);
+        assert_eq!(roll(&a, 2, 0), a);
+    }
+
+    #[test]
+    fn roll_axis1_permutes_within_rows() {
+        let a = m23();
+        let r = roll(&a, 1, 1);
+        assert_eq!(r.as_slice(), &[3.0, 1.0, 2.0, 6.0, 4.0, 5.0]);
+        // Rolling rows independently composes with row splits — the
+        // property that makes axis-1 roll annotatable.
+        let top = roll(&a.view_rows(0, 1), 1, 1);
+        let bot = roll(&a.view_rows(1, 2), 1, 1);
+        assert_eq!(concat(&[top, bot]), r);
+    }
+
+    #[test]
+    fn tile_rows_repeats() {
+        let v = NdArray::from_vec(vec![1.0, 2.0]);
+        let t = tile_rows(&v, 3);
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.as_slice(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+}

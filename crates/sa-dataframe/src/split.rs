@@ -1,0 +1,206 @@
+//! The `RowSplit` split type shared by DataFrames and Series.
+//!
+//! The paper's Pandas integration "implements split types over
+//! DataFrames and Series by splitting by row" (§7). Split type equality
+//! is by name and parameters, so a frame and a column with the same row
+//! count carry the *same* split type `RowSplit<rows>` and pipeline
+//! freely (e.g. `df.col(...)` flows into Series arithmetic); `split`
+//! and `merge` dispatch on the concrete piece type.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use dataframe::{Column, DataFrame};
+use mozart_core::prelude::*;
+
+/// `DataValue` wrapper for [`DataFrame`].
+#[derive(Debug, Clone)]
+pub struct DfValue(pub DataFrame);
+
+impl mozart_core::value::DataObject for DfValue {
+    fn type_name(&self) -> &'static str {
+        "DfValue"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// `DataValue` wrapper for [`Column`] (a Series).
+#[derive(Debug, Clone)]
+pub struct ColValue(pub Column);
+
+impl mozart_core::value::DataObject for ColValue {
+    fn type_name(&self) -> &'static str {
+        "ColValue"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Row-based split type for frames and columns. Parameter: row count.
+pub struct RowSplit;
+
+impl RowSplit {
+    /// Shared instance.
+    pub fn shared() -> Arc<dyn Splitter> {
+        Arc::new(RowSplit)
+    }
+
+    fn rows_of(v: &DataValue) -> Result<usize> {
+        if let Some(d) = v.downcast_ref::<DfValue>() {
+            return Ok(d.0.num_rows());
+        }
+        if let Some(c) = v.downcast_ref::<ColValue>() {
+            return Ok(c.0.len());
+        }
+        Err(Error::Split {
+            split_type: "RowSplit",
+            message: format!("expected DfValue or ColValue, got {}", v.type_name()),
+        })
+    }
+}
+
+impl Splitter for RowSplit {
+    fn name(&self) -> &'static str {
+        "RowSplit"
+    }
+
+    fn construct(&self, ctor_args: &[&DataValue]) -> Result<Params> {
+        let v = ctor_args.first().ok_or_else(|| Error::Constructor {
+            split_type: "RowSplit",
+            message: "expected a frame or series argument".into(),
+        })?;
+        Ok(vec![Self::rows_of(v)? as i64])
+    }
+
+    fn info(&self, _arg: &DataValue, params: &Params) -> Result<RuntimeInfo> {
+        Ok(RuntimeInfo {
+            total_elements: params.first().copied().unwrap_or(0).max(0) as u64,
+            // Approximate row footprint; Pandas rows are wide, use a
+            // conservative 64 bytes so batches stay cache-resident.
+            elem_size_bytes: 64,
+        })
+    }
+
+    fn split(&self, arg: &DataValue, range: Range<u64>, params: &Params) -> Result<Option<DataValue>> {
+        let rows = Self::rows_of(arg)?;
+        let declared = params.first().copied().unwrap_or(0).max(0) as usize;
+        if rows != declared {
+            return Err(Error::Split {
+                split_type: "RowSplit",
+                message: format!("value has {rows} rows, split type says {declared}"),
+            });
+        }
+        if range.start >= rows as u64 {
+            return Ok(None);
+        }
+        let start = range.start as usize;
+        let end = (range.end as usize).min(rows);
+        if let Some(d) = arg.downcast_ref::<DfValue>() {
+            return Ok(Some(DataValue::new(DfValue(d.0.slice_rows(start, end)))));
+        }
+        if let Some(c) = arg.downcast_ref::<ColValue>() {
+            return Ok(Some(DataValue::new(ColValue(c.0.slice(start, end)))));
+        }
+        unreachable!("rows_of validated the type");
+    }
+
+    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+        let first = pieces.first().ok_or_else(|| Error::Merge {
+            split_type: "RowSplit",
+            message: "no pieces".into(),
+        })?;
+        if first.downcast_ref::<DfValue>().is_some() {
+            let frames: Vec<DataFrame> = pieces
+                .iter()
+                .map(|p| {
+                    p.downcast_ref::<DfValue>().map(|d| d.0.clone()).ok_or_else(|| Error::Merge {
+                        split_type: "RowSplit",
+                        message: "mixed piece types".into(),
+                    })
+                })
+                .collect::<Result<_>>()?;
+            return Ok(DataValue::new(DfValue(DataFrame::concat(&frames))));
+        }
+        if first.downcast_ref::<ColValue>().is_some() {
+            let cols: Vec<Column> = pieces
+                .iter()
+                .map(|p| {
+                    p.downcast_ref::<ColValue>().map(|c| c.0.clone()).ok_or_else(|| Error::Merge {
+                        split_type: "RowSplit",
+                        message: "mixed piece types".into(),
+                    })
+                })
+                .collect::<Result<_>>()?;
+            return Ok(DataValue::new(ColValue(Column::concat(&cols))));
+        }
+        Err(Error::Merge {
+            split_type: "RowSplit",
+            message: format!("unexpected piece type {}", first.type_name()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_df() -> DataFrame {
+        DataFrame::from_cols(vec![
+            ("id", Column::from_i64((0..10).collect())),
+            ("v", Column::from_f64((0..10).map(|i| i as f64).collect())),
+        ])
+    }
+
+    #[test]
+    fn frame_and_column_share_one_split_type() {
+        let s = RowSplit;
+        let d = DataValue::new(DfValue(test_df()));
+        let c = DataValue::new(ColValue(test_df().col("v").clone()));
+        let pd = s.construct(&[&d]).unwrap();
+        let pc = s.construct(&[&c]).unwrap();
+        assert_eq!(pd, pc);
+        let a = SplitInstance::new(RowSplit::shared(), pd);
+        let b = SplitInstance::new(RowSplit::shared(), pc);
+        assert!(a.same_type(&b));
+    }
+
+    #[test]
+    fn split_merge_roundtrip_frame() {
+        let s = RowSplit;
+        let d = DataValue::new(DfValue(test_df()));
+        let params = vec![10];
+        let p1 = s.split(&d, 0..4, &params).unwrap().unwrap();
+        let p2 = s.split(&d, 4..10, &params).unwrap().unwrap();
+        let merged = s.merge(vec![p1, p2], &params).unwrap();
+        let m = merged.downcast_ref::<DfValue>().unwrap();
+        assert_eq!(m.0.num_rows(), 10);
+        assert_eq!(m.0.col("id").i64s(), test_df().col("id").i64s());
+    }
+
+    #[test]
+    fn split_merge_roundtrip_column() {
+        let s = RowSplit;
+        let c = DataValue::new(ColValue(Column::from_strs(&["a", "b", "c"])));
+        let params = vec![3];
+        let p1 = s.split(&c, 0..2, &params).unwrap().unwrap();
+        let p2 = s.split(&c, 2..3, &params).unwrap().unwrap();
+        let merged = s.merge(vec![p1, p2], &params).unwrap();
+        assert_eq!(
+            merged.downcast_ref::<ColValue>().unwrap().0.strs(),
+            &["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+        // Out-of-range terminates.
+        assert!(s.split(&c, 3..5, &params).unwrap().is_none());
+    }
+
+    #[test]
+    fn stale_params_rejected() {
+        let s = RowSplit;
+        let c = DataValue::new(ColValue(Column::from_i64(vec![1, 2])));
+        assert!(s.split(&c, 0..1, &vec![5]).is_err());
+        assert!(s.merge(vec![], &vec![0]).is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! # sa-image — split annotations for the `imagelib` library
+//!
+//! The annotator-side integration for the ImageMagick stand-in (§7
+//! "ImageMagick"): one split type over the opaque image handle, "where
+//! the split function uses a crop function to clone and return a subset
+//! of the original image" and the merger uses the append API "to
+//! reconstruct the final result".
+//!
+//! Splits and merges *copy* pixel data (crop clones, append
+//! reallocates), exactly like the real API — the paper reports this is
+//! why end-to-end ImageMagick speedups are limited despite pipelining
+//! (§8.2, Figures 4n–o).
+//!
+//! `imagelib::blur` is deliberately **not** annotated: its edge
+//! boundary condition violates the SA correctness condition (§7.1).
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::{Arc, LazyLock};
+
+use imagelib::Image;
+use mozart_core::annotation::{generic, missing};
+use mozart_core::prelude::*;
+
+/// `DataValue` wrapper for [`Image`].
+#[derive(Debug, Clone)]
+pub struct ImgValue(pub Image);
+
+impl mozart_core::value::DataObject for ImgValue {
+    fn type_name(&self) -> &'static str {
+        "ImgValue"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Row-band split type for images. Parameters: `(height, width)`.
+pub struct ImageSplit;
+
+impl ImageSplit {
+    /// Shared instance.
+    pub fn shared() -> Arc<dyn Splitter> {
+        Arc::new(ImageSplit)
+    }
+}
+
+impl Splitter for ImageSplit {
+    fn name(&self) -> &'static str {
+        "ImageSplit"
+    }
+
+    fn construct(&self, ctor_args: &[&DataValue]) -> Result<Params> {
+        let img = ctor_args
+            .first()
+            .and_then(|v| v.downcast_ref::<ImgValue>())
+            .ok_or_else(|| Error::Constructor {
+                split_type: "ImageSplit",
+                message: "expected an image argument".into(),
+            })?;
+        Ok(vec![img.0.height() as i64, img.0.width() as i64])
+    }
+
+    fn info(&self, _arg: &DataValue, params: &Params) -> Result<RuntimeInfo> {
+        let h = params.first().copied().unwrap_or(0).max(0) as u64;
+        let w = params.get(1).copied().unwrap_or(0).max(0) as u64;
+        Ok(RuntimeInfo {
+            total_elements: h,
+            elem_size_bytes: w * (Image::CHANNELS as u64) * 4,
+        })
+    }
+
+    fn split(&self, arg: &DataValue, range: Range<u64>, params: &Params) -> Result<Option<DataValue>> {
+        let img = arg.downcast_ref::<ImgValue>().ok_or_else(|| Error::Split {
+            split_type: "ImageSplit",
+            message: format!("expected ImgValue, got {}", arg.type_name()),
+        })?;
+        let h = params.first().copied().unwrap_or(0).max(0) as u64;
+        if img.0.height() as u64 != h {
+            return Err(Error::Split {
+                split_type: "ImageSplit",
+                message: format!(
+                    "image height {} does not match split type parameter {h}",
+                    img.0.height()
+                ),
+            });
+        }
+        if range.start >= h {
+            return Ok(None);
+        }
+        let end = range.end.min(h);
+        // Crop clones the band, like MagickWand's crop (§7).
+        Ok(Some(DataValue::new(ImgValue(
+            img.0.crop_rows(range.start as usize, end as usize),
+        ))))
+    }
+
+    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+        let bands: Vec<Image> = pieces
+            .iter()
+            .map(|p| {
+                p.downcast_ref::<ImgValue>().map(|i| i.0.clone()).ok_or_else(|| Error::Merge {
+                    split_type: "ImageSplit",
+                    message: format!("expected ImgValue piece, got {}", p.type_name()),
+                })
+            })
+            .collect::<Result<_>>()?;
+        Ok(DataValue::new(ImgValue(Image::append_rows(&bands))))
+    }
+}
+
+/// Register this integration's default split types. Idempotent.
+pub fn register_defaults() {
+    mozart_core::registry::register_default_splitter::<ImgValue>(ImageSplit::shared());
+}
+
+/// Values accepted by the wrappers.
+pub trait ImgArg {
+    /// Convert to a Mozart argument value.
+    fn to_value(&self) -> DataValue;
+}
+
+impl ImgArg for Image {
+    fn to_value(&self) -> DataValue {
+        DataValue::new(ImgValue(self.clone()))
+    }
+}
+impl ImgArg for FutureHandle {
+    fn to_value(&self) -> DataValue {
+        self.as_value()
+    }
+}
+
+/// Materialize a lazy image result.
+pub fn get_image(f: &FutureHandle) -> Result<Image> {
+    let dv = f.get()?;
+    dv.downcast_ref::<ImgValue>().map(|i| i.0.clone()).ok_or(Error::ArgType {
+        function: "sa_image::get_image",
+        arg: 0,
+        expected: "ImgValue",
+        actual: dv.type_name(),
+    })
+}
+
+fn img_piece(inv: &Invocation<'_>, i: usize) -> Result<Image> {
+    Ok(inv.arg::<ImgValue>(i)?.0.clone())
+}
+
+macro_rules! img_sa_unary {
+    ($(#[$doc:meta])* $name:ident, $annot:ident, $f:path) => {
+        static $annot: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
+            Annotation::new(stringify!($name), |inv| {
+                let img = img_piece(inv, 0)?;
+                Ok(Some(DataValue::new(ImgValue($f(&img)))))
+            })
+            .arg("img", generic(0))
+            .ret(generic(0))
+            .build()
+        });
+
+        $(#[$doc])*
+        pub fn $name(ctx: &MozartContext, img: &impl ImgArg) -> Result<FutureHandle> {
+            Ok(ctx.call(&$annot, vec![img.to_value()])?.expect("returns"))
+        }
+    };
+}
+
+img_sa_unary!(
+    /// Annotated luminance grayscale.
+    grayscale, GRAYSCALE, imagelib::grayscale
+);
+img_sa_unary!(
+    /// Annotated channel inversion.
+    invert, INVERT, imagelib::invert
+);
+img_sa_unary!(
+    /// Annotated sepia tone.
+    sepia, SEPIA, imagelib::sepia
+);
+
+static GAMMA: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
+    Annotation::new("gamma", |inv| {
+        let img = img_piece(inv, 0)?;
+        let g = inv.float(1)? as f32;
+        Ok(Some(DataValue::new(ImgValue(imagelib::gamma(&img, g)))))
+    })
+    .arg("img", generic(0))
+    .arg("g", missing())
+    .ret(generic(0))
+    .build()
+});
+
+/// Annotated gamma correction.
+pub fn gamma(ctx: &MozartContext, img: &impl ImgArg, g: f32) -> Result<FutureHandle> {
+    Ok(ctx
+        .call(&GAMMA, vec![img.to_value(), DataValue::new(FloatValue(g as f64))])?
+        .expect("returns"))
+}
+
+static CONTRAST: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
+    Annotation::new("contrast", |inv| {
+        let img = img_piece(inv, 0)?;
+        let amount = inv.float(1)? as f32;
+        Ok(Some(DataValue::new(ImgValue(imagelib::contrast(&img, amount)))))
+    })
+    .arg("img", generic(0))
+    .arg("amount", missing())
+    .ret(generic(0))
+    .build()
+});
+
+/// Annotated sigmoidal contrast adjustment.
+pub fn contrast(ctx: &MozartContext, img: &impl ImgArg, amount: f32) -> Result<FutureHandle> {
+    Ok(ctx
+        .call(&CONTRAST, vec![img.to_value(), DataValue::new(FloatValue(amount as f64))])?
+        .expect("returns"))
+}
+
+static MODULATE: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
+    Annotation::new("modulate", |inv| {
+        let img = img_piece(inv, 0)?;
+        let b = inv.float(1)? as f32;
+        let s = inv.float(2)? as f32;
+        let h = inv.float(3)? as f32;
+        Ok(Some(DataValue::new(ImgValue(imagelib::modulate(&img, b, s, h)))))
+    })
+    .arg("img", generic(0))
+    .arg("brightness", missing())
+    .arg("saturation", missing())
+    .arg("hue", missing())
+    .ret(generic(0))
+    .build()
+});
+
+/// Annotated HSV modulation (percentages, 100 = unchanged).
+pub fn modulate(
+    ctx: &MozartContext,
+    img: &impl ImgArg,
+    brightness: f32,
+    saturation: f32,
+    hue: f32,
+) -> Result<FutureHandle> {
+    Ok(ctx
+        .call(
+            &MODULATE,
+            vec![
+                img.to_value(),
+                DataValue::new(FloatValue(brightness as f64)),
+                DataValue::new(FloatValue(saturation as f64)),
+                DataValue::new(FloatValue(hue as f64)),
+            ],
+        )?
+        .expect("returns"))
+}
+
+static COLORIZE: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
+    Annotation::new("colorize", |inv| {
+        let img = img_piece(inv, 0)?;
+        let r = inv.float(1)? as f32;
+        let g = inv.float(2)? as f32;
+        let b = inv.float(3)? as f32;
+        let alpha = inv.float(4)? as f32;
+        Ok(Some(DataValue::new(ImgValue(imagelib::colorize(&img, [r, g, b], alpha)))))
+    })
+    .arg("img", generic(0))
+    .arg("r", missing())
+    .arg("g", missing())
+    .arg("b", missing())
+    .arg("alpha", missing())
+    .ret(generic(0))
+    .build()
+});
+
+/// Annotated color blend at `alpha` opacity.
+pub fn colorize(
+    ctx: &MozartContext,
+    img: &impl ImgArg,
+    rgb: [f32; 3],
+    alpha: f32,
+) -> Result<FutureHandle> {
+    Ok(ctx
+        .call(
+            &COLORIZE,
+            vec![
+                img.to_value(),
+                DataValue::new(FloatValue(rgb[0] as f64)),
+                DataValue::new(FloatValue(rgb[1] as f64)),
+                DataValue::new(FloatValue(rgb[2] as f64)),
+                DataValue::new(FloatValue(alpha as f64)),
+            ],
+        )?
+        .expect("returns"))
+}
+
+static COLORTONE: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
+    Annotation::new("colortone", |inv| {
+        let img = img_piece(inv, 0)?;
+        let r = inv.float(1)? as f32;
+        let g = inv.float(2)? as f32;
+        let b = inv.float(3)? as f32;
+        let negate = inv.int(4)? != 0;
+        Ok(Some(DataValue::new(ImgValue(imagelib::colortone(&img, [r, g, b], negate)))))
+    })
+    .arg("img", generic(0))
+    .arg("r", missing())
+    .arg("g", missing())
+    .arg("b", missing())
+    .arg("negate", missing())
+    .ret(generic(0))
+    .build()
+});
+
+/// Annotated colortone (multiply/screen overlay).
+pub fn colortone(
+    ctx: &MozartContext,
+    img: &impl ImgArg,
+    rgb: [f32; 3],
+    negate: bool,
+) -> Result<FutureHandle> {
+    Ok(ctx
+        .call(
+            &COLORTONE,
+            vec![
+                img.to_value(),
+                DataValue::new(FloatValue(rgb[0] as f64)),
+                DataValue::new(FloatValue(rgb[1] as f64)),
+                DataValue::new(FloatValue(rgb[2] as f64)),
+                DataValue::new(IntValue(negate as i64)),
+            ],
+        )?
+        .expect("returns"))
+}
+
+static LEVELS: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
+    Annotation::new("levels", |inv| {
+        let img = img_piece(inv, 0)?;
+        let black = inv.float(1)? as f32;
+        let white = inv.float(2)? as f32;
+        Ok(Some(DataValue::new(ImgValue(imagelib::levels(&img, black, white)))))
+    })
+    .arg("img", generic(0))
+    .arg("black", missing())
+    .arg("white", missing())
+    .ret(generic(0))
+    .build()
+});
+
+/// Annotated linear level mapping.
+pub fn levels(
+    ctx: &MozartContext,
+    img: &impl ImgArg,
+    black: f32,
+    white: f32,
+) -> Result<FutureHandle> {
+    Ok(ctx
+        .call(
+            &LEVELS,
+            vec![
+                img.to_value(),
+                DataValue::new(FloatValue(black as f64)),
+                DataValue::new(FloatValue(white as f64)),
+            ],
+        )?
+        .expect("returns"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> MozartContext {
+        register_defaults();
+        let mut cfg = Config::with_workers(2);
+        cfg.batch_override = Some(5);
+        cfg.pedantic = true;
+        MozartContext::new(cfg)
+    }
+
+    #[test]
+    fn split_merge_roundtrip() {
+        let s = ImageSplit;
+        let img = Image::synthetic(12, 17, 1);
+        let arg = DataValue::new(ImgValue(img.clone()));
+        let params = s.construct(&[&arg]).unwrap();
+        assert_eq!(params, vec![17, 12]);
+        let p1 = s.split(&arg, 0..9, &params).unwrap().unwrap();
+        let p2 = s.split(&arg, 9..17, &params).unwrap().unwrap();
+        let merged = s.merge(vec![p1, p2], &params).unwrap();
+        let out = merged.downcast_ref::<ImgValue>().unwrap();
+        assert_eq!(out.0.mean_abs_diff(&img), 0.0);
+        assert!(s.split(&arg, 17..20, &params).unwrap().is_none());
+    }
+
+    #[test]
+    fn filter_pipeline_matches_direct() {
+        let c = ctx();
+        let img = Image::synthetic(24, 31, 7);
+        // A Nashville-like chain.
+        let t = colortone(&c, &img, [0.13, 0.17, 0.43], false).unwrap();
+        let t = gamma(&c, &t, 1.3).unwrap();
+        let t = modulate(&c, &t, 100.0, 150.0, 100.0).unwrap();
+        let out = get_image(&t).unwrap();
+
+        let direct = imagelib::modulate(
+            &imagelib::gamma(&imagelib::colortone(&img, [0.13, 0.17, 0.43], false), 1.3),
+            100.0,
+            150.0,
+            100.0,
+        );
+        assert!(out.mean_abs_diff(&direct) < 1e-6);
+        assert_eq!(c.stats().stages, 1, "per-pixel chain pipelines");
+    }
+
+    #[test]
+    fn remaining_wrappers_match_direct() {
+        let c = ctx();
+        let img = Image::synthetic(10, 13, 3);
+        assert!(get_image(&grayscale(&c, &img).unwrap())
+            .unwrap()
+            .mean_abs_diff(&imagelib::grayscale(&img))
+            < 1e-7);
+        assert!(get_image(&invert(&c, &img).unwrap())
+            .unwrap()
+            .mean_abs_diff(&imagelib::invert(&img))
+            < 1e-7);
+        assert!(get_image(&sepia(&c, &img).unwrap())
+            .unwrap()
+            .mean_abs_diff(&imagelib::sepia(&img))
+            < 1e-7);
+        assert!(get_image(&contrast(&c, &img, 4.0).unwrap())
+            .unwrap()
+            .mean_abs_diff(&imagelib::contrast(&img, 4.0))
+            < 1e-6);
+        assert!(get_image(&levels(&c, &img, 0.1, 0.9).unwrap())
+            .unwrap()
+            .mean_abs_diff(&imagelib::levels(&img, 0.1, 0.9))
+            < 1e-6);
+        assert!(get_image(&colorize(&c, &img, [0.5, 0.1, 0.9], 0.4).unwrap())
+            .unwrap()
+            .mean_abs_diff(&imagelib::colorize(&img, [0.5, 0.1, 0.9], 0.4))
+            < 1e-7);
+    }
+}

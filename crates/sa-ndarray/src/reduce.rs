@@ -1,0 +1,271 @@
+//! Merge-only split types for reduction operators ("we implemented
+//! split types for each reduction operator to merge the partial
+//! results: these only required merge functions", §7).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use mozart_core::prelude::*;
+use ndarray_lite::NdArray;
+
+use crate::split::NdValue;
+
+/// Re-mergeable partial mean: `(sum, count)`.
+///
+/// Keeping partials re-mergeable (instead of finishing to a scalar at
+/// the worker level) is what makes the merge associative, the §3.4
+/// requirement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialMean {
+    /// Partial sum.
+    pub sum: f64,
+    /// Partial count.
+    pub count: u64,
+}
+
+impl PartialMean {
+    /// The finished mean.
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl mozart_core::value::DataObject for PartialMean {
+    fn type_name(&self) -> &'static str {
+        "PartialMean"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+macro_rules! scalar_reduce {
+    ($(#[$doc:meta])* $name:ident, $tyname:literal, $init:expr, $f:expr) => {
+        $(#[$doc])*
+        pub struct $name;
+
+        impl $name {
+            /// Shared instance.
+            pub fn shared() -> Arc<dyn Splitter> {
+                Arc::new($name)
+            }
+        }
+
+        impl Splitter for $name {
+            fn name(&self) -> &'static str {
+                $tyname
+            }
+            fn terminal(&self) -> bool {
+                true
+            }
+            fn construct(&self, _ctor_args: &[&DataValue]) -> Result<Params> {
+                Ok(vec![])
+            }
+            fn info(&self, _arg: &DataValue, _p: &Params) -> Result<RuntimeInfo> {
+                Err(Error::Split {
+                    split_type: $tyname,
+                    message: "merge-only split type".into(),
+                })
+            }
+            fn split(&self, _a: &DataValue, _r: Range<u64>, _p: &Params) -> Result<Option<DataValue>> {
+                Err(Error::Split {
+                    split_type: $tyname,
+                    message: "merge-only split type".into(),
+                })
+            }
+            fn merge(&self, pieces: Vec<DataValue>, _p: &Params) -> Result<DataValue> {
+                let f = $f;
+                let mut acc: f64 = $init;
+                for p in pieces {
+                    let v = p.downcast_ref::<FloatValue>().ok_or_else(|| Error::Merge {
+                        split_type: $tyname,
+                        message: format!("expected FloatValue, got {}", p.type_name()),
+                    })?;
+                    acc = f(acc, v.0);
+                }
+                Ok(DataValue::new(FloatValue(acc)))
+            }
+        }
+    };
+}
+
+scalar_reduce!(
+    /// Merge for full `sum` reductions.
+    SumReduce, "SumReduce", 0.0, |a: f64, b: f64| a + b
+);
+scalar_reduce!(
+    /// Merge for full `min` reductions.
+    MinReduce, "MinReduce", f64::INFINITY, f64::min
+);
+scalar_reduce!(
+    /// Merge for full `max` reductions.
+    MaxReduce, "MaxReduce", f64::NEG_INFINITY, f64::max
+);
+
+/// Merge for full `mean` reductions over [`PartialMean`] pieces.
+pub struct MeanReduce;
+
+impl MeanReduce {
+    /// Shared instance.
+    pub fn shared() -> Arc<dyn Splitter> {
+        Arc::new(MeanReduce)
+    }
+}
+
+impl Splitter for MeanReduce {
+    fn name(&self) -> &'static str {
+        "MeanReduce"
+    }
+
+    fn terminal(&self) -> bool {
+        true
+    }
+    fn construct(&self, _ctor_args: &[&DataValue]) -> Result<Params> {
+        Ok(vec![])
+    }
+    fn info(&self, _arg: &DataValue, _p: &Params) -> Result<RuntimeInfo> {
+        Err(Error::Split { split_type: "MeanReduce", message: "merge-only".into() })
+    }
+    fn split(&self, _a: &DataValue, _r: Range<u64>, _p: &Params) -> Result<Option<DataValue>> {
+        Err(Error::Split { split_type: "MeanReduce", message: "merge-only".into() })
+    }
+    fn merge(&self, pieces: Vec<DataValue>, _p: &Params) -> Result<DataValue> {
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for p in pieces {
+            let v = p.downcast_ref::<PartialMean>().ok_or_else(|| Error::Merge {
+                split_type: "MeanReduce",
+                message: format!("expected PartialMean, got {}", p.type_name()),
+            })?;
+            sum += v.sum;
+            count += v.count;
+        }
+        Ok(DataValue::new(PartialMean { sum, count }))
+    }
+}
+
+/// Merge for axis reductions (Listing 4's Ex. 5 `ReduceSplit<axis>`):
+/// partial vectors from row chunks either sum elementwise (`axis = 0`,
+/// reduced *across* rows) or concatenate (`axis = 1`, reduced *within*
+/// rows). Parameter: the axis.
+pub struct AxisReduce;
+
+impl AxisReduce {
+    /// Shared instance.
+    pub fn shared() -> Arc<dyn Splitter> {
+        Arc::new(AxisReduce)
+    }
+}
+
+impl Splitter for AxisReduce {
+    fn name(&self) -> &'static str {
+        "AxisReduce"
+    }
+
+    fn terminal(&self) -> bool {
+        true
+    }
+
+    /// Constructor from the `axis` argument (the paper's
+    /// `ReduceSplit(axis)`).
+    fn construct(&self, ctor_args: &[&DataValue]) -> Result<Params> {
+        let axis = ctor_args
+            .first()
+            .and_then(|v| mozart_core::value::as_i64(v))
+            .ok_or_else(|| Error::Constructor {
+                split_type: "AxisReduce",
+                message: "expected integer axis argument".into(),
+            })?;
+        Ok(vec![axis])
+    }
+
+    fn info(&self, _arg: &DataValue, _p: &Params) -> Result<RuntimeInfo> {
+        Err(Error::Split { split_type: "AxisReduce", message: "merge-only".into() })
+    }
+
+    fn split(&self, _a: &DataValue, _r: Range<u64>, _p: &Params) -> Result<Option<DataValue>> {
+        Err(Error::Split { split_type: "AxisReduce", message: "merge-only".into() })
+    }
+
+    fn merge(&self, pieces: Vec<DataValue>, params: &Params) -> Result<DataValue> {
+        let axis = params.first().copied().unwrap_or(0);
+        let arrays: Vec<NdArray> = pieces
+            .iter()
+            .map(|p| {
+                p.downcast_ref::<NdValue>().map(|v| v.0.clone()).ok_or_else(|| Error::Merge {
+                    split_type: "AxisReduce",
+                    message: format!("expected NdValue piece, got {}", p.type_name()),
+                })
+            })
+            .collect::<Result<_>>()?;
+        if axis == 0 {
+            // Partial column-vectors: elementwise sum.
+            let mut acc = arrays[0].clone();
+            for a in &arrays[1..] {
+                acc = ndarray_lite::add(&acc, a);
+            }
+            Ok(DataValue::new(NdValue(acc)))
+        } else {
+            // Per-row results: concatenate in row order.
+            Ok(DataValue::new(NdValue(ndarray_lite::concat(&arrays))))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_merges() {
+        let mk = |x: f64| DataValue::new(FloatValue(x));
+        let s = SumReduce.merge(vec![mk(1.0), mk(2.5)], &vec![]).unwrap();
+        assert_eq!(s.downcast_ref::<FloatValue>().unwrap().0, 3.5);
+        let m = MinReduce.merge(vec![mk(4.0), mk(-1.0)], &vec![]).unwrap();
+        assert_eq!(m.downcast_ref::<FloatValue>().unwrap().0, -1.0);
+        let m = MaxReduce.merge(vec![mk(4.0), mk(-1.0)], &vec![]).unwrap();
+        assert_eq!(m.downcast_ref::<FloatValue>().unwrap().0, 4.0);
+    }
+
+    #[test]
+    fn mean_reduce_is_weighted_and_associative() {
+        let p = |sum: f64, count: u64| DataValue::new(PartialMean { sum, count });
+        // Unequal chunk sizes: naive mean-of-means would be wrong.
+        let all = MeanReduce.merge(vec![p(10.0, 1), p(2.0, 4)], &vec![]).unwrap();
+        let got = all.downcast_ref::<PartialMean>().unwrap();
+        assert_eq!(got.value(), 12.0 / 5.0);
+        // Associativity: merge of merges equals flat merge.
+        let left = MeanReduce.merge(vec![p(10.0, 1)], &vec![]).unwrap();
+        let nested = MeanReduce.merge(vec![left, p(2.0, 4)], &vec![]).unwrap();
+        assert_eq!(*nested.downcast_ref::<PartialMean>().unwrap(), *got);
+    }
+
+    #[test]
+    fn axis_reduce_merges_by_axis() {
+        let nd = |a: NdArray| DataValue::new(NdValue(a));
+        // axis 0: partials add elementwise.
+        let p1 = nd(NdArray::from_vec(vec![1.0, 2.0]));
+        let p2 = nd(NdArray::from_vec(vec![10.0, 20.0]));
+        let m = AxisReduce.merge(vec![p1, p2], &vec![0]).unwrap();
+        assert_eq!(m.downcast_ref::<NdValue>().unwrap().0.as_slice(), &[11.0, 22.0]);
+        // axis 1: partials concatenate.
+        let p1 = nd(NdArray::from_vec(vec![1.0, 2.0]));
+        let p2 = nd(NdArray::from_vec(vec![3.0]));
+        let m = AxisReduce.merge(vec![p1, p2], &vec![1]).unwrap();
+        assert_eq!(m.downcast_ref::<NdValue>().unwrap().0.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn axis_constructor_reads_axis_argument() {
+        let axis = DataValue::new(IntValue(1));
+        assert_eq!(AxisReduce.construct(&[&axis]).unwrap(), vec![1]);
+        // ReduceSplit<0> != ReduceSplit<1>.
+        let a = SplitInstance::new(AxisReduce::shared(), vec![0]);
+        let b = SplitInstance::new(AxisReduce::shared(), vec![1]);
+        assert!(!a.same_type(&b));
+    }
+}

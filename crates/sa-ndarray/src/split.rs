@@ -1,0 +1,155 @@
+//! The `NdSplit` split type: shape-parameterized row splitting of
+//! [`NdArray`] values.
+
+use std::ops::Range;
+
+use mozart_core::prelude::*;
+use ndarray_lite::NdArray;
+
+/// `DataValue` wrapper for [`NdArray`].
+///
+/// Arrays are immutable/functional, so no stable identity or protection
+/// flag is needed: results flow through `Future`s, never in-place.
+#[derive(Debug, Clone)]
+pub struct NdValue(pub NdArray);
+
+impl mozart_core::value::DataObject for NdValue {
+    fn type_name(&self) -> &'static str {
+        "NdValue"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Split type for `NdValue`: parameters are the array shape
+/// `(d0, d1)` with `d1 = 0` for rank-1 arrays (the paper's "single
+/// split type for ndarray, whose splitting behavior depends on its
+/// shape"). Splits are zero-copy leading-axis views; merges
+/// concatenate along the leading axis.
+pub struct NdSplit;
+
+impl NdSplit {
+    fn params_of(a: &NdArray) -> Params {
+        match a.shape() {
+            [n] => vec![*n as i64, 0],
+            [r, c] => vec![*r as i64, *c as i64],
+            other => unreachable!("rank {} arrays are unrepresentable", other.len()),
+        }
+    }
+}
+
+impl Splitter for NdSplit {
+    fn name(&self) -> &'static str {
+        "NdSplit"
+    }
+
+    /// Constructor from the array argument itself (shape-derived).
+    fn construct(&self, ctor_args: &[&DataValue]) -> Result<Params> {
+        let a = ctor_args
+            .first()
+            .and_then(|v| v.downcast_ref::<NdValue>())
+            .ok_or_else(|| Error::Constructor {
+                split_type: "NdSplit",
+                message: "expected an ndarray argument".into(),
+            })?;
+        Ok(Self::params_of(&a.0))
+    }
+
+    fn info(&self, _arg: &DataValue, params: &Params) -> Result<RuntimeInfo> {
+        let d0 = params.first().copied().unwrap_or(0).max(0) as u64;
+        let d1 = params.get(1).copied().unwrap_or(0).max(1) as u64;
+        Ok(RuntimeInfo {
+            total_elements: d0,
+            elem_size_bytes: d1 * std::mem::size_of::<f64>() as u64,
+        })
+    }
+
+    fn split(&self, arg: &DataValue, range: Range<u64>, params: &Params) -> Result<Option<DataValue>> {
+        let a = arg.downcast_ref::<NdValue>().ok_or_else(|| Error::Split {
+            split_type: "NdSplit",
+            message: format!("expected NdValue, got {}", arg.type_name()),
+        })?;
+        if Self::params_of(&a.0) != *params {
+            return Err(Error::Split {
+                split_type: "NdSplit",
+                message: format!(
+                    "array shape {:?} does not match split type parameters {params:?}",
+                    a.0.shape()
+                ),
+            });
+        }
+        let d0 = params[0].max(0) as u64;
+        if range.start >= d0 {
+            return Ok(None);
+        }
+        let end = range.end.min(d0);
+        Ok(Some(DataValue::new(NdValue(
+            a.0.view_rows(range.start as usize, end as usize),
+        ))))
+    }
+
+    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+        let arrays: Vec<NdArray> = pieces
+            .iter()
+            .map(|p| {
+                p.downcast_ref::<NdValue>().map(|v| v.0.clone()).ok_or_else(|| Error::Merge {
+                    split_type: "NdSplit",
+                    message: format!("expected NdValue piece, got {}", p.type_name()),
+                })
+            })
+            .collect::<Result<_>>()?;
+        Ok(DataValue::new(NdValue(ndarray_lite::concat(&arrays))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nd(a: NdArray) -> DataValue {
+        DataValue::new(NdValue(a))
+    }
+
+    #[test]
+    fn shape_parameterization() {
+        let s = NdSplit;
+        let v1 = nd(NdArray::from_vec(vec![0.0; 7]));
+        assert_eq!(s.construct(&[&v1]).unwrap(), vec![7, 0]);
+        let v2 = nd(NdArray::zeros(&[3, 5]));
+        assert_eq!(s.construct(&[&v2]).unwrap(), vec![3, 5]);
+        // Dependent types: different shapes never pipeline.
+        let a = SplitInstance::new(std::sync::Arc::new(NdSplit), vec![3, 5]);
+        let b = SplitInstance::new(std::sync::Arc::new(NdSplit), vec![5, 3]);
+        assert!(!a.same_type(&b));
+    }
+
+    #[test]
+    fn split_merge_roundtrip_rank2() {
+        let s = NdSplit;
+        let arr = NdArray::from_shape_vec(&[4, 2], (0..8).map(|i| i as f64).collect());
+        let params = vec![4, 2];
+        let p1 = s.split(&nd(arr.clone()), 0..2, &params).unwrap().unwrap();
+        let p2 = s.split(&nd(arr.clone()), 2..4, &params).unwrap().unwrap();
+        let merged = s.merge(vec![p1, p2], &params).unwrap();
+        assert_eq!(merged.downcast_ref::<NdValue>().unwrap().0, arr);
+        assert!(s.split(&nd(arr), 4..6, &params).unwrap().is_none());
+    }
+
+    #[test]
+    fn stale_params_rejected() {
+        let s = NdSplit;
+        let arr = nd(NdArray::zeros(&[4, 2]));
+        assert!(s.split(&arr, 0..2, &vec![5, 2]).is_err());
+    }
+
+    #[test]
+    fn info_accounts_row_bytes() {
+        let s = NdSplit;
+        let i = s.info(&nd(NdArray::zeros(&[10, 4])), &vec![10, 4]).unwrap();
+        assert_eq!(i.total_elements, 10);
+        assert_eq!(i.elem_size_bytes, 32);
+        let i = s.info(&nd(NdArray::zeros(&[10])), &vec![10, 0]).unwrap();
+        assert_eq!(i.elem_size_bytes, 8);
+    }
+}

@@ -1,0 +1,149 @@
+//! `MatrixSplit` — split type for row-major matrices stored in shared
+//! `f64` buffers (the MKL convention of pointer + dimensions).
+//!
+//! Parameters: `(rows, cols)`. Elements are **rows**: splitting range
+//! `[a, b)` yields the view covering rows `a..b`, i.e. the flat range
+//! `[a*cols, b*cols)` of the buffer. This is the split type the paper's
+//! MKL integration defines "for matrices (with rows, columns, and order
+//! as parameters)" — order is fixed to row-major here.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use mozart_core::prelude::*;
+
+/// Row-splitting split type for matrices in shared buffers.
+pub struct MatrixSplit;
+
+impl MatrixSplit {
+    /// Shared instance.
+    pub fn shared() -> Arc<dyn Splitter> {
+        Arc::new(MatrixSplit)
+    }
+}
+
+impl Splitter for MatrixSplit {
+    fn name(&self) -> &'static str {
+        "MatrixSplit"
+    }
+
+    /// Constructor from `(rows, cols)` integer arguments.
+    fn construct(&self, ctor_args: &[&DataValue]) -> Result<Params> {
+        let get = |i: usize| -> Result<i64> {
+            ctor_args
+                .get(i)
+                .and_then(|v| mozart_core::value::as_i64(v))
+                .ok_or_else(|| Error::Constructor {
+                    split_type: "MatrixSplit",
+                    message: format!("expected integer argument {i} (rows, cols)"),
+                })
+        };
+        Ok(vec![get(0)?, get(1)?])
+    }
+
+    fn default_params(&self, _arg: &DataValue) -> Result<Params> {
+        Err(Error::Constructor {
+            split_type: "MatrixSplit",
+            message: "matrix dimensions cannot be inferred from a flat buffer".into(),
+        })
+    }
+
+    fn info(&self, _arg: &DataValue, params: &Params) -> Result<RuntimeInfo> {
+        let rows = params.first().copied().unwrap_or(0).max(0) as u64;
+        let cols = params.get(1).copied().unwrap_or(0).max(0) as u64;
+        Ok(RuntimeInfo {
+            total_elements: rows,
+            elem_size_bytes: cols * std::mem::size_of::<f64>() as u64,
+        })
+    }
+
+    fn split(&self, arg: &DataValue, range: Range<u64>, params: &Params) -> Result<Option<DataValue>> {
+        let v = arg.downcast_ref::<VecValue>().ok_or_else(|| Error::Split {
+            split_type: "MatrixSplit",
+            message: format!("expected VecValue, got {}", arg.type_name()),
+        })?;
+        let rows = params.first().copied().unwrap_or(0).max(0) as u64;
+        let cols = params.get(1).copied().unwrap_or(0).max(0) as usize;
+        if v.0.len() as u64 != rows * cols as u64 {
+            return Err(Error::Split {
+                split_type: "MatrixSplit",
+                message: format!(
+                    "buffer has {} elements but split type says {rows}x{cols}",
+                    v.0.len()
+                ),
+            });
+        }
+        if range.start >= rows {
+            return Ok(None);
+        }
+        let end = range.end.min(rows);
+        Ok(Some(DataValue::new(SliceView {
+            parent: v.0.clone(),
+            start: range.start as usize * cols,
+            len: (end - range.start) as usize * cols,
+        })))
+    }
+
+    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+        // In-place views of one parent buffer, like ArraySplit.
+        let first = pieces.first().ok_or_else(|| Error::Merge {
+            split_type: "MatrixSplit",
+            message: "no pieces".into(),
+        })?;
+        let parent = first
+            .downcast_ref::<SliceView>()
+            .ok_or_else(|| Error::Merge {
+                split_type: "MatrixSplit",
+                message: format!("expected SliceView piece, got {}", first.type_name()),
+            })?
+            .parent
+            .clone();
+        Ok(DataValue::new(VecValue(parent)))
+    }
+
+    fn needs_merge(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_by_rows() {
+        let s = MatrixSplit;
+        let buf = SharedVec::from_vec((0..12).map(|i| i as f64).collect());
+        let arg = DataValue::new(VecValue(buf));
+        // 4 rows x 3 cols.
+        let params = s
+            .construct(&[&DataValue::new(IntValue(4)), &DataValue::new(IntValue(3))])
+            .unwrap();
+        assert_eq!(params, vec![4, 3]);
+        let info = s.info(&arg, &params).unwrap();
+        assert_eq!(info.total_elements, 4);
+        assert_eq!(info.elem_size_bytes, 24);
+        let piece = s.split(&arg, 1..3, &params).unwrap().unwrap();
+        let view = piece.downcast_ref::<SliceView>().unwrap();
+        assert_eq!(view.start, 3);
+        assert_eq!(view.len, 6);
+        assert!(s.split(&arg, 4..5, &params).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let s = MatrixSplit;
+        let buf = SharedVec::from_vec(vec![0.0; 10]);
+        let arg = DataValue::new(VecValue(buf));
+        assert!(s.split(&arg, 0..2, &vec![4, 3]).is_err());
+        assert!(s.default_params(&arg).is_err());
+    }
+
+    #[test]
+    fn different_axes_yield_different_types() {
+        // MatrixSplit<4,3> != MatrixSplit<3,4>: dependent-type equality.
+        let a = SplitInstance::new(MatrixSplit::shared(), vec![4, 3]);
+        let b = SplitInstance::new(MatrixSplit::shared(), vec![3, 4]);
+        assert!(!a.same_type(&b));
+    }
+}

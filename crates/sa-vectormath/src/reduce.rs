@@ -1,0 +1,85 @@
+//! Merge-only split type for scalar reductions (`ddot`, `dasum`).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use mozart_core::prelude::*;
+
+/// Additive scalar reduction: pieces are `FloatValue` partial sums and
+/// merge sums them. Addition is associative, so worker-level and final
+/// merges compose (§3.4).
+pub struct AddReduce;
+
+impl AddReduce {
+    /// Shared instance.
+    pub fn shared() -> Arc<dyn Splitter> {
+        Arc::new(AddReduce)
+    }
+}
+
+impl Splitter for AddReduce {
+    fn name(&self) -> &'static str {
+        "AddReduce"
+    }
+
+    fn terminal(&self) -> bool {
+        true
+    }
+
+    fn construct(&self, _ctor_args: &[&DataValue]) -> Result<Params> {
+        Ok(vec![])
+    }
+
+    fn info(&self, _arg: &DataValue, _params: &Params) -> Result<RuntimeInfo> {
+        Err(Error::Split {
+            split_type: "AddReduce",
+            message: "merge-only split type cannot be an input".into(),
+        })
+    }
+
+    fn split(&self, _arg: &DataValue, _r: Range<u64>, _p: &Params) -> Result<Option<DataValue>> {
+        Err(Error::Split {
+            split_type: "AddReduce",
+            message: "merge-only split type cannot be split".into(),
+        })
+    }
+
+    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+        let mut acc = 0.0;
+        for p in pieces {
+            let v = p.downcast_ref::<FloatValue>().ok_or_else(|| Error::Merge {
+                split_type: "AddReduce",
+                message: format!("expected FloatValue piece, got {}", p.type_name()),
+            })?;
+            acc += v.0;
+        }
+        Ok(DataValue::new(FloatValue(acc)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_and_is_associative() {
+        let s = AddReduce;
+        let mk = |x: f64| DataValue::new(FloatValue(x));
+        let all = s.merge(vec![mk(1.0), mk(2.0), mk(3.0)], &vec![]).unwrap();
+        let left = s.merge(vec![mk(1.0), mk(2.0)], &vec![]).unwrap();
+        let nested = s.merge(vec![left, mk(3.0)], &vec![]).unwrap();
+        assert_eq!(
+            all.downcast_ref::<FloatValue>().unwrap().0,
+            nested.downcast_ref::<FloatValue>().unwrap().0
+        );
+    }
+
+    #[test]
+    fn split_and_info_are_rejected() {
+        let s = AddReduce;
+        let v = DataValue::new(FloatValue(0.0));
+        assert!(s.info(&v, &vec![]).is_err());
+        assert!(s.split(&v, 0..1, &vec![]).is_err());
+        assert!(s.merge(vec![DataValue::new(IntValue(1))], &vec![]).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Lexicon + suffix-rule part-of-speech tagger and feature extraction.
+//!
+//! A deliberately simple "preloaded model": a closed-class lexicon plus
+//! morphological suffix rules, standing in for spaCy's statistical
+//! tagger. What matters for the reproduction is the *shape* of the
+//! computation — per-document, compute-heavy, side-effect-free — not
+//! tagging accuracy.
+
+use crate::tokenizer::{normalize, tokenize};
+
+/// Universal part-of-speech tags (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pos {
+    /// Noun.
+    Noun,
+    /// Verb.
+    Verb,
+    /// Adjective.
+    Adj,
+    /// Adverb.
+    Adv,
+    /// Determiner.
+    Det,
+    /// Pronoun.
+    Pron,
+    /// Adposition (prepositions).
+    Adp,
+    /// Conjunction.
+    Conj,
+    /// Punctuation.
+    Punct,
+    /// Everything else.
+    Other,
+}
+
+/// A token with its tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The surface form.
+    pub text: String,
+    /// The assigned part of speech.
+    pub pos: Pos,
+}
+
+/// A tagged document plus its normalized text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedDoc {
+    /// Tagged tokens in order.
+    pub tokens: Vec<Token>,
+    /// Normalized sentence text.
+    pub normalized: String,
+}
+
+/// Per-document features extracted by the Speech Tag workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DocFeatures {
+    /// Token count.
+    pub tokens: usize,
+    /// Noun count.
+    pub nouns: usize,
+    /// Verb count.
+    pub verbs: usize,
+    /// Adjective count.
+    pub adjectives: usize,
+    /// Adverb count.
+    pub adverbs: usize,
+}
+
+const DETS: &[&str] = &["the", "a", "an", "this", "that", "these", "those"];
+const PRONS: &[&str] = &["it", "she", "he", "they", "we", "i", "you"];
+const ADPS: &[&str] = &["in", "of", "on", "at", "by", "with", "from", "to"];
+const CONJS: &[&str] = &["and", "but", "or", "nor", "so", "yet"];
+const VERBS: &[&str] = &["was", "is", "are", "were", "be", "been", "has", "have", "had",
+    "loved", "hated", "watched", "runs", "feels", "developed", "walked", "jumped"];
+const ADJS: &[&str] = &["good", "bad", "terrible", "excellent", "believable", "boring",
+    "thrilling", "great", "awful"];
+const ADVS: &[&str] = &["really", "very", "quickly", "slowly", "genuinely", "beautifully",
+    "not", "never"];
+
+/// Tag one word using the lexicon, then suffix rules, then a noun
+/// default (the classic baseline tagger design).
+pub fn pos_tag(word: &str) -> Pos {
+    let w = word.to_lowercase();
+    if w.chars().all(|c| c.is_ascii_punctuation()) && !w.is_empty() {
+        return Pos::Punct;
+    }
+    if DETS.contains(&w.as_str()) {
+        return Pos::Det;
+    }
+    if PRONS.contains(&w.as_str()) {
+        return Pos::Pron;
+    }
+    if ADPS.contains(&w.as_str()) {
+        return Pos::Adp;
+    }
+    if CONJS.contains(&w.as_str()) {
+        return Pos::Conj;
+    }
+    if VERBS.contains(&w.as_str()) {
+        return Pos::Verb;
+    }
+    if ADJS.contains(&w.as_str()) {
+        return Pos::Adj;
+    }
+    if ADVS.contains(&w.as_str()) {
+        return Pos::Adv;
+    }
+    // Morphological suffix rules.
+    if w.ends_with("ly") {
+        return Pos::Adv;
+    }
+    if w.ends_with("ing") || w.ends_with("ed") {
+        return Pos::Verb;
+    }
+    if w.ends_with("ous") || w.ends_with("ful") || w.ends_with("ive") || w.ends_with("able") {
+        return Pos::Adj;
+    }
+    if w.chars().next().map(|c| c.is_alphabetic()).unwrap_or(false) {
+        return Pos::Noun;
+    }
+    Pos::Other
+}
+
+/// Tag a document: tokenize, tag each token, normalize the sentence.
+pub fn tag_doc(doc: &str) -> TaggedDoc {
+    let tokens = tokenize(doc)
+        .into_iter()
+        .map(|t| {
+            let pos = pos_tag(&t);
+            Token { text: t, pos }
+        })
+        .collect();
+    TaggedDoc { tokens, normalized: normalize(doc) }
+}
+
+/// Tag every document of a corpus and extract features — the paper's
+/// Speech Tag workload body ("tags each word with a part of speech and
+/// normalizes sentences using a preloaded model").
+pub fn tag_corpus(corpus: &[String]) -> Vec<(TaggedDoc, DocFeatures)> {
+    corpus
+        .iter()
+        .map(|doc| {
+            let tagged = tag_doc(doc);
+            let mut f = DocFeatures { tokens: tagged.tokens.len(), ..Default::default() };
+            for t in &tagged.tokens {
+                match t.pos {
+                    Pos::Noun => f.nouns += 1,
+                    Pos::Verb => f.verbs += 1,
+                    Pos::Adj => f.adjectives += 1,
+                    Pos::Adv => f.adverbs += 1,
+                    _ => {}
+                }
+            }
+            (tagged, f)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicon_and_suffix_rules() {
+        assert_eq!(pos_tag("the"), Pos::Det);
+        assert_eq!(pos_tag("The"), Pos::Det);
+        assert_eq!(pos_tag("loved"), Pos::Verb);
+        assert_eq!(pos_tag("good"), Pos::Adj);
+        assert_eq!(pos_tag("quickly"), Pos::Adv);
+        assert_eq!(pos_tag("movie"), Pos::Noun);
+        assert_eq!(pos_tag("talking"), Pos::Verb); // -ing rule
+        assert_eq!(pos_tag("wonderful"), Pos::Adj); // -ful rule
+        assert_eq!(pos_tag("."), Pos::Punct);
+        assert_eq!(pos_tag("42"), Pos::Other);
+    }
+
+    #[test]
+    fn tag_doc_counts_line_up() {
+        let d = tag_doc("The movie was really good.");
+        assert_eq!(d.tokens.len(), 6);
+        assert_eq!(d.tokens[0].pos, Pos::Det);
+        assert_eq!(d.tokens[5].pos, Pos::Punct);
+        assert_eq!(d.normalized, "the movie was really good");
+    }
+
+    #[test]
+    fn tag_corpus_is_per_document() {
+        // Concatenating per-chunk results equals tagging the whole
+        // corpus — the SA correctness condition for the corpus split.
+        let corpus: Vec<String> = (0..7)
+            .map(|i| format!("doc {i} was really good and the acting developed slowly"))
+            .collect();
+        let whole = tag_corpus(&corpus);
+        let mut merged = tag_corpus(&corpus[0..3]);
+        merged.extend(tag_corpus(&corpus[3..7]));
+        assert_eq!(whole.len(), merged.len());
+        for (a, b) in whole.iter().zip(&merged) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn features_count_tags() {
+        let out = tag_corpus(&["the movie was really good".to_string()]);
+        let f = out[0].1;
+        assert_eq!(f.tokens, 5);
+        assert_eq!(f.nouns, 1);
+        assert_eq!(f.verbs, 1);
+        assert_eq!(f.adjectives, 1);
+        assert_eq!(f.adverbs, 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Tokenization, normalization, and the minibatch utility.
+
+/// Split a document into word tokens, separating trailing punctuation.
+///
+/// A simple rule-based tokenizer in the spirit of spaCy's: whitespace
+/// split, then peel leading/trailing punctuation into their own tokens.
+pub fn tokenize(doc: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in doc.split_whitespace() {
+        let mut word = raw;
+        let mut leading = Vec::new();
+        while let Some(c) = word.chars().next() {
+            if c.is_ascii_punctuation() {
+                leading.push(c.to_string());
+                word = &word[c.len_utf8()..];
+            } else {
+                break;
+            }
+        }
+        let mut trailing = Vec::new();
+        while let Some(c) = word.chars().last() {
+            if c.is_ascii_punctuation() {
+                trailing.push(c.to_string());
+                word = &word[..word.len() - c.len_utf8()];
+            } else {
+                break;
+            }
+        }
+        out.extend(leading);
+        if !word.is_empty() {
+            out.push(word.to_string());
+        }
+        out.extend(trailing.into_iter().rev());
+    }
+    out
+}
+
+/// Normalize a document: lowercase, strip punctuation, collapse spaces
+/// (the "normalizes sentences" step of the Speech Tag workload).
+pub fn normalize(doc: &str) -> String {
+    let mut out = String::with_capacity(doc.len());
+    let mut last_space = true;
+    for c in doc.chars() {
+        if c.is_alphanumeric() {
+            out.extend(c.to_lowercase());
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Partition a corpus into contiguous batches of at most `size`
+/// documents (spaCy's `util.minibatch`). The final batch may be short.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn minibatch<T: Clone>(corpus: &[T], size: usize) -> Vec<Vec<T>> {
+    assert!(size > 0, "minibatch size must be positive");
+    corpus.chunks(size).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_peels_punctuation() {
+        assert_eq!(
+            tokenize("Good movie, really!"),
+            vec!["Good", "movie", ",", "really", "!"]
+        );
+        assert_eq!(tokenize("(nice)"), vec!["(", "nice", ")"]);
+        assert_eq!(tokenize("  spaced   out  "), vec!["spaced", "out"]);
+        assert!(tokenize("").is_empty());
+        assert_eq!(tokenize("..."), vec![".", ".", "."]);
+    }
+
+    #[test]
+    fn normalize_lowercases_and_strips() {
+        assert_eq!(normalize("The Movie, was GOOD!"), "the movie was good");
+        assert_eq!(normalize("a  b"), "a b");
+        assert_eq!(normalize("!!!"), "");
+    }
+
+    #[test]
+    fn minibatch_covers_everything_in_order() {
+        let docs: Vec<i32> = (0..10).collect();
+        let batches = minibatch(&docs, 4);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0], vec![0, 1, 2, 3]);
+        assert_eq!(batches[2], vec![8, 9]);
+        let flat: Vec<i32> = batches.into_iter().flatten().collect();
+        assert_eq!(flat, docs);
+    }
+
+    #[test]
+    #[should_panic(expected = "minibatch size must be positive")]
+    fn minibatch_rejects_zero() {
+        minibatch(&[1], 0);
+    }
+}

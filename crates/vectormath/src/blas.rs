@@ -1,0 +1,154 @@
+//! L1/L2 BLAS routines (the analogue of MKL's `saxpy` and matrix-vector
+//! headers the paper annotates).
+
+use crate::parallel::run_parallel;
+use crate::trace;
+
+/// `y = alpha * x + y` (BLAS `daxpy`).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn daxpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "daxpy: length mismatch");
+    // SAFETY: lengths checked; distinct borrows guarantee disjointness.
+    unsafe { daxpy_raw(y.len(), alpha, x.as_ptr(), y.as_mut_ptr()) }
+}
+
+/// Raw-pointer `daxpy`.
+///
+/// # Safety
+///
+/// `x` and `y` must cover `n` doubles and be exactly equal or disjoint.
+pub unsafe fn daxpy_raw(n: usize, alpha: f64, x: *const f64, y: *mut f64) {
+    trace::record_binary(n, x as usize, y as usize, y as usize);
+    let (xp, yp) = (x as usize, y as usize);
+    run_parallel(n, move |start, len| {
+        let x = xp as *const f64;
+        let y = yp as *mut f64;
+        if xp == yp {
+            // SAFETY: exact alias.
+            let ys = unsafe { std::slice::from_raw_parts_mut(y.add(start), len) };
+            for v in ys.iter_mut() {
+                *v += alpha * *v;
+            }
+        } else {
+            // SAFETY: disjoint per contract.
+            let (xs, ys) = unsafe {
+                (
+                    std::slice::from_raw_parts(x.add(start), len),
+                    std::slice::from_raw_parts_mut(y.add(start), len),
+                )
+            };
+            for i in 0..len {
+                ys[i] += alpha * xs[i];
+            }
+        }
+    });
+}
+
+/// Dot product (BLAS `ddot`).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn ddot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "ddot: length mismatch");
+    trace::record_binary(x.len(), x.as_ptr() as usize, y.as_ptr() as usize, 0);
+    let mut acc = 0.0;
+    for i in 0..x.len() {
+        acc += x[i] * y[i];
+    }
+    acc
+}
+
+/// Scale in place (BLAS `dscal`).
+pub fn dscal(alpha: f64, x: &mut [f64]) {
+    trace::record_unary(x.len(), x.as_ptr() as usize, x.as_ptr() as usize);
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Sum of absolute values (BLAS `dasum`).
+pub fn dasum(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Dense row-major matrix-vector product:
+/// `y = alpha * A * x + beta * y` (BLAS `dgemv`, no transpose).
+///
+/// `a` is `m x n` in row-major order.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn dgemv(m: usize, n: usize, alpha: f64, a: &[f64], x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.len(), m * n, "dgemv: matrix size mismatch");
+    assert_eq!(x.len(), n, "dgemv: x length mismatch");
+    assert_eq!(y.len(), m, "dgemv: y length mismatch");
+    trace::record(&[
+        trace::Access { addr: a.as_ptr() as usize, bytes: a.len() * 8, write: false },
+        trace::Access { addr: x.as_ptr() as usize, bytes: x.len() * 8, write: false },
+        trace::Access { addr: y.as_ptr() as usize, bytes: y.len() * 8, write: true },
+    ]);
+    for i in 0..m {
+        let row = &a[i * n..(i + 1) * n];
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += row[j] * x[j];
+        }
+        y[i] = alpha * acc + beta * y[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daxpy_basic() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        daxpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn daxpy_in_place_alias() {
+        let mut y = vec![1.0, 2.0];
+        // SAFETY: exact alias per contract.
+        unsafe { daxpy_raw(2, 3.0, y.as_ptr(), y.as_mut_ptr()) };
+        assert_eq!(y, vec![4.0, 8.0]);
+    }
+
+    #[test]
+    fn ddot_and_dscal_and_dasum() {
+        let x = vec![1.0, -2.0, 3.0];
+        let y = vec![4.0, 5.0, 6.0];
+        assert_eq!(ddot(&x, &y), 4.0 - 10.0 + 18.0);
+        let mut z = vec![1.5, -2.0];
+        dscal(2.0, &mut z);
+        assert_eq!(z, vec![3.0, -4.0]);
+        assert_eq!(dasum(&x), 6.0);
+    }
+
+    #[test]
+    fn dgemv_row_major() {
+        // A = [[1, 2], [3, 4], [5, 6]], x = [1, 1]
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = vec![1.0, 1.0];
+        let mut y = vec![1.0, 1.0, 1.0];
+        dgemv(3, 2, 1.0, &a, &x, 0.5, &mut y);
+        assert_eq!(y, vec![3.5, 7.5, 11.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dgemv: matrix size mismatch")]
+    fn dgemv_checks_dimensions() {
+        let a = vec![1.0; 5];
+        let x = vec![1.0; 2];
+        let mut y = vec![0.0; 3];
+        dgemv(3, 2, 1.0, &a, &x, 0.0, &mut y);
+    }
+}

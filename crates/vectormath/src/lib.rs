@@ -1,0 +1,36 @@
+//! # vectormath — an MKL-style vector math library
+//!
+//! The "existing, hand-optimized library" of the reproduction: the
+//! stand-in for Intel MKL's vector math (VML) and L1/L2 BLAS headers that
+//! the paper annotates with split annotations (§7).
+//!
+//! Design constraints that make it a faithful substitute:
+//!
+//! * every call performs a **full pass** over its operand arrays, so a
+//!   chain of calls on large arrays is memory-bound (the bottleneck SAs
+//!   attack, §2.1);
+//! * kernels are written so LLVM **autovectorizes** them, including the
+//!   transcendentals ([`fastmath`]) — this is the "code developers have
+//!   already hand-optimized" that lets Mozart beat IR compilers that
+//!   emit scalar `erf`/`exp` (Figure 1);
+//! * the raw-pointer entry points allow MKL's **exact in-place aliasing**
+//!   convention (`vdLog1p(len, d1, d1)`);
+//! * calls parallelize internally across a configurable number of
+//!   threads ([`set_num_threads`]), like MKL on top of TBB; and
+//! * the library knows nothing about Mozart: annotations live entirely
+//!   in the separate `sa-vectormath` crate.
+//!
+//! Optional [`trace`]-based traffic recording supports the machine-
+//! independent cache-miss measurements of Table 4.
+
+#![warn(missing_docs)]
+
+pub mod blas;
+pub mod fastmath;
+mod parallel;
+pub mod trace;
+pub mod vml;
+
+pub use blas::{dasum, daxpy, daxpy_raw, ddot, dgemv, dscal};
+pub use parallel::{num_threads, set_num_threads};
+pub use vml::*;

@@ -1,0 +1,95 @@
+//! Optional memory-traffic tracing.
+//!
+//! When enabled, every kernel records the sequential byte ranges it reads
+//! and writes. The `cachesim` crate replays these streams through a cache
+//! model to measure LLC miss rates machine-independently — our stand-in
+//! for the hardware performance counters the paper samples with `perf`
+//! (Table 4).
+//!
+//! Tracing costs one atomic load per kernel call when disabled.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// One recorded operand stream: a sequential scan of `bytes` bytes
+/// starting at `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Starting byte address of the scan.
+    pub addr: usize,
+    /// Length of the scan in bytes.
+    pub bytes: usize,
+    /// Whether the scan writes (stores) rather than reads (loads).
+    pub write: bool,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static BUF: Mutex<Vec<Access>> = Mutex::new(Vec::new());
+
+/// Begin recording kernel operand streams (clears any previous trace).
+pub fn enable() {
+    BUF.lock().expect("trace lock").clear();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Whether tracing is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Stop recording and return the captured trace in record order.
+pub fn disable_and_take() -> Vec<Access> {
+    ENABLED.store(false, Ordering::SeqCst);
+    std::mem::take(&mut BUF.lock().expect("trace lock"))
+}
+
+/// Record operand streams for one kernel invocation.
+#[inline]
+pub(crate) fn record(accesses: &[Access]) {
+    if enabled() {
+        BUF.lock().expect("trace lock").extend_from_slice(accesses);
+    }
+}
+
+/// Record a unary kernel call: read `n` doubles at `a`, write `n` at `o`.
+#[inline]
+pub(crate) fn record_unary(n: usize, a: usize, o: usize) {
+    if enabled() {
+        record(&[
+            Access { addr: a, bytes: n * 8, write: false },
+            Access { addr: o, bytes: n * 8, write: true },
+        ]);
+    }
+}
+
+/// Record a binary kernel call.
+#[inline]
+pub(crate) fn record_binary(n: usize, a: usize, b: usize, o: usize) {
+    if enabled() {
+        record(&[
+            Access { addr: a, bytes: n * 8, write: false },
+            Access { addr: b, bytes: n * 8, write: false },
+            Access { addr: o, bytes: n * 8, write: true },
+        ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracing_roundtrip() {
+        enable();
+        record_unary(4, 0x1000, 0x2000);
+        record_binary(2, 0x1000, 0x3000, 0x1000);
+        let t = disable_and_take();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0], Access { addr: 0x1000, bytes: 32, write: false });
+        assert!(t[1].write);
+        assert_eq!(t[4].addr, 0x1000);
+        // Disabled: nothing recorded.
+        record_unary(4, 0x1000, 0x2000);
+        assert!(disable_and_take().is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Birth Analysis (Table 2; Figure 4g): fraction of births whose names
+//! start with "Lesl", grouped by sex and year — bottlenecked on groupBy
+//! aggregations (no pipelined operators; Mozart parallelizes the
+//! grouped aggregation via `GroupSplit`, §8.2).
+
+use std::collections::HashMap;
+
+use dataframe::{Agg, AggSpec, Column, DataFrame};
+use mozart_core::{MozartContext, Result};
+
+/// The studied name prefix.
+pub const PREFIX: &str = "Lesl";
+
+/// Generate the baby-names frame.
+pub fn generate(n: usize, seed: u64) -> DataFrame {
+    let (names, sexes, years, births) = crate::data::births_inputs(n, seed);
+    DataFrame::from_cols(vec![
+        ("name", Column::from_str(names)),
+        ("sex", Column::from_str(sexes)),
+        ("year", Column::from_i64(years)),
+        ("births", Column::from_f64(births)),
+    ])
+}
+
+/// Result summary: checksum over per-(sex, year) prefix fractions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of (sex, year) groups.
+    pub groups: usize,
+    /// Sum of prefix fractions across groups.
+    pub fraction_sum: f64,
+}
+
+fn summarize(table: &HashMap<(String, i64), (f64, f64)>) -> Summary {
+    let mut fraction_sum = 0.0;
+    for (lesl, total) in table.values() {
+        if *total > 0.0 {
+            fraction_sum += lesl / total;
+        }
+    }
+    Summary { groups: table.len(), fraction_sum }
+}
+
+fn grouped_to_table(totals: &DataFrame, lesl: &DataFrame) -> HashMap<(String, i64), (f64, f64)> {
+    let mut table: HashMap<(String, i64), (f64, f64)> = HashMap::new();
+    let sexes = totals.col("sex").strs();
+    let years = totals.col("year").i64s();
+    let sums = totals.col("total").f64s();
+    for i in 0..totals.num_rows() {
+        table.insert((sexes[i].clone(), years[i]), (0.0, sums[i]));
+    }
+    let sexes = lesl.col("sex").strs();
+    let years = lesl.col("year").i64s();
+    let sums = lesl.col("total").f64s();
+    for i in 0..lesl.num_rows() {
+        if let Some(e) = table.get_mut(&(sexes[i].clone(), years[i])) {
+            e.0 = sums[i];
+        }
+    }
+    table
+}
+
+/// Base Pandas: eager filter + two groupBys, single-threaded.
+pub fn base(df: &DataFrame) -> Summary {
+    use dataframe::ops;
+    let specs = [AggSpec::new("births", Agg::Sum, "total")];
+    let totals = dataframe::groupby_agg(df, &["sex", "year"], &specs);
+    let mask = ops::str_startswith(df.col("name"), PREFIX);
+    let lesl_df = df.filter(&mask);
+    let lesl = dataframe::groupby_agg(&lesl_df, &["sex", "year"], &specs);
+    summarize(&grouped_to_table(&totals, &lesl))
+}
+
+/// Mozart: the filter pipelines into the grouped aggregation; both
+/// groupBys parallelize via partial aggregation + re-aggregation.
+pub fn mozart(df: &DataFrame, ctx: &MozartContext) -> Result<Summary> {
+    use sa_dataframe as sa;
+    let specs = vec![AggSpec::new("births", Agg::Sum, "total")];
+    let totals_fut = sa::groupby_agg(ctx, df, &["sex", "year"], &specs)?;
+    let name = sa::col(ctx, df, "name")?;
+    let mask = sa::str_startswith(ctx, &name, PREFIX)?;
+    let lesl_df = sa::filter(ctx, df, &mask)?;
+    let lesl_fut = sa::groupby_agg(ctx, &lesl_df, &["sex", "year"], &specs)?;
+    let totals = sa::get_df(&totals_fut)?;
+    let lesl = sa::get_df(&lesl_fut)?;
+    Ok(summarize(&grouped_to_table(&totals, &lesl)))
+}
+
+/// Fused (compiler stand-in): one hash-aggregating pass.
+pub fn fused(df: &DataFrame) -> Summary {
+    let table = fusedbaseline::pandas::birth_analysis(
+        df.col("name").strs(),
+        df.col("sex").strs(),
+        df.col("year").i64s(),
+        df.col("births").f64s(),
+        PREFIX,
+    );
+    summarize(&table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::close;
+
+    #[test]
+    fn all_modes_agree() {
+        let df = generate(6000, 33);
+        let a = base(&df);
+        let f = fused(&df);
+        let ctx = crate::mozart_context(2);
+        let m = mozart(&df, &ctx).unwrap();
+        assert_eq!(a.groups, f.groups);
+        assert_eq!(a.groups, m.groups);
+        assert!(close(a.fraction_sum, f.fraction_sum, 1e-9));
+        assert!(close(a.fraction_sum, m.fraction_sum, 1e-9));
+        assert!(a.fraction_sum > 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Crime Index (Table 2; Figure 4f): filter big cities and compute an
+//! average "crime index" from population and robbery statistics.
+
+use dataframe::{Column, DataFrame};
+use mozart_core::{MozartContext, Result};
+
+/// Population threshold for "big" cities.
+pub const BIG_CITY: f64 = 500_000.0;
+
+/// Generate the per-city statistics frame.
+pub fn generate(n: usize, seed: u64) -> DataFrame {
+    let (total, adult, robberies) = crate::data::crime_inputs(n, seed);
+    DataFrame::from_cols(vec![
+        ("total_population", Column::from_f64(total)),
+        ("adult_population", Column::from_f64(adult)),
+        ("num_robberies", Column::from_f64(robberies)),
+    ])
+}
+
+/// Result summary: the total crime index over big cities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sum of per-city indices.
+    pub index_sum: f64,
+}
+
+/// Base Pandas+NumPy: eager column arithmetic, single-threaded.
+pub fn base(df: &DataFrame) -> Summary {
+    use dataframe::ops;
+    let mask = ops::gt_scalar(df.col("total_population"), BIG_CITY);
+    let big = df.filter(&mask);
+    let tp = big.col("total_population");
+    let index = ops::sub(
+        &ops::div(big.col("adult_population"), tp),
+        &ops::mul_scalar(&ops::div(big.col("num_robberies"), tp), 2.0),
+    );
+    // clamp to [0, 1]
+    let clamped = Column::from_f64(
+        index.f64s().iter().map(|x| x.clamp(0.0, 1.0)).collect::<Vec<_>>(),
+    );
+    Summary { index_sum: ops::sum(&clamped) }
+}
+
+/// Mozart: filter (unknown split type) pipelining into generic Series
+/// arithmetic and a final reduction.
+pub fn mozart(df: &DataFrame, ctx: &MozartContext) -> Result<Summary> {
+    use sa_dataframe as sa;
+    let tp_col = sa::col(ctx, df, "total_population")?;
+    let mask = sa::gt_scalar(ctx, &tp_col, BIG_CITY)?;
+    let big = sa::filter(ctx, df, &mask)?;
+    let tp = sa::col(ctx, &big, "total_population")?;
+    let adult = sa::col(ctx, &big, "adult_population")?;
+    let rob = sa::col(ctx, &big, "num_robberies")?;
+    let index = {
+        let a = sa::div(ctx, &adult, &tp)?;
+        let r = sa::div(ctx, &rob, &tp)?;
+        let r2 = sa::mul_scalar(ctx, &r, 2.0)?;
+        sa::sub(ctx, &a, &r2)?
+    };
+    // clamp: max(min(index, 1), 0) via scalar compares + mask assigns.
+    let clamped = {
+        let hi = sa::gt_scalar(ctx, &index, 1.0)?;
+        let c1 = sa::mask_assign(ctx, &index, &hi, 1.0)?;
+        let lo = sa::lt_scalar(ctx, &c1, 0.0)?;
+        sa::mask_assign(ctx, &c1, &lo, 0.0)?
+    };
+    let total = sa::sum(ctx, &clamped)?;
+    Ok(Summary { index_sum: sa::get_scalar(&total)? })
+}
+
+/// Fused (compiler stand-in).
+pub fn fused(df: &DataFrame, threads: usize) -> Summary {
+    Summary {
+        index_sum: fusedbaseline::pandas::crime_index(
+            df.col("total_population").f64s(),
+            df.col("adult_population").f64s(),
+            df.col("num_robberies").f64s(),
+            threads,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::close;
+
+    #[test]
+    fn all_modes_agree() {
+        let df = generate(4000, 17);
+        let a = base(&df);
+        let f = fused(&df, 2);
+        let ctx = crate::mozart_context(2);
+        let m = mozart(&df, &ctx).unwrap();
+        assert!(close(a.index_sum, f.index_sum, 1e-9), "{} vs {}", a.index_sum, f.index_sum);
+        assert!(close(a.index_sum, m.index_sum, 1e-9), "{} vs {}", a.index_sum, m.index_sum);
+        assert!(a.index_sum > 0.0);
+    }
+}

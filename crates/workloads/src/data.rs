@@ -1,0 +1,143 @@
+//! Seeded synthetic data generators.
+//!
+//! The paper's datasets (Kaggle CSVs, the 311-requests dump, MovieLens,
+//! the IMDb corpus) are not redistributable here, so each generator
+//! produces data with the same schema, cardinalities in realistic
+//! ranges, and the skew the workloads exercise (bad zip codes, name
+//! prefixes, rating sparsity). Generators are deterministic per seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Option-pricing inputs: `(price, strike, t, rate, vol)`.
+pub fn black_scholes_inputs(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut r = StdRng::seed_from_u64(seed);
+    let price = (0..n).map(|_| r.gen_range(10.0..200.0)).collect();
+    let strike = (0..n).map(|_| r.gen_range(10.0..200.0)).collect();
+    let t = (0..n).map(|_| r.gen_range(0.1..3.0)).collect();
+    let rate = (0..n).map(|_| r.gen_range(0.005..0.05)).collect();
+    let vol = (0..n).map(|_| r.gen_range(0.1..0.6)).collect();
+    (price, strike, t, rate, vol)
+}
+
+/// GPS coordinates in radians: `(lat, lon)`.
+pub fn haversine_inputs(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut r = StdRng::seed_from_u64(seed);
+    let lat = (0..n).map(|_| r.gen_range(-1.4..1.4)).collect();
+    let lon = (0..n).map(|_| r.gen_range(-3.1..3.1)).collect();
+    (lat, lon)
+}
+
+/// Initial n-body state as flat coordinate/velocity/mass vectors.
+pub fn nbody_inputs(n: usize, seed: u64) -> fusedbaseline::nbody::Bodies {
+    let mut r = StdRng::seed_from_u64(seed);
+    fusedbaseline::nbody::Bodies {
+        x: (0..n).map(|_| r.gen_range(-1.0..1.0)).collect(),
+        y: (0..n).map(|_| r.gen_range(-1.0..1.0)).collect(),
+        z: (0..n).map(|_| r.gen_range(-1.0..1.0)).collect(),
+        vx: vec![0.0; n],
+        vy: vec![0.0; n],
+        vz: vec![0.0; n],
+        m: (0..n).map(|_| r.gen_range(1e5..1e7)).collect(),
+    }
+}
+
+/// Raw 311-requests-style zip code strings, including the broken
+/// values the Data Cleaning workload scrubs.
+pub fn zip_codes(n: usize, seed: u64) -> Vec<String> {
+    let mut r = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| match r.gen_range(0..100) {
+            0..=2 => "N/A".to_string(),
+            3..=4 => "NO CLUE".to_string(),
+            5 => "0".to_string(),
+            6..=9 => format!("{:05}-{:04}", r.gen_range(501..99951), r.gen_range(0..10000)),
+            _ => format!("{:05}", r.gen_range(501..99951)),
+        })
+        .collect()
+}
+
+/// Per-city population and crime statistics:
+/// `(total_population, adult_population, num_robberies)`.
+pub fn crime_inputs(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut r = StdRng::seed_from_u64(seed);
+    let total: Vec<f64> = (0..n).map(|_| r.gen_range(1_000.0..5_000_000.0)).collect();
+    let adult = total.iter().map(|t| t * r.gen_range(0.6..0.85)).collect();
+    let robberies = total.iter().map(|t| t * r.gen_range(0.0001..0.01)).collect();
+    (total, adult, robberies)
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "Leslie", "Lesley", "Leslee", "Lesli", "James", "Mary", "Robert", "Linda", "John",
+    "Patricia", "Michael", "Jennifer", "David", "Elizabeth", "William", "Barbara",
+];
+
+/// Baby-names rows: `(name, sex, year, births)`.
+pub fn births_inputs(n: usize, seed: u64) -> (Vec<String>, Vec<String>, Vec<i64>, Vec<f64>) {
+    let mut r = StdRng::seed_from_u64(seed);
+    let names = (0..n)
+        .map(|_| FIRST_NAMES[r.gen_range(0..FIRST_NAMES.len())].to_string())
+        .collect();
+    let sexes = (0..n).map(|_| if r.gen_bool(0.5) { "F" } else { "M" }.to_string()).collect();
+    let years = (0..n).map(|_| r.gen_range(1960..2010)).collect();
+    let births = (0..n).map(|_| r.gen_range(5.0..5000.0)).collect();
+    (names, sexes, years, births)
+}
+
+/// MovieLens-style tables.
+pub struct MovieLensData {
+    /// Ratings: `(user_id, movie_id, rating)`.
+    pub ratings: (Vec<i64>, Vec<i64>, Vec<f64>),
+    /// Users: `(user_id, gender)`.
+    pub users: (Vec<i64>, Vec<String>),
+    /// Movies: `(movie_id,)` — titles are implied by id.
+    pub movies: Vec<i64>,
+}
+
+/// Ratings with `n` rows over `n/50 + 10` users and `n/100 + 20`
+/// movies (MovieLens-like sparsity).
+pub fn movielens_inputs(n: usize, seed: u64) -> MovieLensData {
+    let mut r = StdRng::seed_from_u64(seed);
+    let num_users = n / 50 + 10;
+    let num_movies = n / 100 + 20;
+    let user_ids: Vec<i64> = (0..num_users as i64).collect();
+    let genders = (0..num_users)
+        .map(|_| if r.gen_bool(0.5) { "F" } else { "M" }.to_string())
+        .collect();
+    let movie_ids: Vec<i64> = (0..num_movies as i64).collect();
+    let ratings = (
+        (0..n).map(|_| r.gen_range(0..num_users as i64)).collect(),
+        (0..n).map(|_| r.gen_range(0..num_movies as i64)).collect(),
+        (0..n).map(|_| r.gen_range(1..=10) as f64 * 0.5).collect(),
+    );
+    MovieLensData { ratings, users: (user_ids, genders), movies: movie_ids }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(zip_codes(100, 1), zip_codes(100, 1));
+        assert_ne!(zip_codes(100, 1), zip_codes(100, 2));
+        let (p1, ..) = black_scholes_inputs(50, 3);
+        let (p2, ..) = black_scholes_inputs(50, 3);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn zip_codes_include_bad_values() {
+        let zips = zip_codes(5000, 7);
+        assert!(zips.iter().any(|z| z == "N/A"));
+        assert!(zips.iter().any(|z| z.len() > 5));
+        assert!(zips.iter().filter(|z| z.len() == 5).count() > 4000);
+    }
+
+    #[test]
+    fn births_include_lesl_prefix() {
+        let (names, ..) = births_inputs(2000, 5);
+        assert!(names.iter().any(|n| n.starts_with("Lesl")));
+        assert!(names.iter().any(|n| !n.starts_with("Lesl")));
+    }
+}

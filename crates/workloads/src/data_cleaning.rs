@@ -1,0 +1,101 @@
+//! Data Cleaning (Table 2; Figure 4e): scrub a column of 311-request
+//! zip codes — replace broken values with NaN, truncate 9-digit zips,
+//! parse to floats, and count what survived (the Pandas cookbook
+//! recipe the Weld evaluation uses).
+
+use dataframe::{Column, DataFrame};
+use mozart_core::{MozartContext, Result};
+
+/// Broken zip markers scrubbed to null.
+pub const BAD_VALUES: [&str; 3] = ["N/A", "NO CLUE", "0"];
+
+/// Generate a single-column frame of raw zip strings.
+pub fn generate(n: usize, seed: u64) -> DataFrame {
+    DataFrame::from_cols(vec![("zip", Column::from_str(crate::data::zip_codes(n, seed)))])
+}
+
+/// Result summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Rows that parsed to a real zip.
+    pub valid: f64,
+    /// Rows scrubbed to null.
+    pub nulls: f64,
+    /// Checksum of parsed zip values.
+    pub zip_sum: f64,
+}
+
+/// Base Pandas: eager column operators, single-threaded.
+pub fn base(df: &DataFrame) -> Summary {
+    use dataframe::ops;
+    let zip = df.col("zip");
+    // Mark broken values, truncate 9-digit zips to 5, scrub, parse.
+    let bad = ops::str_isin(zip, &BAD_VALUES);
+    let fixed = ops::str_slice(zip, 0, 5);
+    let chosen = ops::mask_assign_str(&fixed, &bad, "");
+    let parsed = chosen.to_f64();
+    let nulls = ops::is_null(&parsed);
+    let valid = ops::count(&parsed) as f64;
+    let null_count = nulls.bools().iter().filter(|b| **b).count() as f64;
+    Summary { valid, nulls: null_count, zip_sum: ops::sum(&parsed) }
+}
+
+/// Mozart Pandas: the same operator chain through `sa-dataframe`,
+/// pipelined and parallelized.
+pub fn mozart(df: &DataFrame, ctx: &MozartContext) -> Result<Summary> {
+    use sa_dataframe as sa;
+    let zip = sa::col(ctx, df, "zip")?;
+    let bad = {
+        let b0 = sa::str_eq(ctx, &zip, BAD_VALUES[0])?;
+        let b1 = sa::str_eq(ctx, &zip, BAD_VALUES[1])?;
+        let b2 = sa::str_eq(ctx, &zip, BAD_VALUES[2])?;
+        let o = sa::or(ctx, &b0, &b1)?;
+        sa::or(ctx, &o, &b2)?
+    };
+    let fixed = sa::str_slice(ctx, &zip, 0, 5)?;
+    let chosen = sa::mask_assign_str(ctx, &fixed, &bad, "")?;
+    let parsed = sa::to_f64(ctx, &chosen)?;
+    let valid = sa::count(ctx, &parsed)?;
+    let nulls = {
+        let m = sa::is_null(ctx, &parsed)?;
+        // Bool -> 0/1 cast, then a NaN-skipping sum = null count.
+        let as_f = sa::to_f64(ctx, &m)?;
+        sa::sum(ctx, &as_f)?
+    };
+    let zip_sum = sa::sum(ctx, &parsed)?;
+    Ok(Summary {
+        valid: sa::get_scalar(&valid)?,
+        nulls: sa::get_scalar(&nulls)?,
+        zip_sum: sa::get_scalar(&zip_sum)?,
+    })
+}
+
+/// Fused (compiler stand-in).
+pub fn fused(df: &DataFrame, threads: usize) -> Summary {
+    let zips = df.col("zip").strs();
+    let owned: Vec<String> = zips.to_vec();
+    let (valid, nulls, zip_sum) =
+        fusedbaseline::pandas::data_cleaning(&owned, &BAD_VALUES, threads);
+    Summary { valid: valid as f64, nulls: nulls as f64, zip_sum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::close;
+
+    #[test]
+    fn all_modes_agree() {
+        let df = generate(5000, 21);
+        let a = base(&df);
+        let f = fused(&df, 2);
+        let ctx = crate::mozart_context(2);
+        let m = mozart(&df, &ctx).unwrap();
+        for s in [&f, &m] {
+            assert_eq!(a.valid, s.valid);
+            assert_eq!(a.nulls, s.nulls);
+            assert!(close(a.zip_sum, s.zip_sum, 1e-12));
+        }
+        assert!(a.valid > 0.0 && a.nulls > 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Nashville and Gotham image pipelines (Table 2; Figures 4n–o): the
+//! instagram-filter operator chains over a large image. The base
+//! library parallelizes each operator internally (like ImageMagick);
+//! Mozart additionally pipelines row bands across operators.
+
+use imagelib::Image;
+use mozart_core::{MozartContext, Result};
+
+/// Generate a synthetic photograph.
+pub fn generate(width: usize, height: usize, seed: u64) -> Image {
+    Image::synthetic(width, height, seed)
+}
+
+/// Result summary: mean channel value (content checksum).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Mean of all channel values.
+    pub mean: f64,
+}
+
+fn summarize(img: &Image) -> Summary {
+    let sum: f64 = img.data().iter().map(|&v| v as f64).sum();
+    Summary { mean: sum / img.data().len() as f64 }
+}
+
+/// Base Nashville: eager library calls (internally parallel).
+pub fn nashville_base(img: &Image) -> Summary {
+    let t = imagelib::colortone(img, [0.13, 0.17, 0.43], false);
+    let t = imagelib::colortone(&t, [0.97, 0.85, 0.68], true);
+    let t = imagelib::gamma(&t, 1.2);
+    let t = imagelib::modulate(&t, 100.0, 150.0, 100.0);
+    summarize(&t)
+}
+
+/// Mozart Nashville: the chain through `sa-image`, pipelined per band.
+pub fn nashville_mozart(img: &Image, ctx: &MozartContext) -> Result<Summary> {
+    use sa_image as sa;
+    let t = sa::colortone(ctx, img, [0.13, 0.17, 0.43], false)?;
+    let t = sa::colortone(ctx, &t, [0.97, 0.85, 0.68], true)?;
+    let t = sa::gamma(ctx, &t, 1.2)?;
+    let t = sa::modulate(ctx, &t, 100.0, 150.0, 100.0)?;
+    Ok(summarize(&sa::get_image(&t)?))
+}
+
+/// Fused Nashville (compiler stand-in).
+pub fn nashville_fused(img: &Image, threads: usize) -> Summary {
+    summarize(&fusedbaseline::images::nashville(img, threads))
+}
+
+/// Base Gotham: eager library calls (internally parallel).
+pub fn gotham_base(img: &Image) -> Summary {
+    let t = imagelib::modulate(img, 120.0, 10.0, 100.0);
+    let t = imagelib::colorize(&t, [0.13, 0.16, 0.32], 0.2);
+    let t = imagelib::gamma(&t, 0.5);
+    let t = imagelib::contrast(&t, 6.0);
+    summarize(&t)
+}
+
+/// Mozart Gotham.
+pub fn gotham_mozart(img: &Image, ctx: &MozartContext) -> Result<Summary> {
+    use sa_image as sa;
+    let t = sa::modulate(ctx, img, 120.0, 10.0, 100.0)?;
+    let t = sa::colorize(ctx, &t, [0.13, 0.16, 0.32], 0.2)?;
+    let t = sa::gamma(ctx, &t, 0.5)?;
+    let t = sa::contrast(ctx, &t, 6.0)?;
+    Ok(summarize(&sa::get_image(&t)?))
+}
+
+/// Fused Gotham (compiler stand-in).
+pub fn gotham_fused(img: &Image, threads: usize) -> Summary {
+    summarize(&fusedbaseline::images::gotham(img, threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::close;
+
+    #[test]
+    fn nashville_modes_agree() {
+        let img = generate(64, 48, 3);
+        let a = nashville_base(&img);
+        let f = nashville_fused(&img, 2);
+        let ctx = crate::mozart_context(2);
+        let m = nashville_mozart(&img, &ctx).unwrap();
+        assert!(close(a.mean, f.mean, 1e-4), "{} vs {}", a.mean, f.mean);
+        assert!(close(a.mean, m.mean, 1e-5), "{} vs {}", a.mean, m.mean);
+    }
+
+    #[test]
+    fn gotham_modes_agree() {
+        let img = generate(64, 48, 9);
+        let a = gotham_base(&img);
+        let f = gotham_fused(&img, 2);
+        let ctx = crate::mozart_context(2);
+        let m = gotham_mozart(&img, &ctx).unwrap();
+        assert!(close(a.mean, f.mean, 1e-4), "{} vs {}", a.mean, f.mean);
+        assert!(close(a.mean, m.mean, 1e-5), "{} vs {}", a.mean, m.mean);
+    }
+
+    #[test]
+    fn image_pipeline_is_one_stage() {
+        let img = generate(32, 40, 1);
+        let ctx = crate::mozart_context(2);
+        nashville_mozart(&img, &ctx).unwrap();
+        assert_eq!(ctx.stats().stages, 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! nBody simulation (Table 2; Figures 4c, 4l): Newtonian force
+//! integration over N bodies via N x N interaction matrices (the NumPy
+//! formulation) or flat vector math + a matrix-vector product (MKL).
+//!
+//! Contains operators that cannot be pipelined (tiling, transposes, the
+//! row-sum reductions), so Mozart pipelines only within the elementwise
+//! stretches -- the behaviour the paper reports for this workload.
+
+use fusedbaseline::nbody::{Bodies, EPS, G};
+use mozart_core::{MozartContext, Result, SharedVec};
+use ndarray_lite::NdArray;
+
+/// Generate an initial state.
+pub fn generate(n: usize, seed: u64) -> Bodies {
+    crate::data::nbody_inputs(n, seed)
+}
+
+/// Result summary: position checksums after the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sum of x positions.
+    pub x_sum: f64,
+    /// Sum of velocity magnitudes squared.
+    pub v2_sum: f64,
+}
+
+fn summarize(b: &Bodies) -> Summary {
+    Summary {
+        x_sum: b.x.iter().sum(),
+        v2_sum: b
+            .vx
+            .iter()
+            .zip(&b.vy)
+            .zip(&b.vz)
+            .map(|((x, y), z)| x * x + y * y + z * z)
+            .sum(),
+    }
+}
+
+/// One axis' acceleration via matrices: sum_j G * m_j * d_ij * r3inv_ij
+/// where `d[i][j] = p[j] - p[i]`.
+fn accel_numpy(d: &NdArray, r3inv: &NdArray, m: &NdArray) -> NdArray {
+    use ndarray_lite as nd;
+    let f = nd::mul(&nd::mul(d, r3inv), m); // broadcast m over rows
+    nd::mul_scalar(&nd::sum_axis(&f, 1), G)
+}
+
+/// Base NumPy: eager matrix formulation, single-threaded.
+pub fn numpy_base(b0: &Bodies, steps: usize, dt: f64) -> Summary {
+    use ndarray_lite as nd;
+    let n = b0.x.len();
+    let mut b = b0.clone();
+    let m = NdArray::from_vec(b.m.clone());
+    for _ in 0..steps {
+        let xr = nd::tile_rows(&NdArray::from_vec(b.x.clone()), n);
+        let yr = nd::tile_rows(&NdArray::from_vec(b.y.clone()), n);
+        let zr = nd::tile_rows(&NdArray::from_vec(b.z.clone()), n);
+        let xc = nd::transpose(&xr);
+        let yc = nd::transpose(&yr);
+        let zc = nd::transpose(&zr);
+        // d[i][j] = p[j] - p[i] (receiver i per row).
+        let dx = nd::sub(&xr, &xc);
+        let dy = nd::sub(&yr, &yc);
+        let dz = nd::sub(&zr, &zc);
+        let r2 = nd::add_scalar(
+            &nd::add(&nd::add(&nd::square(&dx), &nd::square(&dy)), &nd::square(&dz)),
+            EPS,
+        );
+        let r3inv = nd::pow_scalar(&r2, -1.5);
+        let ax = accel_numpy(&dx, &r3inv, &m);
+        let ay = accel_numpy(&dy, &r3inv, &m);
+        let az = accel_numpy(&dz, &r3inv, &m);
+        for i in 0..n {
+            b.vx[i] += dt * ax.get(i);
+            b.vy[i] += dt * ay.get(i);
+            b.vz[i] += dt * az.get(i);
+            b.x[i] += dt * b.vx[i];
+            b.y[i] += dt * b.vy[i];
+            b.z[i] += dt * b.vz[i];
+        }
+    }
+    summarize(&b)
+}
+
+/// Mozart NumPy: the elementwise matrix chain through `sa-ndarray`;
+/// tiles/transposes are unannotated structural calls (stage breaks).
+pub fn numpy_mozart(b0: &Bodies, steps: usize, dt: f64, ctx: &MozartContext) -> Result<Summary> {
+    use ndarray_lite as nd;
+    use sa_ndarray as sa;
+    let n = b0.x.len();
+    let mut b = b0.clone();
+    let m = NdArray::from_vec(b.m.clone());
+    for _ in 0..steps {
+        let xr = nd::tile_rows(&NdArray::from_vec(b.x.clone()), n);
+        let yr = nd::tile_rows(&NdArray::from_vec(b.y.clone()), n);
+        let zr = nd::tile_rows(&NdArray::from_vec(b.z.clone()), n);
+        let xc = nd::transpose(&xr);
+        let yc = nd::transpose(&yr);
+        let zc = nd::transpose(&zr);
+
+        // d[i][j] = p[j] - p[i] (receiver i per row).
+        let dx = sa::sub(ctx, &xr, &xc)?;
+        let dy = sa::sub(ctx, &yr, &yc)?;
+        let dz = sa::sub(ctx, &zr, &zc)?;
+        let r2 = {
+            let x2 = sa::square(ctx, &dx)?;
+            let y2 = sa::square(ctx, &dy)?;
+            let z2 = sa::square(ctx, &dz)?;
+            let s = sa::add(ctx, &x2, &y2)?;
+            let s = sa::add(ctx, &s, &z2)?;
+            sa::add_scalar(ctx, &s, EPS)?
+        };
+        let r3inv = sa::pow_scalar(ctx, &r2, -1.5)?;
+        let mut acc = Vec::new();
+        for d in [&dx, &dy, &dz] {
+            let f = sa::mul(ctx, d, &r3inv)?;
+            let f = sa::mul_rowvec(ctx, &f, &m)?;
+            let a = sa::sum_axis(ctx, &f, 1)?;
+            acc.push(sa::mul_scalar(ctx, &a, G)?);
+        }
+        let ax = sa_ndarray::get(&acc[0])?;
+        let ay = sa_ndarray::get(&acc[1])?;
+        let az = sa_ndarray::get(&acc[2])?;
+        for i in 0..n {
+            b.vx[i] += dt * ax.get(i);
+            b.vy[i] += dt * ay.get(i);
+            b.vz[i] += dt * az.get(i);
+            b.x[i] += dt * b.vx[i];
+            b.y[i] += dt * b.vy[i];
+            b.z[i] += dt * b.vz[i];
+        }
+    }
+    Ok(summarize(&b))
+}
+
+/// Base MKL: flat N*N buffers with in-place vector math; row sums via
+/// `dgemv` with a ones vector. Internally parallel library.
+pub fn mkl_base(b0: &Bodies, steps: usize, dt: f64) -> Summary {
+    use vectormath as vm;
+    let n = b0.x.len();
+    let nn = n * n;
+    let mut b = b0.clone();
+    let ones = vec![1.0; n];
+    let mut d = vec![0.0; nn];
+    let mut r2 = vec![0.0; nn];
+    let mut tmp = vec![0.0; nn];
+    let mut acc = vec![0.0; n];
+    for _ in 0..steps {
+        // r2 = dx^2 + dy^2 + dz^2 + eps, accumulated axis by axis.
+        vm::vd_fill(EPS, &mut r2[..]);
+        for p in [&b.x, &b.y, &b.z] {
+            fill_diff(&mut d, p);
+            vm::vd_sqr(&d, &mut tmp);
+            vm::vd_add(&r2.clone(), &tmp, &mut r2);
+        }
+        vm::vd_powx(&r2.clone(), -1.5, &mut r2); // r2 := r3inv
+        let (mut vx, mut vy, mut vz) =
+            (std::mem::take(&mut b.vx), std::mem::take(&mut b.vy), std::mem::take(&mut b.vz));
+        for (p, v) in [(&b.x, &mut vx), (&b.y, &mut vy), (&b.z, &mut vz)] {
+            fill_diff(&mut d, p);
+            vm::vd_mul(&d.clone(), &r2, &mut d);
+            scale_cols(&mut d, &b.m);
+            vm::dgemv(n, n, G, &d, &ones, 0.0, &mut acc);
+            vm::daxpy(dt, &acc, v);
+        }
+        b.vx = vx;
+        b.vy = vy;
+        b.vz = vz;
+        for i in 0..n {
+            b.x[i] += dt * b.vx[i];
+            b.y[i] += dt * b.vy[i];
+            b.z[i] += dt * b.vz[i];
+        }
+    }
+    summarize(&b)
+}
+
+/// Mozart MKL: elementwise N*N chain annotated; the diff/tile fills and
+/// dgemv are stage boundaries.
+pub fn mkl_mozart(b0: &Bodies, steps: usize, dt: f64, ctx: &MozartContext) -> Result<Summary> {
+    use sa_vectormath as sa;
+    let n = b0.x.len();
+    let nn = n * n;
+    let mut b = b0.clone();
+    let ones = SharedVec::from_vec(vec![1.0; n]);
+    for _ in 0..steps {
+        let r2 = SharedVec::from_vec(vec![EPS; nn]);
+        let tmp: SharedVec<f64> = SharedVec::zeros(nn);
+        let mut diffs = Vec::new();
+        for p in [&b.x, &b.y, &b.z] {
+            let mut d = vec![0.0; nn];
+            fill_diff(&mut d, p);
+            let d = SharedVec::from_vec(d);
+            sa::vd_sqr(ctx, nn, &d, &tmp)?;
+            sa::vd_add(ctx, nn, &r2, &tmp, &r2)?;
+            diffs.push(d);
+        }
+        sa::vd_powx(ctx, nn, &r2, -1.5, &r2)?;
+        for (axis, d) in diffs.iter().enumerate() {
+            let mut mcol = vec![0.0; nn];
+            // column mass weights: w[i*n + j] = m[j]
+            for i in 0..n {
+                mcol[i * n..(i + 1) * n].copy_from_slice(&b.m);
+            }
+            let w = SharedVec::from_vec(mcol);
+            sa::vd_mul(ctx, nn, d, &r2, d)?;
+            sa::vd_mul(ctx, nn, d, &w, d)?;
+            let acc = SharedVec::from_vec(vec![0.0; n]);
+            sa::dgemv(ctx, n, n, G, d, &ones, 0.0, &acc)?;
+            let v = match axis {
+                0 => &mut b.vx,
+                1 => &mut b.vy,
+                _ => &mut b.vz,
+            };
+            let a = acc.to_vec(); // forces evaluation
+            for i in 0..n {
+                v[i] += dt * a[i];
+            }
+        }
+        for i in 0..n {
+            b.x[i] += dt * b.vx[i];
+            b.y[i] += dt * b.vy[i];
+            b.z[i] += dt * b.vz[i];
+        }
+    }
+    Ok(summarize(&b))
+}
+
+/// Fused (compiler stand-in).
+pub fn fused(b0: &Bodies, steps: usize, dt: f64, threads: usize) -> Summary {
+    let mut b = b0.clone();
+    for _ in 0..steps {
+        fusedbaseline::nbody::step(&mut b, dt, threads);
+    }
+    summarize(&b)
+}
+
+/// d[i*n + j] = p[j] - p[i] (the tile/transpose difference).
+fn fill_diff(d: &mut [f64], p: &[f64]) {
+    let n = p.len();
+    for i in 0..n {
+        let pi = p[i];
+        let row = &mut d[i * n..(i + 1) * n];
+        for j in 0..n {
+            row[j] = p[j] - pi;
+        }
+    }
+}
+
+/// Scale column j of the row-major n x n matrix by m[j].
+fn scale_cols(d: &mut [f64], m: &[f64]) {
+    let n = m.len();
+    for i in 0..n {
+        let row = &mut d[i * n..(i + 1) * n];
+        for j in 0..n {
+            row[j] *= m[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::close;
+
+    #[test]
+    fn all_modes_agree() {
+        let b = generate(60, 9);
+        let steps = 3;
+        let dt = 0.01;
+        let a = numpy_base(&b, steps, dt);
+        let f = fused(&b, steps, dt, 2);
+        let mk = mkl_base(&b, steps, dt);
+        let ctx = crate::mozart_context(2);
+        let m1 = numpy_mozart(&b, steps, dt, &ctx).unwrap();
+        let ctx = crate::mozart_context(2);
+        let m2 = mkl_mozart(&b, steps, dt, &ctx).unwrap();
+        for s in [&f, &mk, &m1, &m2] {
+            assert!(close(a.x_sum, s.x_sum, 1e-9), "x: {} vs {}", a.x_sum, s.x_sum);
+            assert!(close(a.v2_sum, s.v2_sum, 1e-9), "v2: {} vs {}", a.v2_sum, s.v2_sum);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Speech Tag (Table 2; Figure 4i): part-of-speech tagging and feature
+//! extraction over a text corpus — pure parallelization via the corpus
+//! split type (no compiler supported spaCy, so there is no fused
+//! comparator; the paper's Figure 4i shows base vs Mozart only).
+
+use mozart_core::{MozartContext, Result};
+use textproc::Corpus;
+
+/// Generate an IMDb-like corpus.
+pub fn generate(docs: usize, words_per_doc: usize, seed: u64) -> Corpus {
+    textproc::synthetic_corpus(docs, words_per_doc, seed)
+}
+
+/// Result summary: aggregate tag counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Total tokens tagged.
+    pub tokens: usize,
+    /// Total nouns.
+    pub nouns: usize,
+    /// Total verbs.
+    pub verbs: usize,
+    /// Total adjectives + adverbs.
+    pub modifiers: usize,
+}
+
+fn summarize(tagged: &[(textproc::TaggedDoc, textproc::DocFeatures)]) -> Summary {
+    let mut s = Summary { tokens: 0, nouns: 0, verbs: 0, modifiers: 0 };
+    for (_, f) in tagged {
+        s.tokens += f.tokens;
+        s.nouns += f.nouns;
+        s.verbs += f.verbs;
+        s.modifiers += f.adjectives + f.adverbs;
+    }
+    s
+}
+
+/// Base spaCy: eager single-threaded tagging.
+pub fn base(corpus: &Corpus) -> Summary {
+    summarize(&textproc::tag_corpus(corpus))
+}
+
+/// Mozart: the annotated tagger, split by documents and parallelized.
+pub fn mozart(corpus: &Corpus, ctx: &MozartContext) -> Result<Summary> {
+    let fut = sa_text::tag_corpus(ctx, corpus)?;
+    Ok(summarize(&sa_text::get_tagged(&fut)?))
+}
+
+/// Thread-parallel reference (not a compiler; used for verification).
+pub fn parallel(corpus: &Corpus, threads: usize) -> Summary {
+    summarize(&fusedbaseline::text::tag_parallel(corpus, threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_modes_agree() {
+        let corpus = generate(60, 40, 13);
+        let a = base(&corpus);
+        let p = parallel(&corpus, 3);
+        let ctx = crate::mozart_context(2);
+        let m = mozart(&corpus, &ctx).unwrap();
+        assert_eq!(a, p);
+        assert_eq!(a, m);
+        assert!(a.tokens >= 60 * 40);
+        assert!(a.nouns > 0 && a.verbs > 0 && a.modifiers > 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! A DataFrame ETL pipeline under split annotations: clean a table,
+//! filter it, join a dimension table, and aggregate — the Pandas-style
+//! operator mix of the paper's data-science workloads (§8.2), with
+//! filters flowing through the `unknown` split type and the groupBy
+//! parallelized by partial aggregation.
+//!
+//! Run with `cargo run --release --example etl_pipeline`.
+
+use dataframe::{Agg, AggSpec, Column, DataFrame};
+use mozart_repro::sa_dataframe as sa;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+
+    // An orders table with some dirty amounts, plus a region dimension.
+    let orders = DataFrame::from_cols(vec![
+        ("order_id", Column::from_i64((0..n as i64).collect())),
+        ("region_id", Column::from_i64((0..n).map(|i| (i % 5) as i64).collect())),
+        (
+            "amount",
+            Column::from_f64(
+                (0..n)
+                    .map(|i| if i % 97 == 0 { f64::NAN } else { (i % 500) as f64 * 0.25 })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let regions = DataFrame::from_cols(vec![
+        ("region_id", Column::from_i64((0..5).collect())),
+        ("region", Column::from_strs(&["north", "south", "east", "west", "central"])),
+    ]);
+
+    let ctx = mozart_repro::workloads::mozart_context(workers);
+    let t0 = std::time::Instant::now();
+
+    // 1. Clean: replace NaN amounts with 0 (pipelined per row chunk).
+    let amount = sa::col(&ctx, &orders, "amount").expect("col");
+    let cleaned = sa::fillna(&ctx, &amount, 0.0).expect("fillna");
+    let orders2 = sa::with_column(&ctx, &orders, "amount", &cleaned).expect("with_column");
+
+    // 2. Filter: keep large orders (result has the unknown split type
+    //    but still pipelines into the join below).
+    let mask = sa::gt_scalar(&ctx, &cleaned, 50.0).expect("mask");
+    let big = sa::filter(&ctx, &orders2, &mask).expect("filter");
+
+    // 3. Join the region dimension (probe side split, build broadcast).
+    let joined = sa::inner_join(&ctx, &big, &regions, "region_id").expect("join");
+
+    // 4. Aggregate per region (partial aggregation + re-aggregation).
+    let grouped = sa::groupby_agg(
+        &ctx,
+        &joined,
+        &["region"],
+        &[
+            AggSpec::new("amount", Agg::Sum, "revenue"),
+            AggSpec::new("amount", Agg::Mean, "avg_order"),
+            AggSpec::new("amount", Agg::Count, "orders"),
+        ],
+    )
+    .expect("groupby");
+
+    let result = sa::get_df(&grouped).expect("materialize").sort_by("region");
+    let elapsed = t0.elapsed();
+
+    println!("{n} orders -> {} regions in {elapsed:?}\n", result.num_rows());
+    println!("{:<10} {:>14} {:>12} {:>10}", "region", "revenue", "avg_order", "orders");
+    for i in 0..result.num_rows() {
+        println!(
+            "{:<10} {:>14.2} {:>12.2} {:>10}",
+            result.col("region").strs()[i],
+            result.col("revenue").f64s()[i],
+            result.col("avg_order").f64s()[i],
+            result.col("orders").f64s()[i] as u64,
+        );
+    }
+    let stats = ctx.stats();
+    println!(
+        "\nMozart: {} stages, {} batches, {} library calls ({} workers)",
+        stats.stages, stats.batches, stats.calls, workers
+    );
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the SA correctness condition (§3.4) and the
+//! splitting API invariants:
+//!
+//! * split → merge round-trips the value for every split type;
+//! * `F(a, b, ...) = Merge(F(a1, b1, ...), F(a2, b2, ...), ...)` for
+//!   annotated functions under arbitrary split points;
+//! * Mozart execution equals eager library execution for arbitrary
+//!   operator sequences, worker counts, and batch sizes.
+
+use proptest::prelude::*;
+
+use dataframe::{Column, DataFrame};
+use mozart_repro::core::prelude::*;
+use mozart_repro::core::{Config, MozartContext};
+
+fn ctx(workers: usize, batch: u64) -> MozartContext {
+    mozart_repro::workloads::register_all_defaults();
+    let mut cfg = Config::with_workers(workers);
+    cfg.batch_override = Some(batch);
+    cfg.pedantic = true;
+    MozartContext::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ArraySplit: splitting at arbitrary points and merging recovers
+    /// the buffer (in-place views of one parent).
+    #[test]
+    fn array_split_roundtrip(data in prop::collection::vec(-1e6f64..1e6, 1..200), cut in 0usize..200) {
+        let n = data.len();
+        let cut = cut.min(n) as u64;
+        let splitter = ArraySplit;
+        let buf = SharedVec::from_vec(data.clone());
+        let dv = DataValue::new(VecValue(buf));
+        let params = vec![n as i64];
+        let mut pieces = Vec::new();
+        if cut > 0 {
+            pieces.push(splitter.split(&dv, 0..cut, &params).unwrap().unwrap());
+        }
+        if (cut as usize) < n {
+            pieces.push(splitter.split(&dv, cut..n as u64, &params).unwrap().unwrap());
+        }
+        let merged = splitter.merge(pieces, &params).unwrap();
+        let v = merged.downcast_ref::<VecValue>().unwrap();
+        prop_assert_eq!(v.0.to_vec(), data);
+    }
+
+    /// RowSplit over DataFrames: slice + concat is the identity.
+    #[test]
+    fn row_split_roundtrip(vals in prop::collection::vec(-1e3f64..1e3, 1..120), cuts in prop::collection::vec(0usize..120, 0..4)) {
+        let n = vals.len();
+        let df = DataFrame::from_cols(vec![
+            ("id", Column::from_i64((0..n as i64).collect())),
+            ("v", Column::from_f64(vals.clone())),
+        ]);
+        let splitter = sa_dataframe::RowSplit;
+        let dv = sa_dataframe::dfv(&df);
+        let params = vec![n as i64];
+        let mut points: Vec<usize> = cuts.into_iter().map(|c| c % (n + 1)).collect();
+        points.push(0);
+        points.push(n);
+        points.sort_unstable();
+        points.dedup();
+        let mut pieces = Vec::new();
+        for w in points.windows(2) {
+            if w[0] < w[1] {
+                pieces.push(splitter.split(&dv, w[0] as u64..w[1] as u64, &params).unwrap().unwrap());
+            }
+        }
+        let merged = splitter.merge(pieces, &params).unwrap();
+        let out = merged.downcast_ref::<sa_dataframe::DfValue>().unwrap();
+        prop_assert_eq!(out.0.col("v").f64s(), df.col("v").f64s());
+        prop_assert_eq!(out.0.col("id").i64s(), df.col("id").i64s());
+    }
+
+    /// The §3.4 condition for an elementwise kernel: applying vd_mul to
+    /// two split halves equals applying it whole.
+    #[test]
+    fn split_condition_vd_mul(a in prop::collection::vec(-1e3f64..1e3, 2..150), cut_frac in 0.0f64..1.0) {
+        let n = a.len();
+        let cut = ((n as f64 * cut_frac) as usize).clamp(1, n - 1);
+        let b: Vec<f64> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+        let mut whole = vec![0.0; n];
+        vectormath::vd_mul(&a, &b, &mut whole);
+        let mut left = vec![0.0; cut];
+        let mut right = vec![0.0; n - cut];
+        vectormath::vd_mul(&a[..cut], &b[..cut], &mut left);
+        vectormath::vd_mul(&a[cut..], &b[cut..], &mut right);
+        left.extend(right);
+        prop_assert_eq!(whole, left);
+    }
+
+    /// The §3.4 condition for a data-dependent operator: filtering row
+    /// chunks and concatenating equals filtering the whole frame.
+    #[test]
+    fn split_condition_filter(vals in prop::collection::vec(-100i64..100, 1..150), cut in 0usize..150) {
+        let n = vals.len();
+        let cut = cut.min(n);
+        let df = DataFrame::from_cols(vec![("v", Column::from_i64(vals))]);
+        let mask = dataframe::ops::gt_scalar(&df.col("v").to_f64(), 0.0);
+        let whole = df.filter(&mask);
+        let parts = [df.slice_rows(0, cut), df.slice_rows(cut, n)];
+        let merged = DataFrame::concat(&parts.iter().map(|p| {
+            let m = dataframe::ops::gt_scalar(&p.col("v").to_f64(), 0.0);
+            p.filter(&m)
+        }).collect::<Vec<_>>());
+        prop_assert_eq!(whole.col("v").i64s(), merged.col("v").i64s());
+    }
+
+    /// Mozart execution of a random in-place vector-op program equals
+    /// eager execution, for arbitrary worker counts and batch sizes.
+    #[test]
+    fn executor_equals_eager_for_random_programs(
+        data in prop::collection::vec(0.1f64..10.0, 8..300),
+        ops in prop::collection::vec(0u8..5, 1..12),
+        workers in 1usize..6,
+        batch in 1u64..64,
+    ) {
+        let n = data.len();
+        // Eager reference.
+        let mut eager = data.clone();
+        for &op in &ops {
+            apply_eager(op, &mut eager);
+        }
+        // Mozart.
+        let c = ctx(workers, batch);
+        let buf = SharedVec::from_vec(data);
+        for &op in &ops {
+            apply_mozart(op, &c, n, &buf).unwrap();
+        }
+        let got = buf.to_vec();
+        for i in 0..n {
+            prop_assert!((got[i] - eager[i]).abs() <= 1e-9 * eager[i].abs().max(1.0),
+                "index {}: {} vs {}", i, got[i], eager[i]);
+        }
+        // The whole program must have pipelined into one stage.
+        prop_assert_eq!(c.stats().stages, 1);
+    }
+
+    /// Reductions agree with serial sums under arbitrary batch sizes.
+    #[test]
+    fn reduction_equals_serial(data in prop::collection::vec(-1e3f64..1e3, 1..400), workers in 1usize..5, batch in 1u64..128) {
+        let c = ctx(workers, batch);
+        let x = SharedVec::from_vec(data.clone());
+        let y = SharedVec::from_vec(vec![2.0; data.len()]);
+        let fut = sa_vectormath::ddot(&c, &x, &y).unwrap();
+        let got = fut.get().unwrap().downcast_ref::<FloatValue>().unwrap().0;
+        let expect: f64 = data.iter().map(|v| v * 2.0).sum();
+        prop_assert!((got - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+    }
+}
+
+fn apply_eager(op: u8, v: &mut [f64]) {
+    match op % 5 {
+        0 => vectormath::vd_scale(&v.to_vec(), 1.01, v),
+        1 => vectormath::vd_shift(&v.to_vec(), 0.5, v),
+        2 => vectormath::vd_sqrt(&v.to_vec(), v),
+        3 => vectormath::vd_log1p(&v.to_vec(), v),
+        _ => vectormath::vd_sqr(&v.to_vec(), v),
+    }
+}
+
+fn apply_mozart(op: u8, c: &MozartContext, n: usize, buf: &SharedVec<f64>) -> Result<()> {
+    use sa_vectormath as sa;
+    match op % 5 {
+        0 => sa::vd_scale(c, n, buf, 1.01, buf),
+        1 => sa::vd_shift(c, n, buf, 0.5, buf),
+        2 => sa::vd_sqrt(c, n, buf, buf),
+        3 => sa::vd_log1p(c, n, buf, buf),
+        _ => sa::vd_sqr(c, n, buf, buf),
+    }
+}
