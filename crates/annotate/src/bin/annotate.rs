@@ -10,7 +10,9 @@ fn main() -> ExitCode {
         eprintln!("usage: annotate <file.sa> [module-doc]");
         return ExitCode::from(2);
     };
-    let doc = args.next().unwrap_or_else(|| format!("Wrappers generated from {path}"));
+    let doc = args
+        .next()
+        .unwrap_or_else(|| format!("Wrappers generated from {path}"));
     let src = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => {

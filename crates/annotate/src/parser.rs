@@ -23,10 +23,10 @@ impl std::error::Error for ParseError {}
 enum Tok {
     Ident(String),
     Punct(char),
-    Arrow,     // ->
-    FatArrow,  // =>
-    At,        // @
-    Star,      // *
+    Arrow,    // ->
+    FatArrow, // =>
+    At,       // @
+    Star,     // *
     Underscore,
 }
 
@@ -144,7 +144,10 @@ impl Lexer {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: message.into() }
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
@@ -276,13 +279,18 @@ fn parse_type_expr(lx: &mut Lexer) -> Result<TypeExpr, ParseError> {
                 lx.next();
                 let ctor_args = parse_ident_list(lx)?;
                 Ok(TypeExpr::Concrete { name, ctor_args })
-            } else if name.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit())
+            } else if name
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit())
                 && name.len() <= 2
             {
                 Ok(TypeExpr::Generic(name))
             } else {
                 // A bare split type name: no constructor args.
-                Ok(TypeExpr::Concrete { name, ctor_args: Vec::new() })
+                Ok(TypeExpr::Concrete {
+                    name,
+                    ctor_args: Vec::new(),
+                })
             }
         }
         other => Err(lx.err(format!("expected split type, got {other:?}"))),
@@ -383,7 +391,10 @@ fn parse_c_decl(
                             let word = lx.expect_ident()?;
                             match lx.peek() {
                                 Some(Tok::Punct(',')) | Some(Tok::Punct(')')) => {
-                                    params.push(CParam { ctype: ctype.clone(), name: word });
+                                    params.push(CParam {
+                                        ctype: ctype.clone(),
+                                        name: word,
+                                    });
                                     break;
                                 }
                                 _ => {
@@ -394,9 +405,9 @@ fn parse_c_decl(
                             }
                         }
                         other => {
-                            return Err(lx.err(format!(
-                                "unexpected token in parameter list: {other:?}"
-                            )))
+                            return Err(
+                                lx.err(format!("unexpected token in parameter list: {other:?}"))
+                            )
                         }
                     }
                 }
@@ -417,7 +428,13 @@ fn parse_c_decl(
             )));
         }
     }
-    Ok(AnnotatedFn { args: args.to_vec(), ret: ret.clone(), c_ret, name, params })
+    Ok(AnnotatedFn {
+        args: args.to_vec(),
+        ret: ret.clone(),
+        c_ret,
+        name,
+        params,
+    })
 }
 
 #[cfg(test)]
@@ -448,7 +465,10 @@ mod tests {
         assert!(log1p.args[2].mutable);
         assert_eq!(
             log1p.args[1].ty,
-            TypeExpr::Concrete { name: "ArraySplit".into(), ctor_args: vec!["size".into()] }
+            TypeExpr::Concrete {
+                name: "ArraySplit".into(),
+                ctor_args: vec!["size".into()]
+            }
         );
         assert_eq!(log1p.params.len(), 3);
         assert_eq!(log1p.params[1].ctype, "double*");
@@ -473,7 +493,7 @@ mod tests {
     }
 
     #[test]
-    fn parses_generics_unknown_and_ret(){
+    fn parses_generics_unknown_and_ret() {
         // Listing 4's Ex. 2 and Ex. 4.
         let src = r#"
             @splittable(left: S, right: S) -> S

@@ -11,9 +11,18 @@ fn main() {
     let inp = bs::generate(n, 42);
     println!("fig1: black scholes (MKL), n = {n}, reps = {}", opts.reps);
 
-    let mut mkl = Series { name: "MKL".into(), points: vec![] };
-    let mut weld = Series { name: "Weld(fused)".into(), points: vec![] };
-    let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+    let mut mkl = Series {
+        name: "MKL".into(),
+        points: vec![],
+    };
+    let mut weld = Series {
+        name: "Weld(fused)".into(),
+        points: vec![],
+    };
+    let mut mozart = Series {
+        name: "Mozart".into(),
+        points: vec![],
+    };
 
     for &t in &opts.threads {
         let d = time_min(opts.reps, || {

@@ -14,45 +14,95 @@ fn main() {
 
     // ---- 4n: Nashville ---------------------------------------------------
     {
-        let mut base = Series { name: "ImageMagick".into(), points: vec![] };
-        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
-        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        let mut base = Series {
+            name: "ImageMagick".into(),
+            points: vec![],
+        };
+        let mut fused = Series {
+            name: "Weld(fused)".into(),
+            points: vec![],
+        };
+        let mut mozart = Series {
+            name: "Mozart".into(),
+            points: vec![],
+        };
         for &t in &opts.threads {
-            base.points.push((t, time_min(opts.reps, || {
-                with_image_threads(t, || {
-                    std::hint::black_box(im::nashville_base(&img));
+            base.points.push((
+                t,
+                time_min(opts.reps, || {
+                    with_image_threads(t, || {
+                        std::hint::black_box(im::nashville_base(&img));
+                    })
                 })
-            }).as_secs_f64()));
-            fused.points.push((t, time_min(opts.reps, || {
-                std::hint::black_box(im::nashville_fused(&img, t));
-            }).as_secs_f64()));
-            mozart.points.push((t, time_min(opts.reps, || {
-                let ctx = workloads::mozart_context(t);
-                std::hint::black_box(im::nashville_mozart(&img, &ctx).expect("run"));
-            }).as_secs_f64()));
+                .as_secs_f64(),
+            ));
+            fused.points.push((
+                t,
+                time_min(opts.reps, || {
+                    std::hint::black_box(im::nashville_fused(&img, t));
+                })
+                .as_secs_f64(),
+            ));
+            mozart.points.push((
+                t,
+                time_min(opts.reps, || {
+                    let ctx = workloads::mozart_context(t);
+                    std::hint::black_box(im::nashville_mozart(&img, &ctx).expect("run"));
+                })
+                .as_secs_f64(),
+            ));
         }
-        report_figure("fig4n_nashville_imagemagick", "Nashville (ImageMagick)", &[base, fused, mozart]);
+        report_figure(
+            "fig4n_nashville_imagemagick",
+            "Nashville (ImageMagick)",
+            &[base, fused, mozart],
+        );
     }
 
     // ---- 4o: Gotham --------------------------------------------------------
     {
-        let mut base = Series { name: "ImageMagick".into(), points: vec![] };
-        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
-        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        let mut base = Series {
+            name: "ImageMagick".into(),
+            points: vec![],
+        };
+        let mut fused = Series {
+            name: "Weld(fused)".into(),
+            points: vec![],
+        };
+        let mut mozart = Series {
+            name: "Mozart".into(),
+            points: vec![],
+        };
         for &t in &opts.threads {
-            base.points.push((t, time_min(opts.reps, || {
-                with_image_threads(t, || {
-                    std::hint::black_box(im::gotham_base(&img));
+            base.points.push((
+                t,
+                time_min(opts.reps, || {
+                    with_image_threads(t, || {
+                        std::hint::black_box(im::gotham_base(&img));
+                    })
                 })
-            }).as_secs_f64()));
-            fused.points.push((t, time_min(opts.reps, || {
-                std::hint::black_box(im::gotham_fused(&img, t));
-            }).as_secs_f64()));
-            mozart.points.push((t, time_min(opts.reps, || {
-                let ctx = workloads::mozart_context(t);
-                std::hint::black_box(im::gotham_mozart(&img, &ctx).expect("run"));
-            }).as_secs_f64()));
+                .as_secs_f64(),
+            ));
+            fused.points.push((
+                t,
+                time_min(opts.reps, || {
+                    std::hint::black_box(im::gotham_fused(&img, t));
+                })
+                .as_secs_f64(),
+            ));
+            mozart.points.push((
+                t,
+                time_min(opts.reps, || {
+                    let ctx = workloads::mozart_context(t);
+                    std::hint::black_box(im::gotham_mozart(&img, &ctx).expect("run"));
+                })
+                .as_secs_f64(),
+            ));
         }
-        report_figure("fig4o_gotham_imagemagick", "Gotham (ImageMagick)", &[base, fused, mozart]);
+        report_figure(
+            "fig4o_gotham_imagemagick",
+            "Gotham (ImageMagick)",
+            &[base, fused, mozart],
+        );
     }
 }

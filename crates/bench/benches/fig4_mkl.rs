@@ -15,20 +15,36 @@ fn main() {
         println!("fig4j: black scholes (MKL), n = {n}");
         let (mut mkl, mut fused, mut mozart) = three();
         for &t in &opts.threads {
-            mkl.points.push((t, time_min(opts.reps, || {
-                with_mkl_threads(t, || {
-                    std::hint::black_box(bs::mkl_base(&inp));
+            mkl.points.push((
+                t,
+                time_min(opts.reps, || {
+                    with_mkl_threads(t, || {
+                        std::hint::black_box(bs::mkl_base(&inp));
+                    })
                 })
-            }).as_secs_f64()));
-            fused.points.push((t, time_min(opts.reps, || {
-                std::hint::black_box(bs::fused(&inp, t));
-            }).as_secs_f64()));
-            mozart.points.push((t, time_min(opts.reps, || {
-                let ctx = workloads::mozart_context(t);
-                std::hint::black_box(bs::mkl_mozart(&inp, &ctx).expect("run"));
-            }).as_secs_f64()));
+                .as_secs_f64(),
+            ));
+            fused.points.push((
+                t,
+                time_min(opts.reps, || {
+                    std::hint::black_box(bs::fused(&inp, t));
+                })
+                .as_secs_f64(),
+            ));
+            mozart.points.push((
+                t,
+                time_min(opts.reps, || {
+                    let ctx = workloads::mozart_context(t);
+                    std::hint::black_box(bs::mkl_mozart(&inp, &ctx).expect("run"));
+                })
+                .as_secs_f64(),
+            ));
         }
-        report_figure("fig4j_blackscholes_mkl", "Black Scholes (MKL)", &[mkl, fused, mozart]);
+        report_figure(
+            "fig4j_blackscholes_mkl",
+            "Black Scholes (MKL)",
+            &[mkl, fused, mozart],
+        );
     }
 
     // ---- 4k: Haversine ------------------------------------------------------
@@ -39,20 +55,36 @@ fn main() {
         println!("fig4k: haversine (MKL), n = {n}");
         let (mut mkl, mut fused, mut mozart) = three();
         for &t in &opts.threads {
-            mkl.points.push((t, time_min(opts.reps, || {
-                with_mkl_threads(t, || {
-                    std::hint::black_box(hv::mkl_base(&inp));
+            mkl.points.push((
+                t,
+                time_min(opts.reps, || {
+                    with_mkl_threads(t, || {
+                        std::hint::black_box(hv::mkl_base(&inp));
+                    })
                 })
-            }).as_secs_f64()));
-            fused.points.push((t, time_min(opts.reps, || {
-                std::hint::black_box(hv::fused(&inp, t));
-            }).as_secs_f64()));
-            mozart.points.push((t, time_min(opts.reps, || {
-                let ctx = workloads::mozart_context(t);
-                std::hint::black_box(hv::mkl_mozart(&inp, &ctx).expect("run"));
-            }).as_secs_f64()));
+                .as_secs_f64(),
+            ));
+            fused.points.push((
+                t,
+                time_min(opts.reps, || {
+                    std::hint::black_box(hv::fused(&inp, t));
+                })
+                .as_secs_f64(),
+            ));
+            mozart.points.push((
+                t,
+                time_min(opts.reps, || {
+                    let ctx = workloads::mozart_context(t);
+                    std::hint::black_box(hv::mkl_mozart(&inp, &ctx).expect("run"));
+                })
+                .as_secs_f64(),
+            ));
         }
-        report_figure("fig4k_haversine_mkl", "Haversine (MKL)", &[mkl, fused, mozart]);
+        report_figure(
+            "fig4k_haversine_mkl",
+            "Haversine (MKL)",
+            &[mkl, fused, mozart],
+        );
     }
 
     // ---- 4l: nBody -------------------------------------------------------------
@@ -65,18 +97,30 @@ fn main() {
         println!("fig4l: nbody (MKL), n = {n}, steps = {steps}");
         let (mut mkl, mut fused, mut mozart) = three();
         for &t in &opts.threads {
-            mkl.points.push((t, time_min(opts.reps, || {
-                with_mkl_threads(t, || {
-                    std::hint::black_box(nb::mkl_base(&b, steps, dt));
+            mkl.points.push((
+                t,
+                time_min(opts.reps, || {
+                    with_mkl_threads(t, || {
+                        std::hint::black_box(nb::mkl_base(&b, steps, dt));
+                    })
                 })
-            }).as_secs_f64()));
-            fused.points.push((t, time_min(opts.reps, || {
-                std::hint::black_box(nb::fused(&b, steps, dt, t));
-            }).as_secs_f64()));
-            mozart.points.push((t, time_min(opts.reps, || {
-                let ctx = workloads::mozart_context(t);
-                std::hint::black_box(nb::mkl_mozart(&b, steps, dt, &ctx).expect("run"));
-            }).as_secs_f64()));
+                .as_secs_f64(),
+            ));
+            fused.points.push((
+                t,
+                time_min(opts.reps, || {
+                    std::hint::black_box(nb::fused(&b, steps, dt, t));
+                })
+                .as_secs_f64(),
+            ));
+            mozart.points.push((
+                t,
+                time_min(opts.reps, || {
+                    let ctx = workloads::mozart_context(t);
+                    std::hint::black_box(nb::mkl_mozart(&b, steps, dt, &ctx).expect("run"));
+                })
+                .as_secs_f64(),
+            ));
         }
         report_figure("fig4l_nbody_mkl", "nBody (MKL)", &[mkl, fused, mozart]);
     }
@@ -91,27 +135,52 @@ fn main() {
         println!("fig4m: shallow water (MKL), grid = {n}x{n}, steps = {steps}");
         let (mut mkl, mut fused, mut mozart) = three();
         for &t in &opts.threads {
-            mkl.points.push((t, time_min(opts.reps, || {
-                with_mkl_threads(t, || {
-                    std::hint::black_box(sw::mkl_base(&g, steps, dt));
+            mkl.points.push((
+                t,
+                time_min(opts.reps, || {
+                    with_mkl_threads(t, || {
+                        std::hint::black_box(sw::mkl_base(&g, steps, dt));
+                    })
                 })
-            }).as_secs_f64()));
-            fused.points.push((t, time_min(opts.reps, || {
-                std::hint::black_box(sw::fused(&g, steps, dt, t));
-            }).as_secs_f64()));
-            mozart.points.push((t, time_min(opts.reps, || {
-                let ctx = workloads::mozart_context(t);
-                std::hint::black_box(sw::mkl_mozart(&g, steps, dt, &ctx).expect("run"));
-            }).as_secs_f64()));
+                .as_secs_f64(),
+            ));
+            fused.points.push((
+                t,
+                time_min(opts.reps, || {
+                    std::hint::black_box(sw::fused(&g, steps, dt, t));
+                })
+                .as_secs_f64(),
+            ));
+            mozart.points.push((
+                t,
+                time_min(opts.reps, || {
+                    let ctx = workloads::mozart_context(t);
+                    std::hint::black_box(sw::mkl_mozart(&g, steps, dt, &ctx).expect("run"));
+                })
+                .as_secs_f64(),
+            ));
         }
-        report_figure("fig4m_shallowwater_mkl", "Shallow Water (MKL)", &[mkl, fused, mozart]);
+        report_figure(
+            "fig4m_shallowwater_mkl",
+            "Shallow Water (MKL)",
+            &[mkl, fused, mozart],
+        );
     }
 }
 
 fn three() -> (Series, Series, Series) {
     (
-        Series { name: "MKL".into(), points: vec![] },
-        Series { name: "Weld(fused)".into(), points: vec![] },
-        Series { name: "Mozart".into(), points: vec![] },
+        Series {
+            name: "MKL".into(),
+            points: vec![],
+        },
+        Series {
+            name: "Weld(fused)".into(),
+            points: vec![],
+        },
+        Series {
+            name: "Mozart".into(),
+            points: vec![],
+        },
     )
 }

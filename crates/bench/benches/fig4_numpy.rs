@@ -17,9 +17,18 @@ fn main() {
             std::hint::black_box(bs::numpy_base(&inp));
         })
         .as_secs_f64();
-        let mut base = Series { name: "NumPy(base)".into(), points: vec![] };
-        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
-        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        let mut base = Series {
+            name: "NumPy(base)".into(),
+            points: vec![],
+        };
+        let mut fused = Series {
+            name: "Weld(fused)".into(),
+            points: vec![],
+        };
+        let mut mozart = Series {
+            name: "Mozart".into(),
+            points: vec![],
+        };
         for &t in &opts.threads {
             base.points.push((t, base_t)); // single-threaded library
             let d = time_min(opts.reps, || {
@@ -32,7 +41,11 @@ fn main() {
             });
             mozart.points.push((t, d.as_secs_f64()));
         }
-        report_figure("fig4a_blackscholes_numpy", "Black Scholes (NumPy)", &[base, fused, mozart]);
+        report_figure(
+            "fig4a_blackscholes_numpy",
+            "Black Scholes (NumPy)",
+            &[base, fused, mozart],
+        );
     }
 
     // ---- 4b: Haversine -------------------------------------------------
@@ -45,9 +58,18 @@ fn main() {
             std::hint::black_box(hv::numpy_base(&inp));
         })
         .as_secs_f64();
-        let mut base = Series { name: "NumPy(base)".into(), points: vec![] };
-        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
-        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        let mut base = Series {
+            name: "NumPy(base)".into(),
+            points: vec![],
+        };
+        let mut fused = Series {
+            name: "Weld(fused)".into(),
+            points: vec![],
+        };
+        let mut mozart = Series {
+            name: "Mozart".into(),
+            points: vec![],
+        };
         for &t in &opts.threads {
             base.points.push((t, base_t));
             let d = time_min(opts.reps, || {
@@ -60,7 +82,11 @@ fn main() {
             });
             mozart.points.push((t, d.as_secs_f64()));
         }
-        report_figure("fig4b_haversine_numpy", "Haversine (NumPy)", &[base, fused, mozart]);
+        report_figure(
+            "fig4b_haversine_numpy",
+            "Haversine (NumPy)",
+            &[base, fused, mozart],
+        );
     }
 
     // ---- 4c: nBody ------------------------------------------------------
@@ -75,9 +101,18 @@ fn main() {
             std::hint::black_box(nb::numpy_base(&b, steps, dt));
         })
         .as_secs_f64();
-        let mut base = Series { name: "NumPy(base)".into(), points: vec![] };
-        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
-        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        let mut base = Series {
+            name: "NumPy(base)".into(),
+            points: vec![],
+        };
+        let mut fused = Series {
+            name: "Weld(fused)".into(),
+            points: vec![],
+        };
+        let mut mozart = Series {
+            name: "Mozart".into(),
+            points: vec![],
+        };
         for &t in &opts.threads {
             base.points.push((t, base_t));
             let d = time_min(opts.reps, || {
@@ -105,9 +140,18 @@ fn main() {
             std::hint::black_box(sw::numpy_base(&g, steps, dt));
         })
         .as_secs_f64();
-        let mut base = Series { name: "NumPy(base)".into(), points: vec![] };
-        let mut fused = Series { name: "Bohrium(fused)".into(), points: vec![] };
-        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        let mut base = Series {
+            name: "NumPy(base)".into(),
+            points: vec![],
+        };
+        let mut fused = Series {
+            name: "Bohrium(fused)".into(),
+            points: vec![],
+        };
+        let mut mozart = Series {
+            name: "Mozart".into(),
+            points: vec![],
+        };
         for &t in &opts.threads {
             base.points.push((t, base_t));
             let d = time_min(opts.reps, || {
@@ -120,6 +164,10 @@ fn main() {
             });
             mozart.points.push((t, d.as_secs_f64()));
         }
-        report_figure("fig4d_shallowwater_numpy", "Shallow Water (NumPy)", &[base, fused, mozart]);
+        report_figure(
+            "fig4d_shallowwater_numpy",
+            "Shallow Water (NumPy)",
+            &[base, fused, mozart],
+        );
     }
 }

@@ -13,13 +13,22 @@ fn main() {
         let n = opts.size(1 << 20);
         let df = dc::generate(n, 3);
         println!("fig4e: data cleaning (Pandas), rows = {n}");
-        let base_t =
-            time_min(opts.reps, || {
-                std::hint::black_box(dc::base(&df));
-            }).as_secs_f64();
-        let mut base = Series { name: "Pandas(base)".into(), points: vec![] };
-        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
-        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        let base_t = time_min(opts.reps, || {
+            std::hint::black_box(dc::base(&df));
+        })
+        .as_secs_f64();
+        let mut base = Series {
+            name: "Pandas(base)".into(),
+            points: vec![],
+        };
+        let mut fused = Series {
+            name: "Weld(fused)".into(),
+            points: vec![],
+        };
+        let mut mozart = Series {
+            name: "Mozart".into(),
+            points: vec![],
+        };
         for &t in &opts.threads {
             base.points.push((t, base_t));
             let d = time_min(opts.reps, || {
@@ -32,7 +41,11 @@ fn main() {
             });
             mozart.points.push((t, d.as_secs_f64()));
         }
-        report_figure("fig4e_datacleaning_pandas", "Data Cleaning (Pandas)", &[base, fused, mozart]);
+        report_figure(
+            "fig4e_datacleaning_pandas",
+            "Data Cleaning (Pandas)",
+            &[base, fused, mozart],
+        );
     }
 
     // ---- 4f: Crime Index --------------------------------------------------
@@ -41,13 +54,22 @@ fn main() {
         let n = opts.size(1 << 21);
         let df = ci::generate(n, 4);
         println!("fig4f: crime index (Pandas), rows = {n}");
-        let base_t =
-            time_min(opts.reps, || {
-                std::hint::black_box(ci::base(&df));
-            }).as_secs_f64();
-        let mut base = Series { name: "Pandas(base)".into(), points: vec![] };
-        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
-        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        let base_t = time_min(opts.reps, || {
+            std::hint::black_box(ci::base(&df));
+        })
+        .as_secs_f64();
+        let mut base = Series {
+            name: "Pandas(base)".into(),
+            points: vec![],
+        };
+        let mut fused = Series {
+            name: "Weld(fused)".into(),
+            points: vec![],
+        };
+        let mut mozart = Series {
+            name: "Mozart".into(),
+            points: vec![],
+        };
         for &t in &opts.threads {
             base.points.push((t, base_t));
             let d = time_min(opts.reps, || {
@@ -60,7 +82,11 @@ fn main() {
             });
             mozart.points.push((t, d.as_secs_f64()));
         }
-        report_figure("fig4f_crimeindex_pandas", "Crime Index (Pandas)", &[base, fused, mozart]);
+        report_figure(
+            "fig4f_crimeindex_pandas",
+            "Crime Index (Pandas)",
+            &[base, fused, mozart],
+        );
     }
 
     // ---- 4g: Birth Analysis -------------------------------------------------
@@ -69,13 +95,22 @@ fn main() {
         let n = opts.size(1 << 20);
         let df = ba::generate(n, 5);
         println!("fig4g: birth analysis (Pandas), rows = {n}");
-        let base_t =
-            time_min(opts.reps, || {
-                std::hint::black_box(ba::base(&df));
-            }).as_secs_f64();
-        let mut base = Series { name: "Pandas(base)".into(), points: vec![] };
-        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
-        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        let base_t = time_min(opts.reps, || {
+            std::hint::black_box(ba::base(&df));
+        })
+        .as_secs_f64();
+        let mut base = Series {
+            name: "Pandas(base)".into(),
+            points: vec![],
+        };
+        let mut fused = Series {
+            name: "Weld(fused)".into(),
+            points: vec![],
+        };
+        let mut mozart = Series {
+            name: "Mozart".into(),
+            points: vec![],
+        };
         for &t in &opts.threads {
             base.points.push((t, base_t));
             let d = time_min(opts.reps, || {
@@ -88,7 +123,11 @@ fn main() {
             });
             mozart.points.push((t, d.as_secs_f64()));
         }
-        report_figure("fig4g_birthanalysis_pandas", "Birth Analysis (Pandas)", &[base, fused, mozart]);
+        report_figure(
+            "fig4g_birthanalysis_pandas",
+            "Birth Analysis (Pandas)",
+            &[base, fused, mozart],
+        );
     }
 
     // ---- 4h: MovieLens --------------------------------------------------------
@@ -97,13 +136,22 @@ fn main() {
         let n = opts.size(1 << 20);
         let d0 = ml::generate(n, 6);
         println!("fig4h: movielens (Pandas), ratings = {n}");
-        let base_t =
-            time_min(opts.reps, || {
-                std::hint::black_box(ml::base(&d0));
-            }).as_secs_f64();
-        let mut base = Series { name: "Pandas(base)".into(), points: vec![] };
-        let mut fused = Series { name: "Weld(fused)".into(), points: vec![] };
-        let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+        let base_t = time_min(opts.reps, || {
+            std::hint::black_box(ml::base(&d0));
+        })
+        .as_secs_f64();
+        let mut base = Series {
+            name: "Pandas(base)".into(),
+            points: vec![],
+        };
+        let mut fused = Series {
+            name: "Weld(fused)".into(),
+            points: vec![],
+        };
+        let mut mozart = Series {
+            name: "Mozart".into(),
+            points: vec![],
+        };
         for &t in &opts.threads {
             base.points.push((t, base_t));
             let d = time_min(opts.reps, || {
@@ -116,6 +164,10 @@ fn main() {
             });
             mozart.points.push((t, d.as_secs_f64()));
         }
-        report_figure("fig4h_movielens_pandas", "MovieLens (Pandas)", &[base, fused, mozart]);
+        report_figure(
+            "fig4h_movielens_pandas",
+            "MovieLens (Pandas)",
+            &[base, fused, mozart],
+        );
     }
 }

@@ -15,8 +15,14 @@ fn main() {
         std::hint::black_box(st::base(&corpus));
     })
     .as_secs_f64();
-    let mut base = Series { name: "spaCy(base)".into(), points: vec![] };
-    let mut mozart = Series { name: "Mozart".into(), points: vec![] };
+    let mut base = Series {
+        name: "spaCy(base)".into(),
+        points: vec![],
+    };
+    let mut mozart = Series {
+        name: "Mozart".into(),
+        points: vec![],
+    };
     for &t in &opts.threads {
         base.points.push((t, base_t));
         let d = time_min(opts.reps, || {
@@ -25,5 +31,9 @@ fn main() {
         });
         mozart.points.push((t, d.as_secs_f64()));
     }
-    report_figure("fig4i_speechtag_spacy", "Speech Tag (spaCy)", &[base, mozart]);
+    report_figure(
+        "fig4i_speechtag_spacy",
+        "Speech Tag (spaCy)",
+        &[base, mozart],
+    );
 }

@@ -1,13 +1,22 @@
 //! Figure 5: breakdown of total running time — client library
 //! registration, unprotect, planner, split, task execution, merge —
-//! for the Black Scholes (MKL) and Nashville workloads.
+//! for the Black Scholes (MKL) and Nashville workloads, plus a
+//! pool-reuse vs spawn-per-stage comparison on a multi-stage pipeline
+//! (the fixed per-stage overhead the persistent worker pool removes).
+//!
+//! Emits `bench_results/fig5.csv` (the percentage breakdown) and
+//! `bench_results/BENCH_fig5.json` (a machine-readable snapshot, so PRs
+//! can track the perf trajectory).
 
-use mozart_bench::{write_results, BenchOpts};
+use mozart_bench::{time_min, write_results, BenchOpts};
+use mozart_core::{Config, MozartContext};
 
 fn main() {
     let opts = BenchOpts::from_env();
     let threads = *opts.threads.last().unwrap_or(&16);
     let mut csv = String::from("workload,client,unprotect,planner,split,task,merge\n");
+    let mut json = String::from("{\n  \"figure\": \"fig5\",\n");
+    json.push_str(&format!("  \"threads\": {threads},\n  \"workloads\": {{\n"));
 
     // ---- Black Scholes (MKL) ----
     {
@@ -19,6 +28,7 @@ fn main() {
         let p = ctx.take_stats();
         print_breakdown("black scholes", &p.percentages());
         push_csv(&mut csv, "black_scholes", &p.percentages());
+        push_json(&mut json, "black_scholes", &p.percentages(), ",\n");
     }
 
     // ---- Nashville (ImageMagick) ----
@@ -30,9 +40,71 @@ fn main() {
         let p = ctx.take_stats();
         print_breakdown("nashville", &p.percentages());
         push_csv(&mut csv, "nashville", &p.percentages());
+        push_json(&mut json, "nashville", &p.percentages(), "\n  },\n");
     }
 
+    // ---- Pool reuse vs spawn-per-stage (multi-stage pipeline) ----
+    //
+    // Repeated evaluations of a short pipeline maximize the per-stage
+    // fixed costs Figure 5 is about. `reuse_pool = false` restores the
+    // historic executor behavior (scoped threads spawned per stage) as
+    // a measured ablation against the persistent worker pool.
+    let (reuse_s, spawn_s, stages) = {
+        use workloads::black_scholes as bs;
+        let n = opts.size(1 << 16); // small input -> orchestration-bound
+        let evals = 40;
+        let inp = bs::generate(n, 42);
+
+        let run = |reuse_pool: bool| {
+            workloads::register_all_defaults();
+            let mut cfg = Config::with_workers(threads);
+            cfg.reuse_pool = reuse_pool;
+            let ctx = MozartContext::new(cfg);
+            let secs = time_min(opts.reps, || {
+                for _ in 0..evals {
+                    bs::mkl_mozart(&inp, &ctx).expect("run");
+                }
+            })
+            .as_secs_f64();
+            // `secs` is one 40-eval pass (min over reps); stages
+            // accumulated over all reps, so normalize.
+            (secs, ctx.take_stats().stages / opts.reps.max(1) as u64)
+        };
+        // One untimed pass per mode first: the first evaluations fault
+        // in the input pages and warm the allocator, which otherwise
+        // biases whichever mode is measured first.
+        run(true);
+        run(false);
+        let (reuse_s, stages) = run(true);
+        let (spawn_s, _) = run(false);
+        (reuse_s, spawn_s, stages)
+    };
+    println!("\n=== fig5: per-stage orchestration (multi-stage pipeline) ===");
+    println!("     pool reuse: {reuse_s:.4}s  ({stages} stages measured)");
+    println!("spawn-per-stage: {spawn_s:.4}s");
+    if reuse_s > 0.0 {
+        println!(
+            "        speedup: {:.2}x from reusing parked workers",
+            spawn_s / reuse_s
+        );
+    }
+    json.push_str(&format!(
+        "  \"pool_reuse_seconds\": {reuse_s:.6},\n  \"spawn_per_stage_seconds\": {spawn_s:.6},\n"
+    ));
+    json.push_str(&format!(
+        "  \"pool_reuse_speedup\": {:.4}\n}}\n",
+        if reuse_s > 0.0 {
+            spawn_s / reuse_s
+        } else {
+            0.0
+        }
+    ));
+    csv.push_str(&format!(
+        "pool_reuse_seconds,{reuse_s}\nspawn_per_stage_seconds,{spawn_s}\n"
+    ));
+
     write_results("fig5.csv", &csv);
+    write_results("BENCH_fig5.json", &json);
     println!("\npaper shape: task dominates; client+unprotect+planner < 0.5%;");
     println!("nashville has the highest split/merge share (crop+append copy pixels).");
 }
@@ -41,13 +113,24 @@ fn print_breakdown(name: &str, p: &[f64; 6]) {
     println!("\n=== fig5: {name} — percent of total runtime ===");
     let labels = ["client", "unprotect", "planner", "split", "task", "merge"];
     for (l, v) in labels.iter().zip(p) {
-        println!("{l:>10}: {v:6.2}% {}", "#".repeat((v / 2.0).round() as usize));
+        println!(
+            "{l:>10}: {v:6.2}% {}",
+            "#".repeat((v / 2.0).round() as usize)
+        );
     }
 }
 
 fn push_csv(csv: &mut String, name: &str, p: &[f64; 6]) {
     csv.push_str(&format!(
         "{name},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+        p[0], p[1], p[2], p[3], p[4], p[5]
+    ));
+}
+
+fn push_json(json: &mut String, name: &str, p: &[f64; 6], tail: &str) {
+    json.push_str(&format!(
+        "    \"{name}\": {{ \"client\": {:.4}, \"unprotect\": {:.4}, \"planner\": {:.4}, \
+         \"split\": {:.4}, \"task\": {:.4}, \"merge\": {:.4} }}{tail}",
         p[0], p[1], p[2], p[3], p[4], p[5]
     ));
 }

@@ -35,7 +35,11 @@ fn main() {
             })
             .as_secs_f64();
             let base = *baseline.get_or_insert(d);
-            let mark = if batch / 2 < heuristic && heuristic <= batch { " <- ~heuristic" } else { "" };
+            let mark = if batch / 2 < heuristic && heuristic <= batch {
+                " <- ~heuristic"
+            } else {
+                ""
+            };
             println!("  batch {batch:>9}: {d:.4}s (norm {:.2}){mark}", d / base);
             csv.push_str(&format!("{batch},{d},{}\n", !mark.is_empty()));
             batch *= 4;
@@ -62,8 +66,15 @@ fn main() {
             })
             .as_secs_f64();
             let base = *baseline.get_or_insert(d);
-            let mark = if batch / 4 < heuristic && heuristic <= batch { " <- ~heuristic" } else { "" };
-            println!("  batch {batch:>6} rows: {d:.4}s (norm {:.2}){mark}", d / base);
+            let mark = if batch / 4 < heuristic && heuristic <= batch {
+                " <- ~heuristic"
+            } else {
+                ""
+            };
+            println!(
+                "  batch {batch:>6} rows: {d:.4}s (norm {:.2}){mark}",
+                d / base
+            );
             csv.push_str(&format!("{batch},{d},{}\n", !mark.is_empty()));
             batch *= 4;
         }

@@ -105,7 +105,9 @@ fn main() {
         println!();
     }
     write_results("fig7b_speedup.csv", &csv);
-    println!("\npaper shape: memory-bound ops (add/mul) gain the most; compute-bound (exp) the least.");
+    println!(
+        "\npaper shape: memory-bound ops (add/mul) gain the most; compute-bound (exp) the least."
+    );
 }
 
 fn dispatch_sa(ctx: &mozart_core::MozartContext, name: &str, n: usize, buf: &SharedVec<f64>) {

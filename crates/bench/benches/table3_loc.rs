@@ -9,7 +9,9 @@ use mozart_bench::write_results;
 
 /// Count non-empty, non-comment source lines in a file.
 fn loc(path: &Path) -> usize {
-    let Ok(text) = std::fs::read_to_string(path) else { return 0 };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return 0;
+    };
     text.lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!"))

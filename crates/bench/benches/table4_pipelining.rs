@@ -75,7 +75,12 @@ fn main() {
             let ctx = pipe_context(1, true);
             bs::mkl_mozart(&sim_inp, &ctx).expect("run");
         });
-        rows.push(Row { workload: "Black Scholes", system: "MKL", runtime_norm: 1.0, miss_pct: m_mkl });
+        rows.push(Row {
+            workload: "Black Scholes",
+            system: "MKL",
+            runtime_norm: 1.0,
+            miss_pct: m_mkl,
+        });
         rows.push(Row {
             workload: "Black Scholes",
             system: "Mozart (-pipe)",
@@ -122,7 +127,12 @@ fn main() {
             let ctx = pipe_context(1, true);
             hv::mkl_mozart(&sim_inp, &ctx).expect("run");
         });
-        rows.push(Row { workload: "Haversine", system: "MKL", runtime_norm: 1.0, miss_pct: m_mkl });
+        rows.push(Row {
+            workload: "Haversine",
+            system: "MKL",
+            runtime_norm: 1.0,
+            miss_pct: m_mkl,
+        });
         rows.push(Row {
             workload: "Haversine",
             system: "Mozart (-pipe)",
@@ -138,12 +148,23 @@ fn main() {
     }
 
     println!("\n=== Table 4: hardware counters show pipelining reduces cache misses ===");
-    println!("{:<16} {:<16} {:>20} {:>16}", "Workload", "System", "Normalized Runtime", "LLC Miss (sim)");
+    println!(
+        "{:<16} {:<16} {:>20} {:>16}",
+        "Workload", "System", "Normalized Runtime", "LLC Miss (sim)"
+    );
     let mut csv = String::from("workload,system,runtime_norm,llc_miss_pct\n");
     for r in &rows {
-        println!("{:<16} {:<16} {:>20.2} {:>15.2}%", r.workload, r.system, r.runtime_norm, r.miss_pct);
-        csv.push_str(&format!("{},{},{},{}\n", r.workload, r.system, r.runtime_norm, r.miss_pct));
+        println!(
+            "{:<16} {:<16} {:>20.2} {:>15.2}%",
+            r.workload, r.system, r.runtime_norm, r.miss_pct
+        );
+        csv.push_str(&format!(
+            "{},{},{},{}\n",
+            r.workload, r.system, r.runtime_norm, r.miss_pct
+        ));
     }
     write_results("table4.csv", &csv);
-    println!("\npaper shape: Mozart(-pipe) ~= MKL runtime & miss rate; Mozart cuts the miss rate ~2x");
+    println!(
+        "\npaper shape: Mozart(-pipe) ~= MKL runtime & miss rate; Mozart cuts the miss rate ~2x"
+    );
 }

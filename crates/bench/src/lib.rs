@@ -44,7 +44,11 @@ impl BenchOpts {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(1.0);
-        BenchOpts { threads, reps, scale }
+        BenchOpts {
+            threads,
+            reps,
+            scale,
+        }
     }
 
     /// Scale a base size.
@@ -94,12 +98,19 @@ pub fn report_figure(figure: &str, caption: &str, series: &[Series]) {
     // Speedup annotation like the red labels in Figure 4: base vs
     // Mozart at the largest thread count.
     if let (Some(base), Some(moz)) = (
-        series.iter().find(|s| s.name.contains("base") || s.name == "MKL" || s.name == "Base"),
+        series
+            .iter()
+            .find(|s| s.name.contains("base") || s.name == "MKL" || s.name == "Base"),
         series.iter().find(|s| s.name.contains("Mozart")),
     ) {
         if let (Some(b), Some(m)) = (base.points.last(), moz.points.last()) {
             if m.1 > 0.0 {
-                println!("    speedup (Mozart vs {} @ {} threads): {:.1}x", base.name, b.0, b.1 / m.1);
+                println!(
+                    "    speedup (Mozart vs {} @ {} threads): {:.1}x",
+                    base.name,
+                    b.0,
+                    b.1 / m.1
+                );
             }
         }
     }
@@ -151,7 +162,11 @@ mod tests {
 
     #[test]
     fn env_defaults() {
-        let o = BenchOpts { threads: vec![1, 2], reps: 2, scale: 0.5 };
+        let o = BenchOpts {
+            threads: vec![1, 2],
+            reps: 2,
+            scale: 0.5,
+        };
         assert_eq!(o.size(100), 50);
         assert_eq!(o.size(1), 16, "sizes are floored");
     }

@@ -27,12 +27,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A typical server LLC slice: 8 MiB, 16-way, 64-byte lines.
     pub fn llc_8mb() -> Self {
-        CacheConfig { size_bytes: 8 << 20, associativity: 16, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 8 << 20,
+            associativity: 16,
+            line_bytes: 64,
+        }
     }
 
     /// A typical per-core L2: 256 KiB, 8-way, 64-byte lines.
     pub fn l2_256kb() -> Self {
-        CacheConfig { size_bytes: 256 << 10, associativity: 8, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 256 << 10,
+            associativity: 8,
+            line_bytes: 64,
+        }
     }
 
     fn num_sets(&self) -> usize {
@@ -82,7 +90,10 @@ impl Cache {
     /// Panics if the geometry is degenerate (zero sets, non-power-of-two
     /// line size).
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = config.num_sets();
         assert!(sets > 0, "cache must have at least one set");
         Cache {
@@ -161,7 +172,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets * 2 ways * 64B lines = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, associativity: 2, line_bytes: 64 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            associativity: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -237,7 +252,11 @@ mod tests {
     fn replay_matches_manual() {
         let trace = vec![(0usize, 256usize, false), (0, 256, true)];
         let s = replay_trace(
-            CacheConfig { size_bytes: 512, associativity: 2, line_bytes: 64 },
+            CacheConfig {
+                size_bytes: 512,
+                associativity: 2,
+                line_bytes: 64,
+            },
             &trace,
         );
         assert_eq!(s.accesses, 8);

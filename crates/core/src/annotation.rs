@@ -23,7 +23,10 @@ pub enum SplitTypeExpr {
     /// A named split type with a constructor. `ctor_args` are the indices
     /// of the annotated function's arguments fed to the constructor
     /// (the paper's `Name(A0...An)` syntax).
-    Concrete { splitter: Arc<dyn Splitter>, ctor_args: Vec<usize> },
+    Concrete {
+        splitter: Arc<dyn Splitter>,
+        ctor_args: Vec<usize>,
+    },
     /// A generic split type variable (`S`).
     Generic(GenericId),
     /// The "missing" split type `_`: the argument is not split but copied
@@ -38,7 +41,10 @@ pub enum SplitTypeExpr {
 impl std::fmt::Debug for SplitTypeExpr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SplitTypeExpr::Concrete { splitter, ctor_args } => {
+            SplitTypeExpr::Concrete {
+                splitter,
+                ctor_args,
+            } => {
                 write!(f, "{}({:?})", splitter.name(), ctor_args)
             }
             SplitTypeExpr::Generic(g) => write!(f, "S{g}"),
@@ -100,8 +106,7 @@ impl<'a> Invocation<'a> {
 
 /// The black-box callable: receives one batch of argument pieces and
 /// optionally returns a result piece.
-pub type LibFn =
-    Arc<dyn Fn(&Invocation<'_>) -> Result<Option<DataValue>> + Send + Sync>;
+pub type LibFn = Arc<dyn Fn(&Invocation<'_>) -> Result<Option<DataValue>> + Send + Sync>;
 
 /// A split annotation over one library function.
 pub struct Annotation {
@@ -117,6 +122,9 @@ pub struct Annotation {
 
 impl Annotation {
     /// Start building an annotation for `name` wrapping `func`.
+    /// Returns the builder, not `Self`; finish with
+    /// [`AnnotationBuilder::build`].
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(
         name: &'static str,
         func: impl Fn(&Invocation<'_>) -> Result<Option<DataValue>> + Send + Sync + 'static,
@@ -166,13 +174,21 @@ pub struct AnnotationBuilder {
 impl AnnotationBuilder {
     /// Add an immutable argument.
     pub fn arg(mut self, name: &'static str, ty: SplitTypeExpr) -> Self {
-        self.args.push(ArgSpec { name, mutable: false, ty });
+        self.args.push(ArgSpec {
+            name,
+            mutable: false,
+            ty,
+        });
         self
     }
 
     /// Add a mutable (`mut`) argument.
     pub fn mut_arg(mut self, name: &'static str, ty: SplitTypeExpr) -> Self {
-        self.args.push(ArgSpec { name, mutable: true, ty });
+        self.args.push(ArgSpec {
+            name,
+            mutable: true,
+            ty,
+        });
         self
     }
 
@@ -199,7 +215,10 @@ impl AnnotationBuilder {
 /// at build time by [`resolve_ctor_names`], or indices via
 /// [`SplitTypeExpr::Concrete`] directly.
 pub fn concrete(splitter: Arc<dyn Splitter>, ctor_args: Vec<usize>) -> SplitTypeExpr {
-    SplitTypeExpr::Concrete { splitter, ctor_args }
+    SplitTypeExpr::Concrete {
+        splitter,
+        ctor_args,
+    }
 }
 
 /// Shorthand for a generic split type variable.
@@ -243,7 +262,10 @@ mod tests {
     #[test]
     fn invocation_downcasts_and_reports_errors() {
         let args = vec![DataValue::new(IntValue(5))];
-        let inv = Invocation { function: "f", args: &args };
+        let inv = Invocation {
+            function: "f",
+            args: &args,
+        };
         assert_eq!(inv.int(0).unwrap(), 5);
         match inv.float(0) {
             Err(Error::ArgType { function, arg, .. }) => {

@@ -45,7 +45,10 @@ pub struct ProtectFlag {
 
 impl Default for ProtectFlag {
     fn default() -> Self {
-        ProtectFlag { protected: AtomicBool::new(false), trigger: Mutex::new(None) }
+        ProtectFlag {
+            protected: AtomicBool::new(false),
+            trigger: Mutex::new(None),
+        }
     }
 }
 
@@ -114,7 +117,9 @@ pub struct SharedVec<T: Copy + Send + Sync + 'static> {
 
 impl<T: Copy + Send + Sync + 'static> Clone for SharedVec<T> {
     fn clone(&self) -> Self {
-        SharedVec { inner: Arc::clone(&self.inner) }
+        SharedVec {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -129,8 +134,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedVec<T> {
 impl<T: Copy + Send + Sync + 'static> SharedVec<T> {
     /// Take ownership of a `Vec`'s contents.
     pub fn from_vec(v: Vec<T>) -> Self {
-        let storage: Box<[UnsafeCell<T>]> =
-            v.into_iter().map(UnsafeCell::new).collect();
+        let storage: Box<[UnsafeCell<T>]> = v.into_iter().map(UnsafeCell::new).collect();
         SharedVec {
             inner: Arc::new(Inner {
                 storage: RawStorage(storage),
@@ -399,7 +403,11 @@ mod tests {
     #[test]
     fn slice_view_aliases_parent() {
         let v = SharedVec::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
-        let piece = SliceView { parent: v.clone(), start: 1, len: 2 };
+        let piece = SliceView {
+            parent: v.clone(),
+            start: 1,
+            len: 2,
+        };
         // SAFETY: no concurrent mutation in this test.
         unsafe {
             piece.as_slice_mut()[0] = 20.0;

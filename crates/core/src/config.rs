@@ -21,6 +21,12 @@ pub struct Config {
     /// parallelized per call but never pipelined across calls. This is
     /// the paper's "Mozart (-pipe)" ablation (Table 4).
     pub pipeline: bool,
+    /// When `true` (the default), stages run on the context's persistent
+    /// [worker pool](crate::pool): threads are created once and parked
+    /// between stages. When `false`, every stage spawns and joins scoped
+    /// threads — the historic behavior, kept as a measured ablation for
+    /// the `fig5_overheads` benchmark.
+    pub reuse_pool: bool,
     /// Pedantic mode (§7.1): panic-free runtime checks that splits agree
     /// on element counts, pieces are non-NULL, etc., surfaced as errors.
     pub pedantic: bool,
@@ -36,6 +42,7 @@ impl Default for Config {
             batch_constant: 1.0,
             batch_override: None,
             pipeline: true,
+            reuse_pool: true,
             pedantic: cfg!(debug_assertions),
             log_calls: false,
         }
@@ -45,7 +52,10 @@ impl Default for Config {
 impl Config {
     /// Default configuration with a fixed worker count.
     pub fn with_workers(workers: usize) -> Self {
-        Config { workers: workers.max(1), ..Config::default() }
+        Config {
+            workers: workers.max(1),
+            ..Config::default()
+        }
     }
 
     /// Compute the batch size for a stage whose split inputs have the
@@ -76,7 +86,9 @@ pub fn default_workers() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Read the L2 cache size from sysfs, falling back to 256 KiB (the paper
@@ -113,6 +125,7 @@ mod tests {
             batch_constant: 1.0,
             batch_override: None,
             pipeline: true,
+            reuse_pool: true,
             pedantic: true,
             log_calls: false,
         }

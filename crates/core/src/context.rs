@@ -23,7 +23,8 @@ use crate::error::{Error, Result};
 use crate::executor::execute_stage;
 use crate::graph::{DataflowGraph, FutureToken, Node, ValueEntry, ValueId, ValueOrigin};
 use crate::planner::plan_next_stage;
-use crate::stats::PhaseStats;
+use crate::pool::WorkerPool;
+use crate::stats::{PhaseStats, PoolStats};
 use crate::value::{DataObject, DataValue};
 
 static CTX_COUNTER: AtomicU64 = AtomicU64::new(1);
@@ -32,6 +33,11 @@ struct State {
     graph: DataflowGraph,
     config: Config,
     stats: PhaseStats,
+    /// The context's persistent worker pool, created lazily on first
+    /// evaluation and kept across stages (and evaluations) so stage
+    /// execution never spawns threads. Rebuilt only if `config.workers`
+    /// changes.
+    pool: Option<WorkerPool>,
     /// Values whose storage is protected pending evaluation.
     protected: Vec<DataValue>,
     /// First evaluation error, if any, reported to later accessors.
@@ -78,6 +84,7 @@ impl MozartContext {
                     graph: DataflowGraph::default(),
                     config,
                     stats: PhaseStats::default(),
+                    pool: None,
                     protected: Vec::new(),
                     poisoned: None,
                 }),
@@ -152,7 +159,11 @@ impl MozartContext {
             let dv = &args[i];
             let prev = arg_ids[i];
             let mv = st.graph.push_value(ValueEntry {
-                origin: ValueOrigin::MutVersion { node: node_id, arg: i, prev },
+                origin: ValueOrigin::MutVersion {
+                    node: node_id,
+                    arg: i,
+                    prev,
+                },
                 data: Some(dv.clone()),
                 ready: false,
                 consumers: Vec::new(),
@@ -184,7 +195,11 @@ impl MozartContext {
                 user_token: Some(Arc::downgrade(&token)),
             });
             ret = Some(rv);
-            future = Some(FutureHandle { ctx: self.clone(), value: rv, _token: token });
+            future = Some(FutureHandle {
+                ctx: self.clone(),
+                value: rv,
+                _token: token,
+            });
         }
 
         st.graph.push_node(Node {
@@ -223,6 +238,14 @@ impl MozartContext {
         self.inner.state.lock().stats
     }
 
+    /// Counters of the persistent worker pool (empty until the first
+    /// multi-worker stage runs). Counters reset if the pool is rebuilt
+    /// after a `set_config` call that changes the worker count.
+    pub fn pool_stats(&self) -> PoolStats {
+        let st = self.inner.state.lock();
+        st.pool.as_ref().map(WorkerPool::stats).unwrap_or_default()
+    }
+
     /// Take and reset the phase statistics.
     pub fn take_stats(&self) -> PhaseStats {
         std::mem::take(&mut self.inner.state.lock().stats)
@@ -255,6 +278,24 @@ fn evaluate_locked(inner: &ContextInner, st: &mut State) -> Result<()> {
 
     let _ = inner; // reserved for future per-context callbacks
 
+    // Make sure the persistent pool matches the configured parallelism:
+    // the calling thread participates in every stage, so the pool holds
+    // `workers - 1` threads. Created once and reused across stages. The
+    // spawn-per-stage ablation (`reuse_pool = false`) must not own idle
+    // pool threads, or it would misrepresent the no-pool baseline.
+    if st.config.reuse_pool {
+        let want_pool_workers = st.config.workers.max(1) - 1;
+        let pool_matches = st
+            .pool
+            .as_ref()
+            .is_some_and(|p| p.pool_workers() == want_pool_workers);
+        if !pool_matches {
+            st.pool = Some(WorkerPool::new(want_pool_workers));
+        }
+    } else {
+        st.pool = None;
+    }
+
     while !st.graph.fully_executed() {
         let t1 = Instant::now();
         let plan = plan_next_stage(&st.graph, &st.config);
@@ -268,8 +309,14 @@ fn evaluate_locked(inner: &ContextInner, st: &mut State) -> Result<()> {
             }
         };
         // Borrow split: executor needs &mut graph + &config + &mut stats.
-        let State { graph, config, stats, .. } = st;
-        if let Err(e) = execute_stage(graph, &stage, config, stats) {
+        let State {
+            graph,
+            config,
+            stats,
+            pool,
+            ..
+        } = st;
+        if let Err(e) = execute_stage(graph, &stage, config, stats, pool.as_ref()) {
             st.poisoned = Some(e.clone());
             return Err(e);
         }
@@ -297,7 +344,10 @@ impl FutureHandle {
     /// (pipelineable). Keep the handle alive until evaluation if you also
     /// want to read the result yourself.
     pub fn as_value(&self) -> DataValue {
-        DataValue::Lazy { ctx_id: self.ctx.id(), value: self.value }
+        DataValue::Lazy {
+            ctx_id: self.ctx.id(),
+            value: self.value,
+        }
     }
 
     /// Force evaluation and return the materialized value.
@@ -312,7 +362,10 @@ impl FutureHandle {
 
     /// Add a concrete result type.
     pub fn typed<T: DataObject + Clone>(self) -> Future<T> {
-        Future { raw: self, _pd: PhantomData }
+        Future {
+            raw: self,
+            _pd: PhantomData,
+        }
     }
 }
 

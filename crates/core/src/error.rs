@@ -65,21 +65,39 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::ArgType { function, arg, expected, actual } => write!(
+            Error::ArgType {
+                function,
+                arg,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "{function}: argument {arg} has type {actual}, expected {expected}"
             ),
-            Error::ArgCount { function, expected, actual } => write!(
-                f,
-                "{function}: expected {expected} arguments, got {actual}"
-            ),
-            Error::Constructor { split_type, message } => {
-                write!(f, "constructor for split type {split_type} failed: {message}")
+            Error::ArgCount {
+                function,
+                expected,
+                actual,
+            } => write!(f, "{function}: expected {expected} arguments, got {actual}"),
+            Error::Constructor {
+                split_type,
+                message,
+            } => {
+                write!(
+                    f,
+                    "constructor for split type {split_type} failed: {message}"
+                )
             }
-            Error::Split { split_type, message } => {
+            Error::Split {
+                split_type,
+                message,
+            } => {
                 write!(f, "split for split type {split_type} failed: {message}")
             }
-            Error::Merge { split_type, message } => {
+            Error::Merge {
+                split_type,
+                message,
+            } => {
                 write!(f, "merge for split type {split_type} failed: {message}")
             }
             Error::ElementMismatch { expected, actual } => write!(
@@ -124,7 +142,10 @@ mod tests {
 
     #[test]
     fn element_mismatch_reports_both_counts() {
-        let e = Error::ElementMismatch { expected: 10, actual: 20 };
+        let e = Error::ElementMismatch {
+            expected: 10,
+            actual: 20,
+        };
         let s = e.to_string();
         assert!(s.contains("10") && s.contains("20"));
     }

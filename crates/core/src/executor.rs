@@ -2,12 +2,38 @@
 //!
 //! Each stage is executed by (1) discovering runtime parameters via the
 //! splitting API's `Info` function and choosing a cache-sized batch,
-//! (2) statically partitioning elements across worker threads, each of
-//! which runs the *driver loop* — split every input, call every function
-//! in the stage on the pieces, stash result pieces — and (3) merging
-//! partial results per worker and then once more on the calling thread.
+//! (2) running the *driver loop* — split every input for a batch, call
+//! every function in the stage on the pieces, stash result pieces — on
+//! the participants of the context's persistent [worker
+//! pool](crate::pool), and (3) merging partial results per worker and
+//! then once more on the calling thread.
+//!
+//! Two properties distinguish this engine from a naive per-stage
+//! fork/join:
+//!
+//! * **Workers are persistent and scheduling is dynamic.** Threads are
+//!   created once per context and park between stages; batches are
+//!   claimed from a shared atomic cursor rather than pre-partitioned
+//!   into static ranges, so a worker that draws an expensive batch
+//!   (skewed split or data-dependent task cost) never idles the rest of
+//!   the pool. The calling thread participates as worker 0, which keeps
+//!   single-batch stages handoff-free.
+//! * **The driver loop is hash-free.** The planner assigns every
+//!   stage-local value a dense `u32` slot at plan time
+//!   ([`StagePlan::slots`]); arguments, returns, and mut-aliases are
+//!   resolved to slot offsets once per stage in [`build_exec_stage`],
+//!   and the per-batch loop indexes a flat `Vec<Option<DataValue>>`.
+//!   Broadcast (`_`-typed) values are written once per worker, not once
+//!   per batch.
+//!
+//! Because batches may complete out of claim order, every stashed piece
+//! carries the element range that produced it. Workers pre-merge
+//! contiguous runs (or everything, for
+//! [commutative](crate::split::Splitter::commutative_merge) merges such
+//! as reductions), and the final merge orders runs by element offset, so
+//! split types still observe pieces in element order (§3.4).
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::annotation::Invocation;
@@ -15,26 +41,37 @@ use crate::config::Config;
 use crate::error::{Error, Result};
 use crate::graph::{DataflowGraph, ValueId};
 use crate::planner::{OutputKind, StagePlan};
+use crate::pool::{run_stage_scoped, Job, WorkerPool};
 use crate::split::SplitInstance;
 use crate::stats::PhaseStats;
 use crate::value::DataValue;
 
 /// Immutable description of a stage shared across worker threads.
-struct ExecStage {
+///
+/// All values are addressed by dense plan-time slot indices; see the
+/// module docs.
+pub(crate) struct ExecStage {
     nodes: Vec<ExecNode>,
     inputs: Vec<ExecInput>,
-    /// Materialized values passed whole to every batch: `(value, data)`.
-    broadcast: Vec<(ValueId, DataValue)>,
+    /// Values passed whole to every batch, written once per worker.
+    broadcast: Vec<(u32, DataValue)>,
     /// Outputs whose pieces must be collected and merged.
-    merge_outputs: Vec<(ValueId, SplitInstance)>,
-    total_elements: u64,
+    merge_outputs: Vec<MergeOutput>,
+    /// Slots written by node execution, cleared at the top of every
+    /// batch so output-presence checks see only this batch's pieces.
+    produced_slots: Vec<u32>,
+    num_slots: usize,
+    pub(crate) total_elements: u64,
     batch: u64,
+    /// Worker count for this stage (callers + pool workers), already
+    /// capped by the number of batches.
+    pub(crate) participants: usize,
     log_calls: bool,
     pedantic: bool,
 }
 
 struct ExecInput {
-    value: ValueId,
+    slot: u32,
     instance: SplitInstance,
     data: DataValue,
 }
@@ -42,23 +79,40 @@ struct ExecInput {
 struct ExecNode {
     name: &'static str,
     func: crate::annotation::LibFn,
-    args: Vec<ValueId>,
-    /// `(arg index, mut-version value)`: after the call, the mut version
+    /// Argument slots, in annotation order.
+    args: Vec<u32>,
+    /// `(arg index, mut-version slot)`: after the call, the mut version
     /// aliases the argument's piece.
-    mut_alias: Vec<(usize, ValueId)>,
-    ret: Option<ValueId>,
+    mut_alias: Vec<(usize, u32)>,
+    ret: Option<u32>,
 }
 
-/// Per-worker result: merged partials and phase timings.
-struct WorkerOut {
-    /// One merged partial per merge output (None if the worker produced
-    /// no pieces for it).
-    partials: Vec<Option<DataValue>>,
+struct MergeOutput {
+    slot: u32,
+    value: ValueId,
+    instance: SplitInstance,
+    /// Cached `instance.commutative_merge()`.
+    commutative: bool,
+}
+
+/// A merged (or single) piece covering elements starting at `start`.
+pub(crate) struct PieceRun {
+    start: u64,
+    piece: DataValue,
+}
+
+/// Per-worker result: pre-merged partial runs and phase timings.
+pub(crate) struct WorkerOut {
+    /// Per merge output: runs in increasing element order.
+    partials: Vec<Vec<PieceRun>>,
     split: Duration,
     task: Duration,
     merge: Duration,
-    batches: u64,
+    pub(crate) batches: u64,
     calls: u64,
+    /// Batches this worker claimed that static partitioning would have
+    /// assigned to a different worker.
+    pub(crate) stolen: u64,
 }
 
 /// Execute one stage, materializing its outputs into the graph.
@@ -67,50 +121,44 @@ pub fn execute_stage(
     stage: &StagePlan,
     config: &Config,
     stats: &mut PhaseStats,
+    pool: Option<&WorkerPool>,
 ) -> Result<()> {
+    let stage_idx = stats.stages;
     let exec = build_exec_stage(graph, stage, config)?;
+    let job = Job::new(exec);
 
-    let workers = effective_workers(config.workers, exec.total_elements);
-    let per_worker = exec.total_elements.div_ceil(workers as u64);
-
-    let mut outs: Vec<WorkerOut> = Vec::with_capacity(workers);
-    if workers == 1 {
-        outs.push(run_worker(&exec, 0..exec.total_elements)?);
+    let outs: Vec<WorkerOut> = if job.exec.participants <= 1 {
+        vec![run_worker(&job.exec, &job.cursor, &job.failed, 0)?]
+    } else if config.reuse_pool {
+        let pool = pool.expect("context creates the pool when reuse_pool is set");
+        pool.run_stage(&job)?
     } else {
-        let mut results: Vec<Option<Result<WorkerOut>>> = Vec::new();
-        results.resize_with(workers, || None);
-        std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(workers);
-            for w in 0..workers {
-                let start = w as u64 * per_worker;
-                let end = (start + per_worker).min(exec.total_elements);
-                let exec = &exec;
-                handles.push(s.spawn(move || run_worker(exec, start..end)));
-            }
-            for (slot, h) in results.iter_mut().zip(handles) {
-                *slot = Some(h.join().unwrap_or_else(|_| {
-                    Err(Error::Library("worker thread panicked".into()))
-                }));
-            }
-        });
-        for r in results {
-            outs.push(r.expect("worker result collected")?);
-        }
-    }
+        // Spawn-per-stage ablation for the fig5 overhead benchmark; the
+        // context owns no pool in this mode.
+        run_stage_scoped(&job)?
+    };
+    let exec = &job.exec;
 
-    // Final merge on the calling thread (§5.2 step 3).
+    // Final merge on the calling thread (§5.2 step 3): order every
+    // worker's partial runs by element offset, then merge once.
     let t0 = Instant::now();
-    for (i, (vid, instance)) in exec.merge_outputs.iter().enumerate() {
-        let pieces: Vec<DataValue> =
-            outs.iter().filter_map(|o| o.partials[i].clone()).collect();
-        if pieces.is_empty() {
+    for (i, mo) in exec.merge_outputs.iter().enumerate() {
+        let mut runs: Vec<&PieceRun> = outs.iter().flat_map(|o| o.partials[i].iter()).collect();
+        if runs.is_empty() {
             return Err(Error::Merge {
-                split_type: instance.splitter.name(),
-                message: format!("no pieces produced for output of stage"),
+                split_type: mo.instance.splitter.name(),
+                message: format!(
+                    "stage {stage_idx} produced no pieces for its {} output \
+                     (v{}): every batch came back empty",
+                    mo.instance.splitter.name(),
+                    mo.value.0
+                ),
             });
         }
-        let merged = instance.splitter.merge(pieces, &instance.params)?;
-        let entry = &mut graph.values[vid.0 as usize];
+        runs.sort_by_key(|r| r.start);
+        let pieces: Vec<DataValue> = runs.into_iter().map(|r| r.piece.clone()).collect();
+        let merged = mo.instance.splitter.merge(pieces, &mo.instance.params)?;
+        let entry = &mut graph.values[mo.value.0 as usize];
         entry.data = Some(merged);
         entry.ready = true;
     }
@@ -135,18 +183,14 @@ pub fn execute_stage(
     stats.stages += 1;
     stats.split += outs.iter().map(|o| o.split).max().unwrap_or_default();
     stats.task += outs.iter().map(|o| o.task).max().unwrap_or_default();
-    stats.merge +=
-        outs.iter().map(|o| o.merge).max().unwrap_or_default() + final_merge;
+    stats.merge += outs.iter().map(|o| o.merge).max().unwrap_or_default() + final_merge;
     stats.batches += outs.iter().map(|o| o.batches).sum::<u64>();
     stats.calls += outs.iter().map(|o| o.calls).sum::<u64>();
     Ok(())
 }
 
-fn effective_workers(configured: usize, total: u64) -> usize {
-    configured.max(1).min(total.max(1) as usize)
-}
-
-/// Gather materialized data, run `Info`, and size batches.
+/// Gather materialized data, run `Info`, size batches, and resolve every
+/// value reference to its dense slot.
 fn build_exec_stage(
     graph: &DataflowGraph,
     stage: &StagePlan,
@@ -157,7 +201,10 @@ fn build_exec_stage(
     let mut sum_elem_bytes: u64 = 0;
 
     for (vid, instance) in &stage.inputs {
-        let data = graph.value_data(*vid).cloned().ok_or(Error::ValueUnavailable)?;
+        let data = graph
+            .value_data(*vid)
+            .cloned()
+            .ok_or(Error::ValueUnavailable)?;
         let info = instance.splitter.info(&data, &instance.params)?;
         match total {
             None => total = Some(info.total_elements),
@@ -170,43 +217,63 @@ fn build_exec_stage(
             }
         }
         sum_elem_bytes += info.elem_size_bytes;
-        inputs.push(ExecInput { value: *vid, instance: instance.clone(), data });
+        inputs.push(ExecInput {
+            slot: stage.slot_of(*vid),
+            instance: instance.clone(),
+            data,
+        });
     }
 
     // A stage with no split inputs (e.g. a call whose arguments are all
     // `_`) executes as a single batch of one element.
     let total_elements = total.unwrap_or(1);
     let batch = config.batch_elements(sum_elem_bytes, total_elements);
+    let num_batches = total_elements.div_ceil(batch.max(1)).max(1);
+    let participants = config.workers.max(1).min(num_batches as usize);
 
     let mut broadcast = Vec::with_capacity(stage.broadcast.len());
     for vid in &stage.broadcast {
-        let data = graph.value_data(*vid).cloned().ok_or(Error::ValueUnavailable)?;
-        broadcast.push((*vid, data));
+        let data = graph
+            .value_data(*vid)
+            .cloned()
+            .ok_or(Error::ValueUnavailable)?;
+        broadcast.push((stage.slot_of(*vid), data));
     }
 
     let mut nodes = Vec::with_capacity(stage.nodes.len());
+    let mut produced_slots: Vec<u32> = Vec::new();
     for &nid in &stage.nodes {
         let node = &graph.nodes[nid.0 as usize];
-        let mut_alias = node
+        let mut_alias: Vec<(usize, u32)> = node
             .mut_out
             .iter()
             .enumerate()
-            .filter_map(|(i, mv)| mv.map(|v| (i, v)))
+            .filter_map(|(i, mv)| mv.map(|v| (i, stage.slot_of(v))))
             .collect();
+        let ret = node.ret.map(|rv| stage.slot_of(rv));
+        produced_slots.extend(mut_alias.iter().map(|&(_, s)| s));
+        produced_slots.extend(ret);
         nodes.push(ExecNode {
             name: node.annot.name,
             func: node.annot.func.clone(),
-            args: node.args.clone(),
+            args: node.args.iter().map(|a| stage.slot_of(*a)).collect(),
             mut_alias,
-            ret: node.ret,
+            ret,
         });
     }
+    produced_slots.sort_unstable();
+    produced_slots.dedup();
 
     let merge_outputs = stage
         .outputs
         .iter()
         .filter(|o| o.kind == OutputKind::Merge)
-        .map(|o| (o.value, o.instance.clone()))
+        .map(|o| MergeOutput {
+            slot: stage.slot_of(o.value),
+            value: o.value,
+            commutative: o.instance.commutative_merge(),
+            instance: o.instance.clone(),
+        })
         .collect();
 
     Ok(ExecStage {
@@ -214,54 +281,84 @@ fn build_exec_stage(
         inputs,
         broadcast,
         merge_outputs,
+        produced_slots,
+        num_slots: stage.num_slots as usize,
         total_elements,
         batch,
+        participants,
         log_calls: config.log_calls,
         pedantic: config.pedantic,
     })
 }
 
-/// The driver loop (§5.2 step 2) for one worker's element range.
-fn run_worker(exec: &ExecStage, range: std::ops::Range<u64>) -> Result<WorkerOut> {
+/// The driver loop (§5.2 step 2) for one participant.
+///
+/// Claims batches from the shared `cursor` until the elements are
+/// exhausted, a split returns `NULL`, or another participant fails.
+pub(crate) fn run_worker(
+    exec: &ExecStage,
+    cursor: &AtomicU64,
+    failed: &AtomicBool,
+    worker_idx: usize,
+) -> Result<WorkerOut> {
     let mut out = WorkerOut {
-        partials: vec![None; exec.merge_outputs.len()],
+        partials: Vec::new(),
         split: Duration::ZERO,
         task: Duration::ZERO,
         merge: Duration::ZERO,
         batches: 0,
         calls: 0,
+        stolen: 0,
     };
-    let mut pending: Vec<Vec<DataValue>> = vec![Vec::new(); exec.merge_outputs.len()];
-    let mut slots: HashMap<ValueId, DataValue> = HashMap::new();
+    // Raw pieces per merge output, tagged `(start, end, piece)`. Claims
+    // from the shared cursor are monotonic, so these stay sorted.
+    let mut pending: Vec<Vec<(u64, u64, DataValue)>> = vec![Vec::new(); exec.merge_outputs.len()];
+    let mut slots: Vec<Option<DataValue>> = vec![None; exec.num_slots];
+    for (slot, data) in &exec.broadcast {
+        slots[*slot as usize] = Some(data.clone());
+    }
+    // The range a static partitioner would have given this worker, for
+    // the steal counter.
+    let static_share = exec
+        .total_elements
+        .div_ceil(exec.participants.max(1) as u64)
+        .max(1);
 
-    let mut start = range.start;
-    'driver: while start < range.end {
-        let end = (start + exec.batch).min(range.end);
+    'driver: loop {
+        if failed.load(Ordering::Relaxed) {
+            break;
+        }
+        let start = cursor.fetch_add(exec.batch, Ordering::Relaxed);
+        if start >= exec.total_elements {
+            break;
+        }
+        let end = (start + exec.batch).min(exec.total_elements);
 
         // Split every input for this batch.
         let t0 = Instant::now();
-        slots.clear();
-        for (vid, data) in &exec.broadcast {
-            slots.insert(*vid, data.clone());
+        for &s in &exec.produced_slots {
+            slots[s as usize] = None;
         }
         let mut produced = 0usize;
         for input in &exec.inputs {
-            match input.instance.splitter.split(
-                &input.data,
-                start..end,
-                &input.instance.params,
-            )? {
+            match input
+                .instance
+                .splitter
+                .split(&input.data, start..end, &input.instance.params)?
+            {
                 Some(piece) => {
-                    slots.insert(input.value, piece);
+                    slots[input.slot as usize] = Some(piece);
                     produced += 1;
                 }
                 None => {
                     if exec.pedantic && produced > 0 {
                         return Err(Error::Pedantic(format!(
-                            "split type {} returned NULL while other inputs produced pieces",
+                            "split type {} returned NULL for elements [{start}, {end}) \
+                             while other inputs produced pieces",
                             input.instance.splitter.name()
                         )));
                     }
+                    // The paper's NULL return: no data here, stop claiming.
                     out.split += t0.elapsed();
                     break 'driver;
                 }
@@ -273,28 +370,30 @@ fn run_worker(exec: &ExecStage, range: std::ops::Range<u64>) -> Result<WorkerOut
         let t1 = Instant::now();
         for node in &exec.nodes {
             let mut args: Vec<DataValue> = Vec::with_capacity(node.args.len());
-            for vid in &node.args {
-                match slots.get(vid) {
+            for &slot in &node.args {
+                match &slots[slot as usize] {
                     Some(piece) => args.push(piece.clone()),
                     None => return Err(Error::ValueUnavailable),
                 }
             }
             if exec.log_calls {
                 eprintln!(
-                    "mozart: call {} on elements [{start}, {end}) ({} args)",
+                    "mozart: worker {worker_idx} call {} on elements [{start}, {end}) ({} args)",
                     node.name,
                     args.len()
                 );
             }
-            let inv = Invocation { function: node.name, args: &args };
+            let inv = Invocation {
+                function: node.name,
+                args: &args,
+            };
             let ret = (node.func)(&inv)?;
-            for &(arg_idx, mv) in &node.mut_alias {
-                let piece = args[arg_idx].clone();
-                slots.insert(mv, piece);
+            for &(arg_idx, mv_slot) in &node.mut_alias {
+                slots[mv_slot as usize] = Some(args[arg_idx].clone());
             }
             match (ret, node.ret) {
-                (Some(piece), Some(rv)) => {
-                    slots.insert(rv, piece);
+                (Some(piece), Some(rv_slot)) => {
+                    slots[rv_slot as usize] = Some(piece);
                 }
                 (None, None) => {}
                 (None, Some(_)) => {
@@ -315,34 +414,81 @@ fn run_worker(exec: &ExecStage, range: std::ops::Range<u64>) -> Result<WorkerOut
         out.task += t1.elapsed();
 
         // Stash pieces of observable outputs ("moved to a list of
-        // partial results", §5.2).
-        for (i, (vid, instance)) in exec.merge_outputs.iter().enumerate() {
-            match slots.get(vid) {
-                Some(piece) => pending[i].push(piece.clone()),
+        // partial results", §5.2), tagged with their element range.
+        for (i, mo) in exec.merge_outputs.iter().enumerate() {
+            match &slots[mo.slot as usize] {
+                Some(piece) => pending[i].push((start, end, piece.clone())),
                 None if exec.pedantic => {
                     return Err(Error::Pedantic(format!(
-                        "output of split type {} missing after batch",
-                        instance.splitter.name()
+                        "output of split type {} missing after batch [{start}, {end})",
+                        mo.instance.splitter.name()
                     )))
                 }
                 None => {}
             }
         }
 
+        if start / static_share != worker_idx as u64 {
+            out.stolen += 1;
+        }
         out.batches += 1;
-        start = end;
     }
 
-    // Worker-local merge (§5.2 step 3, first level).
+    // Worker-local merge (§5.2 step 3, first level). Commutative merges
+    // fold everything this worker produced into one partial; order-
+    // sensitive merges fold each contiguous run so the final merge can
+    // order them globally.
     let t2 = Instant::now();
-    for (i, (_, instance)) in exec.merge_outputs.iter().enumerate() {
-        let pieces = std::mem::take(&mut pending[i]);
-        out.partials[i] = match pieces.len() {
-            0 => None,
-            1 => Some(pieces.into_iter().next().expect("len checked")),
-            _ => Some(instance.splitter.merge(pieces, &instance.params)?),
-        };
-    }
+    out.partials = exec
+        .merge_outputs
+        .iter()
+        .zip(pending.iter_mut())
+        .map(|(mo, pieces)| local_merge(mo, std::mem::take(pieces)))
+        .collect::<Result<_>>()?;
     out.merge += t2.elapsed();
     Ok(out)
+}
+
+/// First-level merge of one worker's pieces for one output.
+fn local_merge(mo: &MergeOutput, pieces: Vec<(u64, u64, DataValue)>) -> Result<Vec<PieceRun>> {
+    if pieces.is_empty() {
+        return Ok(Vec::new());
+    }
+    if mo.commutative {
+        let start = pieces[0].0;
+        let piece = merge_group(mo, pieces.into_iter().map(|p| p.2).collect())?;
+        return Ok(vec![PieceRun { start, piece }]);
+    }
+    let mut runs = Vec::new();
+    let mut group: Vec<DataValue> = Vec::new();
+    let mut group_start = 0;
+    let mut group_end = 0;
+    for (start, end, piece) in pieces {
+        if !group.is_empty() && start != group_end {
+            runs.push(PieceRun {
+                start: group_start,
+                piece: merge_group(mo, std::mem::take(&mut group))?,
+            });
+        }
+        if group.is_empty() {
+            group_start = start;
+        }
+        group_end = end;
+        group.push(piece);
+    }
+    if !group.is_empty() {
+        runs.push(PieceRun {
+            start: group_start,
+            piece: merge_group(mo, group)?,
+        });
+    }
+    Ok(runs)
+}
+
+/// Merge a group of pieces, skipping the library call for singletons.
+fn merge_group(mo: &MergeOutput, mut group: Vec<DataValue>) -> Result<DataValue> {
+    if group.len() == 1 {
+        return Ok(group.pop().expect("len checked"));
+    }
+    mo.instance.splitter.merge(group, &mo.instance.params)
 }

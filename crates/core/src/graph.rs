@@ -30,7 +30,11 @@ pub enum ValueOrigin {
     Ret(NodeId),
     /// A new version of `prev` produced by node `node` mutating its
     /// argument `arg` in place.
-    MutVersion { node: NodeId, arg: usize, prev: ValueId },
+    MutVersion {
+        node: NodeId,
+        arg: usize,
+        prev: ValueId,
+    },
 }
 
 /// Token proving the application still holds a `Future` for a value.
@@ -192,7 +196,10 @@ mod tests {
         let mut g = DataflowGraph::default();
         // A lazy handle is resolved by the context before reaching
         // resolve_arg; here we just confirm identity-less values fork.
-        let v = DataValue::Lazy { ctx_id: 0, value: ValueId(0) };
+        let v = DataValue::Lazy {
+            ctx_id: 0,
+            value: ValueId(0),
+        };
         assert!(v.identity().is_none());
         let a = g.resolve_arg(&DataValue::new(IntValue(3)));
         assert!(g.value_data(a).is_some());

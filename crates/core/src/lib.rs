@@ -69,6 +69,7 @@ pub mod error;
 pub mod executor;
 pub mod graph;
 pub mod planner;
+pub mod pool;
 pub mod registry;
 pub mod split;
 pub mod stats;
@@ -80,8 +81,9 @@ pub use buffer::{ProtectFlag, SharedVec, SliceView, VecValue};
 pub use config::Config;
 pub use context::{Future, FutureHandle, MozartContext};
 pub use error::{Error, Result};
+pub use pool::WorkerPool;
 pub use split::{Params, RuntimeInfo, SizeSplit, SplitInstance, Splitter};
-pub use stats::PhaseStats;
+pub use stats::{PhaseStats, PoolStats};
 pub use value::{BoolValue, DataValue, FloatValue, IntValue, StrValue};
 
 /// Convenient glob-import surface for integrations and applications.

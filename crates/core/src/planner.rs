@@ -56,6 +56,23 @@ pub struct StagePlan {
     pub broadcast: Vec<ValueId>,
     /// Values the stage produces.
     pub outputs: Vec<StageOutput>,
+    /// Dense slot index per stage-local value, assigned at plan time so
+    /// the executor's driver loop addresses values by array offset
+    /// instead of hashing `ValueId`s per batch (§5.2 overhead work).
+    pub slots: HashMap<ValueId, u32>,
+    /// Number of slots (`slots` maps into `0..num_slots`).
+    pub num_slots: u32,
+}
+
+impl StagePlan {
+    /// Slot of a stage-local value. Panics on values the planner never
+    /// assigned, which would be a planning bug.
+    pub fn slot_of(&self, value: ValueId) -> u32 {
+        *self
+            .slots
+            .get(&value)
+            .unwrap_or_else(|| panic!("value v{} has no stage slot", value.0))
+    }
 }
 
 /// Incremental state while growing a stage.
@@ -175,9 +192,9 @@ fn try_add(graph: &DataflowGraph, b: &mut StageBuilder, node_id: NodeId) -> Resu
 
     // Classify a value use against the current stage + staged changes.
     let check_use = |b: &StageBuilder,
-                         new_inputs: &mut Vec<(ValueId, SplitInstance)>,
-                         vid: ValueId,
-                         required: &SplitInstance|
+                     new_inputs: &mut Vec<(ValueId, SplitInstance)>,
+                     vid: ValueId,
+                     required: &SplitInstance|
      -> Result<bool> {
         if let Some(t) = b.known_type(vid) {
             // Partial results (reductions) must merge before use.
@@ -207,9 +224,7 @@ fn try_add(graph: &DataflowGraph, b: &mut StageBuilder, node_id: NodeId) -> Resu
                     // producer must merge first.
                     return Ok(AddOutcome::Incompatible);
                 }
-                if b.input_types.contains_key(&vid)
-                    || new_inputs.iter().any(|(v, _)| *v == vid)
-                {
+                if b.input_types.contains_key(&vid) || new_inputs.iter().any(|(v, _)| *v == vid) {
                     // Split for another function but needed whole here.
                     return Ok(AddOutcome::Incompatible);
                 }
@@ -221,11 +236,15 @@ fn try_add(graph: &DataflowGraph, b: &mut StageBuilder, node_id: NodeId) -> Resu
                 }
                 arg_instances.push(None);
             }
-            SplitTypeExpr::Concrete { splitter, ctor_args } => {
-                let inst = match construct_instance(graph, node.args.as_slice(), splitter, ctor_args)? {
-                    Some(i) => i,
-                    None => return Ok(AddOutcome::Incompatible),
-                };
+            SplitTypeExpr::Concrete {
+                splitter,
+                ctor_args,
+            } => {
+                let inst =
+                    match construct_instance(graph, node.args.as_slice(), splitter, ctor_args)? {
+                        Some(i) => i,
+                        None => return Ok(AddOutcome::Incompatible),
+                    };
                 if !check_use(b, &mut new_inputs, vid, &inst)? {
                     return Ok(AddOutcome::Incompatible);
                 }
@@ -263,12 +282,13 @@ fn try_add(graph: &DataflowGraph, b: &mut StageBuilder, node_id: NodeId) -> Resu
     // Resolve the return type.
     let ret_instance = match (&annot.ret, node.ret) {
         (Some(expr), Some(_)) => Some(match expr {
-            SplitTypeExpr::Concrete { splitter, ctor_args } => {
-                match construct_instance(graph, node.args.as_slice(), splitter, ctor_args)? {
-                    Some(i) => i,
-                    None => return Ok(AddOutcome::Incompatible),
-                }
-            }
+            SplitTypeExpr::Concrete {
+                splitter,
+                ctor_args,
+            } => match construct_instance(graph, node.args.as_slice(), splitter, ctor_args)? {
+                Some(i) => i,
+                None => return Ok(AddOutcome::Incompatible),
+            },
             SplitTypeExpr::Generic(g) => match bindings.get(g) {
                 Some(t) => t.clone(),
                 None => {
@@ -347,10 +367,13 @@ fn construct_instance(
 ) -> Result<Option<SplitInstance>> {
     let mut datas: Vec<DataValue> = Vec::with_capacity(ctor_args.len());
     for &idx in ctor_args {
-        let vid = node_args.get(idx).copied().ok_or_else(|| Error::Constructor {
-            split_type: splitter.name(),
-            message: format!("constructor references argument {idx} beyond arity"),
-        })?;
+        let vid = node_args
+            .get(idx)
+            .copied()
+            .ok_or_else(|| Error::Constructor {
+                split_type: splitter.name(),
+                message: format!("constructor references argument {idx} beyond arity"),
+            })?;
         match graph.captured_data(vid) {
             Some(d) => datas.push(d.clone()),
             None => return Ok(None),
@@ -392,16 +415,52 @@ fn finish_stage(graph: &DataflowGraph, b: StageBuilder) -> StagePlan {
             } else {
                 OutputKind::Discard
             };
-            outputs.push(StageOutput { value: rv, instance: inst, kind });
+            outputs.push(StageOutput {
+                value: rv,
+                instance: inst,
+                kind,
+            });
         }
     }
+    // Assign every stage-local value a dense slot: inputs and broadcast
+    // values first (written per worker), then everything the nodes read
+    // or produce. The executor indexes a flat `Vec` with these, keeping
+    // hash lookups out of the per-batch driver loop.
+    let mut slots: HashMap<ValueId, u32> = HashMap::new();
+    let assign = |slots: &mut HashMap<ValueId, u32>, v: ValueId| {
+        let next = slots.len() as u32;
+        slots.entry(v).or_insert(next);
+    };
+    for v in &b.input_order {
+        assign(&mut slots, *v);
+    }
+    for v in &b.broadcast_order {
+        assign(&mut slots, *v);
+    }
+    for &node_id in &b.nodes {
+        let node = &graph.nodes[node_id.0 as usize];
+        for &a in &node.args {
+            assign(&mut slots, a);
+        }
+        for mv in node.mut_out.iter().flatten() {
+            assign(&mut slots, *mv);
+        }
+        if let Some(rv) = node.ret {
+            assign(&mut slots, rv);
+        }
+    }
+    let num_slots = slots.len() as u32;
+
     StagePlan {
         nodes: b.nodes,
-        inputs: b.input_order
+        inputs: b
+            .input_order
             .iter()
             .map(|v| (*v, b.input_types[v].clone()))
             .collect(),
         broadcast: b.broadcast_order,
         outputs,
+        slots,
+        num_slots,
     }
 }

@@ -1,0 +1,389 @@
+//! The persistent work-stealing worker pool.
+//!
+//! Earlier revisions of the executor spawned OS threads with
+//! `std::thread::scope` for every stage, so short stages paid thread
+//! creation and teardown on their critical path — exactly the fixed
+//! overhead Figure 5 measures. This module keeps one set of workers
+//! alive for the lifetime of a [`MozartContext`](crate::MozartContext):
+//! workers park on a condition variable between stages and are handed
+//! work as a [`Job`] — an immutable stage description plus a shared
+//! atomic batch cursor.
+//!
+//! Scheduling is dynamic: instead of carving the element range into one
+//! static span per worker, every participant claims the next cache-sized
+//! batch from `Job::cursor` with a `fetch_add`. A worker stuck on a
+//! skewed batch (expensive split, data-dependent task cost) simply stops
+//! claiming while the others drain the remainder, so the stage finishes
+//! at the speed of the aggregate, not of the slowest static range. The
+//! calling thread always participates as worker 0, which keeps
+//! single-batch stages free of any cross-thread handoff.
+//!
+//! Per-job bookkeeping (claimed batches per participant, batches that
+//! static partitioning would have given to another worker, park/unpark
+//! transitions) is aggregated into [`PoolStats`] for the Figure 5
+//! overhead analysis; see `MozartContext::pool_stats`.
+//!
+//! [`run_stage_scoped`] preserves the old spawn-per-stage behavior
+//! behind `Config::reuse_pool = false` as a measured ablation for the
+//! `fig5_overheads` benchmark; it is not used otherwise.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::error::{Error, Result};
+use crate::executor::{run_worker, ExecStage, WorkerOut};
+use crate::stats::PoolStats;
+
+/// One stage dispatched to the pool: the immutable stage description,
+/// the shared batch cursor workers claim ranges from, and completion
+/// bookkeeping.
+///
+/// Pool workers *join* a job before participating and are counted out
+/// when they finish. Once the caller has drained its own share it
+/// *closes* the job: workers that have not joined by then are turned
+/// away, so a stage the caller drained alone (common for short stages)
+/// completes without waiting for any worker to wake up.
+pub(crate) struct Job {
+    /// The stage being executed (read-only across workers).
+    pub(crate) exec: ExecStage,
+    /// Next unclaimed element index; workers `fetch_add` the batch size.
+    pub(crate) cursor: AtomicU64,
+    /// Set when any participant fails, so the others stop claiming.
+    pub(crate) failed: AtomicBool,
+    /// Participant-index allocator for pool workers (the calling thread
+    /// is always participant 0, so tickets start at 1).
+    tickets: AtomicUsize,
+    /// Worker results and join/finish bookkeeping.
+    state: Mutex<JobState>,
+    done_cv: Condvar,
+}
+
+#[derive(Default)]
+struct JobState {
+    outs: Vec<WorkerOut>,
+    error: Option<Error>,
+    /// Pool workers that joined (ran or are running the driver loop).
+    joined: usize,
+    /// Pool workers that finished.
+    finished: usize,
+    /// Set by the caller once its own driver loop is done; no further
+    /// workers may join.
+    closed: bool,
+}
+
+impl Job {
+    /// Wrap a stage for execution.
+    pub(crate) fn new(exec: ExecStage) -> Arc<Job> {
+        Arc::new(Job {
+            exec,
+            cursor: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+            tickets: AtomicUsize::new(1),
+            state: Mutex::new(JobState::default()),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    /// Record a result into the job state (caller must hold no lock).
+    fn record(&self, result: Result<WorkerOut>) {
+        if result.is_err() {
+            self.failed.store(true, Ordering::Relaxed);
+        }
+        let mut st = lock(&self.state);
+        match result {
+            Ok(out) => st.outs.push(out),
+            Err(e) => {
+                if st.error.is_none() {
+                    st.error = Some(e);
+                }
+            }
+        }
+    }
+}
+
+/// What parked workers wake up to.
+struct Dispatch {
+    /// Bumped on every published job; workers run each epoch once.
+    epoch: u64,
+    /// The job of the current epoch, cleared once it completes.
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+/// Monotonic counters aggregated across jobs (see [`PoolStats`]).
+struct Counters {
+    jobs: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+    stolen: AtomicU64,
+    per_worker_batches: Vec<AtomicU64>,
+}
+
+impl Counters {
+    /// Attribute one participant's successful driver-loop run.
+    fn bump_batches(&self, participant: usize, result: &Result<WorkerOut>) {
+        if let Ok(out) = result {
+            self.stolen.fetch_add(out.stolen, Ordering::Relaxed);
+            if let Some(slot) = self.per_worker_batches.get(participant) {
+                slot.fetch_add(out.batches, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+struct PoolShared {
+    dispatch: Mutex<Dispatch>,
+    work_cv: Condvar,
+    counters: Counters,
+}
+
+/// A persistent set of worker threads, created once per context.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `pool_workers` threads. The calling thread joins
+    /// every stage as one extra participant, so a pool sized
+    /// `config.workers - 1` saturates `config.workers` cores.
+    pub fn new(pool_workers: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            dispatch: Mutex::new(Dispatch {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            counters: Counters {
+                jobs: AtomicU64::new(0),
+                parks: AtomicU64::new(0),
+                unparks: AtomicU64::new(0),
+                stolen: AtomicU64::new(0),
+                per_worker_batches: (0..=pool_workers).map(|_| AtomicU64::new(0)).collect(),
+            },
+        });
+        let handles = (0..pool_workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("mozart-worker-{i}"))
+                    .spawn(move || worker_main(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of pool threads (excluding the participating caller).
+    pub fn pool_workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Execute a multi-participant stage on the pool. The caller
+    /// participates as worker 0 and blocks until every participant is
+    /// done, so jobs never overlap.
+    pub(crate) fn run_stage(&self, job: &Arc<Job>) -> Result<Vec<WorkerOut>> {
+        debug_assert!(
+            job.exec.participants >= 2,
+            "single-worker stages run inline"
+        );
+        let c = &self.shared.counters;
+        c.jobs.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut d = lock(&self.shared.dispatch);
+            d.epoch += 1;
+            d.job = Some(job.clone());
+        }
+        // Chained wakeup: wake one worker; each worker that joins wakes
+        // the next (see `worker_main`). Compared to a notify_all this
+        // avoids a thundering herd on short stages — if the caller
+        // drains the cursor before the first worker joins, the rest are
+        // never taken off their futex at all.
+        self.shared.work_cv.notify_one();
+
+        // Participate from the calling thread.
+        let mine = run_worker(&job.exec, &job.cursor, &job.failed, 0);
+        c.bump_batches(0, &mine);
+        job.record(mine);
+
+        // Close the job — late-waking workers are turned away — and wait
+        // for the workers that did join. If the caller drained the whole
+        // stage before any worker woke, this returns without a handoff.
+        let mut st = lock(&job.state);
+        st.closed = true;
+        while st.finished < st.joined {
+            st = job.done_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        let outs = std::mem::take(&mut st.outs);
+        let error = st.error.take();
+        drop(st);
+
+        // Unpublish so late-waking workers skip straight back to sleep.
+        lock(&self.shared.dispatch).job = None;
+
+        match error {
+            Some(e) => Err(e),
+            None => Ok(outs),
+        }
+    }
+
+    /// Snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        let c = &self.shared.counters;
+        PoolStats {
+            workers: self.handles.len(),
+            jobs: c.jobs.load(Ordering::Relaxed),
+            parks: c.parks.load(Ordering::Relaxed),
+            unparks: c.unparks.load(Ordering::Relaxed),
+            batches_stolen: c.stolen.load(Ordering::Relaxed),
+            per_worker_batches: c
+                .per_worker_batches
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut d = lock(&self.shared.dispatch);
+            d.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The body of one pool thread: park until a new epoch publishes a job,
+/// claim a participant ticket, run the driver loop, repeat.
+fn worker_main(shared: &PoolShared) {
+    let c = &shared.counters;
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut d = lock(&shared.dispatch);
+            loop {
+                if d.shutdown {
+                    return;
+                }
+                if d.epoch != last_epoch {
+                    last_epoch = d.epoch;
+                    match &d.job {
+                        Some(job) => break job.clone(),
+                        // The epoch's job already completed: nothing to do.
+                        None => continue,
+                    }
+                }
+                c.parks.fetch_add(1, Ordering::Relaxed);
+                d = shared.work_cv.wait(d).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+
+        let ticket = job.tickets.fetch_add(1, Ordering::Relaxed);
+        if ticket >= job.exec.participants {
+            // More pool workers than the stage has batches.
+            continue;
+        }
+        {
+            let mut st = lock(&job.state);
+            if st.closed {
+                // The caller already drained and closed this stage.
+                continue;
+            }
+            st.joined += 1;
+        }
+        // Propagate the wake chain before doing work, so the rest of
+        // the pool ramps up while this worker runs batches.
+        shared.work_cv.notify_one();
+        c.unparks.fetch_add(1, Ordering::Relaxed);
+        let out = run_worker(&job.exec, &job.cursor, &job.failed, ticket);
+        c.bump_batches(ticket, &out);
+        job.record(out);
+        let mut st = lock(&job.state);
+        st.finished += 1;
+        if st.closed && st.finished == st.joined {
+            job.done_cv.notify_all();
+        }
+    }
+}
+
+/// Spawn-per-stage ablation (`Config::reuse_pool = false`): run the same
+/// dynamic-scheduling driver loop, but on scoped threads created for
+/// this one stage. Exists so `fig5_overheads` can measure what the
+/// persistent pool saves; per-worker pool counters are not updated on
+/// this path.
+pub(crate) fn run_stage_scoped(job: &Arc<Job>) -> Result<Vec<WorkerOut>> {
+    let participants = job.exec.participants;
+    let mut outs = Vec::with_capacity(participants);
+    let mut results: Vec<Option<Result<WorkerOut>>> = Vec::new();
+    results.resize_with(participants - 1, || None);
+    let mine = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(participants - 1);
+        for w in 1..participants {
+            let job = job.clone();
+            handles.push(s.spawn(move || {
+                let out = run_worker(&job.exec, &job.cursor, &job.failed, w);
+                if out.is_err() {
+                    // Match the pool path's semantics: one participant
+                    // failing stops the others from claiming batches.
+                    job.failed.store(true, Ordering::Relaxed);
+                }
+                out
+            }));
+        }
+        let mine = run_worker(&job.exec, &job.cursor, &job.failed, 0);
+        if mine.is_err() {
+            job.failed.store(true, Ordering::Relaxed);
+        }
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(
+                h.join()
+                    .unwrap_or_else(|_| Err(Error::Library("worker thread panicked".into()))),
+            );
+        }
+        mine
+    });
+    outs.push(mine?);
+    for r in results {
+        outs.push(r.expect("worker result collected")?);
+    }
+    Ok(outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_spins_up_and_shuts_down() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.pool_workers(), 3);
+        let s = pool.stats();
+        assert_eq!(s.workers, 3);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(
+            s.per_worker_batches.len(),
+            4,
+            "3 pool workers + caller slot"
+        );
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn empty_pool_is_valid() {
+        // workers == 1 means every stage runs inline on the caller.
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.pool_workers(), 0);
+        drop(pool);
+    }
+}

@@ -60,13 +60,36 @@ pub trait Splitter: Send + Sync + 'static {
     /// Produce the piece covering elements `[range.start, range.end)` of
     /// `arg`. Returning `Ok(None)` terminates the driver loop for this
     /// worker (the paper's `NULL` return).
-    fn split(&self, arg: &DataValue, range: Range<u64>, params: &Params)
-        -> Result<Option<DataValue>>;
+    fn split(
+        &self,
+        arg: &DataValue,
+        range: Range<u64>,
+        params: &Params,
+    ) -> Result<Option<DataValue>>;
 
     /// Associatively merge pieces back into a full value. Pieces arrive
-    /// in element order (workers own contiguous ranges; batches are
-    /// processed in order within a worker).
+    /// in element order: the executor tags every piece with the batch
+    /// range that produced it and sorts before merging, so dynamic
+    /// (out-of-order) batch scheduling is invisible to split types.
     fn merge(&self, pieces: Vec<DataValue>, params: &Params) -> Result<DataValue>;
+
+    /// Whether `merge` is commutative as well as associative (scalar
+    /// sums, elementwise partial reductions). Commutative merges let a
+    /// worker fold *all* of its claimed batches into one partial even
+    /// when the shared-cursor scheduler handed it non-contiguous
+    /// ranges; order-sensitive merges (concatenation) instead merge
+    /// per contiguous run and are ordered globally at the final merge.
+    ///
+    /// Trade-off: because which worker claims which batch varies run to
+    /// run, a commutative floating-point fold (e.g. a sum) may group
+    /// differently across runs and return results that differ in the
+    /// last ulps. Declare a split type commutative only if consumers
+    /// tolerate that (as FP reductions under any parallel schedule
+    /// must); leave it order-sensitive to keep batch-order-deterministic
+    /// merging at some pre-merge cost.
+    fn commutative_merge(&self) -> bool {
+        false
+    }
 
     /// Whether function results carrying this split type must be merged.
     /// `false` for in-place views whose writes land directly in the
@@ -105,7 +128,11 @@ static UNKNOWN_COUNTER: AtomicU64 = AtomicU64::new(0);
 impl SplitInstance {
     /// A concrete instance of `splitter` with `params`.
     pub fn new(splitter: Arc<dyn Splitter>, params: Params) -> Self {
-        SplitInstance { splitter, params, unique: None }
+        SplitInstance {
+            splitter,
+            params,
+            unique: None,
+        }
     }
 
     /// A fresh `unknown` instance whose merges are delegated to `merger`.
@@ -126,6 +153,12 @@ impl SplitInstance {
     /// merged before further consumption (see [`Splitter::terminal`]).
     pub fn terminal(&self) -> bool {
         self.splitter.terminal()
+    }
+
+    /// Whether this instance's merge is commutative (see
+    /// [`Splitter::commutative_merge`]).
+    pub fn commutative_merge(&self) -> bool {
+        self.splitter.commutative_merge()
     }
 
     /// Split type equality: same name, same parameters, same uniqueness
@@ -157,12 +190,13 @@ impl Splitter for SizeSplit {
     }
 
     fn construct(&self, ctor_args: &[&DataValue]) -> Result<Params> {
-        let v = ctor_args.first().and_then(|v| crate::value::as_i64(v)).ok_or_else(|| {
-            Error::Constructor {
+        let v = ctor_args
+            .first()
+            .and_then(|v| crate::value::as_i64(v))
+            .ok_or_else(|| Error::Constructor {
                 split_type: "SizeSplit",
                 message: "expected one integer argument".into(),
-            }
-        })?;
+            })?;
         Ok(vec![v])
     }
 
@@ -189,11 +223,17 @@ impl Splitter for SizeSplit {
 
     fn merge(&self, _pieces: Vec<DataValue>, params: &Params) -> Result<DataValue> {
         // The merged size is just the original total.
-        Ok(DataValue::new(IntValue(params.first().copied().unwrap_or(0))))
+        Ok(DataValue::new(IntValue(
+            params.first().copied().unwrap_or(0),
+        )))
     }
 
     fn needs_merge(&self) -> bool {
         false
+    }
+
+    fn commutative_merge(&self) -> bool {
+        true // the merge result does not depend on the pieces at all
     }
 }
 

@@ -69,13 +69,73 @@ impl PhaseStats {
     }
 }
 
+/// Counters of the persistent worker pool (see [`crate::pool`]),
+/// observable through `MozartContext::pool_stats`.
+///
+/// These expose the scheduler behavior the Figure 5 overhead analysis
+/// cares about: how often workers park/unpark between stages, how many
+/// batches each worker claimed from the shared cursor, and how many of
+/// those claims were *steals* — batches that static partitioning would
+/// have assigned to a different worker. A healthy dynamic schedule on a
+/// skewed workload shows nonzero steals and per-worker batch counts
+/// that are all positive.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of pool threads (the calling thread participates in
+    /// stages as one extra worker and is not counted here).
+    pub workers: usize,
+    /// Stages dispatched to the pool (single-worker stages run inline
+    /// on the calling thread and are not counted).
+    pub jobs: u64,
+    /// Times a worker went to sleep waiting for stage work.
+    pub parks: u64,
+    /// Times a worker woke up with stage work to do.
+    pub unparks: u64,
+    /// Batches claimed by a worker that static partitioning would have
+    /// assigned to a different worker.
+    pub batches_stolen: u64,
+    /// Batches processed per participant slot (index 0 is the calling
+    /// thread; 1.. are pool workers in job-join order).
+    pub per_worker_batches: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Whether every participant that joined a stage processed at least
+    /// one batch (the load-balance property dynamic scheduling buys).
+    pub fn all_workers_productive(&self) -> bool {
+        let active: Vec<&u64> = self
+            .per_worker_batches
+            .iter()
+            .take(self.workers + 1)
+            .collect();
+        !active.is_empty() && active.into_iter().all(|&b| b > 0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    fn pool_stats_productivity_check() {
+        let mut p = PoolStats {
+            workers: 2,
+            ..Default::default()
+        };
+        assert!(!p.all_workers_productive(), "no observations yet");
+        p.per_worker_batches = vec![4, 3, 2];
+        assert!(p.all_workers_productive());
+        p.per_worker_batches[2] = 0;
+        assert!(!p.all_workers_productive());
+    }
+
+    #[test]
     fn accumulate_sums_fields() {
-        let mut a = PhaseStats { client: Duration::from_millis(1), stages: 1, ..Default::default() };
+        let mut a = PhaseStats {
+            client: Duration::from_millis(1),
+            stages: 1,
+            ..Default::default()
+        };
         let b = PhaseStats {
             client: Duration::from_millis(2),
             task: Duration::from_millis(10),

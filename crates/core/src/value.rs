@@ -121,7 +121,7 @@ impl DataValue {
             DataValue::Data(d) => {
                 let addr = d
                     .stable_identity()
-                    .unwrap_or_else(|| Arc::as_ptr(d) as *const () as usize);
+                    .unwrap_or(Arc::as_ptr(d) as *const () as usize);
                 Some(DataIdentity::new(addr, d.as_any().type_id()))
             }
             DataValue::Lazy { .. } => None,
@@ -239,7 +239,10 @@ mod tests {
 
     #[test]
     fn lazy_values_have_no_identity() {
-        let v = DataValue::Lazy { ctx_id: 1, value: ValueId(0) };
+        let v = DataValue::Lazy {
+            ctx_id: 1,
+            value: ValueId(0),
+        };
         assert!(v.identity().is_none());
         assert!(v.is_lazy());
         assert!(v.downcast_ref::<IntValue>().is_none());

@@ -63,9 +63,17 @@ impl Splitter for ChunkSplit {
         Ok(vec![c.0.len() as i64])
     }
     fn info(&self, _arg: &DataValue, params: &Params) -> Result<RuntimeInfo> {
-        Ok(RuntimeInfo { total_elements: params[0] as u64, elem_size_bytes: 8 })
+        Ok(RuntimeInfo {
+            total_elements: params[0] as u64,
+            elem_size_bytes: 8,
+        })
     }
-    fn split(&self, arg: &DataValue, range: Range<u64>, params: &Params) -> Result<Option<DataValue>> {
+    fn split(
+        &self,
+        arg: &DataValue,
+        range: Range<u64>,
+        params: &Params,
+    ) -> Result<Option<DataValue>> {
         let c = arg
             .downcast_ref::<OwnedChunk>()
             .ok_or(Error::Library("ChunkSplit split".into()))?;
@@ -188,7 +196,9 @@ fn sum_annotation() -> Arc<Annotation> {
 fn filter_annotation() -> Arc<Annotation> {
     Annotation::new("filter_nonneg", |inv| {
         let c = inv.arg::<OwnedChunk>(0)?;
-        Ok(Some(DataValue::new(OwnedChunk(Arc::new(lib_filter_nonneg(&c.0))))))
+        Ok(Some(DataValue::new(OwnedChunk(Arc::new(
+            lib_filter_nonneg(&c.0),
+        )))))
     })
     .arg("xs", generic(0))
     .ret(unknown(Arc::new(ChunkSplit)))
@@ -231,9 +241,21 @@ fn in_place_chain_pipelines_into_one_stage() {
     let data = SharedVec::from_vec((0..n).map(|i| i as f64).collect());
     let scale = scale_annotation();
 
-    ctx.call(&scale, vec![vec_value(&data), DataValue::new(FloatValue(2.0))]).unwrap();
-    ctx.call(&scale, vec![vec_value(&data), DataValue::new(FloatValue(3.0))]).unwrap();
-    ctx.call(&scale, vec![vec_value(&data), DataValue::new(FloatValue(0.5))]).unwrap();
+    ctx.call(
+        &scale,
+        vec![vec_value(&data), DataValue::new(FloatValue(2.0))],
+    )
+    .unwrap();
+    ctx.call(
+        &scale,
+        vec![vec_value(&data), DataValue::new(FloatValue(3.0))],
+    )
+    .unwrap();
+    ctx.call(
+        &scale,
+        vec![vec_value(&data), DataValue::new(FloatValue(0.5))],
+    )
+    .unwrap();
     assert_eq!(ctx.pending_calls(), 3);
 
     // Access forces evaluation through the protect flag.
@@ -244,7 +266,11 @@ fn in_place_chain_pipelines_into_one_stage() {
     assert_eq!(ctx.pending_calls(), 0);
     let stats = ctx.stats();
     assert_eq!(stats.stages, 1, "all three calls should share one stage");
-    assert_eq!(stats.calls, 3 * 15, "5 batches/worker * 3 workers * 3 calls");
+    assert_eq!(
+        stats.calls,
+        3 * 15,
+        "5 batches/worker * 3 workers * 3 calls"
+    );
 }
 
 #[test]
@@ -255,8 +281,16 @@ fn pipe_ablation_runs_one_stage_per_function() {
     let ctx = MozartContext::new(cfg);
     let data = SharedVec::from_vec(vec![1.0; 64]);
     let scale = scale_annotation();
-    ctx.call(&scale, vec![vec_value(&data), DataValue::new(FloatValue(2.0))]).unwrap();
-    ctx.call(&scale, vec![vec_value(&data), DataValue::new(FloatValue(2.0))]).unwrap();
+    ctx.call(
+        &scale,
+        vec![vec_value(&data), DataValue::new(FloatValue(2.0))],
+    )
+    .unwrap();
+    ctx.call(
+        &scale,
+        vec![vec_value(&data), DataValue::new(FloatValue(2.0))],
+    )
+    .unwrap();
     ctx.evaluate().unwrap();
     assert_eq!(ctx.stats().stages, 2);
     assert_eq!(data.as_slice()[0], 4.0);
@@ -275,16 +309,26 @@ fn generics_pipeline_binary_ops_and_detect_dependencies() {
     let scale = scale_annotation();
 
     // out = a + b; out = out * 2; out = out + a
-    ctx.call(&add, vec![vec_value(&a), vec_value(&b), vec_value(&out)]).unwrap();
-    ctx.call(&scale, vec![vec_value(&out), DataValue::new(FloatValue(2.0))]).unwrap();
-    ctx.call(&add, vec![vec_value(&out), vec_value(&a), vec_value(&out)]).unwrap();
+    ctx.call(&add, vec![vec_value(&a), vec_value(&b), vec_value(&out)])
+        .unwrap();
+    ctx.call(
+        &scale,
+        vec![vec_value(&out), DataValue::new(FloatValue(2.0))],
+    )
+    .unwrap();
+    ctx.call(&add, vec![vec_value(&out), vec_value(&a), vec_value(&out)])
+        .unwrap();
     ctx.evaluate().unwrap();
 
     for i in 0..n {
         let expected = ((i as f64) + 10.0) * 2.0 + i as f64;
         assert_eq!(out.as_slice()[i], expected, "index {i}");
     }
-    assert_eq!(ctx.stats().stages, 1, "generic ops over same-length arrays pipeline");
+    assert_eq!(
+        ctx.stats().stages,
+        1,
+        "generic ops over same-length arrays pipeline"
+    );
 }
 
 #[test]
@@ -309,11 +353,19 @@ fn scale_then_sum_pipelines_and_reduces() {
     let data = SharedVec::from_vec(vec![1.0; 64]);
     let scale = scale_annotation();
     let sum = sum_annotation();
-    ctx.call(&scale, vec![vec_value(&data), DataValue::new(FloatValue(3.0))]).unwrap();
+    ctx.call(
+        &scale,
+        vec![vec_value(&data), DataValue::new(FloatValue(3.0))],
+    )
+    .unwrap();
     let fut = ctx.call(&sum, vec![vec_value(&data)]).unwrap().unwrap();
     let got = fut.get().unwrap().downcast_ref::<FloatValue>().unwrap().0;
     assert_eq!(got, 192.0);
-    assert_eq!(ctx.stats().stages, 1, "scale and sum share the ArraySplit split type");
+    assert_eq!(
+        ctx.stats().stages,
+        1,
+        "scale and sum share the ArraySplit split type"
+    );
 }
 
 #[test]
@@ -324,10 +376,16 @@ fn unknown_output_pipelines_into_generic_but_not_concrete() {
     let filter = filter_annotation();
     let cscale = chunk_scale_annotation();
 
-    let filtered = ctx.call(&filter, vec![DataValue::new(input)]).unwrap().unwrap();
+    let filtered = ctx
+        .call(&filter, vec![DataValue::new(input)])
+        .unwrap()
+        .unwrap();
     // Generic function accepts the unknown value: pipelined in-stage.
     let scaled = ctx
-        .call(&cscale, vec![filtered.as_value(), DataValue::new(FloatValue(2.0))])
+        .call(
+            &cscale,
+            vec![filtered.as_value(), DataValue::new(FloatValue(2.0))],
+        )
         .unwrap()
         .unwrap();
     let out = scaled.get().unwrap();
@@ -369,10 +427,17 @@ fn two_unknowns_do_not_pipeline_together() {
 
     let fa = ctx.call(&filter, vec![DataValue::new(a)]).unwrap().unwrap();
     let fb = ctx.call(&filter, vec![DataValue::new(b)]).unwrap().unwrap();
-    let fc = ctx.call(&chunk_add, vec![fa.as_value(), fb.as_value()]).unwrap().unwrap();
+    let fc = ctx
+        .call(&chunk_add, vec![fa.as_value(), fb.as_value()])
+        .unwrap()
+        .unwrap();
     let out = fc.get().unwrap();
     let chunk = out.downcast_ref::<OwnedChunk>().unwrap();
-    assert_eq!(chunk.0.len(), 16, "both filters keep 16 non-negative values");
+    assert_eq!(
+        chunk.0.len(),
+        16,
+        "both filters keep 16 non-negative values"
+    );
     // The two filters have distinct unknown types, so chunk_add must not
     // be pipelined with them (it would see mismatched piece lengths —
     // the library function itself checks and would error).
@@ -395,11 +460,19 @@ fn stage_breaks_when_split_value_needed_whole() {
     .ret(unknown(Arc::new(FirstPiece)))
     .build();
 
-    ctx.call(&scale, vec![vec_value(&data), DataValue::new(FloatValue(2.0))]).unwrap();
+    ctx.call(
+        &scale,
+        vec![vec_value(&data), DataValue::new(FloatValue(2.0))],
+    )
+    .unwrap();
     let fut = ctx.call(&whole, vec![vec_value(&data)]).unwrap().unwrap();
     let len = fut.get().unwrap();
     assert_eq!(len.downcast_ref::<IntValue>().unwrap().0, n as i64);
-    assert_eq!(ctx.stats().stages, 2, "whole-array access ends the pipeline stage");
+    assert_eq!(
+        ctx.stats().stages,
+        2,
+        "whole-array access ends the pipeline stage"
+    );
     assert_eq!(data.as_slice()[0], 2.0, "scale ran before whole_len");
 }
 
@@ -409,8 +482,10 @@ fn arrays_of_different_lengths_do_not_pipeline() {
     let a = SharedVec::from_vec(vec![1.0; 30]);
     let b = SharedVec::from_vec(vec![1.0; 40]);
     let scale = scale_annotation();
-    ctx.call(&scale, vec![vec_value(&a), DataValue::new(FloatValue(2.0))]).unwrap();
-    ctx.call(&scale, vec![vec_value(&b), DataValue::new(FloatValue(3.0))]).unwrap();
+    ctx.call(&scale, vec![vec_value(&a), DataValue::new(FloatValue(2.0))])
+        .unwrap();
+    ctx.call(&scale, vec![vec_value(&b), DataValue::new(FloatValue(3.0))])
+        .unwrap();
     ctx.evaluate().unwrap();
     assert_eq!(a.as_slice()[0], 2.0);
     assert_eq!(b.as_slice()[0], 3.0);
@@ -425,11 +500,17 @@ fn dead_intermediates_are_discarded() {
     let cscale = chunk_scale_annotation();
     let input = OwnedChunk(Arc::new(vec![1.0; 32]));
     let f1 = ctx
-        .call(&cscale, vec![DataValue::new(input), DataValue::new(FloatValue(2.0))])
+        .call(
+            &cscale,
+            vec![DataValue::new(input), DataValue::new(FloatValue(2.0))],
+        )
         .unwrap()
         .unwrap();
     let f2 = ctx
-        .call(&cscale, vec![f1.as_value(), DataValue::new(FloatValue(3.0))])
+        .call(
+            &cscale,
+            vec![f1.as_value(), DataValue::new(FloatValue(3.0))],
+        )
         .unwrap()
         .unwrap();
     drop(f1); // intermediate not observable by the user
@@ -446,7 +527,10 @@ fn foreign_lazy_values_are_rejected() {
     let fut = ctx1.call(&sum, vec![vec_value(&data)]).unwrap().unwrap();
     let chunk_scale = chunk_scale_annotation();
     let err = ctx2
-        .call(&chunk_scale, vec![fut.as_value(), DataValue::new(FloatValue(1.0))])
+        .call(
+            &chunk_scale,
+            vec![fut.as_value(), DataValue::new(FloatValue(1.0))],
+        )
         .unwrap_err();
     assert_eq!(err, Error::ForeignValue);
 }
@@ -456,13 +540,21 @@ fn evaluate_is_idempotent_and_stats_accumulate() {
     let ctx = small_batch_ctx(2);
     let data = SharedVec::from_vec(vec![1.0; 16]);
     let scale = scale_annotation();
-    ctx.call(&scale, vec![vec_value(&data), DataValue::new(FloatValue(2.0))]).unwrap();
+    ctx.call(
+        &scale,
+        vec![vec_value(&data), DataValue::new(FloatValue(2.0))],
+    )
+    .unwrap();
     ctx.evaluate().unwrap();
     ctx.evaluate().unwrap(); // no pending work: no-op
     assert_eq!(ctx.stats().stages, 1);
 
     // A second round of laziness on the same context.
-    ctx.call(&scale, vec![vec_value(&data), DataValue::new(FloatValue(5.0))]).unwrap();
+    ctx.call(
+        &scale,
+        vec![vec_value(&data), DataValue::new(FloatValue(5.0))],
+    )
+    .unwrap();
     assert_eq!(data.as_slice()[0], 10.0);
     assert_eq!(ctx.stats().stages, 2);
 }
@@ -474,7 +566,11 @@ fn many_workers_on_tiny_input_degrade_gracefully() {
     let ctx = MozartContext::new(cfg);
     let data = SharedVec::from_vec(vec![1.0, 2.0, 3.0]);
     let scale = scale_annotation();
-    ctx.call(&scale, vec![vec_value(&data), DataValue::new(FloatValue(2.0))]).unwrap();
+    ctx.call(
+        &scale,
+        vec![vec_value(&data), DataValue::new(FloatValue(2.0))],
+    )
+    .unwrap();
     ctx.evaluate().unwrap();
     assert_eq!(data.as_slice(), &[2.0, 4.0, 6.0]);
 }

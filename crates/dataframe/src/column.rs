@@ -24,7 +24,11 @@ impl<T: Clone> ColData<T> {
     /// Take ownership of values.
     pub fn new(v: Vec<T>) -> Self {
         let len = v.len();
-        ColData { data: Arc::new(v), start: 0, len }
+        ColData {
+            data: Arc::new(v),
+            start: 0,
+            len,
+        }
     }
 
     /// Number of rows in the view.
@@ -48,8 +52,15 @@ impl<T: Clone> ColData<T> {
     ///
     /// Panics if the range exceeds the view.
     pub fn slice(&self, start: usize, end: usize) -> Self {
-        assert!(start <= end && end <= self.len, "column slice out of bounds");
-        ColData { data: Arc::clone(&self.data), start: self.start + start, len: end - start }
+        assert!(
+            start <= end && end <= self.len,
+            "column slice out of bounds"
+        );
+        ColData {
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            len: end - start,
+        }
     }
 
     /// Copy the rows selected by a boolean mask.
@@ -99,6 +110,10 @@ impl Column {
         Column::F64(ColData::new(v))
     }
     /// String column from values.
+    ///
+    /// Not the `FromStr` trait: this takes owned values, mirroring the
+    /// other `from_*` constructors.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(v: Vec<String>) -> Self {
         Column::Str(ColData::new(v))
     }
@@ -270,9 +285,7 @@ impl Column {
     pub fn to_f64(&self) -> Column {
         match self {
             Column::F64(_) => self.clone(),
-            Column::I64(c) => {
-                Column::from_f64(c.as_slice().iter().map(|&v| v as f64).collect())
-            }
+            Column::I64(c) => Column::from_f64(c.as_slice().iter().map(|&v| v as f64).collect()),
             Column::Str(c) => Column::from_f64(
                 c.as_slice()
                     .iter()
@@ -280,7 +293,10 @@ impl Column {
                     .collect(),
             ),
             Column::Bool(c) => Column::from_f64(
-                c.as_slice().iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+                c.as_slice()
+                    .iter()
+                    .map(|&b| if b { 1.0 } else { 0.0 })
+                    .collect(),
             ),
         }
     }
@@ -305,7 +321,10 @@ mod tests {
         let f = c.filter(&[true, false, false, true]);
         assert_eq!(f.strs(), &["a".to_string(), "d".to_string()]);
         let t = c.take(&[3, 0, 0]);
-        assert_eq!(t.strs(), &["d".to_string(), "a".to_string(), "a".to_string()]);
+        assert_eq!(
+            t.strs(),
+            &["d".to_string(), "a".to_string(), "a".to_string()]
+        );
     }
 
     #[test]
@@ -330,7 +349,10 @@ mod tests {
         assert!(v[1].is_nan());
         assert_eq!(v[2], 2.0);
         assert_eq!(Column::from_i64(vec![3]).to_f64().f64s(), &[3.0]);
-        assert_eq!(Column::from_bool(vec![true, false]).to_f64().f64s(), &[1.0, 0.0]);
+        assert_eq!(
+            Column::from_bool(vec![true, false]).to_f64().f64s(),
+            &[1.0, 0.0]
+        );
     }
 
     #[test]

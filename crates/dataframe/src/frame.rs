@@ -21,7 +21,12 @@ impl DataFrame {
         if let Some((_, first)) = cols.first() {
             let n = first.len();
             for (name, c) in &cols {
-                assert_eq!(c.len(), n, "column {name} has {} rows, expected {n}", c.len());
+                assert_eq!(
+                    c.len(),
+                    n,
+                    "column {name} has {} rows, expected {n}",
+                    c.len()
+                );
             }
         }
         let mut seen = std::collections::HashSet::new();
@@ -74,7 +79,11 @@ impl DataFrame {
     /// New frame with `col` added or replaced.
     pub fn with_column(&self, name: &str, col: Column) -> DataFrame {
         if !self.cols.is_empty() {
-            assert_eq!(col.len(), self.num_rows(), "with_column: row count mismatch");
+            assert_eq!(
+                col.len(),
+                self.num_rows(),
+                "with_column: row count mismatch"
+            );
         }
         let mut cols = self.cols.clone();
         match cols.iter_mut().find(|(n, _)| n == name) {
@@ -117,14 +126,22 @@ impl DataFrame {
     pub fn filter(&self, mask: &Column) -> DataFrame {
         let m = mask.bools();
         DataFrame {
-            cols: self.cols.iter().map(|(n, c)| (n.clone(), c.filter(m))).collect(),
+            cols: self
+                .cols
+                .iter()
+                .map(|(n, c)| (n.clone(), c.filter(m)))
+                .collect(),
         }
     }
 
     /// Copy the rows at the given indices.
     pub fn take(&self, idx: &[usize]) -> DataFrame {
         DataFrame {
-            cols: self.cols.iter().map(|(n, c)| (n.clone(), c.take(idx))).collect(),
+            cols: self
+                .cols
+                .iter()
+                .map(|(n, c)| (n.clone(), c.take(idx)))
+                .collect(),
         }
     }
 

@@ -53,14 +53,22 @@ pub struct AggSpec {
 impl AggSpec {
     /// Convenience constructor.
     pub fn new(col: &str, agg: Agg, out: &str) -> Self {
-        AggSpec { col: col.to_string(), agg, out: out.to_string() }
+        AggSpec {
+            col: col.to_string(),
+            agg,
+            out: out.to_string(),
+        }
     }
 }
 
 fn key_column(df: &DataFrame, name: &str) -> Vec<KeyPart> {
     match df.col(name) {
         Column::I64(c) => c.as_slice().iter().map(|&v| KeyPart::I64(v)).collect(),
-        Column::Str(c) => c.as_slice().iter().map(|s| KeyPart::Str(s.clone())).collect(),
+        Column::Str(c) => c
+            .as_slice()
+            .iter()
+            .map(|s| KeyPart::Str(s.clone()))
+            .collect(),
         Column::Bool(c) => c.as_slice().iter().map(|&b| KeyPart::Bool(b)).collect(),
         Column::F64(_) => panic!("cannot group by float column {name}"),
     }
@@ -85,7 +93,12 @@ struct AccState {
 
 impl AccState {
     fn new() -> Self {
-        AccState { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        AccState {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
     fn push(&mut self, v: f64) {
         if !v.is_nan() {
@@ -112,11 +125,10 @@ impl AccState {
     }
 }
 
-fn accumulate(
-    df: &DataFrame,
-    keys: &[&str],
-    specs: &[AggSpec],
-) -> (Vec<Vec<KeyPart>>, HashMap<Vec<KeyPart>, Vec<AccState>>) {
+/// Accumulator table: first-seen key order plus per-key states.
+type GroupAcc = (Vec<Vec<KeyPart>>, HashMap<Vec<KeyPart>, Vec<AccState>>);
+
+fn accumulate(df: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> GroupAcc {
     let rk = row_keys(df, keys);
     let cols: Vec<&[f64]> = specs.iter().map(|s| df.col(&s.col).f64s()).collect();
     let mut table: HashMap<Vec<KeyPart>, Vec<AccState>> = HashMap::new();
@@ -190,7 +202,10 @@ fn build_result(
         cols.push((k.to_string(), col));
     }
     for (i, spec) in specs.iter().enumerate() {
-        cols.push((spec.out.clone(), Column::from_f64(std::mem::take(&mut agg_cols[i]))));
+        cols.push((
+            spec.out.clone(),
+            Column::from_f64(std::mem::take(&mut agg_cols[i])),
+        ));
     }
     DataFrame::new(cols)
 }
@@ -206,7 +221,9 @@ fn build_result(
 /// Panics on missing columns, float keys, or non-`f64` agg inputs.
 pub fn groupby_agg(df: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> DataFrame {
     let (order, table) = accumulate(df, keys, specs);
-    build_result(df, keys, specs, order, table, |st, spec| st.finish(spec.agg))
+    build_result(df, keys, specs, order, table, |st, spec| {
+        st.finish(spec.agg)
+    })
 }
 
 /// Partial aggregation for split execution: like [`groupby_agg`] but
@@ -233,13 +250,19 @@ pub fn reaggregate(partials: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> Da
                 Agg::Min => Agg::Min,
                 Agg::Max => Agg::Max,
             };
-            AggSpec { col: s.out.clone(), agg, out: s.out.clone() }
+            AggSpec {
+                col: s.out.clone(),
+                agg,
+                out: s.out.clone(),
+            }
         })
         .collect();
     let combined = groupby_agg(partials, keys, &combine);
     // Post-process: compute means from sum/count and project columns.
-    let mut cols: Vec<(String, Column)> =
-        keys.iter().map(|k| (k.to_string(), combined.col(k).clone())).collect();
+    let mut cols: Vec<(String, Column)> = keys
+        .iter()
+        .map(|k| (k.to_string(), combined.col(k).clone()))
+        .collect();
     for spec in specs {
         match spec.agg {
             Agg::Mean => {
@@ -264,7 +287,11 @@ fn expand_partial_specs(specs: &[AggSpec]) -> Vec<AggSpec> {
         match s.agg {
             Agg::Mean => {
                 out.push(AggSpec::new(&s.col, Agg::Sum, &format!("__{}_sum", s.out)));
-                out.push(AggSpec::new(&s.col, Agg::Count, &format!("__{}_count", s.out)));
+                out.push(AggSpec::new(
+                    &s.col,
+                    Agg::Count,
+                    &format!("__{}_count", s.out),
+                ));
             }
             _ => out.push(s.clone()),
         }
@@ -280,7 +307,10 @@ mod tests {
         DataFrame::from_cols(vec![
             ("sex", Column::from_strs(&["F", "M", "F", "F", "M"])),
             ("year", Column::from_i64(vec![2000, 2000, 2001, 2000, 2001])),
-            ("births", Column::from_f64(vec![10.0, 20.0, 30.0, 40.0, f64::NAN])),
+            (
+                "births",
+                Column::from_f64(vec![10.0, 20.0, 30.0, 40.0, f64::NAN]),
+            ),
         ])
     }
 
@@ -317,12 +347,16 @@ mod tests {
         let sexes = g.col("sex").strs();
         let years = g.col("year").i64s();
         let avgs = g.col("avg").f64s();
-        let i = (0..4).find(|&i| sexes[i] == "F" && years[i] == 2000).unwrap();
+        let i = (0..4)
+            .find(|&i| sexes[i] == "F" && years[i] == 2000)
+            .unwrap();
         assert_eq!(avgs[i], 25.0);
         assert_eq!(g.col("lo").f64s()[i], 10.0);
         assert_eq!(g.col("hi").f64s()[i], 40.0);
         // (M, 2001) is all-NaN: mean is NaN.
-        let j = (0..4).find(|&i| sexes[i] == "M" && years[i] == 2001).unwrap();
+        let j = (0..4)
+            .find(|&i| sexes[i] == "M" && years[i] == 2001)
+            .unwrap();
         assert!(avgs[j].is_nan());
     }
 
@@ -340,8 +374,8 @@ mod tests {
         // exactly what the GroupSplit split type does under Mozart.
         let p1 = partial_groupby_agg(&d.slice_rows(0, 2), &["sex", "year"], &specs);
         let p2 = partial_groupby_agg(&d.slice_rows(2, 5), &["sex", "year"], &specs);
-        let merged = reaggregate(&DataFrame::concat(&[p1, p2]), &["sex", "year"], &specs)
-            .sort_by("year");
+        let merged =
+            reaggregate(&DataFrame::concat(&[p1, p2]), &["sex", "year"], &specs).sort_by("year");
 
         assert_eq!(direct.num_rows(), merged.num_rows());
         for c in ["avg", "total", "lo"] {

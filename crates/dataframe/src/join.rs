@@ -14,7 +14,11 @@ use crate::groupby::KeyPart;
 fn join_keys(df: &DataFrame, on: &str) -> Vec<KeyPart> {
     match df.col(on) {
         Column::I64(c) => c.as_slice().iter().map(|&v| KeyPart::I64(v)).collect(),
-        Column::Str(c) => c.as_slice().iter().map(|s| KeyPart::Str(s.clone())).collect(),
+        Column::Str(c) => c
+            .as_slice()
+            .iter()
+            .map(|s| KeyPart::Str(s.clone()))
+            .collect(),
         Column::Bool(c) => c.as_slice().iter().map(|&b| KeyPart::Bool(b)).collect(),
         Column::F64(_) => panic!("cannot join on float column {on}"),
     }

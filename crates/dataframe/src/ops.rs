@@ -139,7 +139,10 @@ pub fn is_null(a: &Column) -> Column {
 /// Replace NaN with `v` (like `Series.fillna`).
 pub fn fillna(a: &Column, v: f64) -> Column {
     Column::from_f64(
-        a.f64s().iter().map(|&x| if x.is_nan() { v } else { x }).collect(),
+        a.f64s()
+            .iter()
+            .map(|&x| if x.is_nan() { v } else { x })
+            .collect(),
     )
 }
 
@@ -154,7 +157,10 @@ pub fn mask_assign(a: &Column, mask: &Column, v: f64) -> Column {
     let (x, m) = (a.f64s(), mask.bools());
     assert_eq!(x.len(), m.len(), "mask_assign: length mismatch");
     Column::from_f64(
-        x.iter().zip(m).map(|(&val, &hit)| if hit { v } else { val }).collect(),
+        x.iter()
+            .zip(m)
+            .map(|(&val, &hit)| if hit { v } else { val })
+            .collect(),
     )
 }
 
@@ -247,12 +253,20 @@ pub fn mean(a: &Column) -> f64 {
 
 /// Minimum, skipping NaN (`inf` if all-null).
 pub fn min(a: &Column) -> f64 {
-    a.f64s().iter().copied().filter(|x| !x.is_nan()).fold(f64::INFINITY, f64::min)
+    a.f64s()
+        .iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Maximum, skipping NaN (`-inf` if all-null).
 pub fn max(a: &Column) -> f64 {
-    a.f64s().iter().copied().filter(|x| !x.is_nan()).fold(f64::NEG_INFINITY, f64::max)
+    a.f64s()
+        .iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(f64::NEG_INFINITY, f64::max)
 }
 
 /// Distinct values of a string series, in first-seen order.
@@ -279,7 +293,10 @@ mod tests {
         assert_eq!(mul_scalar(&a, 2.0).f64s(), &[2.0, 4.0, 6.0]);
         assert_eq!(gt_scalar(&a, 1.5).bools(), &[false, true, true]);
         assert_eq!(gt(&b, &a).bools(), &[true, true, true]);
-        assert_eq!(eq_i64(&Column::from_i64(vec![1, 2, 1]), 1).bools(), &[true, false, true]);
+        assert_eq!(
+            eq_i64(&Column::from_i64(vec![1, 2, 1]), 1).bools(),
+            &[true, false, true]
+        );
     }
 
     #[test]
@@ -299,7 +316,7 @@ mod tests {
         assert_eq!(sum(&a), 4.0);
         assert_eq!(count(&a), 2);
         assert_eq!(mean(&a), 2.0);
-        assert!(is_null(&Column::from_i64(vec![1])).bools() == &[false]);
+        assert_eq!(is_null(&Column::from_i64(vec![1])).bools(), &[false]);
     }
 
     #[test]
@@ -308,9 +325,15 @@ mod tests {
         assert_eq!(str_eq(&s, "00000").bools(), &[true, false, false, false]);
         assert_eq!(str_len(&s).i64s(), &[5, 9, 6, 6]);
         assert_eq!(str_slice(&s, 0, 5).strs()[1], "12345");
-        assert_eq!(str_startswith(&s, "Lesl").bools(), &[false, false, true, true]);
+        assert_eq!(
+            str_startswith(&s, "Lesl").bools(),
+            &[false, false, true, true]
+        );
         assert_eq!(str_contains(&s, "-").bools(), &[false, true, false, false]);
-        assert_eq!(str_isin(&s, &["00000", "Lesley"]).bools(), &[true, false, false, true]);
+        assert_eq!(
+            str_isin(&s, &["00000", "Lesley"]).bools(),
+            &[true, false, false, true]
+        );
         assert_eq!(str_upper(&s).strs()[2], "LESLIE");
     }
 
@@ -324,7 +347,10 @@ mod tests {
 
         let s = Column::from_strs(&["a", "bb"]);
         let m = Column::from_bool(vec![true, false]);
-        assert_eq!(mask_assign_str(&s, &m, "z").strs(), &["z".to_string(), "bb".to_string()]);
+        assert_eq!(
+            mask_assign_str(&s, &m, "z").strs(),
+            &["z".to_string(), "bb".to_string()]
+        );
     }
 
     #[test]

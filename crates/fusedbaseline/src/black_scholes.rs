@@ -22,9 +22,16 @@ pub fn run(
 ) {
     let n = price.len();
     assert!(
-        [strike.len(), t.len(), rate.len(), vol.len(), call.len(), put.len()]
-            .iter()
-            .all(|&l| l == n),
+        [
+            strike.len(),
+            t.len(),
+            rate.len(),
+            vol.len(),
+            call.len(),
+            put.len()
+        ]
+        .iter()
+        .all(|&l| l == n),
         "black_scholes: length mismatch"
     );
     // SAFETY-free parallelism: disjoint output ranges via raw parts.

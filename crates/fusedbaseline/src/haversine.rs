@@ -51,6 +51,6 @@ mod tests {
         run(lat1, lon1, &lat2, &lon2, &mut d3, 3);
         assert_eq!(d1, d3);
         assert_eq!(d1[0], 0.0);
-        assert!(d1.iter().all(|&d| d >= 0.0 && d < 100.0));
+        assert!(d1.iter().all(|&d| (0.0..100.0).contains(&d)));
     }
 }

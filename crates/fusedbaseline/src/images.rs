@@ -54,7 +54,11 @@ fn fuse_rows(img: &Image, threads: usize, f: impl Fn([f32; 3]) -> [f32; 3] + Sen
 
 fn colortone_px([r, g, b]: [f32; 3], rgb: [f32; 3], negate: bool) -> [f32; 3] {
     let blend = |c: f32, t: f32| -> f32 {
-        let m = if negate { 1.0 - (1.0 - c) * (1.0 - t) } else { c * t };
+        let m = if negate {
+            1.0 - (1.0 - c) * (1.0 - t)
+        } else {
+            c * t
+        };
         0.5 * c + 0.5 * m
     };
     [blend(r, rgb[0]), blend(g, rgb[1]), blend(b, rgb[2])]
@@ -78,7 +82,11 @@ fn colorize_px([r, g, b]: [f32; 3], rgb: [f32; 3], alpha: f32) -> [f32; 3] {
 }
 
 fn modulate_px(px: [f32; 3], brightness: f32, saturation: f32, _huedeg: f32) -> [f32; 3] {
-    let px = [px[0].clamp(0.0, 1.0), px[1].clamp(0.0, 1.0), px[2].clamp(0.0, 1.0)];
+    let px = [
+        px[0].clamp(0.0, 1.0),
+        px[1].clamp(0.0, 1.0),
+        px[2].clamp(0.0, 1.0),
+    ];
     let max = px[0].max(px[1]).max(px[2]);
     let min = px[0].min(px[1]).min(px[2]);
     let d = max - min;
@@ -164,7 +172,11 @@ mod tests {
         let fused = gotham(&img, 1);
         let composed = imagelib::contrast(
             &imagelib::gamma(
-                &imagelib::colorize(&imagelib::modulate(&img, 120.0, 10.0, 100.0), [0.13, 0.16, 0.32], 0.2),
+                &imagelib::colorize(
+                    &imagelib::modulate(&img, 120.0, 10.0, 100.0),
+                    [0.13, 0.16, 0.32],
+                    0.2,
+                ),
                 0.5,
             ),
             6.0,

@@ -33,9 +33,7 @@ pub const EPS: f64 = 1e-3;
 pub fn step(b: &mut Bodies, dt: f64, threads: usize) {
     let n = b.x.len();
     let (x, y, z, m) = (b.x.clone(), b.y.clone(), b.z.clone(), b.m.clone());
-    let ax_addr = {
-        b.vx.as_mut_ptr() as usize
-    };
+    let ax_addr = { b.vx.as_mut_ptr() as usize };
     let ay_addr = b.vy.as_mut_ptr() as usize;
     let az_addr = b.vz.as_mut_ptr() as usize;
     parallel_ranges(n, threads, move |a_start, a_end| {

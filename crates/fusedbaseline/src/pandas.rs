@@ -69,7 +69,9 @@ pub fn birth_analysis(
 ) -> HashMap<(String, i64), (f64, f64)> {
     let mut table: HashMap<(String, i64), (f64, f64)> = HashMap::new();
     for i in 0..names.len() {
-        let e = table.entry((sexes[i].clone(), years[i])).or_insert((0.0, 0.0));
+        let e = table
+            .entry((sexes[i].clone(), years[i]))
+            .or_insert((0.0, 0.0));
         if names[i].starts_with(prefix) {
             e.0 += births[i];
         }
@@ -98,7 +100,9 @@ pub fn movielens(
     let movies: std::collections::HashSet<i64> = movie_ids.iter().copied().collect();
     let mut table: HashMap<i64, (f64, f64, f64, f64)> = HashMap::new();
     for i in 0..rating_user.len() {
-        let Some(&is_f) = users.get(&rating_user[i]) else { continue };
+        let Some(&is_f) = users.get(&rating_user[i]) else {
+            continue;
+        };
         if !movies.contains(&rating_movie[i]) {
             continue;
         }
@@ -120,8 +124,10 @@ mod tests {
 
     #[test]
     fn data_cleaning_counts() {
-        let zips: Vec<String> =
-            ["02139", "N/A", "94016-1234", "xxxxx", "10001"].iter().map(|s| s.to_string()).collect();
+        let zips: Vec<String> = ["02139", "N/A", "94016-1234", "xxxxx", "10001"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let (valid, nulls, sum) = data_cleaning(&zips, &["N/A", "NO CLUE", "0"], 2);
         assert_eq!(valid, 3); // 02139, 94016 (truncated), 10001
         assert_eq!(nulls, 2); // N/A and xxxxx
@@ -140,7 +146,11 @@ mod tests {
 
     #[test]
     fn birth_analysis_fractions() {
-        let names = vec!["Leslie".to_string(), "Bob".to_string(), "Lesley".to_string()];
+        let names = vec![
+            "Leslie".to_string(),
+            "Bob".to_string(),
+            "Lesley".to_string(),
+        ];
         let sexes = vec!["F".to_string(), "M".to_string(), "F".to_string()];
         let years = vec![1990, 1990, 1990];
         let births = vec![10.0, 5.0, 30.0];

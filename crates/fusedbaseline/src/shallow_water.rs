@@ -30,7 +30,12 @@ impl Grid {
                 h[y * n + x] += 0.5 * (-(dx * dx + dy * dy) / (n as f64)).exp();
             }
         }
-        Grid { n, h, u: vec![0.0; n * n], v: vec![0.0; n * n] }
+        Grid {
+            n,
+            h,
+            u: vec![0.0; n * n],
+            v: vec![0.0; n * n],
+        }
     }
 
     /// Total water volume (a conserved diagnostic).
@@ -71,8 +76,8 @@ pub fn step(g: &mut Grid, dt: f64, threads: usize) {
                 unsafe {
                     *u.add(i) = u0[i] - dt * GRAV * dhdx;
                     *v.add(i) = v0[i] - dt * GRAV * dhdy;
-                    *h.add(i) = h0[i] - dt * h0[i] * (dudx + dvdy)
-                        - dt * (u0[i] * dhdx + v0[i] * dhdy);
+                    *h.add(i) =
+                        h0[i] - dt * h0[i] * (dudx + dvdy) - dt * (u0[i] * dhdx + v0[i] * dhdy);
                 }
             }
         }

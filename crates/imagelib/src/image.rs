@@ -52,7 +52,11 @@ impl Image {
             width * height * Self::CHANNELS,
             "image data size mismatch"
         );
-        Image { width, height, data: Arc::new(data) }
+        Image {
+            width,
+            height,
+            data: Arc::new(data),
+        }
     }
 
     /// Solid-color image.
@@ -168,7 +172,11 @@ impl Image {
                                 len * Self::CHANNELS,
                             )
                         };
-                        map_chunk(&src[start * Self::CHANNELS..(start + len) * Self::CHANNELS], dst, f);
+                        map_chunk(
+                            &src[start * Self::CHANNELS..(start + len) * Self::CHANNELS],
+                            dst,
+                            f,
+                        );
                     });
                 }
             });
@@ -208,7 +216,10 @@ fn map_range(
 }
 
 fn map_chunk(src: &[f32], dst: &mut [f32], f: &(impl Fn([f32; 3]) -> [f32; 3] + Send + Sync)) {
-    for (s, d) in src.chunks_exact(Image::CHANNELS).zip(dst.chunks_exact_mut(Image::CHANNELS)) {
+    for (s, d) in src
+        .chunks_exact(Image::CHANNELS)
+        .zip(dst.chunks_exact_mut(Image::CHANNELS))
+    {
         let [r, g, b] = f([s[0], s[1], s[2]]);
         d[0] = r.clamp(0.0, 1.0);
         d[1] = g.clamp(0.0, 1.0);
@@ -237,7 +248,11 @@ mod tests {
     #[test]
     fn crop_append_roundtrip() {
         let img = Image::synthetic(8, 10, 42);
-        let parts = vec![img.crop_rows(0, 3), img.crop_rows(3, 7), img.crop_rows(7, 10)];
+        let parts = vec![
+            img.crop_rows(0, 3),
+            img.crop_rows(3, 7),
+            img.crop_rows(7, 10),
+        ];
         let merged = Image::append_rows(&parts);
         assert_eq!(merged.width(), 8);
         assert_eq!(merged.height(), 10);

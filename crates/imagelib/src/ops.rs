@@ -68,7 +68,11 @@ pub fn colorize(img: &Image, rgb: [f32; 3], alpha: f32) -> Image {
 pub fn colortone(img: &Image, rgb: [f32; 3], negate: bool) -> Image {
     img.map_pixels(|[r, g, b]| {
         let blend = |c: f32, t: f32| -> f32 {
-            let m = if negate { 1.0 - (1.0 - c) * (1.0 - t) } else { c * t };
+            let m = if negate {
+                1.0 - (1.0 - c) * (1.0 - t)
+            } else {
+                c * t
+            };
             0.5 * c + 0.5 * m
         };
         [blend(r, rgb[0]), blend(g, rgb[1]), blend(b, rgb[2])]
@@ -104,7 +108,11 @@ pub fn sepia(img: &Image) -> Image {
 pub fn levels(img: &Image, black: f32, white: f32) -> Image {
     let scale = 1.0 / (white - black).max(1e-6);
     img.map_pixels(|[r, g, b]| {
-        [(r - black) * scale, (g - black) * scale, (b - black) * scale]
+        [
+            (r - black) * scale,
+            (g - black) * scale,
+            (b - black) * scale,
+        ]
     })
 }
 
@@ -250,7 +258,12 @@ mod tests {
 
     #[test]
     fn hsv_roundtrip() {
-        for px in [[0.2, 0.4, 0.8], [0.9, 0.1, 0.1], [0.5, 0.5, 0.5], [0.0, 1.0, 0.0]] {
+        for px in [
+            [0.2, 0.4, 0.8],
+            [0.9, 0.1, 0.1],
+            [0.5, 0.5, 0.5],
+            [0.0, 1.0, 0.0],
+        ] {
             let (h, s, v) = rgb_to_hsv(px);
             let back = hsv_to_rgb(h, s, v);
             for ch in 0..3 {

@@ -24,7 +24,11 @@ impl NdArray {
     /// Build a rank-1 array from a vector.
     pub fn from_vec(v: Vec<f64>) -> Self {
         let shape = vec![v.len()];
-        NdArray { data: Arc::new(v), offset: 0, shape }
+        NdArray {
+            data: Arc::new(v),
+            offset: 0,
+            shape,
+        }
     }
 
     /// Build an array of the given shape from a flat row-major vector.
@@ -40,8 +44,17 @@ impl NdArray {
             shape.len()
         );
         let n: usize = shape.iter().product();
-        assert_eq!(v.len(), n, "shape {shape:?} needs {n} elements, got {}", v.len());
-        NdArray { data: Arc::new(v), offset: 0, shape: shape.to_vec() }
+        assert_eq!(
+            v.len(),
+            n,
+            "shape {shape:?} needs {n} elements, got {}",
+            v.len()
+        );
+        NdArray {
+            data: Arc::new(v),
+            offset: 0,
+            shape: shape.to_vec(),
+        }
     }
 
     /// All-zeros array.
@@ -144,7 +157,10 @@ impl NdArray {
     ///
     /// Panics if the range is out of bounds.
     pub fn view_rows(&self, start: usize, end: usize) -> NdArray {
-        assert!(start <= end && end <= self.shape[0], "row range out of bounds");
+        assert!(
+            start <= end && end <= self.shape[0],
+            "row range out of bounds"
+        );
         let row_len: usize = self.shape.iter().skip(1).product();
         let mut shape = self.shape.clone();
         shape[0] = end - start;
@@ -159,7 +175,11 @@ impl NdArray {
     pub fn row(&self, i: usize) -> NdArray {
         assert_eq!(self.ndim(), 2, "row() requires a rank-2 array");
         let v = self.view_rows(i, i + 1);
-        NdArray { data: v.data, offset: v.offset, shape: vec![self.shape[1]] }
+        NdArray {
+            data: v.data,
+            offset: v.offset,
+            shape: vec![self.shape[1]],
+        }
     }
 
     /// Reinterpret with a new shape (same element count; zero-copy).

@@ -22,8 +22,13 @@ fn broadcast_shapes<'a>(a: &'a [usize], b: &'a [usize]) -> Option<Vec<usize>> {
 }
 
 fn binary(a: &NdArray, b: &NdArray, f: fn(&[f64], &[f64], &mut [f64]), op: &str) -> NdArray {
-    let shape = broadcast_shapes(a.shape(), b.shape())
-        .unwrap_or_else(|| panic!("{op}: cannot broadcast {:?} with {:?}", a.shape(), b.shape()));
+    let shape = broadcast_shapes(a.shape(), b.shape()).unwrap_or_else(|| {
+        panic!(
+            "{op}: cannot broadcast {:?} with {:?}",
+            a.shape(),
+            b.shape()
+        )
+    });
     if a.shape() == b.shape() {
         let mut out = vec![0.0; a.len()];
         f(a.as_slice(), b.as_slice(), &mut out);
@@ -46,8 +51,8 @@ fn binary(a: &NdArray, b: &NdArray, f: fn(&[f64], &[f64], &mut [f64]), op: &str)
         } else {
             // Column vector: repeat each value across a row.
             let col = x.as_slice();
-            for r in 0..rows {
-                out.extend(std::iter::repeat(col[r]).take(cols));
+            for &v in col.iter().take(rows) {
+                out.extend(std::iter::repeat_n(v, cols));
             }
         }
         out

@@ -25,7 +25,10 @@ pub fn min(a: &NdArray) -> f64 {
 
 /// Maximum element (`-inf` for empty arrays).
 pub fn max(a: &NdArray) -> f64 {
-    a.as_slice().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    a.as_slice()
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
 }
 
 /// Reduce a rank-2 array along `axis`:

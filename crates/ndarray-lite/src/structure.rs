@@ -66,8 +66,7 @@ pub fn roll(a: &NdArray, k: i64, axis: usize) -> NdArray {
         let shift = k.rem_euclid(rows as i64) as usize;
         for r in 0..rows {
             let dst_r = (r + shift) % rows;
-            out[dst_r * cols..(dst_r + 1) * cols]
-                .copy_from_slice(&src[r * cols..(r + 1) * cols]);
+            out[dst_r * cols..(dst_r + 1) * cols].copy_from_slice(&src[r * cols..(r + 1) * cols]);
         }
     } else {
         let shift = k.rem_euclid(cols as i64) as usize;

@@ -55,11 +55,19 @@ pub fn combine(parts: &[GroupedPartial]) -> Result<GroupedPartial> {
         .filter(|n| !keys.contains(n))
         .map(|n| {
             let agg = resolve_combiner(n, &first.specs);
-            AggSpec { col: n.to_string(), agg, out: n.to_string() }
+            AggSpec {
+                col: n.to_string(),
+                agg,
+                out: n.to_string(),
+            }
         })
         .collect();
     let partial = df_groupby(&concatenated, &keys, &combine_specs);
-    Ok(GroupedPartial { partial, keys: first.keys.clone(), specs: first.specs.clone() })
+    Ok(GroupedPartial {
+        partial,
+        keys: first.keys.clone(),
+        specs: first.specs.clone(),
+    })
 }
 
 /// How to combine one partial column across chunks.
@@ -96,8 +104,10 @@ fn resolve_combiner(partial_col: &str, specs: &[AggSpec]) -> Agg {
 /// Finish a partial aggregation into the user-visible frame.
 pub fn finish(p: &GroupedPartial) -> DataFrame {
     let keys: Vec<&str> = p.keys.iter().map(|s| s.as_str()).collect();
-    let mut cols: Vec<(String, dataframe::Column)> =
-        keys.iter().map(|k| (k.to_string(), p.partial.col(k).clone())).collect();
+    let mut cols: Vec<(String, dataframe::Column)> = keys
+        .iter()
+        .map(|k| (k.to_string(), p.partial.col(k).clone()))
+        .collect();
     for spec in &p.specs {
         match spec.agg {
             Agg::Mean => {
@@ -138,19 +148,27 @@ impl Splitter for GroupSplit {
         Ok(vec![])
     }
     fn info(&self, _arg: &DataValue, _p: &Params) -> Result<RuntimeInfo> {
-        Err(Error::Split { split_type: "GroupSplit", message: "merge-only".into() })
+        Err(Error::Split {
+            split_type: "GroupSplit",
+            message: "merge-only".into(),
+        })
     }
     fn split(&self, _a: &DataValue, _r: Range<u64>, _p: &Params) -> Result<Option<DataValue>> {
-        Err(Error::Split { split_type: "GroupSplit", message: "merge-only".into() })
+        Err(Error::Split {
+            split_type: "GroupSplit",
+            message: "merge-only".into(),
+        })
     }
     fn merge(&self, pieces: Vec<DataValue>, _p: &Params) -> Result<DataValue> {
         let parts: Vec<GroupedPartial> = pieces
             .iter()
             .map(|p| {
-                p.downcast_ref::<GroupedPartial>().cloned().ok_or_else(|| Error::Merge {
-                    split_type: "GroupSplit",
-                    message: format!("expected GroupedPartial, got {}", p.type_name()),
-                })
+                p.downcast_ref::<GroupedPartial>()
+                    .cloned()
+                    .ok_or_else(|| Error::Merge {
+                        split_type: "GroupSplit",
+                        message: format!("expected GroupedPartial, got {}", p.type_name()),
+                    })
             })
             .collect::<Result<_>>()?;
         Ok(DataValue::new(combine(&parts)?))

@@ -45,11 +45,16 @@ mod tests {
         let n = 50;
         DataFrame::from_cols(vec![
             ("id", Column::from_i64((0..n).collect())),
-            ("age", Column::from_f64((0..n).map(|i| (i % 40) as f64 + 18.0).collect())),
+            (
+                "age",
+                Column::from_f64((0..n).map(|i| (i % 40) as f64 + 18.0).collect()),
+            ),
             (
                 "city",
                 Column::from_str(
-                    (0..n).map(|i| ["sf", "nyc", "la"][i as usize % 3].to_string()).collect(),
+                    (0..n)
+                        .map(|i| ["sf", "nyc", "la"][i as usize % 3].to_string())
+                        .collect(),
                 ),
             ),
         ])
@@ -149,7 +154,10 @@ mod tests {
             &[false, true, false, true, false]
         );
         assert_eq!(get_col(&filled).unwrap().f64s(), &[1.0, 0.0, 3.0, 0.0, 5.0]);
-        assert_eq!(get_col(&masked).unwrap().f64s(), &[1.0, -1.0, 3.0, -1.0, 5.0]);
+        assert_eq!(
+            get_col(&masked).unwrap().f64s(),
+            &[1.0, -1.0, 3.0, -1.0, 5.0]
+        );
     }
 
     #[test]

@@ -84,7 +84,12 @@ impl Splitter for RowSplit {
         })
     }
 
-    fn split(&self, arg: &DataValue, range: Range<u64>, params: &Params) -> Result<Option<DataValue>> {
+    fn split(
+        &self,
+        arg: &DataValue,
+        range: Range<u64>,
+        params: &Params,
+    ) -> Result<Option<DataValue>> {
         let rows = Self::rows_of(arg)?;
         let declared = params.first().copied().unwrap_or(0).max(0) as usize;
         if rows != declared {
@@ -116,10 +121,12 @@ impl Splitter for RowSplit {
             let frames: Vec<DataFrame> = pieces
                 .iter()
                 .map(|p| {
-                    p.downcast_ref::<DfValue>().map(|d| d.0.clone()).ok_or_else(|| Error::Merge {
-                        split_type: "RowSplit",
-                        message: "mixed piece types".into(),
-                    })
+                    p.downcast_ref::<DfValue>()
+                        .map(|d| d.0.clone())
+                        .ok_or_else(|| Error::Merge {
+                            split_type: "RowSplit",
+                            message: "mixed piece types".into(),
+                        })
                 })
                 .collect::<Result<_>>()?;
             return Ok(DataValue::new(DfValue(DataFrame::concat(&frames))));
@@ -128,10 +135,12 @@ impl Splitter for RowSplit {
             let cols: Vec<Column> = pieces
                 .iter()
                 .map(|p| {
-                    p.downcast_ref::<ColValue>().map(|c| c.0.clone()).ok_or_else(|| Error::Merge {
-                        split_type: "RowSplit",
-                        message: "mixed piece types".into(),
-                    })
+                    p.downcast_ref::<ColValue>()
+                        .map(|c| c.0.clone())
+                        .ok_or_else(|| Error::Merge {
+                            split_type: "RowSplit",
+                            message: "mixed piece types".into(),
+                        })
                 })
                 .collect::<Result<_>>()?;
             return Ok(DataValue::new(ColValue(Column::concat(&cols))));

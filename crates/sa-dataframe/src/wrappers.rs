@@ -71,12 +71,14 @@ pub fn get_df(f: &FutureHandle) -> Result<DataFrame> {
 /// Materialize a lazy column result.
 pub fn get_col(f: &FutureHandle) -> Result<Column> {
     let dv = f.get()?;
-    dv.downcast_ref::<ColValue>().map(|c| c.0.clone()).ok_or(Error::ArgType {
-        function: "sa_dataframe::get_col",
-        arg: 0,
-        expected: "ColValue",
-        actual: dv.type_name(),
-    })
+    dv.downcast_ref::<ColValue>()
+        .map(|c| c.0.clone())
+        .ok_or(Error::ArgType {
+            function: "sa_dataframe::get_col",
+            arg: 0,
+            expected: "ColValue",
+            actual: dv.type_name(),
+        })
 }
 
 fn col_piece(inv: &Invocation<'_>, i: usize) -> Result<Column> {
@@ -286,7 +288,9 @@ static MASK_ASSIGN: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
         let a = col_piece(inv, 0)?;
         let m = col_piece(inv, 1)?;
         let v = inv.float(2)?;
-        Ok(Some(DataValue::new(ColValue(dataframe::ops::mask_assign(&a, &m, v)))))
+        Ok(Some(DataValue::new(ColValue(dataframe::ops::mask_assign(
+            &a, &m, v,
+        )))))
     })
     .arg("a", generic(0))
     .arg("mask", generic(0))
@@ -303,7 +307,10 @@ pub fn mask_assign(
     v: f64,
 ) -> Result<FutureHandle> {
     Ok(ctx
-        .call(&MASK_ASSIGN, vec![a.to_value(), mask.to_value(), DataValue::new(FloatValue(v))])?
+        .call(
+            &MASK_ASSIGN,
+            vec![a.to_value(), mask.to_value(), DataValue::new(FloatValue(v))],
+        )?
         .expect("returns"))
 }
 
@@ -313,7 +320,9 @@ static MASK_ASSIGN_STR: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
         let a = col_piece(inv, 0)?;
         let m = col_piece(inv, 1)?;
         let v = str_arg(inv, 2)?;
-        Ok(Some(DataValue::new(ColValue(dataframe::ops::mask_assign_str(&a, &m, &v)))))
+        Ok(Some(DataValue::new(ColValue(
+            dataframe::ops::mask_assign_str(&a, &m, &v),
+        ))))
     })
     .arg("a", generic(0))
     .arg("mask", generic(0))
@@ -332,7 +341,11 @@ pub fn mask_assign_str(
     Ok(ctx
         .call(
             &MASK_ASSIGN_STR,
-            vec![a.to_value(), mask.to_value(), DataValue::new(StrValue::new(v))],
+            vec![
+                a.to_value(),
+                mask.to_value(),
+                DataValue::new(StrValue::new(v)),
+            ],
         )?
         .expect("returns"))
 }
@@ -343,7 +356,9 @@ static STR_SLICE: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
         let a = col_piece(inv, 0)?;
         let start = inv.int(1)? as usize;
         let end = inv.int(2)? as usize;
-        Ok(Some(DataValue::new(ColValue(dataframe::ops::str_slice(&a, start, end)))))
+        Ok(Some(DataValue::new(ColValue(dataframe::ops::str_slice(
+            &a, start, end,
+        )))))
     })
     .arg("a", generic(0))
     .arg("start", missing())
@@ -390,7 +405,10 @@ static COL: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
 /// Annotated column projection.
 pub fn col(ctx: &MozartContext, df: &impl DfArg, name: &str) -> Result<FutureHandle> {
     Ok(ctx
-        .call(&COL, vec![df.to_value(), DataValue::new(StrValue::new(name))])?
+        .call(
+            &COL,
+            vec![df.to_value(), DataValue::new(StrValue::new(name))],
+        )?
         .expect("returns"))
 }
 
@@ -419,7 +437,11 @@ pub fn with_column(
     Ok(ctx
         .call(
             &WITH_COLUMN,
-            vec![df.to_value(), DataValue::new(StrValue::new(name)), c.to_value()],
+            vec![
+                df.to_value(),
+                DataValue::new(StrValue::new(name)),
+                c.to_value(),
+            ],
         )?
         .expect("returns"))
 }
@@ -440,7 +462,9 @@ static FILTER: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
 
 /// Annotated row filter by boolean mask.
 pub fn filter(ctx: &MozartContext, df: &impl DfArg, mask: &impl DfArg) -> Result<FutureHandle> {
-    Ok(ctx.call(&FILTER, vec![df.to_value(), mask.to_value()])?.expect("returns"))
+    Ok(ctx
+        .call(&FILTER, vec![df.to_value(), mask.to_value()])?
+        .expect("returns"))
 }
 
 /// Annotated inner join: "joins split one table and broadcast the
@@ -450,7 +474,9 @@ static INNER_JOIN: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
         let l = df_piece(inv, 0)?;
         let r = df_piece(inv, 1)?;
         let on = str_arg(inv, 2)?;
-        Ok(Some(DataValue::new(DfValue(dataframe::inner_join(&l, &r, &on)))))
+        Ok(Some(DataValue::new(DfValue(dataframe::inner_join(
+            &l, &r, &on,
+        )))))
     })
     .arg("left", generic(0))
     .arg("right", missing())
@@ -466,14 +492,16 @@ pub fn inner_join(
     right: &impl DfArg,
     on: &str,
 ) -> Result<FutureHandle> {
-    // The broadcast (build) side must be materialized: force it now if
-    // it is lazy (a stage boundary, like the paper's merge-then-join).
-    let right_v = match right.to_value() {
-        v @ DataValue::Lazy { .. } => v,
-        v => v,
-    };
+    // The broadcast (build) side must be materialized before the join
+    // runs; the planner enforces this (a lazy `_`-typed argument cannot
+    // join a stage), which puts a stage boundary here — the paper's
+    // merge-then-join.
+    let right_v = right.to_value();
     Ok(ctx
-        .call(&INNER_JOIN, vec![left.to_value(), right_v, DataValue::new(StrValue::new(on))])?
+        .call(
+            &INNER_JOIN,
+            vec![left.to_value(), right_v, DataValue::new(StrValue::new(on))],
+        )?
         .expect("returns"))
 }
 
@@ -521,18 +549,27 @@ impl Splitter for ColSumReduce {
         Ok(vec![])
     }
     fn info(&self, _a: &DataValue, _p: &Params) -> Result<RuntimeInfo> {
-        Err(Error::Split { split_type: "ColSumReduce", message: "merge-only".into() })
+        Err(Error::Split {
+            split_type: "ColSumReduce",
+            message: "merge-only".into(),
+        })
     }
     fn split(&self, _a: &DataValue, _r: Range<u64>, _p: &Params) -> Result<Option<DataValue>> {
-        Err(Error::Split { split_type: "ColSumReduce", message: "merge-only".into() })
+        Err(Error::Split {
+            split_type: "ColSumReduce",
+            message: "merge-only".into(),
+        })
     }
     fn merge(&self, pieces: Vec<DataValue>, _p: &Params) -> Result<DataValue> {
         let mut acc = 0.0;
         for p in pieces {
-            acc += p.downcast_ref::<FloatValue>().map(|f| f.0).ok_or_else(|| Error::Merge {
-                split_type: "ColSumReduce",
-                message: format!("expected FloatValue, got {}", p.type_name()),
-            })?;
+            acc += p
+                .downcast_ref::<FloatValue>()
+                .map(|f| f.0)
+                .ok_or_else(|| Error::Merge {
+                    split_type: "ColSumReduce",
+                    message: format!("expected FloatValue, got {}", p.type_name()),
+                })?;
         }
         Ok(DataValue::new(FloatValue(acc)))
     }
@@ -556,7 +593,9 @@ pub fn sum(ctx: &MozartContext, a: &impl DfArg) -> Result<FutureHandle> {
 static COL_COUNT: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
     Annotation::new("col_count", |inv| {
         let a = col_piece(inv, 0)?;
-        Ok(Some(DataValue::new(FloatValue(dataframe::ops::count(&a) as f64))))
+        Ok(Some(DataValue::new(FloatValue(
+            dataframe::ops::count(&a) as f64
+        ))))
     })
     .arg("a", generic(0))
     .ret(concrete(Arc::new(ColSumReduce), vec![]))
@@ -571,10 +610,12 @@ pub fn count(ctx: &MozartContext, a: &impl DfArg) -> Result<FutureHandle> {
 /// Materialize a lazy scalar reduction.
 pub fn get_scalar(f: &FutureHandle) -> Result<f64> {
     let dv = f.get()?;
-    dv.downcast_ref::<FloatValue>().map(|v| v.0).ok_or(Error::ArgType {
-        function: "sa_dataframe::get_scalar",
-        arg: 0,
-        expected: "FloatValue",
-        actual: dv.type_name(),
-    })
+    dv.downcast_ref::<FloatValue>()
+        .map(|v| v.0)
+        .ok_or(Error::ArgType {
+            function: "sa_dataframe::get_scalar",
+            arg: 0,
+            expected: "FloatValue",
+            actual: dv.type_name(),
+        })
 }

@@ -71,7 +71,12 @@ impl Splitter for ImageSplit {
         })
     }
 
-    fn split(&self, arg: &DataValue, range: Range<u64>, params: &Params) -> Result<Option<DataValue>> {
+    fn split(
+        &self,
+        arg: &DataValue,
+        range: Range<u64>,
+        params: &Params,
+    ) -> Result<Option<DataValue>> {
         let img = arg.downcast_ref::<ImgValue>().ok_or_else(|| Error::Split {
             split_type: "ImageSplit",
             message: format!("expected ImgValue, got {}", arg.type_name()),
@@ -100,10 +105,12 @@ impl Splitter for ImageSplit {
         let bands: Vec<Image> = pieces
             .iter()
             .map(|p| {
-                p.downcast_ref::<ImgValue>().map(|i| i.0.clone()).ok_or_else(|| Error::Merge {
-                    split_type: "ImageSplit",
-                    message: format!("expected ImgValue piece, got {}", p.type_name()),
-                })
+                p.downcast_ref::<ImgValue>()
+                    .map(|i| i.0.clone())
+                    .ok_or_else(|| Error::Merge {
+                        split_type: "ImageSplit",
+                        message: format!("expected ImgValue piece, got {}", p.type_name()),
+                    })
             })
             .collect::<Result<_>>()?;
         Ok(DataValue::new(ImgValue(Image::append_rows(&bands))))
@@ -135,12 +142,14 @@ impl ImgArg for FutureHandle {
 /// Materialize a lazy image result.
 pub fn get_image(f: &FutureHandle) -> Result<Image> {
     let dv = f.get()?;
-    dv.downcast_ref::<ImgValue>().map(|i| i.0.clone()).ok_or(Error::ArgType {
-        function: "sa_image::get_image",
-        arg: 0,
-        expected: "ImgValue",
-        actual: dv.type_name(),
-    })
+    dv.downcast_ref::<ImgValue>()
+        .map(|i| i.0.clone())
+        .ok_or(Error::ArgType {
+            function: "sa_image::get_image",
+            arg: 0,
+            expected: "ImgValue",
+            actual: dv.type_name(),
+        })
 }
 
 fn img_piece(inv: &Invocation<'_>, i: usize) -> Result<Image> {
@@ -194,7 +203,10 @@ static GAMMA: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
 /// Annotated gamma correction.
 pub fn gamma(ctx: &MozartContext, img: &impl ImgArg, g: f32) -> Result<FutureHandle> {
     Ok(ctx
-        .call(&GAMMA, vec![img.to_value(), DataValue::new(FloatValue(g as f64))])?
+        .call(
+            &GAMMA,
+            vec![img.to_value(), DataValue::new(FloatValue(g as f64))],
+        )?
         .expect("returns"))
 }
 
@@ -202,7 +214,9 @@ static CONTRAST: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
     Annotation::new("contrast", |inv| {
         let img = img_piece(inv, 0)?;
         let amount = inv.float(1)? as f32;
-        Ok(Some(DataValue::new(ImgValue(imagelib::contrast(&img, amount)))))
+        Ok(Some(DataValue::new(ImgValue(imagelib::contrast(
+            &img, amount,
+        )))))
     })
     .arg("img", generic(0))
     .arg("amount", missing())
@@ -213,7 +227,10 @@ static CONTRAST: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
 /// Annotated sigmoidal contrast adjustment.
 pub fn contrast(ctx: &MozartContext, img: &impl ImgArg, amount: f32) -> Result<FutureHandle> {
     Ok(ctx
-        .call(&CONTRAST, vec![img.to_value(), DataValue::new(FloatValue(amount as f64))])?
+        .call(
+            &CONTRAST,
+            vec![img.to_value(), DataValue::new(FloatValue(amount as f64))],
+        )?
         .expect("returns"))
 }
 
@@ -223,7 +240,9 @@ static MODULATE: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
         let b = inv.float(1)? as f32;
         let s = inv.float(2)? as f32;
         let h = inv.float(3)? as f32;
-        Ok(Some(DataValue::new(ImgValue(imagelib::modulate(&img, b, s, h)))))
+        Ok(Some(DataValue::new(ImgValue(imagelib::modulate(
+            &img, b, s, h,
+        )))))
     })
     .arg("img", generic(0))
     .arg("brightness", missing())
@@ -261,7 +280,11 @@ static COLORIZE: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
         let g = inv.float(2)? as f32;
         let b = inv.float(3)? as f32;
         let alpha = inv.float(4)? as f32;
-        Ok(Some(DataValue::new(ImgValue(imagelib::colorize(&img, [r, g, b], alpha)))))
+        Ok(Some(DataValue::new(ImgValue(imagelib::colorize(
+            &img,
+            [r, g, b],
+            alpha,
+        )))))
     })
     .arg("img", generic(0))
     .arg("r", missing())
@@ -300,7 +323,11 @@ static COLORTONE: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
         let g = inv.float(2)? as f32;
         let b = inv.float(3)? as f32;
         let negate = inv.int(4)? != 0;
-        Ok(Some(DataValue::new(ImgValue(imagelib::colortone(&img, [r, g, b], negate)))))
+        Ok(Some(DataValue::new(ImgValue(imagelib::colortone(
+            &img,
+            [r, g, b],
+            negate,
+        )))))
     })
     .arg("img", generic(0))
     .arg("r", missing())
@@ -337,7 +364,9 @@ static LEVELS: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
         let img = img_piece(inv, 0)?;
         let black = inv.float(1)? as f32;
         let white = inv.float(2)? as f32;
-        Ok(Some(DataValue::new(ImgValue(imagelib::levels(&img, black, white)))))
+        Ok(Some(DataValue::new(ImgValue(imagelib::levels(
+            &img, black, white,
+        )))))
     })
     .arg("img", generic(0))
     .arg("black", missing())
@@ -416,29 +445,41 @@ mod tests {
     fn remaining_wrappers_match_direct() {
         let c = ctx();
         let img = Image::synthetic(10, 13, 3);
-        assert!(get_image(&grayscale(&c, &img).unwrap())
-            .unwrap()
-            .mean_abs_diff(&imagelib::grayscale(&img))
-            < 1e-7);
-        assert!(get_image(&invert(&c, &img).unwrap())
-            .unwrap()
-            .mean_abs_diff(&imagelib::invert(&img))
-            < 1e-7);
-        assert!(get_image(&sepia(&c, &img).unwrap())
-            .unwrap()
-            .mean_abs_diff(&imagelib::sepia(&img))
-            < 1e-7);
-        assert!(get_image(&contrast(&c, &img, 4.0).unwrap())
-            .unwrap()
-            .mean_abs_diff(&imagelib::contrast(&img, 4.0))
-            < 1e-6);
-        assert!(get_image(&levels(&c, &img, 0.1, 0.9).unwrap())
-            .unwrap()
-            .mean_abs_diff(&imagelib::levels(&img, 0.1, 0.9))
-            < 1e-6);
-        assert!(get_image(&colorize(&c, &img, [0.5, 0.1, 0.9], 0.4).unwrap())
-            .unwrap()
-            .mean_abs_diff(&imagelib::colorize(&img, [0.5, 0.1, 0.9], 0.4))
-            < 1e-7);
+        assert!(
+            get_image(&grayscale(&c, &img).unwrap())
+                .unwrap()
+                .mean_abs_diff(&imagelib::grayscale(&img))
+                < 1e-7
+        );
+        assert!(
+            get_image(&invert(&c, &img).unwrap())
+                .unwrap()
+                .mean_abs_diff(&imagelib::invert(&img))
+                < 1e-7
+        );
+        assert!(
+            get_image(&sepia(&c, &img).unwrap())
+                .unwrap()
+                .mean_abs_diff(&imagelib::sepia(&img))
+                < 1e-7
+        );
+        assert!(
+            get_image(&contrast(&c, &img, 4.0).unwrap())
+                .unwrap()
+                .mean_abs_diff(&imagelib::contrast(&img, 4.0))
+                < 1e-6
+        );
+        assert!(
+            get_image(&levels(&c, &img, 0.1, 0.9).unwrap())
+                .unwrap()
+                .mean_abs_diff(&imagelib::levels(&img, 0.1, 0.9))
+                < 1e-6
+        );
+        assert!(
+            get_image(&colorize(&c, &img, [0.5, 0.1, 0.9], 0.4).unwrap())
+                .unwrap()
+                .mean_abs_diff(&imagelib::colorize(&img, [0.5, 0.1, 0.9], 0.4))
+                < 1e-7
+        );
     }
 }

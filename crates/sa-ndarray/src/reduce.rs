@@ -62,6 +62,9 @@ macro_rules! scalar_reduce {
             fn terminal(&self) -> bool {
                 true
             }
+            fn commutative_merge(&self) -> bool {
+                true // sum/min/max folds are order-insensitive
+            }
             fn construct(&self, _ctor_args: &[&DataValue]) -> Result<Params> {
                 Ok(vec![])
             }
@@ -124,23 +127,35 @@ impl Splitter for MeanReduce {
     fn terminal(&self) -> bool {
         true
     }
+
+    fn commutative_merge(&self) -> bool {
+        true // partial (sum, count) pairs fold in any order
+    }
     fn construct(&self, _ctor_args: &[&DataValue]) -> Result<Params> {
         Ok(vec![])
     }
     fn info(&self, _arg: &DataValue, _p: &Params) -> Result<RuntimeInfo> {
-        Err(Error::Split { split_type: "MeanReduce", message: "merge-only".into() })
+        Err(Error::Split {
+            split_type: "MeanReduce",
+            message: "merge-only".into(),
+        })
     }
     fn split(&self, _a: &DataValue, _r: Range<u64>, _p: &Params) -> Result<Option<DataValue>> {
-        Err(Error::Split { split_type: "MeanReduce", message: "merge-only".into() })
+        Err(Error::Split {
+            split_type: "MeanReduce",
+            message: "merge-only".into(),
+        })
     }
     fn merge(&self, pieces: Vec<DataValue>, _p: &Params) -> Result<DataValue> {
         let mut sum = 0.0;
         let mut count = 0u64;
         for p in pieces {
-            let v = p.downcast_ref::<PartialMean>().ok_or_else(|| Error::Merge {
-                split_type: "MeanReduce",
-                message: format!("expected PartialMean, got {}", p.type_name()),
-            })?;
+            let v = p
+                .downcast_ref::<PartialMean>()
+                .ok_or_else(|| Error::Merge {
+                    split_type: "MeanReduce",
+                    message: format!("expected PartialMean, got {}", p.type_name()),
+                })?;
             sum += v.sum;
             count += v.count;
         }
@@ -184,11 +199,17 @@ impl Splitter for AxisReduce {
     }
 
     fn info(&self, _arg: &DataValue, _p: &Params) -> Result<RuntimeInfo> {
-        Err(Error::Split { split_type: "AxisReduce", message: "merge-only".into() })
+        Err(Error::Split {
+            split_type: "AxisReduce",
+            message: "merge-only".into(),
+        })
     }
 
     fn split(&self, _a: &DataValue, _r: Range<u64>, _p: &Params) -> Result<Option<DataValue>> {
-        Err(Error::Split { split_type: "AxisReduce", message: "merge-only".into() })
+        Err(Error::Split {
+            split_type: "AxisReduce",
+            message: "merge-only".into(),
+        })
     }
 
     fn merge(&self, pieces: Vec<DataValue>, params: &Params) -> Result<DataValue> {
@@ -196,10 +217,12 @@ impl Splitter for AxisReduce {
         let arrays: Vec<NdArray> = pieces
             .iter()
             .map(|p| {
-                p.downcast_ref::<NdValue>().map(|v| v.0.clone()).ok_or_else(|| Error::Merge {
-                    split_type: "AxisReduce",
-                    message: format!("expected NdValue piece, got {}", p.type_name()),
-                })
+                p.downcast_ref::<NdValue>()
+                    .map(|v| v.0.clone())
+                    .ok_or_else(|| Error::Merge {
+                        split_type: "AxisReduce",
+                        message: format!("expected NdValue piece, got {}", p.type_name()),
+                    })
             })
             .collect::<Result<_>>()?;
         if axis == 0 {
@@ -235,7 +258,9 @@ mod tests {
     fn mean_reduce_is_weighted_and_associative() {
         let p = |sum: f64, count: u64| DataValue::new(PartialMean { sum, count });
         // Unequal chunk sizes: naive mean-of-means would be wrong.
-        let all = MeanReduce.merge(vec![p(10.0, 1), p(2.0, 4)], &vec![]).unwrap();
+        let all = MeanReduce
+            .merge(vec![p(10.0, 1), p(2.0, 4)], &vec![])
+            .unwrap();
         let got = all.downcast_ref::<PartialMean>().unwrap();
         assert_eq!(got.value(), 12.0 / 5.0);
         // Associativity: merge of merges equals flat merge.
@@ -251,12 +276,18 @@ mod tests {
         let p1 = nd(NdArray::from_vec(vec![1.0, 2.0]));
         let p2 = nd(NdArray::from_vec(vec![10.0, 20.0]));
         let m = AxisReduce.merge(vec![p1, p2], &vec![0]).unwrap();
-        assert_eq!(m.downcast_ref::<NdValue>().unwrap().0.as_slice(), &[11.0, 22.0]);
+        assert_eq!(
+            m.downcast_ref::<NdValue>().unwrap().0.as_slice(),
+            &[11.0, 22.0]
+        );
         // axis 1: partials concatenate.
         let p1 = nd(NdArray::from_vec(vec![1.0, 2.0]));
         let p2 = nd(NdArray::from_vec(vec![3.0]));
         let m = AxisReduce.merge(vec![p1, p2], &vec![1]).unwrap();
-        assert_eq!(m.downcast_ref::<NdValue>().unwrap().0.as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(
+            m.downcast_ref::<NdValue>().unwrap().0.as_slice(),
+            &[1.0, 2.0, 3.0]
+        );
     }
 
     #[test]

@@ -65,7 +65,12 @@ impl Splitter for NdSplit {
         })
     }
 
-    fn split(&self, arg: &DataValue, range: Range<u64>, params: &Params) -> Result<Option<DataValue>> {
+    fn split(
+        &self,
+        arg: &DataValue,
+        range: Range<u64>,
+        params: &Params,
+    ) -> Result<Option<DataValue>> {
         let a = arg.downcast_ref::<NdValue>().ok_or_else(|| Error::Split {
             split_type: "NdSplit",
             message: format!("expected NdValue, got {}", arg.type_name()),
@@ -93,10 +98,12 @@ impl Splitter for NdSplit {
         let arrays: Vec<NdArray> = pieces
             .iter()
             .map(|p| {
-                p.downcast_ref::<NdValue>().map(|v| v.0.clone()).ok_or_else(|| Error::Merge {
-                    split_type: "NdSplit",
-                    message: format!("expected NdValue piece, got {}", p.type_name()),
-                })
+                p.downcast_ref::<NdValue>()
+                    .map(|v| v.0.clone())
+                    .ok_or_else(|| Error::Merge {
+                        split_type: "NdSplit",
+                        message: format!("expected NdValue piece, got {}", p.type_name()),
+                    })
             })
             .collect::<Result<_>>()?;
         Ok(DataValue::new(NdValue(ndarray_lite::concat(&arrays))))

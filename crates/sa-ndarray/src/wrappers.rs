@@ -323,7 +323,10 @@ static SUM_AXIS: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
 
 /// Annotated axis sum over row-split matrices.
 pub fn sum_axis(ctx: &MozartContext, a: &impl NdArg, axis: usize) -> Result<FutureHandle> {
-    let fut = ctx.call(&SUM_AXIS, vec![a.to_value(), DataValue::new(IntValue(axis as i64))])?;
+    let fut = ctx.call(
+        &SUM_AXIS,
+        vec![a.to_value(), DataValue::new(IntValue(axis as i64))],
+    )?;
     Ok(fut.expect("sum_axis returns a value"))
 }
 

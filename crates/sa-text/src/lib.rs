@@ -93,7 +93,12 @@ impl Splitter for CorpusSplit {
         })
     }
 
-    fn split(&self, arg: &DataValue, range: Range<u64>, params: &Params) -> Result<Option<DataValue>> {
+    fn split(
+        &self,
+        arg: &DataValue,
+        range: Range<u64>,
+        params: &Params,
+    ) -> Result<Option<DataValue>> {
         let total = Self::docs_of(arg)?;
         let declared = params.first().copied().unwrap_or(0).max(0) as usize;
         if total != declared {
@@ -128,20 +133,24 @@ impl Splitter for CorpusSplit {
         if first.downcast_ref::<CorpusValue>().is_some() {
             let mut out = Vec::new();
             for p in &pieces {
-                let c = p.downcast_ref::<CorpusValue>().ok_or_else(|| Error::Merge {
-                    split_type: "CorpusSplit",
-                    message: "mixed piece types".into(),
-                })?;
+                let c = p
+                    .downcast_ref::<CorpusValue>()
+                    .ok_or_else(|| Error::Merge {
+                        split_type: "CorpusSplit",
+                        message: "mixed piece types".into(),
+                    })?;
                 out.extend(c.0.iter().cloned());
             }
             return Ok(DataValue::new(CorpusValue(Arc::new(out))));
         }
         let mut out = Vec::new();
         for p in &pieces {
-            let t = p.downcast_ref::<TaggedValue>().ok_or_else(|| Error::Merge {
-                split_type: "CorpusSplit",
-                message: "mixed piece types".into(),
-            })?;
+            let t = p
+                .downcast_ref::<TaggedValue>()
+                .ok_or_else(|| Error::Merge {
+                    split_type: "CorpusSplit",
+                    message: "mixed piece types".into(),
+                })?;
             out.extend(t.0.iter().cloned());
         }
         Ok(DataValue::new(TaggedValue(Arc::new(out))))
@@ -196,7 +205,9 @@ pub fn annotate_corpus_fn(
 static TAG_CORPUS: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
     Annotation::new("tag_corpus", |inv| {
         let c = inv.arg::<CorpusValue>(0)?;
-        Ok(Some(DataValue::new(TaggedValue(Arc::new(textproc::tag_corpus(&c.0))))))
+        Ok(Some(DataValue::new(TaggedValue(Arc::new(
+            textproc::tag_corpus(&c.0),
+        )))))
     })
     .arg("corpus", concrete(CorpusSplit::shared(), vec![0]))
     .ret(concrete(CorpusSplit::shared(), vec![0]))

@@ -57,7 +57,12 @@ impl Splitter for MatrixSplit {
         })
     }
 
-    fn split(&self, arg: &DataValue, range: Range<u64>, params: &Params) -> Result<Option<DataValue>> {
+    fn split(
+        &self,
+        arg: &DataValue,
+        range: Range<u64>,
+        params: &Params,
+    ) -> Result<Option<DataValue>> {
         let v = arg.downcast_ref::<VecValue>().ok_or_else(|| Error::Split {
             split_type: "MatrixSplit",
             message: format!("expected VecValue, got {}", arg.type_name()),

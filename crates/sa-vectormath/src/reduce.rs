@@ -26,6 +26,10 @@ impl Splitter for AddReduce {
         true
     }
 
+    fn commutative_merge(&self) -> bool {
+        true // addition is commutative: partials may fold in any order
+    }
+
     fn construct(&self, _ctor_args: &[&DataValue]) -> Result<Params> {
         Ok(vec![])
     }

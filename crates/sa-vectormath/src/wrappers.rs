@@ -258,7 +258,10 @@ pub fn daxpy(
     x: &SharedVec<f64>,
     y: &SharedVec<f64>,
 ) -> Result<()> {
-    ctx.call(&DAXPY, vec![size(n), DataValue::new(FloatValue(alpha)), arr(x), arr(y)])?;
+    ctx.call(
+        &DAXPY,
+        vec![size(n), DataValue::new(FloatValue(alpha)), arr(x), arr(y)],
+    )?;
     Ok(())
 }
 
@@ -277,11 +280,7 @@ static DDOT: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
 });
 
 /// Annotated `ddot`: parallel dot product via partial-sum merging.
-pub fn ddot(
-    ctx: &MozartContext,
-    x: &SharedVec<f64>,
-    y: &SharedVec<f64>,
-) -> Result<FutureHandle> {
+pub fn ddot(ctx: &MozartContext, x: &SharedVec<f64>, y: &SharedVec<f64>) -> Result<FutureHandle> {
     let fut = ctx.call(&DDOT, vec![arr(x), arr(y)])?;
     Ok(fut.expect("ddot returns a value"))
 }
@@ -428,10 +427,10 @@ mod tests {
         dgemv(&c, 5, 3, 1.0, &a, &x, 0.0, &y).unwrap();
         let out = y.to_vec();
         // Row i = [3i, 3i+1, 3i+2] · [1,2,3].
-        for i in 0..5 {
+        for (i, &got) in out.iter().enumerate() {
             let base = 3.0 * i as f64;
             let expected = base + 2.0 * (base + 1.0) + 3.0 * (base + 2.0);
-            assert_eq!(out[i], expected, "row {i}");
+            assert_eq!(got, expected, "row {i}");
         }
     }
 

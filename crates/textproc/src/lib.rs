@@ -28,11 +28,49 @@ pub type Corpus = Vec<String>;
 /// workload processes.
 pub fn synthetic_corpus(docs: usize, words_per_doc: usize, seed: u64) -> Corpus {
     const VOCAB: &[&str] = &[
-        "the", "movie", "was", "really", "good", "acting", "plot", "slowly", "developed",
-        "characters", "loved", "hated", "ending", "scenes", "director", "quickly", "walked",
-        "believable", "performance", "a", "an", "in", "of", "very", "terrible", "excellent",
-        "watched", "films", "story", "feels", "genuinely", "boring", "thrilling", "and", "but",
-        "it", "she", "he", "they", "runs", "jumped", "talking", "beautifully",
+        "the",
+        "movie",
+        "was",
+        "really",
+        "good",
+        "acting",
+        "plot",
+        "slowly",
+        "developed",
+        "characters",
+        "loved",
+        "hated",
+        "ending",
+        "scenes",
+        "director",
+        "quickly",
+        "walked",
+        "believable",
+        "performance",
+        "a",
+        "an",
+        "in",
+        "of",
+        "very",
+        "terrible",
+        "excellent",
+        "watched",
+        "films",
+        "story",
+        "feels",
+        "genuinely",
+        "boring",
+        "thrilling",
+        "and",
+        "but",
+        "it",
+        "she",
+        "he",
+        "they",
+        "runs",
+        "jumped",
+        "talking",
+        "beautifully",
     ];
     let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
     let mut next = || {

@@ -70,12 +70,46 @@ const DETS: &[&str] = &["the", "a", "an", "this", "that", "these", "those"];
 const PRONS: &[&str] = &["it", "she", "he", "they", "we", "i", "you"];
 const ADPS: &[&str] = &["in", "of", "on", "at", "by", "with", "from", "to"];
 const CONJS: &[&str] = &["and", "but", "or", "nor", "so", "yet"];
-const VERBS: &[&str] = &["was", "is", "are", "were", "be", "been", "has", "have", "had",
-    "loved", "hated", "watched", "runs", "feels", "developed", "walked", "jumped"];
-const ADJS: &[&str] = &["good", "bad", "terrible", "excellent", "believable", "boring",
-    "thrilling", "great", "awful"];
-const ADVS: &[&str] = &["really", "very", "quickly", "slowly", "genuinely", "beautifully",
-    "not", "never"];
+const VERBS: &[&str] = &[
+    "was",
+    "is",
+    "are",
+    "were",
+    "be",
+    "been",
+    "has",
+    "have",
+    "had",
+    "loved",
+    "hated",
+    "watched",
+    "runs",
+    "feels",
+    "developed",
+    "walked",
+    "jumped",
+];
+const ADJS: &[&str] = &[
+    "good",
+    "bad",
+    "terrible",
+    "excellent",
+    "believable",
+    "boring",
+    "thrilling",
+    "great",
+    "awful",
+];
+const ADVS: &[&str] = &[
+    "really",
+    "very",
+    "quickly",
+    "slowly",
+    "genuinely",
+    "beautifully",
+    "not",
+    "never",
+];
 
 /// Tag one word using the lexicon, then suffix rules, then a noun
 /// default (the classic baseline tagger design).
@@ -130,7 +164,10 @@ pub fn tag_doc(doc: &str) -> TaggedDoc {
             Token { text: t, pos }
         })
         .collect();
-    TaggedDoc { tokens, normalized: normalize(doc) }
+    TaggedDoc {
+        tokens,
+        normalized: normalize(doc),
+    }
 }
 
 /// Tag every document of a corpus and extract features — the paper's
@@ -141,7 +178,10 @@ pub fn tag_corpus(corpus: &[String]) -> Vec<(TaggedDoc, DocFeatures)> {
         .iter()
         .map(|doc| {
             let tagged = tag_doc(doc);
-            let mut f = DocFeatures { tokens: tagged.tokens.len(), ..Default::default() };
+            let mut f = DocFeatures {
+                tokens: tagged.tokens.len(),
+                ..Default::default()
+            };
             for t in &tagged.tokens {
                 match t.pos {
                     Pos::Noun => f.nouns += 1,

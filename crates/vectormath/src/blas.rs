@@ -88,9 +88,21 @@ pub fn dgemv(m: usize, n: usize, alpha: f64, a: &[f64], x: &[f64], beta: f64, y:
     assert_eq!(x.len(), n, "dgemv: x length mismatch");
     assert_eq!(y.len(), m, "dgemv: y length mismatch");
     trace::record(&[
-        trace::Access { addr: a.as_ptr() as usize, bytes: a.len() * 8, write: false },
-        trace::Access { addr: x.as_ptr() as usize, bytes: x.len() * 8, write: false },
-        trace::Access { addr: y.as_ptr() as usize, bytes: y.len() * 8, write: true },
+        trace::Access {
+            addr: a.as_ptr() as usize,
+            bytes: a.len() * 8,
+            write: false,
+        },
+        trace::Access {
+            addr: x.as_ptr() as usize,
+            bytes: x.len() * 8,
+            write: false,
+        },
+        trace::Access {
+            addr: y.as_ptr() as usize,
+            bytes: y.len() * 8,
+            write: true,
+        },
     ]);
     for i in 0..m {
         let row = &a[i * n..(i + 1) * n];

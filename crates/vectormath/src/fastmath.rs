@@ -11,6 +11,11 @@
 //! error < 1.5e-7 (Abramowitz & Stegun 7.1.26, the classic vector-math
 //! tradeoff); `sin`/`cos` < 1e-13 absolute for |x| ≤ 10⁵; `asin` < 1e-9.
 
+// The hi/lo-split range-reduction constants below are libm idiom: each
+// pair deliberately carries more (or differently-rounded) digits than
+// one f64, which trips these lints.
+#![allow(clippy::approx_constant, clippy::excessive_precision)]
+
 /// log2(e)
 const LOG2E: f64 = std::f64::consts::LOG2_E;
 /// High/low split of ln(2) for accurate range reduction.

@@ -26,6 +26,9 @@
 #![warn(missing_docs)]
 
 pub mod blas;
+// rustfmt hits exponential blowup on this module's deeply nested Horner
+// polynomials (hand-formatted on purpose); formatting is skipped.
+#[rustfmt::skip]
 pub mod fastmath;
 mod parallel;
 pub mod trace;

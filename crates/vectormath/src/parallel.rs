@@ -54,7 +54,10 @@ mod tests {
         let n = PAR_THRESHOLD + 17;
         let sum = AtomicU64::new(0);
         run_parallel(n, |start, len| {
-            sum.fetch_add((start..start + len).map(|x| x as u64).sum(), Ordering::SeqCst);
+            sum.fetch_add(
+                (start..start + len).map(|x| x as u64).sum(),
+                Ordering::SeqCst,
+            );
         });
         set_num_threads(1);
         let expected: u64 = (0..n as u64).sum();

@@ -56,8 +56,16 @@ pub(crate) fn record(accesses: &[Access]) {
 pub(crate) fn record_unary(n: usize, a: usize, o: usize) {
     if enabled() {
         record(&[
-            Access { addr: a, bytes: n * 8, write: false },
-            Access { addr: o, bytes: n * 8, write: true },
+            Access {
+                addr: a,
+                bytes: n * 8,
+                write: false,
+            },
+            Access {
+                addr: o,
+                bytes: n * 8,
+                write: true,
+            },
         ]);
     }
 }
@@ -67,9 +75,21 @@ pub(crate) fn record_unary(n: usize, a: usize, o: usize) {
 pub(crate) fn record_binary(n: usize, a: usize, b: usize, o: usize) {
     if enabled() {
         record(&[
-            Access { addr: a, bytes: n * 8, write: false },
-            Access { addr: b, bytes: n * 8, write: false },
-            Access { addr: o, bytes: n * 8, write: true },
+            Access {
+                addr: a,
+                bytes: n * 8,
+                write: false,
+            },
+            Access {
+                addr: b,
+                bytes: n * 8,
+                write: false,
+            },
+            Access {
+                addr: o,
+                bytes: n * 8,
+                write: true,
+            },
         ]);
     }
 }
@@ -85,7 +105,14 @@ mod tests {
         record_binary(2, 0x1000, 0x3000, 0x1000);
         let t = disable_and_take();
         assert_eq!(t.len(), 5);
-        assert_eq!(t[0], Access { addr: 0x1000, bytes: 32, write: false });
+        assert_eq!(
+            t[0],
+            Access {
+                addr: 0x1000,
+                bytes: 32,
+                write: false
+            }
+        );
         assert!(t[1].write);
         assert_eq!(t[4].addr, 0x1000);
         // Disabled: nothing recorded.

@@ -38,7 +38,10 @@ fn summarize(table: &HashMap<(String, i64), (f64, f64)>) -> Summary {
             fraction_sum += lesl / total;
         }
     }
-    Summary { groups: table.len(), fraction_sum }
+    Summary {
+        groups: table.len(),
+        fraction_sum,
+    }
 }
 
 fn grouped_to_table(totals: &DataFrame, lesl: &DataFrame) -> HashMap<(String, i64), (f64, f64)> {

@@ -28,7 +28,13 @@ pub struct Inputs {
 /// Generate inputs.
 pub fn generate(n: usize, seed: u64) -> Inputs {
     let (price, strike, t, rate, vol) = crate::data::black_scholes_inputs(n, seed);
-    Inputs { price, strike, t, rate, vol }
+    Inputs {
+        price,
+        strike,
+        t,
+        rate,
+        vol,
+    }
 }
 
 /// Result summary: checksums of the call and put price vectors.
@@ -41,7 +47,10 @@ pub struct Summary {
 }
 
 fn summarize(call: &[f64], put: &[f64]) -> Summary {
-    Summary { call_sum: call.iter().sum(), put_sum: put.iter().sum() }
+    Summary {
+        call_sum: call.iter().sum(),
+        put_sum: put.iter().sum(),
+    }
 }
 
 // ----------------------------- NumPy variant ---------------------------
@@ -59,15 +68,24 @@ pub fn numpy_base(inp: &Inputs) -> Summary {
     let vol_sqrt = nd::mul(&vol, &nd::sqrt(&t));
     let ratio = nd::div(&price, &strike);
     let d1 = nd::div(
-        &nd::add(&nd::log1p(&nd::add_scalar(&ratio, -1.0)), &nd::mul(&rsig, &t)),
+        &nd::add(
+            &nd::log1p(&nd::add_scalar(&ratio, -1.0)),
+            &nd::mul(&rsig, &t),
+        ),
         &vol_sqrt,
     );
     let d2 = nd::sub(&d1, &vol_sqrt);
     let cnd = |d: &NdArray| {
-        nd::add_scalar(&nd::mul_scalar(&nd::erf(&nd::mul_scalar(d, INV_SQRT2)), 0.5), 0.5)
+        nd::add_scalar(
+            &nd::mul_scalar(&nd::erf(&nd::mul_scalar(d, INV_SQRT2)), 0.5),
+            0.5,
+        )
     };
     let e_rt = nd::exp(&nd::neg(&nd::mul(&rate, &t)));
-    let call = nd::sub(&nd::mul(&price, &cnd(&d1)), &nd::mul(&nd::mul(&e_rt, &strike), &cnd(&d2)));
+    let call = nd::sub(
+        &nd::mul(&price, &cnd(&d1)),
+        &nd::mul(&nd::mul(&e_rt, &strike), &cnd(&d2)),
+    );
     let put = nd::add(&nd::sub(&nd::mul(&e_rt, &strike), &price), &call);
     summarize(call.as_slice(), put.as_slice())
 }
@@ -242,7 +260,14 @@ pub fn fused(inp: &Inputs, threads: usize) -> Summary {
     let mut call = vec![0.0; n];
     let mut put = vec![0.0; n];
     fusedbaseline::black_scholes::run(
-        &inp.price, &inp.strike, &inp.t, &inp.rate, &inp.vol, &mut call, &mut put, threads,
+        &inp.price,
+        &inp.strike,
+        &inp.t,
+        &inp.rate,
+        &inp.vol,
+        &mut call,
+        &mut put,
+        threads,
     );
     summarize(&call, &put)
 }
@@ -285,6 +310,9 @@ mod tests {
         let ctx = crate::mozart_context(2);
         mkl_mozart(&inp, &ctx).unwrap();
         let stats = ctx.stats();
-        assert_eq!(stats.stages, 1, "all 27 in-place vector calls share one stage");
+        assert_eq!(
+            stats.stages, 1,
+            "all 27 in-place vector calls share one stage"
+        );
     }
 }

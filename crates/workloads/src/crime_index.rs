@@ -36,9 +36,15 @@ pub fn base(df: &DataFrame) -> Summary {
     );
     // clamp to [0, 1]
     let clamped = Column::from_f64(
-        index.f64s().iter().map(|x| x.clamp(0.0, 1.0)).collect::<Vec<_>>(),
+        index
+            .f64s()
+            .iter()
+            .map(|x| x.clamp(0.0, 1.0))
+            .collect::<Vec<_>>(),
     );
-    Summary { index_sum: ops::sum(&clamped) }
+    Summary {
+        index_sum: ops::sum(&clamped),
+    }
 }
 
 /// Mozart: filter (unknown split type) pipelining into generic Series
@@ -65,7 +71,9 @@ pub fn mozart(df: &DataFrame, ctx: &MozartContext) -> Result<Summary> {
         sa::mask_assign(ctx, &c1, &lo, 0.0)?
     };
     let total = sa::sum(ctx, &clamped)?;
-    Ok(Summary { index_sum: sa::get_scalar(&total)? })
+    Ok(Summary {
+        index_sum: sa::get_scalar(&total)?,
+    })
 }
 
 /// Fused (compiler stand-in).
@@ -92,8 +100,18 @@ mod tests {
         let f = fused(&df, 2);
         let ctx = crate::mozart_context(2);
         let m = mozart(&df, &ctx).unwrap();
-        assert!(close(a.index_sum, f.index_sum, 1e-9), "{} vs {}", a.index_sum, f.index_sum);
-        assert!(close(a.index_sum, m.index_sum, 1e-9), "{} vs {}", a.index_sum, m.index_sum);
+        assert!(
+            close(a.index_sum, f.index_sum, 1e-9),
+            "{} vs {}",
+            a.index_sum,
+            f.index_sum
+        );
+        assert!(
+            close(a.index_sum, m.index_sum, 1e-9),
+            "{} vs {}",
+            a.index_sum,
+            m.index_sum
+        );
         assert!(a.index_sum > 0.0);
     }
 }

@@ -9,8 +9,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Option-pricing input columns: `(price, strike, t, rate, vol)`.
+pub type BlackScholesColumns = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+
 /// Option-pricing inputs: `(price, strike, t, rate, vol)`.
-pub fn black_scholes_inputs(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+pub fn black_scholes_inputs(n: usize, seed: u64) -> BlackScholesColumns {
     let mut r = StdRng::seed_from_u64(seed);
     let price = (0..n).map(|_| r.gen_range(10.0..200.0)).collect();
     let strike = (0..n).map(|_| r.gen_range(10.0..200.0)).collect();
@@ -51,7 +54,11 @@ pub fn zip_codes(n: usize, seed: u64) -> Vec<String> {
             0..=2 => "N/A".to_string(),
             3..=4 => "NO CLUE".to_string(),
             5 => "0".to_string(),
-            6..=9 => format!("{:05}-{:04}", r.gen_range(501..99951), r.gen_range(0..10000)),
+            6..=9 => format!(
+                "{:05}-{:04}",
+                r.gen_range(501..99951),
+                r.gen_range(0..10000)
+            ),
             _ => format!("{:05}", r.gen_range(501..99951)),
         })
         .collect()
@@ -63,13 +70,30 @@ pub fn crime_inputs(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let mut r = StdRng::seed_from_u64(seed);
     let total: Vec<f64> = (0..n).map(|_| r.gen_range(1_000.0..5_000_000.0)).collect();
     let adult = total.iter().map(|t| t * r.gen_range(0.6..0.85)).collect();
-    let robberies = total.iter().map(|t| t * r.gen_range(0.0001..0.01)).collect();
+    let robberies = total
+        .iter()
+        .map(|t| t * r.gen_range(0.0001..0.01))
+        .collect();
     (total, adult, robberies)
 }
 
 const FIRST_NAMES: &[&str] = &[
-    "Leslie", "Lesley", "Leslee", "Lesli", "James", "Mary", "Robert", "Linda", "John",
-    "Patricia", "Michael", "Jennifer", "David", "Elizabeth", "William", "Barbara",
+    "Leslie",
+    "Lesley",
+    "Leslee",
+    "Lesli",
+    "James",
+    "Mary",
+    "Robert",
+    "Linda",
+    "John",
+    "Patricia",
+    "Michael",
+    "Jennifer",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
 ];
 
 /// Baby-names rows: `(name, sex, year, births)`.
@@ -78,7 +102,9 @@ pub fn births_inputs(n: usize, seed: u64) -> (Vec<String>, Vec<String>, Vec<i64>
     let names = (0..n)
         .map(|_| FIRST_NAMES[r.gen_range(0..FIRST_NAMES.len())].to_string())
         .collect();
-    let sexes = (0..n).map(|_| if r.gen_bool(0.5) { "F" } else { "M" }.to_string()).collect();
+    let sexes = (0..n)
+        .map(|_| if r.gen_bool(0.5) { "F" } else { "M" }.to_string())
+        .collect();
     let years = (0..n).map(|_| r.gen_range(1960..2010)).collect();
     let births = (0..n).map(|_| r.gen_range(5.0..5000.0)).collect();
     (names, sexes, years, births)
@@ -110,7 +136,11 @@ pub fn movielens_inputs(n: usize, seed: u64) -> MovieLensData {
         (0..n).map(|_| r.gen_range(0..num_movies as i64)).collect(),
         (0..n).map(|_| r.gen_range(1..=10) as f64 * 0.5).collect(),
     );
-    MovieLensData { ratings, users: (user_ids, genders), movies: movie_ids }
+    MovieLensData {
+        ratings,
+        users: (user_ids, genders),
+        movies: movie_ids,
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,10 @@ pub const BAD_VALUES: [&str; 3] = ["N/A", "NO CLUE", "0"];
 
 /// Generate a single-column frame of raw zip strings.
 pub fn generate(n: usize, seed: u64) -> DataFrame {
-    DataFrame::from_cols(vec![("zip", Column::from_str(crate::data::zip_codes(n, seed)))])
+    DataFrame::from_cols(vec![(
+        "zip",
+        Column::from_str(crate::data::zip_codes(n, seed)),
+    )])
 }
 
 /// Result summary.
@@ -37,7 +40,11 @@ pub fn base(df: &DataFrame) -> Summary {
     let nulls = ops::is_null(&parsed);
     let valid = ops::count(&parsed) as f64;
     let null_count = nulls.bools().iter().filter(|b| **b).count() as f64;
-    Summary { valid, nulls: null_count, zip_sum: ops::sum(&parsed) }
+    Summary {
+        valid,
+        nulls: null_count,
+        zip_sum: ops::sum(&parsed),
+    }
 }
 
 /// Mozart Pandas: the same operator chain through `sa-dataframe`,
@@ -76,7 +83,11 @@ pub fn fused(df: &DataFrame, threads: usize) -> Summary {
     let owned: Vec<String> = zips.to_vec();
     let (valid, nulls, zip_sum) =
         fusedbaseline::pandas::data_cleaning(&owned, &BAD_VALUES, threads);
-    Summary { valid: valid as f64, nulls: nulls as f64, zip_sum }
+    Summary {
+        valid: valid as f64,
+        nulls: nulls as f64,
+        zip_sum,
+    }
 }
 
 #[cfg(test)]

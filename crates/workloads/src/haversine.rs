@@ -40,12 +40,20 @@ pub fn numpy_base(inp: &Inputs) -> Summary {
     let dlon = nd::add_scalar(&lon2, -LON1);
     let sa2 = nd::square(&nd::sin(&nd::mul_scalar(&dlat, 0.5)));
     let so2 = nd::square(&nd::sin(&nd::mul_scalar(&dlon, 0.5)));
-    let h = nd::add(&sa2, &nd::mul_scalar(&nd::mul(&nd::cos(&lat2), &so2), LAT1.cos()));
+    let h = nd::add(
+        &sa2,
+        &nd::mul_scalar(&nd::mul(&nd::cos(&lat2), &so2), LAT1.cos()),
+    );
     let d = nd::mul_scalar(
-        &nd::asin(&nd::minimum(&nd::sqrt(&h), &NdArray::full(&[inp.lat.len()], 1.0))),
+        &nd::asin(&nd::minimum(
+            &nd::sqrt(&h),
+            &NdArray::full(&[inp.lat.len()], 1.0),
+        )),
         2.0 * EARTH_RADIUS_MILES,
     );
-    Summary { dist_sum: ndarray_lite::sum(&d) }
+    Summary {
+        dist_sum: ndarray_lite::sum(&d),
+    }
 }
 
 /// Mozart NumPy: annotated wrappers, pipelined, ending in an annotated
@@ -82,7 +90,9 @@ pub fn numpy_mozart(inp: &Inputs, ctx: &MozartContext) -> Result<Summary> {
         sa::mul_scalar(ctx, &a, 2.0 * EARTH_RADIUS_MILES)?
     };
     let total = sa::sum(ctx, &d)?;
-    Ok(Summary { dist_sum: sa_ndarray::get_scalar(&total)? })
+    Ok(Summary {
+        dist_sum: sa_ndarray::get_scalar(&total)?,
+    })
 }
 
 /// Base MKL: eager in-place vector math (internally parallel library).
@@ -111,7 +121,9 @@ pub fn mkl_base(inp: &Inputs) -> Summary {
     vm::vd_fmin(&a.clone(), &vec![1.0; n], &mut a);
     vm::vd_asin(&a.clone(), &mut a);
     vm::vd_scale(&a.clone(), 2.0 * EARTH_RADIUS_MILES, &mut a);
-    Summary { dist_sum: a.iter().sum() }
+    Summary {
+        dist_sum: a.iter().sum(),
+    }
 }
 
 /// Mozart MKL: the same in-place sequence, annotated.
@@ -144,7 +156,10 @@ pub fn mkl_mozart(inp: &Inputs, ctx: &MozartContext) -> Result<Summary> {
     let total = sa::dasum(ctx, &a)?; // distances are non-negative
     let dv = total.get()?;
     Ok(Summary {
-        dist_sum: dv.downcast_ref::<mozart_core::FloatValue>().expect("float").0,
+        dist_sum: dv
+            .downcast_ref::<mozart_core::FloatValue>()
+            .expect("float")
+            .0,
     })
 }
 
@@ -152,7 +167,9 @@ pub fn mkl_mozart(inp: &Inputs, ctx: &MozartContext) -> Result<Summary> {
 pub fn fused(inp: &Inputs, threads: usize) -> Summary {
     let mut out = vec![0.0; inp.lat.len()];
     fusedbaseline::haversine::run(LAT1, LON1, &inp.lat, &inp.lon, &mut out, threads);
-    Summary { dist_sum: out.iter().sum() }
+    Summary {
+        dist_sum: out.iter().sum(),
+    }
 }
 
 #[cfg(test)]
@@ -171,7 +188,12 @@ mod tests {
         let ctx = crate::mozart_context(2);
         let m2 = mkl_mozart(&inp, &ctx).unwrap();
         for s in [&b, &f, &m1, &m2] {
-            assert!(close(a.dist_sum, s.dist_sum, 1e-6), "{} vs {}", a.dist_sum, s.dist_sum);
+            assert!(
+                close(a.dist_sum, s.dist_sum, 1e-6),
+                "{} vs {}",
+                a.dist_sum,
+                s.dist_sum
+            );
         }
     }
 

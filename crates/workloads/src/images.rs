@@ -20,7 +20,9 @@ pub struct Summary {
 
 fn summarize(img: &Image) -> Summary {
     let sum: f64 = img.data().iter().map(|&v| v as f64).sum();
-    Summary { mean: sum / img.data().len() as f64 }
+    Summary {
+        mean: sum / img.data().len() as f64,
+    }
 }
 
 /// Base Nashville: eager library calls (internally parallel).

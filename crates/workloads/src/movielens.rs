@@ -22,8 +22,7 @@ fn frames(d: &MovieLensData) -> (DataFrame, DataFrame, DataFrame) {
         ("user_id", Column::from_i64(d.users.0.clone())),
         ("gender", Column::from_str(d.users.1.clone())),
     ]);
-    let movies =
-        DataFrame::from_cols(vec![("movie_id", Column::from_i64(d.movies.clone()))]);
+    let movies = DataFrame::from_cols(vec![("movie_id", Column::from_i64(d.movies.clone()))]);
     (ratings, users, movies)
 }
 
@@ -59,7 +58,10 @@ fn summarize_grouped(g: &DataFrame) -> Summary {
             div += (f - m).abs();
         }
     }
-    Summary { movies_rated_by_both: both, divisiveness_sum: div }
+    Summary {
+        movies_rated_by_both: both,
+        divisiveness_sum: div,
+    }
 }
 
 /// Base Pandas: eager joins + groupBy, single-threaded.
@@ -109,7 +111,10 @@ pub fn fused(d: &MovieLensData) -> Summary {
             div += (fs / fc - ms / mc).abs();
         }
     }
-    Summary { movies_rated_by_both: both, divisiveness_sum: div }
+    Summary {
+        movies_rated_by_both: both,
+        divisiveness_sum: div,
+    }
 }
 
 #[cfg(test)]

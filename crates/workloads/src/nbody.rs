@@ -63,7 +63,10 @@ pub fn numpy_base(b0: &Bodies, steps: usize, dt: f64) -> Summary {
         let dy = nd::sub(&yr, &yc);
         let dz = nd::sub(&zr, &zc);
         let r2 = nd::add_scalar(
-            &nd::add(&nd::add(&nd::square(&dx), &nd::square(&dy)), &nd::square(&dz)),
+            &nd::add(
+                &nd::add(&nd::square(&dx), &nd::square(&dy)),
+                &nd::square(&dz),
+            ),
             EPS,
         );
         let r3inv = nd::pow_scalar(&r2, -1.5);
@@ -154,8 +157,11 @@ pub fn mkl_base(b0: &Bodies, steps: usize, dt: f64) -> Summary {
             vm::vd_add(&r2.clone(), &tmp, &mut r2);
         }
         vm::vd_powx(&r2.clone(), -1.5, &mut r2); // r2 := r3inv
-        let (mut vx, mut vy, mut vz) =
-            (std::mem::take(&mut b.vx), std::mem::take(&mut b.vy), std::mem::take(&mut b.vz));
+        let (mut vx, mut vy, mut vz) = (
+            std::mem::take(&mut b.vx),
+            std::mem::take(&mut b.vy),
+            std::mem::take(&mut b.vz),
+        );
         for (p, v) in [(&b.x, &mut vx), (&b.y, &mut vy), (&b.z, &mut vz)] {
             fill_diff(&mut d, p);
             vm::vd_mul(&d.clone(), &r2, &mut d);
@@ -276,8 +282,18 @@ mod tests {
         let ctx = crate::mozart_context(2);
         let m2 = mkl_mozart(&b, steps, dt, &ctx).unwrap();
         for s in [&f, &mk, &m1, &m2] {
-            assert!(close(a.x_sum, s.x_sum, 1e-9), "x: {} vs {}", a.x_sum, s.x_sum);
-            assert!(close(a.v2_sum, s.v2_sum, 1e-9), "v2: {} vs {}", a.v2_sum, s.v2_sum);
+            assert!(
+                close(a.x_sum, s.x_sum, 1e-9),
+                "x: {} vs {}",
+                a.x_sum,
+                s.x_sum
+            );
+            assert!(
+                close(a.v2_sum, s.v2_sum, 1e-9),
+                "v2: {} vs {}",
+                a.v2_sum,
+                s.v2_sum
+            );
         }
     }
 }

@@ -27,8 +27,7 @@ pub struct Summary {
 fn summarize(g: &Grid) -> Summary {
     Summary {
         mass: g.total_mass(),
-        momentum2: g.u.iter().map(|x| x * x).sum::<f64>()
-            + g.v.iter().map(|x| x * x).sum::<f64>(),
+        momentum2: g.u.iter().map(|x| x * x).sum::<f64>() + g.v.iter().map(|x| x * x).sum::<f64>(),
     }
 }
 
@@ -56,7 +55,12 @@ pub fn numpy_base(g0: &Grid, steps: usize, dt: f64) -> Summary {
         u = u_new;
         v = v_new;
     }
-    summarize(&Grid { n, h: h.to_vec(), u: u.to_vec(), v: v.to_vec() })
+    summarize(&Grid {
+        n,
+        h: h.to_vec(),
+        u: u.to_vec(),
+        v: v.to_vec(),
+    })
 }
 
 /// Mozart NumPy: axis-1 rolls and all elementwise math annotated;
@@ -119,7 +123,12 @@ pub fn numpy_mozart(g0: &Grid, steps: usize, dt: f64, ctx: &MozartContext) -> Re
         u = sa_ndarray::get(&u_new)?;
         v = sa_ndarray::get(&v_new)?;
     }
-    Ok(summarize(&Grid { n, h: h.to_vec(), u: u.to_vec(), v: v.to_vec() }))
+    Ok(summarize(&Grid {
+        n,
+        h: h.to_vec(),
+        u: u.to_vec(),
+        v: v.to_vec(),
+    }))
 }
 
 /// Base MKL: flat buffers, eager in-place vector math; shifts are
@@ -196,7 +205,12 @@ pub fn mkl_mozart(g0: &Grid, steps: usize, dt: f64, ctx: &MozartContext) -> Resu
         sa::daxpy(ctx, nn, -dt, &t1, &h)?;
         ctx.evaluate()?;
     }
-    let g = Grid { n, h: h.to_vec(), u: u.to_vec(), v: v.to_vec() };
+    let g = Grid {
+        n,
+        h: h.to_vec(),
+        u: u.to_vec(),
+        v: v.to_vec(),
+    };
     Ok(summarize(&g))
 }
 
@@ -213,10 +227,10 @@ fn central_diff_x(src: &[f64], out: &mut [f64], n: usize) {
     for y in 0..n {
         let row = &src[y * n..(y + 1) * n];
         let dst = &mut out[y * n..(y + 1) * n];
-        for x in 0..n {
+        for (x, d) in dst.iter_mut().enumerate() {
             let xp = (x + 1) % n;
             let xm = (x + n - 1) % n;
-            dst[x] = (row[xp] - row[xm]) * 0.5;
+            *d = (row[xp] - row[xm]) * 0.5;
         }
     }
 }

@@ -25,7 +25,12 @@ pub struct Summary {
 }
 
 fn summarize(tagged: &[(textproc::TaggedDoc, textproc::DocFeatures)]) -> Summary {
-    let mut s = Summary { tokens: 0, nouns: 0, verbs: 0, modifiers: 0 };
+    let mut s = Summary {
+        tokens: 0,
+        nouns: 0,
+        verbs: 0,
+        modifiers: 0,
+    };
     for (_, f) in tagged {
         s.tokens += f.tokens;
         s.nouns += f.nouns;

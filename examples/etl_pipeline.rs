@@ -14,24 +14,38 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1_000_000);
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
 
     // An orders table with some dirty amounts, plus a region dimension.
     let orders = DataFrame::from_cols(vec![
         ("order_id", Column::from_i64((0..n as i64).collect())),
-        ("region_id", Column::from_i64((0..n).map(|i| (i % 5) as i64).collect())),
+        (
+            "region_id",
+            Column::from_i64((0..n).map(|i| (i % 5) as i64).collect()),
+        ),
         (
             "amount",
             Column::from_f64(
                 (0..n)
-                    .map(|i| if i % 97 == 0 { f64::NAN } else { (i % 500) as f64 * 0.25 })
+                    .map(|i| {
+                        if i % 97 == 0 {
+                            f64::NAN
+                        } else {
+                            (i % 500) as f64 * 0.25
+                        }
+                    })
                     .collect(),
             ),
         ),
     ]);
     let regions = DataFrame::from_cols(vec![
         ("region_id", Column::from_i64((0..5).collect())),
-        ("region", Column::from_strs(&["north", "south", "east", "west", "central"])),
+        (
+            "region",
+            Column::from_strs(&["north", "south", "east", "west", "central"]),
+        ),
     ]);
 
     let ctx = mozart_repro::workloads::mozart_context(workers);
@@ -66,8 +80,14 @@ fn main() {
     let result = sa::get_df(&grouped).expect("materialize").sort_by("region");
     let elapsed = t0.elapsed();
 
-    println!("{n} orders -> {} regions in {elapsed:?}\n", result.num_rows());
-    println!("{:<10} {:>14} {:>12} {:>10}", "region", "revenue", "avg_order", "orders");
+    println!(
+        "{n} orders -> {} regions in {elapsed:?}\n",
+        result.num_rows()
+    );
+    println!(
+        "{:<10} {:>14} {:>12} {:>10}",
+        "region", "revenue", "avg_order", "orders"
+    );
     for i in 0..result.num_rows() {
         println!(
             "{:<10} {:>14.2} {:>12.2} {:>10}",

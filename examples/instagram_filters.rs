@@ -8,7 +8,9 @@ use imagelib::Image;
 use mozart_repro::workloads::images;
 
 fn main() {
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let img = images::generate(1920, 1080, 7);
     println!("applying the Nashville filter chain to a 1920x1080 image\n");
 
@@ -17,13 +19,19 @@ fn main() {
     let base = images::nashville_base(&img);
     let t_base = t0.elapsed();
     imagelib::set_num_threads(1);
-    println!("  ImageMagick (parallel library): {t_base:?} (mean px {:.4})", base.mean);
+    println!(
+        "  ImageMagick (parallel library): {t_base:?} (mean px {:.4})",
+        base.mean
+    );
 
     let ctx = mozart_repro::workloads::mozart_context(workers);
     let t0 = std::time::Instant::now();
     let moz = images::nashville_mozart(&img, &ctx).expect("mozart");
     let t_moz = t0.elapsed();
-    println!("  ImageMagick + Mozart          : {t_moz:?} (mean px {:.4})", moz.mean);
+    println!(
+        "  ImageMagick + Mozart          : {t_moz:?} (mean px {:.4})",
+        moz.mean
+    );
     let stats = ctx.stats();
     let p = stats.percentages();
     println!(

@@ -14,7 +14,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2_000_000);
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let inp = bs::generate(n, 42);
     println!("pricing {n} options, {workers} workers\n");
 
@@ -23,18 +25,27 @@ fn main() {
     let base = bs::mkl_base(&inp);
     let t_base = t0.elapsed();
     vectormath::set_num_threads(1);
-    println!("  MKL (parallel library) : {t_base:?}  call_sum = {:.2}", base.call_sum);
+    println!(
+        "  MKL (parallel library) : {t_base:?}  call_sum = {:.2}",
+        base.call_sum
+    );
 
     let t0 = Instant::now();
     let fused = bs::fused(&inp, workers);
     let t_fused = t0.elapsed();
-    println!("  fused single pass      : {t_fused:?}  call_sum = {:.2}", fused.call_sum);
+    println!(
+        "  fused single pass      : {t_fused:?}  call_sum = {:.2}",
+        fused.call_sum
+    );
 
     let ctx = mozart_repro::workloads::mozart_context(workers);
     let t0 = Instant::now();
     let moz = bs::mkl_mozart(&inp, &ctx).expect("mozart run");
     let t_moz = t0.elapsed();
-    println!("  MKL + Mozart (SAs)     : {t_moz:?}  call_sum = {:.2}", moz.call_sum);
+    println!(
+        "  MKL + Mozart (SAs)     : {t_moz:?}  call_sum = {:.2}",
+        moz.call_sum
+    );
 
     let stats = ctx.stats();
     println!(

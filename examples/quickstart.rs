@@ -70,7 +70,9 @@ fn clamp_annotation() -> Arc<Annotation> {
 
 fn main() {
     let n = 4_000_000;
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let ctx = MozartContext::with_workers(workers);
     let saxpy = saxpy_annotation();
     let clamp = clamp_annotation();

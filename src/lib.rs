@@ -4,17 +4,17 @@
 //! examples and integration tests can use a single dependency. See the
 //! repository README for an architecture overview.
 
-pub use mozart_core as core;
-pub use vectormath;
-pub use ndarray_lite;
-pub use dataframe;
-pub use imagelib;
-pub use textproc;
 pub use cachesim;
-pub use sa_vectormath;
-pub use sa_ndarray;
+pub use dataframe;
+pub use fusedbaseline;
+pub use imagelib;
+pub use mozart_core as core;
+pub use ndarray_lite;
 pub use sa_dataframe;
 pub use sa_image;
+pub use sa_ndarray;
 pub use sa_text;
-pub use fusedbaseline;
+pub use sa_vectormath;
+pub use textproc;
+pub use vectormath;
 pub use workloads;

@@ -46,12 +46,18 @@ fn pipe_ablation_changes_stages_not_results() {
     assert!(close(r1.dist_sum, r2.dist_sum, 1e-12));
     assert_eq!(piped.stats().stages, 1);
     // 16 vector calls + final dasum = 17 function calls, one stage each.
-    assert!(unpiped.stats().stages >= 17, "got {}", unpiped.stats().stages);
+    assert!(
+        unpiped.stats().stages >= 17,
+        "got {}",
+        unpiped.stats().stages
+    );
 }
 
 #[test]
 fn full_data_science_pipeline_matches_eager() {
-    use workloads::{birth_analysis as ba, crime_index as ci, data_cleaning as dc, movielens as ml};
+    use workloads::{
+        birth_analysis as ba, crime_index as ci, data_cleaning as dc, movielens as ml,
+    };
     let ctx = ctx_with(3, Some(101), true);
 
     let df = dc::generate(3000, 1);
@@ -61,7 +67,11 @@ fn full_data_science_pipeline_matches_eager() {
     assert_eq!(a.nulls, b.nulls);
 
     let df = ci::generate(2500, 2);
-    assert!(close(ci::base(&df).index_sum, ci::mozart(&df, &ctx).expect("ci").index_sum, 1e-9));
+    assert!(close(
+        ci::base(&df).index_sum,
+        ci::mozart(&df, &ctx).expect("ci").index_sum,
+        1e-9
+    ));
 
     let df = ba::generate(2500, 3);
     let x = ba::base(&df);

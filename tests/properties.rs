@@ -151,13 +151,16 @@ proptest! {
     }
 }
 
+// The copies are deliberate: each op reads a snapshot of `v` while
+// writing into `v`, which the in-place kernels would otherwise alias.
+#[allow(clippy::unnecessary_to_owned)]
 fn apply_eager(op: u8, v: &mut [f64]) {
     match op % 5 {
-        0 => vectormath::vd_scale(&v.to_vec(), 1.01, v),
-        1 => vectormath::vd_shift(&v.to_vec(), 0.5, v),
-        2 => vectormath::vd_sqrt(&v.to_vec(), v),
-        3 => vectormath::vd_log1p(&v.to_vec(), v),
-        _ => vectormath::vd_sqr(&v.to_vec(), v),
+        0 => vectormath::vd_scale(&v.to_owned(), 1.01, v),
+        1 => vectormath::vd_shift(&v.to_owned(), 0.5, v),
+        2 => vectormath::vd_sqrt(&v.to_owned(), v),
+        3 => vectormath::vd_log1p(&v.to_owned(), v),
+        _ => vectormath::vd_sqr(&v.to_owned(), v),
     }
 }
 

@@ -1,0 +1,189 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this shim provides
+//! the subset of the criterion API the workspace's microbenchmarks use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `iter`,
+//! `iter_batched`, throughput annotation) backed by a simple
+//! median-of-samples wall-clock harness. It reports plausible numbers
+//! for relative comparisons; it is not a statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How batched setup output is sized (accepted for API parity; the shim
+/// always runs setup once per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The timing loop handed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn run_samples(&mut self, mut once: impl FnMut() -> Duration) {
+        // Warm up briefly, then collect samples for ~200ms or 15 runs,
+        // whichever comes first.
+        for _ in 0..3 {
+            once();
+        }
+        let budget = Duration::from_millis(200);
+        let t0 = Instant::now();
+        while self.samples.len() < 15 && (t0.elapsed() < budget || self.samples.is_empty()) {
+            let d = once();
+            self.samples.push(d);
+        }
+    }
+
+    /// Time repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.run_samples(|| {
+            let t = Instant::now();
+            black_box(routine());
+            t.elapsed()
+        });
+    }
+
+    /// Time `routine` over fresh state from `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.run_samples(|| {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            t.elapsed()
+        });
+    }
+
+    fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort();
+        s.get(s.len() / 2).copied().unwrap_or_default()
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the group's throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let med = b.median();
+        let extra = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if med > Duration::ZERO => {
+                let gbps = bytes as f64 / med.as_secs_f64() / 1e9;
+                format!("  ({gbps:.2} GB/s)")
+            }
+            Some(Throughput::Elements(n)) if med > Duration::ZERO => {
+                let meps = n as f64 / med.as_secs_f64() / 1e6;
+                format!("  ({meps:.2} Melem/s)")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: median {med:?} over {} samples{extra}",
+            self.name,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// Finish the group (reporting is per-benchmark in this shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runnable by `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($fun(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,175 @@
+//! Generation for the regex subset used as string strategies.
+//!
+//! Supported syntax: literal characters, character classes
+//! `[a-z0-9_\n ]` (ranges and singletons, `\` escapes the next
+//! character), and `{m}` / `{m,n}` repetition suffixes. This covers the
+//! patterns the workspace's property tests use; unsupported constructs
+//! are treated as literals, which keeps generation total.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; singletons are `(c, c)`.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = if chars[i + 2] == '\\' && i + 3 < chars.len() {
+                            i += 1;
+                            unescape(chars[i + 2])
+                        } else {
+                            chars[i + 2]
+                        };
+                        ranges.push((lo, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                if ranges.is_empty() {
+                    ranges.push(('?', '?'));
+                }
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {m} / {m,n} repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p);
+            match close {
+                Some(close) => {
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => {
+                            (m.trim().parse().unwrap_or(0), n.trim().parse().unwrap_or(8))
+                        }
+                        None => {
+                            let m = body.trim().parse().unwrap_or(1);
+                            (m, m)
+                        }
+                    }
+                }
+                None => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let idx = rng.usize_in(0, ranges.len());
+            let (lo, hi) = ranges[idx];
+            let (lo, hi) = (lo as u32, (hi as u32).max(lo as u32));
+            let v = lo + (rng.next_u64() as u32) % (hi - lo + 1);
+            char::from_u32(v).unwrap_or(lo.try_into().unwrap_or('?'))
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let (min, max) = (piece.min, piece.max.max(piece.min));
+        let n = if min == max {
+            min
+        } else {
+            min + (rng.next_u64() as u32) % (max - min + 1)
+        };
+        for _ in 0..n {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests")
+    }
+
+    #[test]
+    fn literal_patterns_reproduce_themselves() {
+        assert_eq!(generate_matching("Split", &mut rng()), "Split");
+    }
+
+    #[test]
+    fn classes_and_reps_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[A-Z][a-z0-9]{2,5}X", &mut r);
+            let cs: Vec<char> = s.chars().collect();
+            assert!(cs.len() >= 4 && cs.len() <= 7, "{s}");
+            assert!(cs[0].is_ascii_uppercase());
+            assert_eq!(*cs.last().unwrap(), 'X');
+        }
+    }
+
+    #[test]
+    fn escapes_inside_classes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[ -~\n]{0,20}", &mut r);
+            assert!(
+                s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)),
+                "{s:?}"
+            );
+        }
+    }
+}
