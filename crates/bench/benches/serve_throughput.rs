@@ -1,0 +1,231 @@
+//! Closed-loop serving throughput: N client threads issue repeated
+//! Black Scholes pipeline requests against
+//!
+//! * **service** — one [`mozart_serve::PipelineService`]: a shared
+//!   worker pool and a shared plan cache across all clients;
+//! * **independent** — the pre-serve status quo: every request builds
+//!   its own `MozartContext`, which spawns its own worker pool and
+//!   replans from scratch;
+//! * **independent-reused** — a softer baseline: one context (and pool)
+//!   per client thread, reused across requests, but still replanning
+//!   every evaluation.
+//!
+//! Reports aggregate requests/sec, per-request p50/p99 latency, and the
+//! service's plan-cache hit rate; writes
+//! `bench_results/BENCH_serve.json`. The acceptance bar for the serve
+//! PR: the service beats `independent` on aggregate requests/sec with 4
+//! concurrent clients and serves repeats at a >90% plan-cache hit rate.
+//!
+//! Env knobs: `MOZART_SERVE_CLIENTS` (default 4),
+//! `MOZART_SERVE_REQUESTS` per client (default 60, scaled by
+//! `MOZART_BENCH_SCALE`), `MOZART_SERVE_N` elements per request
+//! (default 16384, scaled), plus the usual `MOZART_BENCH_*`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mozart_bench::{write_results, BenchOpts};
+use mozart_core::{Config, MozartContext};
+use mozart_serve::{PipelineService, Request};
+use workloads::black_scholes as bs;
+
+const WORKERS: usize = 4;
+
+struct ModeResult {
+    name: &'static str,
+    wall: Duration,
+    latencies: Vec<Duration>,
+}
+
+impl ModeResult {
+    fn requests(&self) -> usize {
+        self.latencies.len()
+    }
+
+    fn rps(&self) -> f64 {
+        self.requests() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile(&self, p: f64) -> Duration {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// Run `clients` closed-loop threads, each issuing `requests` calls of
+/// `work`, and collect per-request latencies.
+fn drive(
+    name: &'static str,
+    clients: usize,
+    requests: usize,
+    work: impl Fn(usize, usize) + Send + Sync,
+) -> ModeResult {
+    let work = &work;
+    let t0 = Instant::now();
+    let latencies = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(requests);
+                    for r in 0..requests {
+                        let t = Instant::now();
+                        work(c, r);
+                        lat.push(t.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect::<Vec<_>>()
+    });
+    ModeResult {
+        name,
+        wall: t0.elapsed(),
+        latencies,
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let clients = std::env::var("MOZART_SERVE_CLIENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4usize)
+        .max(1);
+    let requests = std::env::var("MOZART_SERVE_REQUESTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| opts.size(60))
+        .max(2);
+    let n = std::env::var("MOZART_SERVE_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| opts.size(1 << 14));
+
+    println!(
+        "serve_throughput: {clients} clients x {requests} requests, \
+         black_scholes n={n}, workers={WORKERS}"
+    );
+    workloads::register_all_defaults();
+    let inputs = Arc::new(bs::generate(n, 42));
+    // Pin the batch size so every mode runs multi-batch stages (and so
+    // exercises its worker pool) regardless of the host's L2 size.
+    let mut session_config = Config::with_workers(WORKERS);
+    session_config.batch_override = Some((n as u64 / 8).max(1024));
+
+    // ---- Mode A: shared service (pool + plan cache) ----
+    let service = PipelineService::builder()
+        .workers(WORKERS)
+        .max_inflight(clients)
+        .queue_depth(2 * clients)
+        .session_config(session_config.clone())
+        .builtin_pipelines()
+        .build();
+    // One session per client thread, opened up front.
+    let sessions: Vec<_> = (0..clients).map(|_| service.session()).collect();
+    let req = Request::new().with("n", n).with("seed", 42u64);
+    // Warm the input memoization + plan cache once so the measured
+    // window shows steady-state serving (the first request pays
+    // generation + planning, like any cold start).
+    sessions[0].call("black_scholes", &req).expect("warmup");
+    let service_res = drive("service", clients, requests, |c, _| {
+        sessions[c]
+            .call("black_scholes", &req)
+            .expect("service request");
+    });
+    let cache = service.stats().plan_cache;
+
+    // ---- Mode B: independent context (own pool) per request ----
+    let inp = inputs.clone();
+    let cfg = session_config.clone();
+    let independent_res = drive("independent", clients, requests, move |_, _| {
+        let ctx = MozartContext::new(cfg.clone());
+        bs::mkl_mozart(&inp, &ctx).expect("independent request");
+    });
+
+    // ---- Mode C: one independent context per client, reused ----
+    let inp = inputs.clone();
+    let contexts: Vec<MozartContext> = (0..clients)
+        .map(|_| MozartContext::new(session_config.clone()))
+        .collect();
+    let contexts = &contexts;
+    let reused_res = drive("independent-reused", clients, requests, move |c, _| {
+        bs::mkl_mozart(&inp, &contexts[c]).expect("reused request");
+    });
+
+    // ---- Report ----
+    let modes = [&service_res, &independent_res, &reused_res];
+    println!(
+        "\n{:>20} {:>10} {:>12} {:>12} {:>12}",
+        "mode", "req/s", "p50", "p99", "wall"
+    );
+    for m in modes {
+        println!(
+            "{:>20} {:>10.1} {:>11.3}ms {:>11.3}ms {:>11.3}s",
+            m.name,
+            m.rps(),
+            m.percentile(0.50).as_secs_f64() * 1e3,
+            m.percentile(0.99).as_secs_f64() * 1e3,
+            m.wall.as_secs_f64()
+        );
+    }
+    let hit_rate = cache.hit_rate();
+    println!(
+        "plan cache: {} hits / {} misses ({:.1}% hit rate, {} entries)",
+        cache.hits,
+        cache.misses,
+        hit_rate * 100.0,
+        cache.entries
+    );
+    let pool = service.stats().pool;
+    println!(
+        "shared pool: {} jobs over {} sessions, per-session batches {:?}",
+        pool.jobs,
+        pool.sessions.len(),
+        pool.sessions.iter().map(|s| s.batches).collect::<Vec<_>>()
+    );
+    let service_wins = service_res.rps() > independent_res.rps();
+    let hit_rate_ok = hit_rate > 0.90;
+    println!("acceptance: service > independent: {service_wins}; hit rate > 90%: {hit_rate_ok}");
+
+    // ---- JSON snapshot ----
+    let mut json = String::from("{\n  \"figure\": \"serve_throughput\",\n");
+    json.push_str(&format!(
+        "  \"clients\": {clients},\n  \"requests_per_client\": {requests},\n  \
+         \"pipeline\": \"black_scholes\",\n  \"n\": {n},\n  \"workers\": {WORKERS},\n"
+    ));
+    json.push_str("  \"modes\": {\n");
+    for (i, m) in modes.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"requests\": {}, \"wall_seconds\": {:.6}, \
+             \"requests_per_second\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4} }}{}\n",
+            m.name,
+            m.requests(),
+            m.wall.as_secs_f64(),
+            m.rps(),
+            m.percentile(0.50).as_secs_f64() * 1e3,
+            m.percentile(0.99).as_secs_f64() * 1e3,
+            if i + 1 < modes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"plan_cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \
+         \"entries\": {} }},\n",
+        cache.hits, cache.misses, hit_rate, cache.entries
+    ));
+    json.push_str(&format!(
+        "  \"acceptance\": {{ \"service_beats_independent\": {service_wins}, \
+         \"hit_rate_gt_90\": {hit_rate_ok} }}\n}}\n"
+    ));
+    write_results("BENCH_serve.json", &json);
+    println!("wrote bench_results/BENCH_serve.json");
+}

@@ -212,7 +212,7 @@ impl AnnotationBuilder {
 /// Shorthand for a concrete split type expression.
 ///
 /// `ctor_args` are argument *names*, resolved against the argument list
-/// at build time by [`resolve_ctor_names`], or indices via
+/// at build time by the annotation tool, or indices via
 /// [`SplitTypeExpr::Concrete`] directly.
 pub fn concrete(splitter: Arc<dyn Splitter>, ctor_args: Vec<usize>) -> SplitTypeExpr {
     SplitTypeExpr::Concrete {

@@ -22,8 +22,8 @@ use crate::config::Config;
 use crate::error::{Error, Result};
 use crate::executor::execute_stage;
 use crate::graph::{DataflowGraph, FutureToken, Node, ValueEntry, ValueId, ValueOrigin};
-use crate::planner::plan_next_stage;
-use crate::pool::WorkerPool;
+use crate::planner::{plan_next_stage, PlanCache, PlanCacheStats, PlanRecorder};
+use crate::pool::{PoolHandle, WorkerPool};
 use crate::stats::{PhaseStats, PoolStats};
 use crate::value::{DataObject, DataValue};
 
@@ -33,11 +33,20 @@ struct State {
     graph: DataflowGraph,
     config: Config,
     stats: PhaseStats,
-    /// The context's persistent worker pool, created lazily on first
-    /// evaluation and kept across stages (and evaluations) so stage
-    /// execution never spawns threads. Rebuilt only if `config.workers`
-    /// changes.
-    pool: Option<WorkerPool>,
+    /// The context's own worker pool, created lazily on first evaluation
+    /// and kept across stages (and evaluations) so stage execution never
+    /// spawns threads. Rebuilt only if `config.workers` changes. Unused
+    /// (and never created) while a shared pool is attached.
+    pool: Option<PoolHandle>,
+    /// A shared pool attached with [`MozartContext::attach_pool`]; takes
+    /// precedence over the context-owned pool.
+    attached_pool: Option<PoolHandle>,
+    /// A shared plan cache attached with
+    /// [`MozartContext::attach_plan_cache`].
+    plan_cache: Option<Arc<PlanCache>>,
+    /// Session tag for shared-pool fairness accounting; defaults to the
+    /// context id.
+    session_tag: u64,
     /// Values whose storage is protected pending evaluation.
     protected: Vec<DataValue>,
     /// First evaluation error, if any, reported to later accessors.
@@ -77,14 +86,18 @@ impl Default for MozartContext {
 impl MozartContext {
     /// Create a context with the given configuration.
     pub fn new(config: Config) -> Self {
+        let id = CTX_COUNTER.fetch_add(1, Ordering::Relaxed);
         MozartContext {
             inner: Arc::new(ContextInner {
-                id: CTX_COUNTER.fetch_add(1, Ordering::Relaxed),
+                id,
                 state: Mutex::new(State {
                     graph: DataflowGraph::default(),
                     config,
                     stats: PhaseStats::default(),
                     pool: None,
+                    attached_pool: None,
+                    plan_cache: None,
+                    session_tag: id,
                     protected: Vec::new(),
                     poisoned: None,
                 }),
@@ -95,6 +108,42 @@ impl MozartContext {
     /// Create a context with `workers` threads and defaults otherwise.
     pub fn with_workers(workers: usize) -> Self {
         Self::new(Config::with_workers(workers))
+    }
+
+    /// Attach a shared worker pool. Stages of this context then run on
+    /// the shared threads (the evaluating thread still participates as
+    /// worker 0) instead of a context-owned pool — the serving setup,
+    /// where many sessions share one machine-sized pool rather than
+    /// oversubscribing the host with a pool per context. The number of
+    /// participants per stage is still capped by `config.workers`.
+    pub fn attach_pool(&self, pool: PoolHandle) -> &Self {
+        let mut st = self.inner.state.lock();
+        st.attached_pool = Some(pool);
+        st.pool = None;
+        self
+    }
+
+    /// Attach a shared plan cache (see [`PlanCache`]): evaluations whose
+    /// pending call graph fingerprints to a cached plan skip planning
+    /// and replay the memoized stage skeletons.
+    pub fn attach_plan_cache(&self, cache: Arc<PlanCache>) -> &Self {
+        self.inner.state.lock().plan_cache = Some(cache);
+        self
+    }
+
+    /// Set the session tag used for shared-pool fairness accounting
+    /// (defaults to the context id). Serving layers tag every request
+    /// context with its session so [`PoolStats::sessions`] aggregates
+    /// per client, not per short-lived context.
+    pub fn set_session_tag(&self, session: u64) -> &Self {
+        self.inner.state.lock().session_tag = session;
+        self
+    }
+
+    /// Counters of the attached plan cache, if any.
+    pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        let st = self.inner.state.lock();
+        st.plan_cache.as_ref().map(|c| c.stats())
     }
 
     /// Unique id of this context (used to tag lazy values).
@@ -238,12 +287,19 @@ impl MozartContext {
         self.inner.state.lock().stats
     }
 
-    /// Counters of the persistent worker pool (empty until the first
-    /// multi-worker stage runs). Counters reset if the pool is rebuilt
-    /// after a `set_config` call that changes the worker count.
+    /// Counters of the worker pool this context evaluates on — the
+    /// attached shared pool if one is set (counters then aggregate over
+    /// every context sharing it), otherwise the context-owned pool
+    /// (empty until the first multi-worker stage runs; counters reset if
+    /// the pool is rebuilt after a `set_config` call that changes the
+    /// worker count).
     pub fn pool_stats(&self) -> PoolStats {
         let st = self.inner.state.lock();
-        st.pool.as_ref().map(WorkerPool::stats).unwrap_or_default()
+        st.attached_pool
+            .as_ref()
+            .or(st.pool.as_ref())
+            .map(|p| WorkerPool::stats(p))
+            .unwrap_or_default()
     }
 
     /// Take and reset the phase statistics.
@@ -280,20 +336,88 @@ fn evaluate_locked(inner: &ContextInner, st: &mut State) -> Result<()> {
 
     // Make sure the persistent pool matches the configured parallelism:
     // the calling thread participates in every stage, so the pool holds
-    // `workers - 1` threads. Created once and reused across stages. The
+    // `workers - 1` threads. An attached shared pool always wins — the
+    // whole point of sharing is that this context spawns nothing. The
     // spawn-per-stage ablation (`reuse_pool = false`) must not own idle
     // pool threads, or it would misrepresent the no-pool baseline.
-    if st.config.reuse_pool {
+    if st.attached_pool.is_some() {
+        st.pool = None;
+    } else if st.config.reuse_pool {
         let want_pool_workers = st.config.workers.max(1) - 1;
         let pool_matches = st
             .pool
             .as_ref()
             .is_some_and(|p| p.pool_workers() == want_pool_workers);
         if !pool_matches {
-            st.pool = Some(WorkerPool::new(want_pool_workers));
+            st.pool = Some(PoolHandle::new(want_pool_workers));
         }
     } else {
         st.pool = None;
+    }
+
+    // Plan-cache lookup: fingerprint the pending segment once per
+    // evaluation. A hit replays the memoized stage skeletons (re-binding
+    // materialized values, re-validating element totals before anything
+    // runs); a miss plans from scratch while recording, and inserts the
+    // segment's plan when every stage executed cleanly.
+    let cache = st.plan_cache.clone();
+    let mut recorder: Option<PlanRecorder> = None;
+    if let Some(cache) = &cache {
+        let t1 = Instant::now();
+        let shape = st.graph.pending_shape();
+        st.stats.planner += t1.elapsed();
+        if let Some(mut shape) = shape {
+            // Mix planning-relevant configuration into the key: the
+            // `pipeline` ablation changes stage grouping, so a plan
+            // recorded under one setting must never replay under the
+            // other (one shared cache can serve contexts with both).
+            if !st.config.pipeline {
+                shape.fingerprint ^= 0x9e37_79b9_7f4a_7c15;
+            }
+            match cache.lookup(shape.fingerprint) {
+                Some(plan) if plan.nodes_total == st.graph.pending_nodes() => {
+                    let mut replayed = true;
+                    for idx in 0..plan.stage_count() {
+                        let t1 = Instant::now();
+                        let bound = plan.bind_stage(idx, &st.graph, &shape.values);
+                        st.stats.planner += t1.elapsed();
+                        match bound {
+                            Ok(stage) => {
+                                if let Err(e) = execute_locked(st, &stage) {
+                                    // Execution failures poison the
+                                    // context either way; drop the entry
+                                    // so the next identical request
+                                    // replans instead of replaying.
+                                    cache.invalidate(shape.fingerprint);
+                                    cache.note_miss();
+                                    return Err(e);
+                                }
+                            }
+                            Err(_) => {
+                                // Bind-time validation failed (shape
+                                // drifted under an identical
+                                // fingerprint): invalidate and fall back
+                                // to fresh planning — always sound,
+                                // since planning depends only on
+                                // `graph.next_unplanned`.
+                                cache.invalidate(shape.fingerprint);
+                                replayed = false;
+                                break;
+                            }
+                        }
+                    }
+                    if replayed {
+                        cache.note_hit();
+                    } else {
+                        cache.note_miss();
+                    }
+                }
+                _ => {
+                    cache.note_miss();
+                    recorder = Some(PlanRecorder::new(&shape));
+                }
+            }
+        }
     }
 
     while !st.graph.fully_executed() {
@@ -308,18 +432,37 @@ fn evaluate_locked(inner: &ContextInner, st: &mut State) -> Result<()> {
                 return Err(e);
             }
         };
-        // Borrow split: executor needs &mut graph + &config + &mut stats.
-        let State {
-            graph,
-            config,
-            stats,
-            pool,
-            ..
-        } = st;
-        if let Err(e) = execute_stage(graph, &stage, config, stats, pool.as_ref()) {
-            st.poisoned = Some(e.clone());
-            return Err(e);
+        if let Some(r) = &mut recorder {
+            r.record(&stage, &st.graph);
         }
+        execute_locked(st, &stage)?;
+    }
+    if let (Some(cache), Some(recorder)) = (cache, recorder) {
+        let fingerprint = recorder.fingerprint();
+        if let Some(plan) = recorder.finish() {
+            cache.insert(fingerprint, plan);
+        }
+    }
+    Ok(())
+}
+
+/// Execute one planned stage against the locked state, poisoning the
+/// context on failure.
+fn execute_locked(st: &mut State, stage: &crate::planner::StagePlan) -> Result<()> {
+    // Borrow split: executor needs &mut graph + &config + &mut stats.
+    let State {
+        graph,
+        config,
+        stats,
+        pool,
+        attached_pool,
+        session_tag,
+        ..
+    } = st;
+    let pool = attached_pool.as_ref().or(pool.as_ref()).map(|h| &**h);
+    if let Err(e) = execute_stage(graph, stage, config, stats, pool, *session_tag) {
+        st.poisoned = Some(e.clone());
+        return Err(e);
     }
     Ok(())
 }

@@ -21,7 +21,7 @@
 //! * **The driver loop is hash-free.** The planner assigns every
 //!   stage-local value a dense `u32` slot at plan time
 //!   ([`StagePlan::slots`]); arguments, returns, and mut-aliases are
-//!   resolved to slot offsets once per stage in [`build_exec_stage`],
+//!   resolved to slot offsets once per stage in `build_exec_stage`,
 //!   and the per-batch loop indexes a flat `Vec<Option<DataValue>>`.
 //!   Broadcast (`_`-typed) values are written once per worker, not once
 //!   per batch.
@@ -110,31 +110,41 @@ pub(crate) struct WorkerOut {
     merge: Duration,
     pub(crate) batches: u64,
     calls: u64,
+    /// Cursor claims (each covering a guided span of >= 1 batches).
+    pub(crate) claims: u64,
     /// Batches this worker claimed that static partitioning would have
     /// assigned to a different worker.
     pub(crate) stolen: u64,
 }
 
 /// Execute one stage, materializing its outputs into the graph.
+///
+/// `session` tags the pool job for per-session fairness accounting when
+/// the pool is shared between contexts (see
+/// [`PoolStats::sessions`](crate::stats::PoolStats)).
 pub fn execute_stage(
     graph: &mut DataflowGraph,
     stage: &StagePlan,
     config: &Config,
     stats: &mut PhaseStats,
     pool: Option<&WorkerPool>,
+    session: u64,
 ) -> Result<()> {
     let stage_idx = stats.stages;
     let exec = build_exec_stage(graph, stage, config)?;
-    let job = Job::new(exec);
+    let job = Job::new(exec, session);
 
     let outs: Vec<WorkerOut> = if job.exec.participants <= 1 {
         vec![run_worker(&job.exec, &job.cursor, &job.failed, 0)?]
-    } else if config.reuse_pool {
-        let pool = pool.expect("context creates the pool when reuse_pool is set");
+    } else if let Some(pool) = pool {
+        // Whatever `config.reuse_pool` says, a provided pool is used:
+        // an attached shared pool must never be bypassed by a session
+        // config that happens to disable context-owned pools.
         pool.run_stage(&job)?
     } else {
-        // Spawn-per-stage ablation for the fig5 overhead benchmark; the
-        // context owns no pool in this mode.
+        // Spawn-per-stage ablation for the fig5 overhead benchmark
+        // (`reuse_pool = false`, no attached pool): the context owns no
+        // pool in this mode.
         run_stage_scoped(&job)?
     };
     let exec = &job.exec;
@@ -157,7 +167,13 @@ pub fn execute_stage(
         }
         runs.sort_by_key(|r| r.start);
         let pieces: Vec<DataValue> = runs.into_iter().map(|r| r.piece.clone()).collect();
-        let merged = mo.instance.splitter.merge(pieces, &mo.instance.params)?;
+        // Merge-size hint (ROADMAP): the final merged value covers the
+        // stage's whole element range, so concat-style mergers can
+        // preallocate once instead of growing per piece.
+        let merged =
+            mo.instance
+                .splitter
+                .merge_hinted(pieces, &mo.instance.params, exec.total_elements)?;
         let entry = &mut graph.values[mo.value.0 as usize];
         entry.data = Some(merged);
         entry.ready = true;
@@ -308,6 +324,7 @@ pub(crate) fn run_worker(
         merge: Duration::ZERO,
         batches: 0,
         calls: 0,
+        claims: 0,
         stolen: 0,
     };
     // Raw pieces per merge output, tagged `(start, end, piece)`. Claims
@@ -328,110 +345,134 @@ pub(crate) fn run_worker(
         if failed.load(Ordering::Relaxed) {
             break;
         }
-        let start = cursor.fetch_add(exec.batch, Ordering::Relaxed);
+        // Guided claim spans (ROADMAP): while many batches remain, claim
+        // `remaining / (2 · participants)` batches per `fetch_add` so the
+        // cursor cache line is touched O(workers · log batches) times
+        // instead of once per batch; the halving keeps the tail fine-
+        // grained for load balance. The estimate reads a possibly stale
+        // cursor, which only affects span length, never claim ownership.
+        let batch = exec.batch.max(1);
+        let span_batches = {
+            let pos = cursor.load(Ordering::Relaxed);
+            if pos >= exec.total_elements {
+                break;
+            }
+            let remaining = (exec.total_elements - pos).div_ceil(batch);
+            (remaining / (2 * exec.participants.max(1) as u64)).max(1)
+        };
+        let start = cursor.fetch_add(span_batches * batch, Ordering::Relaxed);
         if start >= exec.total_elements {
             break;
         }
-        let end = (start + exec.batch).min(exec.total_elements);
+        let claim_end = (start + span_batches * batch).min(exec.total_elements);
+        out.claims += 1;
+        let mut start = start;
+        while start < claim_end {
+            if failed.load(Ordering::Relaxed) {
+                break 'driver;
+            }
+            let end = (start + batch).min(claim_end);
 
-        // Split every input for this batch.
-        let t0 = Instant::now();
-        for &s in &exec.produced_slots {
-            slots[s as usize] = None;
-        }
-        let mut produced = 0usize;
-        for input in &exec.inputs {
-            match input
-                .instance
-                .splitter
-                .split(&input.data, start..end, &input.instance.params)?
-            {
-                Some(piece) => {
-                    slots[input.slot as usize] = Some(piece);
-                    produced += 1;
-                }
-                None => {
-                    if exec.pedantic && produced > 0 {
-                        return Err(Error::Pedantic(format!(
-                            "split type {} returned NULL for elements [{start}, {end}) \
-                             while other inputs produced pieces",
-                            input.instance.splitter.name()
-                        )));
+            // Split every input for this batch.
+            let t0 = Instant::now();
+            for &s in &exec.produced_slots {
+                slots[s as usize] = None;
+            }
+            let mut produced = 0usize;
+            for input in &exec.inputs {
+                match input.instance.splitter.split(
+                    &input.data,
+                    start..end,
+                    &input.instance.params,
+                )? {
+                    Some(piece) => {
+                        slots[input.slot as usize] = Some(piece);
+                        produced += 1;
                     }
-                    // The paper's NULL return: no data here, stop claiming.
-                    out.split += t0.elapsed();
-                    break 'driver;
+                    None => {
+                        if exec.pedantic && produced > 0 {
+                            return Err(Error::Pedantic(format!(
+                                "split type {} returned NULL for elements [{start}, {end}) \
+                             while other inputs produced pieces",
+                                input.instance.splitter.name()
+                            )));
+                        }
+                        // The paper's NULL return: no data here, stop claiming.
+                        out.split += t0.elapsed();
+                        break 'driver;
+                    }
                 }
             }
-        }
-        out.split += t0.elapsed();
+            out.split += t0.elapsed();
 
-        // Run the pipeline on this batch's pieces.
-        let t1 = Instant::now();
-        for node in &exec.nodes {
-            let mut args: Vec<DataValue> = Vec::with_capacity(node.args.len());
-            for &slot in &node.args {
-                match &slots[slot as usize] {
-                    Some(piece) => args.push(piece.clone()),
-                    None => return Err(Error::ValueUnavailable),
+            // Run the pipeline on this batch's pieces.
+            let t1 = Instant::now();
+            for node in &exec.nodes {
+                let mut args: Vec<DataValue> = Vec::with_capacity(node.args.len());
+                for &slot in &node.args {
+                    match &slots[slot as usize] {
+                        Some(piece) => args.push(piece.clone()),
+                        None => return Err(Error::ValueUnavailable),
+                    }
                 }
-            }
-            if exec.log_calls {
-                eprintln!(
+                if exec.log_calls {
+                    eprintln!(
                     "mozart: worker {worker_idx} call {} on elements [{start}, {end}) ({} args)",
                     node.name,
                     args.len()
                 );
-            }
-            let inv = Invocation {
-                function: node.name,
-                args: &args,
-            };
-            let ret = (node.func)(&inv)?;
-            for &(arg_idx, mv_slot) in &node.mut_alias {
-                slots[mv_slot as usize] = Some(args[arg_idx].clone());
-            }
-            match (ret, node.ret) {
-                (Some(piece), Some(rv_slot)) => {
-                    slots[rv_slot as usize] = Some(piece);
                 }
-                (None, None) => {}
-                (None, Some(_)) => {
-                    return Err(Error::Library(format!(
-                        "{} is annotated with a return split type but returned nothing",
-                        node.name
-                    )))
+                let inv = Invocation {
+                    function: node.name,
+                    args: &args,
+                };
+                let ret = (node.func)(&inv)?;
+                for &(arg_idx, mv_slot) in &node.mut_alias {
+                    slots[mv_slot as usize] = Some(args[arg_idx].clone());
                 }
-                (Some(_), None) => {
-                    return Err(Error::Library(format!(
-                        "{} returned a value but its annotation declares none",
-                        node.name
-                    )))
+                match (ret, node.ret) {
+                    (Some(piece), Some(rv_slot)) => {
+                        slots[rv_slot as usize] = Some(piece);
+                    }
+                    (None, None) => {}
+                    (None, Some(_)) => {
+                        return Err(Error::Library(format!(
+                            "{} is annotated with a return split type but returned nothing",
+                            node.name
+                        )))
+                    }
+                    (Some(_), None) => {
+                        return Err(Error::Library(format!(
+                            "{} returned a value but its annotation declares none",
+                            node.name
+                        )))
+                    }
                 }
+                out.calls += 1;
             }
-            out.calls += 1;
-        }
-        out.task += t1.elapsed();
+            out.task += t1.elapsed();
 
-        // Stash pieces of observable outputs ("moved to a list of
-        // partial results", §5.2), tagged with their element range.
-        for (i, mo) in exec.merge_outputs.iter().enumerate() {
-            match &slots[mo.slot as usize] {
-                Some(piece) => pending[i].push((start, end, piece.clone())),
-                None if exec.pedantic => {
-                    return Err(Error::Pedantic(format!(
-                        "output of split type {} missing after batch [{start}, {end})",
-                        mo.instance.splitter.name()
-                    )))
+            // Stash pieces of observable outputs ("moved to a list of
+            // partial results", §5.2), tagged with their element range.
+            for (i, mo) in exec.merge_outputs.iter().enumerate() {
+                match &slots[mo.slot as usize] {
+                    Some(piece) => pending[i].push((start, end, piece.clone())),
+                    None if exec.pedantic => {
+                        return Err(Error::Pedantic(format!(
+                            "output of split type {} missing after batch [{start}, {end})",
+                            mo.instance.splitter.name()
+                        )))
+                    }
+                    None => {}
                 }
-                None => {}
             }
-        }
 
-        if start / static_share != worker_idx as u64 {
-            out.stolen += 1;
+            if start / static_share != worker_idx as u64 {
+                out.stolen += 1;
+            }
+            out.batches += 1;
+            start = end;
         }
-        out.batches += 1;
     }
 
     // Worker-local merge (§5.2 step 3, first level). Commutative merges
@@ -456,7 +497,8 @@ fn local_merge(mo: &MergeOutput, pieces: Vec<(u64, u64, DataValue)>) -> Result<V
     }
     if mo.commutative {
         let start = pieces[0].0;
-        let piece = merge_group(mo, pieces.into_iter().map(|p| p.2).collect())?;
+        let covered: u64 = pieces.iter().map(|(s, e, _)| e - s).sum();
+        let piece = merge_group(mo, pieces.into_iter().map(|p| p.2).collect(), covered)?;
         return Ok(vec![PieceRun { start, piece }]);
     }
     let mut runs = Vec::new();
@@ -467,7 +509,7 @@ fn local_merge(mo: &MergeOutput, pieces: Vec<(u64, u64, DataValue)>) -> Result<V
         if !group.is_empty() && start != group_end {
             runs.push(PieceRun {
                 start: group_start,
-                piece: merge_group(mo, std::mem::take(&mut group))?,
+                piece: merge_group(mo, std::mem::take(&mut group), group_end - group_start)?,
             });
         }
         if group.is_empty() {
@@ -479,16 +521,19 @@ fn local_merge(mo: &MergeOutput, pieces: Vec<(u64, u64, DataValue)>) -> Result<V
     if !group.is_empty() {
         runs.push(PieceRun {
             start: group_start,
-            piece: merge_group(mo, group)?,
+            piece: merge_group(mo, group, group_end - group_start)?,
         });
     }
     Ok(runs)
 }
 
-/// Merge a group of pieces, skipping the library call for singletons.
-fn merge_group(mo: &MergeOutput, mut group: Vec<DataValue>) -> Result<DataValue> {
+/// Merge a group of pieces covering `elements` elements, skipping the
+/// library call for singletons.
+fn merge_group(mo: &MergeOutput, mut group: Vec<DataValue>, elements: u64) -> Result<DataValue> {
     if group.len() == 1 {
         return Ok(group.pop().expect("len checked"));
     }
-    mo.instance.splitter.merge(group, &mo.instance.params)
+    mo.instance
+        .splitter
+        .merge_hinted(group, &mo.instance.params, elements)
 }

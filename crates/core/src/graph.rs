@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Weak};
 
-use crate::annotation::Annotation;
+use crate::annotation::{Annotation, SplitTypeExpr};
 use crate::value::{DataIdentity, DataValue};
 
 /// Index of a value in the graph.
@@ -171,6 +171,193 @@ impl DataflowGraph {
     /// Pending returned values have no captured data.
     pub fn captured_data(&self, id: ValueId) -> Option<&DataValue> {
         self.values.get(id.0 as usize)?.data.as_ref()
+    }
+
+    /// Canonicalize the pending segment (the nodes registered but not
+    /// yet executed) into a [`SegmentShape`]: a structural fingerprint
+    /// plus a canonical numbering of every value the segment touches.
+    ///
+    /// Two graphs whose pending segments call the same annotations in
+    /// the same dependency pattern over values of the same shapes (and,
+    /// for scalars, the same values) produce equal fingerprints and
+    /// matching canonical numberings, even across different contexts —
+    /// this is what lets the [plan cache](crate::planner::PlanCache)
+    /// replay a plan recorded in one session for a request arriving in
+    /// another.
+    ///
+    /// Returns `None` when nothing is pending, or when some external
+    /// value's shape cannot be characterized (no default splitter and
+    /// not a known scalar) — such segments are simply not cacheable.
+    pub fn pending_shape(&self) -> Option<SegmentShape> {
+        if self.fully_executed() {
+            return None;
+        }
+        let mut h = Fnv::new();
+        let mut numbering: HashMap<ValueId, u32> = HashMap::new();
+        let mut values: Vec<ValueId> = Vec::new();
+        let mut externals: Vec<bool> = Vec::new();
+        let mut intern =
+            |v: ValueId, values: &mut Vec<ValueId>, externals: &mut Vec<bool>, ext: bool| {
+                match numbering.get(&v) {
+                    Some(&c) => (c, false),
+                    None => {
+                        let c = values.len() as u32;
+                        numbering.insert(v, c);
+                        values.push(v);
+                        externals.push(ext);
+                        (c, true)
+                    }
+                }
+            };
+        for node in &self.nodes[self.next_unplanned..] {
+            // Annotation identity: the pointer (annotations are built
+            // once and live in statics in the generated-wrapper idiom)
+            // plus the name, as insurance against address reuse by
+            // short-lived dynamic annotations.
+            h.usize(Arc::as_ptr(&node.annot) as *const () as usize);
+            h.bytes(node.annot.name.as_bytes());
+            for (i, spec) in node.annot.args.iter().enumerate() {
+                h.u64(spec.mutable as u64);
+                hash_expr(&mut h, &spec.ty);
+                let vid = node.args[i];
+                let (c, first) = intern(vid, &mut values, &mut externals, true);
+                h.u64(c as u64);
+                if first {
+                    // A value first seen as an argument was produced
+                    // outside the segment: its shape is part of the key.
+                    self.hash_external(&mut h, vid)?;
+                }
+            }
+            for mv in node.mut_out.iter().flatten() {
+                let (c, _) = intern(*mv, &mut values, &mut externals, false);
+                h.u64(0x4d55_5456 ^ c as u64); // "MUTV"
+            }
+            match (&node.annot.ret, node.ret) {
+                (Some(expr), Some(rv)) => {
+                    hash_expr(&mut h, expr);
+                    let (c, _) = intern(rv, &mut values, &mut externals, false);
+                    h.u64(0x5245_5456 ^ c as u64); // "RETV"
+                }
+                _ => h.u64(0),
+            }
+        }
+        h.u64(self.pending_nodes() as u64);
+        Some(SegmentShape {
+            fingerprint: h.finish(),
+            values,
+            externals,
+        })
+    }
+
+    /// Hash the shape signature of a value produced outside the pending
+    /// segment. Returns `None` (uncacheable) when the value has no data
+    /// yet or no way to characterize its shape.
+    fn hash_external(&self, h: &mut Fnv, vid: ValueId) -> Option<()> {
+        use crate::value::{BoolValue, FloatValue, IntValue, StrValue};
+        let data = self.captured_data(vid)?;
+        h.bytes(data.type_name().as_bytes());
+        // Scalars hash by value: they feed split type constructors
+        // (array lengths, matrix dims) and function behavior directly.
+        if let Some(i) = data.downcast_ref::<IntValue>() {
+            h.u64(1);
+            h.u64(i.0 as u64);
+            return Some(());
+        }
+        if let Some(x) = data.downcast_ref::<FloatValue>() {
+            h.u64(2);
+            h.u64(x.0.to_bits());
+            return Some(());
+        }
+        if let Some(b) = data.downcast_ref::<BoolValue>() {
+            h.u64(3);
+            h.u64(b.0 as u64);
+            return Some(());
+        }
+        if let Some(s) = data.downcast_ref::<StrValue>() {
+            h.u64(4);
+            h.bytes(s.0.as_bytes());
+            return Some(());
+        }
+        // Library values hash by their default split type's parameters —
+        // the annotator's own shape characterization (lengths, rows,
+        // dimensions). No default splitter means no shape key: refuse to
+        // cache rather than risk replaying a stale plan.
+        let inst = crate::registry::default_instance_for(data).ok()?;
+        h.u64(5);
+        h.bytes(inst.splitter.name().as_bytes());
+        for p in &inst.params {
+            h.u64(*p as u64);
+        }
+        Some(())
+    }
+}
+
+/// Canonical shape of a graph's pending segment: the plan-cache key and
+/// the mapping from canonical value numbers back to this graph's
+/// [`ValueId`]s (see [`DataflowGraph::pending_shape`]).
+pub struct SegmentShape {
+    /// Structural fingerprint of the segment.
+    pub fingerprint: u64,
+    /// Canonical number → [`ValueId`] in this graph, in first-use order.
+    pub values: Vec<ValueId>,
+    /// Per canonical number: whether the value was produced *outside*
+    /// the segment (its shape — and, for scalars, its value — is pinned
+    /// by the fingerprint). Internal values (returns and mut-versions of
+    /// pending nodes) are only pinned structurally, so cached split
+    /// parameters derived from them are not trustworthy unless they can
+    /// be re-derived from the bound data at replay time.
+    pub externals: Vec<bool>,
+}
+
+fn hash_expr(h: &mut Fnv, expr: &SplitTypeExpr) {
+    match expr {
+        SplitTypeExpr::Concrete {
+            splitter,
+            ctor_args,
+        } => {
+            h.u64(0x10);
+            h.bytes(splitter.name().as_bytes());
+            for a in ctor_args {
+                h.u64(*a as u64);
+            }
+        }
+        SplitTypeExpr::Generic(g) => {
+            h.u64(0x20);
+            h.u64(*g as u64);
+        }
+        SplitTypeExpr::Missing => h.u64(0x30),
+        SplitTypeExpr::Unknown { merger } => {
+            h.u64(0x40);
+            h.bytes(merger.name().as_bytes());
+        }
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, deterministic, dependency-free.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 

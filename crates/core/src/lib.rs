@@ -14,13 +14,13 @@
 //!    info, Table 1 of the paper), and
 //! 2. attaches an [`Annotation`] to each side-effect-free function,
 //!    assigning each argument and return value a
-//!    [`SplitTypeExpr`](annotation::SplitTypeExpr).
+//!    [`SplitTypeExpr`].
 //!
 //! At runtime, wrapper functions register calls with a [`MozartContext`]
 //! (the paper's `libmozart`), which lazily captures a dataflow graph.
-//! When a lazy value is accessed, the [planner](planner) groups
+//! When a lazy value is accessed, the [planner] groups
 //! compatible calls into *stages* using split type equality and type
-//! inference, and the [executor](executor) splits stage inputs into
+//! inference, and the [executor] splits stage inputs into
 //! batches sized to the L2 cache, pipelines each batch through every
 //! function in the stage on one worker thread, and merges the partial
 //! results.
@@ -57,6 +57,44 @@
 //! // Reading the buffer forces evaluation (the paper's mprotect trick).
 //! assert_eq!(data.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
 //! ```
+//!
+//! ## Serving pipelines
+//!
+//! A context no longer has to own its threads or replan every
+//! evaluation — the primitives behind the `mozart-serve` crate's
+//! multi-tenant [`PipelineService`] live here:
+//!
+//! * [`PoolHandle`] / [`global_pool`]: a shareable worker pool. Any
+//!   number of contexts [`attach_pool`](MozartContext::attach_pool) the
+//!   same handle; concurrently submitted stages queue FIFO on one
+//!   machine-sized thread set instead of oversubscribing the host with
+//!   a pool per context, with per-session usage accounted in
+//!   [`PoolStats::sessions`].
+//! * [`PlanCache`]: evaluations fingerprint their pending call graph
+//!   ([`graph::DataflowGraph::pending_shape`]) and replay memoized
+//!   stage skeletons on a hit, re-binding only the materialized values;
+//!   shape or split-type changes change the fingerprint, so stale plans
+//!   never replay. Attach with
+//!   [`attach_plan_cache`](MozartContext::attach_plan_cache).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mozart_core::prelude::*;
+//!
+//! let pool = PoolHandle::new(1); // shared by every session below
+//! let cache = Arc::new(PlanCache::new(64));
+//! let session_ctx = MozartContext::with_workers(2);
+//! session_ctx.attach_pool(pool.clone());
+//! session_ctx.attach_plan_cache(cache.clone());
+//! session_ctx.set_session_tag(42); // fairness accounting key
+//! ```
+//!
+//! See the `mozart-serve` crate for the full service front-end
+//! (sessions, admission control, the TCP example) and
+//! `crates/bench/benches/serve_throughput.rs` for the closed-loop
+//! serving benchmark.
+//!
+//! [`PipelineService`]: https://docs.rs/mozart-serve
 
 #![warn(missing_docs)]
 
@@ -81,9 +119,10 @@ pub use buffer::{ProtectFlag, SharedVec, SliceView, VecValue};
 pub use config::Config;
 pub use context::{Future, FutureHandle, MozartContext};
 pub use error::{Error, Result};
-pub use pool::WorkerPool;
+pub use planner::{PlanCache, PlanCacheStats};
+pub use pool::{global_pool, PoolHandle, WorkerPool, OVERFLOW_SESSION};
 pub use split::{Params, RuntimeInfo, SizeSplit, SplitInstance, Splitter};
-pub use stats::{PhaseStats, PoolStats};
+pub use stats::{PhaseStats, PoolStats, SessionPoolStats};
 pub use value::{BoolValue, DataValue, FloatValue, IntValue, StrValue};
 
 /// Convenient glob-import surface for integrations and applications.
@@ -94,7 +133,10 @@ pub mod prelude {
     pub use crate::config::Config;
     pub use crate::context::{Future, FutureHandle, MozartContext};
     pub use crate::error::{Error, Result};
+    pub use crate::planner::{PlanCache, PlanCacheStats};
+    pub use crate::pool::{global_pool, PoolHandle};
     pub use crate::registry::register_default_splitter;
     pub use crate::split::{Params, RuntimeInfo, SizeSplit, SplitInstance, Splitter};
+    pub use crate::stats::{PhaseStats, PoolStats, SessionPoolStats};
     pub use crate::value::{BoolValue, DataValue, FloatValue, IntValue, StrValue};
 }

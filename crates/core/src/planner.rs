@@ -15,11 +15,13 @@
 //! stage is planned, the value is materialized.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::annotation::{GenericId, SplitTypeExpr};
 use crate::config::Config;
 use crate::error::{Error, Result};
-use crate::graph::{DataflowGraph, NodeId, ValueId};
+use crate::graph::{DataflowGraph, NodeId, SegmentShape, ValueId};
 use crate::registry::default_instance_for;
 use crate::split::SplitInstance;
 use crate::value::DataValue;
@@ -462,5 +464,417 @@ fn finish_stage(graph: &DataflowGraph, b: StageBuilder) -> StagePlan {
         outputs,
         slots,
         num_slots,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plan cache: memoized stage skeletons keyed by graph fingerprint.
+// ---------------------------------------------------------------------
+
+/// One stage input as recorded in a cached plan.
+struct CachedInput {
+    /// Canonical value number (see [`DataflowGraph::pending_shape`]).
+    value: u32,
+    /// The split instance as planned in the recording run.
+    instance: SplitInstance,
+    /// Whether the instance's parameters can be re-derived from the
+    /// bound value via [`crate::split::Splitter::default_params`]. Set
+    /// at record time iff re-derivation reproduced the planned
+    /// parameters, so replays rebind against *current* data where the
+    /// splitter supports it and fall back to recorded parameters where
+    /// it does not (e.g. `MatrixSplit`, whose dimensions come from
+    /// scalar arguments that the fingerprint already pins).
+    rederive: bool,
+}
+
+/// One stage output as recorded in a cached plan. The Merge-vs-Discard
+/// decision is *not* recorded: it depends on whether the application
+/// still holds a `Future` for the value, which is re-evaluated at bind
+/// time exactly like [`finish_stage`] does.
+struct CachedOutput {
+    value: u32,
+    instance: SplitInstance,
+    in_place: bool,
+}
+
+/// The memoized skeleton of one planned stage, with every value
+/// reference rewritten to canonical numbers.
+struct CachedStage {
+    node_count: usize,
+    inputs: Vec<CachedInput>,
+    broadcast: Vec<u32>,
+    outputs: Vec<CachedOutput>,
+    slots: Vec<(u32, u32)>,
+    num_slots: u32,
+}
+
+/// A fully recorded segment plan.
+pub(crate) struct CachedPlan {
+    stages: Vec<CachedStage>,
+    /// Total nodes the stages consume; must equal the pending-node
+    /// count of the graph being replayed (guards fingerprint
+    /// collisions).
+    pub(crate) nodes_total: usize,
+}
+
+/// Counters and size of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Evaluations fully replayed from a cached plan.
+    pub hits: u64,
+    /// Evaluations that planned from scratch (no entry, shape changed,
+    /// or a replay failed validation mid-way).
+    pub misses: u64,
+    /// Entries dropped because replay validation rejected them.
+    pub invalidations: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+impl PlanCacheStats {
+    /// Fraction of evaluations served from cache (0 when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A shareable cache of planned stage skeletons, keyed by the
+/// [fingerprint](DataflowGraph::pending_shape) of a graph's pending
+/// segment.
+///
+/// Attach one cache to many contexts (`MozartContext::attach_plan_cache`)
+/// — typically one per serving process — and repeated, structurally
+/// identical pipelines skip split-type inference and stage grouping
+/// entirely: the planner returns the memoized skeletons, re-binding only
+/// the materialized values (and re-validating element counts before
+/// anything executes). A shape change — different array lengths, a
+/// different split type, a different call sequence — changes the
+/// fingerprint, so stale plans are not replayed; entries that fail
+/// bind-time validation are additionally invalidated eagerly.
+///
+/// Caching is refused (the segment simply plans fresh every time) when
+/// a value's shape cannot be characterized (no default splitter, not a
+/// known scalar) or when a planned split instance derives parameters
+/// from values computed *inside* the evaluation that cannot be
+/// re-derived from the bound data at replay time. Residual assumption:
+/// a splitter whose `default_params` fails (e.g. matrix splits) must
+/// take its constructor arguments from evaluation inputs — which the
+/// fingerprint pins by value — not from computed intermediates attached
+/// to a different input value.
+pub struct PlanCache {
+    entries: Mutex<HashMap<u64, std::sync::Arc<CachedPlan>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new(256)
+    }
+}
+
+impl PlanCache {
+    /// Create a cache bounded to `capacity` plans. At capacity, an
+    /// arbitrary entry is evicted per insertion.
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: lock(&self.entries).len(),
+        }
+    }
+
+    pub(crate) fn lookup(&self, fingerprint: u64) -> Option<std::sync::Arc<CachedPlan>> {
+        lock(&self.entries).get(&fingerprint).cloned()
+    }
+
+    pub(crate) fn insert(&self, fingerprint: u64, plan: CachedPlan) {
+        let mut entries = lock(&self.entries);
+        if entries.len() >= self.capacity && !entries.contains_key(&fingerprint) {
+            if let Some(&evict) = entries.keys().next() {
+                entries.remove(&evict);
+            }
+        }
+        entries.insert(fingerprint, std::sync::Arc::new(plan));
+    }
+
+    pub(crate) fn invalidate(&self, fingerprint: u64) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        lock(&self.entries).remove(&fingerprint);
+    }
+
+    pub(crate) fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Records the stages of one freshly planned segment for insertion into
+/// a [`PlanCache`].
+pub(crate) struct PlanRecorder {
+    fingerprint: u64,
+    /// ValueId → canonical number, from the segment shape.
+    numbering: HashMap<ValueId, u32>,
+    /// ValueIds produced outside the segment (fingerprint-pinned).
+    external: std::collections::HashSet<ValueId>,
+    stages: Vec<CachedStage>,
+    nodes_total: usize,
+    /// Set if a stage referenced a value outside the canonical
+    /// numbering, or planned a split instance whose parameters can
+    /// neither be re-derived from data nor trusted across replays; the
+    /// segment is then not recorded.
+    poisoned: bool,
+}
+
+impl PlanRecorder {
+    pub(crate) fn new(shape: &SegmentShape) -> PlanRecorder {
+        PlanRecorder {
+            fingerprint: shape.fingerprint,
+            numbering: shape
+                .values
+                .iter()
+                .enumerate()
+                .map(|(c, v)| (*v, c as u32))
+                .collect(),
+            external: shape
+                .values
+                .iter()
+                .zip(&shape.externals)
+                .filter(|(_, &ext)| ext)
+                .map(|(v, _)| *v)
+                .collect(),
+            stages: Vec::new(),
+            nodes_total: 0,
+            poisoned: false,
+        }
+    }
+
+    pub(crate) fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Record one planned stage. `graph` supplies the data the planner
+    /// bound, used to decide per input whether parameters are
+    /// re-derivable at replay time.
+    pub(crate) fn record(&mut self, plan: &StagePlan, graph: &DataflowGraph) {
+        if self.poisoned {
+            return;
+        }
+        let canon = |v: ValueId, poisoned: &mut bool| -> u32 {
+            match self.numbering.get(&v) {
+                Some(&c) => c,
+                None => {
+                    *poisoned = true;
+                    0
+                }
+            }
+        };
+        let mut poisoned = false;
+        let stage = CachedStage {
+            node_count: plan.nodes.len(),
+            inputs: plan
+                .inputs
+                .iter()
+                .map(|(v, inst)| {
+                    let rederive = !inst.is_unknown()
+                        && graph
+                            .value_data(*v)
+                            .and_then(|d| inst.splitter.default_params(d).ok())
+                            .is_some_and(|p| p == inst.params);
+                    // A non-re-derivable instance over a value computed
+                    // *inside* the segment (the interleaved-planning
+                    // case: constructor args depending on earlier
+                    // stages' results) carries parameters the
+                    // fingerprint does not pin — refuse to cache the
+                    // segment rather than risk replaying stale params.
+                    if !rederive && !self.external.contains(v) {
+                        poisoned = true;
+                    }
+                    CachedInput {
+                        value: canon(*v, &mut poisoned),
+                        instance: inst.clone(),
+                        rederive,
+                    }
+                })
+                .collect(),
+            broadcast: plan
+                .broadcast
+                .iter()
+                .map(|v| canon(*v, &mut poisoned))
+                .collect(),
+            outputs: plan
+                .outputs
+                .iter()
+                .map(|o| CachedOutput {
+                    value: canon(o.value, &mut poisoned),
+                    instance: o.instance.clone(),
+                    in_place: o.kind == OutputKind::InPlace,
+                })
+                .collect(),
+            slots: plan
+                .slots
+                .iter()
+                .map(|(v, s)| (canon(*v, &mut poisoned), *s))
+                .collect(),
+            num_slots: plan.num_slots,
+        };
+        self.poisoned = poisoned;
+        self.nodes_total += plan.nodes.len();
+        self.stages.push(stage);
+    }
+
+    /// Finish recording; `None` if the segment turned out unrecordable.
+    pub(crate) fn finish(self) -> Option<CachedPlan> {
+        if self.poisoned {
+            return None;
+        }
+        Some(CachedPlan {
+            stages: self.stages,
+            nodes_total: self.nodes_total,
+        })
+    }
+}
+
+impl CachedPlan {
+    /// Number of cached stages.
+    pub(crate) fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Bind cached stage `idx` against the current graph state,
+    /// producing an executable [`StagePlan`].
+    ///
+    /// Validates before anything runs: every input and broadcast value
+    /// must be materialized, re-derived split parameters must agree on
+    /// one element total across the stage's inputs. Any failure returns
+    /// an error — the caller invalidates the entry and falls back to
+    /// fresh planning, which is always correct because planning only
+    /// depends on the graph's `next_unplanned` state.
+    pub(crate) fn bind_stage(
+        &self,
+        idx: usize,
+        graph: &DataflowGraph,
+        canon: &[ValueId],
+    ) -> Result<StagePlan> {
+        let cs = self.stages.get(idx).ok_or(Error::ValueUnavailable)?;
+        let base = graph.next_unplanned;
+        if base + cs.node_count > graph.nodes.len() {
+            return Err(Error::ValueUnavailable);
+        }
+        let get = |c: u32| -> Result<ValueId> {
+            canon
+                .get(c as usize)
+                .copied()
+                .ok_or(Error::ValueUnavailable)
+        };
+        let nodes: Vec<NodeId> = (base..base + cs.node_count)
+            .map(|i| NodeId(i as u32))
+            .collect();
+        let node_set: HashSet<NodeId> = nodes.iter().copied().collect();
+
+        let mut total: Option<u64> = None;
+        let mut inputs = Vec::with_capacity(cs.inputs.len());
+        for ci in &cs.inputs {
+            let vid = get(ci.value)?;
+            let data = graph.value_data(vid).ok_or(Error::ValueUnavailable)?;
+            let inst = if ci.rederive {
+                match ci.instance.splitter.default_params(data) {
+                    Ok(params) => SplitInstance::new(ci.instance.splitter.clone(), params),
+                    Err(_) => ci.instance.clone(),
+                }
+            } else {
+                ci.instance.clone()
+            };
+            let info = inst.splitter.info(data, &inst.params)?;
+            match total {
+                None => total = Some(info.total_elements),
+                Some(t) if t == info.total_elements => {}
+                Some(t) => {
+                    return Err(Error::ElementMismatch {
+                        expected: t,
+                        actual: info.total_elements,
+                    })
+                }
+            }
+            inputs.push((vid, inst));
+        }
+
+        let mut broadcast = Vec::with_capacity(cs.broadcast.len());
+        for c in &cs.broadcast {
+            let vid = get(*c)?;
+            graph.value_data(vid).ok_or(Error::ValueUnavailable)?;
+            broadcast.push(vid);
+        }
+
+        let mut outputs = Vec::with_capacity(cs.outputs.len());
+        for co in &cs.outputs {
+            let vid = get(co.value)?;
+            let kind = if co.in_place {
+                OutputKind::InPlace
+            } else {
+                // Same liveness rule as `finish_stage`, re-evaluated so
+                // dropped Futures still demote merges to discards.
+                let entry = &graph.values[vid.0 as usize];
+                let consumed_later = entry
+                    .consumers
+                    .iter()
+                    .any(|c| !node_set.contains(c) && !graph.nodes[c.0 as usize].executed);
+                let user_visible = entry
+                    .user_token
+                    .as_ref()
+                    .map(|w| w.strong_count() > 0)
+                    .unwrap_or(false);
+                if consumed_later || user_visible {
+                    OutputKind::Merge
+                } else {
+                    OutputKind::Discard
+                }
+            };
+            outputs.push(StageOutput {
+                value: vid,
+                instance: co.instance.clone(),
+                kind,
+            });
+        }
+
+        let mut slots = HashMap::with_capacity(cs.slots.len());
+        for (c, s) in &cs.slots {
+            slots.insert(get(*c)?, *s);
+        }
+
+        Ok(StagePlan {
+            nodes,
+            inputs,
+            broadcast,
+            outputs,
+            slots,
+            num_slots: cs.num_slots,
+        })
     }
 }

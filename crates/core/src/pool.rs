@@ -1,39 +1,49 @@
-//! The persistent work-stealing worker pool.
+//! The persistent, shareable work-stealing worker pool.
 //!
 //! Earlier revisions of the executor spawned OS threads with
 //! `std::thread::scope` for every stage, so short stages paid thread
 //! creation and teardown on their critical path — exactly the fixed
 //! overhead Figure 5 measures. This module keeps one set of workers
-//! alive for the lifetime of a [`MozartContext`](crate::MozartContext):
-//! workers park on a condition variable between stages and are handed
-//! work as a [`Job`] — an immutable stage description plus a shared
-//! atomic batch cursor.
+//! alive and hands stage work to them as `Job`s — an immutable stage
+//! description plus a shared atomic batch cursor.
 //!
-//! Scheduling is dynamic: instead of carving the element range into one
-//! static span per worker, every participant claims the next cache-sized
-//! batch from `Job::cursor` with a `fetch_add`. A worker stuck on a
-//! skewed batch (expensive split, data-dependent task cost) simply stops
-//! claiming while the others drain the remainder, so the stage finishes
-//! at the speed of the aggregate, not of the slowest static range. The
-//! calling thread always participates as worker 0, which keeps
-//! single-batch stages free of any cross-thread handoff.
+//! Since the serving work (`mozart-serve`) a pool is no longer owned by
+//! exactly one [`MozartContext`](crate::MozartContext): it is handed out
+//! as a cheaply clonable [`PoolHandle`] that any number of contexts can
+//! attach to. Jobs submitted concurrently by different contexts queue
+//! FIFO; idle workers pick the oldest open job, and the submitting
+//! thread always participates in its own job as worker 0, so a stage
+//! makes progress even when every pool thread is busy serving another
+//! session — many sessions share one machine's worth of threads instead
+//! of oversubscribing it with one pool per context.
 //!
-//! Per-job bookkeeping (claimed batches per participant, batches that
-//! static partitioning would have given to another worker, park/unpark
-//! transitions) is aggregated into [`PoolStats`] for the Figure 5
-//! overhead analysis; see `MozartContext::pool_stats`.
+//! Scheduling within a job is dynamic: instead of carving the element
+//! range into one static span per worker, every participant claims the
+//! next cache-sized batch — or, when many batches remain, a *guided
+//! claim span* of `remaining / (2 · participants)` batches — from
+//! `Job::cursor` with a `fetch_add`. A worker stuck on a skewed batch
+//! (expensive split, data-dependent task cost) simply stops claiming
+//! while the others drain the remainder, so the stage finishes at the
+//! speed of the aggregate, not of the slowest static range.
 //!
-//! [`run_stage_scoped`] preserves the old spawn-per-stage behavior
+//! Per-job bookkeeping (claimed batches and cursor claims per
+//! participant, batches that static partitioning would have given to
+//! another worker, park/unpark transitions, per-session job and batch
+//! totals) is aggregated into [`PoolStats`]; see
+//! `MozartContext::pool_stats` and `PoolHandle::stats`.
+//!
+//! `run_stage_scoped` preserves the old spawn-per-stage behavior
 //! behind `Config::reuse_pool = false` as a measured ablation for the
 //! `fig5_overheads` benchmark; it is not used otherwise.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use crate::error::{Error, Result};
 use crate::executor::{run_worker, ExecStage, WorkerOut};
-use crate::stats::PoolStats;
+use crate::stats::{PoolStats, SessionPoolStats};
 
 /// One stage dispatched to the pool: the immutable stage description,
 /// the shared batch cursor workers claim ranges from, and completion
@@ -47,10 +57,15 @@ use crate::stats::PoolStats;
 pub(crate) struct Job {
     /// The stage being executed (read-only across workers).
     pub(crate) exec: ExecStage,
-    /// Next unclaimed element index; workers `fetch_add` the batch size.
+    /// Next unclaimed element index; workers `fetch_add` claim spans.
     pub(crate) cursor: AtomicU64,
     /// Set when any participant fails, so the others stop claiming.
     pub(crate) failed: AtomicBool,
+    /// Session tag of the submitting context (fairness accounting).
+    session: u64,
+    /// Cleared once the job is closed or fully ticketed, so queue scans
+    /// skip it without taking its state lock.
+    open: AtomicBool,
     /// Participant-index allocator for pool workers (the calling thread
     /// is always participant 0, so tickets start at 1).
     tickets: AtomicUsize,
@@ -73,12 +88,14 @@ struct JobState {
 }
 
 impl Job {
-    /// Wrap a stage for execution.
-    pub(crate) fn new(exec: ExecStage) -> Arc<Job> {
+    /// Wrap a stage for execution on behalf of `session`.
+    pub(crate) fn new(exec: ExecStage, session: u64) -> Arc<Job> {
         Arc::new(Job {
             exec,
             cursor: AtomicU64::new(0),
             failed: AtomicBool::new(false),
+            session,
+            open: AtomicBool::new(true),
             tickets: AtomicUsize::new(1),
             state: Mutex::new(JobState::default()),
             done_cv: Condvar::new(),
@@ -102,12 +119,12 @@ impl Job {
     }
 }
 
-/// What parked workers wake up to.
-struct Dispatch {
-    /// Bumped on every published job; workers run each epoch once.
-    epoch: u64,
-    /// The job of the current epoch, cleared once it completes.
-    job: Option<Arc<Job>>,
+/// What parked workers wake up to: a FIFO of open jobs. Multiple
+/// contexts sharing the pool may each have a job queued; workers always
+/// serve the oldest open job first, which keeps sessions coarsely fair
+/// (no session's stage can be starved by later arrivals).
+struct Queue {
+    jobs: VecDeque<Arc<Job>>,
     shutdown: bool,
 }
 
@@ -118,7 +135,22 @@ struct Counters {
     unparks: AtomicU64,
     stolen: AtomicU64,
     per_worker_batches: Vec<AtomicU64>,
+    /// Cursor claims per participant slot (one claim may cover a guided
+    /// span of several batches; see the module docs).
+    per_worker_claims: Vec<AtomicU64>,
+    /// Per-session job and batch totals, keyed by the submitting
+    /// context's session tag. Bounded: once `MAX_TRACKED_SESSIONS`
+    /// distinct tags are live, the least-used entry is folded into the
+    /// catch-all [`OVERFLOW_SESSION`] bucket, so a server opening one
+    /// session per connection cannot grow this map without limit.
+    sessions: Mutex<HashMap<u64, (u64, u64)>>,
 }
+
+/// Cap on individually tracked session tags (see [`Counters::sessions`]).
+const MAX_TRACKED_SESSIONS: usize = 64;
+
+/// Synthetic session tag aggregating evicted sessions' totals.
+pub const OVERFLOW_SESSION: u64 = u64::MAX;
 
 impl Counters {
     /// Attribute one participant's successful driver-loop run.
@@ -128,31 +160,35 @@ impl Counters {
             if let Some(slot) = self.per_worker_batches.get(participant) {
                 slot.fetch_add(out.batches, Ordering::Relaxed);
             }
+            if let Some(slot) = self.per_worker_claims.get(participant) {
+                slot.fetch_add(out.claims, Ordering::Relaxed);
+            }
         }
     }
 }
 
 struct PoolShared {
-    dispatch: Mutex<Dispatch>,
+    queue: Mutex<Queue>,
     work_cv: Condvar,
     counters: Counters,
 }
 
-/// A persistent set of worker threads, created once per context.
+/// A persistent set of worker threads shared by every context holding a
+/// handle to it.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
-    /// Spawn a pool of `pool_workers` threads. The calling thread joins
-    /// every stage as one extra participant, so a pool sized
-    /// `config.workers - 1` saturates `config.workers` cores.
+    /// Spawn a pool of `pool_workers` threads. Every submitting thread
+    /// joins its own stage as one extra participant, so a pool sized
+    /// `config.workers - 1` saturates `config.workers` cores for a
+    /// single session.
     pub fn new(pool_workers: usize) -> WorkerPool {
         let shared = Arc::new(PoolShared {
-            dispatch: Mutex::new(Dispatch {
-                epoch: 0,
-                job: None,
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -162,6 +198,8 @@ impl WorkerPool {
                 unparks: AtomicU64::new(0),
                 stolen: AtomicU64::new(0),
                 per_worker_batches: (0..=pool_workers).map(|_| AtomicU64::new(0)).collect(),
+                per_worker_claims: (0..=pool_workers).map(|_| AtomicU64::new(0)).collect(),
+                sessions: Mutex::new(HashMap::new()),
             },
         });
         let handles = (0..pool_workers)
@@ -176,14 +214,15 @@ impl WorkerPool {
         WorkerPool { shared, handles }
     }
 
-    /// Number of pool threads (excluding the participating caller).
+    /// Number of pool threads (excluding participating submitters).
     pub fn pool_workers(&self) -> usize {
         self.handles.len()
     }
 
     /// Execute a multi-participant stage on the pool. The caller
     /// participates as worker 0 and blocks until every participant is
-    /// done, so jobs never overlap.
+    /// done. Safe to call from many threads concurrently: each job is
+    /// queued and pool workers serve the oldest open job first.
     pub(crate) fn run_stage(&self, job: &Arc<Job>) -> Result<Vec<WorkerOut>> {
         debug_assert!(
             job.exec.participants >= 2,
@@ -192,9 +231,8 @@ impl WorkerPool {
         let c = &self.shared.counters;
         c.jobs.fetch_add(1, Ordering::Relaxed);
         {
-            let mut d = lock(&self.shared.dispatch);
-            d.epoch += 1;
-            d.job = Some(job.clone());
+            let mut q = lock(&self.shared.queue);
+            q.jobs.push_back(job.clone());
         }
         // Chained wakeup: wake one worker; each worker that joins wakes
         // the next (see `worker_main`). Compared to a notify_all this
@@ -213,6 +251,7 @@ impl WorkerPool {
         // stage before any worker woke, this returns without a handoff.
         let mut st = lock(&job.state);
         st.closed = true;
+        job.open.store(false, Ordering::Relaxed);
         while st.finished < st.joined {
             st = job.done_cv.wait(st).unwrap_or_else(|p| p.into_inner());
         }
@@ -220,8 +259,35 @@ impl WorkerPool {
         let error = st.error.take();
         drop(st);
 
-        // Unpublish so late-waking workers skip straight back to sleep.
-        lock(&self.shared.dispatch).job = None;
+        // Remove the completed job so queue scans stay short.
+        {
+            let mut q = lock(&self.shared.queue);
+            q.jobs.retain(|j| !Arc::ptr_eq(j, job));
+        }
+
+        // Per-session fairness accounting (pool jobs only; single-batch
+        // stages run inline on their caller and are not counted).
+        {
+            let batches: u64 = outs.iter().map(|o| o.batches).sum();
+            let mut sessions = lock(&c.sessions);
+            if sessions.len() >= MAX_TRACKED_SESSIONS && !sessions.contains_key(&job.session) {
+                // Fold the least-used tracked session into the overflow
+                // bucket so the map stays bounded over server lifetimes.
+                if let Some((&evict, _)) = sessions
+                    .iter()
+                    .filter(|(&s, _)| s != OVERFLOW_SESSION)
+                    .min_by_key(|(_, &(jobs, _))| jobs)
+                {
+                    let (jobs, b) = sessions.remove(&evict).unwrap_or((0, 0));
+                    let overflow = sessions.entry(OVERFLOW_SESSION).or_insert((0, 0));
+                    overflow.0 += jobs;
+                    overflow.1 += b;
+                }
+            }
+            let entry = sessions.entry(job.session).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += batches;
+        }
 
         match error {
             Some(e) => Err(e),
@@ -232,6 +298,15 @@ impl WorkerPool {
     /// Snapshot of the pool's counters.
     pub fn stats(&self) -> PoolStats {
         let c = &self.shared.counters;
+        let mut sessions: Vec<SessionPoolStats> = lock(&c.sessions)
+            .iter()
+            .map(|(&session, &(jobs, batches))| SessionPoolStats {
+                session,
+                jobs,
+                batches,
+            })
+            .collect();
+        sessions.sort_by_key(|s| s.session);
         PoolStats {
             workers: self.handles.len(),
             jobs: c.jobs.load(Ordering::Relaxed),
@@ -243,6 +318,12 @@ impl WorkerPool {
                 .iter()
                 .map(|a| a.load(Ordering::Relaxed))
                 .collect(),
+            per_worker_claims: c
+                .per_worker_claims
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            sessions,
         }
     }
 }
@@ -250,8 +331,8 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut d = lock(&self.shared.dispatch);
-            d.shutdown = true;
+            let mut q = lock(&self.shared.queue);
+            q.shutdown = true;
         }
         self.shared.work_cv.notify_all();
         for h in self.handles.drain(..) {
@@ -260,38 +341,85 @@ impl Drop for WorkerPool {
     }
 }
 
+/// A cheaply clonable, shareable handle to a [`WorkerPool`].
+///
+/// Any number of [`MozartContext`](crate::MozartContext)s may attach the
+/// same handle (`MozartContext::attach_pool`); their stages then share
+/// one set of threads instead of spawning a pool per context. The pool
+/// shuts down when the last handle is dropped.
+#[derive(Clone)]
+pub struct PoolHandle {
+    pool: Arc<WorkerPool>,
+}
+
+impl PoolHandle {
+    /// Spawn a shared pool of `pool_workers` threads (see
+    /// [`WorkerPool::new`] for sizing guidance).
+    pub fn new(pool_workers: usize) -> PoolHandle {
+        PoolHandle {
+            pool: Arc::new(WorkerPool::new(pool_workers)),
+        }
+    }
+
+    /// Snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+}
+
+impl std::ops::Deref for PoolHandle {
+    type Target = WorkerPool;
+
+    fn deref(&self) -> &WorkerPool {
+        &self.pool
+    }
+}
+
+impl std::fmt::Debug for PoolHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PoolHandle({} workers)", self.pool.pool_workers())
+    }
+}
+
+/// The process-global shared pool, created on first use and sized
+/// `default_workers() - 1` so that one saturated session uses the whole
+/// machine. Serving layers that want explicit sizing should create
+/// their own [`PoolHandle`] instead.
+pub fn global_pool() -> PoolHandle {
+    static GLOBAL: OnceLock<PoolHandle> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| PoolHandle::new(crate::config::default_workers().max(1) - 1))
+        .clone()
+}
+
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
-/// The body of one pool thread: park until a new epoch publishes a job,
+/// The body of one pool thread: park until the queue holds an open job,
 /// claim a participant ticket, run the driver loop, repeat.
 fn worker_main(shared: &PoolShared) {
     let c = &shared.counters;
-    let mut last_epoch = 0u64;
     loop {
         let job = {
-            let mut d = lock(&shared.dispatch);
+            let mut q = lock(&shared.queue);
             loop {
-                if d.shutdown {
+                if q.shutdown {
                     return;
                 }
-                if d.epoch != last_epoch {
-                    last_epoch = d.epoch;
-                    match &d.job {
-                        Some(job) => break job.clone(),
-                        // The epoch's job already completed: nothing to do.
-                        None => continue,
-                    }
+                if let Some(job) = q.jobs.iter().find(|j| j.open.load(Ordering::Relaxed)) {
+                    break job.clone();
                 }
                 c.parks.fetch_add(1, Ordering::Relaxed);
-                d = shared.work_cv.wait(d).unwrap_or_else(|p| p.into_inner());
+                q = shared.work_cv.wait(q).unwrap_or_else(|p| p.into_inner());
             }
         };
 
         let ticket = job.tickets.fetch_add(1, Ordering::Relaxed);
         if ticket >= job.exec.participants {
-            // More pool workers than the stage has batches.
+            // More pool workers than the stage has batches: stop further
+            // scans from picking this job up.
+            job.open.store(false, Ordering::Relaxed);
             continue;
         }
         {
@@ -376,6 +504,8 @@ mod tests {
             4,
             "3 pool workers + caller slot"
         );
+        assert_eq!(s.per_worker_claims.len(), 4);
+        assert!(s.sessions.is_empty());
         drop(pool); // must not hang
     }
 
@@ -385,5 +515,24 @@ mod tests {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.pool_workers(), 0);
         drop(pool);
+    }
+
+    #[test]
+    fn handles_share_one_pool() {
+        let a = PoolHandle::new(2);
+        let b = a.clone();
+        assert_eq!(a.pool_workers(), 2);
+        assert_eq!(b.pool_workers(), 2);
+        drop(a);
+        // The pool survives while any handle is alive.
+        assert_eq!(b.stats().workers, 2);
+        drop(b);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = global_pool();
+        let b = global_pool();
+        assert!(Arc::ptr_eq(&a.pool, &b.pool));
     }
 }

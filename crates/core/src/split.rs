@@ -73,6 +73,24 @@ pub trait Splitter: Send + Sync + 'static {
     /// (out-of-order) batch scheduling is invisible to split types.
     fn merge(&self, pieces: Vec<DataValue>, params: &Params) -> Result<DataValue>;
 
+    /// [`Splitter::merge`] with a merge-size hint: `total_elements` is
+    /// the number of splittable elements (in [`RuntimeInfo`] units —
+    /// array elements, matrix/DataFrame/image rows) the merged result
+    /// will cover. Concat-style merges should override this to
+    /// preallocate the result once instead of growing piece by piece;
+    /// the default ignores the hint and delegates to `merge`. The
+    /// executor calls this for every merge: worker-local runs pass the
+    /// run's element count, the final merge passes the stage total.
+    fn merge_hinted(
+        &self,
+        pieces: Vec<DataValue>,
+        params: &Params,
+        total_elements: u64,
+    ) -> Result<DataValue> {
+        let _ = total_elements;
+        self.merge(pieces, params)
+    }
+
     /// Whether `merge` is commutative as well as associative (scalar
     /// sums, elementwise partial reductions). Commutative merges let a
     /// worker fold *all* of its claimed batches into one partial even
@@ -284,6 +302,19 @@ mod tests {
         // An unknown never equals a concrete instance of the same splitter.
         let c = SplitInstance::new(m, vec![]);
         assert!(!a.same_type(&c));
+    }
+
+    #[test]
+    fn merge_hinted_defaults_to_merge() {
+        // Splitters that don't override the hinted variant behave
+        // exactly like `merge`, whatever the hint says.
+        let s = SizeSplit;
+        let arg = DataValue::new(IntValue(10));
+        let params = s.construct(&[&arg]).unwrap();
+        let a = s.split(&arg, 0..4, &params).unwrap().unwrap();
+        let b = s.split(&arg, 4..10, &params).unwrap().unwrap();
+        let merged = s.merge_hinted(vec![a, b], &params, 10).unwrap();
+        assert_eq!(merged.downcast_ref::<IntValue>().unwrap().0, 10);
     }
 
     #[test]

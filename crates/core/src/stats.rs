@@ -69,8 +69,30 @@ impl PhaseStats {
     }
 }
 
+/// Per-session usage of a shared worker pool (see
+/// [`crate::pool::PoolHandle`]).
+///
+/// Sessions are identified by the submitting context's session tag
+/// (`MozartContext::set_session_tag`; defaults to the context id).
+/// Comparing `batches` across sessions shows how pool capacity was
+/// divided between concurrent clients — the fairness signal the serving
+/// layer watches. The pool tracks a bounded number of tags; evicted
+/// sessions' totals aggregate under
+/// [`crate::pool::OVERFLOW_SESSION`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionPoolStats {
+    /// The submitting context's session tag.
+    pub session: u64,
+    /// Pool jobs (multi-worker stages) this session submitted.
+    pub jobs: u64,
+    /// Batches processed on behalf of this session, summed over all
+    /// participants of its jobs.
+    pub batches: u64,
+}
+
 /// Counters of the persistent worker pool (see [`crate::pool`]),
-/// observable through `MozartContext::pool_stats`.
+/// observable through `MozartContext::pool_stats` and
+/// [`crate::pool::PoolHandle::stats`].
 ///
 /// These expose the scheduler behavior the Figure 5 overhead analysis
 /// cares about: how often workers park/unpark between stages, how many
@@ -97,9 +119,31 @@ pub struct PoolStats {
     /// Batches processed per participant slot (index 0 is the calling
     /// thread; 1.. are pool workers in job-join order).
     pub per_worker_batches: Vec<u64>,
+    /// Cursor claims per participant slot. One claim covers a *guided
+    /// span* of `max(1, remaining / (2 · participants))` batches, so on
+    /// large stages this stays far below `per_worker_batches` — the
+    /// cursor-contention reduction the ROADMAP's "guided claim spans"
+    /// item asks for.
+    pub per_worker_claims: Vec<u64>,
+    /// Per-session usage, sorted by session tag. Only stages dispatched
+    /// to the pool are accounted; inline single-worker stages cost the
+    /// pool nothing.
+    pub sessions: Vec<SessionPoolStats>,
 }
 
 impl PoolStats {
+    /// Total batches processed across participants.
+    pub fn total_batches(&self) -> u64 {
+        self.per_worker_batches.iter().sum()
+    }
+
+    /// Total cursor claims across participants. With guided claim spans
+    /// this is at most [`PoolStats::total_batches`], and much smaller on
+    /// large stages.
+    pub fn total_claims(&self) -> u64 {
+        self.per_worker_claims.iter().sum()
+    }
+
     /// Whether every participant that joined a stage processed at least
     /// one batch (the load-balance property dynamic scheduling buys).
     pub fn all_workers_productive(&self) -> bool {

@@ -1,0 +1,224 @@
+//! Tests of the plan cache: repeated structurally identical pipelines
+//! replay memoized stage skeletons (including across contexts); shape
+//! or split-type changes miss; replayed plans produce correct results.
+
+use std::sync::Arc;
+
+use mozart_core::annotation::{concrete, Annotation};
+use mozart_core::prelude::*;
+
+/// In-place scale over a shared buffer (the MKL idiom: aliasing
+/// `SliceView` pieces, nothing to merge).
+fn scale_annotation() -> Arc<Annotation> {
+    Annotation::new("cache_scale", |inv| {
+        let piece = inv.arg::<SliceView>(0)?;
+        let k = inv.float(1)?;
+        // SAFETY: the executor hands each worker disjoint ranges.
+        for x in unsafe { piece.as_slice_mut() } {
+            *x *= k;
+        }
+        Ok(None)
+    })
+    .mut_arg("xs", concrete(Arc::new(ArraySplit), vec![0]))
+    .arg("k", mozart_core::annotation::missing())
+    .build()
+}
+
+/// Like [`scale_annotation`] but split with `SizeSplit`-parameterized
+/// `ArraySplit` via a different split type name is not possible without
+/// a second splitter; instead this variant differs structurally (extra
+/// shift argument), which must fingerprint differently.
+fn scale_shift_annotation() -> Arc<Annotation> {
+    Annotation::new("cache_scale_shift", |inv| {
+        let piece = inv.arg::<SliceView>(0)?;
+        let k = inv.float(1)?;
+        let b = inv.float(2)?;
+        // SAFETY: disjoint ranges per worker.
+        for x in unsafe { piece.as_slice_mut() } {
+            *x = *x * k + b;
+        }
+        Ok(None)
+    })
+    .mut_arg("xs", concrete(Arc::new(ArraySplit), vec![0]))
+    .arg("k", mozart_core::annotation::missing())
+    .arg("b", mozart_core::annotation::missing())
+    .build()
+}
+
+fn cached_ctx(cache: &Arc<PlanCache>, workers: usize, batch: u64) -> MozartContext {
+    ArraySplit::register_default();
+    let mut cfg = Config::with_workers(workers);
+    cfg.batch_override = Some(batch);
+    cfg.pedantic = true;
+    let ctx = MozartContext::new(cfg);
+    ctx.attach_plan_cache(cache.clone());
+    ctx
+}
+
+fn run_scale(ctx: &MozartContext, annot: &Arc<Annotation>, n: usize, k: f64) -> Vec<f64> {
+    let data = SharedVec::from_vec((0..n).map(|i| i as f64).collect());
+    let dv = DataValue::new(VecValue(data.clone()));
+    ctx.call(annot, vec![dv.clone(), DataValue::new(FloatValue(k))])
+        .unwrap();
+    ctx.call(annot, vec![dv, DataValue::new(FloatValue(k))])
+        .unwrap();
+    ctx.evaluate().unwrap();
+    data.as_slice().to_vec()
+}
+
+#[test]
+fn repeated_pipeline_hits_across_contexts() {
+    let cache = Arc::new(PlanCache::new(16));
+    let annot = scale_annotation();
+
+    // First context: plans from scratch, records.
+    let out1 = run_scale(&cached_ctx(&cache, 1, 4), &annot, 16, 2.0);
+    let expect: Vec<f64> = (0..16).map(|i| i as f64 * 4.0).collect();
+    assert_eq!(out1, expect);
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses, s.entries), (0, 1, 1));
+
+    // Fresh context, identical structure and shapes: replays the plan.
+    let out2 = run_scale(&cached_ctx(&cache, 1, 4), &annot, 16, 2.0);
+    assert_eq!(out2, expect, "replayed plan must compute the same result");
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+
+    // Different scalar (the constant is part of the fingerprint — it
+    // feeds the function): a miss, and still correct.
+    let out3 = run_scale(&cached_ctx(&cache, 1, 4), &annot, 16, 3.0);
+    let expect3: Vec<f64> = (0..16).map(|i| i as f64 * 9.0).collect();
+    assert_eq!(out3, expect3);
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses), (1, 2));
+}
+
+#[test]
+fn repeated_evaluation_hits_within_one_context() {
+    let cache = Arc::new(PlanCache::new(16));
+    let annot = scale_annotation();
+    let ctx = cached_ctx(&cache, 1, 4);
+
+    let data = SharedVec::from_vec(vec![1.0; 12]);
+    let dv = DataValue::new(VecValue(data.clone()));
+    for _ in 0..3 {
+        ctx.call(&annot, vec![dv.clone(), DataValue::new(FloatValue(2.0))])
+            .unwrap();
+        ctx.evaluate().unwrap();
+    }
+    assert_eq!(data.as_slice(), &[8.0; 12] as &[f64]);
+    // Segment 1 misses; segments 2 and 3 (arg is now the latest
+    // mut-version, same shape) hit.
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses), (2, 1));
+}
+
+#[test]
+fn shape_change_misses_and_recomputes() {
+    let cache = Arc::new(PlanCache::new(16));
+    let annot = scale_annotation();
+
+    run_scale(&cached_ctx(&cache, 1, 4), &annot, 16, 2.0);
+    // Same pipeline over a different length: must not replay the n=16
+    // plan (its ArraySplit parameters would be stale).
+    let out = run_scale(&cached_ctx(&cache, 1, 4), &annot, 24, 2.0);
+    let expect: Vec<f64> = (0..24).map(|i| i as f64 * 4.0).collect();
+    assert_eq!(out, expect);
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+
+    // And each shape now replays independently.
+    run_scale(&cached_ctx(&cache, 1, 4), &annot, 16, 2.0);
+    run_scale(&cached_ctx(&cache, 1, 4), &annot, 24, 2.0);
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses), (2, 2));
+}
+
+#[test]
+fn pipeline_structure_change_misses() {
+    let cache = Arc::new(PlanCache::new(16));
+    run_scale(&cached_ctx(&cache, 1, 4), &scale_annotation(), 16, 2.0);
+    // Different annotation (different callee and split-type exprs) over
+    // identical data: a distinct fingerprint, planned fresh.
+    let ctx = cached_ctx(&cache, 1, 4);
+    let data = SharedVec::from_vec((0..16).map(|i| i as f64).collect());
+    let dv = DataValue::new(VecValue(data.clone()));
+    ctx.call(
+        &scale_shift_annotation(),
+        vec![
+            dv,
+            DataValue::new(FloatValue(2.0)),
+            DataValue::new(FloatValue(1.0)),
+        ],
+    )
+    .unwrap();
+    ctx.evaluate().unwrap();
+    let expect: Vec<f64> = (0..16).map(|i| i as f64 * 2.0 + 1.0).collect();
+    assert_eq!(data.as_slice(), expect.as_slice());
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+}
+
+#[test]
+fn pipeline_ablation_does_not_share_plans() {
+    // The "-pipe" ablation (one function per stage) must not replay a
+    // plan recorded with pipelining on, or vice versa, even through one
+    // shared cache.
+    ArraySplit::register_default();
+    let cache = Arc::new(PlanCache::new(16));
+    let annot = scale_annotation();
+
+    let run = |pipeline: bool| {
+        let mut cfg = Config::with_workers(1);
+        cfg.batch_override = Some(4);
+        cfg.pipeline = pipeline;
+        let ctx = MozartContext::new(cfg);
+        ctx.attach_plan_cache(cache.clone());
+        let stages_before = ctx.stats().stages;
+        let out = run_scale(&ctx, &annot, 16, 2.0);
+        (out, ctx.stats().stages - stages_before)
+    };
+
+    let expect: Vec<f64> = (0..16).map(|i| i as f64 * 4.0).collect();
+    let (out_piped, stages_piped) = run(true);
+    assert_eq!(out_piped, expect);
+    assert_eq!(stages_piped, 1, "both calls pipeline into one stage");
+    let (out_unpiped, stages_unpiped) = run(false);
+    assert_eq!(out_unpiped, expect);
+    assert_eq!(stages_unpiped, 2, "-pipe: one stage per call");
+    let s = cache.stats();
+    assert_eq!(
+        (s.hits, s.misses, s.entries),
+        (0, 2, 2),
+        "the two settings key distinct cache entries"
+    );
+    // And each setting replays its own entry with its own granularity.
+    let (_, stages_again) = run(false);
+    assert_eq!(stages_again, 2);
+    assert_eq!(cache.stats().hits, 1);
+}
+
+#[test]
+fn cache_capacity_is_bounded() {
+    let cache = Arc::new(PlanCache::new(2));
+    let annot = scale_annotation();
+    for n in [8usize, 12, 16, 20] {
+        run_scale(&cached_ctx(&cache, 1, 4), &annot, n, 2.0);
+    }
+    let s = cache.stats();
+    assert_eq!(s.misses, 4);
+    assert!(s.entries <= 2, "capacity respected, got {}", s.entries);
+}
+
+#[test]
+fn multi_worker_replay_is_correct() {
+    // Replayed plans must execute identically on the pool path.
+    let cache = Arc::new(PlanCache::new(4));
+    let annot = scale_annotation();
+    let out1 = run_scale(&cached_ctx(&cache, 3, 8), &annot, 64, 2.0);
+    let out2 = run_scale(&cached_ctx(&cache, 3, 8), &annot, 64, 2.0);
+    let expect: Vec<f64> = (0..64).map(|i| i as f64 * 4.0).collect();
+    assert_eq!(out1, expect);
+    assert_eq!(out2, expect);
+    assert_eq!(cache.stats().hits, 1);
+}

@@ -187,10 +187,23 @@ impl Column {
     ///
     /// Panics on empty input or mixed types.
     pub fn concat(parts: &[Column]) -> Column {
+        let rows = parts.iter().map(Column::len).sum();
+        Self::concat_hinted(parts, rows)
+    }
+
+    /// [`Column::concat`] with a known total row count: the output is
+    /// allocated once up front instead of growing per part (the
+    /// runtime's merge-size hint). A short hint only costs the usual
+    /// growth; it never truncates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or mixed types.
+    pub fn concat_hinted(parts: &[Column], total_rows: usize) -> Column {
         assert!(!parts.is_empty(), "concat of zero columns");
         match &parts[0] {
             Column::I64(_) => {
-                let mut out = Vec::new();
+                let mut out = Vec::with_capacity(total_rows);
                 for p in parts {
                     match p {
                         Column::I64(c) => out.extend_from_slice(c.as_slice()),
@@ -200,7 +213,7 @@ impl Column {
                 Column::from_i64(out)
             }
             Column::F64(_) => {
-                let mut out = Vec::new();
+                let mut out = Vec::with_capacity(total_rows);
                 for p in parts {
                     match p {
                         Column::F64(c) => out.extend_from_slice(c.as_slice()),
@@ -209,8 +222,8 @@ impl Column {
                 }
                 Column::from_f64(out)
             }
-            Column::Str(c0) => {
-                let mut out: Vec<String> = Vec::with_capacity(c0.len());
+            Column::Str(_) => {
+                let mut out: Vec<String> = Vec::with_capacity(total_rows);
                 for p in parts {
                     match p {
                         Column::Str(c) => out.extend(c.as_slice().iter().cloned()),
@@ -220,7 +233,7 @@ impl Column {
                 Column::from_str(out)
             }
             Column::Bool(_) => {
-                let mut out = Vec::new();
+                let mut out = Vec::with_capacity(total_rows);
                 for p in parts {
                     match p {
                         Column::Bool(c) => out.extend_from_slice(c.as_slice()),
@@ -325,6 +338,15 @@ mod tests {
             t.strs(),
             &["d".to_string(), "a".to_string(), "a".to_string()]
         );
+    }
+
+    #[test]
+    fn concat_hinted_matches_concat() {
+        let c = Column::from_i64((0..10).collect());
+        let parts = [c.slice(0, 4), c.slice(4, 10)];
+        assert_eq!(Column::concat_hinted(&parts, 10).i64s(), c.i64s());
+        // A wrong hint affects only the initial capacity, never content.
+        assert_eq!(Column::concat_hinted(&parts, 1).i64s(), c.i64s());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The annotator-side integration for the Pandas stand-in (§7
 //! "Pandas"): a row-based [`RowSplit`] shared by DataFrames and Series,
-//! a [`GroupSplit`](groupsplit::GroupSplit) for grouped aggregations
+//! a [`GroupSplit`] for grouped aggregations
 //! (partial aggregation + re-aggregating merger), joins that split the
 //! probe side and broadcast the build side, filters returning the
 //! `unknown` split type, and generics on most Series operators.

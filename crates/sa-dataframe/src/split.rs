@@ -113,43 +113,67 @@ impl Splitter for RowSplit {
     }
 
     fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
-        let first = pieces.first().ok_or_else(|| Error::Merge {
-            split_type: "RowSplit",
-            message: "no pieces".into(),
-        })?;
-        if first.downcast_ref::<DfValue>().is_some() {
-            let frames: Vec<DataFrame> = pieces
-                .iter()
-                .map(|p| {
-                    p.downcast_ref::<DfValue>()
-                        .map(|d| d.0.clone())
-                        .ok_or_else(|| Error::Merge {
-                            split_type: "RowSplit",
-                            message: "mixed piece types".into(),
-                        })
-                })
-                .collect::<Result<_>>()?;
-            return Ok(DataValue::new(DfValue(DataFrame::concat(&frames))));
-        }
-        if first.downcast_ref::<ColValue>().is_some() {
-            let cols: Vec<Column> = pieces
-                .iter()
-                .map(|p| {
-                    p.downcast_ref::<ColValue>()
-                        .map(|c| c.0.clone())
-                        .ok_or_else(|| Error::Merge {
-                            split_type: "RowSplit",
-                            message: "mixed piece types".into(),
-                        })
-                })
-                .collect::<Result<_>>()?;
-            return Ok(DataValue::new(ColValue(Column::concat(&cols))));
-        }
-        Err(Error::Merge {
-            split_type: "RowSplit",
-            message: format!("unexpected piece type {}", first.type_name()),
-        })
+        merge_rows(pieces, None)
     }
+
+    fn merge_hinted(
+        &self,
+        pieces: Vec<DataValue>,
+        _params: &Params,
+        total_elements: u64,
+    ) -> Result<DataValue> {
+        // Elements are rows: the hint lets the concat allocate every
+        // column once instead of growing per piece (the runtime's
+        // merge-size hint).
+        merge_rows(pieces, Some(total_elements as usize))
+    }
+}
+
+fn merge_rows(pieces: Vec<DataValue>, rows_hint: Option<usize>) -> Result<DataValue> {
+    let first = pieces.first().ok_or_else(|| Error::Merge {
+        split_type: "RowSplit",
+        message: "no pieces".into(),
+    })?;
+    if first.downcast_ref::<DfValue>().is_some() {
+        let frames: Vec<DataFrame> = pieces
+            .iter()
+            .map(|p| {
+                p.downcast_ref::<DfValue>()
+                    .map(|d| d.0.clone())
+                    .ok_or_else(|| Error::Merge {
+                        split_type: "RowSplit",
+                        message: "mixed piece types".into(),
+                    })
+            })
+            .collect::<Result<_>>()?;
+        let merged = match rows_hint {
+            Some(rows) => DataFrame::concat_hinted(&frames, rows),
+            None => DataFrame::concat(&frames),
+        };
+        return Ok(DataValue::new(DfValue(merged)));
+    }
+    if first.downcast_ref::<ColValue>().is_some() {
+        let cols: Vec<Column> = pieces
+            .iter()
+            .map(|p| {
+                p.downcast_ref::<ColValue>()
+                    .map(|c| c.0.clone())
+                    .ok_or_else(|| Error::Merge {
+                        split_type: "RowSplit",
+                        message: "mixed piece types".into(),
+                    })
+            })
+            .collect::<Result<_>>()?;
+        let merged = match rows_hint {
+            Some(rows) => Column::concat_hinted(&cols, rows),
+            None => Column::concat(&cols),
+        };
+        return Ok(DataValue::new(ColValue(merged)));
+    }
+    Err(Error::Merge {
+        split_type: "RowSplit",
+        message: format!("unexpected piece type {}", first.type_name()),
+    })
 }
 
 #[cfg(test)]

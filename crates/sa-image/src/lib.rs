@@ -102,19 +102,38 @@ impl Splitter for ImageSplit {
     }
 
     fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
-        let bands: Vec<Image> = pieces
-            .iter()
-            .map(|p| {
-                p.downcast_ref::<ImgValue>()
-                    .map(|i| i.0.clone())
-                    .ok_or_else(|| Error::Merge {
-                        split_type: "ImageSplit",
-                        message: format!("expected ImgValue piece, got {}", p.type_name()),
-                    })
-            })
-            .collect::<Result<_>>()?;
-        Ok(DataValue::new(ImgValue(Image::append_rows(&bands))))
+        Ok(DataValue::new(ImgValue(Image::append_rows(&band_pieces(
+            &pieces,
+        )?))))
     }
+
+    fn merge_hinted(
+        &self,
+        pieces: Vec<DataValue>,
+        _params: &Params,
+        total_elements: u64,
+    ) -> Result<DataValue> {
+        // Elements are rows: preallocate the appended image once (the
+        // runtime's merge-size hint) instead of growing band by band.
+        Ok(DataValue::new(ImgValue(Image::append_rows_hinted(
+            &band_pieces(&pieces)?,
+            total_elements as usize,
+        ))))
+    }
+}
+
+fn band_pieces(pieces: &[DataValue]) -> Result<Vec<Image>> {
+    pieces
+        .iter()
+        .map(|p| {
+            p.downcast_ref::<ImgValue>()
+                .map(|i| i.0.clone())
+                .ok_or_else(|| Error::Merge {
+                    split_type: "ImageSplit",
+                    message: format!("expected ImgValue piece, got {}", p.type_name()),
+                })
+        })
+        .collect()
 }
 
 /// Register this integration's default split types. Idempotent.

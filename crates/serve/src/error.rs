@@ -1,0 +1,99 @@
+//! Typed errors of the serving layer.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Errors a [`PipelineService`](crate::PipelineService) reports to its
+/// clients.
+///
+/// The variants are deliberately coarse: they map one-to-one onto the
+/// wire protocol's `ERR <kind>` responses, so a remote client can react
+/// (retry later on `Saturated`, fix the request on `BadRequest`) without
+/// parsing prose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue is full: `max_inflight` requests are running
+    /// and `queue_depth` more are already waiting. The backpressure
+    /// signal — clients should shed load or retry with backoff.
+    Saturated {
+        /// Concurrent evaluations the service admits.
+        max_inflight: usize,
+        /// Waiters the admission queue holds beyond that.
+        queue_depth: usize,
+    },
+    /// No pipeline registered under the requested name.
+    UnknownPipeline(String),
+    /// The request could not be parsed or is missing parameters.
+    BadRequest(String),
+    /// The Mozart runtime failed while evaluating the pipeline.
+    Runtime(mozart_core::Error),
+}
+
+impl ServeError {
+    /// Short machine-readable kind, used by the wire protocol.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Saturated { .. } => "saturated",
+            ServeError::UnknownPipeline(_) => "unknown_pipeline",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Runtime(_) => "runtime",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Saturated {
+                max_inflight,
+                queue_depth,
+            } => write!(
+                f,
+                "service saturated: {max_inflight} requests in flight and \
+                 {queue_depth} queued; retry later"
+            ),
+            ServeError::UnknownPipeline(name) => {
+                write!(f, "no pipeline registered under {name:?}")
+            }
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Runtime(e) => write!(f, "pipeline evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mozart_core::Error> for ServeError {
+    fn from(e: mozart_core::Error) -> Self {
+        ServeError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_messages() {
+        let e = ServeError::Saturated {
+            max_inflight: 4,
+            queue_depth: 8,
+        };
+        assert_eq!(e.kind(), "saturated");
+        assert!(e.to_string().contains("retry later"));
+        let e = ServeError::UnknownPipeline("nope".into());
+        assert_eq!(e.kind(), "unknown_pipeline");
+        assert!(e.to_string().contains("nope"));
+        let e: ServeError = mozart_core::Error::ValueUnavailable.into();
+        assert_eq!(e.kind(), "runtime");
+    }
+}

@@ -1,0 +1,68 @@
+//! # mozart-serve — concurrent pipeline serving for the Mozart runtime
+//!
+//! The paper's runtime (`libmozart`, §4–§5) optimizes one client's lazy
+//! dataflow graph at a time; its Figure 5 shows client registration and
+//! planning as real per-evaluation overheads. This crate grows the
+//! runtime into a multi-tenant, in-process *service* that amortizes
+//! both — the same observation Weld (CIDR 2017) makes from the JIT
+//! side: a serving runtime must amortize its optimizer across repeated,
+//! structurally identical pipelines.
+//!
+//! Three mechanisms, all shared across every client of a
+//! [`PipelineService`]:
+//!
+//! * **A shared worker pool** ([`mozart_core::PoolHandle`]): one
+//!   machine-sized set of threads serves every session. Two concurrent
+//!   clients no longer spawn two pools and oversubscribe the host;
+//!   per-session usage is accounted in
+//!   [`PoolStats::sessions`](mozart_core::PoolStats).
+//! * **A plan cache** ([`mozart_core::PlanCache`]): evaluations
+//!   fingerprint their pending call graph; repeats replay memoized
+//!   stage skeletons instead of re-running split-type inference and
+//!   stage grouping, re-binding only the materialized values. Shape or
+//!   split-type changes change the fingerprint, so stale plans never
+//!   replay.
+//! * **Bounded admission**: at most `max_inflight` evaluations run, at
+//!   most `queue_depth` callers wait, and everyone else gets the typed
+//!   [`ServeError::Saturated`] backpressure error immediately.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mozart_serve::{PipelineService, Request};
+//!
+//! let service = PipelineService::builder()
+//!     .workers(2)
+//!     .builtin_pipelines() // black_scholes, haversine, nashville
+//!     .build();
+//! let session = service.session();
+//! let resp = session
+//!     .call("black_scholes", &Request::new().with("n", 2048))
+//!     .unwrap();
+//! assert!(resp.body.starts_with("call_sum="));
+//! // The second, structurally identical request replays the cached plan.
+//! session
+//!     .call("black_scholes", &Request::new().with("n", 2048))
+//!     .unwrap();
+//! assert_eq!(service.stats().plan_cache.hits, 1);
+//! ```
+//!
+//! A thin TCP front-end speaking a line-delimited protocol (see
+//! [`protocol`]) lives in `examples/serve_tcp.rs`; the closed-loop
+//! throughput benchmark behind `bench_results/BENCH_serve.json` lives in
+//! `crates/bench/benches/serve_throughput.rs`.
+
+#![warn(missing_docs)]
+
+mod admission;
+pub mod error;
+pub mod pipelines;
+pub mod protocol;
+mod service;
+
+pub use error::{Result, ServeError};
+pub use pipelines::builtin_pipelines;
+pub use service::{
+    Pipeline, PipelineService, Request, Response, ServiceBuilder, ServiceConfig, ServiceStats,
+    Session,
+};

@@ -1,0 +1,185 @@
+//! Built-in pipelines over the paper's workload suite
+//! (`crates/workloads`), ready to register with a
+//! [`PipelineService`](crate::PipelineService).
+//!
+//! Each pipeline memoizes its generated inputs per parameter key so
+//! steady-state requests measure pipeline evaluation, not data
+//! generation — the serving analogue of a model server keeping its
+//! weights resident. The memo is bounded (a remote client cycling
+//! seeds must not grow server memory without limit) and sizes are
+//! clamped to [`MAX_ELEMENTS`] / [`MAX_IMAGE_DIM`] so a single
+//! malicious request line cannot trigger a giant allocation.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+use mozart_core::MozartContext;
+
+use crate::error::{Result, ServeError};
+use crate::service::{Pipeline, Request, Response};
+
+/// Largest accepted element count for array pipelines (128 Mi doubles
+/// per input vector would already be ~1 GiB across Black Scholes'
+/// twelve buffers; reject anything above).
+pub const MAX_ELEMENTS: usize = 1 << 24;
+
+/// Largest accepted image dimension (width or height).
+pub const MAX_IMAGE_DIM: usize = 8192;
+
+/// Generated inputs a pipeline keeps per parameter key, at most.
+const MEMO_CAPACITY: usize = 8;
+
+/// A bounded `key -> Arc<value>` memo: at capacity, an arbitrary entry
+/// is evicted before inserting (steady-state serving repeats one key;
+/// the bound only matters against adversarial key churn).
+struct Memo<K, V>(Mutex<HashMap<K, Arc<V>>>);
+
+impl<K: Eq + Hash + Clone, V> Default for Memo<K, V> {
+    fn default() -> Self {
+        Memo(Mutex::new(HashMap::new()))
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Memo<K, V> {
+    fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> Arc<V> {
+        let mut map = self.0.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(v) = map.get(&key) {
+            return v.clone();
+        }
+        if map.len() >= MEMO_CAPACITY {
+            if let Some(evict) = map.keys().next().cloned() {
+                map.remove(&evict);
+            }
+        }
+        let v = Arc::new(make());
+        map.insert(key, v.clone());
+        v
+    }
+}
+
+fn bounded(req: &Request, key: &str, default: usize, max: usize) -> Result<usize> {
+    let v = req.usize_or(key, default)?;
+    if v == 0 || v > max {
+        return Err(ServeError::BadRequest(format!(
+            "parameter {key}={v} out of range (1..={max})"
+        )));
+    }
+    Ok(v)
+}
+
+/// Black Scholes options pricing through the annotated MKL-style
+/// wrappers (27 pipelined in-place vector calls). Parameters: `n`
+/// (option count, default 8192), `seed`.
+#[derive(Default)]
+pub struct BlackScholesPipeline {
+    inputs: Memo<(usize, u64), workloads::black_scholes::Inputs>,
+}
+
+impl Pipeline for BlackScholesPipeline {
+    fn name(&self) -> &'static str {
+        "black_scholes"
+    }
+
+    fn run(&self, ctx: &MozartContext, req: &Request) -> mozart_core::Result<Response> {
+        let n = bounded(req, "n", 8192, MAX_ELEMENTS).map_err(to_library_error)?;
+        let seed = req.u64_or("seed", 42).map_err(to_library_error)?;
+        let inputs = self
+            .inputs
+            .get_or_insert_with((n, seed), || workloads::black_scholes::generate(n, seed));
+        let summary = workloads::black_scholes::mkl_mozart(&inputs, ctx)?;
+        Ok(Response::new(format!(
+            "call_sum={:.6} put_sum={:.6}",
+            summary.call_sum, summary.put_sum
+        )))
+    }
+}
+
+/// Haversine distance through the annotated MKL-style wrappers.
+/// Parameters: `n` (coordinate count, default 8192), `seed`.
+#[derive(Default)]
+pub struct HaversinePipeline {
+    inputs: Memo<(usize, u64), workloads::haversine::Inputs>,
+}
+
+impl Pipeline for HaversinePipeline {
+    fn name(&self) -> &'static str {
+        "haversine"
+    }
+
+    fn run(&self, ctx: &MozartContext, req: &Request) -> mozart_core::Result<Response> {
+        let n = bounded(req, "n", 8192, MAX_ELEMENTS).map_err(to_library_error)?;
+        let seed = req.u64_or("seed", 42).map_err(to_library_error)?;
+        let inputs = self
+            .inputs
+            .get_or_insert_with((n, seed), || workloads::haversine::generate(n, seed));
+        let summary = workloads::haversine::mkl_mozart(&inputs, ctx)?;
+        Ok(Response::new(format!("dist_sum={:.6}", summary.dist_sum)))
+    }
+}
+
+/// The Nashville instagram-filter chain over a synthetic photograph.
+/// Parameters: `width` (default 640), `height` (default 480), `seed`.
+#[derive(Default)]
+pub struct NashvillePipeline {
+    images: Memo<(usize, usize, u64), imagelib::Image>,
+}
+
+impl Pipeline for NashvillePipeline {
+    fn name(&self) -> &'static str {
+        "nashville"
+    }
+
+    fn run(&self, ctx: &MozartContext, req: &Request) -> mozart_core::Result<Response> {
+        let width = bounded(req, "width", 640, MAX_IMAGE_DIM).map_err(to_library_error)?;
+        let height = bounded(req, "height", 480, MAX_IMAGE_DIM).map_err(to_library_error)?;
+        let seed = req.u64_or("seed", 7).map_err(to_library_error)?;
+        let img = self.images.get_or_insert_with((width, height, seed), || {
+            workloads::images::generate(width, height, seed)
+        });
+        let summary = workloads::images::nashville_mozart(&img, ctx)?;
+        Ok(Response::new(format!("mean={:.6}", summary.mean)))
+    }
+}
+
+/// The full built-in pipeline set.
+pub fn builtin_pipelines() -> Vec<Arc<dyn Pipeline>> {
+    vec![
+        Arc::new(BlackScholesPipeline::default()),
+        Arc::new(HaversinePipeline::default()),
+        Arc::new(NashvillePipeline::default()),
+    ]
+}
+
+/// Pipelines report parameter problems through the runtime error type
+/// (the service maps them back to `ServeError::Runtime`; wire clients
+/// still see the message).
+fn to_library_error(e: ServeError) -> mozart_core::Error {
+    mozart_core::Error::Library(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memo_is_bounded() {
+        let memo: Memo<usize, usize> = Memo::default();
+        for k in 0..(MEMO_CAPACITY * 3) {
+            let v = memo.get_or_insert_with(k, || k * 10);
+            assert_eq!(*v, k * 10);
+        }
+        let map = memo.0.lock().unwrap();
+        assert!(map.len() <= MEMO_CAPACITY);
+    }
+
+    #[test]
+    fn size_parameters_are_clamped() {
+        let req = Request::new().with("n", usize::MAX);
+        assert!(bounded(&req, "n", 8192, MAX_ELEMENTS).is_err());
+        let req = Request::new().with("n", 0);
+        assert!(bounded(&req, "n", 8192, MAX_ELEMENTS).is_err());
+        let req = Request::new();
+        assert_eq!(bounded(&req, "n", 8192, MAX_ELEMENTS).unwrap(), 8192);
+    }
+}

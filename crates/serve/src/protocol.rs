@@ -1,0 +1,112 @@
+//! The line-delimited wire protocol spoken by `examples/serve_tcp.rs`.
+//!
+//! Requests are single lines:
+//!
+//! ```text
+//! <pipeline> [key=value]...      run a pipeline
+//! LIST                           list registered pipelines
+//! STATS                          service counters
+//! QUIT                           close the connection
+//! ```
+//!
+//! Responses are single lines: `OK <body>` or `ERR <kind>: <message>`,
+//! with `<kind>` from [`ServeError::kind`]. Everything is UTF-8, no
+//! framing beyond `\n` — trivially scriptable with `nc`.
+
+use crate::error::ServeError;
+use crate::service::Request;
+
+/// A parsed client line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientLine {
+    /// Run the named pipeline with the given parameters.
+    Call(String, Request),
+    /// List registered pipelines.
+    List,
+    /// Report service counters.
+    Stats,
+    /// Close the connection.
+    Quit,
+}
+
+/// Parse one request line.
+pub fn parse_line(line: &str) -> Result<ClientLine, ServeError> {
+    let mut words = line.split_whitespace();
+    let head = words
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("empty request line".into()))?;
+    match head {
+        "LIST" => Ok(ClientLine::List),
+        "STATS" => Ok(ClientLine::Stats),
+        "QUIT" => Ok(ClientLine::Quit),
+        name => {
+            let mut req = Request::new();
+            for word in words {
+                let (key, value) = word.split_once('=').ok_or_else(|| {
+                    ServeError::BadRequest(format!(
+                        "parameter {word:?} is not of the form key=value"
+                    ))
+                })?;
+                if key.is_empty() {
+                    return Err(ServeError::BadRequest(format!(
+                        "parameter {word:?} has an empty key"
+                    )));
+                }
+                req.set(key, value);
+            }
+            Ok(ClientLine::Call(name.to_string(), req))
+        }
+    }
+}
+
+/// Format a successful response line.
+pub fn ok_line(body: &str) -> String {
+    format!("OK {body}")
+}
+
+/// Format an error response line.
+pub fn err_line(e: &ServeError) -> String {
+    format!("ERR {}: {e}", e.kind())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_calls_and_controls() {
+        match parse_line("black_scholes n=4096 seed=7").unwrap() {
+            ClientLine::Call(name, req) => {
+                assert_eq!(name, "black_scholes");
+                assert_eq!(req.get("n"), Some("4096"));
+                assert_eq!(req.get("seed"), Some("7"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parse_line("LIST").unwrap(), ClientLine::List);
+        assert_eq!(parse_line("STATS").unwrap(), ClientLine::Stats);
+        assert_eq!(parse_line("QUIT").unwrap(), ClientLine::Quit);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(parse_line("   "), Err(ServeError::BadRequest(_))));
+        assert!(matches!(
+            parse_line("bs n4096"),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_line("bs =3"),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn response_lines_roundtrip_kind() {
+        assert_eq!(ok_line("x=1"), "OK x=1");
+        let e = ServeError::UnknownPipeline("zap".into());
+        let line = err_line(&e);
+        assert!(line.starts_with("ERR unknown_pipeline:"));
+        assert!(line.contains("zap"));
+    }
+}

@@ -1,0 +1,453 @@
+//! The in-process pipeline service: named pipelines, session handles,
+//! per-request contexts wired to the shared worker pool and plan cache,
+//! and bounded admission.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use mozart_core::{Config, MozartContext, PlanCache, PlanCacheStats, PoolHandle, PoolStats};
+
+use crate::admission::Admission;
+use crate::error::{Result, ServeError};
+
+/// A pipeline request: string parameters keyed by name (the in-process
+/// mirror of the wire protocol's `key=value` pairs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Request {
+    params: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// An empty request (pipelines fall back to their defaults).
+    pub fn new() -> Request {
+        Request::default()
+    }
+
+    /// Set a parameter, builder-style.
+    pub fn with(mut self, key: &str, value: impl ToString) -> Request {
+        self.params.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Set a parameter in place.
+    pub fn set(&mut self, key: &str, value: impl ToString) {
+        self.params.insert(key.to_string(), value.to_string());
+    }
+
+    /// Raw parameter value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(String::as_str)
+    }
+
+    /// Parameters in deterministic (sorted) order.
+    pub fn params(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Parse a `usize` parameter, with a default when absent.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                ServeError::BadRequest(format!("parameter {key}={raw} is not an integer"))
+            }),
+        }
+    }
+
+    /// Parse a `u64` parameter, with a default when absent.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                ServeError::BadRequest(format!("parameter {key}={raw} is not an integer"))
+            }),
+        }
+    }
+}
+
+/// A pipeline response: a single line of `key=value` pairs (checksums,
+/// summaries) suitable for the wire protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Response body (no newlines).
+    pub body: String,
+}
+
+impl Response {
+    /// Wrap a body string.
+    pub fn new(body: impl Into<String>) -> Response {
+        Response { body: body.into() }
+    }
+}
+
+/// A named, registered pipeline: a fixed sequence of annotated calls
+/// over request-parameterized inputs, evaluated through the provided
+/// context. Implementations must be stateless per request (they run
+/// concurrently) but may cache generated inputs internally.
+pub trait Pipeline: Send + Sync {
+    /// The name requests address this pipeline by.
+    fn name(&self) -> &'static str;
+
+    /// Execute the pipeline through `ctx` (already wired to the
+    /// service's shared pool and plan cache).
+    fn run(&self, ctx: &MozartContext, req: &Request) -> mozart_core::Result<Response>;
+}
+
+/// Sizing knobs of a [`PipelineService`]; see
+/// [`ServiceBuilder`](PipelineService::builder).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads available to an evaluation (the shared pool holds
+    /// `workers - 1` threads; the evaluating thread participates).
+    pub workers: usize,
+    /// Concurrent evaluations admitted (defaults to `workers`).
+    pub max_inflight: usize,
+    /// Callers allowed to wait for admission beyond `max_inflight`
+    /// before [`ServeError::Saturated`] is returned.
+    pub queue_depth: usize,
+    /// Plans the shared [`PlanCache`] retains.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = mozart_core::config::default_workers();
+        ServiceConfig {
+            workers,
+            max_inflight: workers,
+            queue_depth: 4 * workers,
+            plan_cache_capacity: 256,
+        }
+    }
+}
+
+/// Cumulative service counters (see [`PipelineService::stats`]).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Requests admitted and started.
+    pub started: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests that failed inside the pipeline.
+    pub failed: u64,
+    /// Sessions opened.
+    pub sessions: u64,
+    /// Requests currently evaluating.
+    pub inflight: usize,
+    /// Callers currently waiting for admission.
+    pub waiting: usize,
+    /// Shared plan cache counters.
+    pub plan_cache: PlanCacheStats,
+    /// Shared worker pool counters (includes per-session fairness).
+    pub pool: PoolStats,
+}
+
+struct ServiceInner {
+    config: ServiceConfig,
+    /// Template for per-request contexts (workers forced to
+    /// `config.workers`); lets operators tune batch sizing, pedantic
+    /// mode, etc. for every session at once.
+    session_config: Config,
+    pool: PoolHandle,
+    cache: Arc<PlanCache>,
+    pipelines: RwLock<HashMap<&'static str, Arc<dyn Pipeline>>>,
+    admission: Admission,
+    session_counter: AtomicU64,
+    started: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// A multi-tenant, in-process pipeline service (the `mozart-serve`
+/// tentpole): every session shares one process-wide worker pool — no
+/// per-client thread oversubscription — and one plan cache, so repeated
+/// structurally identical pipelines skip the planner.
+///
+/// Cloning is cheap; clones share all state. See the crate docs for a
+/// quickstart.
+#[derive(Clone)]
+pub struct PipelineService {
+    inner: Arc<ServiceInner>,
+}
+
+impl PipelineService {
+    /// Start configuring a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder {
+            config: ServiceConfig::default(),
+            max_inflight: None,
+            queue_depth: None,
+            session_config: None,
+            pool: None,
+            pipelines: Vec::new(),
+        }
+    }
+
+    /// Register (or replace) a pipeline after construction.
+    pub fn register(&self, pipeline: Arc<dyn Pipeline>) {
+        let mut map = write(&self.inner.pipelines);
+        map.insert(pipeline.name(), pipeline);
+    }
+
+    /// Names of the registered pipelines, sorted.
+    pub fn pipeline_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = read(&self.inner.pipelines).keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Open a session: the unit of fairness accounting and the handle
+    /// requests go through. Sessions are cheap and `Send`; open one per
+    /// client connection or per client thread.
+    pub fn session(&self) -> Session {
+        let inner = &self.inner;
+        let id = inner.session_counter.fetch_add(1, Ordering::Relaxed);
+        Session {
+            service: self.clone(),
+            id,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The sizing configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// The service's shared worker pool handle.
+    pub fn pool(&self) -> PoolHandle {
+        self.inner.pool.clone()
+    }
+
+    /// The service's shared plan cache.
+    pub fn plan_cache(&self) -> Arc<PlanCache> {
+        self.inner.cache.clone()
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let inner = &self.inner;
+        let (inflight, waiting) = inner.admission.load();
+        ServiceStats {
+            started: inner.started.load(Ordering::Relaxed),
+            completed: inner.completed.load(Ordering::Relaxed),
+            rejected: inner.rejected.load(Ordering::Relaxed),
+            failed: inner.failed.load(Ordering::Relaxed),
+            sessions: inner.session_counter.load(Ordering::Relaxed),
+            inflight,
+            waiting,
+            plan_cache: inner.cache.stats(),
+            pool: inner.pool.stats(),
+        }
+    }
+
+    fn execute(
+        &self,
+        session: &Session,
+        pipeline: &str,
+        req: &Request,
+        wait: bool,
+    ) -> Result<Response> {
+        let inner = &self.inner;
+        let handler = read(&inner.pipelines)
+            .get(pipeline)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownPipeline(pipeline.to_string()))?;
+        let permit = if wait {
+            inner.admission.acquire()
+        } else {
+            inner.admission.try_acquire()
+        };
+        let _permit = match permit {
+            Ok(p) => p,
+            Err(e) => {
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        inner.started.fetch_add(1, Ordering::Relaxed);
+        session.requests.fetch_add(1, Ordering::Relaxed);
+
+        // One short-lived context per request: registration state never
+        // accumulates, while the expensive parts — worker threads and
+        // plans — live in the shared pool and cache.
+        let ctx = MozartContext::new(inner.session_config.clone());
+        ctx.attach_pool(inner.pool.clone())
+            .attach_plan_cache(inner.cache.clone())
+            .set_session_tag(session.id);
+        match handler.run(&ctx, req) {
+            Ok(resp) => {
+                inner.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(resp)
+            }
+            Err(e) => {
+                inner.failed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Runtime(e))
+            }
+        }
+    }
+}
+
+/// Builder for [`PipelineService`].
+pub struct ServiceBuilder {
+    config: ServiceConfig,
+    /// Explicit overrides; `None` means "derive from `workers`" so a
+    /// later [`ServiceBuilder::workers`] call rescales the defaults
+    /// without clobbering values the operator set.
+    max_inflight: Option<usize>,
+    queue_depth: Option<usize>,
+    session_config: Option<Config>,
+    pool: Option<PoolHandle>,
+    pipelines: Vec<Arc<dyn Pipeline>>,
+}
+
+impl ServiceBuilder {
+    /// Worker threads per evaluation (shared pool holds `workers - 1`).
+    /// Unless set explicitly, `max_inflight` defaults to `workers` and
+    /// `queue_depth` to `4 * workers`.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Concurrent evaluations admitted.
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = Some(n.max(1));
+        self
+    }
+
+    /// Waiters allowed beyond `max_inflight` before `Saturated`.
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = Some(n);
+        self
+    }
+
+    /// Plans the shared cache retains.
+    pub fn plan_cache_capacity(mut self, n: usize) -> Self {
+        self.config.plan_cache_capacity = n.max(1);
+        self
+    }
+
+    /// Use an existing pool (e.g. [`mozart_core::global_pool`]) instead
+    /// of spawning one sized `workers - 1`.
+    pub fn pool(mut self, pool: PoolHandle) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Template [`Config`] for per-request contexts (batch sizing,
+    /// pedantic mode, ...). The worker count is overridden by
+    /// [`ServiceBuilder::workers`].
+    pub fn session_config(mut self, config: Config) -> Self {
+        self.session_config = Some(config);
+        self
+    }
+
+    /// Register a pipeline.
+    pub fn pipeline(mut self, p: Arc<dyn Pipeline>) -> Self {
+        self.pipelines.push(p);
+        self
+    }
+
+    /// Register every built-in workload pipeline
+    /// (see [`crate::pipelines::builtin_pipelines`]).
+    pub fn builtin_pipelines(mut self) -> Self {
+        self.pipelines.extend(crate::pipelines::builtin_pipelines());
+        self
+    }
+
+    /// Build the service: spawns (or adopts) the shared pool, creates
+    /// the plan cache, registers the integrations' default split types.
+    pub fn build(self) -> PipelineService {
+        workloads::register_all_defaults();
+        let mut config = self.config;
+        config.max_inflight = self.max_inflight.unwrap_or(config.workers);
+        config.queue_depth = self.queue_depth.unwrap_or(4 * config.workers);
+        let pool = self
+            .pool
+            .unwrap_or_else(|| PoolHandle::new(config.workers.max(1) - 1));
+        let mut session_config = self
+            .session_config
+            .unwrap_or_else(|| Config::with_workers(config.workers));
+        session_config.workers = config.workers;
+        let service = PipelineService {
+            inner: Arc::new(ServiceInner {
+                admission: Admission::new(config.max_inflight, config.queue_depth),
+                cache: Arc::new(PlanCache::new(config.plan_cache_capacity)),
+                session_config,
+                pool,
+                pipelines: RwLock::new(HashMap::new()),
+                session_counter: AtomicU64::new(0),
+                started: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                config,
+            }),
+        };
+        for p in self.pipelines {
+            service.register(p);
+        }
+        service
+    }
+}
+
+/// One client's handle onto a [`PipelineService`]. The session id tags
+/// every request context, so the shared pool's
+/// [`PoolStats::sessions`] fairness accounting aggregates per client
+/// rather than per short-lived request context.
+pub struct Session {
+    service: PipelineService,
+    id: u64,
+    requests: AtomicU64,
+}
+
+impl Session {
+    /// This session's id (the pool's fairness key).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Requests this session has submitted.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Run `pipeline` with `req`, waiting in the bounded admission
+    /// queue if the service is busy. Returns
+    /// [`ServeError::Saturated`] once the queue itself is full.
+    pub fn call(&self, pipeline: &str, req: &Request) -> Result<Response> {
+        self.service.execute(self, pipeline, req, true)
+    }
+
+    /// Run `pipeline` with `req` only if a slot is free right now;
+    /// never waits.
+    pub fn try_call(&self, pipeline: &str, req: &Request) -> Result<Response> {
+        self.service.execute(self, pipeline, req, false)
+    }
+
+    /// A fresh context wired like this session's request contexts
+    /// (shared pool, shared plan cache, this session's tag) — for
+    /// callers that want to run ad-hoc annotated calls under the
+    /// service's resource envelope. Bypasses admission control.
+    pub fn context(&self) -> MozartContext {
+        let inner = &self.service.inner;
+        let ctx = MozartContext::new(inner.session_config.clone());
+        ctx.attach_pool(inner.pool.clone())
+            .attach_plan_cache(inner.cache.clone())
+            .set_session_tag(self.id);
+        ctx
+    }
+}
+
+fn read<'a, K, V>(l: &'a RwLock<HashMap<K, V>>) -> std::sync::RwLockReadGuard<'a, HashMap<K, V>> {
+    l.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write<'a, K, V>(l: &'a RwLock<HashMap<K, V>>) -> std::sync::RwLockWriteGuard<'a, HashMap<K, V>> {
+    l.write().unwrap_or_else(|p| p.into_inner())
+}

@@ -1,0 +1,205 @@
+//! End-to-end tests of the serving layer: concurrent sessions over the
+//! shared pool, plan-cache behavior across requests, and admission
+//! backpressure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use mozart_core::{Config, MozartContext};
+use mozart_serve::{Pipeline, PipelineService, Request, Response, ServeError};
+
+fn small_service(workers: usize) -> PipelineService {
+    let mut cfg = Config::with_workers(workers);
+    // Multi-batch stages even on hosts with big L2 caches, so the
+    // shared pool actually runs jobs.
+    cfg.batch_override = Some(512);
+    PipelineService::builder()
+        .workers(workers)
+        .session_config(cfg)
+        .builtin_pipelines()
+        .build()
+}
+
+#[test]
+fn concurrent_sessions_compute_correct_results() {
+    let service = small_service(2);
+    let expected = {
+        // Reference result straight from the workload.
+        let inputs = workloads::black_scholes::generate(2048, 42);
+        workloads::black_scholes::mkl_base(&inputs)
+    };
+    let req = Request::new().with("n", 2048);
+    // Warm the cache once so the concurrent phase is deterministic
+    // (otherwise several threads can race to the same cold miss).
+    service.session().call("black_scholes", &req).unwrap();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let session = service.session();
+                let req = req.clone();
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let resp = session.call("black_scholes", &req).unwrap();
+                        let want = format!(
+                            "call_sum={:.6} put_sum={:.6}",
+                            expected.call_sum, expected.put_sum
+                        );
+                        assert_eq!(resp.body, want);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.started, 21);
+    assert_eq!(stats.completed, 21);
+    assert_eq!(stats.failed, 0);
+    // 21 structurally identical requests: one cold miss, 20 replays.
+    assert_eq!(stats.plan_cache.hits, 20);
+    assert!(stats.plan_cache.hit_rate() > 0.9);
+    // The shared pool ran jobs for several distinct sessions.
+    assert!(stats.pool.jobs > 0, "pool stats: {:?}", stats.pool);
+    assert!(stats.pool.sessions.len() >= 2);
+}
+
+#[test]
+fn shape_and_pipeline_changes_invalidate_cached_plans() {
+    let service = small_service(1);
+    let session = service.session();
+    session
+        .call("black_scholes", &Request::new().with("n", 1024))
+        .unwrap();
+    session
+        .call("black_scholes", &Request::new().with("n", 1024))
+        .unwrap();
+    let s = service.stats().plan_cache;
+    assert_eq!((s.hits, s.misses), (1, 1));
+    // Shape change: different n, new fingerprint, planned fresh.
+    session
+        .call("black_scholes", &Request::new().with("n", 1536))
+        .unwrap();
+    let s = service.stats().plan_cache;
+    assert_eq!((s.hits, s.misses), (1, 2));
+    // Different pipeline (different annotations and split types).
+    session
+        .call("haversine", &Request::new().with("n", 1024))
+        .unwrap();
+    let s = service.stats().plan_cache;
+    assert_eq!((s.hits, s.misses), (1, 3));
+    assert_eq!(s.entries, 3);
+    // Every variant now replays from its own entry.
+    session
+        .call("black_scholes", &Request::new().with("n", 1536))
+        .unwrap();
+    session
+        .call("haversine", &Request::new().with("n", 1024))
+        .unwrap();
+    assert_eq!(service.stats().plan_cache.hits, 3);
+}
+
+/// A pipeline that blocks until released, for admission tests.
+struct StallPipeline {
+    started: Arc<AtomicU64>,
+    release: Arc<Barrier>,
+}
+
+impl Pipeline for StallPipeline {
+    fn name(&self) -> &'static str {
+        "stall"
+    }
+    fn run(&self, _ctx: &MozartContext, _req: &Request) -> mozart_core::Result<Response> {
+        self.started.fetch_add(1, Ordering::SeqCst);
+        self.release.wait();
+        Ok(Response::new("stalled"))
+    }
+}
+
+#[test]
+fn admission_queue_backpressure_returns_typed_error() {
+    let started = Arc::new(AtomicU64::new(0));
+    let release = Arc::new(Barrier::new(2));
+    let service = PipelineService::builder()
+        .workers(1)
+        .max_inflight(1)
+        .queue_depth(0)
+        .pipeline(Arc::new(StallPipeline {
+            started: started.clone(),
+            release: release.clone(),
+        }))
+        .build();
+    let session = service.session();
+
+    std::thread::scope(|s| {
+        let svc = service.clone();
+        let occupant = s.spawn(move || {
+            let session = svc.session();
+            session.call("stall", &Request::new()).unwrap()
+        });
+        // Wait until the occupant holds the only slot.
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Queue depth 0: both flavors reject immediately with the
+        // typed backpressure error.
+        let err = session.try_call("stall", &Request::new()).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Saturated {
+                max_inflight: 1,
+                queue_depth: 0
+            }
+        );
+        let err = session.call("stall", &Request::new()).unwrap_err();
+        assert!(matches!(err, ServeError::Saturated { .. }));
+        release.wait(); // let the occupant finish
+        assert_eq!(occupant.join().unwrap().body, "stalled");
+    });
+    let stats = service.stats();
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn builder_order_does_not_clobber_explicit_limits() {
+    // Admission limits set before `workers` must survive it; unset
+    // limits derive from the final worker count.
+    let service = PipelineService::builder()
+        .max_inflight(2)
+        .workers(8)
+        .build();
+    assert_eq!(service.config().max_inflight, 2);
+    assert_eq!(service.config().queue_depth, 32);
+}
+
+#[test]
+fn unknown_pipeline_is_a_typed_error() {
+    let service = small_service(1);
+    let session = service.session();
+    match session.call("definitely_not_registered", &Request::new()) {
+        Err(ServeError::UnknownPipeline(name)) => {
+            assert_eq!(name, "definitely_not_registered")
+        }
+        other => panic!("expected UnknownPipeline, got {other:?}"),
+    }
+    // Unknown pipelines are rejected before admission: not counted as
+    // started or rejected-by-saturation.
+    let stats = service.stats();
+    assert_eq!(stats.started, 0);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn bad_parameters_surface_as_runtime_errors() {
+    let service = small_service(1);
+    let session = service.session();
+    let err = session
+        .call("black_scholes", &Request::new().with("n", "not_a_number"))
+        .unwrap_err();
+    assert_eq!(err.kind(), "runtime");
+    assert!(err.to_string().contains("not_a_number"));
+    assert_eq!(service.stats().failed, 1);
+}

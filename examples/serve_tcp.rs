@@ -1,0 +1,163 @@
+//! A thin TCP front-end for [`mozart_serve::PipelineService`], speaking
+//! the line-delimited protocol of [`mozart_serve::protocol`] over
+//! `std::net` (no async runtime, no external dependencies).
+//!
+//! ```text
+//! cargo run --release --example serve_tcp            # serve until killed
+//! cargo run --release --example serve_tcp -- --self-test
+//! ```
+//!
+//! With `--self-test` the process starts the server on an ephemeral
+//! port, runs a scripted client conversation against it (including a
+//! deliberately malformed request), prints the transcript, and exits —
+//! a smoke test that needs no second terminal. The listen address is
+//! `MOZART_SERVE_ADDR` (default `127.0.0.1:7878`, or an ephemeral port
+//! in self-test mode).
+//!
+//! Example session (`nc 127.0.0.1 7878`):
+//!
+//! ```text
+//! > LIST
+//! OK black_scholes haversine nashville
+//! > black_scholes n=4096
+//! OK call_sum=47332.145277 put_sum=39160.581264
+//! > STATS
+//! OK started=1 completed=1 rejected=0 failed=0 plan_hits=0 plan_misses=1 ...
+//! > QUIT
+//! OK bye
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use mozart_serve::protocol::{err_line, ok_line, parse_line, ClientLine};
+use mozart_serve::PipelineService;
+
+fn main() {
+    let self_test = std::env::args().any(|a| a == "--self-test");
+    let service = PipelineService::builder()
+        .workers(mozart_core::config::default_workers().min(4))
+        .builtin_pipelines()
+        .build();
+
+    let addr = std::env::var("MOZART_SERVE_ADDR").unwrap_or_else(|_| {
+        if self_test {
+            "127.0.0.1:0".to_string()
+        } else {
+            "127.0.0.1:7878".to_string()
+        }
+    });
+    let listener = TcpListener::bind(&addr).expect("bind listen address");
+    let local = listener.local_addr().expect("local addr");
+    println!("mozart-serve listening on {local}");
+    println!("pipelines: {}", service.pipeline_names().join(" "));
+
+    if self_test {
+        let server = {
+            let service = service.clone();
+            std::thread::spawn(move || accept_loop(listener, service))
+        };
+        run_self_test(local);
+        let stats = service.stats();
+        println!(
+            "self-test done: started={} completed={} plan_hits={} plan_misses={}",
+            stats.started, stats.completed, stats.plan_cache.hits, stats.plan_cache.misses
+        );
+        // The listener thread blocks in accept(); exiting the process
+        // reaps it, like any signal-terminated server.
+        drop(server);
+        return;
+    }
+    accept_loop(listener, service);
+}
+
+fn accept_loop(listener: TcpListener, service: PipelineService) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let service = service.clone();
+        std::thread::spawn(move || {
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".into());
+            if let Err(e) = serve_connection(stream, &service) {
+                eprintln!("connection {peer}: {e}");
+            }
+        });
+    }
+}
+
+/// Serve one connection: one session, one request per line.
+fn serve_connection(stream: TcpStream, service: &PipelineService) -> std::io::Result<()> {
+    let session = service.session();
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match parse_line(&line) {
+            Ok(ClientLine::Quit) => {
+                writeln!(writer, "{}", ok_line("bye"))?;
+                break;
+            }
+            Ok(ClientLine::List) => ok_line(&service.pipeline_names().join(" ")),
+            Ok(ClientLine::Stats) => ok_line(&stats_body(service)),
+            Ok(ClientLine::Call(name, req)) => match session.call(&name, &req) {
+                Ok(resp) => ok_line(&resp.body),
+                Err(e) => err_line(&e),
+            },
+            Err(e) => err_line(&e),
+        };
+        writeln!(writer, "{reply}")?;
+    }
+    Ok(())
+}
+
+fn stats_body(service: &PipelineService) -> String {
+    let s = service.stats();
+    format!(
+        "started={} completed={} rejected={} failed={} sessions={} inflight={} \
+         plan_hits={} plan_misses={} plan_entries={} pool_workers={} pool_jobs={}",
+        s.started,
+        s.completed,
+        s.rejected,
+        s.failed,
+        s.sessions,
+        s.inflight,
+        s.plan_cache.hits,
+        s.plan_cache.misses,
+        s.plan_cache.entries,
+        s.pool.workers,
+        s.pool.jobs,
+    )
+}
+
+fn run_self_test(addr: std::net::SocketAddr) {
+    let stream = TcpStream::connect(addr).expect("connect to self");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let script = [
+        "LIST",
+        "black_scholes n=2048",
+        "black_scholes n=2048", // identical: served from the plan cache
+        "haversine n=1024 seed=3",
+        "no_such_pipeline",
+        "black_scholes n=abc",
+        "STATS",
+        "QUIT",
+    ];
+    for line in script {
+        writeln!(writer, "{line}").expect("send");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("recv");
+        print!("> {line}\n{reply}");
+        let expect_err = line.contains("no_such") || line.contains("abc");
+        assert_eq!(
+            reply.starts_with("ERR"),
+            expect_err,
+            "unexpected reply to {line:?}: {reply:?}"
+        );
+    }
+}
