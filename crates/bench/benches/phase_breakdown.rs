@@ -1,0 +1,219 @@
+//! Phase breakdown with placement merges on vs off: split/task/merge
+//! fractions for the Black Scholes (MKL) and Nashville (ImageMagick)
+//! workloads under `Config::placement_merge = true` (preallocated
+//! outputs, workers write pieces in place, overlapped final merges)
+//! and `false` (the historic collect-then-concat ablation).
+//!
+//! Nashville is the workload the fast path targets — its split/merge
+//! used to copy every pixel twice — so the bench *asserts* that its
+//! merge fraction with placement on is at least 2x below the
+//! placement-off run, and that both configurations produce identical
+//! workload outputs (summary checksums against the copying baseline).
+//!
+//! Emits `bench_results/BENCH_phases.json`.
+
+use mozart_bench::{write_results, BenchOpts};
+use mozart_core::{Config, PhaseStats};
+
+struct Measured {
+    stats: PhaseStats,
+    seconds: f64,
+    checksum: f64,
+}
+
+/// Phase fractions of the accounted total.
+fn fractions(p: &PhaseStats) -> (f64, f64, f64) {
+    let t = p.total().as_secs_f64();
+    if t == 0.0 {
+        return (0.0, 0.0, 0.0);
+    }
+    (
+        p.split.as_secs_f64() / t,
+        p.task.as_secs_f64() / t,
+        p.merge.as_secs_f64() / t,
+    )
+}
+
+fn run_workload(
+    threads: usize,
+    placement: bool,
+    batch: Option<u64>,
+    evals: usize,
+    mut f: impl FnMut(&mozart_core::MozartContext) -> f64,
+) -> Measured {
+    let mut cfg = Config::with_workers(threads);
+    cfg.placement_merge = placement;
+    cfg.batch_override = batch;
+    // One context per evaluation — the serving model, and the honest
+    // measurement: a context's dataflow graph retains every value it
+    // ever produced, so a long-lived bench context would pin all prior
+    // evals' outputs in memory and keep the allocator permanently
+    // cold. A shared pool keeps worker threads persistent across the
+    // contexts, like `PipelineService` does.
+    let pool = mozart_core::PoolHandle::new(threads.saturating_sub(1));
+    let run_once = |f: &mut dyn FnMut(&mozart_core::MozartContext) -> f64| {
+        let ctx = workloads::mozart_context_with(cfg.clone());
+        ctx.attach_pool(pool.clone());
+        let checksum = f(&ctx);
+        (checksum, ctx.take_stats())
+    };
+    // Two warm-up evaluations (fault pages, let the allocator adapt
+    // its mmap threshold — glibc only raises it after freeing an
+    // mmap'd block, and reuse needs one more cycle), then accumulate
+    // stats over `evals` timed evaluations so short smoke runs still
+    // measure microseconds-scale merges reliably.
+    let (mut checksum, _) = run_once(&mut f);
+    let _ = run_once(&mut f);
+    let mut stats = PhaseStats::default();
+    let t0 = std::time::Instant::now();
+    for _ in 0..evals {
+        let (c, s) = run_once(&mut f);
+        checksum = c;
+        stats.accumulate(&s);
+    }
+    let seconds = t0.elapsed().as_secs_f64() / evals as f64;
+    Measured {
+        stats,
+        seconds,
+        checksum,
+    }
+}
+
+fn json_entry(m: &Measured, matches: bool) -> String {
+    let (split, task, merge) = fractions(&m.stats);
+    format!(
+        "{{ \"split\": {split:.4}, \"task\": {task:.4}, \"merge\": {merge:.4}, \
+         \"seconds\": {:.6}, \"placement_writes\": {}, \"overlapped_merges\": {}, \
+         \"checksum_matches_baseline\": {matches} }}",
+        m.seconds, m.stats.placement_writes, m.stats.overlapped_merges
+    )
+}
+
+fn print_pair(name: &str, on: &Measured, off: &Measured) {
+    println!("\n=== phase_breakdown: {name} ===");
+    for (label, m) in [("placement on ", on), ("placement off", off)] {
+        let (split, task, merge) = fractions(&m.stats);
+        println!(
+            "{label}: split {:5.1}%  task {:5.1}%  merge {:5.1}%  ({:.4}s/eval, \
+             {} placement writes, {} overlapped merges)",
+            split * 100.0,
+            task * 100.0,
+            merge * 100.0,
+            m.seconds,
+            m.stats.placement_writes,
+            m.stats.overlapped_merges
+        );
+    }
+    let (_, _, merge_on) = fractions(&on.stats);
+    let (_, _, merge_off) = fractions(&off.stats);
+    if merge_on > 0.0 {
+        println!(
+            "merge fraction ratio (off/on): {:.1}x",
+            merge_off / merge_on
+        );
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let threads = *opts.threads.last().unwrap_or(&16);
+    let evals = opts.reps.max(2) * 3;
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-5 * a.abs().max(b.abs()).max(1.0);
+
+    // ---- Black Scholes (MKL): outputs are mut-arg SliceViews that
+    // already write in place, so placement changes little — reported
+    // as the control.
+    let (bs_on, bs_off, bs_base) = {
+        use workloads::black_scholes as bs;
+        let n = opts.size(1 << 19);
+        let inp = bs::generate(n, 42);
+        let base = bs::mkl_base(&inp).call_sum;
+        let run = |placement| {
+            run_workload(threads, placement, None, evals, |ctx| {
+                bs::mkl_mozart(&inp, ctx).expect("run").call_sum
+            })
+        };
+        (run(true), run(false), base)
+    };
+
+    // ---- Nashville (ImageMagick): concat-shaped image output, the
+    // placement target. A sub-heuristic batch override keeps dozens of
+    // batches in flight even at smoke scales, so the merge phase is
+    // actually exercised.
+    let (na_on, na_off, na_base) = {
+        use workloads::images as im;
+        let (w, h) = (opts.size(1600), opts.size(1200));
+        let img = im::generate(w, h, 3);
+        let batch = Some(32);
+        let base = im::nashville_base(&img).mean;
+        let run = |placement| {
+            run_workload(threads, placement, batch, evals, |ctx| {
+                im::nashville_mozart(&img, ctx).expect("run").mean
+            })
+        };
+        (run(true), run(false), base)
+    };
+
+    print_pair("black_scholes", &bs_on, &bs_off);
+    print_pair("nashville", &na_on, &na_off);
+
+    let bs_match = close(bs_on.checksum, bs_base) && close(bs_off.checksum, bs_base);
+    let na_match = close(na_on.checksum, na_base) && close(na_off.checksum, na_base);
+
+    let mut json = String::from("{\n  \"figure\": \"phase_breakdown\",\n");
+    json.push_str(&format!(
+        "  \"threads\": {threads},\n  \"evals\": {evals},\n"
+    ));
+    json.push_str("  \"workloads\": {\n");
+    json.push_str(&format!(
+        "    \"black_scholes\": {{ \"placement_on\": {}, \"placement_off\": {} }},\n",
+        json_entry(&bs_on, bs_match),
+        json_entry(&bs_off, bs_match)
+    ));
+    json.push_str(&format!(
+        "    \"nashville\": {{ \"placement_on\": {}, \"placement_off\": {} }}\n",
+        json_entry(&na_on, na_match),
+        json_entry(&na_off, na_match)
+    ));
+    let na_merge_on = na_on.stats.merge_fraction();
+    let na_merge_off = na_off.stats.merge_fraction();
+    json.push_str(&format!(
+        "  }},\n  \"nashville_merge_fraction_ratio\": {:.4}\n}}\n",
+        if na_merge_on > 0.0 {
+            na_merge_off / na_merge_on
+        } else {
+            f64::INFINITY
+        }
+    ));
+    write_results("BENCH_phases.json", &json);
+
+    // CI gates: the fast path must be invisible in outputs and must
+    // actually shrink Nashville's merge share.
+    assert!(
+        bs_match && na_match,
+        "workload checksums diverged from the copying baseline: \
+         bs {} / {} vs {bs_base}; nashville {} / {} vs {na_base}",
+        bs_on.checksum,
+        bs_off.checksum,
+        na_on.checksum,
+        na_off.checksum
+    );
+    assert!(
+        na_on.stats.placement_writes > 0,
+        "nashville never took the placement path: {:?}",
+        na_on.stats
+    );
+    assert!(
+        na_merge_on * 2.0 <= na_merge_off,
+        "nashville merge fraction with placement on ({:.4}) must be at \
+         least 2x below placement off ({:.4})",
+        na_merge_on,
+        na_merge_off
+    );
+    println!("\nchecksums match the copying baseline; nashville merge fraction");
+    println!(
+        "placement on {:.2}% vs off {:.2}% — gate passed.",
+        na_merge_on * 100.0,
+        na_merge_off * 100.0
+    );
+}

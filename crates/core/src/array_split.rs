@@ -4,11 +4,18 @@
 //! Pieces are [`SliceView`]s aliasing the parent buffer, so functions
 //! that mutate their output argument write directly into the final
 //! location and no merge is required (the MKL convention).
+//!
+//! Functions that instead *return* freshly allocated arrays per batch
+//! merge by **placement**: the runtime preallocates one `SharedVec` of
+//! the full length and workers copy their pieces in at their element
+//! offsets ([`Splitter::alloc_merged`]). When the exemplar piece is a
+//! [`SliceView`] — the pieces already alias one final buffer — placement
+//! is declined, since recovering the parent is cheaper than any copy.
 
 use std::ops::Range;
 use std::sync::Arc;
 
-use crate::buffer::{SliceView, VecValue};
+use crate::buffer::{SharedVec, SliceView, VecValue};
 use crate::error::{Error, Result};
 use crate::registry::register_default_splitter;
 use crate::split::{Params, RuntimeInfo, Splitter};
@@ -121,6 +128,90 @@ impl Splitter for ArraySplit {
     fn needs_merge(&self) -> bool {
         false
     }
+
+    fn alloc_merged(
+        &self,
+        total_elements: u64,
+        _params: &Params,
+        exemplar: Option<&DataValue>,
+    ) -> Result<Option<DataValue>> {
+        // Whether placement pays depends on what the pieces are, so
+        // the stage-start probe (no exemplar yet) is declined.
+        let Some(exemplar) = exemplar else {
+            return Ok(None);
+        };
+        // SliceView pieces alias a parent buffer already — `merge`
+        // recovers it without touching a single element, so placement
+        // (which would copy) is a regression there. Fresh owned arrays
+        // (`VecValue` pieces) are what placement exists for.
+        if exemplar.downcast_ref::<SliceView>().is_some() {
+            return Ok(None);
+        }
+        if exemplar.downcast_ref::<VecValue>().is_none() {
+            return Ok(None);
+        }
+        // SAFETY: the executor's coverage check guarantees every
+        // element of the placement output is written before the merged
+        // value is released (or it is truncated to the written
+        // prefix), so the unspecified initial contents are never read.
+        let out = unsafe { SharedVec::uninit_prefaulted(total_elements as usize) };
+        Ok(Some(DataValue::new(VecValue(out))))
+    }
+
+    fn write_piece(&self, out: &DataValue, offset: u64, piece: &DataValue) -> Result<u64> {
+        let dst = out.downcast_ref::<VecValue>().ok_or_else(|| Error::Merge {
+            split_type: "ArraySplit",
+            message: format!("placement output is {}, not VecValue", out.type_name()),
+        })?;
+        let write = |src: &[f64]| -> Result<u64> {
+            let offset = offset as usize;
+            if offset
+                .checked_add(src.len())
+                .is_none_or(|e| e > dst.0.len())
+            {
+                return Err(Error::Merge {
+                    split_type: "ArraySplit",
+                    message: format!(
+                        "piece of {} elements at offset {offset} exceeds output length {}",
+                        src.len(),
+                        dst.0.len()
+                    ),
+                });
+            }
+            // SAFETY: the executor guarantees concurrent `write_piece`
+            // calls cover disjoint element ranges, and the bounds were
+            // checked above.
+            unsafe { dst.0.slice_mut_unchecked(offset, src.len()) }.copy_from_slice(src);
+            Ok(src.len() as u64)
+        };
+        if let Some(v) = piece.downcast_ref::<VecValue>() {
+            return write(v.0.as_slice());
+        }
+        if let Some(v) = piece.downcast_ref::<SliceView>() {
+            // SAFETY: pieces are read-only during the merge phase; the
+            // written range belongs to `dst`, a different buffer.
+            return write(unsafe { v.as_slice() });
+        }
+        Err(Error::Merge {
+            split_type: "ArraySplit",
+            message: format!("unexpected placement piece type {}", piece.type_name()),
+        })
+    }
+
+    fn truncate_merged(
+        &self,
+        out: DataValue,
+        elements: u64,
+        _params: &Params,
+    ) -> Result<DataValue> {
+        let v = out.downcast_ref::<VecValue>().ok_or_else(|| Error::Merge {
+            split_type: "ArraySplit",
+            message: format!("placement output is {}, not VecValue", out.type_name()),
+        })?;
+        // Rare path (NULL-split tail): copy the written prefix out.
+        let prefix = v.0.as_slice()[..(elements as usize).min(v.0.len())].to_vec();
+        Ok(DataValue::new(VecValue(SharedVec::from_vec(prefix))))
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +270,40 @@ mod tests {
         let v = merged.downcast_ref::<VecValue>().unwrap();
         assert_eq!(v.0.len(), 10);
         assert!(!s.needs_merge());
+    }
+
+    #[test]
+    fn placement_declined_for_aliasing_views_taken_for_fresh_arrays() {
+        let s = ArraySplit;
+        let arr = vec_value(8);
+        let params = vec![8];
+        // SliceView exemplar: the pieces already alias a final buffer;
+        // recovering the parent beats copying.
+        let view = s.split(&arr, 0..4, &params).unwrap().unwrap();
+        assert!(s.alloc_merged(8, &params, Some(&view)).unwrap().is_none());
+        // Fresh VecValue exemplar: placement engages.
+        let fresh = DataValue::new(VecValue(SharedVec::from_vec(vec![1.0, 2.0])));
+        let out = s.alloc_merged(8, &params, Some(&fresh)).unwrap().unwrap();
+        // Out-of-order writes land at their offsets; views and owned
+        // pieces both write. (The output is uninitialized until
+        // written, so the test covers all 8 elements before reading.)
+        s.write_piece(&out, 4, &view).unwrap();
+        s.write_piece(&out, 2, &fresh).unwrap();
+        s.write_piece(&out, 0, &fresh).unwrap();
+        let v = out.downcast_ref::<VecValue>().unwrap();
+        assert_eq!(
+            v.0.as_slice(),
+            &[1.0, 2.0, 1.0, 2.0, 0.0, 1.0, 2.0, 3.0],
+            "views copy their aliased elements, fresh pieces their own"
+        );
+        // Out-of-range writes are rejected before touching memory.
+        assert!(s.write_piece(&out, 7, &fresh).is_err());
+        // Truncation returns the written prefix.
+        let t = s.truncate_merged(out, 4, &params).unwrap();
+        assert_eq!(
+            t.downcast_ref::<VecValue>().unwrap().0.as_slice(),
+            &[1.0, 2.0, 1.0, 2.0]
+        );
     }
 
     #[test]

@@ -129,6 +129,171 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedVec<T> {
     pub fn zeros(len: usize) -> Self {
         Self::from_vec(vec![T::default(); len])
     }
+
+    /// [`SharedVec::zeros`], with every page of the buffer faulted in
+    /// up front (see [`prefault_writable`]): placement-merge targets
+    /// take their first-touch page faults once, single-threaded, at
+    /// allocation, so the parallel placement writes are pure memory
+    /// copies.
+    pub fn zeros_prefaulted(len: usize) -> Self {
+        let v = Self::zeros(len);
+        // SAFETY: the buffer was just created, is UnsafeCell-backed,
+        // and has no other observer.
+        unsafe { prefault_writable(v.base_ptr() as *mut u8, len * std::mem::size_of::<T>()) };
+        v
+    }
+
+    /// Allocate a buffer of `len` elements with *unspecified* contents,
+    /// prefaulted like [`SharedVec::zeros_prefaulted`] but without the
+    /// zeroing pass. For placement-merge targets the zeroing is dead
+    /// work in every outcome: full coverage overwrites every element,
+    /// a `NULL`-split tail is truncated to the written prefix, and an
+    /// interior gap fails the merge — no unwritten element is ever
+    /// read.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure every element range is written before it
+    /// is read through any API of the returned buffer. The placement
+    /// executor guarantees this: the merged value is only released
+    /// after its coverage check, restricted to the written prefix.
+    #[allow(clippy::uninit_vec)] // the uninit window is this function's documented contract
+    pub unsafe fn uninit_prefaulted(len: usize) -> Self {
+        let mut v: Vec<UnsafeCell<T>> = Vec::with_capacity(len);
+        // SAFETY: capacity was just reserved; `T: Copy` so the elements
+        // have no drop obligations, and the caller contract defers
+        // initialization to the first writes.
+        unsafe { v.set_len(len) };
+        let sv = SharedVec {
+            inner: Arc::new(Inner {
+                storage: RawStorage(v.into_boxed_slice()),
+                protect: ProtectFlag::default(),
+            }),
+        };
+        // SAFETY: freshly created, no other observer. Clobbering one
+        // byte per page of unspecified contents is itself unspecified
+        // contents, so zero-writing is the page touch of choice (a
+        // read-back touch would read uninitialized memory).
+        unsafe { prefault_pages_clobber(sv.base_ptr() as *mut u8, len * std::mem::size_of::<T>()) };
+        sv
+    }
+}
+
+/// Fault in every page of a writable buffer, single-threaded, before
+/// parallel writers hit it.
+///
+/// Zeroed allocations are lazy (copy-on-write zero pages); a buffer
+/// that many threads immediately fill in parallel — a placement-merge
+/// target — would otherwise take its first-touch faults concurrently
+/// on one shared mapping, serializing on kernel page-table locks (and
+/// spinning against preempted lock holders on oversubscribed hosts).
+/// On Linux the region is first `madvise(MADV_HUGEPAGE)`d (best
+/// effort): under THP `madvise` policy that turns one fault per 4 KiB
+/// page into one per 2 MiB region, which on fault-expensive
+/// virtualized hosts is most of the allocation's cost.
+///
+/// # Safety
+///
+/// `ptr..ptr + bytes` must be a live allocation the caller may write
+/// through (interior-mutable or exclusively owned), with no concurrent
+/// access.
+pub unsafe fn prefault_writable(ptr: *mut u8, bytes: usize) {
+    if bytes == 0 {
+        return;
+    }
+    // SAFETY: forwarded contract.
+    unsafe {
+        advise_hugepages(ptr, bytes);
+    }
+    let mut off = 0;
+    while off < bytes {
+        // SAFETY: in-bounds per the loop condition; exclusivity is the
+        // caller's obligation. Rewriting the byte already there is a
+        // bitwise no-op but forces the page present for writing;
+        // volatile defeats the malloc+memset→calloc optimization that
+        // would make the touch lazy again.
+        unsafe {
+            let b = std::ptr::read_volatile(ptr.add(off) as *const u8);
+            std::ptr::write_volatile(ptr.add(off), b);
+        }
+        off += 4096;
+    }
+}
+
+/// Page-touch variant for buffers with unspecified contents: writes a
+/// zero byte per page instead of reading anything back.
+///
+/// # Safety
+///
+/// Same range/exclusivity contract as [`prefault_writable`]; in
+/// addition the caller must tolerate one byte per page being
+/// clobbered (trivially true for uninitialized buffers).
+unsafe fn prefault_pages_clobber(ptr: *mut u8, bytes: usize) {
+    if bytes == 0 {
+        return;
+    }
+    // SAFETY: forwarded contract.
+    unsafe {
+        advise_hugepages(ptr, bytes);
+    }
+    let mut off = 0;
+    while off < bytes {
+        // SAFETY: in-bounds per the loop condition; exclusivity is the
+        // caller's obligation.
+        unsafe { std::ptr::write_volatile(ptr.add(off), 0) };
+        off += 4096;
+    }
+}
+
+/// Best-effort `madvise(MADV_HUGEPAGE)` over the page-aligned interior
+/// of the range: under THP `madvise` policy, one fault per 2 MiB
+/// region instead of one per 4 KiB page.
+///
+/// # Safety
+///
+/// `ptr..ptr + bytes` must be a live allocation owned by the caller.
+#[allow(unused_variables)]
+unsafe fn advise_hugepages(ptr: *mut u8, bytes: usize) {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    {
+        const MADV_HUGEPAGE: i64 = 14;
+        // Page-align inward; madvise requires an aligned start address.
+        let start = (ptr as usize).next_multiple_of(4096);
+        let end = ptr as usize + bytes;
+        if end > start {
+            let _ret: i64;
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: madvise(2) on an owned mapping range; advisory
+            // only, failure is ignored.
+            unsafe {
+                std::arch::asm!(
+                    "syscall",
+                    inlateout("rax") 28i64 => _ret, // __NR_madvise
+                    in("rdi") start,
+                    in("rsi") end - start,
+                    in("rdx") MADV_HUGEPAGE,
+                    lateout("rcx") _,
+                    lateout("r11") _,
+                    options(nostack),
+                );
+            }
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: as above.
+            unsafe {
+                std::arch::asm!(
+                    "svc 0",
+                    inlateout("x8") 233i64 => _, // __NR_madvise
+                    inlateout("x0") start => _ret,
+                    in("x1") end - start,
+                    in("x2") MADV_HUGEPAGE,
+                    options(nostack),
+                );
+            }
+        }
+    }
 }
 
 impl<T: Copy + Send + Sync + 'static> SharedVec<T> {

@@ -27,6 +27,18 @@ pub struct Config {
     /// threads — the historic behavior, kept as a measured ablation for
     /// the `fig5_overheads` benchmark.
     pub reuse_pool: bool,
+    /// When `true` (the default), Merge outputs take the *placement*
+    /// fast path where the split type supports it: the merged value is
+    /// preallocated once and workers write result pieces directly at
+    /// their element offsets inside the driver loop
+    /// ([`Splitter::alloc_merged`](crate::split::Splitter::alloc_merged)),
+    /// and final merges of non-placement outputs that nothing later in
+    /// the graph consumes are dispatched to the worker pool so they
+    /// overlap with planning and executing subsequent stages. When
+    /// `false`, every merge runs the historic collect-then-concat path
+    /// serially on the caller — kept as a measured ablation for the
+    /// `phase_breakdown` benchmark.
+    pub placement_merge: bool,
     /// Pedantic mode (§7.1): panic-free runtime checks that splits agree
     /// on element counts, pieces are non-NULL, etc., surfaced as errors.
     pub pedantic: bool,
@@ -43,6 +55,7 @@ impl Default for Config {
             batch_override: None,
             pipeline: true,
             reuse_pool: true,
+            placement_merge: true,
             pedantic: cfg!(debug_assertions),
             log_calls: false,
         }
@@ -126,6 +139,7 @@ mod tests {
             batch_override: None,
             pipeline: true,
             reuse_pool: true,
+            placement_merge: true,
             pedantic: true,
             log_calls: false,
         }

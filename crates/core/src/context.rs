@@ -20,7 +20,7 @@ use crate::annotation::Annotation;
 use crate::buffer::EvalTrigger;
 use crate::config::Config;
 use crate::error::{Error, Result};
-use crate::executor::execute_stage;
+use crate::executor::{execute_stage, DeferredMerge};
 use crate::graph::{DataflowGraph, FutureToken, Node, ValueEntry, ValueId, ValueOrigin};
 use crate::planner::{plan_next_stage, PlanCache, PlanCacheStats, PlanRecorder};
 use crate::pool::{PoolHandle, WorkerPool};
@@ -320,7 +320,38 @@ fn evaluate_locked(inner: &ContextInner, st: &mut State) -> Result<()> {
     if st.graph.fully_executed() {
         return Ok(());
     }
+    // Overlapped final merges dispatched to the pool by stages of this
+    // evaluation. Joined unconditionally before returning — success or
+    // failure — so no side job outlives the evaluation that spawned it
+    // and every user-visible value is materialized when control returns.
+    let mut deferred: Vec<DeferredMerge> = Vec::new();
+    let result = evaluate_pending(inner, st, &mut deferred);
+    let joined = join_deferred(st, deferred);
+    result.and(joined)
+}
 
+/// Join every overlapped final merge, materializing its value into the
+/// graph. The first join error poisons the context (like any stage
+/// failure), but all merges are still joined.
+fn join_deferred(st: &mut State, deferred: Vec<DeferredMerge>) -> Result<()> {
+    let mut result = Ok(());
+    for d in deferred {
+        let State { graph, stats, .. } = st;
+        if let Err(e) = d.join(graph, stats) {
+            if result.is_ok() {
+                st.poisoned = Some(e.clone());
+                result = Err(e);
+            }
+        }
+    }
+    result
+}
+
+fn evaluate_pending(
+    inner: &ContextInner,
+    st: &mut State,
+    deferred: &mut Vec<DeferredMerge>,
+) -> Result<()> {
     // Unprotect everything first: during execution the runtime itself
     // reads and writes these buffers through the unchecked APIs, and the
     // data will be up to date when evaluation returns.
@@ -383,7 +414,7 @@ fn evaluate_locked(inner: &ContextInner, st: &mut State) -> Result<()> {
                         st.stats.planner += t1.elapsed();
                         match bound {
                             Ok(stage) => {
-                                if let Err(e) = execute_locked(st, &stage) {
+                                if let Err(e) = execute_locked(st, &stage, deferred) {
                                     // Execution failures poison the
                                     // context either way; drop the entry
                                     // so the next identical request
@@ -435,7 +466,7 @@ fn evaluate_locked(inner: &ContextInner, st: &mut State) -> Result<()> {
         if let Some(r) = &mut recorder {
             r.record(&stage, &st.graph);
         }
-        execute_locked(st, &stage)?;
+        execute_locked(st, &stage, deferred)?;
     }
     if let (Some(cache), Some(recorder)) = (cache, recorder) {
         let fingerprint = recorder.fingerprint();
@@ -448,7 +479,11 @@ fn evaluate_locked(inner: &ContextInner, st: &mut State) -> Result<()> {
 
 /// Execute one planned stage against the locked state, poisoning the
 /// context on failure.
-fn execute_locked(st: &mut State, stage: &crate::planner::StagePlan) -> Result<()> {
+fn execute_locked(
+    st: &mut State,
+    stage: &crate::planner::StagePlan,
+    deferred: &mut Vec<DeferredMerge>,
+) -> Result<()> {
     // Borrow split: executor needs &mut graph + &config + &mut stats.
     let State {
         graph,
@@ -460,7 +495,7 @@ fn execute_locked(st: &mut State, stage: &crate::planner::StagePlan) -> Result<(
         ..
     } = st;
     let pool = attached_pool.as_ref().or(pool.as_ref()).map(|h| &**h);
-    if let Err(e) = execute_stage(graph, stage, config, stats, pool, *session_tag) {
+    if let Err(e) = execute_stage(graph, stage, config, stats, pool, *session_tag, deferred) {
         st.poisoned = Some(e.clone());
         return Err(e);
     }

@@ -32,16 +32,42 @@
 //! [commutative](crate::split::Splitter::commutative_merge) merges such
 //! as reductions), and the final merge orders runs by element offset, so
 //! split types still observe pieces in element order (§3.4).
+//!
+//! # Placement merges
+//!
+//! Concat-shaped outputs additionally support a *placement* fast path
+//! (`Config::placement_merge`, on by default): when a split type
+//! implements [`Splitter::alloc_merged`](crate::split::Splitter::alloc_merged),
+//! the merged value is preallocated once — on the first result piece
+//! any worker produces, so data-dependent layouts (DataFrame schemas,
+//! column dtypes) size correctly — and every worker then
+//! [`write_piece`](crate::split::Splitter::write_piece)s its results
+//! directly at their element offsets inside the driver loop. The
+//! worker-local pre-merge and the serial O(total) final concat both
+//! disappear: merging becomes parallel in-place writes, exactly like
+//! the mut-argument `SliceView` path that MKL-style outputs already
+//! take. Out-of-claim-order batches are harmless (offsets are absolute),
+//! and a `NULL`-split tail shrinks the output to the written prefix via
+//! [`Splitter::truncate_merged`](crate::split::Splitter::truncate_merged).
+//!
+//! Outputs whose split type declines placement still avoid serial tail
+//! latency where possible: a final merge whose value no later node
+//! consumes ([`StageOutput::last_use`](crate::planner::StageOutput)) is
+//! dispatched to the worker pool as a one-shot side job and joined only
+//! when evaluation finishes, overlapping the merge with planning and
+//! executing subsequent stages.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 use crate::annotation::Invocation;
 use crate::config::Config;
+use crate::cputime::{cpu_elapsed, thread_cpu_now};
 use crate::error::{Error, Result};
 use crate::graph::{DataflowGraph, ValueId};
 use crate::planner::{OutputKind, StagePlan};
-use crate::pool::{run_stage_scoped, Job, WorkerPool};
+use crate::pool::{run_stage_scoped, Job, SideJob, WorkerPool};
 use crate::split::SplitInstance;
 use crate::stats::PhaseStats;
 use crate::value::DataValue;
@@ -93,6 +119,81 @@ struct MergeOutput {
     instance: SplitInstance,
     /// Cached `instance.commutative_merge()`.
     commutative: bool,
+    /// Whether no unexecuted node outside the stage consumes the value
+    /// (see [`crate::planner::StageOutput`]); such final merges may be
+    /// overlapped with subsequent planning.
+    last_use: bool,
+    /// Placement-merge probe state; `None` when the config disables
+    /// placement or the merge is commutative (partial results have no
+    /// meaningful element offsets).
+    placement: Option<PlacementState>,
+}
+
+/// Shared state of one output's placement merge, resolved exactly once
+/// across all workers.
+struct PlacementState {
+    /// `Some(out)` once a worker allocated the placement output (every
+    /// piece is then written in place); `None` once the split type
+    /// declined placement for this stage (pieces collect as usual).
+    /// Resolved on the first piece produced, whichever worker gets
+    /// there first.
+    out: OnceLock<Option<DataValue>>,
+    /// Elements written across all pieces.
+    written: AtomicU64,
+    /// Highest element offset written (exclusive).
+    high: AtomicU64,
+}
+
+impl PlacementState {
+    fn new() -> PlacementState {
+        PlacementState {
+            out: OnceLock::new(),
+            written: AtomicU64::new(0),
+            high: AtomicU64::new(0),
+        }
+    }
+}
+
+/// `(merge result, merge duration)` slot a side job fills in.
+type MergeSlot = Arc<Mutex<Option<(Result<DataValue>, Duration)>>>;
+
+/// A final merge dispatched to the pool as a side job, joined when the
+/// evaluation finishes (see the module docs on overlapped merges).
+pub(crate) struct DeferredMerge {
+    value: ValueId,
+    side: Arc<SideJob>,
+    /// Result slot written by the side job.
+    result: MergeSlot,
+}
+
+impl DeferredMerge {
+    /// Wait for the merge (running it inline if no pool worker picked
+    /// it up), materialize the value, and account the merge time.
+    pub(crate) fn join(self, graph: &mut DataflowGraph, stats: &mut PhaseStats) -> Result<()> {
+        self.side.join();
+        // An empty slot after join means the merge closure panicked
+        // (the side job catches the unwind so the submitter never
+        // blocks forever); surface it as a merge failure.
+        let (result, took) = self
+            .result
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            .unwrap_or_else(|| {
+                (
+                    Err(Error::Library(
+                        "overlapped final merge panicked on a pool worker".into(),
+                    )),
+                    Duration::ZERO,
+                )
+            });
+        stats.merge += took;
+        let merged = result?;
+        let entry = &mut graph.values[self.value.0 as usize];
+        entry.data = Some(merged);
+        entry.ready = true;
+        Ok(())
+    }
 }
 
 /// A merged (or single) piece covering elements starting at `start`.
@@ -110,6 +211,8 @@ pub(crate) struct WorkerOut {
     merge: Duration,
     pub(crate) batches: u64,
     calls: u64,
+    /// Result pieces written in place by the placement fast path.
+    placement_writes: u64,
     /// Cursor claims (each covering a guided span of >= 1 batches).
     pub(crate) claims: u64,
     /// Batches this worker claimed that static partitioning would have
@@ -121,20 +224,47 @@ pub(crate) struct WorkerOut {
 ///
 /// `session` tags the pool job for per-session fairness accounting when
 /// the pool is shared between contexts (see
-/// [`PoolStats::sessions`](crate::stats::PoolStats)).
-pub fn execute_stage(
+/// [`PoolStats::sessions`](crate::stats::PoolStats)). Final merges that
+/// can be overlapped with subsequent planning are pushed onto
+/// `deferred` instead of running here; the caller must join every
+/// [`DeferredMerge`] before the evaluation returns.
+pub(crate) fn execute_stage(
     graph: &mut DataflowGraph,
     stage: &StagePlan,
     config: &Config,
     stats: &mut PhaseStats,
     pool: Option<&WorkerPool>,
     session: u64,
+    deferred: &mut Vec<DeferredMerge>,
 ) -> Result<()> {
     let stage_idx = stats.stages;
     let exec = build_exec_stage(graph, stage, config)?;
+
+    // Stage-start placement allocation: split types whose parameters
+    // determine the output layout allocate (and pre-fault) the merged
+    // value here, on the calling thread while the pool is parked —
+    // first-touch page faults taken inside worker merge windows would
+    // contend with the parallel phase's own faults. Data-dependent
+    // layouts resolve later, on the first piece produced. Counted as
+    // merge time: it is the placement path's share of what the
+    // collect-then-concat path pays inside its final merge.
+    let t_alloc = thread_cpu_now();
+    for mo in &exec.merge_outputs {
+        if let Some(ps) = &mo.placement {
+            if let Some(out) =
+                mo.instance
+                    .splitter
+                    .alloc_merged(exec.total_elements, &mo.instance.params, None)?
+            {
+                let _ = ps.out.set(Some(out));
+            }
+        }
+    }
+    let prealloc = cpu_elapsed(t_alloc, thread_cpu_now());
+
     let job = Job::new(exec, session);
 
-    let outs: Vec<WorkerOut> = if job.exec.participants <= 1 {
+    let mut outs: Vec<WorkerOut> = if job.exec.participants <= 1 {
         vec![run_worker(&job.exec, &job.cursor, &job.failed, 0)?]
     } else if let Some(pool) = pool {
         // Whatever `config.reuse_pool` says, a provided pool is used:
@@ -151,9 +281,23 @@ pub fn execute_stage(
 
     // Final merge on the calling thread (§5.2 step 3): order every
     // worker's partial runs by element offset, then merge once.
-    let t0 = Instant::now();
+    // Placement outputs skip all of this — their pieces already live in
+    // the preallocated value — and non-placement outputs nothing later
+    // consumes are dispatched to the pool instead of merged here.
+    let t0 = thread_cpu_now();
     for (i, mo) in exec.merge_outputs.iter().enumerate() {
-        let mut runs: Vec<&PieceRun> = outs.iter().flat_map(|o| o.partials[i].iter()).collect();
+        if let Some(merged) = finish_placement(mo, exec.total_elements)? {
+            let entry = &mut graph.values[mo.value.0 as usize];
+            entry.data = Some(merged);
+            entry.ready = true;
+            continue;
+        }
+        // Take ownership of the runs out of the worker results instead
+        // of cloning every piece into the merge call.
+        let mut runs: Vec<PieceRun> = outs
+            .iter_mut()
+            .flat_map(|o| std::mem::take(&mut o.partials[i]))
+            .collect();
         if runs.is_empty() {
             return Err(Error::Merge {
                 split_type: mo.instance.splitter.name(),
@@ -166,10 +310,35 @@ pub fn execute_stage(
             });
         }
         runs.sort_by_key(|r| r.start);
-        let pieces: Vec<DataValue> = runs.into_iter().map(|r| r.piece.clone()).collect();
+        let pieces: Vec<DataValue> = runs.into_iter().map(|r| r.piece).collect();
         // Merge-size hint (ROADMAP): the final merged value covers the
         // stage's whole element range, so concat-style mergers can
         // preallocate once instead of growing per piece.
+        if let (true, Some(pool)) = (config.placement_merge && mo.last_use, pool) {
+            // Overlapped final merge: nothing later in the graph reads
+            // this value, so the concat can ride on a pool worker while
+            // the caller plans and executes subsequent stages.
+            let instance = mo.instance.clone();
+            let total = exec.total_elements;
+            let result: MergeSlot = Arc::new(Mutex::new(None));
+            let result2 = Arc::clone(&result);
+            let side = SideJob::new(move || {
+                let t = thread_cpu_now();
+                let merged = instance
+                    .splitter
+                    .merge_hinted(pieces, &instance.params, total);
+                let took = cpu_elapsed(t, thread_cpu_now());
+                *result2.lock().unwrap_or_else(|p| p.into_inner()) = Some((merged, took));
+            });
+            pool.submit_side(Arc::clone(&side));
+            deferred.push(DeferredMerge {
+                value: mo.value,
+                side,
+                result,
+            });
+            stats.overlapped_merges += 1;
+            continue;
+        }
         let merged =
             mo.instance
                 .splitter
@@ -178,7 +347,7 @@ pub fn execute_stage(
         entry.data = Some(merged);
         entry.ready = true;
     }
-    let final_merge = t0.elapsed();
+    let final_merge = cpu_elapsed(t0, thread_cpu_now());
 
     // Materialize in-place and discarded outputs.
     for out in &stage.outputs {
@@ -199,10 +368,49 @@ pub fn execute_stage(
     stats.stages += 1;
     stats.split += outs.iter().map(|o| o.split).max().unwrap_or_default();
     stats.task += outs.iter().map(|o| o.task).max().unwrap_or_default();
-    stats.merge += outs.iter().map(|o| o.merge).max().unwrap_or_default() + final_merge;
+    stats.merge += outs.iter().map(|o| o.merge).max().unwrap_or_default() + final_merge + prealloc;
     stats.batches += outs.iter().map(|o| o.batches).sum::<u64>();
     stats.calls += outs.iter().map(|o| o.calls).sum::<u64>();
+    stats.placement_writes += outs.iter().map(|o| o.placement_writes).sum::<u64>();
     Ok(())
+}
+
+/// Complete a placement merge, if this output resolved to one: the
+/// pieces already live in the preallocated value, so the "merge" is a
+/// coverage check plus, for `NULL`-split tails, a truncation to the
+/// written prefix.
+fn finish_placement(mo: &MergeOutput, total_elements: u64) -> Result<Option<DataValue>> {
+    let Some(ps) = &mo.placement else {
+        return Ok(None);
+    };
+    // `None` cell: no piece was ever produced (the no-pieces error on
+    // the classic path below reports it) or the splitter declined.
+    let Some(Some(out)) = ps.out.get() else {
+        return Ok(None);
+    };
+    let written = ps.written.load(Ordering::Relaxed);
+    let high = ps.high.load(Ordering::Relaxed);
+    if written != high {
+        // A batch inside the written range produced no piece: the
+        // output has an interior hole, which a concat of collected
+        // pieces would have silently closed but an in-place buffer
+        // cannot. Fail loudly rather than return stale elements.
+        return Err(Error::Merge {
+            split_type: mo.instance.splitter.name(),
+            message: format!(
+                "placement output has interior gaps: {written} of {high} \
+                 leading elements written"
+            ),
+        });
+    }
+    if high == total_elements {
+        return Ok(Some(out.clone()));
+    }
+    // NULL-split tail: the sources dried up before the declared total.
+    mo.instance
+        .splitter
+        .truncate_merged(out.clone(), high, &mo.instance.params)
+        .map(Some)
 }
 
 /// Gather materialized data, run `Info`, size batches, and resolve every
@@ -284,11 +492,24 @@ fn build_exec_stage(
         .outputs
         .iter()
         .filter(|o| o.kind == OutputKind::Merge)
-        .map(|o| MergeOutput {
-            slot: stage.slot_of(o.value),
-            value: o.value,
-            commutative: o.instance.commutative_merge(),
-            instance: o.instance.clone(),
+        .map(|o| {
+            let commutative = o.instance.commutative_merge();
+            MergeOutput {
+                slot: stage.slot_of(o.value),
+                value: o.value,
+                commutative,
+                last_use: o.last_use,
+                // Commutative merges combine partial results, not
+                // element ranges — placement offsets are meaningless.
+                // `unknown` outputs (filters, anything whose pieces do
+                // not correspond to input elements, §3.2) compact: a
+                // piece may hold fewer elements than the batch that
+                // produced it, so batch offsets are meaningless there
+                // too and the merger must concatenate.
+                placement: (config.placement_merge && !commutative && !o.instance.is_unknown())
+                    .then(PlacementState::new),
+                instance: o.instance.clone(),
+            }
         })
         .collect();
 
@@ -324,6 +545,7 @@ pub(crate) fn run_worker(
         merge: Duration::ZERO,
         batches: 0,
         calls: 0,
+        placement_writes: 0,
         claims: 0,
         stolen: 0,
     };
@@ -373,8 +595,13 @@ pub(crate) fn run_worker(
             }
             let end = (start + batch).min(claim_end);
 
-            // Split every input for this batch.
-            let t0 = Instant::now();
+            // Split every input for this batch. Worker-parallel
+            // phases are timed on the per-thread CPU clock (see
+            // `crate::cputime`): wall windows on an oversubscribed
+            // host charge a phase for every preemption that lands in
+            // it, which systematically misattributes scheduler noise
+            // to whichever phase has the most windows.
+            let t0 = thread_cpu_now();
             for &s in &exec.produced_slots {
                 slots[s as usize] = None;
             }
@@ -398,15 +625,15 @@ pub(crate) fn run_worker(
                             )));
                         }
                         // The paper's NULL return: no data here, stop claiming.
-                        out.split += t0.elapsed();
+                        out.split += cpu_elapsed(t0, thread_cpu_now());
                         break 'driver;
                     }
                 }
             }
-            out.split += t0.elapsed();
+            out.split += cpu_elapsed(t0, thread_cpu_now());
 
             // Run the pipeline on this batch's pieces.
-            let t1 = Instant::now();
+            let t1 = thread_cpu_now();
             for node in &exec.nodes {
                 let mut args: Vec<DataValue> = Vec::with_capacity(node.args.len());
                 for &slot in &node.args {
@@ -450,13 +677,56 @@ pub(crate) fn run_worker(
                 }
                 out.calls += 1;
             }
-            out.task += t1.elapsed();
+            out.task += cpu_elapsed(t1, thread_cpu_now());
 
             // Stash pieces of observable outputs ("moved to a list of
-            // partial results", §5.2), tagged with their element range.
+            // partial results", §5.2), tagged with their element range —
+            // or, on the placement path, write them straight into the
+            // preallocated merge output at their element offset.
             for (i, mo) in exec.merge_outputs.iter().enumerate() {
                 match &slots[mo.slot as usize] {
-                    Some(piece) => pending[i].push((start, end, piece.clone())),
+                    Some(piece) => {
+                        if let Some(ps) = &mo.placement {
+                            let t2 = thread_cpu_now();
+                            let mut alloc_err: Option<Error> = None;
+                            // Resolve the placement decision exactly
+                            // once, on the first piece any worker
+                            // produces — it serves as the exemplar for
+                            // data-dependent output layouts.
+                            let placed = ps.out.get_or_init(|| {
+                                match mo.instance.splitter.alloc_merged(
+                                    exec.total_elements,
+                                    &mo.instance.params,
+                                    Some(piece),
+                                ) {
+                                    Ok(v) => v,
+                                    Err(e) => {
+                                        alloc_err = Some(e);
+                                        None
+                                    }
+                                }
+                            });
+                            if let Some(e) = alloc_err {
+                                return Err(e);
+                            }
+                            if let Some(out_val) = placed {
+                                // Coverage tracks the piece's actual
+                                // element count, not the batch range:
+                                // a source that dries up mid-batch
+                                // writes fewer elements, and the
+                                // truncation below must not include
+                                // the unwritten remainder.
+                                let n = mo.instance.splitter.write_piece(out_val, start, piece)?;
+                                ps.written.fetch_add(n, Ordering::Relaxed);
+                                ps.high.fetch_max(start + n, Ordering::Relaxed);
+                                out.placement_writes += 1;
+                                out.merge += cpu_elapsed(t2, thread_cpu_now());
+                                continue;
+                            }
+                            out.merge += cpu_elapsed(t2, thread_cpu_now());
+                        }
+                        pending[i].push((start, end, piece.clone()));
+                    }
                     None if exec.pedantic => {
                         return Err(Error::Pedantic(format!(
                             "output of split type {} missing after batch [{start}, {end})",
@@ -479,14 +749,14 @@ pub(crate) fn run_worker(
     // fold everything this worker produced into one partial; order-
     // sensitive merges fold each contiguous run so the final merge can
     // order them globally.
-    let t2 = Instant::now();
+    let t2 = thread_cpu_now();
     out.partials = exec
         .merge_outputs
         .iter()
         .zip(pending.iter_mut())
         .map(|(mo, pieces)| local_merge(mo, std::mem::take(pieces)))
         .collect::<Result<_>>()?;
-    out.merge += t2.elapsed();
+    out.merge += cpu_elapsed(t2, thread_cpu_now());
     Ok(out)
 }
 

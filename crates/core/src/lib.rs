@@ -103,6 +103,7 @@ pub mod array_split;
 pub mod buffer;
 pub mod config;
 pub mod context;
+mod cputime;
 pub mod error;
 pub mod executor;
 pub mod graph;

@@ -46,6 +46,12 @@ pub struct StageOutput {
     pub instance: SplitInstance,
     /// How to materialize it.
     pub kind: OutputKind,
+    /// `true` when no unexecuted node outside this stage consumes the
+    /// value — it is only observable through a user-held `Future`. The
+    /// executor may then defer the final merge (dispatch it to the pool
+    /// and overlap it with planning/executing subsequent stages): no
+    /// later stage can need the merged value before evaluation returns.
+    pub last_use: bool,
 }
 
 /// An executable stage: an ordered run of pipelinable calls.
@@ -397,6 +403,7 @@ fn finish_stage(graph: &DataflowGraph, b: StageBuilder) -> StagePlan {
                     value: *mv,
                     instance: inst.clone(),
                     kind: OutputKind::InPlace,
+                    last_use: false,
                 });
             }
         }
@@ -421,6 +428,7 @@ fn finish_stage(graph: &DataflowGraph, b: StageBuilder) -> StagePlan {
                 value: rv,
                 instance: inst,
                 kind,
+                last_use: !consumed_later,
             });
         }
     }
@@ -835,8 +843,8 @@ impl CachedPlan {
         let mut outputs = Vec::with_capacity(cs.outputs.len());
         for co in &cs.outputs {
             let vid = get(co.value)?;
-            let kind = if co.in_place {
-                OutputKind::InPlace
+            let (kind, last_use) = if co.in_place {
+                (OutputKind::InPlace, false)
             } else {
                 // Same liveness rule as `finish_stage`, re-evaluated so
                 // dropped Futures still demote merges to discards.
@@ -850,16 +858,18 @@ impl CachedPlan {
                     .as_ref()
                     .map(|w| w.strong_count() > 0)
                     .unwrap_or(false);
-                if consumed_later || user_visible {
+                let kind = if consumed_later || user_visible {
                     OutputKind::Merge
                 } else {
                     OutputKind::Discard
-                }
+                };
+                (kind, !consumed_later)
             };
             outputs.push(StageOutput {
                 value: vid,
                 instance: co.instance.clone(),
                 kind,
+                last_use,
             });
         }
 

@@ -91,6 +91,96 @@ pub trait Splitter: Send + Sync + 'static {
         self.merge(pieces, params)
     }
 
+    /// Allocate a *placement merge* output covering `total_elements`
+    /// elements (in [`RuntimeInfo`] units), or `Ok(None)` if this split
+    /// type cannot merge by placement (the default).
+    ///
+    /// Placement merging is the zero-copy fast path for concat-shaped
+    /// outputs: instead of collecting pieces and re-copying them in a
+    /// final `merge`, the executor preallocates the merged value once
+    /// and has every worker [`write_piece`](Splitter::write_piece) its
+    /// results directly at their element offsets — the returned-value
+    /// analogue of the mut-argument `SliceView` path, where writes
+    /// already land in the final buffer.
+    ///
+    /// The executor calls this twice per output at most. Once at
+    /// *stage start* with `exemplar: None`, on the calling thread while
+    /// the pool is still parked: split types whose parameters fully
+    /// determine the output layout should allocate here, where the
+    /// allocation's first-touch page faults run uncontended instead of
+    /// spinning against the parallel phase's own faults inside worker
+    /// merge windows. If that returns `None`, once more on the first
+    /// result piece any worker produces, with `exemplar: Some(piece)`:
+    /// split types whose output layout is data-dependent — a
+    /// DataFrame's schema, a column's dtype — size the allocation from
+    /// the piece. Returning `None` for both declines placement, and
+    /// the output merges through [`merge_hinted`](Splitter::merge_hinted);
+    /// an implementation can use the exemplar to decline dynamically,
+    /// e.g. when the pieces already alias a final buffer and a copy
+    /// would be a regression.
+    ///
+    /// Requirements on an implementation that returns `Some(out)`:
+    /// `out` must support concurrent `write_piece` calls at disjoint
+    /// element offsets from multiple threads, and `merge` semantics
+    /// must be pure concatenation in element order (never declare
+    /// placement together with [`commutative_merge`](Splitter::commutative_merge)).
+    /// Allocations should touch their pages before returning (see
+    /// [`crate::buffer::SharedVec::zeros_prefaulted`]) so the parallel
+    /// writes are pure memory copies.
+    fn alloc_merged(
+        &self,
+        total_elements: u64,
+        params: &Params,
+        exemplar: Option<&DataValue>,
+    ) -> Result<Option<DataValue>> {
+        let _ = (total_elements, params, exemplar);
+        Ok(None)
+    }
+
+    /// Write `piece` into the placement output `out` (allocated by
+    /// [`alloc_merged`](Splitter::alloc_merged)) starting at element
+    /// `offset`, returning the number of elements written — the
+    /// piece's actual element count, which may be *less* than the
+    /// batch range that produced it when a source dried up mid-batch
+    /// (the executor's coverage check relies on the true count to
+    /// detect under-filled outputs).
+    ///
+    /// The executor guarantees that concurrent calls cover disjoint
+    /// element ranges (each batch range is claimed exactly once), so
+    /// implementations may write through interior-mutable storage
+    /// without locking. Implementations must bounds-check `offset`
+    /// plus the piece's element count against `out` and error rather
+    /// than write out of range.
+    fn write_piece(&self, out: &DataValue, offset: u64, piece: &DataValue) -> Result<u64> {
+        let _ = (out, offset);
+        Err(Error::Merge {
+            split_type: self.name(),
+            message: format!(
+                "write_piece called on a split type without placement support \
+                 (piece {})",
+                piece.type_name()
+            ),
+        })
+    }
+
+    /// Shrink a placement output that under-filled to its written
+    /// prefix of `elements` elements (the paper's `NULL` split return:
+    /// a source dried up before the declared total).
+    ///
+    /// Only called when every written piece formed one contiguous
+    /// prefix `[0, elements)`; the default errors, which fails the
+    /// stage rather than returning a partially-initialized value.
+    fn truncate_merged(&self, out: DataValue, elements: u64, params: &Params) -> Result<DataValue> {
+        let _ = (out, params);
+        Err(Error::Merge {
+            split_type: self.name(),
+            message: format!(
+                "placement output under-filled ({elements} elements written) and \
+                 this split type cannot truncate"
+            ),
+        })
+    }
+
     /// Whether `merge` is commutative as well as associative (scalar
     /// sums, elementwise partial reductions). Commutative merges let a
     /// worker fold *all* of its claimed batches into one partial even

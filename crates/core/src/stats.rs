@@ -9,7 +9,13 @@ use std::time::Duration;
 /// (task registration), unprotect (clearing lazy-evaluation protection),
 /// planner, split, task execution, and merge. Worker-parallel phases
 /// (split/task/merge) report the *maximum* across workers per stage,
-/// summed over stages, so the total approximates elapsed time.
+/// summed over stages, so the total approximates elapsed time on
+/// dedicated cores. Worker phase windows are measured on the
+/// per-thread CPU clock, not the wall clock: on an oversubscribed or
+/// virtualized host a wall window would be charged for every
+/// preemption and every tick of hypervisor steal landing inside it,
+/// which misattributes scheduler noise to whichever phase happens to
+/// have the most windows (see `crate::cputime`).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseStats {
     /// Registering calls with the dataflow graph.
@@ -30,6 +36,15 @@ pub struct PhaseStats {
     pub batches: u64,
     /// Number of library function invocations (per piece).
     pub calls: u64,
+    /// Result pieces written directly into a preallocated merge output
+    /// by the placement fast path (see
+    /// [`Splitter::alloc_merged`](crate::split::Splitter::alloc_merged)),
+    /// instead of being collected and re-copied by a final merge.
+    pub placement_writes: u64,
+    /// Final merges dispatched to the worker pool and overlapped with
+    /// planning/executing subsequent stages instead of running serially
+    /// on the caller.
+    pub overlapped_merges: u64,
 }
 
 impl PhaseStats {
@@ -49,6 +64,20 @@ impl PhaseStats {
         self.stages += other.stages;
         self.batches += other.batches;
         self.calls += other.calls;
+        self.placement_writes += other.placement_writes;
+        self.overlapped_merges += other.overlapped_merges;
+    }
+
+    /// Fraction of the accounted total spent in the merge phase
+    /// (0 when nothing was measured) — the headline number of the
+    /// `phase_breakdown` benchmark.
+    pub fn merge_fraction(&self) -> f64 {
+        let t = self.total().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.merge.as_secs_f64() / t
+        }
     }
 
     /// Percentage breakdown `(client, unprotect, planner, split, task,
@@ -116,6 +145,11 @@ pub struct PoolStats {
     /// Batches claimed by a worker that static partitioning would have
     /// assigned to a different worker.
     pub batches_stolen: u64,
+    /// One-shot side jobs (overlapped final merges) executed by pool
+    /// workers. Side jobs a caller reclaimed and ran inline — because
+    /// every pool worker was busy when the caller needed the result —
+    /// are not counted.
+    pub side_jobs: u64,
     /// Batches processed per participant slot (index 0 is the calling
     /// thread; 1.. are pool workers in job-join order).
     pub per_worker_batches: Vec<u64>,

@@ -1,0 +1,371 @@
+//! Tests of the placement-merge fast path and the overlapped final
+//! merge: out-of-claim-order batches must land at the right element
+//! offsets, `NULL`-split tails must under-fill without corrupting
+//! neighbors, placement outputs must coexist with mut-alias outputs in
+//! one stage, and non-placement final merges must overlap on the pool
+//! without changing results.
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mozart_core::annotation::{concrete, missing, Annotation};
+use mozart_core::buffer::SharedVec;
+use mozart_core::prelude::*;
+use mozart_core::ArraySplit;
+
+/// An owned chunk of floats without placement support (functional
+/// pieces, like a NumPy result); merge concatenates in order.
+#[derive(Debug, Clone)]
+struct Chunk(Arc<Vec<f64>>);
+
+impl mozart_core::value::DataObject for Chunk {
+    fn type_name(&self) -> &'static str {
+        "Chunk"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+struct ChunkSplit;
+
+impl Splitter for ChunkSplit {
+    fn name(&self) -> &'static str {
+        "ChunkSplit"
+    }
+    fn construct(&self, ctor_args: &[&DataValue]) -> Result<Params> {
+        let c = ctor_args[0]
+            .downcast_ref::<Chunk>()
+            .ok_or(Error::Library("ChunkSplit ctor".into()))?;
+        Ok(vec![c.0.len() as i64])
+    }
+    fn info(&self, _arg: &DataValue, params: &Params) -> Result<RuntimeInfo> {
+        Ok(RuntimeInfo {
+            total_elements: params[0] as u64,
+            elem_size_bytes: 8,
+        })
+    }
+    fn split(
+        &self,
+        arg: &DataValue,
+        range: Range<u64>,
+        params: &Params,
+    ) -> Result<Option<DataValue>> {
+        let c = arg
+            .downcast_ref::<Chunk>()
+            .ok_or(Error::Library("ChunkSplit split".into()))?;
+        let total = params[0] as u64;
+        if range.start >= total {
+            return Ok(None);
+        }
+        let end = range.end.min(total) as usize;
+        Ok(Some(DataValue::new(Chunk(Arc::new(
+            c.0[range.start as usize..end].to_vec(),
+        )))))
+    }
+    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+        let mut out = Vec::new();
+        for p in pieces {
+            let c = p
+                .downcast_ref::<Chunk>()
+                .ok_or(Error::Library("ChunkSplit merge".into()))?;
+            out.extend_from_slice(&c.0);
+        }
+        Ok(DataValue::new(Chunk(Arc::new(out))))
+    }
+}
+
+/// A placement-capable splitter over [`VecValue`] that *over-reports*
+/// its element count by `claim_factor`: past the real length, `split`
+/// returns the paper's `NULL`, so placement outputs under-fill and must
+/// truncate to the written prefix. Params: `[claimed, real]`.
+struct PlacedSplit {
+    claim_factor: i64,
+}
+
+impl Splitter for PlacedSplit {
+    fn name(&self) -> &'static str {
+        "PlacedSplit"
+    }
+    fn construct(&self, ctor_args: &[&DataValue]) -> Result<Params> {
+        let v = ctor_args[0]
+            .downcast_ref::<VecValue>()
+            .ok_or(Error::Library("PlacedSplit ctor".into()))?;
+        let real = v.0.len() as i64;
+        Ok(vec![real * self.claim_factor, real])
+    }
+    fn info(&self, _arg: &DataValue, params: &Params) -> Result<RuntimeInfo> {
+        Ok(RuntimeInfo {
+            total_elements: params[0] as u64,
+            elem_size_bytes: 8,
+        })
+    }
+    fn split(
+        &self,
+        arg: &DataValue,
+        range: Range<u64>,
+        params: &Params,
+    ) -> Result<Option<DataValue>> {
+        let v = arg
+            .downcast_ref::<VecValue>()
+            .ok_or(Error::Library("PlacedSplit split".into()))?;
+        let real = params[1] as u64;
+        if range.start >= real {
+            return Ok(None);
+        }
+        let end = range.end.min(real) as usize;
+        let piece = v.0.as_slice()[range.start as usize..end].to_vec();
+        Ok(Some(DataValue::new(VecValue(SharedVec::from_vec(piece)))))
+    }
+    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+        let mut out = Vec::new();
+        for p in pieces {
+            let v = p
+                .downcast_ref::<VecValue>()
+                .ok_or(Error::Library("PlacedSplit merge".into()))?;
+            out.extend_from_slice(v.0.as_slice());
+        }
+        Ok(DataValue::new(VecValue(SharedVec::from_vec(out))))
+    }
+    fn alloc_merged(
+        &self,
+        total_elements: u64,
+        _params: &Params,
+        _exemplar: Option<&DataValue>,
+    ) -> Result<Option<DataValue>> {
+        Ok(Some(DataValue::new(VecValue(SharedVec::zeros_prefaulted(
+            total_elements as usize,
+        )))))
+    }
+    fn write_piece(&self, out: &DataValue, offset: u64, piece: &DataValue) -> Result<u64> {
+        ArraySplit.write_piece(out, offset, piece)
+    }
+    fn truncate_merged(&self, out: DataValue, elements: u64, params: &Params) -> Result<DataValue> {
+        ArraySplit.truncate_merged(out, elements, params)
+    }
+}
+
+fn ctx(workers: usize, batch: u64, placement: bool) -> MozartContext {
+    let mut cfg = Config::with_workers(workers);
+    cfg.batch_override = Some(batch);
+    cfg.pedantic = true;
+    cfg.placement_merge = placement;
+    MozartContext::new(cfg)
+}
+
+fn vec_value(n: usize) -> DataValue {
+    DataValue::new(VecValue(SharedVec::from_vec(
+        (0..n).map(|i| i as f64).collect(),
+    )))
+}
+
+/// Scale an array through a fresh-allocation return (placement merge),
+/// sleeping so pool workers claim batches out of order.
+fn scaled_fresh_annotation(splitter: Arc<dyn Splitter>, sleep: Duration) -> Arc<Annotation> {
+    Annotation::new("scaled_fresh", move |inv| {
+        let v = inv.arg::<VecValue>(0)?;
+        std::thread::sleep(sleep);
+        let out: Vec<f64> = v.0.as_slice().iter().map(|x| x * 2.0).collect();
+        Ok(Some(DataValue::new(VecValue(SharedVec::from_vec(out)))))
+    })
+    .arg("xs", concrete(splitter.clone(), vec![0]))
+    .ret(concrete(splitter, vec![0]))
+    .build()
+}
+
+#[test]
+fn out_of_order_placement_writes_land_at_their_offsets() {
+    // 48 one-element batches across 4 workers, each sleeping long
+    // enough that completion order differs from element order; the
+    // placement output must still be in element order.
+    let n = 48u64;
+    let c = ctx(4, 1, true);
+    let splitter: Arc<dyn Splitter> = Arc::new(PlacedSplit { claim_factor: 1 });
+    let annot = scaled_fresh_annotation(splitter, Duration::from_micros(300));
+    let fut = c
+        .call(&annot, vec![vec_value(n as usize)])
+        .unwrap()
+        .unwrap();
+    let out = fut.get().unwrap();
+    let v = out.downcast_ref::<VecValue>().unwrap();
+    let expect: Vec<f64> = (0..n).map(|i| i as f64 * 2.0).collect();
+    assert_eq!(v.0.as_slice(), &expect[..]);
+    let stats = c.stats();
+    assert_eq!(
+        stats.placement_writes, n,
+        "every batch wrote its piece in place"
+    );
+}
+
+#[test]
+fn null_split_tail_underfills_without_corrupting_neighbors() {
+    // The splitter claims 2n elements but serves n: workers claiming
+    // past n see NULL and stop. The placement output must truncate to
+    // exactly the written prefix, with every real element intact.
+    let n = 40u64;
+    let c = ctx(4, 1, true);
+    let splitter: Arc<dyn Splitter> = Arc::new(PlacedSplit { claim_factor: 2 });
+    let annot = scaled_fresh_annotation(splitter, Duration::from_micros(200));
+    let fut = c
+        .call(&annot, vec![vec_value(n as usize)])
+        .unwrap()
+        .unwrap();
+    let out = fut.get().unwrap();
+    let v = out.downcast_ref::<VecValue>().unwrap();
+    let expect: Vec<f64> = (0..n).map(|i| i as f64 * 2.0).collect();
+    assert_eq!(v.0.len(), n as usize, "truncated to the written prefix");
+    assert_eq!(v.0.as_slice(), &expect[..]);
+}
+
+#[test]
+fn clipped_final_piece_truncates_to_actual_elements() {
+    // The real total (37) is not a multiple of the batch size (8), so
+    // the last produced piece covers only 5 of its batch's 8 claimed
+    // elements before the NULL tail. Coverage must count the piece's
+    // actual length â a batch-range count would truncate to 40 and
+    // leak 3 never-written elements.
+    let n = 37u64;
+    let c = ctx(2, 8, true);
+    let splitter: Arc<dyn Splitter> = Arc::new(PlacedSplit { claim_factor: 2 });
+    let annot = scaled_fresh_annotation(splitter, Duration::ZERO);
+    let fut = c
+        .call(&annot, vec![vec_value(n as usize)])
+        .unwrap()
+        .unwrap();
+    let out = fut.get().unwrap();
+    let v = out.downcast_ref::<VecValue>().unwrap();
+    let expect: Vec<f64> = (0..n).map(|i| i as f64 * 2.0).collect();
+    assert_eq!(v.0.len(), n as usize, "clipped piece shrinks the output");
+    assert_eq!(v.0.as_slice(), &expect[..]);
+}
+
+#[test]
+fn placement_and_mut_alias_outputs_coexist_in_one_stage() {
+    // One call both mutates an argument in place (the MKL convention:
+    // an ArraySplit mut arg whose SliceView writes land in the parent)
+    // and returns fresh pieces (merged by placement). Both outputs must
+    // come out right from a single stage.
+    let n = 32usize;
+    let c = ctx(3, 4, true);
+    let annot = Annotation::new("scale_and_square", |inv| {
+        let xs = inv.arg::<VecValue>(0)?;
+        let out = inv.arg::<mozart_core::SliceView>(1)?;
+        let src = xs.0.as_slice();
+        // SAFETY: the executor hands each worker disjoint ranges.
+        let dst = unsafe { out.as_slice_mut() };
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = s * s;
+        }
+        let fresh: Vec<f64> = src.iter().map(|x| x * 3.0).collect();
+        Ok(Some(DataValue::new(VecValue(SharedVec::from_vec(fresh)))))
+    })
+    .arg(
+        "xs",
+        concrete(Arc::new(PlacedSplit { claim_factor: 1 }), vec![0]),
+    )
+    .mut_arg("out", concrete(Arc::new(ArraySplit), vec![1]))
+    .ret(concrete(Arc::new(PlacedSplit { claim_factor: 1 }), vec![0]))
+    .build();
+
+    let squares = SharedVec::<f64>::zeros(n);
+    let fut = c
+        .call(
+            &annot,
+            vec![vec_value(n), DataValue::new(VecValue(squares.clone()))],
+        )
+        .unwrap()
+        .unwrap();
+    let ret = fut.get().unwrap();
+    let tripled = ret.downcast_ref::<VecValue>().unwrap();
+    for i in 0..n {
+        assert_eq!(tripled.0.as_slice()[i], i as f64 * 3.0, "ret piece {i}");
+        assert_eq!(squares.as_slice()[i], (i * i) as f64, "mut-alias {i}");
+    }
+    assert!(c.stats().placement_writes > 0);
+}
+
+#[test]
+fn non_placement_final_merge_overlaps_on_the_pool() {
+    // ChunkSplit has no placement support and the output is only
+    // observable through the user's Future (last use), so its final
+    // merge must dispatch to the pool as a side job — with identical
+    // results to the serial ablation.
+    let n = 64u64;
+    let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let run = |placement: bool| {
+        let c = ctx(4, 2, placement);
+        let annot = Annotation::new("offset", |inv| {
+            let ch = inv.arg::<Chunk>(0)?;
+            let k = inv.float(1)?;
+            Ok(Some(DataValue::new(Chunk(Arc::new(
+                ch.0.iter().map(|x| x + k).collect(),
+            )))))
+        })
+        .arg("xs", concrete(Arc::new(ChunkSplit), vec![0]))
+        .arg("k", missing())
+        .ret(concrete(Arc::new(ChunkSplit), vec![0]))
+        .build();
+        let fut = c
+            .call(
+                &annot,
+                vec![
+                    DataValue::new(Chunk(Arc::new(data.clone()))),
+                    DataValue::new(FloatValue(0.5)),
+                ],
+            )
+            .unwrap()
+            .unwrap();
+        let out = fut.get().unwrap();
+        let ch = out.downcast_ref::<Chunk>().unwrap().0.clone();
+        (ch, c.stats(), c.pool_stats())
+    };
+    let (on, stats_on, _pool_on) = run(true);
+    let (off, stats_off, _) = run(false);
+    assert_eq!(on, off, "overlapped merge must not change results");
+    let expect: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+    assert_eq!(*on, expect);
+    assert_eq!(stats_on.overlapped_merges, 1, "{stats_on:?}");
+    assert_eq!(stats_on.placement_writes, 0, "ChunkSplit has no placement");
+    assert_eq!(stats_off.overlapped_merges, 0, "{stats_off:?}");
+}
+
+#[test]
+fn overlapped_merges_join_on_multi_stage_pipelines() {
+    // Several independent single-call stages in one evaluation: every
+    // stage's final merge defers, and every Future must still read the
+    // right value after evaluate().
+    let c = ctx(3, 2, true);
+    let annot = Annotation::new("neg", |inv| {
+        let ch = inv.arg::<Chunk>(0)?;
+        Ok(Some(DataValue::new(Chunk(Arc::new(
+            ch.0.iter().map(|x| -x).collect(),
+        )))))
+    })
+    .arg("xs", concrete(Arc::new(ChunkSplit), vec![0]))
+    .ret(concrete(Arc::new(ChunkSplit), vec![0]))
+    .build();
+    let mut futs = Vec::new();
+    for len in [7usize, 12, 19, 26] {
+        let data: Vec<f64> = (0..len).map(|i| i as f64).collect();
+        futs.push((
+            len,
+            c.call(&annot, vec![DataValue::new(Chunk(Arc::new(data)))])
+                .unwrap()
+                .unwrap(),
+        ));
+    }
+    c.evaluate().unwrap();
+    for (len, fut) in futs {
+        let out = fut.get().unwrap();
+        let ch = out.downcast_ref::<Chunk>().unwrap();
+        let expect: Vec<f64> = (0..len).map(|i| -(i as f64)).collect();
+        assert_eq!(*ch.0, expect);
+    }
+    let stats = c.stats();
+    assert_eq!(stats.stages, 4);
+    assert!(
+        stats.overlapped_merges >= 1,
+        "multi-batch stages defer their merges: {stats:?}"
+    );
+}

@@ -9,15 +9,39 @@
 //! Missing data follows the Pandas convention: `f64` columns use NaN as
 //! the null sentinel (integer and string columns are null-free; casting
 //! with [`Column::to_f64`]-style parsers introduces NaN).
+//!
+//! Storage has interior mutability so *placement merges* can fill
+//! disjoint row ranges of one preallocated column from multiple
+//! threads ([`ColData::alloc`] + [`ColData::write_range`]); the safe
+//! read APIs assume no concurrent writes, which holds because writes
+//! only happen while a column is being constructed, before any reader
+//! can observe it.
 
+use std::cell::UnsafeCell;
 use std::sync::Arc;
 
+/// Interior-mutable backing store of a column (see the module docs).
+struct ColBuf<T>(Box<[UnsafeCell<T>]>);
+
+// SAFETY: all mutation goes through `ColData::write_range`, whose
+// contract requires disjoint row ranges from different threads and no
+// concurrent readers; shared reads through the safe APIs only happen
+// once construction is complete.
+unsafe impl<T: Send> Send for ColBuf<T> {}
+unsafe impl<T: Send + Sync> Sync for ColBuf<T> {}
+
 /// Shared storage for one column's values plus a row-range view.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ColData<T> {
-    data: Arc<Vec<T>>,
+    data: Arc<ColBuf<T>>,
     start: usize,
     len: usize,
+}
+
+impl<T: std::fmt::Debug + Clone> std::fmt::Debug for ColData<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
 }
 
 impl<T: Clone> ColData<T> {
@@ -25,9 +49,70 @@ impl<T: Clone> ColData<T> {
     pub fn new(v: Vec<T>) -> Self {
         let len = v.len();
         ColData {
-            data: Arc::new(v),
+            data: Arc::new(ColBuf(v.into_iter().map(UnsafeCell::new).collect())),
             start: 0,
             len,
+        }
+    }
+
+    /// Allocate a default-initialized column of `len` rows, for use as
+    /// a placement-merge target: disjoint row ranges of it can be
+    /// filled in parallel with [`ColData::write_range`].
+    pub fn alloc(len: usize) -> Self
+    where
+        T: Default,
+    {
+        let col = Self::new((0..len).map(|_| T::default()).collect());
+        // Pre-fault the backing pages (one volatile touch per 4K) so
+        // the parallel placement writers never take concurrent
+        // first-touch faults on one shared fresh mapping — those
+        // serialize on kernel page-table locks. For non-trivial `T`
+        // the construction above already wrote every slot; for
+        // zero-default primitives the compiler may have lowered it to
+        // a lazy zeroed allocation, which the volatile touches defeat.
+        let bytes = len * std::mem::size_of::<T>();
+        let base = col.data.0.as_ptr() as *mut u8;
+        let mut off = 0;
+        while off < bytes {
+            // SAFETY: in-bounds; the buffer was just created and has no
+            // other observer. Rewriting the byte it already holds is a
+            // bitwise no-op for any `T`, but forces the page present
+            // for writing.
+            unsafe {
+                let b = std::ptr::read_volatile(base.add(off) as *const u8);
+                std::ptr::write_volatile(base.add(off), b);
+            }
+            off += 4096;
+        }
+        col
+    }
+
+    /// Write `src` into rows `[offset, offset + src.len())` (the
+    /// placement-merge write: the parallel, in-place counterpart of a
+    /// concat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the view.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that the written row range is not
+    /// accessed (read or written) by any other live reference while
+    /// the call runs. The Mozart executor upholds this by handing
+    /// workers disjoint element ranges of a freshly allocated,
+    /// not-yet-observable column.
+    pub unsafe fn write_range(&self, offset: usize, src: &[T]) {
+        assert!(
+            offset.checked_add(src.len()).is_some_and(|e| e <= self.len),
+            "write_range out of bounds"
+        );
+        let base = self.start + offset;
+        for (i, v) in src.iter().enumerate() {
+            // SAFETY: in-bounds per the assert; exclusivity of the
+            // range is the caller's obligation per this function's
+            // contract.
+            unsafe { *self.data.0[base + i].get() = v.clone() };
         }
     }
 
@@ -43,7 +128,12 @@ impl<T: Clone> ColData<T> {
 
     /// The viewed values.
     pub fn as_slice(&self) -> &[T] {
-        &self.data[self.start..self.start + self.len]
+        // SAFETY: safe reads assume no concurrent writes; writes only
+        // happen through the `unsafe` placement API while the column is
+        // under construction (see the module docs).
+        unsafe {
+            std::slice::from_raw_parts(self.data.0.as_ptr().add(self.start) as *const T, self.len)
+        }
     }
 
     /// Zero-copy sub-view of rows `[start, end)`.
@@ -148,6 +238,44 @@ impl Column {
             Column::F64(_) => "f64",
             Column::Str(_) => "str",
             Column::Bool(_) => "bool",
+        }
+    }
+
+    /// Allocate a default-initialized column of `rows` rows with this
+    /// column's dtype (a placement-merge target; see
+    /// [`ColData::alloc`]).
+    pub fn alloc_like(&self, rows: usize) -> Column {
+        match self {
+            Column::I64(_) => Column::I64(ColData::alloc(rows)),
+            Column::F64(_) => Column::F64(ColData::alloc(rows)),
+            Column::Str(_) => Column::Str(ColData::alloc(rows)),
+            Column::Bool(_) => Column::Bool(ColData::alloc(rows)),
+        }
+    }
+
+    /// Write all rows of `src` into this column starting at `offset`
+    /// (the placement-merge write; the parallel, in-place counterpart
+    /// of [`Column::concat`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dtype mismatch or an out-of-bounds row range.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`ColData::write_range`]: the written row range
+    /// must not be accessed by any other live reference while the call
+    /// runs.
+    pub unsafe fn write_at(&self, offset: usize, src: &Column) {
+        // SAFETY: forwarded contract.
+        unsafe {
+            match (self, src) {
+                (Column::I64(d), Column::I64(s)) => d.write_range(offset, s.as_slice()),
+                (Column::F64(d), Column::F64(s)) => d.write_range(offset, s.as_slice()),
+                (Column::Str(d), Column::Str(s)) => d.write_range(offset, s.as_slice()),
+                (Column::Bool(d), Column::Bool(s)) => d.write_range(offset, s.as_slice()),
+                (d, s) => panic!("write_at: mixed types {} vs {}", d.dtype(), s.dtype()),
+            }
         }
     }
 

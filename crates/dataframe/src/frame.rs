@@ -145,6 +145,40 @@ impl DataFrame {
         }
     }
 
+    /// Allocate a default-initialized frame of `rows` rows with this
+    /// frame's schema (a placement-merge target; see
+    /// [`Column::alloc_like`]).
+    pub fn alloc_like(&self, rows: usize) -> DataFrame {
+        DataFrame {
+            cols: self
+                .cols
+                .iter()
+                .map(|(n, c)| (n.clone(), c.alloc_like(rows)))
+                .collect(),
+        }
+    }
+
+    /// Write all rows of `src` into this frame starting at row
+    /// `offset` (the placement-merge write; the parallel, in-place
+    /// counterpart of [`DataFrame::concat`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on schema mismatch or an out-of-bounds row range.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Column::write_at`]: the written row range
+    /// must not be accessed by any other live reference while the call
+    /// runs.
+    pub unsafe fn write_rows_at(&self, offset: usize, src: &DataFrame) {
+        assert_eq!(src.names(), self.names(), "write_rows_at: schema mismatch");
+        for ((_, dst), (_, s)) in self.cols.iter().zip(&src.cols) {
+            // SAFETY: forwarded contract.
+            unsafe { dst.write_at(offset, s) };
+        }
+    }
+
     /// Concatenate frames with identical schemas, preserving row order.
     ///
     /// # Panics

@@ -5,9 +5,27 @@
 //! a **crop** that clones a row range out of an image and an **append**
 //! that stacks images vertically — exactly the two operations the
 //! annotator builds the split type from. Like the real library, crop
-//! and append allocate and copy, which is why the paper reports split/
+//! and append allocate and copy — which is why the paper reports split/
 //! merge overheads dominating the ImageMagick workloads (§8.2).
+//!
+//! Beyond the wand API, the library also exposes the structural
+//! operations a zero-overhead splitter needs (the "ImageRows" path):
+//!
+//! * [`Image::rows`] — a zero-copy row-band *view* sharing the parent
+//!   pixel buffer (like a DataFrame column slice), replacing the
+//!   copying crop on the split side;
+//! * [`Image::alloc_rows`] + [`Image::write_rows_from`] — a
+//!   preallocated image that disjoint row bands can be written into
+//!   from multiple threads, replacing the copying append on the merge
+//!   side (placement merging).
+//!
+//! Pixel storage is a shared `PixelBuf` with interior mutability so
+//! disjoint row ranges can be written in parallel; the safe read APIs
+//! assume no concurrent writes, which holds because writes only happen
+//! through the `unsafe` placement API while an image is being
+//! constructed, before any reader can observe it.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -25,16 +43,66 @@ pub fn num_threads() -> usize {
     THREADS.load(Ordering::Relaxed)
 }
 
+/// Shared interleaved pixel storage supporting disjoint parallel row
+/// writes (interior mutability, like a C float buffer).
+struct PixelBuf(Box<[UnsafeCell<f32>]>);
+
+// SAFETY: a plain array of `Copy` floats. All mutation goes through
+// `Image::write_rows_from`, whose contract requires disjoint row ranges
+// from different threads and no concurrent readers; shared reads through
+// the safe APIs only happen once construction is complete.
+unsafe impl Sync for PixelBuf {}
+unsafe impl Send for PixelBuf {}
+
+impl PixelBuf {
+    fn from_vec(v: Vec<f32>) -> PixelBuf {
+        PixelBuf(v.into_iter().map(UnsafeCell::new).collect())
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Read a channel range.
+    ///
+    /// # Safety
+    ///
+    /// No thread may concurrently mutate any element of the range.
+    unsafe fn slice(&self, start: usize, len: usize) -> &[f32] {
+        debug_assert!(start + len <= self.len());
+        // SAFETY: in-bounds per the debug_assert; aliasing discipline is
+        // the caller's obligation per this function's contract.
+        unsafe { std::slice::from_raw_parts((self.0.as_ptr() as *const f32).add(start), len) }
+    }
+
+    /// Mutate a channel range.
+    ///
+    /// # Safety
+    ///
+    /// The range must not be accessed (read or written) by any other
+    /// live reference while the returned slice is alive.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [f32] {
+        debug_assert!(start + len <= self.len());
+        // SAFETY: see function contract.
+        unsafe { std::slice::from_raw_parts_mut((self.0.as_ptr() as *mut f32).add(start), len) }
+    }
+}
+
 /// An RGB image with `f32` channels in `[0, 1]`, row-major interleaved.
 ///
 /// Cloning is O(1) (shared storage); all pixel operators return new
 /// images (the wand convention of "clone then operate" without exposing
-/// mutation to the annotator).
+/// mutation to the annotator). An `Image` may be a zero-copy row *view*
+/// of a larger image (see [`Image::rows`]); views and owners are
+/// indistinguishable to every operator.
 #[derive(Clone)]
 pub struct Image {
     width: usize,
     height: usize,
-    data: Arc<Vec<f32>>,
+    /// First buffer row of this view.
+    row_start: usize,
+    data: Arc<PixelBuf>,
 }
 
 impl Image {
@@ -55,8 +123,56 @@ impl Image {
         Image {
             width,
             height,
-            data: Arc::new(data),
+            row_start: 0,
+            data: Arc::new(PixelBuf::from_vec(data)),
         }
+    }
+
+    /// Allocate a zeroed image of the given dimensions, for use as a
+    /// placement-merge target: disjoint row bands of it can be filled
+    /// in parallel with [`Image::write_rows_from`].
+    pub fn alloc_rows(width: usize, height: usize) -> Self {
+        Self::from_rgb(width, height, vec![0.0; width * height * Self::CHANNELS])
+    }
+
+    /// [`Image::alloc_rows`] without the zeroing pass: the pixel buffer
+    /// has *unspecified* contents, with every page pre-touched so
+    /// parallel [`Image::write_rows_from`] calls are pure memory copies
+    /// (no first-touch page faults, which would otherwise serialize on
+    /// kernel page-table locks under concurrent writers).
+    ///
+    /// # Safety
+    ///
+    /// The caller must write every row (via [`Image::write_rows_from`])
+    /// before any read of it — including reads through row views that
+    /// survive the image, so a partially-filled image may only be
+    /// observed through views restricted to its written rows.
+    #[allow(clippy::uninit_vec)] // the uninit window is this function's documented contract
+    pub unsafe fn alloc_rows_uninit(width: usize, height: usize) -> Self {
+        let n = width * height * Self::CHANNELS;
+        let mut v: Vec<UnsafeCell<f32>> = Vec::with_capacity(n);
+        // SAFETY: capacity was just reserved; f32 has no drop
+        // obligations, and the caller contract defers initialization
+        // to the first writes.
+        unsafe { v.set_len(n) };
+        let img = Image {
+            width,
+            height,
+            row_start: 0,
+            data: Arc::new(PixelBuf(v.into_boxed_slice())),
+        };
+        // Pre-touch one byte per 4K page (a zero write — the contents
+        // are unspecified anyway) so the parallel writers never fault.
+        let base = img.data.0.as_ptr() as *mut u8;
+        let bytes = n * 4;
+        let mut off = 0;
+        while off < bytes {
+            // SAFETY: in-bounds; the buffer was just created and has
+            // no other observer.
+            unsafe { std::ptr::write_volatile(base.add(off), 0) };
+            off += 4096;
+        }
+        img
     }
 
     /// Solid-color image.
@@ -97,19 +213,44 @@ impl Image {
         self.height
     }
 
-    /// The interleaved channel data.
+    /// The interleaved channel data of this view's rows.
     pub fn data(&self) -> &[f32] {
-        &self.data
+        let stride = self.width * Self::CHANNELS;
+        // SAFETY: safe reads assume no concurrent writes; writes only
+        // happen through the `unsafe` placement API while the image is
+        // under construction (see the module docs).
+        unsafe {
+            self.data
+                .slice(self.row_start * stride, self.height * stride)
+        }
     }
 
     /// Pixel at `(x, y)`.
     pub fn pixel(&self, x: usize, y: usize) -> [f32; 3] {
+        let d = self.data();
         let i = (y * self.width + x) * Self::CHANNELS;
-        [self.data[i], self.data[i + 1], self.data[i + 2]]
+        [d[i], d[i + 1], d[i + 2]]
     }
 
-    /// Clone rows `[y0, y1)` into a new image (the `MagickWand` crop the
-    /// split type uses). Copies, like the real API.
+    /// Zero-copy view of rows `[y0, y1)`: the returned image shares
+    /// this image's pixel buffer (the "ImageRows" path the zero-overhead
+    /// splitter uses instead of the copying crop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn rows(&self, y0: usize, y1: usize) -> Image {
+        assert!(y0 <= y1 && y1 <= self.height, "row range out of bounds");
+        Image {
+            width: self.width,
+            height: y1 - y0,
+            row_start: self.row_start + y0,
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// Clone rows `[y0, y1)` into a new image (the `MagickWand` crop).
+    /// Copies, like the real API; splitters use [`Image::rows`].
     ///
     /// # Panics
     ///
@@ -120,8 +261,40 @@ impl Image {
         Image::from_rgb(
             self.width,
             y1 - y0,
-            self.data[y0 * stride..y1 * stride].to_vec(),
+            self.data()[y0 * stride..y1 * stride].to_vec(),
         )
+    }
+
+    /// Copy all rows of `src` into this image starting at row `y0`
+    /// (the placement-merge write: the parallel, in-place counterpart
+    /// of [`Image::append_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or an out-of-bounds row range.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that the row range `[y0, y0 +
+    /// src.height())` of this image is not accessed (read or written)
+    /// by any other live reference while the call runs. The Mozart
+    /// executor upholds this by handing workers disjoint element
+    /// ranges of a freshly allocated, not-yet-observable image.
+    pub unsafe fn write_rows_from(&self, y0: usize, src: &Image) {
+        assert_eq!(src.width, self.width, "write_rows_from: width mismatch");
+        assert!(
+            y0 + src.height <= self.height,
+            "write_rows_from: row range out of bounds"
+        );
+        let stride = self.width * Self::CHANNELS;
+        // SAFETY: in-bounds per the asserts; exclusivity of the
+        // destination range is the caller's obligation per this
+        // function's contract.
+        let dst = unsafe {
+            self.data
+                .slice_mut((self.row_start + y0) * stride, src.height * stride)
+        };
+        dst.copy_from_slice(src.data());
     }
 
     /// Stack images vertically (the append API the merger uses).
@@ -149,7 +322,7 @@ impl Image {
         for p in parts {
             assert_eq!(p.width, width, "append: width mismatch");
             height += p.height;
-            data.extend_from_slice(&p.data);
+            data.extend_from_slice(p.data());
         }
         Image::from_rgb(width, height, data)
     }
@@ -159,14 +332,14 @@ impl Image {
     /// internal threads when the image is large enough.
     pub(crate) fn map_pixels(&self, f: impl Fn([f32; 3]) -> [f32; 3] + Send + Sync) -> Image {
         let n = self.width * self.height;
-        let mut out = vec![0.0f32; self.data.len()];
+        let mut out = vec![0.0f32; n * Self::CHANNELS];
         let t = num_threads();
         if t <= 1 || n < 1 << 14 {
-            map_range(&self.data, &mut out, &f, 0, n);
+            map_range(self.data(), &mut out, &f, 0, n);
         } else {
             let per = n.div_ceil(t);
             let out_addr = out.as_mut_ptr() as usize;
-            let src = &self.data;
+            let src = self.data();
             std::thread::scope(|s| {
                 for w in 0..t {
                     let start = w * per;
@@ -205,10 +378,10 @@ impl Image {
     pub fn mean_abs_diff(&self, other: &Image) -> f32 {
         assert_eq!(self.width, other.width, "diff: width mismatch");
         assert_eq!(self.height, other.height, "diff: height mismatch");
-        let n = self.data.len() as f32;
-        self.data
-            .iter()
-            .zip(other.data.iter())
+        let d = self.data();
+        let n = d.len() as f32;
+        d.iter()
+            .zip(other.data().iter())
             .map(|(a, b)| (a - b).abs())
             .sum::<f32>()
             / n
@@ -279,6 +452,42 @@ mod tests {
         assert_eq!(merged.width(), 8);
         assert_eq!(merged.height(), 10);
         assert_eq!(merged.mean_abs_diff(&img), 0.0);
+    }
+
+    #[test]
+    fn rows_view_matches_copying_crop() {
+        let img = Image::synthetic(9, 12, 5);
+        let view = img.rows(3, 8);
+        let crop = img.crop_rows(3, 8);
+        assert_eq!(view.height(), 5);
+        assert_eq!(view.data(), crop.data(), "view is pixel-identical");
+        // Views nest, like column slices.
+        let nested = view.rows(1, 4);
+        assert_eq!(nested.data(), img.crop_rows(4, 7).data());
+        // Operating on a view never touches the parent.
+        let _ = crate::invert(&view);
+        assert_eq!(img.mean_abs_diff(&Image::synthetic(9, 12, 5)), 0.0);
+    }
+
+    #[test]
+    fn placement_writes_reassemble_disjoint_bands() {
+        let img = Image::synthetic(7, 20, 11);
+        let out = Image::alloc_rows(7, 20);
+        std::thread::scope(|s| {
+            for (y0, y1) in [(10usize, 20usize), (0, 4), (4, 10)] {
+                let band = img.rows(y0, y1);
+                let out = &out;
+                // SAFETY: bands cover disjoint row ranges of `out`.
+                s.spawn(move || unsafe { out.write_rows_from(y0, &band) });
+            }
+        });
+        assert_eq!(out.mean_abs_diff(&img), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row range out of bounds")]
+    fn rows_bounds() {
+        Image::solid(2, 2, [0.0; 3]).rows(1, 3);
     }
 
     #[test]

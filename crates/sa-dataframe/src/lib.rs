@@ -89,8 +89,17 @@ mod tests {
         let got = get_scalar(&total).unwrap();
 
         let mask_ref = dataframe::ops::gt_scalar(d.col("age"), 40.0);
-        let expect = dataframe::ops::sum(d.filter(&mask_ref).col("age"));
+        let filtered_ref = d.filter(&mask_ref);
+        let expect = dataframe::ops::sum(filtered_ref.col("age"));
         assert_eq!(got, expect);
+
+        // The merged filtered frame itself must be the compact concat
+        // of the per-batch filtered pieces â `unknown` outputs never
+        // take the placement path (their pieces under-fill their batch
+        // ranges), so this must match the eager baseline row for row.
+        let adults_df = get_df(&adults).unwrap();
+        assert_eq!(adults_df.num_rows(), filtered_ref.num_rows());
+        assert_eq!(adults_df.col("age").f64s(), filtered_ref.col("age").f64s());
     }
 
     #[test]

@@ -127,6 +127,115 @@ impl Splitter for RowSplit {
         // merge-size hint).
         merge_rows(pieces, Some(total_elements as usize))
     }
+
+    fn alloc_merged(
+        &self,
+        total_elements: u64,
+        _params: &Params,
+        exemplar: Option<&DataValue>,
+    ) -> Result<Option<DataValue>> {
+        // The exemplar (the first piece produced) supplies what the
+        // parameters cannot: the schema of a frame, the dtype of a
+        // column. The stage-start probe (no exemplar yet) is declined.
+        let Some(exemplar) = exemplar else {
+            return Ok(None);
+        };
+        let rows = total_elements as usize;
+        if let Some(d) = exemplar.downcast_ref::<DfValue>() {
+            return Ok(Some(DataValue::new(DfValue(d.0.alloc_like(rows)))));
+        }
+        if let Some(c) = exemplar.downcast_ref::<ColValue>() {
+            return Ok(Some(DataValue::new(ColValue(c.0.alloc_like(rows)))));
+        }
+        Err(Error::Merge {
+            split_type: "RowSplit",
+            message: format!("unexpected piece type {}", exemplar.type_name()),
+        })
+    }
+
+    fn write_piece(&self, out: &DataValue, offset: u64, piece: &DataValue) -> Result<u64> {
+        let offset = offset as usize;
+        if let (Some(dst), Some(src)) = (
+            out.downcast_ref::<DfValue>(),
+            piece.downcast_ref::<DfValue>(),
+        ) {
+            check_fit(
+                offset,
+                src.0.num_rows(),
+                dst.0.num_rows(),
+                src.0.names() == dst.0.names()
+                    && src
+                        .0
+                        .columns()
+                        .iter()
+                        .zip(dst.0.columns())
+                        .all(|((_, s), (_, d))| s.dtype() == d.dtype()),
+            )?;
+            // SAFETY: the executor guarantees concurrent `write_piece`
+            // calls cover disjoint row ranges of the not-yet-observable
+            // output; schema and bounds were checked above.
+            unsafe { dst.0.write_rows_at(offset, &src.0) };
+            return Ok(src.0.num_rows() as u64);
+        }
+        if let (Some(dst), Some(src)) = (
+            out.downcast_ref::<ColValue>(),
+            piece.downcast_ref::<ColValue>(),
+        ) {
+            check_fit(
+                offset,
+                src.0.len(),
+                dst.0.len(),
+                src.0.dtype() == dst.0.dtype(),
+            )?;
+            // SAFETY: as above.
+            unsafe { dst.0.write_at(offset, &src.0) };
+            return Ok(src.0.len() as u64);
+        }
+        Err(Error::Merge {
+            split_type: "RowSplit",
+            message: format!(
+                "placement piece {} does not match output {}",
+                piece.type_name(),
+                out.type_name()
+            ),
+        })
+    }
+
+    fn truncate_merged(
+        &self,
+        out: DataValue,
+        elements: u64,
+        _params: &Params,
+    ) -> Result<DataValue> {
+        // NULL-split tail: the written prefix as a zero-copy row slice.
+        let rows = elements as usize;
+        if let Some(d) = out.downcast_ref::<DfValue>() {
+            let rows = rows.min(d.0.num_rows());
+            return Ok(DataValue::new(DfValue(d.0.slice_rows(0, rows))));
+        }
+        if let Some(c) = out.downcast_ref::<ColValue>() {
+            let rows = rows.min(c.0.len());
+            return Ok(DataValue::new(ColValue(c.0.slice(0, rows))));
+        }
+        Err(Error::Merge {
+            split_type: "RowSplit",
+            message: format!("unexpected placement output {}", out.type_name()),
+        })
+    }
+}
+
+/// Validate a placement write: schema/dtype agreement and row bounds.
+fn check_fit(offset: usize, src_rows: usize, dst_rows: usize, schema_ok: bool) -> Result<()> {
+    if !schema_ok || offset.checked_add(src_rows).is_none_or(|e| e > dst_rows) {
+        return Err(Error::Merge {
+            split_type: "RowSplit",
+            message: format!(
+                "piece of {src_rows} rows at offset {offset} does not fit \
+                 placement output of {dst_rows} rows (or schema/dtype mismatch)"
+            ),
+        });
+    }
+    Ok(())
 }
 
 fn merge_rows(pieces: Vec<DataValue>, rows_hint: Option<usize>) -> Result<DataValue> {
@@ -227,6 +336,60 @@ mod tests {
         );
         // Out-of-range terminates.
         assert!(s.split(&c, 3..5, &params).unwrap().is_none());
+    }
+
+    #[test]
+    fn placement_matches_concat_for_frames_and_columns() {
+        let s = RowSplit;
+        let df = test_df();
+        let d = DataValue::new(DfValue(df.clone()));
+        let params = vec![10];
+        let p1 = s.split(&d, 0..4, &params).unwrap().unwrap();
+        let p2 = s.split(&d, 4..10, &params).unwrap().unwrap();
+        let out = s
+            .alloc_merged(10, &params, Some(&p1))
+            .unwrap()
+            .expect("RowSplit supports placement");
+        // Out-of-claim-order writes land at the right offsets.
+        s.write_piece(&out, 4, &p2).unwrap();
+        s.write_piece(&out, 0, &p1).unwrap();
+        let m = out.downcast_ref::<DfValue>().unwrap();
+        assert_eq!(m.0.col("id").i64s(), df.col("id").i64s());
+        assert_eq!(m.0.col("v").f64s(), df.col("v").f64s());
+
+        // Columns, including non-Copy string payloads.
+        let col = Column::from_strs(&["a", "b", "c", "d", "e"]);
+        let c = DataValue::new(ColValue(col.clone()));
+        let params = vec![5];
+        let p1 = s.split(&c, 0..2, &params).unwrap().unwrap();
+        let p2 = s.split(&c, 2..5, &params).unwrap().unwrap();
+        let out = s.alloc_merged(5, &params, Some(&p2)).unwrap().unwrap();
+        s.write_piece(&out, 2, &p2).unwrap();
+        s.write_piece(&out, 0, &p1).unwrap();
+        assert_eq!(out.downcast_ref::<ColValue>().unwrap().0.strs(), col.strs());
+        // A truncated (NULL-tail) output is the written prefix.
+        let trunc = s.truncate_merged(out, 3, &params).unwrap();
+        assert_eq!(
+            trunc.downcast_ref::<ColValue>().unwrap().0.strs(),
+            &["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+    }
+
+    #[test]
+    fn placement_rejects_mismatched_pieces() {
+        let s = RowSplit;
+        let col = DataValue::new(ColValue(Column::from_i64(vec![1, 2, 3])));
+        let params = vec![3];
+        let piece = s.split(&col, 0..2, &params).unwrap().unwrap();
+        let out = s.alloc_merged(3, &params, Some(&piece)).unwrap().unwrap();
+        // Out-of-bounds offset.
+        assert!(s.write_piece(&out, 2, &piece).is_err());
+        // Dtype mismatch.
+        let other = DataValue::new(ColValue(Column::from_f64(vec![1.0])));
+        assert!(s.write_piece(&out, 0, &other).is_err());
+        // Frame piece into a column output.
+        let frame = DataValue::new(DfValue(test_df()));
+        assert!(s.write_piece(&out, 0, &frame).is_err());
     }
 
     #[test]

@@ -1,15 +1,23 @@
 //! # sa-image — split annotations for the `imagelib` library
 //!
 //! The annotator-side integration for the ImageMagick stand-in (§7
-//! "ImageMagick"): one split type over the opaque image handle, "where
-//! the split function uses a crop function to clone and return a subset
-//! of the original image" and the merger uses the append API "to
-//! reconstruct the final result".
+//! "ImageMagick"): one split type over the opaque image handle.
 //!
-//! Splits and merges *copy* pixel data (crop clones, append
-//! reallocates), exactly like the real API — the paper reports this is
-//! why end-to-end ImageMagick speedups are limited despite pipelining
-//! (§8.2, Figures 4n–o).
+//! The paper's integration copies on both sides — "the split function
+//! uses a crop function to clone and return a subset of the original
+//! image" and the merger uses the append API — and reports that those
+//! copies are why end-to-end ImageMagick speedups are limited despite
+//! pipelining (§8.2, Figures 4n–o). This integration drives that tax
+//! toward zero:
+//!
+//! * **splits are zero-copy** — [`ImageSplit::split`] hands out
+//!   [`Image::rows`] views aliasing the parent pixel buffer instead of
+//!   crop clones;
+//! * **merges are placement writes** — the runtime preallocates the
+//!   final image once and workers copy their result bands directly at
+//!   their row offsets ([`Splitter::alloc_merged`]); the copying
+//!   append remains only as the fallback ([`Splitter::merge_hinted`])
+//!   for runtimes with `placement_merge` disabled.
 //!
 //! `imagelib::blur` is deliberately **not** annotated: its edge
 //! boundary condition violates the SA correctness condition (§7.1).
@@ -95,9 +103,10 @@ impl Splitter for ImageSplit {
             return Ok(None);
         }
         let end = range.end.min(h);
-        // Crop clones the band, like MagickWand's crop (§7).
+        // Zero-copy row view (the paper's crop clones here; see the
+        // module docs on why this integration does not).
         Ok(Some(DataValue::new(ImgValue(
-            img.0.crop_rows(range.start as usize, end as usize),
+            img.0.rows(range.start as usize, end as usize),
         ))))
     }
 
@@ -119,6 +128,82 @@ impl Splitter for ImageSplit {
             &band_pieces(&pieces)?,
             total_elements as usize,
         ))))
+    }
+
+    fn alloc_merged(
+        &self,
+        total_elements: u64,
+        params: &Params,
+        _exemplar: Option<&DataValue>,
+    ) -> Result<Option<DataValue>> {
+        // `(height, width)` parameters fully determine the output
+        // layout, so the image allocates at stage start — on the
+        // caller, while the pool is parked, where its first-touch page
+        // faults run uncontended — and the exemplar is not needed. A
+        // function that changes the image geometry under this split
+        // type violates the annotation (split type equality is
+        // `(h, w)`); `write_piece` rejects its bands with a
+        // descriptive error instead of the width-mismatch panic the
+        // append fallback would raise.
+        let width = params.get(1).copied().unwrap_or(0).max(0) as usize;
+        if width == 0 {
+            return Ok(None);
+        }
+        // SAFETY: the executor's coverage check guarantees every row of
+        // the placement output is written before the merged value is
+        // released (or it is truncated to a view of the written
+        // prefix), so the unspecified initial contents are never read.
+        let img = unsafe { Image::alloc_rows_uninit(width, total_elements as usize) };
+        Ok(Some(DataValue::new(ImgValue(img))))
+    }
+
+    fn write_piece(&self, out: &DataValue, offset: u64, piece: &DataValue) -> Result<u64> {
+        let dst = out.downcast_ref::<ImgValue>().ok_or_else(|| Error::Merge {
+            split_type: "ImageSplit",
+            message: format!("placement output is {}, not ImgValue", out.type_name()),
+        })?;
+        let band = piece
+            .downcast_ref::<ImgValue>()
+            .ok_or_else(|| Error::Merge {
+                split_type: "ImageSplit",
+                message: format!("expected ImgValue piece, got {}", piece.type_name()),
+            })?;
+        let offset = offset as usize;
+        if band.0.width() != dst.0.width()
+            || offset
+                .checked_add(band.0.height())
+                .is_none_or(|e| e > dst.0.height())
+        {
+            return Err(Error::Merge {
+                split_type: "ImageSplit",
+                message: format!(
+                    "band {}x{} at row {offset} does not fit output {}x{}",
+                    band.0.width(),
+                    band.0.height(),
+                    dst.0.width(),
+                    dst.0.height()
+                ),
+            });
+        }
+        // SAFETY: the executor guarantees concurrent `write_piece` calls
+        // cover disjoint row ranges of the not-yet-observable output.
+        unsafe { dst.0.write_rows_from(offset, &band.0) };
+        Ok(band.0.height() as u64)
+    }
+
+    fn truncate_merged(
+        &self,
+        out: DataValue,
+        elements: u64,
+        _params: &Params,
+    ) -> Result<DataValue> {
+        let img = out.downcast_ref::<ImgValue>().ok_or_else(|| Error::Merge {
+            split_type: "ImageSplit",
+            message: format!("placement output is {}, not ImgValue", out.type_name()),
+        })?;
+        // NULL-split tail: the written prefix as a zero-copy row view.
+        let rows = (elements as usize).min(img.0.height());
+        Ok(DataValue::new(ImgValue(img.0.rows(0, rows))))
     }
 }
 
@@ -438,6 +523,70 @@ mod tests {
         let out = merged.downcast_ref::<ImgValue>().unwrap();
         assert_eq!(out.0.mean_abs_diff(&img), 0.0);
         assert!(s.split(&arg, 17..20, &params).unwrap().is_none());
+    }
+
+    #[test]
+    fn view_split_matches_copying_crop_pixel_for_pixel() {
+        // The ImageRows view path must be indistinguishable from the
+        // paper's crop-clone split, and the placement merge from the
+        // copying append.
+        let s = ImageSplit;
+        let img = Image::synthetic(10, 23, 4);
+        let arg = DataValue::new(ImgValue(img.clone()));
+        let params = s.construct(&[&arg]).unwrap();
+        let ranges = [(0u64, 7u64), (7, 16), (16, 23)];
+        let mut views = Vec::new();
+        for &(a, b) in &ranges {
+            let piece = s.split(&arg, a..b, &params).unwrap().unwrap();
+            let v = piece.downcast_ref::<ImgValue>().unwrap();
+            let crop = img.crop_rows(a as usize, b as usize);
+            assert_eq!(v.0.data(), crop.data(), "view rows [{a}, {b})");
+            views.push(piece);
+        }
+        // Placement: allocate from the first piece, write out of order.
+        let out = s
+            .alloc_merged(23, &params, Some(&views[0]))
+            .unwrap()
+            .expect("ImageSplit supports placement");
+        for (&(a, _), piece) in ranges.iter().zip(&views).rev() {
+            s.write_piece(&out, a, piece).unwrap();
+        }
+        let placed = out.downcast_ref::<ImgValue>().unwrap();
+        assert_eq!(placed.0.mean_abs_diff(&img), 0.0);
+        // Copying fallback agrees.
+        let merged = s.merge_hinted(views, &params, 23).unwrap();
+        let appended = merged.downcast_ref::<ImgValue>().unwrap();
+        assert_eq!(appended.0.mean_abs_diff(&img), 0.0);
+    }
+
+    #[test]
+    fn placement_on_and_off_produce_identical_pipelines() {
+        register_defaults();
+        let img = Image::synthetic(33, 57, 13);
+        let run = |placement: bool| {
+            let mut cfg = Config::with_workers(3);
+            cfg.batch_override = Some(5);
+            cfg.pedantic = true;
+            cfg.placement_merge = placement;
+            let c = MozartContext::new(cfg);
+            let t = colortone(&c, &img, [0.13, 0.17, 0.43], false).unwrap();
+            let t = gamma(&c, &t, 1.3).unwrap();
+            let out = get_image(&t).unwrap();
+            let stats = c.stats();
+            (out, stats)
+        };
+        let (on, stats_on) = run(true);
+        let (off, stats_off) = run(false);
+        assert_eq!(
+            on.mean_abs_diff(&off),
+            0.0,
+            "placement must not change pixels"
+        );
+        assert!(
+            stats_on.placement_writes > 0,
+            "placement path engaged: {stats_on:?}"
+        );
+        assert_eq!(stats_off.placement_writes, 0);
     }
 
     #[test]

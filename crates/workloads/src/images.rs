@@ -37,10 +37,16 @@ pub fn nashville_base(img: &Image) -> Summary {
 /// Mozart Nashville: the chain through `sa-image`, pipelined per band.
 pub fn nashville_mozart(img: &Image, ctx: &MozartContext) -> Result<Summary> {
     use sa_image as sa;
-    let t = sa::colortone(ctx, img, [0.13, 0.17, 0.43], false)?;
-    let t = sa::colortone(ctx, &t, [0.97, 0.85, 0.68], true)?;
-    let t = sa::gamma(ctx, &t, 1.2)?;
-    let t = sa::modulate(ctx, &t, 100.0, 150.0, 100.0)?;
+    // Rebind with `=` (not shadowing) so each intermediate handle drops
+    // as soon as the next call captures it: only the final image is
+    // user-visible at evaluation time, so the runtime discards the
+    // intermediates' pieces instead of merging three full images nobody
+    // reads (shadowed handles stay alive to end of scope and would all
+    // plan as Merge outputs).
+    let mut t = sa::colortone(ctx, img, [0.13, 0.17, 0.43], false)?;
+    t = sa::colortone(ctx, &t, [0.97, 0.85, 0.68], true)?;
+    t = sa::gamma(ctx, &t, 1.2)?;
+    t = sa::modulate(ctx, &t, 100.0, 150.0, 100.0)?;
     Ok(summarize(&sa::get_image(&t)?))
 }
 
@@ -61,10 +67,11 @@ pub fn gotham_base(img: &Image) -> Summary {
 /// Mozart Gotham.
 pub fn gotham_mozart(img: &Image, ctx: &MozartContext) -> Result<Summary> {
     use sa_image as sa;
-    let t = sa::modulate(ctx, img, 120.0, 10.0, 100.0)?;
-    let t = sa::colorize(ctx, &t, [0.13, 0.16, 0.32], 0.2)?;
-    let t = sa::gamma(ctx, &t, 0.5)?;
-    let t = sa::contrast(ctx, &t, 6.0)?;
+    // Rebind, don't shadow: see `nashville_mozart`.
+    let mut t = sa::modulate(ctx, img, 120.0, 10.0, 100.0)?;
+    t = sa::colorize(ctx, &t, [0.13, 0.16, 0.32], 0.2)?;
+    t = sa::gamma(ctx, &t, 0.5)?;
+    t = sa::contrast(ctx, &t, 6.0)?;
     Ok(summarize(&sa::get_image(&t)?))
 }
 
@@ -106,5 +113,26 @@ mod tests {
         let ctx = crate::mozart_context(2);
         nashville_mozart(&img, &ctx).unwrap();
         assert_eq!(ctx.stats().stages, 1);
+    }
+
+    #[test]
+    fn placement_merge_preserves_nashville_checksum() {
+        // The placement fast path must be invisible in the output: the
+        // summary checksum with `placement_merge` on equals the one
+        // with it off (the copying baseline), bit for bit.
+        let img = generate(48, 37, 5);
+        let run = |placement: bool| {
+            let mut cfg = mozart_core::Config::with_workers(3);
+            cfg.batch_override = Some(4);
+            cfg.placement_merge = placement;
+            let ctx = crate::mozart_context_with(cfg);
+            let s = nashville_mozart(&img, &ctx).unwrap();
+            (s, ctx.stats())
+        };
+        let (on, stats_on) = run(true);
+        let (off, stats_off) = run(false);
+        assert_eq!(on.mean, off.mean, "checksums must match exactly");
+        assert!(stats_on.placement_writes > 0, "{stats_on:?}");
+        assert_eq!(stats_off.placement_writes, 0);
     }
 }

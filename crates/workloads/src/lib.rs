@@ -52,6 +52,15 @@ pub fn mozart_context(workers: usize) -> MozartContext {
     MozartContext::new(Config::with_workers(workers))
 }
 
+/// Build a Mozart context from an explicit configuration, with all
+/// integrations' default split types registered — the ablation entry
+/// point benchmarks use (e.g. `phase_breakdown` toggling
+/// `Config::placement_merge`).
+pub fn mozart_context_with(config: Config) -> MozartContext {
+    register_all_defaults();
+    MozartContext::new(config)
+}
+
 /// Register the default split types of every integration. Idempotent.
 pub fn register_all_defaults() {
     sa_vectormath::register_defaults();
