@@ -16,11 +16,28 @@
 //! PR: the service beats `independent` on aggregate requests/sec with 4
 //! concurrent clients and serves repeats at a >90% plan-cache hit rate.
 //!
+//! Two additional phases exercise the QoS work:
+//!
+//! * **Fair-share**: 2 hot sessions (2 closed-loop threads each,
+//!   weight 1) flood the service while 1 cold session (1 thread,
+//!   weight 2) runs a fixed request count. The cold session's share of
+//!   served pool batches during its window is reported under
+//!   deficit-weighted round-robin and under the FIFO ablation; the
+//!   acceptance bar is cold share within 2x of its weight-proportional
+//!   share under DRR, with every response checksum identical to the
+//!   uncontended reference.
+//! * **Coalescing**: concurrent fingerprint-identical requests
+//!   (same `n`, distinct seeds) against a `max_inflight=1` service.
+//!   Queued requests must coalesce (`coalesced_requests > 0` is
+//!   asserted — the CI smoke gate) and every response must equal its
+//!   separately-evaluated reference.
+//!
 //! Env knobs: `MOZART_SERVE_CLIENTS` (default 4),
 //! `MOZART_SERVE_REQUESTS` per client (default 60, scaled by
 //! `MOZART_BENCH_SCALE`), `MOZART_SERVE_N` elements per request
 //! (default 16384, scaled), plus the usual `MOZART_BENCH_*`.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -90,6 +107,228 @@ fn drive(
         name,
         wall: t0.elapsed(),
         latencies,
+    }
+}
+
+/// Result of one fair-share run (see the module docs).
+struct FairShare {
+    /// Total batches served per session over the cold session's window:
+    /// `(hot1, hot2, cold)`.
+    batch_deltas: [u64; 3],
+    /// Of those, batches served by *pool workers* — the contended
+    /// capacity the scheduler divides; submitting callers always run
+    /// their own jobs, so their share is demand, not scheduling.
+    worker_deltas: [u64; 3],
+    /// Cold session wall time for its fixed request count.
+    cold_wall: Duration,
+    /// Every response (hot and cold) matched its reference body.
+    checksums_ok: bool,
+}
+
+impl FairShare {
+    /// Cold's share of worker-served batches (the scheduled resource);
+    /// falls back to the total-batch share when the pool workers never
+    /// ran in the window (e.g. a single-core host drains every job on
+    /// its caller).
+    fn cold_share(&self) -> f64 {
+        let workers: u64 = self.worker_deltas.iter().sum();
+        if workers > 0 {
+            return self.worker_deltas[2] as f64 / workers as f64;
+        }
+        self.cold_demand_share()
+    }
+
+    /// Cold's share of *all* batches in the window — the ceiling a
+    /// closed-loop session can reach: one thread can only demand so
+    /// much, no scheduler can serve batches it never submits.
+    fn cold_demand_share(&self) -> f64 {
+        let total: u64 = self.batch_deltas.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.batch_deltas[2] as f64 / total as f64
+    }
+
+    /// The share cold is *entitled* to: its weight-proportional share
+    /// of the pool, capped by what it actually demanded (a closed-loop
+    /// client that submits 20% of the load is entitled to at most 20%,
+    /// whatever its weight).
+    fn cold_entitled_share(&self, weight_share: f64) -> f64 {
+        weight_share.min(self.cold_demand_share())
+    }
+}
+
+/// Expected response body for one `(n, seed)` black_scholes request.
+fn reference_body(n: usize, seed: u64) -> String {
+    let s = bs::mkl_base(&bs::generate(n, seed));
+    format!("call_sum={:.6} put_sum={:.6}", s.call_sum, s.put_sum)
+}
+
+/// 2 hot sessions (2 threads each, weight 1) flood the service while a
+/// cold session (1 thread, weight 2) runs `cold_requests`; per-session
+/// batch shares are measured over the cold session's window.
+fn fair_share_run(
+    fair: bool,
+    cold_requests: usize,
+    n: usize,
+    session_config: &Config,
+) -> FairShare {
+    // Fine-grained batches: many scheduling decisions per job, so the
+    // measured shares reflect the pick policy rather than a handful of
+    // coarse claims.
+    let mut session_config = session_config.clone();
+    session_config.batch_override = Some(((n as u64) / 32).max(256));
+    // Admission must not be the bottleneck here: its queue is FIFO by
+    // contract, so contention has to land on the *pool*, where the
+    // deficit-weighted pick arbitrates — every session's evaluation
+    // runs concurrently and the pool workers choose whose batches to
+    // serve.
+    let service = PipelineService::builder()
+        .workers(WORKERS)
+        .max_inflight(8)
+        .queue_depth(32)
+        .session_config(session_config)
+        .coalescing(false) // isolate scheduling from request merging
+        .fair_scheduling(fair)
+        .builtin_pipelines()
+        .build();
+    let hot1 = Arc::new(service.session());
+    let hot2 = Arc::new(service.session());
+    let cold = Arc::new(service.session());
+    cold.set_weight(2);
+
+    let seeds = [11u64, 22, 33];
+    let refs: Vec<String> = seeds.iter().map(|&s| reference_body(n, s)).collect();
+    // Warm inputs + plan cache so the window measures steady state.
+    for (i, &seed) in seeds.iter().enumerate() {
+        let resp = hot1
+            .call(
+                "black_scholes",
+                &Request::new().with("n", n).with("seed", seed),
+            )
+            .expect("warmup");
+        assert_eq!(resp.body, refs[i], "warmup checksum");
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ok = Arc::new(AtomicBool::new(true));
+    let before = service.stats().pool;
+    let batches_of = |stats: &mozart_core::PoolStats, id: u64| {
+        stats
+            .sessions
+            .iter()
+            .find(|s| s.session == id)
+            .map(|s| (s.batches, s.worker_batches))
+            .unwrap_or((0, 0))
+    };
+    let (cold_wall, after) = std::thread::scope(|s| {
+        let mut hot_threads = Vec::new();
+        for (session, seed_idx) in [(&hot1, 0usize), (&hot1, 0), (&hot2, 1), (&hot2, 1)] {
+            let session = Arc::clone(session);
+            let stop = stop.clone();
+            let ok = ok.clone();
+            let req = Request::new().with("n", n).with("seed", seeds[seed_idx]);
+            let want = refs[seed_idx].clone();
+            hot_threads.push(s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match session.call("black_scholes", &req) {
+                        Ok(resp) => {
+                            if resp.body != want {
+                                ok.store(false, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => panic!("hot request failed: {e}"),
+                    }
+                }
+            }));
+        }
+        let t0 = Instant::now();
+        let req = Request::new().with("n", n).with("seed", seeds[2]);
+        for _ in 0..cold_requests {
+            let resp = cold.call("black_scholes", &req).expect("cold request");
+            if resp.body != refs[2] {
+                ok.store(false, Ordering::Relaxed);
+            }
+        }
+        let cold_wall = t0.elapsed();
+        let after = service.stats().pool;
+        stop.store(true, Ordering::Relaxed);
+        for h in hot_threads {
+            h.join().expect("hot thread");
+        }
+        (cold_wall, after)
+    });
+
+    let delta = |id: u64| {
+        let (b0, w0) = batches_of(&before, id);
+        let (b1, w1) = batches_of(&after, id);
+        (b1 - b0, w1 - w0)
+    };
+    let (h1, h2, c) = (delta(hot1.id()), delta(hot2.id()), delta(cold.id()));
+    FairShare {
+        batch_deltas: [h1.0, h2.0, c.0],
+        worker_deltas: [h1.1, h2.1, c.1],
+        cold_wall,
+        checksums_ok: ok.load(Ordering::Relaxed),
+    }
+}
+
+/// Result of the coalescing phase.
+struct Coalescing {
+    requests: u64,
+    coalesced: u64,
+    checksums_ok: bool,
+}
+
+/// Hammer a `max_inflight=1` service with fingerprint-identical
+/// requests from several threads; queued requests must coalesce and
+/// every response must match its separately-evaluated reference.
+fn coalescing_run(
+    clients: usize,
+    requests: usize,
+    n: usize,
+    session_config: &Config,
+) -> Coalescing {
+    let service = PipelineService::builder()
+        .workers(WORKERS)
+        .max_inflight(1)
+        .queue_depth(4 * clients.max(1))
+        .session_config(session_config.clone())
+        .builtin_pipelines()
+        .build();
+    let ok = Arc::new(AtomicBool::new(true));
+    let served = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let session = service.session();
+                let ok = ok.clone();
+                let served = served.clone();
+                // Distinct seed per client: coalesced batches really
+                // concatenate different inputs and must split the
+                // outputs back correctly.
+                let seed = 100 + c as u64;
+                let want = reference_body(n, seed);
+                let req = Request::new().with("n", n).with("seed", seed);
+                s.spawn(move || {
+                    for _ in 0..requests {
+                        let resp = session.call("black_scholes", &req).expect("request");
+                        if resp.body != want {
+                            ok.store(false, Ordering::Relaxed);
+                        }
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+    Coalescing {
+        requests: served.load(Ordering::Relaxed),
+        coalesced: service.stats().coalesced_requests,
+        checksums_ok: ok.load(Ordering::Relaxed),
     }
 }
 
@@ -196,6 +435,73 @@ fn main() {
     let hit_rate_ok = hit_rate > 0.90;
     println!("acceptance: service > independent: {service_wins}; hit rate > 90%: {hit_rate_ok}");
 
+    // ---- Fair-share: 2 hot + 1 cold (weight 2), DRR vs FIFO ----
+    // A long enough window that per-pick noise averages out even on
+    // small hosts (each cold request is ~32 fine-grained batches).
+    let cold_requests = (requests * 4).clamp(40, 240);
+    let fair = fair_share_run(true, cold_requests, n, &session_config);
+    let fifo = fair_share_run(false, cold_requests, n, &session_config);
+    // Cold holds weight 2 of 4 — its weight-proportional share of the
+    // contended pool is 1/2, capped by its own closed-loop demand; the
+    // bar is within 2x of that entitlement.
+    let weight_share = 0.5;
+    let entitled = fair.cold_entitled_share(weight_share);
+    let cold_within_2x = fair.cold_share() >= entitled / 2.0;
+    println!("\nfair-share (2 hot sessions x 2 threads vs 1 cold thread, weights 1/1/2):");
+    for (name, run) in [("drr", &fair), ("fifo", &fifo)] {
+        println!(
+            "  {:>5}: batches hot={}/{} cold={}; worker-served hot={}/{} cold={} \
+             cold_share={:.3} cold_wall={:.3}s checksums_ok={}",
+            name,
+            run.batch_deltas[0],
+            run.batch_deltas[1],
+            run.batch_deltas[2],
+            run.worker_deltas[0],
+            run.worker_deltas[1],
+            run.worker_deltas[2],
+            run.cold_share(),
+            run.cold_wall.as_secs_f64(),
+            run.checksums_ok
+        );
+    }
+    println!(
+        "  acceptance: cold share {:.3} within 2x of entitled share {entitled:.3} \
+         (= min(weight share {weight_share}, demand share {:.3})): {cold_within_2x} \
+         (fifo baseline {:.3})",
+        fair.cold_share(),
+        fair.cold_demand_share(),
+        fifo.cold_share()
+    );
+    assert!(
+        cold_within_2x,
+        "cold session share {:.3} fell below half its entitled share {entitled:.3} under DRR",
+        fair.cold_share()
+    );
+    assert!(
+        fair.checksums_ok && fifo.checksums_ok,
+        "fair-share runs must produce reference-identical responses"
+    );
+
+    // ---- Coalescing: fingerprint-identical requests share evaluations ----
+    let co = coalescing_run(clients.max(3), requests, n, &session_config);
+    println!(
+        "coalescing: {} requests, {} served as followers ({:.1}%), checksums_ok={}",
+        co.requests,
+        co.coalesced,
+        100.0 * co.coalesced as f64 / co.requests.max(1) as f64,
+        co.checksums_ok
+    );
+    // CI smoke gates: the fingerprint-identical workload must actually
+    // coalesce, and coalesced responses must be bit-identical.
+    assert!(
+        co.coalesced > 0,
+        "expected nonzero coalesced_requests on the fingerprint-identical workload"
+    );
+    assert!(
+        co.checksums_ok,
+        "coalesced responses must match separate evaluation"
+    );
+
     // ---- JSON snapshot ----
     let mut json = String::from("{\n  \"figure\": \"serve_throughput\",\n");
     json.push_str(&format!(
@@ -222,9 +528,39 @@ fn main() {
          \"entries\": {} }},\n",
         cache.hits, cache.misses, hit_rate, cache.entries
     ));
+    json.push_str("  \"fair_share\": {\n");
+    for (name, run, comma) in [("drr", &fair, ","), ("fifo", &fifo, "")] {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"hot1_batches\": {}, \"hot2_batches\": {}, \
+             \"cold_batches\": {}, \"hot1_worker_batches\": {}, \
+             \"hot2_worker_batches\": {}, \"cold_worker_batches\": {}, \
+             \"cold_share\": {:.4}, \"cold_wall_seconds\": {:.6}, \
+             \"checksums_ok\": {} }}{}\n",
+            name,
+            run.batch_deltas[0],
+            run.batch_deltas[1],
+            run.batch_deltas[2],
+            run.worker_deltas[0],
+            run.worker_deltas[1],
+            run.worker_deltas[2],
+            run.cold_share(),
+            run.cold_wall.as_secs_f64(),
+            run.checksums_ok,
+            comma
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"coalescing\": {{ \"requests\": {}, \"coalesced_requests\": {}, \
+         \"checksums_ok\": {} }},\n",
+        co.requests, co.coalesced, co.checksums_ok
+    ));
     json.push_str(&format!(
         "  \"acceptance\": {{ \"service_beats_independent\": {service_wins}, \
-         \"hit_rate_gt_90\": {hit_rate_ok} }}\n}}\n"
+         \"hit_rate_gt_90\": {hit_rate_ok}, \"cold_entitled_share\": {entitled:.4}, \
+         \"cold_within_2x_of_entitled_share\": {cold_within_2x}, \
+         \"coalesced_nonzero\": {} }}\n}}\n",
+        co.coalesced > 0
     ));
     write_results("BENCH_serve.json", &json);
     println!("wrote bench_results/BENCH_serve.json");

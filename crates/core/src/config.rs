@@ -71,10 +71,37 @@ impl Config {
         }
     }
 
+    /// Check that every field the batch-size heuristic consumes is
+    /// usable. Called when a config is attached to a
+    /// [`MozartContext`](crate::MozartContext) (construction and
+    /// `set_config`), which poisons the context on failure — a NaN or
+    /// negative user-set `batch_constant` used to cast to 0 silently and
+    /// clamp every stage to pathological 1-element batches.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        if !self.batch_constant.is_finite() || self.batch_constant <= 0.0 {
+            return Err(crate::error::Error::InvalidConfig(format!(
+                "batch_constant must be a finite positive number, got {}",
+                self.batch_constant
+            )));
+        }
+        if self.l2_bytes == 0 {
+            return Err(crate::error::Error::InvalidConfig(
+                "l2_bytes must be nonzero (the batch heuristic divides by element bytes \
+                 and multiplies by the cache size)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Compute the batch size for a stage whose split inputs have the
     /// given total per-element footprint in bytes.
     ///
-    /// Returns a value clamped to `[1, total_elements]`.
+    /// Returns a value clamped to `[1, total_elements]`. Defensive even
+    /// under an invalid (unvalidated) `batch_constant`: the heuristic
+    /// falls back to the default constant and the `f64 → u64` cast
+    /// saturates instead of wrapping, so scheduling degrades to the
+    /// stock heuristic rather than to 1-element batches.
     pub fn batch_elements(&self, sum_elem_bytes: u64, total_elements: u64) -> u64 {
         if total_elements == 0 {
             return 1;
@@ -86,7 +113,15 @@ impl Config {
             // Nothing contributes to cache pressure: one batch.
             return total_elements;
         }
-        let b = (self.batch_constant * self.l2_bytes as f64 / sum_elem_bytes as f64) as u64;
+        let constant = if self.batch_constant.is_finite() && self.batch_constant > 0.0 {
+            self.batch_constant
+        } else {
+            1.0
+        };
+        let raw = constant * self.l2_bytes as f64 / sum_elem_bytes as f64;
+        // `as` saturates (NaN -> 0, +inf -> u64::MAX); make the floor
+        // explicit so a sub-1.0 ratio still yields one element.
+        let b = if raw >= 1.0 { raw as u64 } else { 1 };
         b.clamp(1, total_elements)
     }
 }
@@ -174,5 +209,44 @@ mod tests {
         let c = cfg();
         // One element is larger than L2: batch must still be >= 1.
         assert_eq!(c.batch_elements(1 << 22, 10), 1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_batch_constant() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0] {
+            let c = Config {
+                batch_constant: bad,
+                ..cfg()
+            };
+            let err = c.validate().expect_err("must reject");
+            assert!(err.to_string().contains("batch_constant"), "{err}");
+        }
+        assert!(cfg().validate().is_ok());
+        let c = Config {
+            l2_bytes: 0,
+            ..cfg()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn batch_elements_survives_invalid_constant() {
+        // Regression (ISSUE 4): NaN/negative batch_constant used to cast
+        // to 0 and clamp every stage to 1-element batches. The defensive
+        // path falls back to the default constant instead.
+        let sane = cfg().batch_elements(24, 1 << 30);
+        for bad in [f64::NAN, -3.0, 0.0] {
+            let c = Config {
+                batch_constant: bad,
+                ..cfg()
+            };
+            assert_eq!(c.batch_elements(24, 1 << 30), sane, "constant {bad}");
+        }
+        // An absurdly large constant saturates instead of wrapping.
+        let c = Config {
+            batch_constant: f64::MAX,
+            ..cfg()
+        };
+        assert_eq!(c.batch_elements(24, 1 << 30), 1 << 30);
     }
 }

@@ -84,9 +84,13 @@ impl Default for MozartContext {
 }
 
 impl MozartContext {
-    /// Create a context with the given configuration.
+    /// Create a context with the given configuration. An invalid config
+    /// (see [`Config::validate`]) poisons the context: every `call` and
+    /// `evaluate` reports [`Error::InvalidConfig`] instead of silently
+    /// mis-scheduling.
     pub fn new(config: Config) -> Self {
         let id = CTX_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let poisoned = config.validate().err();
         MozartContext {
             inner: Arc::new(ContextInner {
                 id,
@@ -99,7 +103,7 @@ impl MozartContext {
                     plan_cache: None,
                     session_tag: id,
                     protected: Vec::new(),
-                    poisoned: None,
+                    poisoned,
                 }),
             }),
         }
@@ -152,8 +156,25 @@ impl MozartContext {
     }
 
     /// Replace the configuration. Affects stages planned after the call.
+    /// An invalid config (see [`Config::validate`]) poisons the context;
+    /// attaching a valid config afterwards clears that poison (nothing
+    /// was scheduled under the rejected config, so unlike an execution
+    /// failure there is no corrupted state to protect).
     pub fn set_config(&self, config: Config) {
-        self.inner.state.lock().config = config;
+        let mut st = self.inner.state.lock();
+        match config.validate() {
+            Err(e) => {
+                if st.poisoned.is_none() {
+                    st.poisoned = Some(e);
+                }
+            }
+            Ok(()) => {
+                if matches!(st.poisoned, Some(Error::InvalidConfig(_))) {
+                    st.poisoned = None;
+                }
+            }
+        }
+        st.config = config;
     }
 
     /// Read a copy of the current configuration.

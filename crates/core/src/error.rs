@@ -60,6 +60,11 @@ pub enum Error {
     Pedantic(String),
     /// The annotated library function itself reported a failure.
     Library(String),
+    /// A [`Config`](crate::Config) field holds an unusable value (e.g. a
+    /// NaN or non-positive `batch_constant`, which would silently clamp
+    /// every stage to pathological 1-element batches). Surfaced when the
+    /// config is attached to a context rather than mis-scheduling later.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for Error {
@@ -116,6 +121,7 @@ impl fmt::Display for Error {
             ),
             Error::Pedantic(m) => write!(f, "pedantic mode violation: {m}"),
             Error::Library(m) => write!(f, "library function failed: {m}"),
+            Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
         }
     }
 }

@@ -88,6 +88,10 @@ pub(crate) struct ExecStage {
     produced_slots: Vec<u32>,
     num_slots: usize,
     pub(crate) total_elements: u64,
+    /// Per-element footprint summed over the split inputs (split info
+    /// API); `total_elements · sum_elem_bytes` is the stage's nominal
+    /// split cost in bytes, the signal behind per-session byte budgets.
+    pub(crate) sum_elem_bytes: u64,
     batch: u64,
     /// Worker count for this stage (callers + pool workers), already
     /// capped by the number of batches.
@@ -164,6 +168,8 @@ pub(crate) struct DeferredMerge {
     side: Arc<SideJob>,
     /// Result slot written by the side job.
     result: MergeSlot,
+    /// Split instance of the merged output, for byte accounting at join.
+    instance: SplitInstance,
 }
 
 impl DeferredMerge {
@@ -189,11 +195,29 @@ impl DeferredMerge {
             });
         stats.merge += took;
         let merged = result?;
+        stats.bytes_merged += merged_bytes(&self.instance, &merged);
         let entry = &mut graph.values[self.value.0 as usize];
         entry.data = Some(merged);
         entry.ready = true;
         Ok(())
     }
+}
+
+/// Nominal size in bytes of a materialized merge output, via the split
+/// info API (`total_elements · elem_size_bytes`); zero when the info
+/// call declines, since byte budgets are a load-shedding signal, not an
+/// exact meter.
+fn merged_bytes(instance: &SplitInstance, merged: &DataValue) -> u64 {
+    if instance.is_unknown() {
+        // `unknown` instances carry no params and only delegate their
+        // merge; their info contract does not cover merged values.
+        return 0;
+    }
+    instance
+        .splitter
+        .info(merged, &instance.params)
+        .map(|i| i.total_elements.saturating_mul(i.elem_size_bytes))
+        .unwrap_or(0)
 }
 
 /// A merged (or single) piece covering elements starting at `start`.
@@ -287,6 +311,7 @@ pub(crate) fn execute_stage(
     let t0 = thread_cpu_now();
     for (i, mo) in exec.merge_outputs.iter().enumerate() {
         if let Some(merged) = finish_placement(mo, exec.total_elements)? {
+            stats.bytes_merged += merged_bytes(&mo.instance, &merged);
             let entry = &mut graph.values[mo.value.0 as usize];
             entry.data = Some(merged);
             entry.ready = true;
@@ -335,6 +360,7 @@ pub(crate) fn execute_stage(
                 value: mo.value,
                 side,
                 result,
+                instance: mo.instance.clone(),
             });
             stats.overlapped_merges += 1;
             continue;
@@ -343,6 +369,7 @@ pub(crate) fn execute_stage(
             mo.instance
                 .splitter
                 .merge_hinted(pieces, &mo.instance.params, exec.total_elements)?;
+        stats.bytes_merged += merged_bytes(&mo.instance, &merged);
         let entry = &mut graph.values[mo.value.0 as usize];
         entry.data = Some(merged);
         entry.ready = true;
@@ -372,6 +399,7 @@ pub(crate) fn execute_stage(
     stats.batches += outs.iter().map(|o| o.batches).sum::<u64>();
     stats.calls += outs.iter().map(|o| o.calls).sum::<u64>();
     stats.placement_writes += outs.iter().map(|o| o.placement_writes).sum::<u64>();
+    stats.bytes_split += exec.total_elements.saturating_mul(exec.sum_elem_bytes);
     Ok(())
 }
 
@@ -521,6 +549,7 @@ fn build_exec_stage(
         produced_slots,
         num_slots: stage.num_slots as usize,
         total_elements,
+        sum_elem_bytes,
         batch,
         participants,
         log_calls: config.log_calls,

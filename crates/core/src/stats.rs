@@ -45,6 +45,15 @@ pub struct PhaseStats {
     /// planning/executing subsequent stages instead of running serially
     /// on the caller.
     pub overlapped_merges: u64,
+    /// Nominal bytes split across all stages: per stage,
+    /// `total_elements · Σ elem_size_bytes` over the split inputs as
+    /// reported by the split info API. The cost signal serving layers
+    /// meter per-session byte budgets against.
+    pub bytes_split: u64,
+    /// Nominal bytes materialized by merge outputs (placement,
+    /// collected, and overlapped final merges), via the split info API
+    /// on the merged value.
+    pub bytes_merged: u64,
 }
 
 impl PhaseStats {
@@ -66,6 +75,8 @@ impl PhaseStats {
         self.calls += other.calls;
         self.placement_writes += other.placement_writes;
         self.overlapped_merges += other.overlapped_merges;
+        self.bytes_split += other.bytes_split;
+        self.bytes_merged += other.bytes_merged;
     }
 
     /// Fraction of the accounted total spent in the merge phase
@@ -117,6 +128,21 @@ pub struct SessionPoolStats {
     /// Batches processed on behalf of this session, summed over all
     /// participants of its jobs.
     pub batches: u64,
+    /// Of [`SessionPoolStats::batches`], the batches served by *pool
+    /// workers* — the submitting caller's own driver-loop share is
+    /// excluded. This shows how the contended worker capacity was
+    /// divided. (The scheduler's virtual clock charges *total* service,
+    /// including self-served batches, so sessions that drain their own
+    /// jobs yield pool assist to sessions that cannot; under sustained
+    /// contention the worker-served split still tracks weights.)
+    pub worker_batches: u64,
+    /// Nominal bytes split by this session's pool jobs
+    /// (`total_elements · Σ elem_size_bytes` per stage, from the split
+    /// info API) — the cost signal behind per-session byte budgets.
+    pub bytes: u64,
+    /// Fair-share weight under deficit-weighted round-robin (see
+    /// [`crate::pool::WorkerPool::set_session_weight`]); defaults to 1.
+    pub weight: u32,
 }
 
 /// Counters of the persistent worker pool (see [`crate::pool`]),

@@ -212,3 +212,103 @@ fn guided_claim_spans_cut_cursor_claims() {
         "guided spans should need far fewer than {n} claims, got {claims}"
     );
 }
+
+#[test]
+fn session_stats_carry_weights_and_bytes() {
+    let pool = PoolHandle::new(1);
+    pool.set_session_weight(55, 4);
+    let ctx = ctx_on(&pool, 2, 1, 55);
+    let n = 32u64;
+    let annot = scale_annotation(Duration::ZERO);
+    let data = Chunk(Arc::new((0..n).map(|i| i as f64).collect()));
+    let fut = ctx
+        .call(
+            &annot,
+            vec![DataValue::new(data), DataValue::new(FloatValue(2.0))],
+        )
+        .unwrap()
+        .unwrap();
+    fut.get().unwrap();
+
+    let stats = pool.stats();
+    let s = stats
+        .sessions
+        .iter()
+        .find(|s| s.session == 55)
+        .expect("session tracked");
+    assert_eq!(s.weight, 4, "weight set before any job must persist");
+    assert_eq!(s.batches, n);
+    // ChunkSplit reports 8 bytes per element; one split input.
+    assert_eq!(s.bytes, n * 8, "nominal split bytes accounted per job");
+
+    // Weights clamp to >= 1 and update in place.
+    pool.set_session_weight(55, 0);
+    let s = pool
+        .stats()
+        .sessions
+        .iter()
+        .find(|s| s.session == 55)
+        .cloned()
+        .unwrap();
+    assert_eq!(s.weight, 1);
+}
+
+#[test]
+fn evaluation_meters_split_bytes_in_phase_stats() {
+    let pool = PoolHandle::new(1);
+    let ctx = ctx_on(&pool, 2, 4, 9);
+    let n = 64u64;
+    let annot = scale_annotation(Duration::ZERO);
+    let data = Chunk(Arc::new((0..n).map(|i| i as f64).collect()));
+    let fut = ctx
+        .call(
+            &annot,
+            vec![DataValue::new(data), DataValue::new(FloatValue(3.0))],
+        )
+        .unwrap()
+        .unwrap();
+    fut.get().unwrap();
+    let stats = ctx.stats();
+    assert_eq!(
+        stats.bytes_split,
+        n * 8,
+        "one ChunkSplit input at 8 bytes/element"
+    );
+    assert_eq!(
+        stats.bytes_merged,
+        n * 8,
+        "the merged Chunk output is metered through the info API"
+    );
+}
+
+#[test]
+fn invalid_config_poisons_context_loudly() {
+    // Regression (ISSUE 4): a NaN batch_constant used to silently clamp
+    // every stage to 1-element batches; now it surfaces as a typed
+    // error on the first call.
+    let mut cfg = Config::with_workers(2);
+    cfg.batch_constant = f64::NAN;
+    let ctx = MozartContext::new(cfg);
+    let annot = scale_annotation(Duration::ZERO);
+    let data = Chunk(Arc::new(vec![1.0; 8]));
+    let err = ctx
+        .call(
+            &annot,
+            vec![DataValue::new(data), DataValue::new(FloatValue(1.0))],
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::InvalidConfig(_)),
+        "expected InvalidConfig, got {err:?}"
+    );
+    // set_config with a bad config poisons an existing context too...
+    let ctx = MozartContext::with_workers(1);
+    let mut bad = Config::with_workers(1);
+    bad.batch_constant = -1.0;
+    ctx.set_config(bad);
+    assert!(matches!(ctx.evaluate(), Err(Error::InvalidConfig(_))));
+    // ...and attaching a valid config clears the poison (nothing was
+    // ever scheduled under the rejected config).
+    ctx.set_config(Config::with_workers(1));
+    assert!(ctx.evaluate().is_ok());
+}

@@ -8,6 +8,13 @@
 //! keeps concurrent evaluations from thrashing the shared worker pool,
 //! while `queue_depth` bounds tail latency — a request that would wait
 //! behind an arbitrarily long line is cheaper to reject immediately.
+//!
+//! Released slots are handed to the **oldest waiter** (FIFO tickets):
+//! neither a fresh [`Admission::acquire`] nor a stream of
+//! [`Admission::try_acquire`] calls can barge past callers already
+//! queued. Without the hand-off, a hot client hammering `try_acquire`
+//! could starve a blocked `acquire` indefinitely — the opposite of the
+//! bounded-tail-latency contract the queue exists to provide.
 
 use std::sync::{Condvar, Mutex};
 
@@ -17,9 +24,14 @@ use crate::error::ServeError;
 struct AdmissionState {
     inflight: usize,
     waiting: usize,
+    /// Next ticket to hand to a new waiter.
+    next_ticket: u64,
+    /// Ticket currently first in line; only its holder may take a freed
+    /// slot, so wakeups admit waiters strictly in arrival order.
+    serve_ticket: u64,
 }
 
-/// Counting semaphore with a bounded wait queue.
+/// Counting semaphore with a bounded, strictly FIFO wait queue.
 pub(crate) struct Admission {
     state: Mutex<AdmissionState>,
     cv: Condvar,
@@ -44,29 +56,40 @@ impl Admission {
         }
     }
 
-    /// Acquire a slot, waiting in the bounded queue if necessary.
+    /// Acquire a slot, waiting in the bounded FIFO queue if necessary.
     pub(crate) fn acquire(&self) -> Result<AdmissionPermit<'_>, ServeError> {
         let mut st = lock(&self.state);
-        if st.inflight < self.max_inflight {
+        // Fast path only when nobody is queued: with waiters present a
+        // newcomer takes a ticket behind them instead of stealing the
+        // slot a release just freed for the head of the line.
+        if st.inflight < self.max_inflight && st.waiting == 0 {
             st.inflight += 1;
             return Ok(AdmissionPermit { admission: self });
         }
         if st.waiting >= self.queue_depth {
             return Err(self.saturated());
         }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
         st.waiting += 1;
-        while st.inflight >= self.max_inflight {
+        while st.inflight >= self.max_inflight || ticket != st.serve_ticket {
             st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
         }
+        st.serve_ticket += 1;
         st.waiting -= 1;
         st.inflight += 1;
+        drop(st);
+        // More than one slot may be free (several releases in a burst):
+        // let the next ticket holder re-check rather than idle.
+        self.cv.notify_all();
         Ok(AdmissionPermit { admission: self })
     }
 
-    /// Acquire a slot only if one is free right now; never waits.
+    /// Acquire a slot only if one is free right now *and* no caller is
+    /// queued for it; never waits and never barges past the queue.
     pub(crate) fn try_acquire(&self) -> Result<AdmissionPermit<'_>, ServeError> {
         let mut st = lock(&self.state);
-        if st.inflight < self.max_inflight {
+        if st.inflight < self.max_inflight && st.waiting == 0 {
             st.inflight += 1;
             Ok(AdmissionPermit { admission: self })
         } else {
@@ -91,7 +114,9 @@ impl Drop for AdmissionPermit<'_> {
         let mut st = lock(&self.admission.state);
         st.inflight -= 1;
         drop(st);
-        self.admission.cv.notify_one();
+        // notify_all, not notify_one: the woken waiter must be the one
+        // holding `serve_ticket`, which notify_one cannot target.
+        self.admission.cv.notify_all();
     }
 }
 
@@ -131,5 +156,66 @@ mod tests {
         drop(p);
         h.join().unwrap();
         assert_eq!(a.load(), (0, 0));
+    }
+
+    #[test]
+    fn try_acquire_yields_to_queued_waiters() {
+        // Regression (ISSUE 4): try_acquire used to grab any free slot,
+        // so a stream of try_acquire callers could starve a blocked
+        // acquire indefinitely.
+        let a = Arc::new(Admission::new(1, 4));
+        let p = a.acquire().unwrap();
+        let a2 = a.clone();
+        let waiter = std::thread::spawn(move || {
+            let _p = a2.acquire().unwrap();
+        });
+        while a.load().1 == 0 {
+            std::thread::yield_now();
+        }
+        // Release the slot: it now belongs to the queued waiter. Every
+        // barge attempt until the waiter is admitted must fail.
+        drop(p);
+        while a.load().1 > 0 {
+            assert!(
+                a.try_acquire().is_err(),
+                "try_acquire barged past a queued waiter"
+            );
+            std::thread::yield_now();
+        }
+        waiter.join().unwrap();
+        // Queue drained and slot released: barging is fine again.
+        assert!(a.try_acquire().is_ok());
+    }
+
+    #[test]
+    fn released_slots_go_to_the_oldest_waiter() {
+        let a = Arc::new(Admission::new(1, 4));
+        let p = a.acquire().unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for id in 0..3 {
+            // Serialize enqueue order by waiting for the count to rise.
+            while a.load().1 != id {
+                std::thread::yield_now();
+            }
+            let a2 = a.clone();
+            let order2 = order.clone();
+            handles.push(std::thread::spawn(move || {
+                let _p = a2.acquire().unwrap();
+                order2.lock().unwrap().push(id);
+            }));
+            while a.load().1 != id + 1 {
+                std::thread::yield_now();
+            }
+        }
+        drop(p);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec![0, 1, 2],
+            "admission must be strictly FIFO"
+        );
     }
 }

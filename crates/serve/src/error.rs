@@ -23,6 +23,20 @@ pub enum ServeError {
         /// Waiters the admission queue holds beyond that.
         queue_depth: usize,
     },
+    /// The session has exhausted its byte budget: the cumulative bytes
+    /// split and merged on its behalf (tracked through the split info
+    /// API's element sizes) reached the configured cap. Load shedding by
+    /// *cost*, complementing the admission queue's shedding by *count* —
+    /// a session issuing few but enormous requests is bounded all the
+    /// same.
+    OverBudget {
+        /// The session whose budget ran out.
+        session: u64,
+        /// Bytes split + merged on the session's behalf so far.
+        used_bytes: u64,
+        /// The session's configured budget.
+        budget_bytes: u64,
+    },
     /// No pipeline registered under the requested name.
     UnknownPipeline(String),
     /// The request could not be parsed or is missing parameters.
@@ -36,6 +50,7 @@ impl ServeError {
     pub fn kind(&self) -> &'static str {
         match self {
             ServeError::Saturated { .. } => "saturated",
+            ServeError::OverBudget { .. } => "over_budget",
             ServeError::UnknownPipeline(_) => "unknown_pipeline",
             ServeError::BadRequest(_) => "bad_request",
             ServeError::Runtime(_) => "runtime",
@@ -53,6 +68,15 @@ impl fmt::Display for ServeError {
                 f,
                 "service saturated: {max_inflight} requests in flight and \
                  {queue_depth} queued; retry later"
+            ),
+            ServeError::OverBudget {
+                session,
+                used_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "session {session} exceeded its byte budget: \
+                 {used_bytes} of {budget_bytes} bytes used"
             ),
             ServeError::UnknownPipeline(name) => {
                 write!(f, "no pipeline registered under {name:?}")
@@ -93,6 +117,14 @@ mod tests {
         let e = ServeError::UnknownPipeline("nope".into());
         assert_eq!(e.kind(), "unknown_pipeline");
         assert!(e.to_string().contains("nope"));
+        let e = ServeError::OverBudget {
+            session: 3,
+            used_bytes: 2048,
+            budget_bytes: 1024,
+        };
+        assert_eq!(e.kind(), "over_budget");
+        assert!(e.to_string().contains("2048"));
+        assert!(e.to_string().contains("1024"));
         let e: ServeError = mozart_core::Error::ValueUnavailable.into();
         assert_eq!(e.kind(), "runtime");
     }

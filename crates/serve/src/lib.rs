@@ -8,7 +8,7 @@
 //! side: a serving runtime must amortize its optimizer across repeated,
 //! structurally identical pipelines.
 //!
-//! Three mechanisms, all shared across every client of a
+//! The mechanisms, all shared across every client of a
 //! [`PipelineService`]:
 //!
 //! * **A shared worker pool** ([`mozart_core::PoolHandle`]): one
@@ -16,15 +16,35 @@
 //!   clients no longer spawn two pools and oversubscribe the host;
 //!   per-session usage is accounted in
 //!   [`PoolStats::sessions`](mozart_core::PoolStats).
+//! * **Deficit-weighted fair scheduling**: idle pool workers serve the
+//!   open job of the most-underserved session per unit weight instead
+//!   of scanning FIFO, so one hot tenant cannot monopolize the pool.
+//!   Sessions carry weights ([`Session::set_weight`], the
+//!   builder's default, or the wire protocol's `WEIGHT` line);
+//!   starvation is bounded by a deficit cap and by caller
+//!   participation (see `mozart_core::pool`).
 //! * **A plan cache** ([`mozart_core::PlanCache`]): evaluations
 //!   fingerprint their pending call graph; repeats replay memoized
 //!   stage skeletons instead of re-running split-type inference and
 //!   stage grouping, re-binding only the materialized values. Shape or
 //!   split-type changes change the fingerprint, so stale plans never
 //!   replay.
+//! * **Cross-request coalescing**: queued blocking requests whose
+//!   pending-segment fingerprints match ([`Pipeline::coalesce_key`])
+//!   evaluate as *one* pipeline over concatenated inputs, and the
+//!   per-element outputs are split back per request — the serving
+//!   analogue of model-server micro-batching.
+//!   [`ServiceStats::coalesced_requests`] counts the piggybacked
+//!   requests.
 //! * **Bounded admission**: at most `max_inflight` evaluations run, at
-//!   most `queue_depth` callers wait, and everyone else gets the typed
-//!   [`ServeError::Saturated`] backpressure error immediately.
+//!   most `queue_depth` callers wait (FIFO — released slots go to the
+//!   oldest waiter; `try_call` never barges past the queue), and
+//!   everyone else gets the typed [`ServeError::Saturated`]
+//!   backpressure error immediately.
+//! * **Session byte budgets**: the bytes split and merged per session
+//!   (from the split info API's element sizes) are metered; sessions
+//!   over their budget are shed with [`ServeError::OverBudget`] —
+//!   load shedding by cost, not just by count.
 //!
 //! ## Quickstart
 //!
@@ -64,5 +84,5 @@ pub use error::{Result, ServeError};
 pub use pipelines::builtin_pipelines;
 pub use service::{
     Pipeline, PipelineService, Request, Response, ServiceBuilder, ServiceConfig, ServiceStats,
-    Session,
+    Session, MAX_COALESCE,
 };

@@ -68,6 +68,26 @@ fn bounded(req: &Request, key: &str, default: usize, max: usize) -> Result<usize
     Ok(v)
 }
 
+/// Coalescing key for the array pipelines: a hash of the element count.
+/// Requests of equal `n` register identical pending call graphs — same
+/// annotations, same split types, same shape parameters — so their
+/// pending-segment fingerprints (the plan-cache key) match and a
+/// concatenated evaluation is structurally sound; the seed changes only
+/// input *values*, never the shape. Any unparsable parameter returns
+/// `None` so the malformed request takes the single path and reports
+/// its error there — it must never join a batch and fail valid peers.
+fn shape_key(pipeline: &str, req: &Request, size_key: &str, default: usize) -> Option<u64> {
+    let n = bounded(req, size_key, default, MAX_ELEMENTS).ok()?;
+    req.u64_or("seed", 42).ok()?;
+    // FNV-1a over the pipeline name and size.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in pipeline.bytes().chain(n.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Some(h)
+}
+
 /// Black Scholes options pricing through the annotated MKL-style
 /// wrappers (27 pipelined in-place vector calls). Parameters: `n`
 /// (option count, default 8192), `seed`.
@@ -76,22 +96,75 @@ pub struct BlackScholesPipeline {
     inputs: Memo<(usize, u64), workloads::black_scholes::Inputs>,
 }
 
+impl BlackScholesPipeline {
+    /// Parse one request and fetch (or generate) its memoized inputs.
+    fn request_inputs(&self, req: &Request) -> Result<Arc<workloads::black_scholes::Inputs>> {
+        let n = bounded(req, "n", 8192, MAX_ELEMENTS)?;
+        let seed = req.u64_or("seed", 42)?;
+        Ok(self
+            .inputs
+            .get_or_insert_with((n, seed), || workloads::black_scholes::generate(n, seed)))
+    }
+}
+
+fn black_scholes_response(summary: &workloads::black_scholes::Summary) -> Response {
+    Response::new(format!(
+        "call_sum={:.6} put_sum={:.6}",
+        summary.call_sum, summary.put_sum
+    ))
+}
+
 impl Pipeline for BlackScholesPipeline {
     fn name(&self) -> &'static str {
         "black_scholes"
     }
 
     fn run(&self, ctx: &MozartContext, req: &Request) -> mozart_core::Result<Response> {
-        let n = bounded(req, "n", 8192, MAX_ELEMENTS).map_err(to_library_error)?;
-        let seed = req.u64_or("seed", 42).map_err(to_library_error)?;
-        let inputs = self
-            .inputs
-            .get_or_insert_with((n, seed), || workloads::black_scholes::generate(n, seed));
-        let summary = workloads::black_scholes::mkl_mozart(&inputs, ctx)?;
-        Ok(Response::new(format!(
-            "call_sum={:.6} put_sum={:.6}",
-            summary.call_sum, summary.put_sum
-        )))
+        let inputs = self.request_inputs(req).map_err(to_library_error)?;
+        let (call, put) = workloads::black_scholes::mkl_mozart_vectors(&inputs, ctx)?;
+        Ok(black_scholes_response(
+            &workloads::black_scholes::summarize_range(&call, &put),
+        ))
+    }
+
+    fn coalesce_key(&self, req: &Request) -> Option<u64> {
+        shape_key("black_scholes", req, "n", 8192)
+    }
+
+    fn run_coalesced(
+        &self,
+        ctx: &MozartContext,
+        reqs: &[Request],
+    ) -> Option<mozart_core::Result<Vec<Response>>> {
+        let inputs: Vec<_> = match reqs.iter().map(|r| self.request_inputs(r)).collect() {
+            Ok(v) => v,
+            Err(e) => return Some(Err(to_library_error(e))),
+        };
+        let parts: Vec<&workloads::black_scholes::Inputs> =
+            inputs.iter().map(|i| i.as_ref()).collect();
+        let total: usize = parts.iter().map(|p| p.price.len()).sum();
+        if total > MAX_ELEMENTS {
+            // Decline: the service evaluates the requests individually.
+            return None;
+        }
+        let cat = workloads::black_scholes::concat_inputs(&parts);
+        Some(
+            workloads::black_scholes::mkl_mozart_vectors(&cat, ctx).map(|(call, put)| {
+                let mut responses = Vec::with_capacity(parts.len());
+                let mut offset = 0;
+                for p in &parts {
+                    let end = offset + p.price.len();
+                    responses.push(black_scholes_response(
+                        &workloads::black_scholes::summarize_range(
+                            &call[offset..end],
+                            &put[offset..end],
+                        ),
+                    ));
+                    offset = end;
+                }
+                responses
+            }),
+        )
     }
 }
 
@@ -102,19 +175,65 @@ pub struct HaversinePipeline {
     inputs: Memo<(usize, u64), workloads::haversine::Inputs>,
 }
 
+impl HaversinePipeline {
+    fn request_inputs(&self, req: &Request) -> Result<Arc<workloads::haversine::Inputs>> {
+        let n = bounded(req, "n", 8192, MAX_ELEMENTS)?;
+        let seed = req.u64_or("seed", 42)?;
+        Ok(self
+            .inputs
+            .get_or_insert_with((n, seed), || workloads::haversine::generate(n, seed)))
+    }
+}
+
+fn haversine_response(distances: &[f64]) -> Response {
+    // Serial slice sum (not the annotated reduction): a coalesced
+    // evaluation's per-request slice then sums the same values in the
+    // same order as a separate evaluation — identical responses.
+    Response::new(format!("dist_sum={:.6}", distances.iter().sum::<f64>()))
+}
+
 impl Pipeline for HaversinePipeline {
     fn name(&self) -> &'static str {
         "haversine"
     }
 
     fn run(&self, ctx: &MozartContext, req: &Request) -> mozart_core::Result<Response> {
-        let n = bounded(req, "n", 8192, MAX_ELEMENTS).map_err(to_library_error)?;
-        let seed = req.u64_or("seed", 42).map_err(to_library_error)?;
-        let inputs = self
-            .inputs
-            .get_or_insert_with((n, seed), || workloads::haversine::generate(n, seed));
-        let summary = workloads::haversine::mkl_mozart(&inputs, ctx)?;
-        Ok(Response::new(format!("dist_sum={:.6}", summary.dist_sum)))
+        let inputs = self.request_inputs(req).map_err(to_library_error)?;
+        let d = workloads::haversine::mkl_mozart_distances(&inputs, ctx)?;
+        Ok(haversine_response(&d))
+    }
+
+    fn coalesce_key(&self, req: &Request) -> Option<u64> {
+        shape_key("haversine", req, "n", 8192)
+    }
+
+    fn run_coalesced(
+        &self,
+        ctx: &MozartContext,
+        reqs: &[Request],
+    ) -> Option<mozart_core::Result<Vec<Response>>> {
+        let inputs: Vec<_> = match reqs.iter().map(|r| self.request_inputs(r)).collect() {
+            Ok(v) => v,
+            Err(e) => return Some(Err(to_library_error(e))),
+        };
+        let parts: Vec<&workloads::haversine::Inputs> = inputs.iter().map(|i| i.as_ref()).collect();
+        let total: usize = parts.iter().map(|p| p.lat.len()).sum();
+        if total > MAX_ELEMENTS {
+            return None;
+        }
+        let cat = workloads::haversine::concat_inputs(&parts);
+        Some(
+            workloads::haversine::mkl_mozart_distances(&cat, ctx).map(|d| {
+                let mut responses = Vec::with_capacity(parts.len());
+                let mut offset = 0;
+                for p in &parts {
+                    let end = offset + p.lat.len();
+                    responses.push(haversine_response(&d[offset..end]));
+                    offset = end;
+                }
+                responses
+            }),
+        )
     }
 }
 
@@ -171,6 +290,26 @@ mod tests {
         }
         let map = memo.0.lock().unwrap();
         assert!(map.len() <= MEMO_CAPACITY);
+    }
+
+    #[test]
+    fn shape_key_rejects_unparsable_params() {
+        // A request that cannot parse must never join a coalesced
+        // batch (it would fail every valid peer); it takes the single
+        // path and reports its own error there.
+        let ok = Request::new().with("n", 1024).with("seed", 7u64);
+        assert!(shape_key("p", &ok, "n", 8192).is_some());
+        let bad_seed = Request::new().with("n", 1024).with("seed", "x");
+        assert!(shape_key("p", &bad_seed, "n", 8192).is_none());
+        let bad_n = Request::new().with("n", "x");
+        assert!(shape_key("p", &bad_n, "n", 8192).is_none());
+        // Same n, different seeds: same key (the coalescible case).
+        let a = Request::new().with("n", 1024).with("seed", 1u64);
+        let b = Request::new().with("n", 1024).with("seed", 2u64);
+        assert_eq!(shape_key("p", &a, "n", 8192), shape_key("p", &b, "n", 8192));
+        // Different n: different key.
+        let c = Request::new().with("n", 2048);
+        assert_ne!(shape_key("p", &a, "n", 8192), shape_key("p", &c, "n", 8192));
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! <pipeline> [key=value]...      run a pipeline
+//! WEIGHT <w>                     set this session's fair-share weight
+//! BUDGET <bytes>                 set this session's byte budget (0 = unlimited)
 //! LIST                           list registered pipelines
 //! STATS                          service counters
 //! QUIT                           close the connection
@@ -12,6 +14,11 @@
 //! Responses are single lines: `OK <body>` or `ERR <kind>: <message>`,
 //! with `<kind>` from [`ServeError::kind`]. Everything is UTF-8, no
 //! framing beyond `\n` — trivially scriptable with `nc`.
+//!
+//! Duplicate `key=value` pairs on a call line are rejected with
+//! `bad_request` rather than silently letting the last one win: a
+//! client typo like `n=4096 n=8192` surfaces instead of running the
+//! wrong size.
 
 use crate::error::ServeError;
 use crate::service::Request;
@@ -21,12 +28,33 @@ use crate::service::Request;
 pub enum ClientLine {
     /// Run the named pipeline with the given parameters.
     Call(String, Request),
+    /// Set the connection session's fair-share weight (>= 1).
+    Weight(u32),
+    /// Set the connection session's byte budget (0 = unlimited).
+    Budget(u64),
     /// List registered pipelines.
     List,
     /// Report service counters.
     Stats,
     /// Close the connection.
     Quit,
+}
+
+/// Parse the single operand of a control line (`WEIGHT`/`BUDGET`).
+fn parse_operand<T: std::str::FromStr>(
+    head: &str,
+    words: &mut std::str::SplitWhitespace<'_>,
+) -> Result<T, ServeError> {
+    let raw = words
+        .next()
+        .ok_or_else(|| ServeError::BadRequest(format!("{head} requires one integer operand")))?;
+    if words.next().is_some() {
+        return Err(ServeError::BadRequest(format!(
+            "{head} takes exactly one operand"
+        )));
+    }
+    raw.parse()
+        .map_err(|_| ServeError::BadRequest(format!("{head} operand {raw:?} is not an integer")))
 }
 
 /// Parse one request line.
@@ -39,6 +67,14 @@ pub fn parse_line(line: &str) -> Result<ClientLine, ServeError> {
         "LIST" => Ok(ClientLine::List),
         "STATS" => Ok(ClientLine::Stats),
         "QUIT" => Ok(ClientLine::Quit),
+        "WEIGHT" => {
+            let w: u32 = parse_operand(head, &mut words)?;
+            if w == 0 {
+                return Err(ServeError::BadRequest("WEIGHT must be at least 1".into()));
+            }
+            Ok(ClientLine::Weight(w))
+        }
+        "BUDGET" => Ok(ClientLine::Budget(parse_operand(head, &mut words)?)),
         name => {
             let mut req = Request::new();
             for word in words {
@@ -50,6 +86,11 @@ pub fn parse_line(line: &str) -> Result<ClientLine, ServeError> {
                 if key.is_empty() {
                     return Err(ServeError::BadRequest(format!(
                         "parameter {word:?} has an empty key"
+                    )));
+                }
+                if req.get(key).is_some() {
+                    return Err(ServeError::BadRequest(format!(
+                        "parameter {key:?} given more than once"
                     )));
                 }
                 req.set(key, value);
@@ -86,6 +127,47 @@ mod tests {
         assert_eq!(parse_line("LIST").unwrap(), ClientLine::List);
         assert_eq!(parse_line("STATS").unwrap(), ClientLine::Stats);
         assert_eq!(parse_line("QUIT").unwrap(), ClientLine::Quit);
+    }
+
+    #[test]
+    fn parses_weight_and_budget_lines() {
+        assert_eq!(parse_line("WEIGHT 3").unwrap(), ClientLine::Weight(3));
+        assert_eq!(
+            parse_line("BUDGET 1000000").unwrap(),
+            ClientLine::Budget(1_000_000)
+        );
+        assert_eq!(parse_line("BUDGET 0").unwrap(), ClientLine::Budget(0));
+        // Malformed control lines are typed bad requests.
+        for bad in [
+            "WEIGHT",
+            "WEIGHT 0",
+            "WEIGHT -1",
+            "WEIGHT two",
+            "WEIGHT 1 2",
+            "BUDGET",
+            "BUDGET x",
+            "BUDGET 1 2",
+        ] {
+            assert!(
+                matches!(parse_line(bad), Err(ServeError::BadRequest(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_parameters() {
+        // Regression (ISSUE 4): duplicates used to overwrite silently
+        // (last one won), hiding client typos.
+        let err = parse_line("bs n=4096 n=8192").unwrap_err();
+        match err {
+            ServeError::BadRequest(m) => assert!(m.contains("more than once"), "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Same key, same value is still a duplicate.
+        assert!(parse_line("bs seed=1 seed=1").is_err());
+        // Distinct keys are fine.
+        assert!(parse_line("bs n=1 seed=1").is_ok());
     }
 
     #[test]

@@ -1,15 +1,21 @@
 //! The in-process pipeline service: named pipelines, session handles,
 //! per-request contexts wired to the shared worker pool and plan cache,
-//! and bounded admission.
+//! bounded admission, cross-request coalescing, and per-session
+//! fair-share weights and byte budgets.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use mozart_core::{Config, MozartContext, PlanCache, PlanCacheStats, PoolHandle, PoolStats};
 
 use crate::admission::Admission;
 use crate::error::{Result, ServeError};
+
+/// Most requests one coalesced evaluation may absorb (the leader plus
+/// `MAX_COALESCE - 1` followers). Bounds both the concatenated input
+/// size and the blast radius of a failing batch.
+pub const MAX_COALESCE: usize = 8;
 
 /// A pipeline request: string parameters keyed by name (the in-process
 /// mirror of the wire protocol's `key=value` pairs).
@@ -92,6 +98,32 @@ pub trait Pipeline: Send + Sync {
     /// Execute the pipeline through `ctx` (already wired to the
     /// service's shared pool and plan cache).
     fn run(&self, ctx: &MozartContext, req: &Request) -> mozart_core::Result<Response>;
+
+    /// Coalescing key: requests with equal keys produce pending-segment
+    /// fingerprints that match (the plan-cache key from
+    /// `DataflowGraph::pending_shape`), so the service may evaluate them
+    /// as **one** pipeline over concatenated inputs and split the
+    /// outputs back per request — the serving analogue of model-server
+    /// micro-batching. Return `None` (the default) for requests that
+    /// must never coalesce; implementations that return `Some` should
+    /// also implement [`Pipeline::run_coalesced`].
+    fn coalesce_key(&self, _req: &Request) -> Option<u64> {
+        None
+    }
+
+    /// Evaluate several key-identical requests as one pipeline over the
+    /// concatenated inputs and return one response per request, in
+    /// order. Return `None` to decline (e.g. the concatenated size would
+    /// exceed a sanity bound); the service then evaluates the requests
+    /// individually under the single admission slot. Responses must be
+    /// identical to what separate [`Pipeline::run`] calls would produce.
+    fn run_coalesced(
+        &self,
+        _ctx: &MozartContext,
+        _reqs: &[Request],
+    ) -> Option<mozart_core::Result<Vec<Response>>> {
+        None
+    }
 }
 
 /// Sizing knobs of a [`PipelineService`]; see
@@ -108,6 +140,24 @@ pub struct ServiceConfig {
     pub queue_depth: usize,
     /// Plans the shared [`PlanCache`] retains.
     pub plan_cache_capacity: usize,
+    /// Default fair-share weight of new sessions (>= 1). Under the
+    /// pool's deficit-weighted round-robin, a weight-`w` session is
+    /// entitled to `w` times the contended batch share of a weight-1
+    /// session.
+    pub session_weight: u32,
+    /// Default byte budget of new sessions (0 = unlimited): once the
+    /// bytes split + merged on a session's behalf reach the budget, its
+    /// requests are shed with [`ServeError::OverBudget`].
+    pub session_byte_budget: u64,
+    /// Cross-request batch coalescing (on by default): queued blocking
+    /// requests with matching [`Pipeline::coalesce_key`]s evaluate as
+    /// one pipeline over concatenated inputs.
+    pub coalescing: bool,
+    /// Deficit-weighted session scheduling on the shared pool (on by
+    /// default); `false` restores the FIFO queue scan as a measured
+    /// ablation. Applied to the pool at build time, so it also affects
+    /// other users of an adopted pool handle.
+    pub fair_scheduling: bool,
 }
 
 impl Default for ServiceConfig {
@@ -118,6 +168,10 @@ impl Default for ServiceConfig {
             max_inflight: workers,
             queue_depth: 4 * workers,
             plan_cache_capacity: 256,
+            session_weight: 1,
+            session_byte_budget: 0,
+            coalescing: true,
+            fair_scheduling: true,
         }
     }
 }
@@ -125,7 +179,8 @@ impl Default for ServiceConfig {
 /// Cumulative service counters (see [`PipelineService::stats`]).
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
-    /// Requests admitted and started.
+    /// Requests admitted and started (followers served through a
+    /// coalesced evaluation included).
     pub started: u64,
     /// Requests that completed successfully.
     pub completed: u64,
@@ -133,6 +188,15 @@ pub struct ServiceStats {
     pub rejected: u64,
     /// Requests that failed inside the pipeline.
     pub failed: u64,
+    /// Requests shed because their session exhausted its byte budget.
+    pub over_budget: u64,
+    /// Requests served by piggybacking on another request's evaluation
+    /// (cross-request coalescing followers; the leader of a coalesced
+    /// batch is not counted).
+    pub coalesced_requests: u64,
+    /// Followers currently parked in open (not yet sealed) coalesced
+    /// batches, waiting for their leader's evaluation.
+    pub coalesce_waiting: usize,
     /// Sessions opened.
     pub sessions: u64,
     /// Requests currently evaluating.
@@ -145,6 +209,96 @@ pub struct ServiceStats {
     pub pool: PoolStats,
 }
 
+/// One forming coalesced batch: the leader's request plus any followers
+/// that joined while the leader waited for admission.
+struct CoalesceBatch {
+    state: Mutex<CoalesceState>,
+    cv: Condvar,
+}
+
+struct CoalesceState {
+    /// Requests in join order; index 0 is the leader's.
+    reqs: Vec<Request>,
+    /// Set once the leader takes the batch; no further joiners.
+    sealed: bool,
+    /// The shared outcome: per-request responses (in `reqs` order) plus
+    /// the evaluation's total byte cost, or the error every member
+    /// reports.
+    outcome: Option<std::result::Result<(Vec<Response>, u64), ServeError>>,
+}
+
+impl CoalesceBatch {
+    fn new(leader_req: Request) -> CoalesceBatch {
+        CoalesceBatch {
+            state: Mutex::new(CoalesceState {
+                reqs: vec![leader_req],
+                sealed: false,
+                outcome: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Scope guard for a coalesced batch's leader: guarantees the batch is
+/// sealed, unpublished, and resolved exactly once — even if the leader
+/// unwinds mid-evaluation, followers are released with an error rather
+/// than blocking forever.
+struct CoalesceGuard<'a> {
+    inner: &'a ServiceInner,
+    key: (String, u64),
+    batch: Arc<CoalesceBatch>,
+    finished: bool,
+}
+
+impl CoalesceGuard<'_> {
+    /// Unpublish the batch (later arrivals form a new one) and close it
+    /// to joiners; returns the final member list. Idempotent.
+    fn seal(&self) -> Vec<Request> {
+        let mut map = lock(&self.inner.coalescer);
+        if map
+            .get(&self.key)
+            .is_some_and(|b| Arc::ptr_eq(b, &self.batch))
+        {
+            map.remove(&self.key);
+        }
+        drop(map);
+        let mut st = lock(&self.batch.state);
+        st.sealed = true;
+        st.reqs.clone()
+    }
+
+    /// Resolve the batch and wake every follower.
+    fn finish(mut self, outcome: std::result::Result<(Vec<Response>, u64), ServeError>) {
+        self.finished = true;
+        self.seal();
+        let mut st = lock(&self.batch.state);
+        if st.outcome.is_none() {
+            st.outcome = Some(outcome);
+        }
+        drop(st);
+        self.batch.cv.notify_all();
+    }
+}
+
+impl Drop for CoalesceGuard<'_> {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        // The leader unwound (pipeline panic): release the followers.
+        self.seal();
+        let mut st = lock(&self.batch.state);
+        if st.outcome.is_none() {
+            st.outcome = Some(Err(ServeError::Runtime(mozart_core::Error::Library(
+                "coalesced evaluation aborted by its leader".into(),
+            ))));
+        }
+        drop(st);
+        self.batch.cv.notify_all();
+    }
+}
+
 struct ServiceInner {
     config: ServiceConfig,
     /// Template for per-request contexts (workers forced to
@@ -155,17 +309,24 @@ struct ServiceInner {
     cache: Arc<PlanCache>,
     pipelines: RwLock<HashMap<&'static str, Arc<dyn Pipeline>>>,
     admission: Admission,
+    /// Open coalesced batches, keyed by `(pipeline, coalesce_key)`.
+    coalescer: Mutex<HashMap<(String, u64), Arc<CoalesceBatch>>>,
     session_counter: AtomicU64,
     started: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
     failed: AtomicU64,
+    over_budget: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 /// A multi-tenant, in-process pipeline service (the `mozart-serve`
 /// tentpole): every session shares one process-wide worker pool — no
 /// per-client thread oversubscription — and one plan cache, so repeated
-/// structurally identical pipelines skip the planner.
+/// structurally identical pipelines skip the planner. Sessions carry
+/// fair-share weights (deficit-weighted round-robin on the pool) and
+/// optional byte budgets, and queued fingerprint-identical requests
+/// coalesce into one evaluation.
 ///
 /// Cloning is cheap; clones share all state. See the crate docs for a
 /// quickstart.
@@ -202,14 +363,34 @@ impl PipelineService {
 
     /// Open a session: the unit of fairness accounting and the handle
     /// requests go through. Sessions are cheap and `Send`; open one per
-    /// client connection or per client thread.
+    /// client connection or per client thread. The session starts with
+    /// the service's default weight and byte budget
+    /// ([`ServiceConfig::session_weight`] /
+    /// [`ServiceConfig::session_byte_budget`]).
+    ///
+    /// Session ids are allocated from a process-global counter: two
+    /// services sharing one pool (see [`ServiceBuilder::pool`]) must
+    /// not collide on the pool's per-session weights and accounting.
     pub fn session(&self) -> Session {
+        static SESSION_IDS: AtomicU64 = AtomicU64::new(1);
         let inner = &self.inner;
-        let id = inner.session_counter.fetch_add(1, Ordering::Relaxed);
+        inner.session_counter.fetch_add(1, Ordering::Relaxed);
+        let id = SESSION_IDS.fetch_add(1, Ordering::Relaxed);
+        let weight = inner.config.session_weight.max(1);
+        if weight != 1 {
+            // Default-weight sessions are registered lazily (on their
+            // first pool job): eagerly creating an entry per connection
+            // would churn the pool's bounded session map with idle
+            // sessions and evict entries that carry real accounting.
+            inner.pool.set_session_weight(id, weight);
+        }
         Session {
             service: self.clone(),
             id,
             requests: AtomicU64::new(0),
+            weight: AtomicU32::new(weight),
+            byte_budget: AtomicU64::new(inner.config.session_byte_budget),
+            bytes_used: AtomicU64::new(0),
         }
     }
 
@@ -232,17 +413,38 @@ impl PipelineService {
     pub fn stats(&self) -> ServiceStats {
         let inner = &self.inner;
         let (inflight, waiting) = inner.admission.load();
+        // Lock order matches every other coalescer user: map, then the
+        // individual batch states.
+        let coalesce_waiting = lock(&inner.coalescer)
+            .values()
+            .map(|b| lock(&b.state).reqs.len().saturating_sub(1))
+            .sum();
         ServiceStats {
             started: inner.started.load(Ordering::Relaxed),
             completed: inner.completed.load(Ordering::Relaxed),
             rejected: inner.rejected.load(Ordering::Relaxed),
             failed: inner.failed.load(Ordering::Relaxed),
+            over_budget: inner.over_budget.load(Ordering::Relaxed),
+            coalesced_requests: inner.coalesced.load(Ordering::Relaxed),
+            coalesce_waiting,
             sessions: inner.session_counter.load(Ordering::Relaxed),
             inflight,
             waiting,
             plan_cache: inner.cache.stats(),
             pool: inner.pool.stats(),
         }
+    }
+
+    /// One short-lived context per request: registration state never
+    /// accumulates, while the expensive parts — worker threads and
+    /// plans — live in the shared pool and cache.
+    fn request_context(&self, session: &Session) -> MozartContext {
+        let inner = &self.inner;
+        let ctx = MozartContext::new(inner.session_config.clone());
+        ctx.attach_pool(inner.pool.clone())
+            .attach_plan_cache(inner.cache.clone())
+            .set_session_tag(session.id);
+        ctx
     }
 
     fn execute(
@@ -257,6 +459,45 @@ impl PipelineService {
             .get(pipeline)
             .cloned()
             .ok_or_else(|| ServeError::UnknownPipeline(pipeline.to_string()))?;
+        session.check_budget(inner)?;
+
+        // Cross-request coalescing: blocking requests whose coalesce
+        // keys match may share one evaluation. try_call requests never
+        // coalesce — joining a batch means waiting for its leader.
+        if wait && inner.config.coalescing {
+            if let Some(key) = handler.coalesce_key(req) {
+                let key = (pipeline.to_string(), key);
+                // Join the open batch if one exists and has room.
+                let existing = lock(&inner.coalescer).get(&key).cloned();
+                if let Some(batch) = existing {
+                    if let Some(result) = self.join_batch(session, &batch, req) {
+                        return result;
+                    }
+                    // Sealed or full: serve this request on its own
+                    // below rather than spinning on the next batch.
+                } else {
+                    // Publish a fresh batch and lead it; on an insert
+                    // race the other leader won and this request is
+                    // served on its own.
+                    let batch = Arc::new(CoalesceBatch::new(req.clone()));
+                    let inserted = {
+                        let mut map = lock(&inner.coalescer);
+                        match map.entry(key.clone()) {
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(batch.clone());
+                                true
+                            }
+                            std::collections::hash_map::Entry::Occupied(_) => false,
+                        }
+                    };
+                    if inserted {
+                        return self.lead_batch(session, &*handler, key, batch);
+                    }
+                }
+            }
+        }
+
+        // Plain single-request path.
         let permit = if wait {
             inner.admission.acquire()
         } else {
@@ -272,14 +513,10 @@ impl PipelineService {
         inner.started.fetch_add(1, Ordering::Relaxed);
         session.requests.fetch_add(1, Ordering::Relaxed);
 
-        // One short-lived context per request: registration state never
-        // accumulates, while the expensive parts — worker threads and
-        // plans — live in the shared pool and cache.
-        let ctx = MozartContext::new(inner.session_config.clone());
-        ctx.attach_pool(inner.pool.clone())
-            .attach_plan_cache(inner.cache.clone())
-            .set_session_tag(session.id);
-        match handler.run(&ctx, req) {
+        let ctx = self.request_context(session);
+        let result = handler.run(&ctx, req);
+        session.charge(&ctx);
+        match result {
             Ok(resp) => {
                 inner.completed.fetch_add(1, Ordering::Relaxed);
                 Ok(resp)
@@ -287,6 +524,134 @@ impl PipelineService {
             Err(e) => {
                 inner.failed.fetch_add(1, Ordering::Relaxed);
                 Err(ServeError::Runtime(e))
+            }
+        }
+    }
+
+    /// Wait on a forming batch as a follower. Returns `None` if the
+    /// batch cannot be joined (sealed by its leader or at capacity).
+    fn join_batch(
+        &self,
+        session: &Session,
+        batch: &Arc<CoalesceBatch>,
+        req: &Request,
+    ) -> Option<Result<Response>> {
+        let inner = &self.inner;
+        let mut st = lock(&batch.state);
+        if st.sealed || st.reqs.len() >= MAX_COALESCE {
+            return None;
+        }
+        let idx = st.reqs.len();
+        st.reqs.push(req.clone());
+        while st.outcome.is_none() {
+            st = batch.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        let members = st.reqs.len() as u64;
+        Some(match st.outcome.as_ref().expect("outcome set") {
+            Ok((resps, bytes)) => {
+                inner.started.fetch_add(1, Ordering::Relaxed);
+                inner.completed.fetch_add(1, Ordering::Relaxed);
+                inner.coalesced.fetch_add(1, Ordering::Relaxed);
+                session.requests.fetch_add(1, Ordering::Relaxed);
+                session
+                    .bytes_used
+                    .fetch_add(bytes / members.max(1), Ordering::Relaxed);
+                Ok(resps[idx].clone())
+            }
+            Err(e @ ServeError::Saturated { .. }) => {
+                // The batch never got an admission slot; the follower
+                // would have queued behind the same full line.
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e.clone())
+            }
+            Err(e) => {
+                inner.started.fetch_add(1, Ordering::Relaxed);
+                inner.failed.fetch_add(1, Ordering::Relaxed);
+                session.requests.fetch_add(1, Ordering::Relaxed);
+                Err(e.clone())
+            }
+        })
+    }
+
+    /// Acquire admission for a published batch, evaluate every member
+    /// request as one coalesced pipeline, and distribute the responses.
+    fn lead_batch(
+        &self,
+        session: &Session,
+        handler: &dyn Pipeline,
+        key: (String, u64),
+        batch: Arc<CoalesceBatch>,
+    ) -> Result<Response> {
+        let inner = &self.inner;
+        let guard = CoalesceGuard {
+            inner,
+            key,
+            batch,
+            finished: false,
+        };
+        // Followers join while this blocks — the window where the
+        // service is busy is exactly the window coalescing pays off.
+        let permit = match inner.admission.acquire() {
+            Ok(p) => p,
+            Err(e) => {
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                guard.finish(Err(e.clone()));
+                return Err(e);
+            }
+        };
+        let reqs = guard.seal();
+        inner.started.fetch_add(1, Ordering::Relaxed);
+        session.requests.fetch_add(1, Ordering::Relaxed);
+
+        let ctx = self.request_context(session);
+        let result = if reqs.len() == 1 {
+            handler.run(&ctx, &reqs[0]).map(|r| vec![r])
+        } else {
+            match handler.run_coalesced(&ctx, &reqs) {
+                Some(r) => r,
+                // The pipeline declined (e.g. size bound): evaluate the
+                // members individually under the one admission slot.
+                None => reqs.iter().map(|r| handler.run(&ctx, r)).collect(),
+            }
+        };
+        let stats = ctx.stats();
+        let bytes = stats.bytes_split.saturating_add(stats.bytes_merged);
+        drop(permit);
+
+        match result {
+            Ok(resps) if resps.len() == reqs.len() => {
+                inner.completed.fetch_add(1, Ordering::Relaxed);
+                session
+                    .bytes_used
+                    .fetch_add(bytes / reqs.len() as u64, Ordering::Relaxed);
+                let own = resps[0].clone();
+                guard.finish(Ok((resps, bytes)));
+                Ok(own)
+            }
+            Ok(resps) => {
+                let e = ServeError::Runtime(mozart_core::Error::Library(format!(
+                    "coalesced evaluation returned {} responses for {} requests",
+                    resps.len(),
+                    reqs.len()
+                )));
+                inner.failed.fetch_add(1, Ordering::Relaxed);
+                session
+                    .bytes_used
+                    .fetch_add(bytes / reqs.len() as u64, Ordering::Relaxed);
+                guard.finish(Err(e.clone()));
+                Err(e)
+            }
+            Err(e) => {
+                let e = ServeError::Runtime(e);
+                inner.failed.fetch_add(1, Ordering::Relaxed);
+                // Same per-member split as the success path: the batch's
+                // cost must not land on the leader's budget alone just
+                // because the evaluation failed.
+                session
+                    .bytes_used
+                    .fetch_add(bytes / reqs.len() as u64, Ordering::Relaxed);
+                guard.finish(Err(e.clone()));
+                Err(e)
             }
         }
     }
@@ -332,6 +697,34 @@ impl ServiceBuilder {
         self
     }
 
+    /// Default fair-share weight for new sessions (clamped to >= 1).
+    /// Individual sessions can override it with [`Session::set_weight`].
+    pub fn session_weight(mut self, weight: u32) -> Self {
+        self.config.session_weight = weight.max(1);
+        self
+    }
+
+    /// Default byte budget for new sessions (0 = unlimited); see
+    /// [`ServeError::OverBudget`]. Individual sessions can override it
+    /// with [`Session::set_byte_budget`].
+    pub fn session_byte_budget(mut self, bytes: u64) -> Self {
+        self.config.session_byte_budget = bytes;
+        self
+    }
+
+    /// Enable or disable cross-request coalescing (on by default).
+    pub fn coalescing(mut self, on: bool) -> Self {
+        self.config.coalescing = on;
+        self
+    }
+
+    /// Enable or disable deficit-weighted session scheduling on the
+    /// shared pool (on by default; `false` is the FIFO ablation).
+    pub fn fair_scheduling(mut self, on: bool) -> Self {
+        self.config.fair_scheduling = on;
+        self
+    }
+
     /// Use an existing pool (e.g. [`mozart_core::global_pool`]) instead
     /// of spawning one sized `workers - 1`.
     pub fn pool(mut self, pool: PoolHandle) -> Self {
@@ -362,6 +755,13 @@ impl ServiceBuilder {
 
     /// Build the service: spawns (or adopts) the shared pool, creates
     /// the plan cache, registers the integrations' default split types.
+    ///
+    /// # Panics
+    ///
+    /// If the provided session [`Config`] fails
+    /// [`Config::validate`](mozart_core::Config::validate) — a server
+    /// that would poison every request context should fail at startup,
+    /// not serve errors forever.
     pub fn build(self) -> PipelineService {
         workloads::register_all_defaults();
         let mut config = self.config;
@@ -370,10 +770,14 @@ impl ServiceBuilder {
         let pool = self
             .pool
             .unwrap_or_else(|| PoolHandle::new(config.workers.max(1) - 1));
+        pool.set_fair_scheduling(config.fair_scheduling);
         let mut session_config = self
             .session_config
             .unwrap_or_else(|| Config::with_workers(config.workers));
         session_config.workers = config.workers;
+        if let Err(e) = session_config.validate() {
+            panic!("mozart-serve: session_config rejected: {e}");
+        }
         let service = PipelineService {
             inner: Arc::new(ServiceInner {
                 admission: Admission::new(config.max_inflight, config.queue_depth),
@@ -381,11 +785,14 @@ impl ServiceBuilder {
                 session_config,
                 pool,
                 pipelines: RwLock::new(HashMap::new()),
+                coalescer: Mutex::new(HashMap::new()),
                 session_counter: AtomicU64::new(0),
                 started: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
+                over_budget: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
                 config,
             }),
         };
@@ -399,11 +806,18 @@ impl ServiceBuilder {
 /// One client's handle onto a [`PipelineService`]. The session id tags
 /// every request context, so the shared pool's
 /// [`PoolStats::sessions`] fairness accounting aggregates per client
-/// rather than per short-lived request context.
+/// rather than per short-lived request context; the session also
+/// carries its fair-share weight and byte budget.
 pub struct Session {
     service: PipelineService,
     id: u64,
     requests: AtomicU64,
+    weight: AtomicU32,
+    /// Byte budget (0 = unlimited); see [`ServeError::OverBudget`].
+    byte_budget: AtomicU64,
+    /// Bytes split + merged on this session's behalf, accumulated from
+    /// each request context's phase stats.
+    bytes_used: AtomicU64,
 }
 
 impl Session {
@@ -417,15 +831,74 @@ impl Session {
         self.requests.load(Ordering::Relaxed)
     }
 
+    /// This session's fair-share weight.
+    pub fn weight(&self) -> u32 {
+        self.weight.load(Ordering::Relaxed)
+    }
+
+    /// Set this session's fair-share weight (clamped to >= 1): its
+    /// entitled share of the contended pool, relative to other sessions'
+    /// weights, under deficit-weighted round-robin.
+    pub fn set_weight(&self, weight: u32) {
+        let weight = weight.max(1);
+        self.weight.store(weight, Ordering::Relaxed);
+        self.service.inner.pool.set_session_weight(self.id, weight);
+    }
+
+    /// This session's byte budget (0 = unlimited).
+    pub fn byte_budget(&self) -> u64 {
+        self.byte_budget.load(Ordering::Relaxed)
+    }
+
+    /// Set this session's byte budget (0 = unlimited). Once
+    /// [`Session::bytes_used`] reaches the budget, further requests are
+    /// shed with [`ServeError::OverBudget`].
+    pub fn set_byte_budget(&self, bytes: u64) {
+        self.byte_budget.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes split + merged on this session's behalf so far.
+    pub fn bytes_used(&self) -> u64 {
+        self.bytes_used.load(Ordering::Relaxed)
+    }
+
+    /// Shed the request if the session's byte budget is exhausted.
+    fn check_budget(&self, inner: &ServiceInner) -> Result<()> {
+        let budget = self.byte_budget.load(Ordering::Relaxed);
+        if budget == 0 {
+            return Ok(());
+        }
+        let used = self.bytes_used.load(Ordering::Relaxed);
+        if used >= budget {
+            inner.over_budget.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::OverBudget {
+                session: self.id,
+                used_bytes: used,
+                budget_bytes: budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// Charge a finished request context's byte cost to the session.
+    fn charge(&self, ctx: &MozartContext) {
+        let stats = ctx.stats();
+        let bytes = stats.bytes_split.saturating_add(stats.bytes_merged);
+        self.bytes_used.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Run `pipeline` with `req`, waiting in the bounded admission
     /// queue if the service is busy. Returns
-    /// [`ServeError::Saturated`] once the queue itself is full.
+    /// [`ServeError::Saturated`] once the queue itself is full. While
+    /// waiting, the request may coalesce with fingerprint-identical
+    /// queued requests (see [`Pipeline::coalesce_key`]).
     pub fn call(&self, pipeline: &str, req: &Request) -> Result<Response> {
         self.service.execute(self, pipeline, req, true)
     }
 
     /// Run `pipeline` with `req` only if a slot is free right now;
-    /// never waits.
+    /// never waits (and never coalesces — joining a batch means waiting
+    /// for its leader).
     pub fn try_call(&self, pipeline: &str, req: &Request) -> Result<Response> {
         self.service.execute(self, pipeline, req, false)
     }
@@ -433,14 +906,10 @@ impl Session {
     /// A fresh context wired like this session's request contexts
     /// (shared pool, shared plan cache, this session's tag) — for
     /// callers that want to run ad-hoc annotated calls under the
-    /// service's resource envelope. Bypasses admission control.
+    /// service's resource envelope. Bypasses admission control and
+    /// byte-budget metering.
     pub fn context(&self) -> MozartContext {
-        let inner = &self.service.inner;
-        let ctx = MozartContext::new(inner.session_config.clone());
-        ctx.attach_pool(inner.pool.clone())
-            .attach_plan_cache(inner.cache.clone())
-            .set_session_tag(self.id);
-        ctx
+        self.service.request_context(self)
     }
 }
 
@@ -450,4 +919,8 @@ fn read<'a, K, V>(l: &'a RwLock<HashMap<K, V>>) -> std::sync::RwLockReadGuard<'a
 
 fn write<'a, K, V>(l: &'a RwLock<HashMap<K, V>>) -> std::sync::RwLockWriteGuard<'a, HashMap<K, V>> {
     l.write().unwrap_or_else(|p| p.into_inner())
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }

@@ -17,6 +17,10 @@ fn small_service(workers: usize) -> PipelineService {
     PipelineService::builder()
         .workers(workers)
         .session_config(cfg)
+        // These tests assert exact per-request plan-cache and counter
+        // values; coalescing (tested separately below) would merge
+        // identical concurrent requests and change the counts.
+        .coalescing(false)
         .builtin_pipelines()
         .build()
 }
@@ -202,4 +206,251 @@ fn bad_parameters_surface_as_runtime_errors() {
     assert_eq!(err.kind(), "runtime");
     assert!(err.to_string().contains("not_a_number"));
     assert_eq!(service.stats().failed, 1);
+}
+
+/// Deterministic coalescing: while a stalled leader occupies the only
+/// admission slot, two fingerprint-identical requests queue up — the
+/// first becomes a batch leader waiting for admission, the second joins
+/// its batch — and the coalesced evaluation must produce exactly the
+/// responses separate evaluations produce.
+#[test]
+fn coalesced_requests_match_separate_evaluation() {
+    let started = Arc::new(AtomicU64::new(0));
+    let release = Arc::new(Barrier::new(2));
+    let mut cfg = Config::with_workers(2);
+    cfg.batch_override = Some(512);
+    let service = PipelineService::builder()
+        .workers(2)
+        .max_inflight(1)
+        .queue_depth(8)
+        .session_config(cfg)
+        .builtin_pipelines()
+        .pipeline(Arc::new(StallPipeline {
+            started: started.clone(),
+            release: release.clone(),
+        }))
+        .build();
+
+    // Reference responses from a coalescing-free service.
+    let reference = small_service(2);
+    let ref_session = reference.session();
+    let req_a = Request::new().with("n", 2048).with("seed", 11u64);
+    let req_b = Request::new().with("n", 2048).with("seed", 22u64);
+    let want_a = ref_session.call("black_scholes", &req_a).unwrap();
+    let want_b = ref_session.call("black_scholes", &req_b).unwrap();
+    assert_ne!(want_a, want_b, "different seeds, different sums");
+
+    std::thread::scope(|s| {
+        // Occupy the single admission slot.
+        let svc = service.clone();
+        let occupant = s.spawn(move || {
+            svc.session().call("stall", &Request::new()).unwrap();
+        });
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // First queued request: publishes a batch, blocks in admission.
+        let svc = service.clone();
+        let ra = req_a.clone();
+        let leader = s.spawn(move || svc.session().call("black_scholes", &ra).unwrap());
+        while service.stats().waiting == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Second queued request: same n (same fingerprint), different
+        // seed — joins the open batch.
+        let svc = service.clone();
+        let rb = req_b.clone();
+        let follower = s.spawn(move || svc.session().call("black_scholes", &rb).unwrap());
+        // Deterministic join: release the stall only once the follower
+        // is parked inside the leader's open batch.
+        while service.stats().coalesce_waiting == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        release.wait();
+        occupant.join().unwrap();
+        assert_eq!(leader.join().unwrap(), want_a);
+        assert_eq!(follower.join().unwrap(), want_b);
+    });
+    let stats = service.stats();
+    assert_eq!(
+        stats.coalesced_requests, 1,
+        "the follower rode the leader's evaluation: {stats:?}"
+    );
+    // 3 requests total (stall + leader + follower), all completed.
+    assert_eq!(stats.started, 3);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 0);
+}
+
+/// Coalescing across haversine requests produces identical responses
+/// too (the second builtin coalescible pipeline).
+#[test]
+fn haversine_coalesces_identically() {
+    let started = Arc::new(AtomicU64::new(0));
+    let release = Arc::new(Barrier::new(2));
+    let service = PipelineService::builder()
+        .workers(1)
+        .max_inflight(1)
+        .queue_depth(8)
+        .builtin_pipelines()
+        .pipeline(Arc::new(StallPipeline {
+            started: started.clone(),
+            release: release.clone(),
+        }))
+        .build();
+    let reference = small_service(1);
+    let req_a = Request::new().with("n", 1024).with("seed", 5u64);
+    let req_b = Request::new().with("n", 1024).with("seed", 6u64);
+    let want_a = reference.session().call("haversine", &req_a).unwrap();
+    let want_b = reference.session().call("haversine", &req_b).unwrap();
+
+    std::thread::scope(|s| {
+        let svc = service.clone();
+        let occupant = s.spawn(move || svc.session().call("stall", &Request::new()).unwrap());
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let svc = service.clone();
+        let ra = req_a.clone();
+        let leader = s.spawn(move || svc.session().call("haversine", &ra).unwrap());
+        while service.stats().waiting == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let svc = service.clone();
+        let rb = req_b.clone();
+        let follower = s.spawn(move || svc.session().call("haversine", &rb).unwrap());
+        while service.stats().coalesce_waiting == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        release.wait();
+        occupant.join().unwrap();
+        assert_eq!(leader.join().unwrap(), want_a);
+        assert_eq!(follower.join().unwrap(), want_b);
+    });
+    assert_eq!(service.stats().coalesced_requests, 1);
+}
+
+#[test]
+fn byte_budgets_shed_load_with_typed_error() {
+    let service = small_service(1);
+    let session = service.session();
+    // Unlimited by default.
+    assert_eq!(session.byte_budget(), 0);
+    session.set_byte_budget(1); // any completed request exhausts it
+    let req = Request::new().with("n", 2048);
+    session.call("black_scholes", &req).unwrap();
+    let used = session.bytes_used();
+    assert!(
+        used > 0,
+        "split/merge byte metering must see the evaluation"
+    );
+    // Black Scholes splits 12 f64 buffers per stage over one stage:
+    // the nominal split cost must at least cover one pass.
+    assert!(used >= 12 * 8 * 2048, "used {used} bytes");
+    let err = session.call("black_scholes", &req).unwrap_err();
+    match err {
+        ServeError::OverBudget {
+            session: id,
+            used_bytes,
+            budget_bytes,
+        } => {
+            assert_eq!(id, session.id());
+            assert_eq!(used_bytes, used);
+            assert_eq!(budget_bytes, 1);
+        }
+        other => panic!("expected OverBudget, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.over_budget, 1);
+    // Shed before admission: not started, not failed, not rejected.
+    assert_eq!(stats.started, 1);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.rejected, 0);
+    // Raising the budget readmits the session.
+    session.set_byte_budget(u64::MAX);
+    session.call("black_scholes", &req).unwrap();
+}
+
+#[test]
+fn builder_defaults_apply_to_new_sessions() {
+    let service = PipelineService::builder()
+        .workers(1)
+        .session_weight(3)
+        .session_byte_budget(1 << 20)
+        .build();
+    let session = service.session();
+    assert_eq!(session.weight(), 3);
+    assert_eq!(session.byte_budget(), 1 << 20);
+    session.set_weight(5);
+    assert_eq!(session.weight(), 5);
+}
+
+/// Multi-session fairness: 3 sessions with skewed demand (two hot
+/// sessions driving two threads each, one cold single-threaded session
+/// at weight 2) over one shared pool. Under deficit-weighted
+/// round-robin no session starves, and the per-session accounting the
+/// scheduler ranks by is visible in the pool stats.
+#[test]
+fn weighted_sessions_share_the_pool_without_starvation() {
+    let mut cfg = Config::with_workers(2);
+    cfg.batch_override = Some(256); // many batches per job
+    let service = PipelineService::builder()
+        .workers(2)
+        .max_inflight(3)
+        .queue_depth(16)
+        .session_config(cfg)
+        .coalescing(false) // measure scheduling, not request merging
+        .builtin_pipelines()
+        .build();
+    let hot1 = Arc::new(service.session());
+    let hot2 = Arc::new(service.session());
+    let cold = Arc::new(service.session());
+    cold.set_weight(2);
+
+    let rounds = 6;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (session, threads, seed) in [(&hot1, 2, 1u64), (&hot2, 2, 2), (&cold, 1, 3)] {
+            for _ in 0..threads {
+                let session = Arc::clone(session);
+                let req = Request::new().with("n", 4096).with("seed", seed);
+                handles.push(s.spawn(move || {
+                    for _ in 0..rounds {
+                        session.call("black_scholes", &req).unwrap();
+                    }
+                }));
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    let pool = service.stats().pool;
+    let share = |id: u64| {
+        pool.sessions
+            .iter()
+            .find(|e| e.session == id)
+            .cloned()
+            .unwrap_or_default()
+    };
+    let (e1, e2, ec) = (share(hot1.id()), share(hot2.id()), share(cold.id()));
+    // Weights are recorded where the scheduler reads them.
+    assert_eq!(ec.weight, 2, "{pool:?}");
+    assert_eq!(e1.weight, 1);
+    // No session starves: everyone's jobs ran batches on the pool.
+    for e in [&e1, &e2, &ec] {
+        assert!(e.jobs > 0 && e.batches > 0, "starved session: {pool:?}");
+        assert!(e.bytes > 0, "byte accounting missing: {pool:?}");
+    }
+    // Convergence within (generous, CI-safe) tolerance: the cold
+    // session is 1 of 5 closed-loop threads but holds weight 2 of 4 —
+    // deficit-weighted scheduling must keep its share of served batches
+    // from collapsing below half of an equal per-*thread* split.
+    let total = (e1.batches + e2.batches + ec.batches) as f64;
+    let cold_share = ec.batches as f64 / total;
+    assert!(
+        cold_share > 0.10,
+        "cold session share {cold_share:.3} collapsed: {pool:?}"
+    );
 }

@@ -37,6 +37,37 @@ pub fn generate(n: usize, seed: u64) -> Inputs {
     }
 }
 
+/// Concatenate several input sets end to end — the serving layer's
+/// cross-request coalescing evaluates fingerprint-identical requests as
+/// one pipeline over the concatenated inputs and splits the per-element
+/// outputs back per request.
+pub fn concat_inputs(parts: &[&Inputs]) -> Inputs {
+    let total: usize = parts.iter().map(|p| p.price.len()).sum();
+    let mut cat = Inputs {
+        price: Vec::with_capacity(total),
+        strike: Vec::with_capacity(total),
+        t: Vec::with_capacity(total),
+        rate: Vec::with_capacity(total),
+        vol: Vec::with_capacity(total),
+    };
+    for p in parts {
+        cat.price.extend_from_slice(&p.price);
+        cat.strike.extend_from_slice(&p.strike);
+        cat.t.extend_from_slice(&p.t);
+        cat.rate.extend_from_slice(&p.rate);
+        cat.vol.extend_from_slice(&p.vol);
+    }
+    cat
+}
+
+/// Summarize one request's slice of the (possibly concatenated) call
+/// and put price vectors. Serial summation over the slice, so a
+/// coalesced evaluation reproduces the separate evaluation's sums
+/// bit for bit (the per-element prices are positionally identical).
+pub fn summarize_range(call: &[f64], put: &[f64]) -> Summary {
+    summarize(call, put)
+}
+
 /// Result summary: checksums of the call and put price vectors.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
@@ -204,6 +235,15 @@ pub fn mkl_base(inp: &Inputs) -> Summary {
 
 /// Mozart: the same 32-call in-place sequence through `sa-vectormath`.
 pub fn mkl_mozart(inp: &Inputs, ctx: &MozartContext) -> Result<Summary> {
+    let (call, put) = mkl_mozart_vectors(inp, ctx)?;
+    Ok(summarize(&call, &put))
+}
+
+/// [`mkl_mozart`] returning the full call/put price vectors instead of
+/// their sums — the building block of cross-request coalescing, which
+/// needs per-element outputs to split a concatenated evaluation back
+/// into per-request summaries.
+pub fn mkl_mozart_vectors(inp: &Inputs, ctx: &MozartContext) -> Result<(Vec<f64>, Vec<f64>)> {
     use sa_vectormath as sa;
     let n = inp.price.len();
     let price = SharedVec::from_vec(inp.price.clone());
@@ -251,7 +291,7 @@ pub fn mkl_mozart(inp: &Inputs, ctx: &MozartContext) -> Result<Summary> {
     // Reading forces evaluation (the protect-flag trigger).
     let c = call.to_vec();
     let p = put.to_vec();
-    Ok(summarize(&c, &p))
+    Ok((c, p))
 }
 
 /// Fused (compiler stand-in).

@@ -24,6 +24,22 @@ pub fn generate(n: usize, seed: u64) -> Inputs {
     Inputs { lat, lon }
 }
 
+/// Concatenate several input sets end to end (serving-layer
+/// cross-request coalescing; see
+/// [`black_scholes::concat_inputs`](crate::black_scholes::concat_inputs)).
+pub fn concat_inputs(parts: &[&Inputs]) -> Inputs {
+    let total: usize = parts.iter().map(|p| p.lat.len()).sum();
+    let mut cat = Inputs {
+        lat: Vec::with_capacity(total),
+        lon: Vec::with_capacity(total),
+    };
+    for p in parts {
+        cat.lat.extend_from_slice(&p.lat);
+        cat.lon.extend_from_slice(&p.lon);
+    }
+    cat
+}
+
 /// Result summary: checksum of distances.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
@@ -126,8 +142,12 @@ pub fn mkl_base(inp: &Inputs) -> Summary {
     }
 }
 
-/// Mozart MKL: the same in-place sequence, annotated.
-pub fn mkl_mozart(inp: &Inputs, ctx: &MozartContext) -> Result<Summary> {
+/// Register the annotated 16-call in-place distance chain on `ctx` and
+/// return the (still lazy) output vector `a`. Shared by
+/// [`mkl_mozart`] (which appends the annotated `dasum` reduction) and
+/// [`mkl_mozart_distances`] (which materializes the per-coordinate
+/// distances) so the pipeline body exists exactly once.
+fn register_mkl_chain(inp: &Inputs, ctx: &MozartContext) -> Result<SharedVec<f64>> {
     use sa_vectormath as sa;
     let n = inp.lat.len();
     let lat = SharedVec::from_vec(inp.lat.clone());
@@ -153,7 +173,27 @@ pub fn mkl_mozart(inp: &Inputs, ctx: &MozartContext) -> Result<Summary> {
     sa::vd_fmin(ctx, n, &a, &ones, &a)?;
     sa::vd_asin(ctx, n, &a, &a)?;
     sa::vd_scale(ctx, n, &a, 2.0 * EARTH_RADIUS_MILES, &a)?;
-    let total = sa::dasum(ctx, &a)?; // distances are non-negative
+    Ok(a)
+}
+
+/// Mozart MKL: the annotated in-place pipeline, returning the full
+/// per-coordinate distance vector instead of its sum. Used by the
+/// serving layer, whose cross-request coalescing splits a concatenated
+/// evaluation's distances back per request; the sums are then taken
+/// serially per slice, so coalesced and separate evaluations produce
+/// bit-identical responses.
+pub fn mkl_mozart_distances(inp: &Inputs, ctx: &MozartContext) -> Result<Vec<f64>> {
+    let a = register_mkl_chain(inp, ctx)?;
+    // Reading forces evaluation (the protect-flag trigger).
+    Ok(a.to_vec())
+}
+
+/// Mozart MKL: the same in-place sequence, annotated, ending in the
+/// annotated `dasum` reduction (distances are non-negative).
+pub fn mkl_mozart(inp: &Inputs, ctx: &MozartContext) -> Result<Summary> {
+    use sa_vectormath as sa;
+    let a = register_mkl_chain(inp, ctx)?;
+    let total = sa::dasum(ctx, &a)?;
     let dv = total.get()?;
     Ok(Summary {
         dist_sum: dv

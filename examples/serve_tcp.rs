@@ -19,13 +19,22 @@
 //! ```text
 //! > LIST
 //! OK black_scholes haversine nashville
+//! > WEIGHT 2
+//! OK weight=2
+//! > BUDGET 500000000
+//! OK budget=500000000
 //! > black_scholes n=4096
 //! OK call_sum=47332.145277 put_sum=39160.581264
 //! > STATS
-//! OK started=1 completed=1 rejected=0 failed=0 plan_hits=0 plan_misses=1 ...
+//! OK started=1 completed=1 rejected=0 failed=0 over_budget=0 coalesced=0 ...
 //! > QUIT
 //! OK bye
 //! ```
+//!
+//! `WEIGHT` sets the connection session's fair-share weight (deficit-
+//! weighted scheduling on the shared pool); `BUDGET` caps the bytes the
+//! session may split/merge before requests are shed with
+//! `ERR over_budget` (0 = unlimited).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -104,6 +113,14 @@ fn serve_connection(stream: TcpStream, service: &PipelineService) -> std::io::Re
             }
             Ok(ClientLine::List) => ok_line(&service.pipeline_names().join(" ")),
             Ok(ClientLine::Stats) => ok_line(&stats_body(service)),
+            Ok(ClientLine::Weight(w)) => {
+                session.set_weight(w);
+                ok_line(&format!("weight={w}"))
+            }
+            Ok(ClientLine::Budget(b)) => {
+                session.set_byte_budget(b);
+                ok_line(&format!("budget={b}"))
+            }
             Ok(ClientLine::Call(name, req)) => match session.call(&name, &req) {
                 Ok(resp) => ok_line(&resp.body),
                 Err(e) => err_line(&e),
@@ -118,12 +135,15 @@ fn serve_connection(stream: TcpStream, service: &PipelineService) -> std::io::Re
 fn stats_body(service: &PipelineService) -> String {
     let s = service.stats();
     format!(
-        "started={} completed={} rejected={} failed={} sessions={} inflight={} \
-         plan_hits={} plan_misses={} plan_entries={} pool_workers={} pool_jobs={}",
+        "started={} completed={} rejected={} failed={} over_budget={} coalesced={} \
+         sessions={} inflight={} plan_hits={} plan_misses={} plan_entries={} \
+         pool_workers={} pool_jobs={}",
         s.started,
         s.completed,
         s.rejected,
         s.failed,
+        s.over_budget,
+        s.coalesced_requests,
         s.sessions,
         s.inflight,
         s.plan_cache.hits,
@@ -139,21 +159,25 @@ fn run_self_test(addr: std::net::SocketAddr) {
     let mut writer = stream.try_clone().expect("clone stream");
     let mut reader = BufReader::new(stream);
     let script = [
-        "LIST",
-        "black_scholes n=2048",
-        "black_scholes n=2048", // identical: served from the plan cache
-        "haversine n=1024 seed=3",
-        "no_such_pipeline",
-        "black_scholes n=abc",
-        "STATS",
-        "QUIT",
+        ("LIST", false),
+        ("WEIGHT 2", false),
+        ("BUDGET 500000000", false),
+        ("black_scholes n=2048", false),
+        ("black_scholes n=2048", false), // identical: plan-cache replay
+        ("haversine n=1024 seed=3", false),
+        ("no_such_pipeline", true),
+        ("black_scholes n=abc", true),
+        ("black_scholes n=2048 n=4096", true), // duplicate key rejected
+        ("WEIGHT 0", true),
+        ("BUDGET lots", true),
+        ("STATS", false),
+        ("QUIT", false),
     ];
-    for line in script {
+    for (line, expect_err) in script {
         writeln!(writer, "{line}").expect("send");
         let mut reply = String::new();
         reader.read_line(&mut reply).expect("recv");
         print!("> {line}\n{reply}");
-        let expect_err = line.contains("no_such") || line.contains("abc");
         assert_eq!(
             reply.starts_with("ERR"),
             expect_err,
