@@ -281,12 +281,17 @@ struct Coalescing {
 }
 
 /// Hammer a `max_inflight=1` service with fingerprint-identical
-/// requests from several threads; queued requests must coalesce and
-/// every response must match its separately-evaluated reference.
+/// requests from several threads; queued requests must coalesce
+/// through the generic split-layer path and every response must match
+/// its separately-evaluated reference. `pipeline` + `request` + `want`
+/// parameterize the workload, so one harness gates the vector and the
+/// image pipeline families.
 fn coalescing_run(
     clients: usize,
     requests: usize,
-    n: usize,
+    pipeline: &str,
+    request: impl Fn(u64) -> Request + Sync,
+    want: impl Fn(u64) -> String + Sync,
     session_config: &Config,
 ) -> Coalescing {
     let service = PipelineService::builder()
@@ -308,11 +313,11 @@ fn coalescing_run(
                 // concatenate different inputs and must split the
                 // outputs back correctly.
                 let seed = 100 + c as u64;
-                let want = reference_body(n, seed);
-                let req = Request::new().with("n", n).with("seed", seed);
+                let want = want(seed);
+                let req = request(seed);
                 s.spawn(move || {
                     for _ in 0..requests {
-                        let resp = session.call("black_scholes", &req).expect("request");
+                        let resp = session.call(pipeline, &req).expect("request");
                         if resp.body != want {
                             ok.store(false, Ordering::Relaxed);
                         }
@@ -483,23 +488,67 @@ fn main() {
     );
 
     // ---- Coalescing: fingerprint-identical requests share evaluations ----
-    let co = coalescing_run(clients.max(3), requests, n, &session_config);
+    let co = coalescing_run(
+        clients.max(3),
+        requests,
+        "black_scholes",
+        |seed| Request::new().with("n", n).with("seed", seed),
+        |seed| reference_body(n, seed),
+        &session_config,
+    );
     println!(
-        "coalescing: {} requests, {} served as followers ({:.1}%), checksums_ok={}",
+        "coalescing (vector): {} requests, {} served as followers ({:.1}%), checksums_ok={}",
         co.requests,
         co.coalesced,
         100.0 * co.coalesced as f64 / co.requests.max(1) as f64,
         co.checksums_ok
     );
-    // CI smoke gates: the fingerprint-identical workload must actually
-    // coalesce, and coalesced responses must be bit-identical.
+    // Image pipeline family through the SAME generic coalescer: rows
+    // stack through ImageSplit's Concat capability, no pipeline concat
+    // code anywhere.
+    let (img_w, img_h) = (160usize, 120usize);
+    let co_img = coalescing_run(
+        clients.max(3),
+        requests,
+        "nashville",
+        |seed| {
+            Request::new()
+                .with("width", img_w)
+                .with("height", img_h)
+                .with("seed", seed)
+        },
+        |seed| {
+            let img = workloads::images::generate(img_w, img_h, seed);
+            let ctx = workloads::mozart_context(WORKERS);
+            let s = workloads::images::nashville_mozart(&img, &ctx).expect("reference");
+            format!("mean={:.6}", s.mean)
+        },
+        &session_config,
+    );
+    println!(
+        "coalescing (image): {} requests, {} served as followers ({:.1}%), checksums_ok={}",
+        co_img.requests,
+        co_img.coalesced,
+        100.0 * co_img.coalesced as f64 / co_img.requests.max(1) as f64,
+        co_img.checksums_ok
+    );
+    // CI smoke gates: both pipeline families must actually coalesce,
+    // and coalesced responses must be bit-identical.
     assert!(
         co.coalesced > 0,
-        "expected nonzero coalesced_requests on the fingerprint-identical workload"
+        "expected nonzero coalesced_requests on the fingerprint-identical vector workload"
     );
     assert!(
         co.checksums_ok,
-        "coalesced responses must match separate evaluation"
+        "coalesced vector responses must match separate evaluation"
+    );
+    assert!(
+        co_img.coalesced > 0,
+        "expected nonzero coalesced_requests on the fingerprint-identical image workload"
+    );
+    assert!(
+        co_img.checksums_ok,
+        "coalesced image responses must match separate evaluation"
     );
 
     // ---- JSON snapshot ----
@@ -556,11 +605,18 @@ fn main() {
         co.requests, co.coalesced, co.checksums_ok
     ));
     json.push_str(&format!(
+        "  \"coalescing_image\": {{ \"pipeline\": \"nashville\", \"width\": {img_w}, \
+         \"height\": {img_h}, \"requests\": {}, \"coalesced_requests\": {}, \
+         \"checksums_ok\": {} }},\n",
+        co_img.requests, co_img.coalesced, co_img.checksums_ok
+    ));
+    json.push_str(&format!(
         "  \"acceptance\": {{ \"service_beats_independent\": {service_wins}, \
          \"hit_rate_gt_90\": {hit_rate_ok}, \"cold_entitled_share\": {entitled:.4}, \
          \"cold_within_2x_of_entitled_share\": {cold_within_2x}, \
-         \"coalesced_nonzero\": {} }}\n}}\n",
-        co.coalesced > 0
+         \"coalesced_nonzero\": {}, \"image_coalesced_nonzero\": {} }}\n}}\n",
+        co.coalesced > 0,
+        co_img.coalesced > 0
     ));
     write_results("BENCH_serve.json", &json);
     println!("wrote bench_results/BENCH_serve.json");

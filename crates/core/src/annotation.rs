@@ -5,6 +5,17 @@
 //! (Listing 3): it names each argument, marks mutability, assigns each
 //! argument and the return value a [`SplitTypeExpr`], and carries the
 //! black-box function itself as a callable.
+//!
+//! The split types an expression names implement the **v2 splitting
+//! API** ([`crate::split`]): the core
+//! [`Splitter`] methods (`construct`/`info`/`split`/`merge`) plus the
+//! single [`merge_strategy`](crate::split::Splitter::merge_strategy)
+//! capability probe, which tells the runtime how pieces merge
+//! (in-place view recovery, commutative fold, placement-capable
+//! concatenation, or custom) — the planner reads `terminal` from it to
+//! end stages at partial results, and the executor reads
+//! commutativity and the optional placement capability from it. See
+//! the [`crate::split`] module docs for the v1 → v2 migration map.
 
 use std::sync::Arc;
 

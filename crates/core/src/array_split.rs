@@ -8,9 +8,15 @@
 //! Functions that instead *return* freshly allocated arrays per batch
 //! merge by **placement**: the runtime preallocates one `SharedVec` of
 //! the full length and workers copy their pieces in at their element
-//! offsets ([`Splitter::alloc_merged`]). When the exemplar piece is a
+//! offsets (the [`Placement`] capability inside
+//! [`MergeStrategy::Concat`]). When the exemplar piece is a
 //! [`SliceView`] — the pieces already alias one final buffer — placement
 //! is declined, since recovering the parent is cheaper than any copy.
+//!
+//! `ArraySplit` also exposes the [`Concat`] capability (the inverse of
+//! `split`): whole buffers concatenate end to end and element ranges
+//! slice back out, which is what the serving layer's generic
+//! cross-request coalescing rides on.
 
 use std::ops::Range;
 use std::sync::Arc;
@@ -18,7 +24,7 @@ use std::sync::Arc;
 use crate::buffer::{SharedVec, SliceView, VecValue};
 use crate::error::{Error, Result};
 use crate::registry::register_default_splitter;
-use crate::split::{Params, RuntimeInfo, Splitter};
+use crate::split::{Concat, MergeStrategy, Params, Placement, RuntimeInfo, Splitter};
 use crate::value::DataValue;
 
 /// Split type for [`VecValue`] (shared `f64` buffers).
@@ -30,6 +36,27 @@ impl ArraySplit {
     pub fn register_default() {
         register_default_splitter::<VecValue>(Arc::new(ArraySplit));
     }
+}
+
+/// Borrow a value's elements as an `f64` slice, whichever array form it
+/// takes.
+///
+/// # Safety
+///
+/// For `SliceView` values the caller must guarantee no concurrent
+/// mutation of the viewed range (the merge/concat phases' contract).
+unsafe fn elems(v: &DataValue) -> Result<&[f64]> {
+    if let Some(v) = v.downcast_ref::<VecValue>() {
+        return Ok(v.0.as_slice());
+    }
+    if let Some(v) = v.downcast_ref::<SliceView>() {
+        // SAFETY: per this function's contract.
+        return Ok(unsafe { v.as_slice() });
+    }
+    Err(Error::Merge {
+        split_type: "ArraySplit",
+        message: format!("expected an array value, got {}", v.type_name()),
+    })
 }
 
 impl Splitter for ArraySplit {
@@ -95,40 +122,77 @@ impl Splitter for ArraySplit {
         })))
     }
 
-    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
-        // Pieces alias a single parent buffer; the merged value is that
-        // buffer.
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        _params: &Params,
+        total_elements: u64,
+    ) -> Result<DataValue> {
         let first = pieces.first().ok_or_else(|| Error::Merge {
             split_type: "ArraySplit",
             message: "no pieces to merge".into(),
         })?;
-        let parent = first
-            .downcast_ref::<SliceView>()
-            .ok_or_else(|| Error::Merge {
-                split_type: "ArraySplit",
-                message: format!("expected SliceView piece, got {}", first.type_name()),
-            })?
-            .parent
-            .clone();
-        for p in &pieces[1..] {
-            let v = p.downcast_ref::<SliceView>().ok_or_else(|| Error::Merge {
+        if first.downcast_ref::<SliceView>().is_some() {
+            // In-place views alias a single parent buffer; the merged
+            // value is that buffer, recovered without touching elements.
+            let parent = first
+                .downcast_ref::<SliceView>()
+                .expect("checked above")
+                .parent
+                .clone();
+            for p in &pieces[1..] {
+                let v = p.downcast_ref::<SliceView>().ok_or_else(|| Error::Merge {
+                    split_type: "ArraySplit",
+                    message: "mixed piece types".into(),
+                })?;
+                if !v.parent.same_storage(&parent) {
+                    return Err(Error::Merge {
+                        split_type: "ArraySplit",
+                        message: "pieces come from different buffers".into(),
+                    });
+                }
+            }
+            return Ok(DataValue::new(VecValue(parent)));
+        }
+        // Fresh owned pieces (the placement-disabled fallback path):
+        // concatenate, preallocating from the size hint. Only owned
+        // `VecValue` pieces are legal here: a stray `SliceView` means
+        // view pieces were pre-merged into whole parents elsewhere and
+        // a concat would duplicate data — fail loudly (the v1 contract)
+        // rather than return a corrupt buffer.
+        let mut out: Vec<f64> = Vec::with_capacity(total_elements as usize);
+        for p in &pieces {
+            let v = p.downcast_ref::<VecValue>().ok_or_else(|| Error::Merge {
                 split_type: "ArraySplit",
                 message: "mixed piece types".into(),
             })?;
-            if !v.parent.same_storage(&parent) {
-                return Err(Error::Merge {
-                    split_type: "ArraySplit",
-                    message: "pieces come from different buffers".into(),
-                });
-            }
+            out.extend_from_slice(v.0.as_slice());
         }
-        Ok(DataValue::new(VecValue(parent)))
+        if total_elements > 0 && out.len() as u64 != total_elements {
+            return Err(Error::Merge {
+                split_type: "ArraySplit",
+                message: format!(
+                    "concatenated {} elements but the merge covers {total_elements} \
+                     (pieces are not a partition of the output)",
+                    out.len()
+                ),
+            });
+        }
+        Ok(DataValue::new(VecValue(SharedVec::from_vec(out))))
     }
 
-    fn needs_merge(&self) -> bool {
-        false
+    fn merge_strategy(&self) -> MergeStrategy {
+        MergeStrategy::Concat {
+            placement: Some(Arc::new(ArraySplit)),
+        }
     }
 
+    fn concat(&self) -> Option<Arc<dyn Concat>> {
+        Some(Arc::new(ArraySplit))
+    }
+}
+
+impl Placement for ArraySplit {
     fn alloc_merged(
         &self,
         total_elements: u64,
@@ -214,6 +278,50 @@ impl Splitter for ArraySplit {
     }
 }
 
+impl Concat for ArraySplit {
+    fn concat(&self, values: &[DataValue]) -> Result<(DataValue, Vec<u64>)> {
+        if values.is_empty() {
+            return Err(Error::Merge {
+                split_type: "ArraySplit",
+                message: "nothing to concatenate".into(),
+            });
+        }
+        let mut offsets = Vec::with_capacity(values.len());
+        let mut total = 0usize;
+        for v in values {
+            offsets.push(total as u64);
+            // SAFETY: whole input values are not concurrently mutated
+            // while being concatenated.
+            total += unsafe { elems(v)? }.len();
+        }
+        let mut out: Vec<f64> = Vec::with_capacity(total);
+        for v in values {
+            // SAFETY: as above.
+            out.extend_from_slice(unsafe { elems(v)? });
+        }
+        Ok((DataValue::new(VecValue(SharedVec::from_vec(out))), offsets))
+    }
+
+    fn slice_back(&self, out: &DataValue, offset: u64, len: u64) -> Result<DataValue> {
+        // SAFETY: concatenated outputs are fully materialized before
+        // slicing back (reading a `VecValue` forces evaluation).
+        let all = unsafe { elems(out)? };
+        let (offset, len) = (offset as usize, len as usize);
+        if offset.checked_add(len).is_none_or(|e| e > all.len()) {
+            return Err(Error::Merge {
+                split_type: "ArraySplit",
+                message: format!(
+                    "slice [{offset}, {offset}+{len}) exceeds concatenated length {}",
+                    all.len()
+                ),
+            });
+        }
+        Ok(DataValue::new(VecValue(SharedVec::from_vec(
+            all[offset..offset + len].to_vec(),
+        ))))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,10 +374,24 @@ mod tests {
         let params = vec![10];
         let a = s.split(&arr, 0..5, &params).unwrap().unwrap();
         let b = s.split(&arr, 5..10, &params).unwrap().unwrap();
-        let merged = s.merge(vec![a, b], &params).unwrap();
+        let merged = s.merge(vec![a, b], &params, 10).unwrap();
         let v = merged.downcast_ref::<VecValue>().unwrap();
         assert_eq!(v.0.len(), 10);
-        assert!(!s.needs_merge());
+        assert!(matches!(s.merge_strategy(), MergeStrategy::Concat { .. }));
+    }
+
+    #[test]
+    fn merge_concatenates_fresh_pieces() {
+        // The placement-disabled fallback: owned per-batch arrays merge
+        // by concatenation, preallocated from the hint.
+        let s = ArraySplit;
+        let a = DataValue::new(VecValue(SharedVec::from_vec(vec![1.0, 2.0])));
+        let b = DataValue::new(VecValue(SharedVec::from_vec(vec![3.0])));
+        let merged = s.merge(vec![a, b], &vec![3], 3).unwrap();
+        assert_eq!(
+            merged.downcast_ref::<VecValue>().unwrap().0.as_slice(),
+            &[1.0, 2.0, 3.0]
+        );
     }
 
     #[test]
@@ -280,10 +402,14 @@ mod tests {
         // SliceView exemplar: the pieces already alias a final buffer;
         // recovering the parent beats copying.
         let view = s.split(&arr, 0..4, &params).unwrap().unwrap();
-        assert!(s.alloc_merged(8, &params, Some(&view)).unwrap().is_none());
+        assert!(Placement::alloc_merged(&s, 8, &params, Some(&view))
+            .unwrap()
+            .is_none());
         // Fresh VecValue exemplar: placement engages.
         let fresh = DataValue::new(VecValue(SharedVec::from_vec(vec![1.0, 2.0])));
-        let out = s.alloc_merged(8, &params, Some(&fresh)).unwrap().unwrap();
+        let out = Placement::alloc_merged(&s, 8, &params, Some(&fresh))
+            .unwrap()
+            .unwrap();
         // Out-of-order writes land at their offsets; views and owned
         // pieces both write. (The output is uninitialized until
         // written, so the test covers all 8 elements before reading.)
@@ -307,11 +433,60 @@ mod tests {
     }
 
     #[test]
+    fn concat_capability_roundtrips() {
+        // concat is the inverse of split: whole values concatenate end
+        // to end, and slice_back recovers each one's elements.
+        let s = ArraySplit;
+        let cap = Splitter::concat(&s).expect("ArraySplit exposes Concat");
+        let a = DataValue::new(VecValue(SharedVec::from_vec(vec![1.0, 2.0, 3.0])));
+        let b = DataValue::new(VecValue(SharedVec::from_vec(vec![4.0])));
+        let c = DataValue::new(VecValue(SharedVec::from_vec(vec![5.0, 6.0])));
+        let (cat, offsets) = cap.concat(&[a, b, c]).unwrap();
+        assert_eq!(offsets, vec![0, 3, 4]);
+        assert_eq!(
+            cat.downcast_ref::<VecValue>().unwrap().0.as_slice(),
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        );
+        let back = cap.slice_back(&cat, 3, 1).unwrap();
+        assert_eq!(
+            back.downcast_ref::<VecValue>().unwrap().0.as_slice(),
+            &[4.0]
+        );
+        // Out-of-range slices are rejected; empty concats error.
+        assert!(cap.slice_back(&cat, 5, 2).is_err());
+        assert!(cap.concat(&[]).is_err());
+    }
+
+    #[test]
+    fn owned_merge_fallback_fails_loudly_on_views_and_bad_coverage() {
+        // Regression: the owned-piece concat fallback must never
+        // silently absorb view-derived pieces (pre-merged whole
+        // parents would duplicate data) or return a buffer that does
+        // not cover the merge's element total.
+        let s = ArraySplit;
+        let arr = vec_value(6);
+        let params = vec![6];
+        let view = s.split(&arr, 0..3, &params).unwrap().unwrap();
+        let owned = DataValue::new(VecValue(SharedVec::from_vec(vec![9.0, 9.0, 9.0])));
+        // Owned first, view second: mixed types are rejected.
+        assert!(s.merge(vec![owned.clone(), view], &params, 6).is_err());
+        // Owned pieces that do not partition the declared total are
+        // rejected instead of returning a short (or long) buffer.
+        assert!(s.merge(vec![owned.clone()], &params, 6).is_err());
+        assert!(s
+            .merge(vec![owned.clone(), owned.clone()], &params, 6)
+            .is_ok());
+        assert!(s
+            .merge(vec![owned.clone(), owned.clone(), owned], &params, 6)
+            .is_err());
+    }
+
+    #[test]
     fn merge_rejects_foreign_pieces() {
         let s = ArraySplit;
         let a = s.split(&vec_value(4), 0..2, &vec![4]).unwrap().unwrap();
         let b = s.split(&vec_value(4), 2..4, &vec![4]).unwrap().unwrap();
-        assert!(s.merge(vec![a, b], &vec![4]).is_err());
-        assert!(s.merge(vec![], &vec![4]).is_err());
+        assert!(s.merge(vec![a, b], &vec![4], 4).is_err());
+        assert!(s.merge(vec![], &vec![4], 4).is_err());
     }
 }

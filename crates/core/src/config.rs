@@ -31,7 +31,8 @@ pub struct Config {
     /// fast path where the split type supports it: the merged value is
     /// preallocated once and workers write result pieces directly at
     /// their element offsets inside the driver loop
-    /// ([`Splitter::alloc_merged`](crate::split::Splitter::alloc_merged)),
+    /// (the [`Placement`](crate::split::Placement) capability of its
+    /// [`merge_strategy`](crate::split::Splitter::merge_strategy)),
     /// and final merges of non-placement outputs that nothing later in
     /// the graph consumes are dispatched to the worker pool so they
     /// overlap with planning and executing subsequent stages. When

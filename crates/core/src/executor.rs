@@ -29,26 +29,28 @@
 //! Because batches may complete out of claim order, every stashed piece
 //! carries the element range that produced it. Workers pre-merge
 //! contiguous runs (or everything, for
-//! [commutative](crate::split::Splitter::commutative_merge) merges such
+//! [commutative](crate::split::MergeStrategy::Commutative) merges such
 //! as reductions), and the final merge orders runs by element offset, so
 //! split types still observe pieces in element order (§3.4).
 //!
 //! # Placement merges
 //!
 //! Concat-shaped outputs additionally support a *placement* fast path
-//! (`Config::placement_merge`, on by default): when a split type
-//! implements [`Splitter::alloc_merged`](crate::split::Splitter::alloc_merged),
-//! the merged value is preallocated once — on the first result piece
-//! any worker produces, so data-dependent layouts (DataFrame schemas,
-//! column dtypes) size correctly — and every worker then
-//! [`write_piece`](crate::split::Splitter::write_piece)s its results
+//! (`Config::placement_merge`, on by default): when a split type's
+//! [`merge_strategy`](crate::split::Splitter::merge_strategy) is
+//! [`MergeStrategy::Concat`](crate::split::MergeStrategy::Concat) with a
+//! [`Placement`] capability, the merged value
+//! is preallocated once — on the first result piece any worker
+//! produces, so data-dependent layouts (DataFrame schemas, column
+//! dtypes) size correctly — and every worker then
+//! [`write_piece`](crate::split::Placement::write_piece)s its results
 //! directly at their element offsets inside the driver loop. The
 //! worker-local pre-merge and the serial O(total) final concat both
 //! disappear: merging becomes parallel in-place writes, exactly like
 //! the mut-argument `SliceView` path that MKL-style outputs already
 //! take. Out-of-claim-order batches are harmless (offsets are absolute),
 //! and a `NULL`-split tail shrinks the output to the written prefix via
-//! [`Splitter::truncate_merged`](crate::split::Splitter::truncate_merged).
+//! [`truncate_merged`](crate::split::Placement::truncate_merged).
 //!
 //! Outputs whose split type declines placement still avoid serial tail
 //! latency where possible: a final merge whose value no later node
@@ -68,7 +70,7 @@ use crate::error::{Error, Result};
 use crate::graph::{DataflowGraph, ValueId};
 use crate::planner::{OutputKind, StagePlan};
 use crate::pool::{run_stage_scoped, Job, SideJob, WorkerPool};
-use crate::split::SplitInstance;
+use crate::split::{Placement, SplitInstance};
 use crate::stats::PhaseStats;
 use crate::value::DataValue;
 
@@ -121,16 +123,24 @@ struct MergeOutput {
     slot: u32,
     value: ValueId,
     instance: SplitInstance,
-    /// Cached `instance.commutative_merge()`.
+    /// Cached: whether the merge strategy is commutative.
     commutative: bool,
     /// Whether no unexecuted node outside the stage consumes the value
     /// (see [`crate::planner::StageOutput`]); such final merges may be
     /// overlapped with subsequent planning.
     last_use: bool,
-    /// Placement-merge probe state; `None` when the config disables
-    /// placement or the merge is commutative (partial results have no
-    /// meaningful element offsets).
-    placement: Option<PlacementState>,
+    /// Placement-merge capability + probe state; `None` when the config
+    /// disables placement or the split type's merge strategy carries no
+    /// placement capability (commutative merges never do — partial
+    /// results have no meaningful element offsets).
+    placement: Option<PlacementMerge>,
+}
+
+/// One output's placement merge: the split type's capability object and
+/// the resolve-once probe state shared across workers.
+struct PlacementMerge {
+    cap: Arc<dyn Placement>,
+    state: PlacementState,
 }
 
 /// Shared state of one output's placement merge, resolved exactly once
@@ -274,13 +284,12 @@ pub(crate) fn execute_stage(
     // collect-then-concat path pays inside its final merge.
     let t_alloc = thread_cpu_now();
     for mo in &exec.merge_outputs {
-        if let Some(ps) = &mo.placement {
+        if let Some(pm) = &mo.placement {
             if let Some(out) =
-                mo.instance
-                    .splitter
+                pm.cap
                     .alloc_merged(exec.total_elements, &mo.instance.params, None)?
             {
-                let _ = ps.out.set(Some(out));
+                let _ = pm.state.out.set(Some(out));
             }
         }
     }
@@ -349,9 +358,7 @@ pub(crate) fn execute_stage(
             let result2 = Arc::clone(&result);
             let side = SideJob::new(move || {
                 let t = thread_cpu_now();
-                let merged = instance
-                    .splitter
-                    .merge_hinted(pieces, &instance.params, total);
+                let merged = instance.splitter.merge(pieces, &instance.params, total);
                 let took = cpu_elapsed(t, thread_cpu_now());
                 *result2.lock().unwrap_or_else(|p| p.into_inner()) = Some((merged, took));
             });
@@ -368,7 +375,7 @@ pub(crate) fn execute_stage(
         let merged =
             mo.instance
                 .splitter
-                .merge_hinted(pieces, &mo.instance.params, exec.total_elements)?;
+                .merge(pieces, &mo.instance.params, exec.total_elements)?;
         stats.bytes_merged += merged_bytes(&mo.instance, &merged);
         let entry = &mut graph.values[mo.value.0 as usize];
         entry.data = Some(merged);
@@ -408,9 +415,10 @@ pub(crate) fn execute_stage(
 /// coverage check plus, for `NULL`-split tails, a truncation to the
 /// written prefix.
 fn finish_placement(mo: &MergeOutput, total_elements: u64) -> Result<Option<DataValue>> {
-    let Some(ps) = &mo.placement else {
+    let Some(pm) = &mo.placement else {
         return Ok(None);
     };
+    let ps = &pm.state;
     // `None` cell: no piece was ever produced (the no-pieces error on
     // the classic path below reports it) or the splitter declined.
     let Some(Some(out)) = ps.out.get() else {
@@ -435,8 +443,7 @@ fn finish_placement(mo: &MergeOutput, total_elements: u64) -> Result<Option<Data
         return Ok(Some(out.clone()));
     }
     // NULL-split tail: the sources dried up before the declared total.
-    mo.instance
-        .splitter
+    pm.cap
         .truncate_merged(out.clone(), high, &mo.instance.params)
         .map(Some)
 }
@@ -521,21 +528,29 @@ fn build_exec_stage(
         .iter()
         .filter(|o| o.kind == OutputKind::Merge)
         .map(|o| {
-            let commutative = o.instance.commutative_merge();
+            let strategy = o.instance.merge_strategy();
+            let commutative = strategy.commutative();
+            // The placement capability comes straight from the merge
+            // strategy probe (`MergeStrategy::Concat { placement }`).
+            // `unknown` outputs (filters, anything whose pieces do not
+            // correspond to input elements, §3.2) compact: a piece may
+            // hold fewer elements than the batch that produced it, so
+            // batch offsets are meaningless there and the merger must
+            // concatenate; commutative strategies cannot carry
+            // placement by construction.
+            let placement = (config.placement_merge && !o.instance.is_unknown())
+                .then(|| strategy.placement().cloned())
+                .flatten()
+                .map(|cap| PlacementMerge {
+                    cap,
+                    state: PlacementState::new(),
+                });
             MergeOutput {
                 slot: stage.slot_of(o.value),
                 value: o.value,
                 commutative,
                 last_use: o.last_use,
-                // Commutative merges combine partial results, not
-                // element ranges — placement offsets are meaningless.
-                // `unknown` outputs (filters, anything whose pieces do
-                // not correspond to input elements, §3.2) compact: a
-                // piece may hold fewer elements than the batch that
-                // produced it, so batch offsets are meaningless there
-                // too and the merger must concatenate.
-                placement: (config.placement_merge && !commutative && !o.instance.is_unknown())
-                    .then(PlacementState::new),
+                placement,
                 instance: o.instance.clone(),
             }
         })
@@ -715,15 +730,15 @@ pub(crate) fn run_worker(
             for (i, mo) in exec.merge_outputs.iter().enumerate() {
                 match &slots[mo.slot as usize] {
                     Some(piece) => {
-                        if let Some(ps) = &mo.placement {
+                        if let Some(pm) = &mo.placement {
                             let t2 = thread_cpu_now();
                             let mut alloc_err: Option<Error> = None;
                             // Resolve the placement decision exactly
                             // once, on the first piece any worker
                             // produces — it serves as the exemplar for
                             // data-dependent output layouts.
-                            let placed = ps.out.get_or_init(|| {
-                                match mo.instance.splitter.alloc_merged(
+                            let placed = pm.state.out.get_or_init(|| {
+                                match pm.cap.alloc_merged(
                                     exec.total_elements,
                                     &mo.instance.params,
                                     Some(piece),
@@ -745,9 +760,9 @@ pub(crate) fn run_worker(
                                 // writes fewer elements, and the
                                 // truncation below must not include
                                 // the unwritten remainder.
-                                let n = mo.instance.splitter.write_piece(out_val, start, piece)?;
-                                ps.written.fetch_add(n, Ordering::Relaxed);
-                                ps.high.fetch_max(start + n, Ordering::Relaxed);
+                                let n = pm.cap.write_piece(out_val, start, piece)?;
+                                pm.state.written.fetch_add(n, Ordering::Relaxed);
+                                pm.state.high.fetch_max(start + n, Ordering::Relaxed);
                                 out.placement_writes += 1;
                                 out.merge += cpu_elapsed(t2, thread_cpu_now());
                                 continue;
@@ -834,5 +849,5 @@ fn merge_group(mo: &MergeOutput, mut group: Vec<DataValue>, elements: u64) -> Re
     }
     mo.instance
         .splitter
-        .merge_hinted(group, &mo.instance.params, elements)
+        .merge(group, &mo.instance.params, elements)
 }

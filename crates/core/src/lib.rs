@@ -122,7 +122,9 @@ pub use context::{Future, FutureHandle, MozartContext};
 pub use error::{Error, Result};
 pub use planner::{PlanCache, PlanCacheStats};
 pub use pool::{global_pool, PoolHandle, WorkerPool, OVERFLOW_SESSION};
-pub use split::{Params, RuntimeInfo, SizeSplit, SplitInstance, Splitter};
+pub use split::{
+    Concat, MergeStrategy, Params, Placement, RuntimeInfo, SizeSplit, SplitInstance, Splitter,
+};
 pub use stats::{PhaseStats, PoolStats, SessionPoolStats};
 pub use value::{BoolValue, DataValue, FloatValue, IntValue, StrValue};
 
@@ -137,7 +139,9 @@ pub mod prelude {
     pub use crate::planner::{PlanCache, PlanCacheStats};
     pub use crate::pool::{global_pool, PoolHandle};
     pub use crate::registry::register_default_splitter;
-    pub use crate::split::{Params, RuntimeInfo, SizeSplit, SplitInstance, Splitter};
+    pub use crate::split::{
+        Concat, MergeStrategy, Params, Placement, RuntimeInfo, SizeSplit, SplitInstance, Splitter,
+    };
     pub use crate::stats::{PhaseStats, PoolStats, SessionPoolStats};
     pub use crate::value::{BoolValue, DataValue, FloatValue, IntValue, StrValue};
 }

@@ -1,10 +1,54 @@
-//! Split types and the splitting API (§3 of the paper).
+//! Split types and the splitting API v2 (§3 of the paper).
 //!
 //! A *split type* is a parameterized (dependent) type `N<V0..Vn>`: two
 //! split types are equal iff their names and parameter values are equal.
 //! Annotators implement the splitting API — constructor, `split`, `merge`
 //! and `info` (Table 1) — once per split type, and the runtime uses split
 //! type equality to decide which functions may be pipelined.
+//!
+//! # The v2 capability surface
+//!
+//! The core [`Splitter`] trait is deliberately small: `name`,
+//! `construct`, `default_params`, `info`, `split`, and a single `merge`
+//! entry point that always receives the merged element total as a size
+//! hint. Everything else the runtime used to learn through boolean
+//! probes and optional method overrides is now expressed through **one
+//! capability probe**, [`Splitter::merge_strategy`], which returns a
+//! [`MergeStrategy`] descriptor:
+//!
+//! * [`MergeStrategy::None`] — pieces are in-place views of storage
+//!   that is already whole (the MKL mut-argument convention); `merge`
+//!   recovers the parent without touching elements.
+//! * [`MergeStrategy::Commutative`] — partial results fold in any
+//!   order (reductions). `terminal: true` marks partials that must
+//!   merge before any other function consumes them.
+//! * [`MergeStrategy::Concat`] — `merge` is pure concatenation in
+//!   element order. The optional [`Placement`] capability object
+//!   enables the zero-copy fast path where workers write result pieces
+//!   directly into a preallocated output.
+//! * [`MergeStrategy::Custom`] — an order-sensitive associative merge
+//!   that is not a concatenation (e.g. re-aggregating grouped
+//!   partials).
+//!
+//! Concatenation-shaped split types can additionally expose a
+//! [`Concat`] capability via [`Splitter::concat`]: the *inverse* of
+//! `split`, concatenating whole values end to end and slicing element
+//! ranges back out. The serving layer uses it to coalesce
+//! fingerprint-identical requests into one evaluation over concatenated
+//! inputs — the split/merge duality run in reverse, with zero
+//! per-pipeline concatenation code.
+//!
+//! ## Migrating from the v1 trait
+//!
+//! | v1 | v2 |
+//! |---|---|
+//! | `merge(pieces, params)` | `merge(pieces, params, total_elements)` |
+//! | `merge_hinted(pieces, params, total)` | `merge(pieces, params, total_elements)` |
+//! | `commutative_merge() -> bool` | `merge_strategy() -> MergeStrategy::Commutative { .. }` |
+//! | `terminal() -> bool` | `terminal: true` on `Commutative` / `Custom` |
+//! | `needs_merge() -> bool` | gone — the planner decides in-place-ness from the annotation's mut-arguments. Pick the strategy that describes what `merge` *does*: [`MergeStrategy::None`] when it only recovers an in-place parent (`MatrixSplit`), `Concat` when view recovery is one case of a concatenation (`ArraySplit`), `Commutative` when the result ignores piece order (`SizeSplit`) |
+//! | `alloc_merged` / `write_piece` / `truncate_merged` | [`Placement`] object inside `MergeStrategy::Concat` |
+//! | — | [`Concat`] capability (`concat` / `slice_back`), new in v2 |
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,7 +76,211 @@ pub struct RuntimeInfo {
     pub elem_size_bytes: u64,
 }
 
-/// The splitting API an annotator implements per split type (Table 1).
+/// How result pieces of a split type become a whole value — the v2
+/// capability descriptor returned by [`Splitter::merge_strategy`].
+///
+/// The descriptor replaces the v1 boolean probes (`needs_merge`,
+/// `commutative_merge`, `terminal`) and the free-standing placement
+/// method trio: the runtime asks one question per split type and
+/// receives every merge-related capability at once.
+#[derive(Clone)]
+pub enum MergeStrategy {
+    /// Pieces are views of storage that is already whole (in-place
+    /// mut-argument splits, the MKL convention): [`Splitter::merge`]
+    /// recovers the parent buffer without touching elements.
+    None,
+    /// [`Splitter::merge`] is a commutative as well as associative fold
+    /// of partial results (scalar sums, elementwise partial
+    /// reductions). Commutative merges let a worker fold *all* of its
+    /// claimed batches into one partial even when the shared-cursor
+    /// scheduler handed it non-contiguous ranges.
+    ///
+    /// Trade-off: because which worker claims which batch varies run to
+    /// run, a commutative floating-point fold (e.g. a sum) may group
+    /// differently across runs and return results that differ in the
+    /// last ulps. Declare a merge commutative only if consumers
+    /// tolerate that (as FP reductions under any parallel schedule
+    /// must).
+    Commutative {
+        /// Whether pieces are *partial results* rather than a partition
+        /// of the final value (reductions, grouped aggregations).
+        /// Terminal values must be merged before any other function
+        /// consumes them, so they always end their stage.
+        terminal: bool,
+    },
+    /// [`Splitter::merge`] is pure concatenation in element order. The
+    /// optional [`Placement`] capability enables the zero-copy merge
+    /// fast path (`Config::placement_merge`): the runtime preallocates
+    /// the output once and workers write pieces at their element
+    /// offsets. Never combine placement with a commutative merge —
+    /// partial results have no meaningful element offsets.
+    Concat {
+        /// Zero-copy placement-merge capability, or `None` to always
+        /// collect-and-concatenate.
+        placement: Option<Arc<dyn Placement>>,
+    },
+    /// An order-sensitive associative merge that is not a concatenation
+    /// (e.g. re-grouping partial aggregations). This is the default,
+    /// and the weakest assumption the runtime can make.
+    Custom {
+        /// See [`MergeStrategy::Commutative`]'s `terminal`.
+        terminal: bool,
+    },
+}
+
+impl Default for MergeStrategy {
+    fn default() -> Self {
+        MergeStrategy::Custom { terminal: false }
+    }
+}
+
+impl MergeStrategy {
+    /// Whether pieces are partial results that must merge before any
+    /// other function consumes them (ends the stage in the planner).
+    pub fn terminal(&self) -> bool {
+        matches!(
+            self,
+            MergeStrategy::Commutative { terminal: true }
+                | MergeStrategy::Custom { terminal: true }
+        )
+    }
+
+    /// Whether the merge is commutative (worker-local folds may combine
+    /// non-contiguous batch ranges).
+    pub fn commutative(&self) -> bool {
+        matches!(self, MergeStrategy::Commutative { .. })
+    }
+
+    /// The placement capability, if the strategy is a placement-capable
+    /// concatenation.
+    pub fn placement(&self) -> Option<&Arc<dyn Placement>> {
+        match self {
+            MergeStrategy::Concat {
+                placement: Some(p), ..
+            } => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for MergeStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeStrategy::None => write!(f, "None"),
+            MergeStrategy::Commutative { terminal } => {
+                write!(f, "Commutative {{ terminal: {terminal} }}")
+            }
+            MergeStrategy::Concat { placement } => {
+                write!(f, "Concat {{ placement: {} }}", placement.is_some())
+            }
+            MergeStrategy::Custom { terminal } => write!(f, "Custom {{ terminal: {terminal} }}"),
+        }
+    }
+}
+
+/// Zero-copy *placement merge* capability for concat-shaped outputs,
+/// carried by [`MergeStrategy::Concat`].
+///
+/// Placement merging is the fast path for concatenation: instead of
+/// collecting pieces and re-copying them in a final merge, the executor
+/// preallocates the merged value once and has every worker
+/// [`write_piece`](Placement::write_piece) its results directly at
+/// their element offsets — the returned-value analogue of the
+/// mut-argument `SliceView` path, where writes already land in the
+/// final buffer.
+pub trait Placement: Send + Sync {
+    /// Allocate a placement output covering `total_elements` elements
+    /// (in [`RuntimeInfo`] units), or `Ok(None)` to decline.
+    ///
+    /// The executor calls this at most twice per output. Once at *stage
+    /// start* with `exemplar: None`, on the calling thread while the
+    /// pool is still parked: split types whose parameters fully
+    /// determine the output layout should allocate here, where the
+    /// allocation's first-touch page faults run uncontended instead of
+    /// spinning against the parallel phase's own faults inside worker
+    /// merge windows. If that returns `None`, once more on the first
+    /// result piece any worker produces, with `exemplar: Some(piece)`:
+    /// split types whose output layout is data-dependent — a
+    /// DataFrame's schema, a column's dtype — size the allocation from
+    /// the piece. Returning `None` both times declines placement for
+    /// the stage, and the output merges through [`Splitter::merge`];
+    /// an implementation can use the exemplar to decline dynamically,
+    /// e.g. when the pieces already alias a final buffer and a copy
+    /// would be a regression.
+    ///
+    /// Implementations that return `Some(out)` must support concurrent
+    /// `write_piece` calls at disjoint element offsets from multiple
+    /// threads, and the split type's `merge` semantics must be pure
+    /// concatenation in element order. Allocations should touch their
+    /// pages before returning (see
+    /// [`crate::buffer::SharedVec::zeros_prefaulted`]) so the parallel
+    /// writes are pure memory copies.
+    fn alloc_merged(
+        &self,
+        total_elements: u64,
+        params: &Params,
+        exemplar: Option<&DataValue>,
+    ) -> Result<Option<DataValue>>;
+
+    /// Write `piece` into the placement output `out` (allocated by
+    /// [`alloc_merged`](Placement::alloc_merged)) starting at element
+    /// `offset`, returning the number of elements written — the
+    /// piece's actual element count, which may be *less* than the
+    /// batch range that produced it when a source dried up mid-batch
+    /// (the executor's coverage check relies on the true count to
+    /// detect under-filled outputs).
+    ///
+    /// The executor guarantees that concurrent calls cover disjoint
+    /// element ranges (each batch range is claimed exactly once), so
+    /// implementations may write through interior-mutable storage
+    /// without locking. Implementations must bounds-check `offset`
+    /// plus the piece's element count against `out` and error rather
+    /// than write out of range.
+    fn write_piece(&self, out: &DataValue, offset: u64, piece: &DataValue) -> Result<u64>;
+
+    /// Shrink a placement output that under-filled to its written
+    /// prefix of `elements` elements (the paper's `NULL` split return:
+    /// a source dried up before the declared total).
+    ///
+    /// Only called when every written piece formed one contiguous
+    /// prefix `[0, elements)`.
+    fn truncate_merged(&self, out: DataValue, elements: u64, params: &Params) -> Result<DataValue>;
+}
+
+/// Whole-value concatenation — the inverse of [`Splitter::split`],
+/// exposed through [`Splitter::concat`] (v2).
+///
+/// Where `split` carves one value into element ranges, `concat` glues
+/// several whole values into one and remembers where each began, and
+/// [`slice_back`](Concat::slice_back) extracts an element range as a
+/// standalone value. Together they let a layer *above* the runtime run
+/// the split/merge duality in reverse: the serving layer concatenates
+/// fingerprint-identical requests' inputs, evaluates one pipeline over
+/// the combined value, and slices each request's elements back out of
+/// the combined outputs — bit-identically to separate evaluation for
+/// element-preserving pipelines, with no per-pipeline concat code.
+pub trait Concat: Send + Sync {
+    /// Concatenate whole values end to end.
+    ///
+    /// Returns the combined value and each input's starting element
+    /// offset (`offsets.len() == values.len()`, `offsets[0] == 0`,
+    /// offsets nondecreasing). Errors if `values` is empty or the
+    /// values cannot be concatenated (mixed concrete types, mismatched
+    /// cross sections such as image widths or DataFrame schemas).
+    fn concat(&self, values: &[DataValue]) -> Result<(DataValue, Vec<u64>)>;
+
+    /// Extract elements `[offset, offset + len)` of a concatenated
+    /// value as a standalone value (a zero-copy view where the data
+    /// type supports one).
+    ///
+    /// For any `v` among concatenated `values`, `slice_back(out,
+    /// offsets[i], elements_of(v))` must reproduce `v`'s elements
+    /// exactly.
+    fn slice_back(&self, out: &DataValue, offset: u64, len: u64) -> Result<DataValue>;
+}
+
+/// The splitting API an annotator implements per split type (Table 1,
+/// v2 surface — see the module docs for the v1 migration map).
 ///
 /// All methods receive the instance's `params` (produced by
 /// [`Splitter::construct`]) so one implementation can serve every
@@ -67,151 +315,41 @@ pub trait Splitter: Send + Sync + 'static {
         params: &Params,
     ) -> Result<Option<DataValue>>;
 
-    /// Associatively merge pieces back into a full value. Pieces arrive
-    /// in element order: the executor tags every piece with the batch
-    /// range that produced it and sorts before merging, so dynamic
+    /// Associatively merge pieces back into a full value.
+    ///
+    /// Pieces arrive in element order unless
+    /// [`merge_strategy`](Splitter::merge_strategy) declares the merge
+    /// commutative: the executor tags every piece with the batch range
+    /// that produced it and sorts before merging, so dynamic
     /// (out-of-order) batch scheduling is invisible to split types.
-    fn merge(&self, pieces: Vec<DataValue>, params: &Params) -> Result<DataValue>;
-
-    /// [`Splitter::merge`] with a merge-size hint: `total_elements` is
-    /// the number of splittable elements (in [`RuntimeInfo`] units —
-    /// array elements, matrix/DataFrame/image rows) the merged result
-    /// will cover. Concat-style merges should override this to
-    /// preallocate the result once instead of growing piece by piece;
-    /// the default ignores the hint and delegates to `merge`. The
-    /// executor calls this for every merge: worker-local runs pass the
-    /// run's element count, the final merge passes the stage total.
-    fn merge_hinted(
+    ///
+    /// `total_elements` is the merge-size hint: the number of
+    /// splittable elements (in [`RuntimeInfo`] units — array elements,
+    /// matrix/DataFrame/image rows) the merged result will cover.
+    /// Concat-style merges should preallocate the result once from the
+    /// hint instead of growing piece by piece; merges that do not care
+    /// simply ignore it. The executor passes the run's element count at
+    /// worker-local merges and the stage total at the final merge.
+    fn merge(
         &self,
         pieces: Vec<DataValue>,
         params: &Params,
         total_elements: u64,
-    ) -> Result<DataValue> {
-        let _ = total_elements;
-        self.merge(pieces, params)
+    ) -> Result<DataValue>;
+
+    /// The single v2 capability probe: how this split type's pieces
+    /// become a whole value. See [`MergeStrategy`]. The default is the
+    /// weakest assumption — an order-sensitive, non-terminal custom
+    /// merge with no placement.
+    fn merge_strategy(&self) -> MergeStrategy {
+        MergeStrategy::default()
     }
 
-    /// Allocate a *placement merge* output covering `total_elements`
-    /// elements (in [`RuntimeInfo`] units), or `Ok(None)` if this split
-    /// type cannot merge by placement (the default).
-    ///
-    /// Placement merging is the zero-copy fast path for concat-shaped
-    /// outputs: instead of collecting pieces and re-copying them in a
-    /// final `merge`, the executor preallocates the merged value once
-    /// and has every worker [`write_piece`](Splitter::write_piece) its
-    /// results directly at their element offsets — the returned-value
-    /// analogue of the mut-argument `SliceView` path, where writes
-    /// already land in the final buffer.
-    ///
-    /// The executor calls this twice per output at most. Once at
-    /// *stage start* with `exemplar: None`, on the calling thread while
-    /// the pool is still parked: split types whose parameters fully
-    /// determine the output layout should allocate here, where the
-    /// allocation's first-touch page faults run uncontended instead of
-    /// spinning against the parallel phase's own faults inside worker
-    /// merge windows. If that returns `None`, once more on the first
-    /// result piece any worker produces, with `exemplar: Some(piece)`:
-    /// split types whose output layout is data-dependent — a
-    /// DataFrame's schema, a column's dtype — size the allocation from
-    /// the piece. Returning `None` for both declines placement, and
-    /// the output merges through [`merge_hinted`](Splitter::merge_hinted);
-    /// an implementation can use the exemplar to decline dynamically,
-    /// e.g. when the pieces already alias a final buffer and a copy
-    /// would be a regression.
-    ///
-    /// Requirements on an implementation that returns `Some(out)`:
-    /// `out` must support concurrent `write_piece` calls at disjoint
-    /// element offsets from multiple threads, and `merge` semantics
-    /// must be pure concatenation in element order (never declare
-    /// placement together with [`commutative_merge`](Splitter::commutative_merge)).
-    /// Allocations should touch their pages before returning (see
-    /// [`crate::buffer::SharedVec::zeros_prefaulted`]) so the parallel
-    /// writes are pure memory copies.
-    fn alloc_merged(
-        &self,
-        total_elements: u64,
-        params: &Params,
-        exemplar: Option<&DataValue>,
-    ) -> Result<Option<DataValue>> {
-        let _ = (total_elements, params, exemplar);
-        Ok(None)
-    }
-
-    /// Write `piece` into the placement output `out` (allocated by
-    /// [`alloc_merged`](Splitter::alloc_merged)) starting at element
-    /// `offset`, returning the number of elements written — the
-    /// piece's actual element count, which may be *less* than the
-    /// batch range that produced it when a source dried up mid-batch
-    /// (the executor's coverage check relies on the true count to
-    /// detect under-filled outputs).
-    ///
-    /// The executor guarantees that concurrent calls cover disjoint
-    /// element ranges (each batch range is claimed exactly once), so
-    /// implementations may write through interior-mutable storage
-    /// without locking. Implementations must bounds-check `offset`
-    /// plus the piece's element count against `out` and error rather
-    /// than write out of range.
-    fn write_piece(&self, out: &DataValue, offset: u64, piece: &DataValue) -> Result<u64> {
-        let _ = (out, offset);
-        Err(Error::Merge {
-            split_type: self.name(),
-            message: format!(
-                "write_piece called on a split type without placement support \
-                 (piece {})",
-                piece.type_name()
-            ),
-        })
-    }
-
-    /// Shrink a placement output that under-filled to its written
-    /// prefix of `elements` elements (the paper's `NULL` split return:
-    /// a source dried up before the declared total).
-    ///
-    /// Only called when every written piece formed one contiguous
-    /// prefix `[0, elements)`; the default errors, which fails the
-    /// stage rather than returning a partially-initialized value.
-    fn truncate_merged(&self, out: DataValue, elements: u64, params: &Params) -> Result<DataValue> {
-        let _ = (out, params);
-        Err(Error::Merge {
-            split_type: self.name(),
-            message: format!(
-                "placement output under-filled ({elements} elements written) and \
-                 this split type cannot truncate"
-            ),
-        })
-    }
-
-    /// Whether `merge` is commutative as well as associative (scalar
-    /// sums, elementwise partial reductions). Commutative merges let a
-    /// worker fold *all* of its claimed batches into one partial even
-    /// when the shared-cursor scheduler handed it non-contiguous
-    /// ranges; order-sensitive merges (concatenation) instead merge
-    /// per contiguous run and are ordered globally at the final merge.
-    ///
-    /// Trade-off: because which worker claims which batch varies run to
-    /// run, a commutative floating-point fold (e.g. a sum) may group
-    /// differently across runs and return results that differ in the
-    /// last ulps. Declare a split type commutative only if consumers
-    /// tolerate that (as FP reductions under any parallel schedule
-    /// must); leave it order-sensitive to keep batch-order-deterministic
-    /// merging at some pre-merge cost.
-    fn commutative_merge(&self) -> bool {
-        false
-    }
-
-    /// Whether function results carrying this split type must be merged.
-    /// `false` for in-place views whose writes land directly in the
-    /// parent buffer (the MKL convention).
-    fn needs_merge(&self) -> bool {
-        true
-    }
-
-    /// Whether pieces of this split type are *partial results* rather
-    /// than a partition of the final value (reductions, grouped
-    /// aggregations). Terminal values must be merged before any other
-    /// function consumes them, so they always end their stage.
-    fn terminal(&self) -> bool {
-        false
+    /// Whole-value concatenation capability — the inverse of `split` —
+    /// or `None` (the default) when values of this split type cannot be
+    /// concatenated outside the runtime. See [`Concat`].
+    fn concat(&self) -> Option<Arc<dyn Concat>> {
+        None
     }
 }
 
@@ -257,16 +395,26 @@ impl SplitInstance {
         self.unique.is_some()
     }
 
-    /// Whether this instance's pieces are partial results that must be
-    /// merged before further consumption (see [`Splitter::terminal`]).
-    pub fn terminal(&self) -> bool {
-        self.splitter.terminal()
+    /// The splitter's merge capability descriptor (see
+    /// [`Splitter::merge_strategy`]). For `unknown` instances this is
+    /// the delegated merger's strategy; note the executor never uses
+    /// placement for unknown outputs (their pieces may compact, so
+    /// batch offsets are meaningless).
+    pub fn merge_strategy(&self) -> MergeStrategy {
+        self.splitter.merge_strategy()
     }
 
-    /// Whether this instance's merge is commutative (see
-    /// [`Splitter::commutative_merge`]).
+    /// Whether this instance's pieces are partial results that must be
+    /// merged before further consumption (derived from
+    /// [`Splitter::merge_strategy`]).
+    pub fn terminal(&self) -> bool {
+        self.splitter.merge_strategy().terminal()
+    }
+
+    /// Whether this instance's merge is commutative (derived from
+    /// [`Splitter::merge_strategy`]).
     pub fn commutative_merge(&self) -> bool {
-        self.splitter.commutative_merge()
+        self.splitter.merge_strategy().commutative()
     }
 
     /// Split type equality: same name, same parameters, same uniqueness
@@ -329,19 +477,23 @@ impl Splitter for SizeSplit {
         Ok(Some(DataValue::new(IntValue((end - range.start) as i64))))
     }
 
-    fn merge(&self, _pieces: Vec<DataValue>, params: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        _pieces: Vec<DataValue>,
+        params: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         // The merged size is just the original total.
         Ok(DataValue::new(IntValue(
             params.first().copied().unwrap_or(0),
         )))
     }
 
-    fn needs_merge(&self) -> bool {
-        false
-    }
-
-    fn commutative_merge(&self) -> bool {
-        true // the merge result does not depend on the pieces at all
+    fn merge_strategy(&self) -> MergeStrategy {
+        // The merge result does not depend on the pieces at all, so it
+        // is trivially commutative; the sizes are a partition, not
+        // partial results, so it is not terminal.
+        MergeStrategy::Commutative { terminal: false }
     }
 }
 
@@ -395,16 +547,32 @@ mod tests {
     }
 
     #[test]
-    fn merge_hinted_defaults_to_merge() {
-        // Splitters that don't override the hinted variant behave
-        // exactly like `merge`, whatever the hint says.
+    fn merge_ignores_hint_when_strategy_does_not_need_it() {
+        // The size hint is advisory: splitters that don't preallocate
+        // behave identically whatever the hint says.
         let s = SizeSplit;
         let arg = DataValue::new(IntValue(10));
         let params = s.construct(&[&arg]).unwrap();
         let a = s.split(&arg, 0..4, &params).unwrap().unwrap();
         let b = s.split(&arg, 4..10, &params).unwrap().unwrap();
-        let merged = s.merge_hinted(vec![a, b], &params, 10).unwrap();
+        let merged = s.merge(vec![a, b], &params, 10).unwrap();
         assert_eq!(merged.downcast_ref::<IntValue>().unwrap().0, 10);
+    }
+
+    #[test]
+    fn strategy_probe_derives_instance_capabilities() {
+        let inst = size_instance(4);
+        assert!(inst.commutative_merge());
+        assert!(!inst.terminal());
+        assert!(inst.merge_strategy().placement().is_none());
+        assert!(inst.splitter.concat().is_none());
+        // Default strategy is the weakest assumption.
+        let d = MergeStrategy::default();
+        assert!(!d.terminal() && !d.commutative() && d.placement().is_none());
+        // Terminal customs and commutatives both report terminal.
+        assert!(MergeStrategy::Custom { terminal: true }.terminal());
+        assert!(MergeStrategy::Commutative { terminal: true }.terminal());
+        assert!(MergeStrategy::Commutative { terminal: true }.commutative());
     }
 
     #[test]

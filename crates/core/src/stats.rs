@@ -38,7 +38,7 @@ pub struct PhaseStats {
     pub calls: u64,
     /// Result pieces written directly into a preallocated merge output
     /// by the placement fast path (see
-    /// [`Splitter::alloc_merged`](crate::split::Splitter::alloc_merged)),
+    /// [`Placement::write_piece`](crate::split::Placement::write_piece)),
     /// instead of being collected and re-copied by a final merge.
     pub placement_writes: u64,
     /// Final merges dispatched to the worker pool and overlapped with

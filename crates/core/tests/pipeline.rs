@@ -86,7 +86,12 @@ impl Splitter for ChunkSplit {
             c.0[range.start as usize..end].to_vec(),
         )))))
     }
-    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        _params: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         let mut out = Vec::new();
         for p in pieces {
             let c = p
@@ -115,7 +120,12 @@ impl Splitter for FirstPiece {
     fn split(&self, _arg: &DataValue, _r: Range<u64>, _p: &Params) -> Result<Option<DataValue>> {
         Err(Error::Library("FirstPiece is merge-only".into()))
     }
-    fn merge(&self, mut pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        mut pieces: Vec<DataValue>,
+        _params: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         pieces.drain(..).next().ok_or(Error::Merge {
             split_type: "FirstPiece",
             message: "no pieces".into(),
@@ -139,7 +149,12 @@ impl Splitter for SumReduce {
     fn split(&self, _arg: &DataValue, _r: Range<u64>, _p: &Params) -> Result<Option<DataValue>> {
         Err(Error::Library("SumReduce is merge-only".into()))
     }
-    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        _params: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         let mut acc = 0.0;
         for p in pieces {
             acc += p.downcast_ref::<FloatValue>().map(|f| f.0).unwrap_or(0.0);

@@ -64,7 +64,12 @@ impl Splitter for ChunkSplit {
             c.0[range.start as usize..end].to_vec(),
         )))))
     }
-    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        _params: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         let mut out = Vec::new();
         for p in pieces {
             let c = p
@@ -118,7 +123,12 @@ impl Splitter for PlacedSplit {
         let piece = v.0.as_slice()[range.start as usize..end].to_vec();
         Ok(Some(DataValue::new(VecValue(SharedVec::from_vec(piece)))))
     }
-    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        _params: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         let mut out = Vec::new();
         for p in pieces {
             let v = p
@@ -128,6 +138,18 @@ impl Splitter for PlacedSplit {
         }
         Ok(DataValue::new(VecValue(SharedVec::from_vec(out))))
     }
+    fn merge_strategy(&self) -> MergeStrategy {
+        MergeStrategy::Concat {
+            placement: Some(Arc::new(PlacedPlacement)),
+        }
+    }
+}
+
+/// Placement capability of [`PlacedSplit`]: params fully determine the
+/// layout, so allocation happens at stage start (no exemplar needed).
+struct PlacedPlacement;
+
+impl Placement for PlacedPlacement {
     fn alloc_merged(
         &self,
         total_elements: u64,
@@ -139,10 +161,10 @@ impl Splitter for PlacedSplit {
         )))))
     }
     fn write_piece(&self, out: &DataValue, offset: u64, piece: &DataValue) -> Result<u64> {
-        ArraySplit.write_piece(out, offset, piece)
+        Placement::write_piece(&ArraySplit, out, offset, piece)
     }
     fn truncate_merged(&self, out: DataValue, elements: u64, params: &Params) -> Result<DataValue> {
-        ArraySplit.truncate_merged(out, elements, params)
+        Placement::truncate_merged(&ArraySplit, out, elements, params)
     }
 }
 

@@ -60,7 +60,12 @@ impl Splitter for ChunkSplit {
             c.0[range.start as usize..end].to_vec(),
         )))))
     }
-    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        _params: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         let mut out = Vec::new();
         for p in pieces {
             let c = p
@@ -112,8 +117,13 @@ impl Splitter for TruncatedSplit {
             c.0[range.start as usize..end].to_vec(),
         )))))
     }
-    fn merge(&self, pieces: Vec<DataValue>, params: &Params) -> Result<DataValue> {
-        ChunkSplit.merge(pieces, params)
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        params: &Params,
+        total_elements: u64,
+    ) -> Result<DataValue> {
+        ChunkSplit.merge(pieces, params, total_elements)
     }
 }
 

@@ -6,7 +6,37 @@
 //! treats NumPy values (split functions return views, operators return
 //! fresh arrays, mergers concatenate).
 
+use std::cell::UnsafeCell;
 use std::sync::Arc;
+
+/// Interior-mutable backing storage.
+///
+/// Arrays are immutable through every safe API; the cells exist solely
+/// for [`NdArray::write_rows_at`], the runtime's placement-merge hook,
+/// whose contract requires disjoint row ranges from different threads
+/// and no readers until construction completes.
+struct Buf(Box<[UnsafeCell<f64>]>);
+
+// SAFETY: a plain array of `Copy` floats. All mutation goes through
+// `NdArray::write_rows_at`, whose contract requires disjoint row ranges
+// from different threads and no concurrent readers; shared reads through
+// the safe APIs only happen once construction is complete.
+unsafe impl Sync for Buf {}
+unsafe impl Send for Buf {}
+
+impl Buf {
+    fn from_vec(v: Vec<f64>) -> Buf {
+        Buf(v.into_iter().map(UnsafeCell::new).collect())
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn as_ptr(&self) -> *const f64 {
+        self.0.as_ptr() as *const f64
+    }
+}
 
 /// A dense, row-major, immutable `f64` array of rank 1 or 2.
 ///
@@ -15,7 +45,7 @@ use std::sync::Arc;
 /// backing buffer, which is what allows zero-copy row splits.
 #[derive(Clone)]
 pub struct NdArray {
-    data: Arc<Vec<f64>>,
+    data: Arc<Buf>,
     offset: usize,
     shape: Vec<usize>,
 }
@@ -25,7 +55,7 @@ impl NdArray {
     pub fn from_vec(v: Vec<f64>) -> Self {
         let shape = vec![v.len()];
         NdArray {
-            data: Arc::new(v),
+            data: Arc::new(Buf::from_vec(v)),
             offset: 0,
             shape,
         }
@@ -51,7 +81,7 @@ impl NdArray {
             v.len()
         );
         NdArray {
-            data: Arc::new(v),
+            data: Arc::new(Buf::from_vec(v)),
             offset: 0,
             shape: shape.to_vec(),
         }
@@ -131,7 +161,91 @@ impl NdArray {
 
     /// The contiguous elements in row-major order.
     pub fn as_slice(&self) -> &[f64] {
-        &self.data[self.offset..self.offset + self.len()]
+        debug_assert!(self.offset + self.len() <= self.data.len());
+        // SAFETY: in-bounds per the invariant checked above; mutation
+        // only happens through `write_rows_at`, whose contract forbids
+        // concurrent readers (see `Buf`).
+        unsafe { std::slice::from_raw_parts(self.data.as_ptr().add(self.offset), self.len()) }
+    }
+
+    /// Allocate an **uninitialized** array of `shape`, its pages
+    /// pre-touched so later parallel [`NdArray::write_rows_at`] calls
+    /// are pure memory copies — the placement-merge allocation hook.
+    ///
+    /// # Safety
+    ///
+    /// The caller must write every element (via
+    /// [`NdArray::write_rows_at`]) before any read, or truncate the
+    /// result to the written row prefix with
+    /// [`NdArray::view_rows`]. Reading unwritten elements is undefined
+    /// behavior.
+    #[allow(clippy::uninit_vec)] // the uninit window is this function's documented contract
+    pub unsafe fn alloc_rows_uninit(shape: &[usize]) -> Self {
+        assert!(
+            shape.len() == 1 || shape.len() == 2,
+            "NdArray supports rank 1 and 2, got rank {}",
+            shape.len()
+        );
+        let n: usize = shape.iter().product();
+        let mut v: Vec<UnsafeCell<f64>> = Vec::with_capacity(n);
+        // SAFETY: f64 cells have no validity invariant the subsequent
+        // writes could violate; the caller promises every element is
+        // written (or truncated away) before it is read.
+        unsafe { v.set_len(n) };
+        // Pre-touch one element per 4 KiB page (plus the last) so the
+        // first-touch faults happen here, uncontended, instead of
+        // inside the parallel write phase.
+        const STRIDE: usize = 4096 / std::mem::size_of::<f64>();
+        let mut i = 0;
+        while i < n {
+            unsafe { *v[i].get() = 0.0 };
+            i += STRIDE;
+        }
+        if n > 0 {
+            unsafe { *v[n - 1].get() = 0.0 };
+        }
+        NdArray {
+            data: Arc::new(Buf(v.into_boxed_slice())),
+            offset: 0,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Copy `src`'s rows into this array starting at row `row0` — the
+    /// placement-merge write hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trailing dimensions differ or the row range is out
+    /// of bounds.
+    ///
+    /// # Safety
+    ///
+    /// Concurrent calls must cover disjoint row ranges, no other code
+    /// may read the written range while a call is in flight, and `self`
+    /// must view its full backing buffer (be an allocation root, not a
+    /// row view).
+    pub unsafe fn write_rows_at(&self, row0: usize, src: &NdArray) {
+        assert_eq!(self.ndim(), src.ndim(), "write_rows_at: rank mismatch");
+        assert_eq!(
+            &self.shape[1..],
+            &src.shape[1..],
+            "write_rows_at: trailing shape mismatch"
+        );
+        assert!(
+            row0 + src.shape[0] <= self.shape[0],
+            "write_rows_at: row range out of bounds"
+        );
+        let row_len: usize = self.shape.iter().skip(1).product();
+        let start = self.offset + row0 * row_len;
+        let n = src.len();
+        debug_assert!(start + n <= self.data.len());
+        // SAFETY: in-bounds per the asserts; disjointness and
+        // no-concurrent-readers per this function's contract.
+        let dst = unsafe {
+            std::slice::from_raw_parts_mut(self.data.0.as_ptr().add(start) as *mut f64, n)
+        };
+        dst.copy_from_slice(src.as_slice());
     }
 
     /// Copy out as a flat vector.

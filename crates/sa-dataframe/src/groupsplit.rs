@@ -141,8 +141,10 @@ impl Splitter for GroupSplit {
         "GroupSplit"
     }
 
-    fn terminal(&self) -> bool {
-        true
+    /// Grouped partials must re-aggregate before further use; the
+    /// re-grouping merge is order-sensitive but not a concatenation.
+    fn merge_strategy(&self) -> MergeStrategy {
+        MergeStrategy::Custom { terminal: true }
     }
     fn construct(&self, _ctor_args: &[&DataValue]) -> Result<Params> {
         Ok(vec![])
@@ -159,7 +161,12 @@ impl Splitter for GroupSplit {
             message: "merge-only".into(),
         })
     }
-    fn merge(&self, pieces: Vec<DataValue>, _p: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        _p: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         let parts: Vec<GroupedPartial> = pieces
             .iter()
             .map(|p| {
@@ -217,7 +224,9 @@ mod tests {
     #[test]
     fn merge_rejects_wrong_piece_type() {
         let s = GroupSplit;
-        assert!(s.merge(vec![DataValue::new(IntValue(1))], &vec![]).is_err());
-        assert!(s.merge(vec![], &vec![]).is_err());
+        assert!(s
+            .merge(vec![DataValue::new(IntValue(1))], &vec![], 0)
+            .is_err());
+        assert!(s.merge(vec![], &vec![], 0).is_err());
     }
 }

@@ -10,6 +10,8 @@
 use std::ops::Range;
 use std::sync::Arc;
 
+use mozart_core::split::{Concat, MergeStrategy, Placement};
+
 use dataframe::{Column, DataFrame};
 use mozart_core::prelude::*;
 
@@ -112,11 +114,7 @@ impl Splitter for RowSplit {
         unreachable!("rows_of validated the type");
     }
 
-    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
-        merge_rows(pieces, None)
-    }
-
-    fn merge_hinted(
+    fn merge(
         &self,
         pieces: Vec<DataValue>,
         _params: &Params,
@@ -128,6 +126,20 @@ impl Splitter for RowSplit {
         merge_rows(pieces, Some(total_elements as usize))
     }
 
+    /// Row concatenation with placement: the exemplar piece supplies
+    /// what the parameters cannot (a frame's schema, a column's dtype).
+    fn merge_strategy(&self) -> MergeStrategy {
+        MergeStrategy::Concat {
+            placement: Some(Arc::new(RowSplit)),
+        }
+    }
+
+    fn concat(&self) -> Option<Arc<dyn Concat>> {
+        Some(Arc::new(RowSplit))
+    }
+}
+
+impl Placement for RowSplit {
     fn alloc_merged(
         &self,
         total_elements: u64,
@@ -224,6 +236,47 @@ impl Splitter for RowSplit {
     }
 }
 
+impl Concat for RowSplit {
+    fn concat(&self, values: &[DataValue]) -> Result<(DataValue, Vec<u64>)> {
+        if values.is_empty() {
+            return Err(Error::Merge {
+                split_type: "RowSplit",
+                message: "nothing to concatenate".into(),
+            });
+        }
+        let mut offsets = Vec::with_capacity(values.len());
+        let mut rows = 0u64;
+        for v in values {
+            offsets.push(rows);
+            rows += Self::rows_of(v)? as u64;
+        }
+        // Reuse the hinted merge: mixed piece types and schema
+        // mismatches surface as the same typed errors.
+        let cat = merge_rows(values.to_vec(), Some(rows as usize))?;
+        Ok((cat, offsets))
+    }
+
+    fn slice_back(&self, out: &DataValue, offset: u64, len: u64) -> Result<DataValue> {
+        let rows = Self::rows_of(out)?;
+        let (offset, len) = (offset as usize, len as usize);
+        if offset.checked_add(len).is_none_or(|e| e > rows) {
+            return Err(Error::Merge {
+                split_type: "RowSplit",
+                message: format!("slice [{offset}, {offset}+{len}) exceeds {rows} rows"),
+            });
+        }
+        if let Some(d) = out.downcast_ref::<DfValue>() {
+            return Ok(DataValue::new(DfValue(
+                d.0.slice_rows(offset, offset + len),
+            )));
+        }
+        if let Some(c) = out.downcast_ref::<ColValue>() {
+            return Ok(DataValue::new(ColValue(c.0.slice(offset, offset + len))));
+        }
+        unreachable!("rows_of validated the type");
+    }
+}
+
 /// Validate a placement write: schema/dtype agreement and row bounds.
 fn check_fit(offset: usize, src_rows: usize, dst_rows: usize, schema_ok: bool) -> Result<()> {
     if !schema_ok || offset.checked_add(src_rows).is_none_or(|e| e > dst_rows) {
@@ -316,7 +369,7 @@ mod tests {
         let params = vec![10];
         let p1 = s.split(&d, 0..4, &params).unwrap().unwrap();
         let p2 = s.split(&d, 4..10, &params).unwrap().unwrap();
-        let merged = s.merge(vec![p1, p2], &params).unwrap();
+        let merged = s.merge(vec![p1, p2], &params, 0).unwrap();
         let m = merged.downcast_ref::<DfValue>().unwrap();
         assert_eq!(m.0.num_rows(), 10);
         assert_eq!(m.0.col("id").i64s(), test_df().col("id").i64s());
@@ -329,7 +382,7 @@ mod tests {
         let params = vec![3];
         let p1 = s.split(&c, 0..2, &params).unwrap().unwrap();
         let p2 = s.split(&c, 2..3, &params).unwrap().unwrap();
-        let merged = s.merge(vec![p1, p2], &params).unwrap();
+        let merged = s.merge(vec![p1, p2], &params, 0).unwrap();
         assert_eq!(
             merged.downcast_ref::<ColValue>().unwrap().0.strs(),
             &["a".to_string(), "b".to_string(), "c".to_string()]
@@ -397,6 +450,6 @@ mod tests {
         let s = RowSplit;
         let c = DataValue::new(ColValue(Column::from_i64(vec![1, 2])));
         assert!(s.split(&c, 0..1, &vec![5]).is_err());
-        assert!(s.merge(vec![], &vec![0]).is_err());
+        assert!(s.merge(vec![], &vec![0], 0).is_err());
     }
 }

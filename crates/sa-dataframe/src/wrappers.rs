@@ -542,8 +542,10 @@ impl Splitter for ColSumReduce {
         "ColSumReduce"
     }
 
-    fn terminal(&self) -> bool {
-        true
+    /// Partial sums must merge before further use; kept order-sensitive
+    /// so the fold order (and thus the FP sum) is batch-deterministic.
+    fn merge_strategy(&self) -> MergeStrategy {
+        MergeStrategy::Custom { terminal: true }
     }
     fn construct(&self, _c: &[&DataValue]) -> Result<Params> {
         Ok(vec![])
@@ -560,7 +562,12 @@ impl Splitter for ColSumReduce {
             message: "merge-only".into(),
         })
     }
-    fn merge(&self, pieces: Vec<DataValue>, _p: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        _p: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         let mut acc = 0.0;
         for p in pieces {
             acc += p

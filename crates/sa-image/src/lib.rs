@@ -15,9 +15,15 @@
 //!   crop clones;
 //! * **merges are placement writes** — the runtime preallocates the
 //!   final image once and workers copy their result bands directly at
-//!   their row offsets ([`Splitter::alloc_merged`]); the copying
-//!   append remains only as the fallback ([`Splitter::merge_hinted`])
-//!   for runtimes with `placement_merge` disabled.
+//!   their row offsets (the [`Placement`] capability inside
+//!   [`MergeStrategy::Concat`]); the copying append remains only as
+//!   the fallback ([`Splitter::merge`]) for runtimes with
+//!   `placement_merge` disabled.
+//!
+//! `ImageSplit` also exposes the [`Concat`] capability (the inverse of
+//! `split`): whole images stack along the row axis and row bands slice
+//! back out as zero-copy views, which the serving layer uses to
+//! coalesce fingerprint-identical image requests into one evaluation.
 //!
 //! `imagelib::blur` is deliberately **not** annotated: its edge
 //! boundary condition violates the SA correctness condition (§7.1).
@@ -30,6 +36,7 @@ use std::sync::{Arc, LazyLock};
 use imagelib::Image;
 use mozart_core::annotation::{generic, missing};
 use mozart_core::prelude::*;
+use mozart_core::split::{Concat, MergeStrategy, Placement};
 
 /// `DataValue` wrapper for [`Image`].
 #[derive(Debug, Clone)]
@@ -110,13 +117,7 @@ impl Splitter for ImageSplit {
         ))))
     }
 
-    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
-        Ok(DataValue::new(ImgValue(Image::append_rows(&band_pieces(
-            &pieces,
-        )?))))
-    }
-
-    fn merge_hinted(
+    fn merge(
         &self,
         pieces: Vec<DataValue>,
         _params: &Params,
@@ -130,6 +131,20 @@ impl Splitter for ImageSplit {
         ))))
     }
 
+    /// Row concatenation with placement: the `(height, width)`
+    /// parameters fully determine the output layout.
+    fn merge_strategy(&self) -> MergeStrategy {
+        MergeStrategy::Concat {
+            placement: Some(Arc::new(ImageSplit)),
+        }
+    }
+
+    fn concat(&self) -> Option<Arc<dyn Concat>> {
+        Some(Arc::new(ImageSplit))
+    }
+}
+
+impl Placement for ImageSplit {
     fn alloc_merged(
         &self,
         total_elements: u64,
@@ -204,6 +219,53 @@ impl Splitter for ImageSplit {
         // NULL-split tail: the written prefix as a zero-copy row view.
         let rows = (elements as usize).min(img.0.height());
         Ok(DataValue::new(ImgValue(img.0.rows(0, rows))))
+    }
+}
+
+impl Concat for ImageSplit {
+    fn concat(&self, values: &[DataValue]) -> Result<(DataValue, Vec<u64>)> {
+        let bands = band_pieces(values)?;
+        if bands.is_empty() {
+            return Err(Error::Merge {
+                split_type: "ImageSplit",
+                message: "nothing to concatenate".into(),
+            });
+        }
+        if bands[1..].iter().any(|b| b.width() != bands[0].width()) {
+            return Err(Error::Merge {
+                split_type: "ImageSplit",
+                message: "width mismatch across concatenated images".into(),
+            });
+        }
+        let mut offsets = Vec::with_capacity(bands.len());
+        let mut rows = 0u64;
+        for b in &bands {
+            offsets.push(rows);
+            rows += b.height() as u64;
+        }
+        Ok((
+            DataValue::new(ImgValue(Image::append_rows_hinted(&bands, rows as usize))),
+            offsets,
+        ))
+    }
+
+    fn slice_back(&self, out: &DataValue, offset: u64, len: u64) -> Result<DataValue> {
+        let img = out.downcast_ref::<ImgValue>().ok_or_else(|| Error::Merge {
+            split_type: "ImageSplit",
+            message: format!("expected ImgValue, got {}", out.type_name()),
+        })?;
+        let (offset, len) = (offset as usize, len as usize);
+        if offset.checked_add(len).is_none_or(|e| e > img.0.height()) {
+            return Err(Error::Merge {
+                split_type: "ImageSplit",
+                message: format!(
+                    "slice [{offset}, {offset}+{len}) exceeds {} rows",
+                    img.0.height()
+                ),
+            });
+        }
+        // Zero-copy row view of the requested band.
+        Ok(DataValue::new(ImgValue(img.0.rows(offset, offset + len))))
     }
 }
 
@@ -519,7 +581,7 @@ mod tests {
         assert_eq!(params, vec![17, 12]);
         let p1 = s.split(&arg, 0..9, &params).unwrap().unwrap();
         let p2 = s.split(&arg, 9..17, &params).unwrap().unwrap();
-        let merged = s.merge(vec![p1, p2], &params).unwrap();
+        let merged = s.merge(vec![p1, p2], &params, 17).unwrap();
         let out = merged.downcast_ref::<ImgValue>().unwrap();
         assert_eq!(out.0.mean_abs_diff(&img), 0.0);
         assert!(s.split(&arg, 17..20, &params).unwrap().is_none());
@@ -554,7 +616,7 @@ mod tests {
         let placed = out.downcast_ref::<ImgValue>().unwrap();
         assert_eq!(placed.0.mean_abs_diff(&img), 0.0);
         // Copying fallback agrees.
-        let merged = s.merge_hinted(views, &params, 23).unwrap();
+        let merged = s.merge(views, &params, 23).unwrap();
         let appended = merged.downcast_ref::<ImgValue>().unwrap();
         assert_eq!(appended.0.mean_abs_diff(&img), 0.0);
     }

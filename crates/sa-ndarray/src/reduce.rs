@@ -59,11 +59,9 @@ macro_rules! scalar_reduce {
             fn name(&self) -> &'static str {
                 $tyname
             }
-            fn terminal(&self) -> bool {
-                true
-            }
-            fn commutative_merge(&self) -> bool {
-                true // sum/min/max folds are order-insensitive
+            /// sum/min/max folds are order-insensitive partial results.
+            fn merge_strategy(&self) -> MergeStrategy {
+                MergeStrategy::Commutative { terminal: true }
             }
             fn construct(&self, _ctor_args: &[&DataValue]) -> Result<Params> {
                 Ok(vec![])
@@ -80,7 +78,12 @@ macro_rules! scalar_reduce {
                     message: "merge-only split type".into(),
                 })
             }
-            fn merge(&self, pieces: Vec<DataValue>, _p: &Params) -> Result<DataValue> {
+            fn merge(
+                &self,
+                pieces: Vec<DataValue>,
+                _p: &Params,
+                _total_elements: u64,
+            ) -> Result<DataValue> {
                 let f = $f;
                 let mut acc: f64 = $init;
                 for p in pieces {
@@ -124,12 +127,9 @@ impl Splitter for MeanReduce {
         "MeanReduce"
     }
 
-    fn terminal(&self) -> bool {
-        true
-    }
-
-    fn commutative_merge(&self) -> bool {
-        true // partial (sum, count) pairs fold in any order
+    /// Partial (sum, count) pairs fold in any order.
+    fn merge_strategy(&self) -> MergeStrategy {
+        MergeStrategy::Commutative { terminal: true }
     }
     fn construct(&self, _ctor_args: &[&DataValue]) -> Result<Params> {
         Ok(vec![])
@@ -146,7 +146,12 @@ impl Splitter for MeanReduce {
             message: "merge-only".into(),
         })
     }
-    fn merge(&self, pieces: Vec<DataValue>, _p: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        _p: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         let mut sum = 0.0;
         let mut count = 0u64;
         for p in pieces {
@@ -181,8 +186,10 @@ impl Splitter for AxisReduce {
         "AxisReduce"
     }
 
-    fn terminal(&self) -> bool {
-        true
+    /// Partial axis reductions must merge before further use; the merge
+    /// is order-sensitive (axis 1 concatenates per-row results).
+    fn merge_strategy(&self) -> MergeStrategy {
+        MergeStrategy::Custom { terminal: true }
     }
 
     /// Constructor from the `axis` argument (the paper's
@@ -212,7 +219,12 @@ impl Splitter for AxisReduce {
         })
     }
 
-    fn merge(&self, pieces: Vec<DataValue>, params: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        params: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         let axis = params.first().copied().unwrap_or(0);
         let arrays: Vec<NdArray> = pieces
             .iter()
@@ -246,11 +258,15 @@ mod tests {
     #[test]
     fn scalar_merges() {
         let mk = |x: f64| DataValue::new(FloatValue(x));
-        let s = SumReduce.merge(vec![mk(1.0), mk(2.5)], &vec![]).unwrap();
+        let s = SumReduce.merge(vec![mk(1.0), mk(2.5)], &vec![], 0).unwrap();
         assert_eq!(s.downcast_ref::<FloatValue>().unwrap().0, 3.5);
-        let m = MinReduce.merge(vec![mk(4.0), mk(-1.0)], &vec![]).unwrap();
+        let m = MinReduce
+            .merge(vec![mk(4.0), mk(-1.0)], &vec![], 0)
+            .unwrap();
         assert_eq!(m.downcast_ref::<FloatValue>().unwrap().0, -1.0);
-        let m = MaxReduce.merge(vec![mk(4.0), mk(-1.0)], &vec![]).unwrap();
+        let m = MaxReduce
+            .merge(vec![mk(4.0), mk(-1.0)], &vec![], 0)
+            .unwrap();
         assert_eq!(m.downcast_ref::<FloatValue>().unwrap().0, 4.0);
     }
 
@@ -259,13 +275,13 @@ mod tests {
         let p = |sum: f64, count: u64| DataValue::new(PartialMean { sum, count });
         // Unequal chunk sizes: naive mean-of-means would be wrong.
         let all = MeanReduce
-            .merge(vec![p(10.0, 1), p(2.0, 4)], &vec![])
+            .merge(vec![p(10.0, 1), p(2.0, 4)], &vec![], 0)
             .unwrap();
         let got = all.downcast_ref::<PartialMean>().unwrap();
         assert_eq!(got.value(), 12.0 / 5.0);
         // Associativity: merge of merges equals flat merge.
-        let left = MeanReduce.merge(vec![p(10.0, 1)], &vec![]).unwrap();
-        let nested = MeanReduce.merge(vec![left, p(2.0, 4)], &vec![]).unwrap();
+        let left = MeanReduce.merge(vec![p(10.0, 1)], &vec![], 0).unwrap();
+        let nested = MeanReduce.merge(vec![left, p(2.0, 4)], &vec![], 0).unwrap();
         assert_eq!(*nested.downcast_ref::<PartialMean>().unwrap(), *got);
     }
 
@@ -275,7 +291,7 @@ mod tests {
         // axis 0: partials add elementwise.
         let p1 = nd(NdArray::from_vec(vec![1.0, 2.0]));
         let p2 = nd(NdArray::from_vec(vec![10.0, 20.0]));
-        let m = AxisReduce.merge(vec![p1, p2], &vec![0]).unwrap();
+        let m = AxisReduce.merge(vec![p1, p2], &vec![0], 0).unwrap();
         assert_eq!(
             m.downcast_ref::<NdValue>().unwrap().0.as_slice(),
             &[11.0, 22.0]
@@ -283,7 +299,7 @@ mod tests {
         // axis 1: partials concatenate.
         let p1 = nd(NdArray::from_vec(vec![1.0, 2.0]));
         let p2 = nd(NdArray::from_vec(vec![3.0]));
-        let m = AxisReduce.merge(vec![p1, p2], &vec![1]).unwrap();
+        let m = AxisReduce.merge(vec![p1, p2], &vec![1], 0).unwrap();
         assert_eq!(
             m.downcast_ref::<NdValue>().unwrap().0.as_slice(),
             &[1.0, 2.0, 3.0]

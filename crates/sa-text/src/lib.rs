@@ -18,6 +18,7 @@ use std::sync::{Arc, LazyLock};
 
 use mozart_core::annotation::concrete;
 use mozart_core::prelude::*;
+use mozart_core::split::{Concat, MergeStrategy};
 use textproc::{Corpus, DocFeatures, TaggedDoc};
 
 /// `DataValue` wrapper for a corpus of documents.
@@ -125,7 +126,12 @@ impl Splitter for CorpusSplit {
         unreachable!("docs_of validated the type");
     }
 
-    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        _params: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         let first = pieces.first().ok_or_else(|| Error::Merge {
             split_type: "CorpusSplit",
             message: "no pieces".into(),
@@ -154,6 +160,57 @@ impl Splitter for CorpusSplit {
             out.extend(t.0.iter().cloned());
         }
         Ok(DataValue::new(TaggedValue(Arc::new(out))))
+    }
+
+    /// Document concatenation (no placement: documents are variably
+    /// sized heap values; collect-and-extend is the natural merge).
+    fn merge_strategy(&self) -> MergeStrategy {
+        MergeStrategy::Concat { placement: None }
+    }
+
+    fn concat(&self) -> Option<Arc<dyn Concat>> {
+        Some(Arc::new(CorpusSplit))
+    }
+}
+
+impl Concat for CorpusSplit {
+    fn concat(&self, values: &[DataValue]) -> Result<(DataValue, Vec<u64>)> {
+        if values.is_empty() {
+            return Err(Error::Merge {
+                split_type: "CorpusSplit",
+                message: "nothing to concatenate".into(),
+            });
+        }
+        let mut offsets = Vec::with_capacity(values.len());
+        let mut docs = 0u64;
+        for v in values {
+            offsets.push(docs);
+            docs += Self::docs_of(v)? as u64;
+        }
+        let cat = Splitter::merge(self, values.to_vec(), &vec![docs as i64], docs)?;
+        Ok((cat, offsets))
+    }
+
+    fn slice_back(&self, out: &DataValue, offset: u64, len: u64) -> Result<DataValue> {
+        let total = Self::docs_of(out)?;
+        let (offset, len) = (offset as usize, len as usize);
+        if offset.checked_add(len).is_none_or(|e| e > total) {
+            return Err(Error::Merge {
+                split_type: "CorpusSplit",
+                message: format!("slice [{offset}, {offset}+{len}) exceeds {total} docs"),
+            });
+        }
+        if let Some(c) = out.downcast_ref::<CorpusValue>() {
+            return Ok(DataValue::new(CorpusValue(Arc::new(
+                c.0[offset..offset + len].to_vec(),
+            ))));
+        }
+        if let Some(t) = out.downcast_ref::<TaggedValue>() {
+            return Ok(DataValue::new(TaggedValue(Arc::new(
+                t.0[offset..offset + len].to_vec(),
+            ))));
+        }
+        unreachable!("docs_of validated the type");
     }
 }
 
@@ -240,7 +297,7 @@ mod tests {
         assert_eq!(params, vec![11]);
         let p1 = s.split(&arg, 0..6, &params).unwrap().unwrap();
         let p2 = s.split(&arg, 6..11, &params).unwrap().unwrap();
-        let merged = s.merge(vec![p1, p2], &params).unwrap();
+        let merged = s.merge(vec![p1, p2], &params, 0).unwrap();
         assert_eq!(merged.downcast_ref::<CorpusValue>().unwrap().0.as_ref(), &c);
         assert!(s.split(&arg, 11..12, &params).unwrap().is_none());
     }

@@ -89,7 +89,12 @@ impl Splitter for MatrixSplit {
         })))
     }
 
-    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        _params: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         // In-place views of one parent buffer, like ArraySplit.
         let first = pieces.first().ok_or_else(|| Error::Merge {
             split_type: "MatrixSplit",
@@ -106,8 +111,10 @@ impl Splitter for MatrixSplit {
         Ok(DataValue::new(VecValue(parent)))
     }
 
-    fn needs_merge(&self) -> bool {
-        false
+    /// Pieces are in-place views of one parent buffer; `merge` recovers
+    /// the parent without touching elements.
+    fn merge_strategy(&self) -> MergeStrategy {
+        MergeStrategy::None
     }
 }
 

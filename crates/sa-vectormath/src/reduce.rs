@@ -22,12 +22,10 @@ impl Splitter for AddReduce {
         "AddReduce"
     }
 
-    fn terminal(&self) -> bool {
-        true
-    }
-
-    fn commutative_merge(&self) -> bool {
-        true // addition is commutative: partials may fold in any order
+    /// Partial sums fold in any order (addition commutes) and must
+    /// merge before any other function consumes them.
+    fn merge_strategy(&self) -> MergeStrategy {
+        MergeStrategy::Commutative { terminal: true }
     }
 
     fn construct(&self, _ctor_args: &[&DataValue]) -> Result<Params> {
@@ -48,7 +46,12 @@ impl Splitter for AddReduce {
         })
     }
 
-    fn merge(&self, pieces: Vec<DataValue>, _params: &Params) -> Result<DataValue> {
+    fn merge(
+        &self,
+        pieces: Vec<DataValue>,
+        _params: &Params,
+        _total_elements: u64,
+    ) -> Result<DataValue> {
         let mut acc = 0.0;
         for p in pieces {
             let v = p.downcast_ref::<FloatValue>().ok_or_else(|| Error::Merge {
@@ -69,9 +72,11 @@ mod tests {
     fn merge_sums_and_is_associative() {
         let s = AddReduce;
         let mk = |x: f64| DataValue::new(FloatValue(x));
-        let all = s.merge(vec![mk(1.0), mk(2.0), mk(3.0)], &vec![]).unwrap();
-        let left = s.merge(vec![mk(1.0), mk(2.0)], &vec![]).unwrap();
-        let nested = s.merge(vec![left, mk(3.0)], &vec![]).unwrap();
+        let all = s
+            .merge(vec![mk(1.0), mk(2.0), mk(3.0)], &vec![], 0)
+            .unwrap();
+        let left = s.merge(vec![mk(1.0), mk(2.0)], &vec![], 0).unwrap();
+        let nested = s.merge(vec![left, mk(3.0)], &vec![], 0).unwrap();
         assert_eq!(
             all.downcast_ref::<FloatValue>().unwrap().0,
             nested.downcast_ref::<FloatValue>().unwrap().0
@@ -84,6 +89,8 @@ mod tests {
         let v = DataValue::new(FloatValue(0.0));
         assert!(s.info(&v, &vec![]).is_err());
         assert!(s.split(&v, 0..1, &vec![]).is_err());
-        assert!(s.merge(vec![DataValue::new(IntValue(1))], &vec![]).is_err());
+        assert!(s
+            .merge(vec![DataValue::new(IntValue(1))], &vec![], 0)
+            .is_err());
     }
 }

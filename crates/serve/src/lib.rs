@@ -83,6 +83,6 @@ mod service;
 pub use error::{Result, ServeError};
 pub use pipelines::builtin_pipelines;
 pub use service::{
-    Pipeline, PipelineService, Request, Response, ServiceBuilder, ServiceConfig, ServiceStats,
-    Session, MAX_COALESCE,
+    run_segment, Pipeline, PipelineService, Request, Response, Segment, SegmentEval, SegmentInput,
+    SegmentRespond, ServiceBuilder, ServiceConfig, ServiceStats, Session, MAX_COALESCE,
 };

@@ -7,7 +7,10 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
-use mozart_core::{Config, MozartContext, PlanCache, PlanCacheStats, PoolHandle, PoolStats};
+use mozart_core::{
+    Concat, Config, DataValue, MozartContext, PlanCache, PlanCacheStats, PoolHandle, PoolStats,
+    Splitter,
+};
 
 use crate::admission::Admission;
 use crate::error::{Result, ServeError};
@@ -96,7 +99,10 @@ pub trait Pipeline: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Execute the pipeline through `ctx` (already wired to the
-    /// service's shared pool and plan cache).
+    /// service's shared pool and plan cache). Pipelines that implement
+    /// [`Pipeline::segment`] can delegate to [`run_segment`], which
+    /// guarantees the single-request path and the coalesced path share
+    /// one evaluation body.
     fn run(&self, ctx: &MozartContext, req: &Request) -> mozart_core::Result<Response>;
 
     /// Coalescing key: requests with equal keys produce pending-segment
@@ -105,25 +111,93 @@ pub trait Pipeline: Send + Sync {
     /// as **one** pipeline over concatenated inputs and split the
     /// outputs back per request — the serving analogue of model-server
     /// micro-batching. Return `None` (the default) for requests that
-    /// must never coalesce; implementations that return `Some` should
-    /// also implement [`Pipeline::run_coalesced`].
+    /// must never coalesce; implementations that return `Some` must
+    /// also implement [`Pipeline::segment`].
     fn coalesce_key(&self, _req: &Request) -> Option<u64> {
         None
     }
 
-    /// Evaluate several key-identical requests as one pipeline over the
-    /// concatenated inputs and return one response per request, in
-    /// order. Return `None` to decline (e.g. the concatenated size would
-    /// exceed a sanity bound); the service then evaluates the requests
-    /// individually under the single admission slot. Responses must be
-    /// identical to what separate [`Pipeline::run`] calls would produce.
-    fn run_coalesced(
-        &self,
-        _ctx: &MozartContext,
-        _reqs: &[Request],
-    ) -> Option<mozart_core::Result<Vec<Response>>> {
+    /// Describe one request's evaluation through the split layer (a
+    /// [`Segment`]): whole input values typed with their split types,
+    /// one evaluation body, and a response formatter. The service's
+    /// **generic coalescer** concatenates key-identical requests'
+    /// inputs through each split type's [`Concat`] capability,
+    /// evaluates the leader's segment once over the combined values,
+    /// and slices every request's elements back out of the outputs —
+    /// no pipeline-specific concatenation code anywhere.
+    ///
+    /// Return `None` (the default) if the pipeline cannot express
+    /// itself as an element-preserving segment; such pipelines never
+    /// coalesce.
+    fn segment(&self, _req: &Request) -> Option<mozart_core::Result<Segment>> {
         None
     }
+}
+
+/// One input of a [`Segment`]: a whole value plus the split type whose
+/// [`Concat`] capability concatenates and slices values of its kind.
+pub struct SegmentInput {
+    /// The request's whole input value.
+    pub value: DataValue,
+    /// The input's split type. Coalescing requires
+    /// [`Splitter::concat`] to return a capability; element counts come
+    /// from `default_params` + `info`.
+    pub splitter: Arc<dyn Splitter>,
+}
+
+impl SegmentInput {
+    /// Pair a value with its split type.
+    pub fn new(value: DataValue, splitter: Arc<dyn Splitter>) -> SegmentInput {
+        SegmentInput { value, splitter }
+    }
+}
+
+/// Evaluation body of a [`Segment`]: pipeline over (possibly
+/// concatenated) inputs, returning fully materialized per-element
+/// outputs in declaration order.
+pub type SegmentEval =
+    Box<dyn FnOnce(&MozartContext, &[DataValue]) -> mozart_core::Result<Vec<DataValue>> + Send>;
+
+/// Response formatter of a [`Segment`]: this request's slice of each
+/// output (in [`Segment::outputs`] order) to a wire response.
+pub type SegmentRespond = Box<dyn FnOnce(&[DataValue]) -> mozart_core::Result<Response> + Send>;
+
+/// One request's evaluation expressed through the split layer — the
+/// unit the generic cross-request coalescer operates on.
+///
+/// Invariant the pipeline must uphold: the evaluation is
+/// **element-preserving** (output `i` covers exactly the elements of
+/// the inputs, in order), so a request's response can be computed from
+/// its element range of the outputs, bit-identically to a separate
+/// evaluation. Per-element operator chains (vector math, per-pixel
+/// image filters, per-row frame arithmetic) satisfy this; filters and
+/// whole-value reductions do not (put the reduction in `respond`,
+/// where it runs serially over the request's own slice).
+pub struct Segment {
+    /// Whole input values with their split types.
+    pub inputs: Vec<SegmentInput>,
+    /// Split types of the evaluation's outputs, used to slice each
+    /// request's elements back out of a coalesced evaluation.
+    pub outputs: Vec<Arc<dyn Splitter>>,
+    /// Decline coalescing when the combined element total would exceed
+    /// this bound (0 = unbounded); the members then evaluate
+    /// individually under the leader's admission slot.
+    pub max_total_elements: u64,
+    /// The evaluation body.
+    pub eval: SegmentEval,
+    /// The response formatter.
+    pub respond: SegmentRespond,
+}
+
+/// Run one request's [`Segment`] standalone — the single-request path
+/// of a segment-based pipeline. Evaluates over the request's own inputs
+/// and formats the whole (unsliced) outputs, which for an
+/// element-preserving evaluation equals the `[0, len)` slice a
+/// coalesced evaluation would hand back.
+pub fn run_segment(ctx: &MozartContext, segment: Segment) -> mozart_core::Result<Response> {
+    let inputs: Vec<DataValue> = segment.inputs.iter().map(|i| i.value.clone()).collect();
+    let outs = (segment.eval)(ctx, &inputs)?;
+    (segment.respond)(&outs)
 }
 
 /// Sizing knobs of a [`PipelineService`]; see
@@ -607,9 +681,10 @@ impl PipelineService {
         let result = if reqs.len() == 1 {
             handler.run(&ctx, &reqs[0]).map(|r| vec![r])
         } else {
-            match handler.run_coalesced(&ctx, &reqs) {
+            match coalesce_segments(&ctx, handler, &reqs) {
                 Some(r) => r,
-                // The pipeline declined (e.g. size bound): evaluate the
+                // The pipeline declined (no segment support, a missing
+                // Concat capability, or the size bound): evaluate the
                 // members individually under the one admission slot.
                 None => reqs.iter().map(|r| handler.run(&ctx, r)).collect(),
             }
@@ -655,6 +730,135 @@ impl PipelineService {
             }
         }
     }
+}
+
+/// The generic cross-request coalescer: evaluate several key-identical
+/// requests as **one** pipeline over split-layer-concatenated inputs
+/// and slice the outputs back per request.
+///
+/// Returns `None` to decline — the pipeline exposes no segments, an
+/// input's split type exposes no [`Concat`] capability, or the combined
+/// element total exceeds the leader's bound — in which case the caller
+/// evaluates the members individually. `Some(Err(..))` fails the whole
+/// batch (every member sees the error, exactly like a failing shared
+/// evaluation).
+fn coalesce_segments(
+    ctx: &MozartContext,
+    handler: &dyn Pipeline,
+    reqs: &[Request],
+) -> Option<mozart_core::Result<Vec<Response>>> {
+    let mut segments = Vec::with_capacity(reqs.len());
+    for req in reqs {
+        match handler.segment(req)? {
+            Ok(s) => segments.push(s),
+            // Joining is gated on a parseable coalesce key, so a
+            // member whose segment fails to build indicates a true
+            // evaluation-input failure; it fails the batch like any
+            // shared-evaluation error.
+            Err(e) => return Some(Err(e)),
+        }
+    }
+    coalesce_built_segments(ctx, segments).transpose()
+}
+
+/// The fallible core of [`coalesce_segments`], once every member's
+/// segment exists. `Ok(None)` means "decline".
+fn coalesce_built_segments(
+    ctx: &MozartContext,
+    segments: Vec<Segment>,
+) -> mozart_core::Result<Option<Vec<Response>>> {
+    let structural = |msg: String| mozart_core::Error::Library(format!("coalescing: {msg}"));
+    let arity = segments[0].inputs.len();
+    let out_arity = segments[0].outputs.len();
+    if segments
+        .iter()
+        .any(|s| s.inputs.len() != arity || s.outputs.len() != out_arity)
+    {
+        return Err(structural(
+            "key-identical requests produced segments of different arity".into(),
+        ));
+    }
+    if arity == 0 || out_arity == 0 {
+        return Ok(None);
+    }
+
+    // Per-member element counts, from the first input's split type.
+    // Every input of one request must cover the same element total (the
+    // stage element-agreement rule), so one probe per member suffices.
+    let mut counts = Vec::with_capacity(segments.len());
+    let mut offsets = Vec::with_capacity(segments.len());
+    let mut total = 0u64;
+    for s in &segments {
+        let input = &s.inputs[0];
+        let params = input.splitter.default_params(&input.value)?;
+        let info = input.splitter.info(&input.value, &params)?;
+        offsets.push(total);
+        counts.push(info.total_elements);
+        total = total.saturating_add(info.total_elements);
+    }
+    let bound = segments[0].max_total_elements;
+    if bound > 0 && total > bound {
+        return Ok(None); // size decline: fall back to per-request evaluation
+    }
+
+    // Concatenate each input position across members through the split
+    // type's Concat capability (the inverse of `split`).
+    let mut cat_inputs = Vec::with_capacity(arity);
+    for j in 0..arity {
+        let Some(cap) = segments[0].inputs[j].splitter.concat() else {
+            return Ok(None); // this input's type cannot concatenate
+        };
+        let values: Vec<DataValue> = segments.iter().map(|s| s.inputs[j].value.clone()).collect();
+        let (cat, cat_offsets) = cap.concat(&values)?;
+        if cat_offsets != offsets {
+            return Err(structural(format!(
+                "input {j} concatenated at offsets {cat_offsets:?}, expected \
+                 {offsets:?} (inputs of one request disagree on element counts)"
+            )));
+        }
+        cat_inputs.push(cat);
+    }
+
+    // Output slicers must exist before the evaluation runs, so a
+    // missing capability declines instead of wasting the work.
+    let out_caps: Vec<Arc<dyn Concat>> = {
+        let mut caps = Vec::with_capacity(out_arity);
+        for sp in &segments[0].outputs {
+            match sp.concat() {
+                Some(c) => caps.push(c),
+                None => return Ok(None),
+            }
+        }
+        caps
+    };
+
+    // One evaluation (the leader's body) over the combined inputs...
+    let mut responds = Vec::with_capacity(segments.len());
+    let mut eval = None;
+    for (i, seg) in segments.into_iter().enumerate() {
+        if i == 0 {
+            eval = Some(seg.eval);
+        }
+        responds.push(seg.respond);
+    }
+    let outs = (eval.expect("leader segment exists"))(ctx, &cat_inputs)?;
+    if outs.len() != out_arity {
+        return Err(structural(format!(
+            "evaluation returned {} outputs, segment declared {out_arity}",
+            outs.len()
+        )));
+    }
+
+    // ...then slice every member's element range back out.
+    let mut responses = Vec::with_capacity(responds.len());
+    for (i, respond) in responds.into_iter().enumerate() {
+        let mut sliced = Vec::with_capacity(out_arity);
+        for (out, cap) in outs.iter().zip(&out_caps) {
+            sliced.push(cap.slice_back(out, offsets[i], counts[i])?);
+        }
+        responses.push(respond(&sliced)?);
+    }
+    Ok(Some(responses))
 }
 
 /// Builder for [`PipelineService`].

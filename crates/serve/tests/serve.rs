@@ -282,10 +282,12 @@ fn coalesced_requests_match_separate_evaluation() {
     assert_eq!(stats.failed, 0);
 }
 
-/// Coalescing across haversine requests produces identical responses
-/// too (the second builtin coalescible pipeline).
-#[test]
-fn haversine_coalesces_identically() {
+/// Deterministic two-request coalescing through the generic split-layer
+/// path: while a stalled leader occupies the only admission slot, a
+/// leader + follower pair with fingerprint-identical requests coalesce,
+/// and both responses must equal what a coalescing-free service
+/// produces — bit for bit.
+fn assert_coalesces_identically(pipeline: &str, req_a: Request, req_b: Request) {
     let started = Arc::new(AtomicU64::new(0));
     let release = Arc::new(Barrier::new(2));
     let service = PipelineService::builder()
@@ -299,10 +301,9 @@ fn haversine_coalesces_identically() {
         }))
         .build();
     let reference = small_service(1);
-    let req_a = Request::new().with("n", 1024).with("seed", 5u64);
-    let req_b = Request::new().with("n", 1024).with("seed", 6u64);
-    let want_a = reference.session().call("haversine", &req_a).unwrap();
-    let want_b = reference.session().call("haversine", &req_b).unwrap();
+    let want_a = reference.session().call(pipeline, &req_a).unwrap();
+    let want_b = reference.session().call(pipeline, &req_b).unwrap();
+    assert_ne!(want_a, want_b, "different seeds, different checksums");
 
     std::thread::scope(|s| {
         let svc = service.clone();
@@ -312,13 +313,13 @@ fn haversine_coalesces_identically() {
         }
         let svc = service.clone();
         let ra = req_a.clone();
-        let leader = s.spawn(move || svc.session().call("haversine", &ra).unwrap());
+        let leader = s.spawn(move || svc.session().call(pipeline, &ra).unwrap());
         while service.stats().waiting == 0 {
             std::thread::sleep(Duration::from_millis(1));
         }
         let svc = service.clone();
         let rb = req_b.clone();
-        let follower = s.spawn(move || svc.session().call("haversine", &rb).unwrap());
+        let follower = s.spawn(move || svc.session().call(pipeline, &rb).unwrap());
         while service.stats().coalesce_waiting == 0 {
             std::thread::sleep(Duration::from_millis(1));
         }
@@ -327,7 +328,54 @@ fn haversine_coalesces_identically() {
         assert_eq!(leader.join().unwrap(), want_a);
         assert_eq!(follower.join().unwrap(), want_b);
     });
-    assert_eq!(service.stats().coalesced_requests, 1);
+    assert_eq!(
+        service.stats().coalesced_requests,
+        1,
+        "{pipeline}: the follower must ride the leader's evaluation"
+    );
+}
+
+/// Coalescing across haversine requests produces identical responses
+/// too (the second builtin coalescible pipeline).
+#[test]
+fn haversine_coalesces_identically() {
+    assert_coalesces_identically(
+        "haversine",
+        Request::new().with("n", 1024).with("seed", 5u64),
+        Request::new().with("n", 1024).with("seed", 6u64),
+    );
+}
+
+/// Image pipeline coalescing (v2 generic path): two photographs stack
+/// along the row axis through `ImageSplit`'s Concat capability,
+/// evaluate as one Nashville chain, and the sliced-back row bands
+/// summarize bit-identically to separate evaluations.
+#[test]
+fn nashville_coalesces_identically() {
+    assert_coalesces_identically(
+        "nashville",
+        Request::new()
+            .with("width", 96)
+            .with("height", 64)
+            .with("seed", 3u64),
+        Request::new()
+            .with("width", 96)
+            .with("height", 64)
+            .with("seed", 4u64),
+    );
+}
+
+/// DataFrame pipeline coalescing (v2 generic path): two statistics
+/// frames concatenate by rows through `RowSplit`'s Concat capability,
+/// the per-city scores evaluate once, and each request's rows sum back
+/// bit-identically to separate evaluations.
+#[test]
+fn crime_index_coalesces_identically() {
+    assert_coalesces_identically(
+        "crime_index",
+        Request::new().with("rows", 600).with("seed", 1u64),
+        Request::new().with("rows", 600).with("seed", 2u64),
+    );
 }
 
 #[test]

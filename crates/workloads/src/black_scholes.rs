@@ -37,33 +37,14 @@ pub fn generate(n: usize, seed: u64) -> Inputs {
     }
 }
 
-/// Concatenate several input sets end to end — the serving layer's
-/// cross-request coalescing evaluates fingerprint-identical requests as
-/// one pipeline over the concatenated inputs and splits the per-element
-/// outputs back per request.
-pub fn concat_inputs(parts: &[&Inputs]) -> Inputs {
-    let total: usize = parts.iter().map(|p| p.price.len()).sum();
-    let mut cat = Inputs {
-        price: Vec::with_capacity(total),
-        strike: Vec::with_capacity(total),
-        t: Vec::with_capacity(total),
-        rate: Vec::with_capacity(total),
-        vol: Vec::with_capacity(total),
-    };
-    for p in parts {
-        cat.price.extend_from_slice(&p.price);
-        cat.strike.extend_from_slice(&p.strike);
-        cat.t.extend_from_slice(&p.t);
-        cat.rate.extend_from_slice(&p.rate);
-        cat.vol.extend_from_slice(&p.vol);
-    }
-    cat
-}
-
 /// Summarize one request's slice of the (possibly concatenated) call
 /// and put price vectors. Serial summation over the slice, so a
 /// coalesced evaluation reproduces the separate evaluation's sums
 /// bit for bit (the per-element prices are positionally identical).
+///
+/// The concatenation itself is no longer done here: the serving layer
+/// coalesces requests generically through the splitting API's `Concat`
+/// capability (`ArraySplit`), so no per-pipeline input structs exist.
 pub fn summarize_range(call: &[f64], put: &[f64]) -> Summary {
     summarize(call, put)
 }
@@ -233,24 +214,34 @@ pub fn mkl_base(inp: &Inputs) -> Summary {
     summarize(&call, &put)
 }
 
-/// Mozart: the same 32-call in-place sequence through `sa-vectormath`.
+/// Mozart: the same in-place sequence (27 annotated vector calls)
+/// through `sa-vectormath`.
 pub fn mkl_mozart(inp: &Inputs, ctx: &MozartContext) -> Result<Summary> {
-    let (call, put) = mkl_mozart_vectors(inp, ctx)?;
-    Ok(summarize(&call, &put))
-}
-
-/// [`mkl_mozart`] returning the full call/put price vectors instead of
-/// their sums — the building block of cross-request coalescing, which
-/// needs per-element outputs to split a concatenated evaluation back
-/// into per-request summaries.
-pub fn mkl_mozart_vectors(inp: &Inputs, ctx: &MozartContext) -> Result<(Vec<f64>, Vec<f64>)> {
-    use sa_vectormath as sa;
-    let n = inp.price.len();
     let price = SharedVec::from_vec(inp.price.clone());
     let strike = SharedVec::from_vec(inp.strike.clone());
     let t = SharedVec::from_vec(inp.t.clone());
     let rate = SharedVec::from_vec(inp.rate.clone());
     let vol = SharedVec::from_vec(inp.vol.clone());
+    let (call, put) = mkl_chain(ctx, &price, &strike, &t, &rate, &vol)?;
+    // Reading forces evaluation (the protect-flag trigger).
+    Ok(summarize(call.as_slice(), put.as_slice()))
+}
+
+/// The annotated 27-call in-place chain over already-shared buffers,
+/// returning the (still lazy) call/put price vectors. The serving
+/// layer's generic coalescer hands in concatenated buffers and slices
+/// the per-element outputs back per request; reading the returned
+/// buffers forces evaluation.
+pub fn mkl_chain(
+    ctx: &MozartContext,
+    price: &SharedVec<f64>,
+    strike: &SharedVec<f64>,
+    t: &SharedVec<f64>,
+    rate: &SharedVec<f64>,
+    vol: &SharedVec<f64>,
+) -> Result<(SharedVec<f64>, SharedVec<f64>)> {
+    use sa_vectormath as sa;
+    let n = price.len();
     let d1: SharedVec<f64> = SharedVec::zeros(n);
     let d2: SharedVec<f64> = SharedVec::zeros(n);
     let tmp: SharedVec<f64> = SharedVec::zeros(n);
@@ -259,15 +250,15 @@ pub fn mkl_mozart_vectors(inp: &Inputs, ctx: &MozartContext) -> Result<(Vec<f64>
     let call: SharedVec<f64> = SharedVec::zeros(n);
     let put: SharedVec<f64> = SharedVec::zeros(n);
 
-    sa::vd_sqr(ctx, n, &vol, &tmp)?;
+    sa::vd_sqr(ctx, n, vol, &tmp)?;
     sa::vd_scale(ctx, n, &tmp, 0.5, &tmp)?;
-    sa::vd_add(ctx, n, &tmp, &rate, &tmp)?;
-    sa::vd_sqrt(ctx, n, &t, &vol_sqrt)?;
-    sa::vd_mul(ctx, n, &vol_sqrt, &vol, &vol_sqrt)?;
-    sa::vd_div(ctx, n, &price, &strike, &d1)?;
+    sa::vd_add(ctx, n, &tmp, rate, &tmp)?;
+    sa::vd_sqrt(ctx, n, t, &vol_sqrt)?;
+    sa::vd_mul(ctx, n, &vol_sqrt, vol, &vol_sqrt)?;
+    sa::vd_div(ctx, n, price, strike, &d1)?;
     sa::vd_shift(ctx, n, &d1, -1.0, &d1)?;
     sa::vd_log1p(ctx, n, &d1, &d1)?;
-    sa::vd_mul(ctx, n, &tmp, &t, &tmp)?;
+    sa::vd_mul(ctx, n, &tmp, t, &tmp)?;
     sa::vd_add(ctx, n, &d1, &tmp, &d1)?;
     sa::vd_div(ctx, n, &d1, &vol_sqrt, &d1)?;
     sa::vd_sub(ctx, n, &d1, &vol_sqrt, &d2)?;
@@ -277,21 +268,17 @@ pub fn mkl_mozart_vectors(inp: &Inputs, ctx: &MozartContext) -> Result<(Vec<f64>
         sa::vd_scale(ctx, n, d, 0.5, d)?;
         sa::vd_shift(ctx, n, d, 0.5, d)?;
     }
-    sa::vd_mul(ctx, n, &rate, &t, &e_rt)?;
+    sa::vd_mul(ctx, n, rate, t, &e_rt)?;
     sa::vd_neg(ctx, n, &e_rt, &e_rt)?;
     sa::vd_exp(ctx, n, &e_rt, &e_rt)?;
-    sa::vd_mul(ctx, n, &price, &d1, &call)?;
-    sa::vd_mul(ctx, n, &e_rt, &strike, &tmp)?;
+    sa::vd_mul(ctx, n, price, &d1, &call)?;
+    sa::vd_mul(ctx, n, &e_rt, strike, &tmp)?;
     sa::vd_mul(ctx, n, &tmp, &d2, &tmp)?;
     sa::vd_sub(ctx, n, &call, &tmp, &call)?;
-    sa::vd_mul(ctx, n, &e_rt, &strike, &put)?;
-    sa::vd_sub(ctx, n, &put, &price, &put)?;
+    sa::vd_mul(ctx, n, &e_rt, strike, &put)?;
+    sa::vd_sub(ctx, n, &put, price, &put)?;
     sa::vd_add(ctx, n, &put, &call, &put)?;
-
-    // Reading forces evaluation (the protect-flag trigger).
-    let c = call.to_vec();
-    let p = put.to_vec();
-    Ok((c, p))
+    Ok((call, put))
 }
 
 /// Fused (compiler stand-in).

@@ -76,6 +76,48 @@ pub fn mozart(df: &DataFrame, ctx: &MozartContext) -> Result<Summary> {
     })
 }
 
+/// Mozart, row-preserving variant for the serving layer: score every
+/// city (no big-city filter) and return the clamped per-row index
+/// column. Each output row depends only on its own input row, so the
+/// generic coalescer can evaluate several requests' frames as one
+/// row-concatenated frame and slice the scores back per request.
+pub fn score_mozart(df: &DataFrame, ctx: &MozartContext) -> Result<Column> {
+    use sa_dataframe as sa;
+    let tp = sa::col(ctx, df, "total_population")?;
+    let adult = sa::col(ctx, df, "adult_population")?;
+    let rob = sa::col(ctx, df, "num_robberies")?;
+    let index = {
+        let a = sa::div(ctx, &adult, &tp)?;
+        let r = sa::div(ctx, &rob, &tp)?;
+        let r2 = sa::mul_scalar(ctx, &r, 2.0)?;
+        sa::sub(ctx, &a, &r2)?
+    };
+    let clamped = {
+        let hi = sa::gt_scalar(ctx, &index, 1.0)?;
+        let c1 = sa::mask_assign(ctx, &index, &hi, 1.0)?;
+        let lo = sa::lt_scalar(ctx, &c1, 0.0)?;
+        sa::mask_assign(ctx, &c1, &lo, 0.0)?
+    };
+    sa::get_col(&clamped)
+}
+
+/// The eager reference for [`score_mozart`], used by tests.
+pub fn score_base(df: &DataFrame) -> Column {
+    use dataframe::ops;
+    let tp = df.col("total_population");
+    let index = ops::sub(
+        &ops::div(df.col("adult_population"), tp),
+        &ops::mul_scalar(&ops::div(df.col("num_robberies"), tp), 2.0),
+    );
+    Column::from_f64(
+        index
+            .f64s()
+            .iter()
+            .map(|x| x.clamp(0.0, 1.0))
+            .collect::<Vec<_>>(),
+    )
+}
+
 /// Fused (compiler stand-in).
 pub fn fused(df: &DataFrame, threads: usize) -> Summary {
     Summary {
@@ -92,6 +134,16 @@ pub fn fused(df: &DataFrame, threads: usize) -> Summary {
 mod tests {
     use super::*;
     use crate::close;
+
+    #[test]
+    fn row_preserving_score_matches_eager() {
+        let df = generate(1500, 23);
+        let ctx = crate::mozart_context(2);
+        let m = score_mozart(&df, &ctx).unwrap();
+        let b = score_base(&df);
+        assert_eq!(m.f64s(), b.f64s(), "per-row scores must match exactly");
+        assert_eq!(m.len(), df.num_rows(), "row-preserving: one score per city");
+    }
 
     #[test]
     fn all_modes_agree() {

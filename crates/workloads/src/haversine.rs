@@ -24,22 +24,6 @@ pub fn generate(n: usize, seed: u64) -> Inputs {
     Inputs { lat, lon }
 }
 
-/// Concatenate several input sets end to end (serving-layer
-/// cross-request coalescing; see
-/// [`black_scholes::concat_inputs`](crate::black_scholes::concat_inputs)).
-pub fn concat_inputs(parts: &[&Inputs]) -> Inputs {
-    let total: usize = parts.iter().map(|p| p.lat.len()).sum();
-    let mut cat = Inputs {
-        lat: Vec::with_capacity(total),
-        lon: Vec::with_capacity(total),
-    };
-    for p in parts {
-        cat.lat.extend_from_slice(&p.lat);
-        cat.lon.extend_from_slice(&p.lon);
-    }
-    cat
-}
-
 /// Result summary: checksum of distances.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
@@ -142,30 +126,34 @@ pub fn mkl_base(inp: &Inputs) -> Summary {
     }
 }
 
-/// Register the annotated 16-call in-place distance chain on `ctx` and
-/// return the (still lazy) output vector `a`. Shared by
-/// [`mkl_mozart`] (which appends the annotated `dasum` reduction) and
-/// [`mkl_mozart_distances`] (which materializes the per-coordinate
-/// distances) so the pipeline body exists exactly once.
-fn register_mkl_chain(inp: &Inputs, ctx: &MozartContext) -> Result<SharedVec<f64>> {
+/// Register the annotated 16-call in-place distance chain on `ctx`
+/// over already-shared coordinate buffers and return the (still lazy)
+/// per-coordinate distance vector. Shared by [`mkl_mozart`] (which
+/// appends the annotated `dasum` reduction) and the serving layer,
+/// whose generic coalescer hands in concatenated buffers and slices
+/// the distances back per request; reading the returned buffer forces
+/// evaluation.
+pub fn mkl_chain(
+    ctx: &MozartContext,
+    lat: &SharedVec<f64>,
+    lon: &SharedVec<f64>,
+) -> Result<SharedVec<f64>> {
     use sa_vectormath as sa;
-    let n = inp.lat.len();
-    let lat = SharedVec::from_vec(inp.lat.clone());
-    let lon = SharedVec::from_vec(inp.lon.clone());
+    let n = lat.len();
     let ones = SharedVec::from_vec(vec![1.0; n]);
     let a: SharedVec<f64> = SharedVec::zeros(n);
     let b: SharedVec<f64> = SharedVec::zeros(n);
     let c: SharedVec<f64> = SharedVec::zeros(n);
 
-    sa::vd_shift(ctx, n, &lat, -LAT1, &a)?;
+    sa::vd_shift(ctx, n, lat, -LAT1, &a)?;
     sa::vd_scale(ctx, n, &a, 0.5, &a)?;
     sa::vd_sin(ctx, n, &a, &a)?;
     sa::vd_sqr(ctx, n, &a, &a)?;
-    sa::vd_shift(ctx, n, &lon, -LON1, &b)?;
+    sa::vd_shift(ctx, n, lon, -LON1, &b)?;
     sa::vd_scale(ctx, n, &b, 0.5, &b)?;
     sa::vd_sin(ctx, n, &b, &b)?;
     sa::vd_sqr(ctx, n, &b, &b)?;
-    sa::vd_cos(ctx, n, &lat, &c)?;
+    sa::vd_cos(ctx, n, lat, &c)?;
     sa::vd_mul(ctx, n, &b, &c, &b)?;
     sa::vd_scale(ctx, n, &b, LAT1.cos(), &b)?;
     sa::vd_add(ctx, n, &a, &b, &a)?;
@@ -176,23 +164,13 @@ fn register_mkl_chain(inp: &Inputs, ctx: &MozartContext) -> Result<SharedVec<f64
     Ok(a)
 }
 
-/// Mozart MKL: the annotated in-place pipeline, returning the full
-/// per-coordinate distance vector instead of its sum. Used by the
-/// serving layer, whose cross-request coalescing splits a concatenated
-/// evaluation's distances back per request; the sums are then taken
-/// serially per slice, so coalesced and separate evaluations produce
-/// bit-identical responses.
-pub fn mkl_mozart_distances(inp: &Inputs, ctx: &MozartContext) -> Result<Vec<f64>> {
-    let a = register_mkl_chain(inp, ctx)?;
-    // Reading forces evaluation (the protect-flag trigger).
-    Ok(a.to_vec())
-}
-
 /// Mozart MKL: the same in-place sequence, annotated, ending in the
 /// annotated `dasum` reduction (distances are non-negative).
 pub fn mkl_mozart(inp: &Inputs, ctx: &MozartContext) -> Result<Summary> {
     use sa_vectormath as sa;
-    let a = register_mkl_chain(inp, ctx)?;
+    let lat = SharedVec::from_vec(inp.lat.clone());
+    let lon = SharedVec::from_vec(inp.lon.clone());
+    let a = mkl_chain(ctx, &lat, &lon)?;
     let total = sa::dasum(ctx, &a)?;
     let dv = total.get()?;
     Ok(Summary {

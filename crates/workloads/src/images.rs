@@ -36,6 +36,15 @@ pub fn nashville_base(img: &Image) -> Summary {
 
 /// Mozart Nashville: the chain through `sa-image`, pipelined per band.
 pub fn nashville_mozart(img: &Image, ctx: &MozartContext) -> Result<Summary> {
+    Ok(summarize(&nashville_mozart_image(img, ctx)?))
+}
+
+/// [`nashville_mozart`] returning the full filtered image instead of
+/// its summary — the serving layer's generic coalescer stacks several
+/// requests' photographs along the row axis, runs this chain once, and
+/// slices each request's rows back out (every filter is per-pixel, so
+/// the band boundaries are invisible in the output).
+pub fn nashville_mozart_image(img: &Image, ctx: &MozartContext) -> Result<Image> {
     use sa_image as sa;
     // Rebind with `=` (not shadowing) so each intermediate handle drops
     // as soon as the next call captures it: only the final image is
@@ -47,7 +56,15 @@ pub fn nashville_mozart(img: &Image, ctx: &MozartContext) -> Result<Summary> {
     t = sa::colortone(ctx, &t, [0.97, 0.85, 0.68], true)?;
     t = sa::gamma(ctx, &t, 1.2)?;
     t = sa::modulate(ctx, &t, 100.0, 150.0, 100.0)?;
-    Ok(summarize(&sa::get_image(&t)?))
+    sa::get_image(&t)
+}
+
+/// Mean channel value of an image (the per-request response checksum
+/// used by the serving layer; serial over the image's own rows, so a
+/// sliced-back coalesced band summarizes bit-identically to a separate
+/// evaluation).
+pub fn image_mean(img: &Image) -> f64 {
+    summarize(img).mean
 }
 
 /// Fused Nashville (compiler stand-in).

@@ -18,7 +18,7 @@
 //!
 //! ```text
 //! > LIST
-//! OK black_scholes haversine nashville
+//! OK black_scholes crime_index haversine nashville
 //! > WEIGHT 2
 //! OK weight=2
 //! > BUDGET 500000000
@@ -26,7 +26,7 @@
 //! > black_scholes n=4096
 //! OK call_sum=47332.145277 put_sum=39160.581264
 //! > STATS
-//! OK started=1 completed=1 rejected=0 failed=0 over_budget=0 coalesced=0 ...
+//! OK started=1 completed=1 rejected=0 failed=0 over_budget=0 coalesced_requests=0 coalesce_waiting=0 ...
 //! > QUIT
 //! OK bye
 //! ```
@@ -34,7 +34,11 @@
 //! `WEIGHT` sets the connection session's fair-share weight (deficit-
 //! weighted scheduling on the shared pool); `BUDGET` caps the bytes the
 //! session may split/merge before requests are shed with
-//! `ERR over_budget` (0 = unlimited).
+//! `ERR over_budget` (0 = unlimited). `STATS` reports the generic
+//! cross-request coalescer's counters (`coalesced_requests` served as
+//! followers so far, `coalesce_waiting` parked in open batches right
+//! now), so operators can observe coalescing without attaching a
+//! debugger.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -135,15 +139,16 @@ fn serve_connection(stream: TcpStream, service: &PipelineService) -> std::io::Re
 fn stats_body(service: &PipelineService) -> String {
     let s = service.stats();
     format!(
-        "started={} completed={} rejected={} failed={} over_budget={} coalesced={} \
-         sessions={} inflight={} plan_hits={} plan_misses={} plan_entries={} \
-         pool_workers={} pool_jobs={}",
+        "started={} completed={} rejected={} failed={} over_budget={} \
+         coalesced_requests={} coalesce_waiting={} sessions={} inflight={} \
+         plan_hits={} plan_misses={} plan_entries={} pool_workers={} pool_jobs={}",
         s.started,
         s.completed,
         s.rejected,
         s.failed,
         s.over_budget,
         s.coalesced_requests,
+        s.coalesce_waiting,
         s.sessions,
         s.inflight,
         s.plan_cache.hits,
@@ -165,6 +170,8 @@ fn run_self_test(addr: std::net::SocketAddr) {
         ("black_scholes n=2048", false),
         ("black_scholes n=2048", false), // identical: plan-cache replay
         ("haversine n=1024 seed=3", false),
+        ("nashville width=64 height=48", false),
+        ("crime_index rows=512", false),
         ("no_such_pipeline", true),
         ("black_scholes n=abc", true),
         ("black_scholes n=2048 n=4096", true), // duplicate key rejected

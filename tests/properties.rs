@@ -2,6 +2,10 @@
 //! splitting API invariants:
 //!
 //! * split → merge round-trips the value for every split type;
+//! * split → concat round-trips the value (and its offsets) for every
+//!   registered splitter exposing the v2 `Concat` capability — the
+//!   inverse-of-split law the serving layer's generic cross-request
+//!   coalescing relies on;
 //! * `F(a, b, ...) = Merge(F(a1, b1, ...), F(a2, b2, ...), ...)` for
 //!   annotated functions under arbitrary split points;
 //! * Mozart execution equals eager library execution for arbitrary
@@ -41,7 +45,7 @@ proptest! {
         if (cut as usize) < n {
             pieces.push(splitter.split(&dv, cut..n as u64, &params).unwrap().unwrap());
         }
-        let merged = splitter.merge(pieces, &params).unwrap();
+        let merged = splitter.merge(pieces, &params, n as u64).unwrap();
         let v = merged.downcast_ref::<VecValue>().unwrap();
         prop_assert_eq!(v.0.to_vec(), data);
     }
@@ -68,7 +72,7 @@ proptest! {
                 pieces.push(splitter.split(&dv, w[0] as u64..w[1] as u64, &params).unwrap().unwrap());
             }
         }
-        let merged = splitter.merge(pieces, &params).unwrap();
+        let merged = splitter.merge(pieces, &params, n as u64).unwrap();
         let out = merged.downcast_ref::<sa_dataframe::DfValue>().unwrap();
         prop_assert_eq!(out.0.col("v").f64s(), df.col("v").f64s());
         prop_assert_eq!(out.0.col("id").i64s(), df.col("id").i64s());
@@ -148,6 +152,144 @@ proptest! {
         let got = fut.get().unwrap().downcast_ref::<FloatValue>().unwrap().0;
         let expect: f64 = data.iter().map(|v| v * 2.0).sum();
         prop_assert!((got - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+    }
+}
+
+/// Random cut points over `[0, n]`, always containing 0 and n.
+fn cut_points(n: usize, cuts: Vec<usize>) -> Vec<usize> {
+    let mut points: Vec<usize> = cuts.into_iter().map(|c| c % (n + 1)).collect();
+    points.push(0);
+    points.push(n);
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+/// The split → concat round-trip law for one splitter and one value:
+/// splitting at arbitrary points and concatenating the whole pieces
+/// reproduces the value's elements, the reported offsets equal the cut
+/// starts, and `slice_back` recovers each piece from the concatenated
+/// value. Equality is checked through `extract`, a per-type element
+/// projection.
+fn check_split_concat_roundtrip<T: Eq + std::fmt::Debug>(
+    splitter: &dyn Splitter,
+    value: &DataValue,
+    points: &[usize],
+    extract: impl Fn(&DataValue) -> T,
+) {
+    let cap = splitter
+        .concat()
+        .expect("splitter under test exposes Concat");
+    let params = splitter.default_params(value).unwrap();
+    let mut pieces = Vec::new();
+    let mut starts = Vec::new();
+    for w in points.windows(2) {
+        if w[0] < w[1] {
+            starts.push(w[0] as u64);
+            pieces.push(
+                splitter
+                    .split(value, w[0] as u64..w[1] as u64, &params)
+                    .unwrap()
+                    .unwrap(),
+            );
+        }
+    }
+    // split pieces are whole values of the same data type, so concat —
+    // the inverse of split — must glue them back together exactly.
+    let (cat, offsets) = cap.concat(&pieces).unwrap();
+    prop_assert_eq!(&offsets, &starts, "concat offsets are the cut starts");
+    prop_assert_eq!(extract(&cat), extract(value), "concat(split(v)) == v");
+    // ...and slice_back must recover each piece from the whole.
+    for (piece, w) in pieces.iter().zip(points.windows(2).filter(|w| w[0] < w[1])) {
+        let back = cap
+            .slice_back(&cat, w[0] as u64, (w[1] - w[0]) as u64)
+            .unwrap();
+        prop_assert_eq!(
+            extract(&back),
+            extract(piece),
+            "slice_back recovers the piece"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ArraySplit (VecValue buffers): split → concat round trip.
+    #[test]
+    fn array_split_concat_roundtrip(data in prop::collection::vec(-1e6f64..1e6, 1..160), cuts in prop::collection::vec(0usize..160, 0..5)) {
+        // Rebuild each aliasing SliceView piece as an owned buffer
+        // first: concat accepts both, and mixing exercises the copy
+        // path the serving layer's coalescer uses.
+        let n = data.len();
+        let dv = DataValue::new(VecValue(SharedVec::from_vec(data)));
+        check_split_concat_roundtrip(&ArraySplit, &dv, &cut_points(n, cuts), |v| {
+            if let Some(v) = v.downcast_ref::<VecValue>() {
+                return v.0.to_vec().iter().map(|f| f.to_bits()).collect::<Vec<u64>>();
+            }
+            let v = v.downcast_ref::<SliceView>().unwrap();
+            // SAFETY: single-threaded test, no concurrent mutation.
+            unsafe { v.as_slice() }.iter().map(|f| f.to_bits()).collect()
+        });
+    }
+
+    /// NdSplit (rank-1 and rank-2 arrays): split → concat round trip.
+    #[test]
+    fn nd_split_concat_roundtrip(rows in 1usize..80, colsel in 0usize..4, cuts in prop::collection::vec(0usize..80, 0..5)) {
+        let arr = match colsel {
+            0 => ndarray_lite::NdArray::from_fn(&[rows], |i| i as f64 * 1.5),
+            c => ndarray_lite::NdArray::from_fn(&[rows, c], |i| i as f64 - 7.0),
+        };
+        let dv = DataValue::new(sa_ndarray::NdValue(arr));
+        check_split_concat_roundtrip(&sa_ndarray::NdSplit, &dv, &cut_points(rows, cuts), |v| {
+            let a = &v.downcast_ref::<sa_ndarray::NdValue>().unwrap().0;
+            (a.shape().to_vec(), a.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<u64>>())
+        });
+    }
+
+    /// RowSplit (frames with mixed dtypes): split → concat round trip.
+    #[test]
+    fn row_split_concat_roundtrip(vals in prop::collection::vec(-1e3f64..1e3, 1..100), cuts in prop::collection::vec(0usize..100, 0..5)) {
+        let n = vals.len();
+        let df = DataFrame::from_cols(vec![
+            ("id", Column::from_i64((0..n as i64).collect())),
+            ("v", Column::from_f64(vals)),
+        ]);
+        let dv = sa_dataframe::dfv(&df);
+        check_split_concat_roundtrip(&sa_dataframe::RowSplit, &dv, &cut_points(n, cuts), |v| {
+            let d = &v.downcast_ref::<sa_dataframe::DfValue>().unwrap().0;
+            (
+                d.col("id").i64s().to_vec(),
+                d.col("v").f64s().iter().map(|f| f.to_bits()).collect::<Vec<u64>>(),
+            )
+        });
+        // Columns carry the same split type; round-trip those too.
+        let col = Column::from_f64((0..n).map(|i| i as f64 * 0.25).collect());
+        let cv = sa_dataframe::colv(&col);
+        check_split_concat_roundtrip(&sa_dataframe::RowSplit, &cv, &cut_points(n, vec![n / 2]), |v| {
+            v.downcast_ref::<sa_dataframe::ColValue>().unwrap().0.f64s().to_vec().iter().map(|f| f.to_bits()).collect::<Vec<u64>>()
+        });
+    }
+
+    /// ImageSplit (row bands): split → concat round trip.
+    #[test]
+    fn image_split_concat_roundtrip(w in 1usize..24, h in 1usize..40, seed in 0u64..64, cuts in prop::collection::vec(0usize..40, 0..4)) {
+        let img = imagelib::Image::synthetic(w, h, seed);
+        let dv = DataValue::new(sa_image::ImgValue(img));
+        check_split_concat_roundtrip(&sa_image::ImageSplit, &dv, &cut_points(h, cuts), |v| {
+            let i = &v.downcast_ref::<sa_image::ImgValue>().unwrap().0;
+            (i.width(), i.height(), i.data().iter().map(|f| f.to_bits()).collect::<Vec<u32>>())
+        });
+    }
+
+    /// CorpusSplit (documents): split → concat round trip.
+    #[test]
+    fn corpus_split_concat_roundtrip(docs in prop::collection::vec("[a-z ]{0,20}", 1..60), cuts in prop::collection::vec(0usize..60, 0..4)) {
+        let n = docs.len();
+        let dv = sa_text::corpus(&docs);
+        check_split_concat_roundtrip(&sa_text::CorpusSplit, &dv, &cut_points(n, cuts), |v| {
+            v.downcast_ref::<sa_text::CorpusValue>().unwrap().0.as_ref().clone()
+        });
     }
 }
 
