@@ -31,6 +31,13 @@
 //!   Queued requests must coalesce (`coalesced_requests > 0` is
 //!   asserted — the CI smoke gate) and every response must equal its
 //!   separately-evaluated reference.
+//! * **Fault recovery**: the same closed-loop load against a service
+//!   whose session config carries a seeded [`mozart_core::FaultPlan`]
+//!   injecting task-phase panics (plus one deterministic panic so even
+//!   smoke runs see a fault). Every faulted request must recover through
+//!   the retry layer with a bit-identical response, no request may fail,
+//!   and on runs of ≥ 40 requests the faulty wall time must stay within
+//!   1.3x of the fault-free wall time.
 //!
 //! Env knobs: `MOZART_SERVE_CLIENTS` (default 4),
 //! `MOZART_SERVE_REQUESTS` per client (default 60, scaled by
@@ -42,7 +49,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mozart_bench::{write_results, BenchOpts};
-use mozart_core::{Config, MozartContext};
+use mozart_core::{Config, FaultKind, FaultPhase, FaultPlan, FaultPoint, MozartContext};
 use mozart_serve::{PipelineService, Request};
 use workloads::black_scholes as bs;
 
@@ -337,6 +344,101 @@ fn coalescing_run(
     }
 }
 
+/// Result of the fault-recovery phase.
+struct FaultRecovery {
+    requests: u64,
+    injected: u64,
+    retries: u64,
+    clean_wall: Duration,
+    faulty_wall: Duration,
+    checksums_ok: bool,
+}
+
+impl FaultRecovery {
+    fn overhead_ratio(&self) -> f64 {
+        self.faulty_wall.as_secs_f64() / self.clean_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Drive the closed-loop load twice — fault-free, then with a seeded
+/// task-panic plan — and compare wall time. The per-check rate is tiny
+/// (panics are injected per *batch boundary check*, of which a request
+/// has hundreds), so roughly a percent of requests hit a fault; one
+/// deterministic extra point guarantees at least one fault even on
+/// smoke-sized runs.
+fn fault_recovery_run(
+    clients: usize,
+    requests: usize,
+    n: usize,
+    session_config: &Config,
+) -> FaultRecovery {
+    mozart_core::faultinject::silence_injected_panics();
+    let want = reference_body(n, 42);
+    let run = |plan: Option<Arc<FaultPlan>>| {
+        let mut cfg = session_config.clone();
+        cfg.fault_plan = plan;
+        let service = PipelineService::builder()
+            .workers(WORKERS)
+            .max_inflight(clients)
+            .queue_depth(2 * clients)
+            .max_retries(4)
+            .retry_backoff_ms(1)
+            .session_config(cfg)
+            .coalescing(false)
+            .builtin_pipelines()
+            .build();
+        let sessions: Vec<_> = (0..clients).map(|_| service.session()).collect();
+        // Warm inputs + plan cache outside the measured window (the
+        // warmup itself may hit the deterministic fault and recover).
+        sessions[0]
+            .call(
+                "black_scholes",
+                &Request::new().with("n", n).with("seed", 42u64),
+            )
+            .expect("fault-recovery warmup");
+        let ok = Arc::new(AtomicBool::new(true));
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for session in &sessions {
+                let ok = ok.clone();
+                let want = &want;
+                let req = Request::new().with("n", n).with("seed", 42u64);
+                s.spawn(move || {
+                    for _ in 0..requests {
+                        // No request may fail: every injected panic must
+                        // be absorbed by the retry layer.
+                        let resp = session
+                            .call("black_scholes", &req)
+                            .expect("fault-recovery request");
+                        if resp.body != *want {
+                            ok.store(false, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let wall = t0.elapsed();
+        let stats = service.stats();
+        assert_eq!(stats.failed, 0, "no request may fail under injection");
+        (wall, stats, ok.load(Ordering::Relaxed))
+    };
+
+    let (clean_wall, _, clean_ok) = run(None);
+    let plan = Arc::new(
+        FaultPlan::seeded(0xFA17, 50, Some(FaultPhase::Task), FaultKind::Panic)
+            .point(FaultPoint::once(FaultPhase::Task, FaultKind::Panic)),
+    );
+    let (faulty_wall, stats, faulty_ok) = run(Some(plan.clone()));
+    FaultRecovery {
+        requests: (clients * requests) as u64,
+        injected: plan.fired(),
+        retries: stats.retries,
+        clean_wall,
+        faulty_wall,
+        checksums_ok: clean_ok && faulty_ok,
+    }
+}
+
 fn main() {
     let opts = BenchOpts::from_env();
     let clients = std::env::var("MOZART_SERVE_CLIENTS")
@@ -551,6 +653,35 @@ fn main() {
         "coalesced image responses must match separate evaluation"
     );
 
+    // ---- Fault recovery: seeded panics absorbed by the retry layer ----
+    let fr = fault_recovery_run(clients, requests, n, &session_config);
+    let fr_ratio = fr.overhead_ratio();
+    // Wall-clock noise dominates tiny runs; the 1.3x bar is only
+    // meaningful with a reasonable request count.
+    let fr_ratio_asserted = fr.requests >= 40;
+    println!(
+        "fault recovery: {} requests, {} injected faults, {} retries, \
+         clean {:.3}s vs faulty {:.3}s (ratio {:.3}), checksums_ok={}",
+        fr.requests,
+        fr.injected,
+        fr.retries,
+        fr.clean_wall.as_secs_f64(),
+        fr.faulty_wall.as_secs_f64(),
+        fr_ratio,
+        fr.checksums_ok
+    );
+    assert!(fr.injected >= 1, "the seeded plan must fire at least once");
+    assert!(
+        fr.checksums_ok,
+        "recovered responses must be bit-identical to fault-free responses"
+    );
+    if fr_ratio_asserted {
+        assert!(
+            fr_ratio <= 1.3,
+            "fault recovery overhead {fr_ratio:.3}x exceeds the 1.3x bar"
+        );
+    }
+
     // ---- JSON snapshot ----
     let mut json = String::from("{\n  \"figure\": \"serve_throughput\",\n");
     json.push_str(&format!(
@@ -611,12 +742,26 @@ fn main() {
         co_img.requests, co_img.coalesced, co_img.checksums_ok
     ));
     json.push_str(&format!(
+        "  \"fault_recovery\": {{ \"requests\": {}, \"injected_faults\": {}, \
+         \"retries\": {}, \"clean_wall_seconds\": {:.6}, \"faulty_wall_seconds\": {:.6}, \
+         \"overhead_ratio\": {fr_ratio:.4}, \"ratio_asserted\": {fr_ratio_asserted}, \
+         \"checksums_ok\": {} }},\n",
+        fr.requests,
+        fr.injected,
+        fr.retries,
+        fr.clean_wall.as_secs_f64(),
+        fr.faulty_wall.as_secs_f64(),
+        fr.checksums_ok
+    ));
+    json.push_str(&format!(
         "  \"acceptance\": {{ \"service_beats_independent\": {service_wins}, \
          \"hit_rate_gt_90\": {hit_rate_ok}, \"cold_entitled_share\": {entitled:.4}, \
          \"cold_within_2x_of_entitled_share\": {cold_within_2x}, \
-         \"coalesced_nonzero\": {}, \"image_coalesced_nonzero\": {} }}\n}}\n",
+         \"coalesced_nonzero\": {}, \"image_coalesced_nonzero\": {}, \
+         \"fault_recovery_within_1_3x\": {} }}\n}}\n",
         co.coalesced > 0,
-        co_img.coalesced > 0
+        co_img.coalesced > 0,
+        !fr_ratio_asserted || fr_ratio <= 1.3
     ));
     write_results("BENCH_serve.json", &json);
     println!("wrote bench_results/BENCH_serve.json");

@@ -45,6 +45,12 @@ pub struct Config {
     pub pedantic: bool,
     /// Log every function call on every split piece (§7.1 debugging aid).
     pub log_calls: bool,
+    /// Deterministic fault-injection schedule
+    /// ([`FaultPlan`](crate::faultinject::FaultPlan)); `None` (the
+    /// default) means no injection and costs one branch per batch
+    /// phase. Shared via `Arc` so clones of the config (e.g. every
+    /// request context of a serving session) draw from one budget.
+    pub fault_plan: Option<std::sync::Arc<crate::faultinject::FaultPlan>>,
 }
 
 impl Default for Config {
@@ -59,6 +65,7 @@ impl Default for Config {
             placement_merge: true,
             pedantic: cfg!(debug_assertions),
             log_calls: false,
+            fault_plan: None,
         }
     }
 }
@@ -178,6 +185,7 @@ mod tests {
             placement_merge: true,
             pedantic: true,
             log_calls: false,
+            fault_plan: None,
         }
     }
 

@@ -47,6 +47,10 @@ struct State {
     /// Session tag for shared-pool fairness accounting; defaults to the
     /// context id.
     session_tag: u64,
+    /// Cooperative cancellation token
+    /// ([`MozartContext::set_cancel_token`]): workers poll it at batch
+    /// boundaries and abandon the evaluation with [`Error::Cancelled`].
+    cancel: Option<Arc<crate::faultinject::CancelToken>>,
     /// Values whose storage is protected pending evaluation.
     protected: Vec<DataValue>,
     /// First evaluation error, if any, reported to later accessors.
@@ -102,6 +106,7 @@ impl MozartContext {
                     attached_pool: None,
                     plan_cache: None,
                     session_tag: id,
+                    cancel: None,
                     protected: Vec::new(),
                     poisoned,
                 }),
@@ -141,6 +146,20 @@ impl MozartContext {
     /// per client, not per short-lived context.
     pub fn set_session_tag(&self, session: u64) -> &Self {
         self.inner.state.lock().session_tag = session;
+        self
+    }
+
+    /// Attach a cooperative cancellation token (see
+    /// [`CancelToken`](crate::faultinject::CancelToken)). Every stage
+    /// executed after this call polls the token at its batch-claim
+    /// boundaries: once the token is cancelled — explicitly or because
+    /// its deadline passed — the evaluation stops claiming batches and
+    /// fails with [`Error::Cancelled`] (poisoning this context like any
+    /// other execution failure). Serving layers attach a
+    /// deadline-carrying token per request so shed requests stop
+    /// burning pool time mid-evaluation.
+    pub fn set_cancel_token(&self, token: Arc<crate::faultinject::CancelToken>) -> &Self {
+        self.inner.state.lock().cancel = Some(token);
         self
     }
 
@@ -513,10 +532,20 @@ fn execute_locked(
         pool,
         attached_pool,
         session_tag,
+        cancel,
         ..
     } = st;
     let pool = attached_pool.as_ref().or(pool.as_ref()).map(|h| &**h);
-    if let Err(e) = execute_stage(graph, stage, config, stats, pool, *session_tag, deferred) {
+    if let Err(e) = execute_stage(
+        graph,
+        stage,
+        config,
+        stats,
+        pool,
+        *session_tag,
+        cancel.as_ref(),
+        deferred,
+    ) {
         st.poisoned = Some(e.clone());
         return Err(e);
     }

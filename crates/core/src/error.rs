@@ -60,6 +60,29 @@ pub enum Error {
     Pedantic(String),
     /// The annotated library function itself reported a failure.
     Library(String),
+    /// A split, library call, or merge **panicked** during execution.
+    ///
+    /// The executor catches the unwind at the phase boundary
+    /// ([`FaultPhase`](crate::faultinject::FaultPhase) records which),
+    /// so the panic fails only the submitting evaluation — the pool
+    /// worker that ran the batch survives. Treated as *transient* by
+    /// the serving layer (retried with backoff), because foreign
+    /// library panics are routinely load- or state-dependent.
+    TaskPanicked {
+        /// The execution phase the panic unwound from.
+        stage: crate::faultinject::FaultPhase,
+        /// The panic payload, rendered as a message.
+        payload: String,
+    },
+    /// The evaluation was abandoned at a batch-claim boundary because
+    /// its [`CancelToken`](crate::faultinject::CancelToken) was
+    /// cancelled or its deadline passed. Never retried.
+    Cancelled(String),
+    /// A fault injected by the active
+    /// [`FaultPlan`](crate::faultinject::FaultPlan) (models a transient
+    /// allocation or I/O failure). Treated as transient by the serving
+    /// layer, like [`Error::TaskPanicked`].
+    Injected(String),
     /// A [`Config`](crate::Config) field holds an unusable value (e.g. a
     /// NaN or non-positive `batch_constant`, which would silently clamp
     /// every stage to pathological 1-element batches). Surfaced when the
@@ -121,6 +144,11 @@ impl fmt::Display for Error {
             ),
             Error::Pedantic(m) => write!(f, "pedantic mode violation: {m}"),
             Error::Library(m) => write!(f, "library function failed: {m}"),
+            Error::TaskPanicked { stage, payload } => {
+                write!(f, "{stage} panicked during execution: {payload}")
+            }
+            Error::Cancelled(m) => write!(f, "evaluation cancelled: {m}"),
+            Error::Injected(m) => write!(f, "injected fault: {m}"),
             Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
         }
     }
@@ -144,6 +172,23 @@ mod tests {
         assert!(s.contains("vd_add"));
         assert!(s.contains("VecValue"));
         assert!(s.contains("IntValue"));
+    }
+
+    #[test]
+    fn fault_variants_render_their_context() {
+        let e = Error::TaskPanicked {
+            stage: crate::faultinject::FaultPhase::Merge,
+            payload: "index out of bounds".into(),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("merge") && s.contains("index out of bounds"),
+            "{s}"
+        );
+        let e = Error::Cancelled("deadline exceeded".into());
+        assert!(e.to_string().contains("cancelled"));
+        let e = Error::Injected("alloc failure".into());
+        assert!(e.to_string().contains("injected fault"));
     }
 
     #[test]

@@ -67,6 +67,7 @@ use crate::annotation::Invocation;
 use crate::config::Config;
 use crate::cputime::{cpu_elapsed, thread_cpu_now};
 use crate::error::{Error, Result};
+use crate::faultinject::{panic_message, CancelToken, FaultPhase, FaultPlan, WorkerAbort};
 use crate::graph::{DataflowGraph, ValueId};
 use crate::planner::{OutputKind, StagePlan};
 use crate::pool::{run_stage_scoped, Job, SideJob, WorkerPool};
@@ -100,6 +101,14 @@ pub(crate) struct ExecStage {
     pub(crate) participants: usize,
     log_calls: bool,
     pedantic: bool,
+    /// Index of this stage in the owning evaluation (0-based), the
+    /// coordinate fault points address stages by.
+    stage_idx: u64,
+    /// The config's fault-injection schedule, consulted per batch phase.
+    faults: Option<Arc<FaultPlan>>,
+    /// Cooperative cancellation: polled at batch boundaries; a
+    /// cancelled token abandons the stage with [`Error::Cancelled`].
+    cancel: Option<Arc<CancelToken>>,
 }
 
 struct ExecInput {
@@ -187,9 +196,10 @@ impl DeferredMerge {
     /// it up), materialize the value, and account the merge time.
     pub(crate) fn join(self, graph: &mut DataflowGraph, stats: &mut PhaseStats) -> Result<()> {
         self.side.join();
-        // An empty slot after join means the merge closure panicked
-        // (the side job catches the unwind so the submitter never
-        // blocks forever); surface it as a merge failure.
+        // An empty slot after join means the merge closure panicked so
+        // hard its own phase wrapper could not record a result (the
+        // side job's outer catch keeps the submitter from blocking
+        // forever); surface it as a typed merge panic.
         let (result, took) = self
             .result
             .lock()
@@ -197,9 +207,10 @@ impl DeferredMerge {
             .take()
             .unwrap_or_else(|| {
                 (
-                    Err(Error::Library(
-                        "overlapped final merge panicked on a pool worker".into(),
-                    )),
+                    Err(Error::TaskPanicked {
+                        stage: FaultPhase::Merge,
+                        payload: "overlapped final merge panicked on a pool worker".into(),
+                    }),
                     Duration::ZERO,
                 )
             });
@@ -228,6 +239,42 @@ fn merged_bytes(instance: &SplitInstance, merged: &DataValue) -> u64 {
         .info(merged, &instance.params)
         .map(|i| i.total_elements.saturating_mul(i.elem_size_bytes))
         .unwrap_or(0)
+}
+
+/// Run one phase of the batch pipeline with panic isolation: a panic
+/// unwinding out of foreign split/task/merge code is caught at the
+/// phase boundary and surfaced as the typed
+/// [`Error::TaskPanicked`], attributed to `phase` — the worker thread
+/// (and every other job on the pool) survives. The one exception is the
+/// fault injector's [`WorkerAbort`] marker, which is deliberately
+/// re-raised so chaos tests can exercise the pool's respawn supervisor.
+pub(crate) fn catch_phase<T>(phase: FaultPhase, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            if payload.downcast_ref::<WorkerAbort>().is_some() {
+                std::panic::resume_unwind(payload);
+            }
+            Err(Error::TaskPanicked {
+                stage: phase,
+                payload: panic_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
+/// Consult the stage's fault plan at one (phase, batch) point and
+/// trigger whatever it schedules. Called *inside* the phase's
+/// [`catch_phase`] wrapper so injected panics take the same typed path
+/// organic panics do.
+#[inline]
+fn inject(exec: &ExecStage, phase: FaultPhase, batch_idx: u64, worker_idx: usize) -> Result<()> {
+    if let Some(plan) = &exec.faults {
+        if let Some(kind) = plan.check(exec.stage_idx, phase, batch_idx) {
+            kind.trigger(phase, exec.stage_idx, batch_idx, worker_idx)?;
+        }
+    }
+    Ok(())
 }
 
 /// A merged (or single) piece covering elements starting at `start`.
@@ -262,6 +309,7 @@ pub(crate) struct WorkerOut {
 /// can be overlapped with subsequent planning are pushed onto
 /// `deferred` instead of running here; the caller must join every
 /// [`DeferredMerge`] before the evaluation returns.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_stage(
     graph: &mut DataflowGraph,
     stage: &StagePlan,
@@ -269,10 +317,18 @@ pub(crate) fn execute_stage(
     stats: &mut PhaseStats,
     pool: Option<&WorkerPool>,
     session: u64,
+    cancel: Option<&Arc<CancelToken>>,
     deferred: &mut Vec<DeferredMerge>,
 ) -> Result<()> {
     let stage_idx = stats.stages;
-    let exec = build_exec_stage(graph, stage, config)?;
+    if let Some(c) = cancel {
+        if c.is_cancelled() {
+            return Err(Error::Cancelled(format!(
+                "evaluation abandoned before stage {stage_idx}"
+            )));
+        }
+    }
+    let exec = build_exec_stage(graph, stage, config, stage_idx, cancel.cloned())?;
 
     // Stage-start placement allocation: split types whose parameters
     // determine the output layout allocate (and pre-fault) the merged
@@ -358,7 +414,13 @@ pub(crate) fn execute_stage(
             let result2 = Arc::clone(&result);
             let side = SideJob::new(move || {
                 let t = thread_cpu_now();
-                let merged = instance.splitter.merge(pieces, &instance.params, total);
+                // Phase-wrapped so a panicking foreign merge reaches
+                // the submitter as the typed error through the result
+                // slot (the side job's own catch would otherwise leave
+                // the slot empty and lose the payload).
+                let merged = catch_phase(FaultPhase::Merge, || {
+                    instance.splitter.merge(pieces, &instance.params, total)
+                });
                 let took = cpu_elapsed(t, thread_cpu_now());
                 *result2.lock().unwrap_or_else(|p| p.into_inner()) = Some((merged, took));
             });
@@ -372,10 +434,11 @@ pub(crate) fn execute_stage(
             stats.overlapped_merges += 1;
             continue;
         }
-        let merged =
+        let merged = catch_phase(FaultPhase::Merge, || {
             mo.instance
                 .splitter
-                .merge(pieces, &mo.instance.params, exec.total_elements)?;
+                .merge(pieces, &mo.instance.params, exec.total_elements)
+        })?;
         stats.bytes_merged += merged_bytes(&mo.instance, &merged);
         let entry = &mut graph.values[mo.value.0 as usize];
         entry.data = Some(merged);
@@ -454,6 +517,8 @@ fn build_exec_stage(
     graph: &DataflowGraph,
     stage: &StagePlan,
     config: &Config,
+    stage_idx: u64,
+    cancel: Option<Arc<CancelToken>>,
 ) -> Result<ExecStage> {
     let mut inputs = Vec::with_capacity(stage.inputs.len());
     let mut total: Option<u64> = None;
@@ -569,6 +634,9 @@ fn build_exec_stage(
         participants,
         log_calls: config.log_calls,
         pedantic: config.pedantic,
+        stage_idx,
+        faults: config.fault_plan.clone(),
+        cancel,
     })
 }
 
@@ -637,7 +705,22 @@ pub(crate) fn run_worker(
             if failed.load(Ordering::Relaxed) {
                 break 'driver;
             }
+            // Cooperative cancellation, polled per batch: a request
+            // whose deadline passed stops burning pool time here, at
+            // the claim boundary — a batch that already started always
+            // runs to completion (library calls are never interrupted).
+            if let Some(c) = &exec.cancel {
+                if c.is_cancelled() {
+                    failed.store(true, Ordering::Relaxed);
+                    return Err(Error::Cancelled(format!(
+                        "deadline passed or token cancelled at stage {} \
+                         batch boundary",
+                        exec.stage_idx
+                    )));
+                }
+            }
             let end = (start + batch).min(claim_end);
+            let batch_idx = start / batch;
 
             // Split every input for this batch. Worker-parallel
             // phases are timed on the per-thread CPU clock (see
@@ -645,141 +728,161 @@ pub(crate) fn run_worker(
             // host charge a phase for every preemption that lands in
             // it, which systematically misattributes scheduler noise
             // to whichever phase has the most windows.
+            //
+            // Each phase body runs under `catch_phase`: a panic in
+            // foreign split/task/merge code fails this job with the
+            // typed `Error::TaskPanicked` and the thread survives.
             let t0 = thread_cpu_now();
             for &s in &exec.produced_slots {
                 slots[s as usize] = None;
             }
-            let mut produced = 0usize;
-            for input in &exec.inputs {
-                match input.instance.splitter.split(
-                    &input.data,
-                    start..end,
-                    &input.instance.params,
-                )? {
-                    Some(piece) => {
-                        slots[input.slot as usize] = Some(piece);
-                        produced += 1;
-                    }
-                    None => {
-                        if exec.pedantic && produced > 0 {
-                            return Err(Error::Pedantic(format!(
-                                "split type {} returned NULL for elements [{start}, {end}) \
-                             while other inputs produced pieces",
-                                input.instance.splitter.name()
-                            )));
+            let null_split = catch_phase(FaultPhase::Split, || {
+                inject(exec, FaultPhase::Split, batch_idx, worker_idx)?;
+                let mut produced = 0usize;
+                for input in &exec.inputs {
+                    match input.instance.splitter.split(
+                        &input.data,
+                        start..end,
+                        &input.instance.params,
+                    )? {
+                        Some(piece) => {
+                            slots[input.slot as usize] = Some(piece);
+                            produced += 1;
                         }
-                        // The paper's NULL return: no data here, stop claiming.
-                        out.split += cpu_elapsed(t0, thread_cpu_now());
-                        break 'driver;
+                        None => {
+                            if exec.pedantic && produced > 0 {
+                                return Err(Error::Pedantic(format!(
+                                    "split type {} returned NULL for elements [{start}, {end}) \
+                                 while other inputs produced pieces",
+                                    input.instance.splitter.name()
+                                )));
+                            }
+                            // The paper's NULL return: no data here,
+                            // stop claiming.
+                            return Ok(true);
+                        }
                     }
                 }
-            }
+                Ok(false)
+            });
             out.split += cpu_elapsed(t0, thread_cpu_now());
+            if null_split? {
+                break 'driver;
+            }
 
             // Run the pipeline on this batch's pieces.
             let t1 = thread_cpu_now();
-            for node in &exec.nodes {
-                let mut args: Vec<DataValue> = Vec::with_capacity(node.args.len());
-                for &slot in &node.args {
-                    match &slots[slot as usize] {
-                        Some(piece) => args.push(piece.clone()),
-                        None => return Err(Error::ValueUnavailable),
+            let task_result = catch_phase(FaultPhase::Task, || {
+                inject(exec, FaultPhase::Task, batch_idx, worker_idx)?;
+                for node in &exec.nodes {
+                    let mut args: Vec<DataValue> = Vec::with_capacity(node.args.len());
+                    for &slot in &node.args {
+                        match &slots[slot as usize] {
+                            Some(piece) => args.push(piece.clone()),
+                            None => return Err(Error::ValueUnavailable),
+                        }
                     }
-                }
-                if exec.log_calls {
-                    eprintln!(
+                    if exec.log_calls {
+                        eprintln!(
                     "mozart: worker {worker_idx} call {} on elements [{start}, {end}) ({} args)",
                     node.name,
                     args.len()
                 );
-                }
-                let inv = Invocation {
-                    function: node.name,
-                    args: &args,
-                };
-                let ret = (node.func)(&inv)?;
-                for &(arg_idx, mv_slot) in &node.mut_alias {
-                    slots[mv_slot as usize] = Some(args[arg_idx].clone());
-                }
-                match (ret, node.ret) {
-                    (Some(piece), Some(rv_slot)) => {
-                        slots[rv_slot as usize] = Some(piece);
                     }
-                    (None, None) => {}
-                    (None, Some(_)) => {
-                        return Err(Error::Library(format!(
-                            "{} is annotated with a return split type but returned nothing",
-                            node.name
-                        )))
+                    let inv = Invocation {
+                        function: node.name,
+                        args: &args,
+                    };
+                    let ret = (node.func)(&inv)?;
+                    for &(arg_idx, mv_slot) in &node.mut_alias {
+                        slots[mv_slot as usize] = Some(args[arg_idx].clone());
                     }
-                    (Some(_), None) => {
-                        return Err(Error::Library(format!(
-                            "{} returned a value but its annotation declares none",
-                            node.name
-                        )))
+                    match (ret, node.ret) {
+                        (Some(piece), Some(rv_slot)) => {
+                            slots[rv_slot as usize] = Some(piece);
+                        }
+                        (None, None) => {}
+                        (None, Some(_)) => {
+                            return Err(Error::Library(format!(
+                                "{} is annotated with a return split type but returned nothing",
+                                node.name
+                            )))
+                        }
+                        (Some(_), None) => {
+                            return Err(Error::Library(format!(
+                                "{} returned a value but its annotation declares none",
+                                node.name
+                            )))
+                        }
                     }
+                    out.calls += 1;
                 }
-                out.calls += 1;
-            }
+                Ok(())
+            });
             out.task += cpu_elapsed(t1, thread_cpu_now());
+            task_result?;
 
             // Stash pieces of observable outputs ("moved to a list of
             // partial results", §5.2), tagged with their element range —
             // or, on the placement path, write them straight into the
             // preallocated merge output at their element offset.
-            for (i, mo) in exec.merge_outputs.iter().enumerate() {
-                match &slots[mo.slot as usize] {
-                    Some(piece) => {
-                        if let Some(pm) = &mo.placement {
-                            let t2 = thread_cpu_now();
-                            let mut alloc_err: Option<Error> = None;
-                            // Resolve the placement decision exactly
-                            // once, on the first piece any worker
-                            // produces — it serves as the exemplar for
-                            // data-dependent output layouts.
-                            let placed = pm.state.out.get_or_init(|| {
-                                match pm.cap.alloc_merged(
-                                    exec.total_elements,
-                                    &mo.instance.params,
-                                    Some(piece),
-                                ) {
-                                    Ok(v) => v,
-                                    Err(e) => {
-                                        alloc_err = Some(e);
-                                        None
+            catch_phase(FaultPhase::Merge, || {
+                inject(exec, FaultPhase::Merge, batch_idx, worker_idx)?;
+                for (i, mo) in exec.merge_outputs.iter().enumerate() {
+                    match &slots[mo.slot as usize] {
+                        Some(piece) => {
+                            if let Some(pm) = &mo.placement {
+                                let t2 = thread_cpu_now();
+                                let mut alloc_err: Option<Error> = None;
+                                // Resolve the placement decision exactly
+                                // once, on the first piece any worker
+                                // produces — it serves as the exemplar for
+                                // data-dependent output layouts.
+                                let placed = pm.state.out.get_or_init(|| {
+                                    match pm.cap.alloc_merged(
+                                        exec.total_elements,
+                                        &mo.instance.params,
+                                        Some(piece),
+                                    ) {
+                                        Ok(v) => v,
+                                        Err(e) => {
+                                            alloc_err = Some(e);
+                                            None
+                                        }
                                     }
+                                });
+                                if let Some(e) = alloc_err {
+                                    return Err(e);
                                 }
-                            });
-                            if let Some(e) = alloc_err {
-                                return Err(e);
-                            }
-                            if let Some(out_val) = placed {
-                                // Coverage tracks the piece's actual
-                                // element count, not the batch range:
-                                // a source that dries up mid-batch
-                                // writes fewer elements, and the
-                                // truncation below must not include
-                                // the unwritten remainder.
-                                let n = pm.cap.write_piece(out_val, start, piece)?;
-                                pm.state.written.fetch_add(n, Ordering::Relaxed);
-                                pm.state.high.fetch_max(start + n, Ordering::Relaxed);
-                                out.placement_writes += 1;
+                                if let Some(out_val) = placed {
+                                    // Coverage tracks the piece's actual
+                                    // element count, not the batch range:
+                                    // a source that dries up mid-batch
+                                    // writes fewer elements, and the
+                                    // truncation below must not include
+                                    // the unwritten remainder.
+                                    let n = pm.cap.write_piece(out_val, start, piece)?;
+                                    pm.state.written.fetch_add(n, Ordering::Relaxed);
+                                    pm.state.high.fetch_max(start + n, Ordering::Relaxed);
+                                    out.placement_writes += 1;
+                                    out.merge += cpu_elapsed(t2, thread_cpu_now());
+                                    continue;
+                                }
                                 out.merge += cpu_elapsed(t2, thread_cpu_now());
-                                continue;
                             }
-                            out.merge += cpu_elapsed(t2, thread_cpu_now());
+                            pending[i].push((start, end, piece.clone()));
                         }
-                        pending[i].push((start, end, piece.clone()));
+                        None if exec.pedantic => {
+                            return Err(Error::Pedantic(format!(
+                                "output of split type {} missing after batch [{start}, {end})",
+                                mo.instance.splitter.name()
+                            )))
+                        }
+                        None => {}
                     }
-                    None if exec.pedantic => {
-                        return Err(Error::Pedantic(format!(
-                            "output of split type {} missing after batch [{start}, {end})",
-                            mo.instance.splitter.name()
-                        )))
-                    }
-                    None => {}
                 }
-            }
+                Ok(())
+            })?;
 
             if start / static_share != worker_idx as u64 {
                 out.stolen += 1;
@@ -794,13 +897,15 @@ pub(crate) fn run_worker(
     // sensitive merges fold each contiguous run so the final merge can
     // order them globally.
     let t2 = thread_cpu_now();
-    out.partials = exec
-        .merge_outputs
-        .iter()
-        .zip(pending.iter_mut())
-        .map(|(mo, pieces)| local_merge(mo, std::mem::take(pieces)))
-        .collect::<Result<_>>()?;
+    let partials = catch_phase(FaultPhase::Merge, || {
+        exec.merge_outputs
+            .iter()
+            .zip(pending.iter_mut())
+            .map(|(mo, pieces)| local_merge(mo, std::mem::take(pieces)))
+            .collect::<Result<Vec<Vec<PieceRun>>>>()
+    });
     out.merge += cpu_elapsed(t2, thread_cpu_now());
+    out.partials = partials?;
     Ok(out)
 }
 

@@ -106,6 +106,7 @@ pub mod context;
 mod cputime;
 pub mod error;
 pub mod executor;
+pub mod faultinject;
 pub mod graph;
 pub mod planner;
 pub mod pool;
@@ -120,6 +121,7 @@ pub use buffer::{ProtectFlag, SharedVec, SliceView, VecValue};
 pub use config::Config;
 pub use context::{Future, FutureHandle, MozartContext};
 pub use error::{Error, Result};
+pub use faultinject::{CancelToken, FaultKind, FaultPhase, FaultPlan, FaultPoint};
 pub use planner::{PlanCache, PlanCacheStats};
 pub use pool::{global_pool, PoolHandle, WorkerPool, OVERFLOW_SESSION};
 pub use split::{
@@ -136,6 +138,7 @@ pub mod prelude {
     pub use crate::config::Config;
     pub use crate::context::{Future, FutureHandle, MozartContext};
     pub use crate::error::{Error, Result};
+    pub use crate::faultinject::{CancelToken, FaultKind, FaultPhase, FaultPlan, FaultPoint};
     pub use crate::planner::{PlanCache, PlanCacheStats};
     pub use crate::pool::{global_pool, PoolHandle};
     pub use crate::registry::register_default_splitter;

@@ -64,6 +64,23 @@
 //! `run_stage_scoped` preserves the old spawn-per-stage behavior
 //! behind `Config::reuse_pool = false` as a measured ablation for the
 //! `fig5_overheads` benchmark; it is not used otherwise.
+//!
+//! # Panic isolation and worker respawn
+//!
+//! A panic inside a split/task/merge phase is caught *inside* the
+//! driver loop (`executor::catch_phase`) and fails only the job it
+//! belonged to, as a typed [`Error::TaskPanicked`]; the worker thread
+//! survives and serves the next job. Panics that nonetheless unwind a
+//! pool thread — a deliberate
+//! [`WorkerAbort`](crate::faultinject::WorkerAbort) from the fault
+//! injector, or a defect outside the phase wrappers — hit two
+//! backstops: `worker_main` completes the job's join bookkeeping (so
+//! the submitter unblocks with a typed error instead of hanging) before
+//! letting the thread die, and a drop sentinel on the thread's stack
+//! respawns a replacement so the pool always returns to its full
+//! complement ([`PoolStats::respawned_workers`]).
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -72,6 +89,7 @@ use std::thread::JoinHandle;
 
 use crate::error::{Error, Result};
 use crate::executor::{run_worker, ExecStage, WorkerOut};
+use crate::faultinject::{panic_message, FaultPhase};
 use crate::stats::{PoolStats, SessionPoolStats};
 
 /// One stage dispatched to the pool: the immutable stage description,
@@ -170,6 +188,10 @@ struct Queue {
     jobs: VecDeque<Arc<Job>>,
     side: VecDeque<Arc<SideJob>>,
     shutdown: bool,
+    /// Join handles of workers the respawn supervisor created. Pushed
+    /// under this lock *before* `shutdown` can be observed set, so
+    /// [`WorkerPool`]'s `Drop` never misses one.
+    respawned: Vec<JoinHandle<()>>,
 }
 
 /// A one-shot closure dispatched to the pool — the final merge of a
@@ -205,8 +227,12 @@ impl SideJob {
     /// whether this call did the work. A panicking closure is caught
     /// so `done` is always signalled — otherwise a merge that panics
     /// on a pool worker would leave the submitter blocked in
-    /// [`SideJob::join`] forever. The panic surfaces to the submitter
-    /// as a missing result (see `DeferredMerge::join`).
+    /// [`SideJob::join`] forever. This catch is a backstop only: the
+    /// executor's side-job closures wrap the merge in `catch_phase`
+    /// themselves and store a typed [`Error::TaskPanicked`] in the
+    /// result slot, so the submitter sees the panic as a typed error,
+    /// not just a missing result (see `DeferredMerge::join`, whose
+    /// empty-slot fallback is also typed).
     fn run_if_pending(&self) -> bool {
         let f = lock(&self.task).take();
         match f {
@@ -296,6 +322,12 @@ struct Counters {
     parks: AtomicU64,
     unparks: AtomicU64,
     stolen: AtomicU64,
+    /// Driver-loop runs that ended in a caught panic
+    /// ([`Error::TaskPanicked`]); the job failed, the worker survived.
+    panicked: AtomicU64,
+    /// Workers the respawn supervisor replaced after an unwinding panic
+    /// escaped the phase wrappers and killed the thread.
+    respawned: AtomicU64,
     per_worker_batches: Vec<AtomicU64>,
     /// Cursor claims per participant slot (one claim may cover a guided
     /// span of several batches; see the module docs).
@@ -354,8 +386,12 @@ fn evict_one_idle(sessions: &mut HashMap<u64, SessionEntry>) {
 }
 
 impl Counters {
-    /// Attribute one participant's successful driver-loop run.
+    /// Attribute one participant's driver-loop result: batch/claim/steal
+    /// counters on success, the panic counter on a caught panic.
     fn bump_batches(&self, participant: usize, result: &Result<WorkerOut>) {
+        if matches!(result, Err(Error::TaskPanicked { .. })) {
+            self.panicked.fetch_add(1, Ordering::Relaxed);
+        }
         if let Ok(out) = result {
             self.stolen.fetch_add(out.stolen, Ordering::Relaxed);
             if let Some(slot) = self.per_worker_batches.get(participant) {
@@ -439,6 +475,7 @@ impl WorkerPool {
                 jobs: VecDeque::new(),
                 side: VecDeque::new(),
                 shutdown: false,
+                respawned: Vec::new(),
             }),
             work_cv: Condvar::new(),
             counters: Counters {
@@ -447,6 +484,8 @@ impl WorkerPool {
                 parks: AtomicU64::new(0),
                 unparks: AtomicU64::new(0),
                 stolen: AtomicU64::new(0),
+                panicked: AtomicU64::new(0),
+                respawned: AtomicU64::new(0),
                 per_worker_batches: (0..=pool_workers).map(|_| AtomicU64::new(0)).collect(),
                 per_worker_claims: (0..=pool_workers).map(|_| AtomicU64::new(0)).collect(),
                 sessions: Mutex::new(HashMap::new()),
@@ -456,10 +495,13 @@ impl WorkerPool {
         let handles = (0..pool_workers)
             .map(|i| {
                 let shared = shared.clone();
-                std::thread::Builder::new()
+                match std::thread::Builder::new()
                     .name(format!("mozart-worker-{i}"))
-                    .spawn(move || worker_main(&shared))
-                    .expect("spawn pool worker")
+                    .spawn(move || worker_body(shared, i))
+                {
+                    Ok(h) => h,
+                    Err(e) => panic!("failed to spawn pool worker {i}: {e}"),
+                }
             })
             .collect();
         WorkerPool { shared, handles }
@@ -595,6 +637,8 @@ impl WorkerPool {
                 .map(|a| a.load(Ordering::Relaxed))
                 .collect(),
             sessions,
+            panicked_batches: c.panicked.load(Ordering::Relaxed),
+            respawned_workers: c.respawned.load(Ordering::Relaxed),
         }
     }
 }
@@ -608,6 +652,20 @@ impl Drop for WorkerPool {
         self.shared.work_cv.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        // Respawned replacements park on the same queue and observe the
+        // shutdown flag like original workers. Drain in rounds: a worker
+        // dying *during* shutdown no longer respawns (the sentinel
+        // checks the flag under the queue lock), so this terminates.
+        loop {
+            let batch = std::mem::take(&mut lock(&self.shared.queue).respawned);
+            if batch.is_empty() {
+                break;
+            }
+            self.shared.work_cv.notify_all();
+            for h in batch {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -671,6 +729,58 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 enum Work {
     Side(Arc<SideJob>),
     Stage(Arc<Job>),
+}
+
+/// Stack sentinel of a pool thread: if the thread unwinds (a panic
+/// escaped every phase wrapper, e.g. the fault injector's
+/// [`WorkerAbort`](crate::faultinject::WorkerAbort)), the sentinel's
+/// drop runs during the unwind and spawns a replacement worker, so the
+/// pool returns to its full complement. Normal exits (shutdown) drop it
+/// without effect.
+struct RespawnSentinel {
+    shared: Arc<PoolShared>,
+    idx: usize,
+}
+
+impl Drop for RespawnSentinel {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        // Respawn under the queue lock: `Drop for WorkerPool` sets
+        // `shutdown` under the same lock, so either we see the flag and
+        // stand down, or our replacement's handle lands in
+        // `Queue::respawned` before the drain loop reads it.
+        let mut q = lock(&self.shared.queue);
+        if q.shutdown {
+            return;
+        }
+        let shared = self.shared.clone();
+        let idx = self.idx;
+        if let Ok(h) = std::thread::Builder::new()
+            .name(format!("mozart-worker-{idx}r"))
+            .spawn(move || worker_body(shared, idx))
+        {
+            self.shared
+                .counters
+                .respawned
+                .fetch_add(1, Ordering::Relaxed);
+            q.respawned.push(h);
+        }
+        // A spawn failure here (resource exhaustion mid-unwind) leaves
+        // the pool one worker short rather than aborting the process
+        // with a double panic.
+    }
+}
+
+/// Entry point of every pool thread, original or respawned: arm the
+/// respawn sentinel, then run the park/serve loop.
+fn worker_body(shared: Arc<PoolShared>, idx: usize) {
+    let _sentinel = RespawnSentinel {
+        shared: shared.clone(),
+        idx,
+    };
+    worker_main(&shared);
 }
 
 /// The body of one pool thread: park until the queue holds an open job,
@@ -748,7 +858,25 @@ fn worker_main(shared: &PoolShared) {
         // the pool ramps up while this worker runs batches.
         shared.work_cv.notify_one();
         c.unparks.fetch_add(1, Ordering::Relaxed);
-        let out = run_worker(&job.exec, &job.cursor, &job.failed, ticket);
+        // Backstop catch: `run_worker` already converts phase panics to
+        // typed errors, so anything unwinding out of it is a deliberate
+        // worker abort (fault injection) or a defect outside the phase
+        // wrappers. Either way the job's join bookkeeping MUST complete
+        // before this thread dies, or the submitter blocks forever on
+        // `finished == joined`.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_worker(&job.exec, &job.cursor, &job.failed, ticket)
+        }));
+        let (out, abort) = match caught {
+            Ok(out) => (out, None),
+            Err(payload) => (
+                Err(Error::TaskPanicked {
+                    stage: FaultPhase::Worker,
+                    payload: panic_message(payload.as_ref()),
+                }),
+                Some(payload),
+            ),
+        };
         c.bump_batches(ticket, &out);
         if let Ok(o) = &out {
             // Worker-served share, the capacity DRR divides (the
@@ -756,10 +884,16 @@ fn worker_main(shared: &PoolShared) {
             job.worker_batches.fetch_add(o.batches, Ordering::Relaxed);
         }
         job.record(out);
-        let mut st = lock(&job.state);
-        st.finished += 1;
-        if st.closed && st.finished == st.joined {
-            job.done_cv.notify_all();
+        {
+            let mut st = lock(&job.state);
+            st.finished += 1;
+            if st.closed && st.finished == st.joined {
+                job.done_cv.notify_all();
+            }
+        }
+        if let Some(payload) = abort {
+            // Let the thread die; the respawn sentinel replaces it.
+            std::panic::resume_unwind(payload);
         }
     }
 }
@@ -793,22 +927,31 @@ pub(crate) fn run_stage_scoped(job: &Arc<Job>) -> Result<Vec<WorkerOut>> {
             job.failed.store(true, Ordering::Relaxed);
         }
         for (slot, h) in results.iter_mut().zip(handles) {
-            *slot = Some(
-                h.join()
-                    .unwrap_or_else(|_| Err(Error::Library("worker thread panicked".into()))),
-            );
+            // A panicked scoped worker surfaces typed, like the pool
+            // path (regression for the historic stringly
+            // `Error::Library("worker thread panicked")`).
+            *slot = Some(h.join().unwrap_or_else(|payload| {
+                Err(Error::TaskPanicked {
+                    stage: FaultPhase::Worker,
+                    payload: panic_message(payload.as_ref()),
+                })
+            }));
         }
         mine
     });
     outs.push(mine?);
-    for r in results {
-        outs.push(r.expect("worker result collected")?);
+    // Every slot was filled in the join loop above; `flatten` just
+    // avoids asserting it.
+    for r in results.into_iter().flatten() {
+        outs.push(r?);
     }
     Ok(outs)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]
@@ -862,6 +1005,8 @@ mod tests {
             parks: AtomicU64::new(0),
             unparks: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            respawned: AtomicU64::new(0),
             per_worker_batches: Vec::new(),
             per_worker_claims: Vec::new(),
             sessions: Mutex::new(HashMap::new()),

@@ -189,6 +189,15 @@ pub struct PoolStats {
     /// to the pool are accounted; inline single-worker stages cost the
     /// pool nothing.
     pub sessions: Vec<SessionPoolStats>,
+    /// Batch-driver runs that ended in a caught panic
+    /// ([`Error::TaskPanicked`](crate::Error)): the panic failed its
+    /// job, the worker survived.
+    pub panicked_batches: u64,
+    /// Worker threads the respawn supervisor replaced after they died
+    /// to an unwinding panic that escaped the phase wrappers. The pool
+    /// always ends with its full complement:
+    /// `respawned_workers + surviving == initial`.
+    pub respawned_workers: u64,
 }
 
 impl PoolStats {

@@ -41,6 +41,22 @@ pub enum ServeError {
     UnknownPipeline(String),
     /// The request could not be parsed or is missing parameters.
     BadRequest(String),
+    /// The request's deadline passed before its evaluation completed:
+    /// while queued for admission, while parked in a coalesced batch
+    /// waiting for its leader, or mid-evaluation (workers poll the
+    /// deadline-carrying cancel token at batch-claim boundaries). The
+    /// service never retries past a deadline; work already started is
+    /// abandoned cooperatively, not torn down.
+    DeadlineExceeded {
+        /// The deadline the request carried, in milliseconds from
+        /// arrival.
+        deadline_ms: u64,
+    },
+    /// The service is draining (graceful shutdown): admission is closed
+    /// and new requests are shed immediately while in-flight
+    /// evaluations run to completion. Clients should reconnect
+    /// elsewhere; retrying against a draining server cannot succeed.
+    Draining,
     /// The Mozart runtime failed while evaluating the pipeline.
     Runtime(mozart_core::Error),
 }
@@ -53,8 +69,25 @@ impl ServeError {
             ServeError::OverBudget { .. } => "over_budget",
             ServeError::UnknownPipeline(_) => "unknown_pipeline",
             ServeError::BadRequest(_) => "bad_request",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::Draining => "draining",
             ServeError::Runtime(_) => "runtime",
         }
+    }
+
+    /// Whether the service may retry the request that produced this
+    /// error. Only *transient* runtime failures qualify — a caught
+    /// panic ([`mozart_core::Error::TaskPanicked`]) or an injected
+    /// fault ([`mozart_core::Error::Injected`]); deterministic errors
+    /// (bad requests, invalid configs, exhausted budgets) would fail
+    /// identically on every attempt and are never retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Runtime(
+                mozart_core::Error::TaskPanicked { .. } | mozart_core::Error::Injected(_)
+            )
+        )
     }
 }
 
@@ -82,6 +115,13 @@ impl fmt::Display for ServeError {
                 write!(f, "no pipeline registered under {name:?}")
             }
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::DeadlineExceeded { deadline_ms } => write!(
+                f,
+                "deadline of {deadline_ms} ms passed before the request completed"
+            ),
+            ServeError::Draining => {
+                write!(f, "service is draining; no new requests are admitted")
+            }
             ServeError::Runtime(e) => write!(f, "pipeline evaluation failed: {e}"),
         }
     }
@@ -104,6 +144,8 @@ impl From<mozart_core::Error> for ServeError {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]
@@ -127,5 +169,31 @@ mod tests {
         assert!(e.to_string().contains("1024"));
         let e: ServeError = mozart_core::Error::ValueUnavailable.into();
         assert_eq!(e.kind(), "runtime");
+        let e = ServeError::DeadlineExceeded { deadline_ms: 50 };
+        assert_eq!(e.kind(), "deadline_exceeded");
+        assert!(e.to_string().contains("50 ms"));
+        assert_eq!(ServeError::Draining.kind(), "draining");
+    }
+
+    #[test]
+    fn only_panics_and_injected_faults_are_transient() {
+        let transient: ServeError = mozart_core::Error::TaskPanicked {
+            stage: mozart_core::FaultPhase::Task,
+            payload: "boom".into(),
+        }
+        .into();
+        assert!(transient.is_transient());
+        let injected: ServeError = mozart_core::Error::Injected("task fault".into()).into();
+        assert!(injected.is_transient());
+        for deterministic in [
+            ServeError::BadRequest("nope".into()),
+            ServeError::UnknownPipeline("zap".into()),
+            ServeError::Draining,
+            ServeError::DeadlineExceeded { deadline_ms: 1 },
+            mozart_core::Error::InvalidConfig("bad".into()).into(),
+            mozart_core::Error::Cancelled("late".into()).into(),
+        ] {
+            assert!(!deterministic.is_transient(), "{deterministic:?}");
+        }
     }
 }

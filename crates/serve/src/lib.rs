@@ -45,6 +45,17 @@
 //!   (from the split info API's element sizes) are metered; sessions
 //!   over their budget are shed with [`ServeError::OverBudget`] —
 //!   load shedding by cost, not just by count.
+//! * **Fault tolerance**: a panicking split/evaluate/merge fails only
+//!   its request with the typed
+//!   [`mozart_core::Error::TaskPanicked`] while the shared pool
+//!   survives (a worker that dies anyway is respawned); transient
+//!   failures retry with jittered backoff under the same admission
+//!   permit ([`ServiceConfig::max_retries`]); requests carry deadlines
+//!   ([`Request::with_deadline_ms`], [`Session::set_deadline`], the
+//!   protocol's `DEADLINE_MS=`) enforced at every wait point and
+//!   cooperatively mid-evaluation; and [`PipelineService::drain`]
+//!   closes admission gracefully. Faults are injected deterministically
+//!   for testing via [`mozart_core::FaultPlan`].
 //!
 //! ## Quickstart
 //!
@@ -73,6 +84,7 @@
 //! `crates/bench/benches/serve_throughput.rs`.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod admission;
 pub mod error;

@@ -203,8 +203,11 @@ impl Pipeline for BlackScholesPipeline {
                 );
                 let (call, put) =
                     workloads::black_scholes::mkl_chain(ctx, &price, &strike, &t, &rate, &vol)?;
-                // Reading forces evaluation inside the admission window.
-                let _ = (call.as_slice(), put.as_slice());
+                // Evaluate explicitly inside the admission window: a bare
+                // protected read (`as_slice`) would swallow a failed
+                // evaluation and hand back stale zeros instead of the
+                // typed error the retry layer needs.
+                ctx.evaluate()?;
                 Ok(vec![
                     DataValue::new(VecValue(call)),
                     DataValue::new(VecValue(put)),
@@ -272,7 +275,9 @@ impl Pipeline for HaversinePipeline {
             eval: Box::new(|ctx, inputs| {
                 let (lat, lon) = (vec_arg(inputs, 0)?, vec_arg(inputs, 1)?);
                 let d = workloads::haversine::mkl_chain(ctx, &lat, &lon)?;
-                let _ = d.as_slice();
+                // Explicit evaluation: surface faults typed rather than
+                // poisoning the context behind a protected read.
+                ctx.evaluate()?;
                 Ok(vec![DataValue::new(VecValue(d))])
             }),
             respond: Box::new(|outs| {
@@ -477,6 +482,8 @@ fn to_library_error(e: ServeError) -> mozart_core::Error {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

@@ -6,6 +6,9 @@
 //! <pipeline> [key=value]...      run a pipeline
 //! WEIGHT <w>                     set this session's fair-share weight
 //! BUDGET <bytes>                 set this session's byte budget (0 = unlimited)
+//! DEADLINE <ms>                  set this session's default request deadline (0 = none)
+//! DRAIN [timeout_ms]             gracefully drain the service (close admission,
+//!                                wait for in-flight work; default 5000 ms)
 //! LIST                           list registered pipelines
 //! STATS                          service counters
 //! QUIT                           close the connection
@@ -14,6 +17,13 @@
 //! Responses are single lines: `OK <body>` or `ERR <kind>: <message>`,
 //! with `<kind>` from [`ServeError::kind`]. Everything is UTF-8, no
 //! framing beyond `\n` — trivially scriptable with `nc`.
+//!
+//! A call line may carry `DEADLINE_MS=<ms>`: a **scheduling directive**,
+//! not a pipeline parameter — it is stripped from the request's
+//! parameter map (deadlines must never perturb coalescing fingerprints)
+//! and sheds the request with `ERR deadline_exceeded` once it passes.
+//! `DEADLINE_MS=0` sheds immediately, which makes the deadline path
+//! scriptable deterministically.
 //!
 //! Duplicate `key=value` pairs on a call line are rejected with
 //! `bad_request` rather than silently letting the last one win: a
@@ -32,6 +42,12 @@ pub enum ClientLine {
     Weight(u32),
     /// Set the connection session's byte budget (0 = unlimited).
     Budget(u64),
+    /// Set the connection session's default request deadline in
+    /// milliseconds (0 clears it).
+    Deadline(u64),
+    /// Gracefully drain the service, waiting up to the given timeout
+    /// (milliseconds) for in-flight work.
+    Drain(u64),
     /// List registered pipelines.
     List,
     /// Report service counters.
@@ -75,6 +91,20 @@ pub fn parse_line(line: &str) -> Result<ClientLine, ServeError> {
             Ok(ClientLine::Weight(w))
         }
         "BUDGET" => Ok(ClientLine::Budget(parse_operand(head, &mut words)?)),
+        "DEADLINE" => Ok(ClientLine::Deadline(parse_operand(head, &mut words)?)),
+        "DRAIN" => match words.next() {
+            None => Ok(ClientLine::Drain(5_000)),
+            Some(raw) => {
+                if words.next().is_some() {
+                    return Err(ServeError::BadRequest(
+                        "DRAIN takes at most one operand".into(),
+                    ));
+                }
+                raw.parse().map(ClientLine::Drain).map_err(|_| {
+                    ServeError::BadRequest(format!("DRAIN operand {raw:?} is not an integer"))
+                })
+            }
+        },
         name => {
             let mut req = Request::new();
             for word in words {
@@ -87,6 +117,21 @@ pub fn parse_line(line: &str) -> Result<ClientLine, ServeError> {
                     return Err(ServeError::BadRequest(format!(
                         "parameter {word:?} has an empty key"
                     )));
+                }
+                if key == "DEADLINE_MS" {
+                    // A scheduling directive, not a pipeline parameter:
+                    // it must not reach the parameter map (and thereby
+                    // the coalescing fingerprint).
+                    if req.deadline_ms().is_some() {
+                        return Err(ServeError::BadRequest(
+                            "DEADLINE_MS given more than once".into(),
+                        ));
+                    }
+                    let ms = value.parse().map_err(|_| {
+                        ServeError::BadRequest(format!("DEADLINE_MS={value} is not an integer"))
+                    })?;
+                    req.set_deadline_ms(Some(ms));
+                    continue;
                 }
                 if req.get(key).is_some() {
                     return Err(ServeError::BadRequest(format!(
@@ -112,6 +157,8 @@ pub fn err_line(e: &ServeError) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]
@@ -153,6 +200,47 @@ mod tests {
                 "{bad:?} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn parses_deadline_and_drain_lines() {
+        assert_eq!(
+            parse_line("DEADLINE 250").unwrap(),
+            ClientLine::Deadline(250)
+        );
+        assert_eq!(parse_line("DEADLINE 0").unwrap(), ClientLine::Deadline(0));
+        assert_eq!(parse_line("DRAIN").unwrap(), ClientLine::Drain(5_000));
+        assert_eq!(parse_line("DRAIN 100").unwrap(), ClientLine::Drain(100));
+        for bad in [
+            "DEADLINE",
+            "DEADLINE x",
+            "DEADLINE 1 2",
+            "DRAIN x",
+            "DRAIN 1 2",
+        ] {
+            assert!(
+                matches!(parse_line(bad), Err(ServeError::BadRequest(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_ms_is_a_directive_not_a_parameter() {
+        match parse_line("black_scholes n=64 DEADLINE_MS=50").unwrap() {
+            ClientLine::Call(name, req) => {
+                assert_eq!(name, "black_scholes");
+                assert_eq!(req.deadline_ms(), Some(50));
+                // Stripped from the parameter map: two calls differing
+                // only in deadline must keep identical fingerprints.
+                assert_eq!(req.get("DEADLINE_MS"), None);
+                assert_eq!(req.get("n"), Some("64"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_line("bs DEADLINE_MS=0").is_ok());
+        assert!(parse_line("bs DEADLINE_MS=x").is_err());
+        assert!(parse_line("bs DEADLINE_MS=1 DEADLINE_MS=2").is_err());
     }
 
     #[test]

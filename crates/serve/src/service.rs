@@ -1,15 +1,18 @@
 //! The in-process pipeline service: named pipelines, session handles,
 //! per-request contexts wired to the shared worker pool and plan cache,
-//! bounded admission, cross-request coalescing, and per-session
-//! fair-share weights and byte budgets.
+//! bounded admission, cross-request coalescing, per-session fair-share
+//! weights and byte budgets, request deadlines, bounded retry of
+//! transient failures, and graceful drain.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
+use mozart_core::faultinject::splitmix64;
 use mozart_core::{
-    Concat, Config, DataValue, MozartContext, PlanCache, PlanCacheStats, PoolHandle, PoolStats,
-    Splitter,
+    CancelToken, Concat, Config, DataValue, MozartContext, PlanCache, PlanCacheStats, PoolHandle,
+    PoolStats, Splitter,
 };
 
 use crate::admission::Admission;
@@ -25,12 +28,36 @@ pub const MAX_COALESCE: usize = 8;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Request {
     params: BTreeMap<String, String>,
+    /// Deadline in milliseconds from submission; `None` falls back to
+    /// the session's default ([`Session::set_deadline`]). Deliberately
+    /// *not* a parameter: it must never influence pipeline behavior or
+    /// coalescing fingerprints, only scheduling.
+    deadline_ms: Option<u64>,
 }
 
 impl Request {
     /// An empty request (pipelines fall back to their defaults).
     pub fn new() -> Request {
         Request::default()
+    }
+
+    /// Set a deadline in milliseconds from submission, builder-style.
+    /// Once it passes — while queued, while parked in a coalesced
+    /// batch, or mid-evaluation — the request is shed with
+    /// [`ServeError::DeadlineExceeded`]. `0` sheds immediately.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Request {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Set or clear the deadline in place.
+    pub fn set_deadline_ms(&mut self, ms: Option<u64>) {
+        self.deadline_ms = ms;
+    }
+
+    /// This request's explicit deadline, if any.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.deadline_ms
     }
 
     /// Set a parameter, builder-style.
@@ -232,6 +259,16 @@ pub struct ServiceConfig {
     /// ablation. Applied to the pool at build time, so it also affects
     /// other users of an adopted pool handle.
     pub fair_scheduling: bool,
+    /// Retries of a request whose evaluation failed *transiently* — a
+    /// caught panic ([`mozart_core::Error::TaskPanicked`]) or an
+    /// injected fault ([`mozart_core::Error::Injected`]) — under the
+    /// same admission permit, with jittered exponential backoff.
+    /// Deterministic errors never retry; 0 disables retrying.
+    pub max_retries: u32,
+    /// Base of the retry backoff: attempt `k` sleeps a jittered
+    /// duration in `[base·2ᵏ/2, base·2ᵏ]` milliseconds, clamped to the
+    /// request's remaining deadline. 0 retries immediately.
+    pub retry_backoff_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -246,6 +283,8 @@ impl Default for ServiceConfig {
             session_byte_budget: 0,
             coalescing: true,
             fair_scheduling: true,
+            max_retries: 2,
+            retry_backoff_ms: 5,
         }
     }
 }
@@ -264,6 +303,17 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Requests shed because their session exhausted its byte budget.
     pub over_budget: u64,
+    /// Requests shed because their deadline passed — while queued for
+    /// admission, while parked in a coalesced batch, or mid-evaluation
+    /// (cooperative cancellation at batch-claim boundaries).
+    pub deadline_shed: u64,
+    /// Evaluation attempts re-run after a transient failure (see
+    /// [`ServiceConfig::max_retries`]).
+    pub retries: u64,
+    /// Whether [`PipelineService::drain`] has been called: admission is
+    /// closed and every new request is shed with
+    /// [`ServeError::Draining`].
+    pub draining: bool,
     /// Requests served by piggybacking on another request's evaluation
     /// (cross-request coalescing followers; the leader of a coalesced
     /// batch is not counted).
@@ -295,11 +345,15 @@ struct CoalesceState {
     reqs: Vec<Request>,
     /// Set once the leader takes the batch; no further joiners.
     sealed: bool,
-    /// The shared outcome: per-request responses (in `reqs` order) plus
-    /// the evaluation's total byte cost, or the error every member
-    /// reports.
-    outcome: Option<std::result::Result<(Vec<Response>, u64), ServeError>>,
+    /// The shared outcome: per-member results (in `reqs` order — they
+    /// can differ when a failed coalesced evaluation degraded to
+    /// per-member evaluation) plus the total byte cost, or a
+    /// batch-level error (admission failure) every member reports.
+    outcome: Option<BatchOutcome>,
 }
+
+/// Resolved outcome of a coalesced batch (see [`CoalesceState`]).
+type BatchOutcome = std::result::Result<(Vec<Result<Response>>, u64), ServeError>;
 
 impl CoalesceBatch {
     fn new(leader_req: Request) -> CoalesceBatch {
@@ -343,7 +397,7 @@ impl CoalesceGuard<'_> {
     }
 
     /// Resolve the batch and wake every follower.
-    fn finish(mut self, outcome: std::result::Result<(Vec<Response>, u64), ServeError>) {
+    fn finish(mut self, outcome: BatchOutcome) {
         self.finished = true;
         self.seal();
         let mut st = lock(&self.batch.state);
@@ -392,6 +446,9 @@ struct ServiceInner {
     failed: AtomicU64,
     over_budget: AtomicU64,
     coalesced: AtomicU64,
+    deadline_shed: AtomicU64,
+    retries: AtomicU64,
+    draining: AtomicBool,
 }
 
 /// A multi-tenant, in-process pipeline service (the `mozart-serve`
@@ -465,6 +522,7 @@ impl PipelineService {
             weight: AtomicU32::new(weight),
             byte_budget: AtomicU64::new(inner.config.session_byte_budget),
             bytes_used: AtomicU64::new(0),
+            default_deadline_ms: AtomicU64::new(0),
         }
     }
 
@@ -499,6 +557,9 @@ impl PipelineService {
             rejected: inner.rejected.load(Ordering::Relaxed),
             failed: inner.failed.load(Ordering::Relaxed),
             over_budget: inner.over_budget.load(Ordering::Relaxed),
+            deadline_shed: inner.deadline_shed.load(Ordering::Relaxed),
+            retries: inner.retries.load(Ordering::Relaxed),
+            draining: inner.draining.load(Ordering::Relaxed),
             coalesced_requests: inner.coalesced.load(Ordering::Relaxed),
             coalesce_waiting,
             sessions: inner.session_counter.load(Ordering::Relaxed),
@@ -507,6 +568,25 @@ impl PipelineService {
             plan_cache: inner.cache.stats(),
             pool: inner.pool.stats(),
         }
+    }
+
+    /// Gracefully drain the service: close admission — every subsequent
+    /// request and every queued waiter is shed with
+    /// [`ServeError::Draining`] — and wait up to `timeout` for
+    /// in-flight evaluations (and the coalesced followers they resolve)
+    /// to finish. Returns whether the service went fully idle within
+    /// the timeout; either way, draining is irreversible for this
+    /// service instance. Safe to call from any thread (e.g. a SIGTERM
+    /// watcher) and idempotent.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.admission.close();
+        self.inner.admission.wait_idle(Instant::now() + timeout)
+    }
+
+    /// Whether [`PipelineService::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst) || self.inner.admission.is_closed()
     }
 
     /// One short-lived context per request: registration state never
@@ -529,11 +609,21 @@ impl PipelineService {
         wait: bool,
     ) -> Result<Response> {
         let inner = &self.inner;
+        if inner.draining.load(Ordering::SeqCst) {
+            inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Draining);
+        }
         let handler = read(&inner.pipelines)
             .get(pipeline)
             .cloned()
             .ok_or_else(|| ServeError::UnknownPipeline(pipeline.to_string()))?;
         session.check_budget(inner)?;
+        // The request's deadline clock starts here: an explicit
+        // per-request deadline wins over the session's default.
+        let deadline = req
+            .deadline_ms()
+            .or_else(|| session.deadline_ms())
+            .map(|ms| (Instant::now() + Duration::from_millis(ms), ms));
 
         // Cross-request coalescing: blocking requests whose coalesce
         // keys match may share one evaluation. try_call requests never
@@ -544,7 +634,7 @@ impl PipelineService {
                 // Join the open batch if one exists and has room.
                 let existing = lock(&inner.coalescer).get(&key).cloned();
                 if let Some(batch) = existing {
-                    if let Some(result) = self.join_batch(session, &batch, req) {
+                    if let Some(result) = self.join_batch(session, &batch, req, deadline) {
                         return result;
                     }
                     // Sealed or full: serve this request on its own
@@ -565,7 +655,7 @@ impl PipelineService {
                         }
                     };
                     if inserted {
-                        return self.lead_batch(session, &*handler, key, batch);
+                        return self.lead_batch(session, &*handler, key, batch, deadline);
                     }
                 }
             }
@@ -573,12 +663,16 @@ impl PipelineService {
 
         // Plain single-request path.
         let permit = if wait {
-            inner.admission.acquire()
+            inner.admission.acquire_deadline(deadline)
         } else {
             inner.admission.try_acquire()
         };
         let _permit = match permit {
             Ok(p) => p,
+            Err(e @ ServeError::DeadlineExceeded { .. }) => {
+                inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
             Err(e) => {
                 inner.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(e);
@@ -587,55 +681,192 @@ impl PipelineService {
         inner.started.fetch_add(1, Ordering::Relaxed);
         session.requests.fetch_add(1, Ordering::Relaxed);
 
-        let ctx = self.request_context(session);
-        let result = handler.run(&ctx, req);
-        session.charge(&ctx);
+        let (result, bytes) = self.run_attempts(session, &*handler, req, deadline);
+        session.bytes_used.fetch_add(bytes, Ordering::Relaxed);
         match result {
             Ok(resp) => {
                 inner.completed.fetch_add(1, Ordering::Relaxed);
                 Ok(resp)
             }
+            Err(e @ ServeError::DeadlineExceeded { .. }) => {
+                inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
             Err(e) => {
                 inner.failed.fetch_add(1, Ordering::Relaxed);
-                Err(ServeError::Runtime(e))
+                Err(e)
             }
+        }
+    }
+
+    /// Evaluate one request under an already-held admission permit,
+    /// retrying transient failures (caught panics, injected faults) up
+    /// to [`ServiceConfig::max_retries`] times with jittered backoff.
+    /// Each attempt gets a fresh context — a panicked evaluation
+    /// poisons its context — carrying a deadline cancel token, so an
+    /// expired request stops claiming batches instead of running to
+    /// completion. Returns the final result plus the bytes split +
+    /// merged across *all* attempts (failed work still cost the
+    /// machine; the session's budget sees it).
+    fn run_attempts(
+        &self,
+        session: &Session,
+        handler: &dyn Pipeline,
+        req: &Request,
+        deadline: Option<(Instant, u64)>,
+    ) -> (Result<Response>, u64) {
+        let inner = &self.inner;
+        let mut bytes = 0u64;
+        let mut attempt: u32 = 0;
+        loop {
+            if let Some((d, ms)) = deadline {
+                if Instant::now() >= d {
+                    return (Err(ServeError::DeadlineExceeded { deadline_ms: ms }), bytes);
+                }
+            }
+            let ctx = self.request_context(session);
+            if let Some((d, _)) = deadline {
+                ctx.set_cancel_token(CancelToken::with_deadline(d));
+            }
+            let result = handler.run(&ctx, req);
+            let stats = ctx.stats();
+            bytes = bytes.saturating_add(stats.bytes_split.saturating_add(stats.bytes_merged));
+            match result {
+                Ok(resp) => return (Ok(resp), bytes),
+                Err(mozart_core::Error::Cancelled(_)) => {
+                    // Cooperative abandonment: the deadline token fired
+                    // mid-evaluation. Never retried.
+                    let ms = deadline.map_or(0, |(_, ms)| ms);
+                    return (Err(ServeError::DeadlineExceeded { deadline_ms: ms }), bytes);
+                }
+                Err(e) => {
+                    let e = ServeError::Runtime(e);
+                    if !e.is_transient() || attempt >= inner.config.max_retries {
+                        return (Err(e), bytes);
+                    }
+                    attempt += 1;
+                    inner.retries.fetch_add(1, Ordering::Relaxed);
+                    self.backoff(session.id, attempt, deadline);
+                }
+            }
+        }
+    }
+
+    /// Jittered exponential backoff before retry `attempt`, clamped to
+    /// the request's remaining deadline (a retry that cannot finish in
+    /// time sleeps short and is shed by the next deadline check). The
+    /// jitter is deterministic per (session, attempt, global retry
+    /// count) — `splitmix64`, the fault injector's mixer — so sessions
+    /// retrying in lockstep after a shared fault decorrelate.
+    fn backoff(&self, session: u64, attempt: u32, deadline: Option<(Instant, u64)>) {
+        let base = self.inner.config.retry_backoff_ms;
+        if base == 0 {
+            return;
+        }
+        let scaled = base.saturating_mul(1u64 << attempt.min(6));
+        let seed = session
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(attempt))
+            .wrapping_add(self.inner.retries.load(Ordering::Relaxed) << 17);
+        let jitter = splitmix64(seed) % (scaled / 2 + 1);
+        let mut wait = Duration::from_millis(scaled / 2 + jitter);
+        if let Some((d, _)) = deadline {
+            wait = wait.min(d.saturating_duration_since(Instant::now()));
+        }
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
         }
     }
 
     /// Wait on a forming batch as a follower. Returns `None` if the
     /// batch cannot be joined (sealed by its leader or at capacity).
+    /// A follower whose deadline passes while parked sheds itself with
+    /// [`ServeError::DeadlineExceeded`] without disturbing the batch
+    /// (its slot in the member list stays — indices into the leader's
+    /// per-member results must remain stable — it just goes unclaimed).
     fn join_batch(
         &self,
         session: &Session,
         batch: &Arc<CoalesceBatch>,
         req: &Request,
+        deadline: Option<(Instant, u64)>,
     ) -> Option<Result<Response>> {
         let inner = &self.inner;
         let mut st = lock(&batch.state);
         if st.sealed || st.reqs.len() >= MAX_COALESCE {
             return None;
         }
+        if let Some((d, ms)) = deadline {
+            if Instant::now() >= d {
+                inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                return Some(Err(ServeError::DeadlineExceeded { deadline_ms: ms }));
+            }
+        }
         let idx = st.reqs.len();
         st.reqs.push(req.clone());
         while st.outcome.is_none() {
-            st = batch.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            match deadline {
+                None => st = batch.cv.wait(st).unwrap_or_else(|p| p.into_inner()),
+                Some((d, ms)) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        drop(st);
+                        inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                        return Some(Err(ServeError::DeadlineExceeded { deadline_ms: ms }));
+                    }
+                    st = batch
+                        .cv
+                        .wait_timeout(st, d - now)
+                        .unwrap_or_else(|p| p.into_inner())
+                        .0;
+                }
+            }
         }
         let members = st.reqs.len() as u64;
-        Some(match st.outcome.as_ref().expect("outcome set") {
-            Ok((resps, bytes)) => {
+        let Some(outcome) = st.outcome.as_ref() else {
+            // Unreachable (the wait loop exits only once set); typed
+            // rather than panicking so a bug here fails one request.
+            return Some(Err(ServeError::Runtime(mozart_core::Error::Library(
+                "coalesced batch resolved without an outcome".into(),
+            ))));
+        };
+        Some(match outcome {
+            Ok((results, bytes)) => {
                 inner.started.fetch_add(1, Ordering::Relaxed);
-                inner.completed.fetch_add(1, Ordering::Relaxed);
                 inner.coalesced.fetch_add(1, Ordering::Relaxed);
                 session.requests.fetch_add(1, Ordering::Relaxed);
                 session
                     .bytes_used
                     .fetch_add(bytes / members.max(1), Ordering::Relaxed);
-                Ok(resps[idx].clone())
+                let own = results.get(idx).cloned().unwrap_or_else(|| {
+                    Err(ServeError::Runtime(mozart_core::Error::Library(
+                        "coalesced batch outcome is missing this member's slot".into(),
+                    )))
+                });
+                match &own {
+                    Ok(_) => {
+                        inner.completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(ServeError::DeadlineExceeded { .. }) => {
+                        inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        inner.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                own
             }
-            Err(e @ ServeError::Saturated { .. }) => {
+            Err(e @ (ServeError::Saturated { .. } | ServeError::Draining)) => {
                 // The batch never got an admission slot; the follower
-                // would have queued behind the same full line.
+                // would have queued behind the same full (or closed)
+                // line.
                 inner.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e.clone())
+            }
+            Err(e @ ServeError::DeadlineExceeded { .. }) => {
+                // The leader's deadline expired before admission; the
+                // batch died with it.
+                inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
                 Err(e.clone())
             }
             Err(e) => {
@@ -648,13 +879,15 @@ impl PipelineService {
     }
 
     /// Acquire admission for a published batch, evaluate every member
-    /// request as one coalesced pipeline, and distribute the responses.
+    /// request (as one coalesced pipeline when possible), and
+    /// distribute the per-member results.
     fn lead_batch(
         &self,
         session: &Session,
         handler: &dyn Pipeline,
         key: (String, u64),
         batch: Arc<CoalesceBatch>,
+        deadline: Option<(Instant, u64)>,
     ) -> Result<Response> {
         let inner = &self.inner;
         let guard = CoalesceGuard {
@@ -665,10 +898,14 @@ impl PipelineService {
         };
         // Followers join while this blocks — the window where the
         // service is busy is exactly the window coalescing pays off.
-        let permit = match inner.admission.acquire() {
+        let permit = match inner.admission.acquire_deadline(deadline) {
             Ok(p) => p,
             Err(e) => {
-                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                if matches!(e, ServeError::DeadlineExceeded { .. }) {
+                    inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    inner.rejected.fetch_add(1, Ordering::Relaxed);
+                }
                 guard.finish(Err(e.clone()));
                 return Err(e);
             }
@@ -677,58 +914,113 @@ impl PipelineService {
         inner.started.fetch_add(1, Ordering::Relaxed);
         session.requests.fetch_add(1, Ordering::Relaxed);
 
-        let ctx = self.request_context(session);
-        let result = if reqs.len() == 1 {
-            handler.run(&ctx, &reqs[0]).map(|r| vec![r])
-        } else {
-            match coalesce_segments(&ctx, handler, &reqs) {
-                Some(r) => r,
-                // The pipeline declined (no segment support, a missing
-                // Concat capability, or the size bound): evaluate the
-                // members individually under the one admission slot.
-                None => reqs.iter().map(|r| handler.run(&ctx, r)).collect(),
-            }
-        };
-        let stats = ctx.stats();
-        let bytes = stats.bytes_split.saturating_add(stats.bytes_merged);
+        let (results, bytes) = self.eval_batch(session, handler, &reqs, deadline);
         drop(permit);
 
-        match result {
-            Ok(resps) if resps.len() == reqs.len() => {
+        // The batch's byte cost splits evenly across members (failed
+        // work included): it must not land on the leader's budget alone.
+        session
+            .bytes_used
+            .fetch_add(bytes / reqs.len() as u64, Ordering::Relaxed);
+        let own = results.first().cloned().unwrap_or_else(|| {
+            Err(ServeError::Runtime(mozart_core::Error::Library(
+                "coalesced batch produced no leader result".into(),
+            )))
+        });
+        match &own {
+            Ok(_) => {
                 inner.completed.fetch_add(1, Ordering::Relaxed);
-                session
-                    .bytes_used
-                    .fetch_add(bytes / reqs.len() as u64, Ordering::Relaxed);
-                let own = resps[0].clone();
-                guard.finish(Ok((resps, bytes)));
-                Ok(own)
             }
-            Ok(resps) => {
-                let e = ServeError::Runtime(mozart_core::Error::Library(format!(
-                    "coalesced evaluation returned {} responses for {} requests",
-                    resps.len(),
-                    reqs.len()
-                )));
-                inner.failed.fetch_add(1, Ordering::Relaxed);
-                session
-                    .bytes_used
-                    .fetch_add(bytes / reqs.len() as u64, Ordering::Relaxed);
-                guard.finish(Err(e.clone()));
-                Err(e)
+            Err(ServeError::DeadlineExceeded { .. }) => {
+                inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
             }
-            Err(e) => {
-                let e = ServeError::Runtime(e);
+            Err(_) => {
                 inner.failed.fetch_add(1, Ordering::Relaxed);
-                // Same per-member split as the success path: the batch's
-                // cost must not land on the leader's budget alone just
-                // because the evaluation failed.
-                session
-                    .bytes_used
-                    .fetch_add(bytes / reqs.len() as u64, Ordering::Relaxed);
-                guard.finish(Err(e.clone()));
-                Err(e)
             }
         }
+        guard.finish(Ok((results, bytes)));
+        own
+    }
+
+    /// Evaluate a sealed batch's member requests, retrying transient
+    /// failures of the shared evaluation and **degrading** to
+    /// per-member individual evaluation (each with its own retry
+    /// budget, all under the leader's one admission slot) when the
+    /// shared evaluation keeps failing transiently or the pipeline
+    /// declines to coalesce — one fault must not condemn the whole
+    /// batch. Deterministic errors fail every member identically.
+    /// Returns per-member results in `reqs` order plus the total byte
+    /// cost of all attempts.
+    fn eval_batch(
+        &self,
+        session: &Session,
+        handler: &dyn Pipeline,
+        reqs: &[Request],
+        deadline: Option<(Instant, u64)>,
+    ) -> (Vec<Result<Response>>, u64) {
+        let inner = &self.inner;
+        if reqs.len() == 1 {
+            let (r, b) = self.run_attempts(session, handler, &reqs[0], deadline);
+            return (vec![r], b);
+        }
+        let mut bytes = 0u64;
+        let mut attempt: u32 = 0;
+        loop {
+            if let Some((d, ms)) = deadline {
+                if Instant::now() >= d {
+                    let e = ServeError::DeadlineExceeded { deadline_ms: ms };
+                    return (vec![Err(e); reqs.len()], bytes);
+                }
+            }
+            let ctx = self.request_context(session);
+            if let Some((d, _)) = deadline {
+                ctx.set_cancel_token(CancelToken::with_deadline(d));
+            }
+            let result = coalesce_segments(&ctx, handler, reqs);
+            let stats = ctx.stats();
+            bytes = bytes.saturating_add(stats.bytes_split.saturating_add(stats.bytes_merged));
+            match result {
+                // The pipeline declined (no segment support, a missing
+                // Concat capability, or the size bound): per-member
+                // evaluation below.
+                None => break,
+                Some(Ok(resps)) if resps.len() == reqs.len() => {
+                    return (resps.into_iter().map(Ok).collect(), bytes);
+                }
+                Some(Ok(resps)) => {
+                    let e = ServeError::Runtime(mozart_core::Error::Library(format!(
+                        "coalesced evaluation returned {} responses for {} requests",
+                        resps.len(),
+                        reqs.len()
+                    )));
+                    return (vec![Err(e); reqs.len()], bytes);
+                }
+                Some(Err(mozart_core::Error::Cancelled(_))) => {
+                    let ms = deadline.map_or(0, |(_, ms)| ms);
+                    let e = ServeError::DeadlineExceeded { deadline_ms: ms };
+                    return (vec![Err(e); reqs.len()], bytes);
+                }
+                Some(Err(e)) => {
+                    let e = ServeError::Runtime(e);
+                    if !e.is_transient() {
+                        return (vec![Err(e); reqs.len()], bytes);
+                    }
+                    if attempt >= inner.config.max_retries {
+                        break; // degrade: isolate the fault per member
+                    }
+                    attempt += 1;
+                    inner.retries.fetch_add(1, Ordering::Relaxed);
+                    self.backoff(session.id, attempt, deadline);
+                }
+            }
+        }
+        let mut results = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let (r, b) = self.run_attempts(session, handler, req, deadline);
+            bytes = bytes.saturating_add(b);
+            results.push(r);
+        }
+        (results, bytes)
     }
 }
 
@@ -833,15 +1125,14 @@ fn coalesce_built_segments(
     };
 
     // One evaluation (the leader's body) over the combined inputs...
-    let mut responds = Vec::with_capacity(segments.len());
-    let mut eval = None;
-    for (i, seg) in segments.into_iter().enumerate() {
-        if i == 0 {
-            eval = Some(seg.eval);
-        }
-        responds.push(seg.respond);
-    }
-    let outs = (eval.expect("leader segment exists"))(ctx, &cat_inputs)?;
+    let mut members = segments.into_iter();
+    let Some(leader) = members.next() else {
+        return Ok(None);
+    };
+    let eval = leader.eval;
+    let mut responds = vec![leader.respond];
+    responds.extend(members.map(|s| s.respond));
+    let outs = eval(ctx, &cat_inputs)?;
     if outs.len() != out_arity {
         return Err(structural(format!(
             "evaluation returned {} outputs, segment declared {out_arity}",
@@ -922,6 +1213,22 @@ impl ServiceBuilder {
         self
     }
 
+    /// Retries of transiently failed evaluations under the same
+    /// admission permit (see [`ServiceConfig::max_retries`]; 0
+    /// disables retrying).
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.config.max_retries = n;
+        self
+    }
+
+    /// Base of the jittered exponential retry backoff, in milliseconds
+    /// (see [`ServiceConfig::retry_backoff_ms`]; 0 retries
+    /// immediately).
+    pub fn retry_backoff_ms(mut self, ms: u64) -> Self {
+        self.config.retry_backoff_ms = ms;
+        self
+    }
+
     /// Enable or disable deficit-weighted session scheduling on the
     /// shared pool (on by default; `false` is the FIFO ablation).
     pub fn fair_scheduling(mut self, on: bool) -> Self {
@@ -997,6 +1304,9 @@ impl ServiceBuilder {
                 failed: AtomicU64::new(0),
                 over_budget: AtomicU64::new(0),
                 coalesced: AtomicU64::new(0),
+                deadline_shed: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                draining: AtomicBool::new(false),
                 config,
             }),
         };
@@ -1022,6 +1332,9 @@ pub struct Session {
     /// Bytes split + merged on this session's behalf, accumulated from
     /// each request context's phase stats.
     bytes_used: AtomicU64,
+    /// Default deadline in milliseconds for requests that carry none
+    /// (0 = no default; sub-millisecond settings round up to 1).
+    default_deadline_ms: AtomicU64,
 }
 
 impl Session {
@@ -1084,11 +1397,25 @@ impl Session {
         Ok(())
     }
 
-    /// Charge a finished request context's byte cost to the session.
-    fn charge(&self, ctx: &MozartContext) {
-        let stats = ctx.stats();
-        let bytes = stats.bytes_split.saturating_add(stats.bytes_merged);
-        self.bytes_used.fetch_add(bytes, Ordering::Relaxed);
+    /// This session's default deadline in milliseconds for requests
+    /// that carry no explicit deadline (`None` = no default).
+    pub fn deadline_ms(&self) -> Option<u64> {
+        match self.default_deadline_ms.load(Ordering::Relaxed) {
+            0 => None,
+            ms => Some(ms),
+        }
+    }
+
+    /// Set (or clear, with `None`) the default deadline applied to this
+    /// session's requests that carry no explicit
+    /// [`Request::with_deadline_ms`]. Sub-millisecond durations round
+    /// up to 1 ms; an immediate-shed deadline is expressed per request
+    /// (`with_deadline_ms(0)`).
+    pub fn set_deadline(&self, deadline: Option<Duration>) {
+        let ms = deadline.map_or(0, |d| {
+            u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(1)
+        });
+        self.default_deadline_ms.store(ms, Ordering::Relaxed);
     }
 
     /// Run `pipeline` with `req`, waiting in the bounded admission

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
-use mozart_core::{Config, MozartContext};
+use mozart_core::{Config, FaultKind, FaultPhase, FaultPlan, FaultPoint, MozartContext};
 use mozart_serve::{Pipeline, PipelineService, Request, Response, ServeError};
 
 fn small_service(workers: usize) -> PipelineService {
@@ -431,6 +431,321 @@ fn builder_defaults_apply_to_new_sessions() {
     assert_eq!(session.byte_budget(), 1 << 20);
     session.set_weight(5);
     assert_eq!(session.weight(), 5);
+}
+
+/// A pipeline that fails its first `failures` invocations, for retry
+/// tests. `transient` picks between a retryable panic-shaped error and
+/// a deterministic library error.
+struct FlakyPipeline {
+    failures: AtomicU64,
+    attempts: Arc<AtomicU64>,
+    transient: bool,
+}
+
+impl Pipeline for FlakyPipeline {
+    fn name(&self) -> &'static str {
+        "flaky"
+    }
+    fn run(&self, _ctx: &MozartContext, _req: &Request) -> mozart_core::Result<Response> {
+        self.attempts.fetch_add(1, Ordering::SeqCst);
+        if self
+            .failures
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |f| f.checked_sub(1))
+            .is_ok()
+        {
+            return Err(if self.transient {
+                mozart_core::Error::TaskPanicked {
+                    stage: FaultPhase::Task,
+                    payload: "flaky pipeline panic".into(),
+                }
+            } else {
+                mozart_core::Error::Library("deterministic flaky failure".into())
+            });
+        }
+        Ok(Response::new("ok"))
+    }
+}
+
+fn flaky_service(
+    failures: u64,
+    transient: bool,
+    max_retries: u32,
+) -> (PipelineService, Arc<AtomicU64>) {
+    let attempts = Arc::new(AtomicU64::new(0));
+    let service = PipelineService::builder()
+        .workers(1)
+        .max_retries(max_retries)
+        .retry_backoff_ms(1)
+        .pipeline(Arc::new(FlakyPipeline {
+            failures: AtomicU64::new(failures),
+            attempts: attempts.clone(),
+            transient,
+        }))
+        .build();
+    (service, attempts)
+}
+
+#[test]
+fn zero_deadline_sheds_before_admission_with_typed_error() {
+    let service = small_service(1);
+    let session = service.session();
+    let req = Request::new().with("n", 512).with_deadline_ms(0);
+    let err = session.call("black_scholes", &req).unwrap_err();
+    assert_eq!(err, ServeError::DeadlineExceeded { deadline_ms: 0 });
+    assert_eq!(err.kind(), "deadline_exceeded");
+    let stats = service.stats();
+    // Shed distinctly: not started, not saturation-rejected, not failed.
+    assert_eq!(stats.deadline_shed, 1, "{stats:?}");
+    assert_eq!(stats.started, 0);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.failed, 0);
+    // The session stays usable.
+    session
+        .call("black_scholes", &Request::new().with("n", 512))
+        .unwrap();
+}
+
+#[test]
+fn deadlines_expire_while_queued_in_admission() {
+    let started = Arc::new(AtomicU64::new(0));
+    let release = Arc::new(Barrier::new(2));
+    let service = PipelineService::builder()
+        .workers(1)
+        .max_inflight(1)
+        .queue_depth(8)
+        .pipeline(Arc::new(StallPipeline {
+            started: started.clone(),
+            release: release.clone(),
+        }))
+        .build();
+    std::thread::scope(|s| {
+        let svc = service.clone();
+        let occupant = s.spawn(move || svc.session().call("stall", &Request::new()).unwrap());
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Per-request deadline: expires waiting for the occupied slot.
+        let session = service.session();
+        let err = session
+            .call("stall", &Request::new().with_deadline_ms(30))
+            .unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded { deadline_ms: 30 });
+        // Session default deadline: same shedding path, no per-request
+        // annotation needed.
+        let session = service.session();
+        session.set_deadline(Some(Duration::from_millis(40)));
+        let err = session.call("stall", &Request::new()).unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded { deadline_ms: 40 });
+        release.wait();
+        assert_eq!(occupant.join().unwrap().body, "stalled");
+    });
+    let stats = service.stats();
+    assert_eq!(stats.deadline_shed, 2, "{stats:?}");
+    assert_eq!(stats.rejected, 0, "deadline sheds are not saturation");
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn transient_failures_retry_until_success() {
+    let (service, attempts) = flaky_service(2, true, 2);
+    let resp = service.session().call("flaky", &Request::new()).unwrap();
+    assert_eq!(resp.body, "ok");
+    assert_eq!(attempts.load(Ordering::SeqCst), 3, "2 failures + 1 success");
+    let stats = service.stats();
+    assert_eq!(stats.retries, 2, "{stats:?}");
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.started, 1, "retries run under one admission permit");
+}
+
+#[test]
+fn retry_budget_exhaustion_surfaces_the_typed_error() {
+    let (service, attempts) = flaky_service(10, true, 1);
+    let err = service
+        .session()
+        .call("flaky", &Request::new())
+        .unwrap_err();
+    assert_eq!(err.kind(), "runtime");
+    assert!(err.to_string().contains("flaky pipeline panic"), "{err}");
+    assert_eq!(attempts.load(Ordering::SeqCst), 2, "1 try + 1 retry");
+    let stats = service.stats();
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 0);
+}
+
+#[test]
+fn deterministic_failures_never_retry() {
+    let (service, attempts) = flaky_service(10, false, 3);
+    let err = service
+        .session()
+        .call("flaky", &Request::new())
+        .unwrap_err();
+    assert_eq!(err.kind(), "runtime");
+    assert_eq!(
+        attempts.load(Ordering::SeqCst),
+        1,
+        "a deterministic error must not burn the retry budget"
+    );
+    assert_eq!(service.stats().retries, 0);
+    assert_eq!(service.stats().failed, 1);
+}
+
+#[test]
+fn injected_runtime_faults_retry_bit_identically() {
+    // The fault plan rides the session config into the per-attempt
+    // evaluation context: attempt 1 hits the injected task fault
+    // (transient), attempt 2 runs clean — and the response must equal a
+    // fault-free service's, bit for bit.
+    let want = {
+        let reference = small_service(1);
+        let session = reference.session();
+        session
+            .call("black_scholes", &Request::new().with("n", 2048))
+            .unwrap()
+    };
+    let mut cfg = Config::with_workers(1);
+    cfg.batch_override = Some(512);
+    cfg.fault_plan = Some(Arc::new(
+        FaultPlan::new().point(FaultPoint::once(FaultPhase::Task, FaultKind::Error)),
+    ));
+    let service = PipelineService::builder()
+        .workers(1)
+        .session_config(cfg)
+        .coalescing(false)
+        .max_retries(2)
+        .retry_backoff_ms(1)
+        .builtin_pipelines()
+        .build();
+    let resp = service
+        .session()
+        .call("black_scholes", &Request::new().with("n", 2048))
+        .unwrap();
+    assert_eq!(resp, want);
+    let stats = service.stats();
+    assert!(stats.retries >= 1, "{stats:?}");
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 0);
+}
+
+/// A fault inside a *coalesced* evaluation must not take the followers
+/// down with the leader: with the retry budget at zero, the failed
+/// batch degrades to per-member individual evaluation and every member
+/// still gets its own bit-exact response.
+#[test]
+fn coalesced_batch_fault_degrades_to_individual_evaluation() {
+    let started = Arc::new(AtomicU64::new(0));
+    let release = Arc::new(Barrier::new(2));
+    let mut cfg = Config::with_workers(1);
+    cfg.batch_override = Some(512);
+    cfg.fault_plan = Some(Arc::new(
+        FaultPlan::new().point(FaultPoint::once(FaultPhase::Task, FaultKind::Error)),
+    ));
+    let service = PipelineService::builder()
+        .workers(1)
+        .max_inflight(1)
+        .queue_depth(8)
+        .max_retries(0) // force degradation, not batch retry
+        .session_config(cfg)
+        .builtin_pipelines()
+        .pipeline(Arc::new(StallPipeline {
+            started: started.clone(),
+            release: release.clone(),
+        }))
+        .build();
+    let reference = small_service(1);
+    let req_a = Request::new().with("n", 2048).with("seed", 11u64);
+    let req_b = Request::new().with("n", 2048).with("seed", 22u64);
+    let want_a = reference.session().call("black_scholes", &req_a).unwrap();
+    let want_b = reference.session().call("black_scholes", &req_b).unwrap();
+
+    std::thread::scope(|s| {
+        let svc = service.clone();
+        let occupant = s.spawn(move || svc.session().call("stall", &Request::new()).unwrap());
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let svc = service.clone();
+        let ra = req_a.clone();
+        let leader = s.spawn(move || svc.session().call("black_scholes", &ra).unwrap());
+        while service.stats().waiting == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let svc = service.clone();
+        let rb = req_b.clone();
+        let follower = s.spawn(move || svc.session().call("black_scholes", &rb).unwrap());
+        while service.stats().coalesce_waiting == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        release.wait();
+        occupant.join().unwrap();
+        // The coalesced attempt hit the injected fault; both members
+        // must still come back correct via individual evaluation.
+        assert_eq!(leader.join().unwrap(), want_a);
+        assert_eq!(follower.join().unwrap(), want_b);
+    });
+    let stats = service.stats();
+    assert_eq!(stats.coalesced_requests, 1, "{stats:?}");
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.retries, 0);
+}
+
+#[test]
+fn drain_rejects_new_work_and_waits_for_inflight() {
+    // Idle service: drain completes immediately and closes admission.
+    let service = small_service(1);
+    assert!(!service.is_draining());
+    assert!(service.drain(Duration::from_millis(100)));
+    assert!(service.is_draining());
+    let err = service
+        .session()
+        .call("black_scholes", &Request::new().with("n", 512))
+        .unwrap_err();
+    assert_eq!(err, ServeError::Draining);
+    assert_eq!(err.kind(), "draining");
+    let stats = service.stats();
+    assert!(stats.draining);
+    assert_eq!(stats.rejected, 1);
+
+    // Busy service: drain reports false while work is in flight, lets
+    // it finish, and a later drain observes the idle service.
+    let started = Arc::new(AtomicU64::new(0));
+    let release = Arc::new(Barrier::new(2));
+    let service = PipelineService::builder()
+        .workers(1)
+        .max_inflight(1)
+        .queue_depth(4)
+        .pipeline(Arc::new(StallPipeline {
+            started: started.clone(),
+            release: release.clone(),
+        }))
+        .build();
+    std::thread::scope(|s| {
+        let svc = service.clone();
+        let occupant = s.spawn(move || svc.session().call("stall", &Request::new()).unwrap());
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            !service.drain(Duration::from_millis(10)),
+            "drain must not claim success with work in flight"
+        );
+        // New arrivals are turned away while the occupant drains out.
+        let err = service
+            .session()
+            .call("stall", &Request::new())
+            .unwrap_err();
+        assert_eq!(err, ServeError::Draining);
+        release.wait();
+        // In-flight work completes despite the drain.
+        assert_eq!(occupant.join().unwrap().body, "stalled");
+    });
+    assert!(service.drain(Duration::from_millis(500)));
+    let stats = service.stats();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 0);
 }
 
 /// Multi-session fairness: 3 sessions with skewed demand (two hot

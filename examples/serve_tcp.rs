@@ -39,12 +39,76 @@
 //! followers so far, `coalesce_waiting` parked in open batches right
 //! now), so operators can observe coalescing without attaching a
 //! debugger.
+//!
+//! Fault-tolerance controls: `DEADLINE <ms>` sets the session's default
+//! request deadline (0 clears it), a per-call `DEADLINE_MS=<ms>` pair
+//! overrides it, and expired requests are shed with
+//! `ERR deadline_exceeded`. `DRAIN [timeout_ms]` gracefully drains the
+//! whole service: admission closes (new calls get `ERR draining`),
+//! in-flight work finishes, and the reply reports whether the service
+//! went idle within the timeout. `SIGTERM`/`SIGINT` trigger the same
+//! drain before the process exits, so a supervisor restart never drops
+//! accepted requests.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
 
 use mozart_serve::protocol::{err_line, ok_line, parse_line, ClientLine};
 use mozart_serve::PipelineService;
+
+/// Drain-then-exit on SIGTERM/SIGINT. `std` has no signal API and the
+/// workspace is dependency-free, so on Unix we register a minimal
+/// handler against the libc `signal` symbol the binary already links.
+#[cfg(unix)]
+mod term_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store, observed by the
+        // watcher thread.
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+/// Watch for a termination signal; drain the service and exit when one
+/// arrives.
+#[cfg(unix)]
+fn spawn_drain_on_signal(service: PipelineService, timeout: Duration) {
+    term_signal::install();
+    std::thread::spawn(move || loop {
+        if term_signal::requested() {
+            eprintln!("signal received: draining (timeout {timeout:?})");
+            let idle = service.drain(timeout);
+            eprintln!("drain complete: idle={idle}");
+            std::process::exit(if idle { 0 } else { 1 });
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+}
+
+#[cfg(not(unix))]
+fn spawn_drain_on_signal(_service: PipelineService, _timeout: Duration) {}
 
 fn main() {
     let self_test = std::env::args().any(|a| a == "--self-test");
@@ -81,6 +145,7 @@ fn main() {
         drop(server);
         return;
     }
+    spawn_drain_on_signal(service.clone(), Duration::from_secs(5));
     accept_loop(listener, service);
 }
 
@@ -125,6 +190,14 @@ fn serve_connection(stream: TcpStream, service: &PipelineService) -> std::io::Re
                 session.set_byte_budget(b);
                 ok_line(&format!("budget={b}"))
             }
+            Ok(ClientLine::Deadline(ms)) => {
+                session.set_deadline((ms > 0).then(|| Duration::from_millis(ms)));
+                ok_line(&format!("deadline_ms={ms}"))
+            }
+            Ok(ClientLine::Drain(timeout_ms)) => {
+                let idle = service.drain(Duration::from_millis(timeout_ms));
+                ok_line(&format!("draining idle={idle}"))
+            }
             Ok(ClientLine::Call(name, req)) => match session.call(&name, &req) {
                 Ok(resp) => ok_line(&resp.body),
                 Err(e) => err_line(&e),
@@ -140,13 +213,18 @@ fn stats_body(service: &PipelineService) -> String {
     let s = service.stats();
     format!(
         "started={} completed={} rejected={} failed={} over_budget={} \
+         deadline_shed={} retries={} draining={} \
          coalesced_requests={} coalesce_waiting={} sessions={} inflight={} \
-         plan_hits={} plan_misses={} plan_entries={} pool_workers={} pool_jobs={}",
+         plan_hits={} plan_misses={} plan_entries={} pool_workers={} pool_jobs={} \
+         pool_panicked_batches={} pool_respawned_workers={}",
         s.started,
         s.completed,
         s.rejected,
         s.failed,
         s.over_budget,
+        s.deadline_shed,
+        s.retries,
+        s.draining,
         s.coalesced_requests,
         s.coalesce_waiting,
         s.sessions,
@@ -156,6 +234,8 @@ fn stats_body(service: &PipelineService) -> String {
         s.plan_cache.entries,
         s.pool.workers,
         s.pool.jobs,
+        s.pool.panicked_batches,
+        s.pool.respawned_workers,
     )
 }
 
@@ -163,32 +243,49 @@ fn run_self_test(addr: std::net::SocketAddr) {
     let stream = TcpStream::connect(addr).expect("connect to self");
     let mut writer = stream.try_clone().expect("clone stream");
     let mut reader = BufReader::new(stream);
+    // Each entry is (request line, required reply prefix) — "OK"/"ERR"
+    // for generic outcomes, a full `ERR <kind>` prefix where the typed
+    // error is the point of the exchange.
     let script = [
-        ("LIST", false),
-        ("WEIGHT 2", false),
-        ("BUDGET 500000000", false),
-        ("black_scholes n=2048", false),
-        ("black_scholes n=2048", false), // identical: plan-cache replay
-        ("haversine n=1024 seed=3", false),
-        ("nashville width=64 height=48", false),
-        ("crime_index rows=512", false),
-        ("no_such_pipeline", true),
-        ("black_scholes n=abc", true),
-        ("black_scholes n=2048 n=4096", true), // duplicate key rejected
-        ("WEIGHT 0", true),
-        ("BUDGET lots", true),
-        ("STATS", false),
-        ("QUIT", false),
+        ("LIST", "OK"),
+        ("WEIGHT 2", "OK"),
+        ("BUDGET 500000000", "OK"),
+        ("black_scholes n=2048", "OK"),
+        ("black_scholes n=2048", "OK"), // identical: plan-cache replay
+        ("haversine n=1024 seed=3", "OK"),
+        ("nashville width=64 height=48", "OK"),
+        ("crime_index rows=512", "OK"),
+        ("no_such_pipeline", "ERR"),
+        ("black_scholes n=abc", "ERR"),
+        ("black_scholes n=2048 n=4096", "ERR"), // duplicate key rejected
+        ("WEIGHT 0", "ERR"),
+        ("BUDGET lots", "ERR"),
+        // An already-expired deadline sheds with the typed error before
+        // any work starts.
+        (
+            "black_scholes n=2048 DEADLINE_MS=0",
+            "ERR deadline_exceeded",
+        ),
+        // Session default deadline: set, exercise a request that beats
+        // it comfortably, clear it again.
+        ("DEADLINE 60000", "OK deadline_ms=60000"),
+        ("black_scholes n=2048", "OK"),
+        ("DEADLINE 0", "OK deadline_ms=0"),
+        ("STATS", "OK"),
+        // Drain handshake: the service empties (idle=true), then turns
+        // new work away with the typed draining error.
+        ("DRAIN 2000", "OK draining idle=true"),
+        ("black_scholes n=1024", "ERR draining"),
+        ("QUIT", "OK"),
     ];
-    for (line, expect_err) in script {
+    for (line, expect) in script {
         writeln!(writer, "{line}").expect("send");
         let mut reply = String::new();
         reader.read_line(&mut reply).expect("recv");
         print!("> {line}\n{reply}");
-        assert_eq!(
-            reply.starts_with("ERR"),
-            expect_err,
-            "unexpected reply to {line:?}: {reply:?}"
+        assert!(
+            reply.starts_with(expect),
+            "unexpected reply to {line:?}: {reply:?} (want prefix {expect:?})"
         );
     }
 }
