@@ -10,10 +10,18 @@
 //! placement-off run, and that both configurations produce identical
 //! workload outputs (summary checksums against the copying baseline).
 //!
-//! Emits `bench_results/BENCH_phases.json`.
+//! Emits `bench_results/BENCH_phases.json`. Set
+//! `MOZART_TRACE_EXPORT=<file.json>` to additionally record every
+//! evaluation with [`mozart_core::trace`] and write the spans as Chrome
+//! trace-event JSON (open in `chrome://tracing` or Perfetto) to
+//! `bench_results/<file.json>` — one row per worker thread, one slice
+//! per planner/split/task/merge span.
+
+use std::sync::Arc;
 
 use mozart_bench::{write_results, BenchOpts};
-use mozart_core::{Config, PhaseStats};
+use mozart_core::trace::TraceRecorder;
+use mozart_core::{chrome_trace_json, Config, PhaseStats};
 
 struct Measured {
     stats: PhaseStats,
@@ -39,11 +47,13 @@ fn run_workload(
     placement: bool,
     batch: Option<u64>,
     evals: usize,
+    tracing: Option<Arc<TraceRecorder>>,
     mut f: impl FnMut(&mozart_core::MozartContext) -> f64,
 ) -> Measured {
     let mut cfg = Config::with_workers(threads);
     cfg.placement_merge = placement;
     cfg.batch_override = batch;
+    cfg.tracing = tracing;
     // One context per evaluation — the serving model, and the honest
     // measurement: a context's dataflow graph retains every value it
     // ever produced, so a long-lived bench context would pin all prior
@@ -119,6 +129,10 @@ fn main() {
     let threads = *opts.threads.last().unwrap_or(&16);
     let evals = opts.reps.max(2) * 3;
     let close = |a: f64, b: f64| (a - b).abs() <= 1e-5 * a.abs().max(b.abs()).max(1.0);
+    // Optional Chrome trace export: one recorder across every run; the
+    // ring keeps the most recent evaluations' spans.
+    let trace_export = std::env::var("MOZART_TRACE_EXPORT").ok();
+    let recorder = trace_export.as_ref().map(|_| TraceRecorder::new());
 
     // ---- Black Scholes (MKL): outputs are mut-arg SliceViews that
     // already write in place, so placement changes little — reported
@@ -129,7 +143,7 @@ fn main() {
         let inp = bs::generate(n, 42);
         let base = bs::mkl_base(&inp).call_sum;
         let run = |placement| {
-            run_workload(threads, placement, None, evals, |ctx| {
+            run_workload(threads, placement, None, evals, recorder.clone(), |ctx| {
                 bs::mkl_mozart(&inp, ctx).expect("run").call_sum
             })
         };
@@ -147,7 +161,7 @@ fn main() {
         let batch = Some(32);
         let base = im::nashville_base(&img).mean;
         let run = |placement| {
-            run_workload(threads, placement, batch, evals, |ctx| {
+            run_workload(threads, placement, batch, evals, recorder.clone(), |ctx| {
                 im::nashville_mozart(&img, ctx).expect("run").mean
             })
         };
@@ -186,6 +200,16 @@ fn main() {
         }
     ));
     write_results("BENCH_phases.json", &json);
+
+    if let (Some(name), Some(rec)) = (&trace_export, &recorder) {
+        let spans = rec.all_spans();
+        write_results(name, &chrome_trace_json(&spans));
+        println!(
+            "wrote bench_results/{name}: {} spans ({} dropped by ring overwrite)",
+            spans.len(),
+            rec.dropped()
+        );
+    }
 
     // CI gates: the fast path must be invisible in outputs and must
     // actually shrink Nashville's merge share.

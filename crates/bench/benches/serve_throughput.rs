@@ -38,6 +38,13 @@
 //!   the retry layer with a bit-identical response, no request may fail,
 //!   and on runs of ≥ 40 requests the faulty wall time must stay within
 //!   1.3x of the fault-free wall time.
+//! * **Tracing overhead**: the identical closed-loop load with the
+//!   observability layer off, then on. On runs of ≥ 40 requests the
+//!   tracing-on wall time must stay within 1.05x of tracing-off (plus a
+//!   small smoke-run slack), bodies must be bit-identical both ways,
+//!   and the tracing-on run's histogram-derived p50/p99/p999 — end to
+//!   end, admission wait, and per executor phase — land in the JSON
+//!   snapshot.
 //!
 //! Env knobs: `MOZART_SERVE_CLIENTS` (default 4),
 //! `MOZART_SERVE_REQUESTS` per client (default 60, scaled by
@@ -50,7 +57,7 @@ use std::time::{Duration, Instant};
 
 use mozart_bench::{write_results, BenchOpts};
 use mozart_core::{Config, FaultKind, FaultPhase, FaultPlan, FaultPoint, MozartContext};
-use mozart_serve::{PipelineService, Request};
+use mozart_serve::{HistogramSnapshot, PipelineService, Request, ServiceMetrics};
 use workloads::black_scholes as bs;
 
 const WORKERS: usize = 4;
@@ -439,6 +446,92 @@ fn fault_recovery_run(
     }
 }
 
+/// Result of the tracing-overhead phase.
+struct TracingOverhead {
+    off_wall: Duration,
+    on_wall: Duration,
+    checksums_ok: bool,
+    /// Serve-side histograms from the tracing-on run.
+    metrics: ServiceMetrics,
+}
+
+impl TracingOverhead {
+    fn ratio(&self) -> f64 {
+        self.on_wall.as_secs_f64() / self.off_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Drive the identical closed-loop load with tracing off and then on.
+/// The observability layer must be nearly free (the gate in `main`
+/// bounds the wall-time ratio) and must not perturb results: bodies are
+/// checked against the same reference both ways.
+fn tracing_overhead_run(
+    clients: usize,
+    requests: usize,
+    n: usize,
+    session_config: &Config,
+) -> TracingOverhead {
+    let want = reference_body(n, 42);
+    let run = |tracing: bool| {
+        let service = PipelineService::builder()
+            .workers(WORKERS)
+            .max_inflight(clients)
+            .queue_depth(2 * clients)
+            .session_config(session_config.clone())
+            .coalescing(false)
+            .tracing(tracing)
+            .builtin_pipelines()
+            .build();
+        let sessions: Vec<_> = (0..clients).map(|_| service.session()).collect();
+        let req = Request::new().with("n", n).with("seed", 42u64);
+        // Warm inputs + plan cache outside the measured window.
+        sessions[0].call("black_scholes", &req).expect("warmup");
+        let ok = Arc::new(AtomicBool::new(true));
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for session in &sessions {
+                let ok = ok.clone();
+                let want = &want;
+                let req = req.clone();
+                s.spawn(move || {
+                    for _ in 0..requests {
+                        let resp = session
+                            .call("black_scholes", &req)
+                            .expect("tracing-overhead request");
+                        if resp.body != *want {
+                            ok.store(false, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        (t0.elapsed(), service, ok.load(Ordering::Relaxed))
+    };
+    let (off_wall, _, off_ok) = run(false);
+    let (on_wall, traced, on_ok) = run(true);
+    let metrics = traced.metrics().expect("tracing was on");
+    TracingOverhead {
+        off_wall,
+        on_wall,
+        checksums_ok: off_ok && on_ok,
+        metrics,
+    }
+}
+
+/// One histogram as a JSON object: count plus derived quantiles in
+/// microseconds (samples are recorded in nanoseconds).
+fn hist_json(snap: &HistogramSnapshot) -> String {
+    format!(
+        "{{ \"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+         \"p999_us\": {:.1}, \"max_us\": {:.1} }}",
+        snap.count,
+        snap.p50() as f64 / 1e3,
+        snap.p99() as f64 / 1e3,
+        snap.p999() as f64 / 1e3,
+        snap.max as f64 / 1e3
+    )
+}
+
 fn main() {
     let opts = BenchOpts::from_env();
     let clients = std::env::var("MOZART_SERVE_CLIENTS")
@@ -682,6 +775,55 @@ fn main() {
         );
     }
 
+    // ---- Tracing overhead + histogram-derived latency quantiles ----
+    let to = tracing_overhead_run(clients, requests, n, &session_config);
+    let to_ratio = to.ratio();
+    // Same noise rule as fault recovery: the ratio gate only means
+    // something with a reasonable request count, and smoke-sized walls
+    // get a small absolute slack on top of the 5% bar.
+    let to_ratio_asserted = clients * requests >= 40;
+    println!(
+        "\ntracing overhead: off {:.3}s vs on {:.3}s (ratio {:.3}), checksums_ok={}",
+        to.off_wall.as_secs_f64(),
+        to.on_wall.as_secs_f64(),
+        to_ratio,
+        to.checksums_ok
+    );
+    println!("latency histograms (tracing on):");
+    let mut hists: Vec<(&str, &HistogramSnapshot)> = vec![
+        ("e2e", &to.metrics.e2e),
+        ("admission_wait", &to.metrics.admission_wait),
+    ];
+    hists.extend(to.metrics.phases.iter().map(|(name, h)| (*name, h)));
+    println!(
+        "  {:>16} {:>8} {:>11} {:>11} {:>11}",
+        "phase", "count", "p50", "p99", "p999"
+    );
+    for (name, h) in &hists {
+        println!(
+            "  {:>16} {:>8} {:>10.3}ms {:>10.3}ms {:>10.3}ms",
+            name,
+            h.count,
+            h.p50() as f64 / 1e6,
+            h.p99() as f64 / 1e6,
+            h.p999() as f64 / 1e6
+        );
+    }
+    assert!(
+        to.checksums_ok,
+        "tracing must not perturb results: bodies must match the untraced reference"
+    );
+    assert!(
+        to.metrics.e2e.count >= (clients * requests) as u64,
+        "every traced request must land in the e2e histogram"
+    );
+    if to_ratio_asserted {
+        assert!(
+            to.on_wall.as_secs_f64() <= to.off_wall.as_secs_f64() * 1.05 + 0.05,
+            "tracing overhead {to_ratio:.3}x exceeds the 1.05x bar"
+        );
+    }
+
     // ---- JSON snapshot ----
     let mut json = String::from("{\n  \"figure\": \"serve_throughput\",\n");
     json.push_str(&format!(
@@ -754,14 +896,32 @@ fn main() {
         fr.checksums_ok
     ));
     json.push_str(&format!(
+        "  \"tracing_overhead\": {{ \"off_wall_seconds\": {:.6}, \
+         \"on_wall_seconds\": {:.6}, \"overhead_ratio\": {to_ratio:.4}, \
+         \"ratio_asserted\": {to_ratio_asserted}, \"checksums_ok\": {} }},\n",
+        to.off_wall.as_secs_f64(),
+        to.on_wall.as_secs_f64(),
+        to.checksums_ok
+    ));
+    json.push_str("  \"latency_histograms\": {\n");
+    for (i, (name, h)) in hists.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{name}\": {}{}\n",
+            hist_json(h),
+            if i + 1 < hists.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
         "  \"acceptance\": {{ \"service_beats_independent\": {service_wins}, \
          \"hit_rate_gt_90\": {hit_rate_ok}, \"cold_entitled_share\": {entitled:.4}, \
          \"cold_within_2x_of_entitled_share\": {cold_within_2x}, \
          \"coalesced_nonzero\": {}, \"image_coalesced_nonzero\": {}, \
-         \"fault_recovery_within_1_3x\": {} }}\n}}\n",
+         \"fault_recovery_within_1_3x\": {}, \"tracing_overhead_within_1_05x\": {} }}\n}}\n",
         co.coalesced > 0,
         co_img.coalesced > 0,
-        !fr_ratio_asserted || fr_ratio <= 1.3
+        !fr_ratio_asserted || fr_ratio <= 1.3,
+        !to_ratio_asserted || to.on_wall.as_secs_f64() <= to.off_wall.as_secs_f64() * 1.05 + 0.05
     ));
     write_results("BENCH_serve.json", &json);
     println!("wrote bench_results/BENCH_serve.json");

@@ -51,6 +51,13 @@ pub struct Config {
     /// phase. Shared via `Arc` so clones of the config (e.g. every
     /// request context of a serving session) draw from one budget.
     pub fault_plan: Option<std::sync::Arc<crate::faultinject::FaultPlan>>,
+    /// Span recorder for per-request tracing
+    /// ([`TraceRecorder`](crate::trace::TraceRecorder)). `None` (the
+    /// default) disables tracing entirely: the executor and context pay
+    /// one predictable branch per would-be span and never touch a
+    /// clock. Shared via `Arc` so every context of a serving tier
+    /// records into one set of rings.
+    pub tracing: Option<std::sync::Arc<crate::trace::TraceRecorder>>,
 }
 
 impl Default for Config {
@@ -66,6 +73,7 @@ impl Default for Config {
             pedantic: cfg!(debug_assertions),
             log_calls: false,
             fault_plan: None,
+            tracing: None,
         }
     }
 }
@@ -186,6 +194,7 @@ mod tests {
             pedantic: true,
             log_calls: false,
             fault_plan: None,
+            tracing: None,
         }
     }
 

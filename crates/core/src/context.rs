@@ -25,6 +25,7 @@ use crate::graph::{DataflowGraph, FutureToken, Node, ValueEntry, ValueId, ValueO
 use crate::planner::{plan_next_stage, PlanCache, PlanCacheStats, PlanRecorder};
 use crate::pool::{PoolHandle, WorkerPool};
 use crate::stats::{PhaseStats, PoolStats};
+use crate::trace::{SpanKind, TraceCtx, TraceId, SERVICE_WORKER};
 use crate::value::{DataObject, DataValue};
 
 static CTX_COUNTER: AtomicU64 = AtomicU64::new(1);
@@ -51,6 +52,10 @@ struct State {
     /// ([`MozartContext::set_cancel_token`]): workers poll it at batch
     /// boundaries and abandon the evaluation with [`Error::Cancelled`].
     cancel: Option<Arc<crate::faultinject::CancelToken>>,
+    /// Active trace id when `config.tracing` is set: installed by a
+    /// serving layer ([`MozartContext::set_trace_id`]) or minted on the
+    /// first evaluation; 0 = untraced.
+    trace_id: TraceId,
     /// Values whose storage is protected pending evaluation.
     protected: Vec<DataValue>,
     /// First evaluation error, if any, reported to later accessors.
@@ -107,6 +112,7 @@ impl MozartContext {
                     plan_cache: None,
                     session_tag: id,
                     cancel: None,
+                    trace_id: 0,
                     protected: Vec::new(),
                     poisoned,
                 }),
@@ -161,6 +167,24 @@ impl MozartContext {
     pub fn set_cancel_token(&self, token: Arc<crate::faultinject::CancelToken>) -> &Self {
         self.inner.state.lock().cancel = Some(token);
         self
+    }
+
+    /// Install the trace id evaluations of this context record spans
+    /// under (see [`Config::tracing`](crate::Config) and
+    /// [`crate::trace`]). Serving layers mint one id per request and
+    /// install it on the request's context so executor spans join the
+    /// request's serve-side spans in one tree. Without an explicit id,
+    /// a traced context mints its own on first evaluation.
+    pub fn set_trace_id(&self, id: TraceId) -> &Self {
+        self.inner.state.lock().trace_id = id;
+        self
+    }
+
+    /// The trace id this context records under, if tracing is active
+    /// (an id was installed or minted).
+    pub fn trace_id(&self) -> Option<TraceId> {
+        let id = self.inner.state.lock().trace_id;
+        (id != 0).then_some(id)
     }
 
     /// Counters of the attached plan cache, if any.
@@ -392,16 +416,48 @@ fn evaluate_pending(
     st: &mut State,
     deferred: &mut Vec<DeferredMerge>,
 ) -> Result<()> {
+    // Tracing: mint a trace id on first use (serving layers install
+    // theirs up front via `set_trace_id`) and carry the recorder + id
+    // into every stage. `None` when tracing is off — the only cost then
+    // is this branch and an `Option` check per span site.
+    let trace = st.config.tracing.clone().map(|recorder| {
+        if st.trace_id == 0 {
+            st.trace_id = recorder.mint();
+        }
+        TraceCtx {
+            recorder,
+            trace: st.trace_id,
+        }
+    });
+    let planner_before = st.stats.planner;
+    let mut planner_cpu = std::time::Duration::ZERO;
+    let eval_start_ns = trace.as_ref().map(|t| t.recorder.now_ns());
+
     // Unprotect everything first: during execution the runtime itself
     // reads and writes these buffers through the unchecked APIs, and the
     // data will be up to date when evaluation returns.
     let t0 = Instant::now();
+    let c0 = trace.as_ref().map(|_| crate::cputime::thread_cpu_now());
     for dv in st.protected.drain(..) {
         if let Some(flag) = dv.protect_flag() {
             flag.unprotect();
         }
     }
     st.stats.unprotect += t0.elapsed();
+    if let (Some(t), Some(start), Some(c0)) = (&trace, eval_start_ns, c0) {
+        t.emit(
+            SpanKind::Unprotect,
+            SERVICE_WORKER,
+            0,
+            0,
+            start,
+            duration_ns(t0.elapsed()),
+            duration_ns(crate::cputime::cpu_elapsed(
+                c0,
+                crate::cputime::thread_cpu_now(),
+            )),
+        );
+    }
 
     let _ = inner; // reserved for future per-context callbacks
 
@@ -435,8 +491,12 @@ fn evaluate_pending(
     let mut recorder: Option<PlanRecorder> = None;
     if let Some(cache) = &cache {
         let t1 = Instant::now();
+        let c1 = trace.as_ref().map(|_| crate::cputime::thread_cpu_now());
         let shape = st.graph.pending_shape();
         st.stats.planner += t1.elapsed();
+        if let Some(c1) = c1 {
+            planner_cpu += crate::cputime::cpu_elapsed(c1, crate::cputime::thread_cpu_now());
+        }
         if let Some(mut shape) = shape {
             // Mix planning-relevant configuration into the key: the
             // `pipeline` ablation changes stage grouping, so a plan
@@ -450,11 +510,17 @@ fn evaluate_pending(
                     let mut replayed = true;
                     for idx in 0..plan.stage_count() {
                         let t1 = Instant::now();
+                        let c1 = trace.as_ref().map(|_| crate::cputime::thread_cpu_now());
                         let bound = plan.bind_stage(idx, &st.graph, &shape.values);
                         st.stats.planner += t1.elapsed();
+                        if let Some(c1) = c1 {
+                            planner_cpu +=
+                                crate::cputime::cpu_elapsed(c1, crate::cputime::thread_cpu_now());
+                        }
                         match bound {
                             Ok(stage) => {
-                                if let Err(e) = execute_locked(st, &stage, deferred) {
+                                if let Err(e) = execute_locked(st, &stage, trace.as_ref(), deferred)
+                                {
                                     // Execution failures poison the
                                     // context either way; drop the entry
                                     // so the next identical request
@@ -482,9 +548,28 @@ fn evaluate_pending(
                     } else {
                         cache.note_miss();
                     }
+                    if let Some(t) = &trace {
+                        let kind = if replayed {
+                            SpanKind::PlanCacheHit
+                        } else {
+                            SpanKind::PlanCacheMiss
+                        };
+                        t.emit(kind, SERVICE_WORKER, 0, 0, t.recorder.now_ns(), 0, 0);
+                    }
                 }
                 _ => {
                     cache.note_miss();
+                    if let Some(t) = &trace {
+                        t.emit(
+                            SpanKind::PlanCacheMiss,
+                            SERVICE_WORKER,
+                            0,
+                            0,
+                            t.recorder.now_ns(),
+                            0,
+                            0,
+                        );
+                    }
                     recorder = Some(PlanRecorder::new(&shape));
                 }
             }
@@ -493,8 +578,12 @@ fn evaluate_pending(
 
     while !st.graph.fully_executed() {
         let t1 = Instant::now();
+        let c1 = trace.as_ref().map(|_| crate::cputime::thread_cpu_now());
         let plan = plan_next_stage(&st.graph, &st.config);
         st.stats.planner += t1.elapsed();
+        if let Some(c1) = c1 {
+            planner_cpu += crate::cputime::cpu_elapsed(c1, crate::cputime::thread_cpu_now());
+        }
         let stage = match plan {
             Ok(Some(stage)) => stage,
             Ok(None) => break,
@@ -506,7 +595,7 @@ fn evaluate_pending(
         if let Some(r) = &mut recorder {
             r.record(&stage, &st.graph);
         }
-        execute_locked(st, &stage, deferred)?;
+        execute_locked(st, &stage, trace.as_ref(), deferred)?;
     }
     if let (Some(cache), Some(recorder)) = (cache, recorder) {
         let fingerprint = recorder.fingerprint();
@@ -514,7 +603,25 @@ fn evaluate_pending(
             cache.insert(fingerprint, plan);
         }
     }
+    // One accumulated planner span per evaluation (fingerprinting, stage
+    // planning, plan binding), anchored at evaluation start.
+    if let (Some(t), Some(start)) = (&trace, eval_start_ns) {
+        t.emit(
+            SpanKind::Planner,
+            SERVICE_WORKER,
+            0,
+            0,
+            start,
+            duration_ns(st.stats.planner.saturating_sub(planner_before)),
+            duration_ns(planner_cpu),
+        );
+    }
     Ok(())
+}
+
+/// Saturating `Duration -> u64` nanoseconds for span fields.
+fn duration_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Execute one planned stage against the locked state, poisoning the
@@ -522,6 +629,7 @@ fn evaluate_pending(
 fn execute_locked(
     st: &mut State,
     stage: &crate::planner::StagePlan,
+    trace: Option<&TraceCtx>,
     deferred: &mut Vec<DeferredMerge>,
 ) -> Result<()> {
     // Borrow split: executor needs &mut graph + &config + &mut stats.
@@ -544,6 +652,7 @@ fn execute_locked(
         pool,
         *session_tag,
         cancel.as_ref(),
+        trace,
         deferred,
     ) {
         st.poisoned = Some(e.clone());

@@ -22,7 +22,7 @@ use std::time::Duration;
     target_os = "linux",
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
-pub(crate) fn thread_cpu_now() -> Duration {
+pub fn thread_cpu_now() -> Duration {
     const CLOCK_THREAD_CPUTIME_ID: i64 = 3;
     let mut ts = [0i64; 2]; // timespec { tv_sec, tv_nsec }
     let ret: i64;
@@ -64,7 +64,7 @@ pub(crate) fn thread_cpu_now() -> Duration {
     target_os = "linux",
     any(target_arch = "x86_64", target_arch = "aarch64")
 )))]
-pub(crate) fn thread_cpu_now() -> Duration {
+pub fn thread_cpu_now() -> Duration {
     use std::sync::OnceLock;
     use std::time::Instant;
     static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -74,7 +74,7 @@ pub(crate) fn thread_cpu_now() -> Duration {
 /// `end - start` for two readings from [`thread_cpu_now`], clamped to
 /// zero (defensive: the clock is monotonic per thread, but a clamped
 /// subtraction makes misuse harmless rather than panicking).
-pub(crate) fn cpu_elapsed(start: Duration, end: Duration) -> Duration {
+pub fn cpu_elapsed(start: Duration, end: Duration) -> Duration {
     end.saturating_sub(start)
 }
 

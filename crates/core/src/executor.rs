@@ -73,7 +73,14 @@ use crate::planner::{OutputKind, StagePlan};
 use crate::pool::{run_stage_scoped, Job, SideJob, WorkerPool};
 use crate::split::{Placement, SplitInstance};
 use crate::stats::PhaseStats;
+use crate::trace::{SpanKind, TraceCtx, SERVICE_WORKER};
 use crate::value::DataValue;
+
+/// Saturating `Duration -> u64` nanoseconds for span fields.
+#[inline]
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Immutable description of a stage shared across worker threads.
 ///
@@ -109,6 +116,11 @@ pub(crate) struct ExecStage {
     /// Cooperative cancellation: polled at batch boundaries; a
     /// cancelled token abandons the stage with [`Error::Cancelled`].
     cancel: Option<Arc<CancelToken>>,
+    /// Span recorder + trace id (see [`crate::trace`]); rides into pool
+    /// jobs so worker threads record per-batch phase spans under the
+    /// request's trace. `None` when tracing is off, costing one branch
+    /// per phase.
+    trace: Option<TraceCtx>,
 }
 
 struct ExecInput {
@@ -318,6 +330,7 @@ pub(crate) fn execute_stage(
     pool: Option<&WorkerPool>,
     session: u64,
     cancel: Option<&Arc<CancelToken>>,
+    trace: Option<&TraceCtx>,
     deferred: &mut Vec<DeferredMerge>,
 ) -> Result<()> {
     let stage_idx = stats.stages;
@@ -328,7 +341,14 @@ pub(crate) fn execute_stage(
             )));
         }
     }
-    let exec = build_exec_stage(graph, stage, config, stage_idx, cancel.cloned())?;
+    let exec = build_exec_stage(
+        graph,
+        stage,
+        config,
+        stage_idx,
+        cancel.cloned(),
+        trace.cloned(),
+    )?;
 
     // Stage-start placement allocation: split types whose parameters
     // determine the output layout allocate (and pre-fault) the merged
@@ -374,6 +394,7 @@ pub(crate) fn execute_stage(
     // the preallocated value — and non-placement outputs nothing later
     // consumes are dispatched to the pool instead of merged here.
     let t0 = thread_cpu_now();
+    let w0 = trace.map(|t| t.recorder.now_ns());
     for (i, mo) in exec.merge_outputs.iter().enumerate() {
         if let Some(merged) = finish_placement(mo, exec.total_elements)? {
             stats.bytes_merged += merged_bytes(&mo.instance, &merged);
@@ -445,6 +466,20 @@ pub(crate) fn execute_stage(
         entry.ready = true;
     }
     let final_merge = cpu_elapsed(t0, thread_cpu_now());
+    if let (Some(t), Some(w0)) = (trace, w0) {
+        // One final-merge span per stage on the calling thread; CPU time
+        // also folds in the stage-start placement preallocation, which
+        // is the placement path's share of merge work.
+        t.emit(
+            SpanKind::FinalMerge,
+            SERVICE_WORKER,
+            stage_idx,
+            0,
+            w0,
+            t.recorder.now_ns().saturating_sub(w0),
+            duration_ns(final_merge + prealloc),
+        );
+    }
 
     // Materialize in-place and discarded outputs.
     for out in &stage.outputs {
@@ -519,6 +554,7 @@ fn build_exec_stage(
     config: &Config,
     stage_idx: u64,
     cancel: Option<Arc<CancelToken>>,
+    trace: Option<TraceCtx>,
 ) -> Result<ExecStage> {
     let mut inputs = Vec::with_capacity(stage.inputs.len());
     let mut total: Option<u64> = None;
@@ -637,6 +673,7 @@ fn build_exec_stage(
         stage_idx,
         faults: config.fault_plan.clone(),
         cancel,
+        trace,
     })
 }
 
@@ -733,6 +770,7 @@ pub(crate) fn run_worker(
             // foreign split/task/merge code fails this job with the
             // typed `Error::TaskPanicked` and the thread survives.
             let t0 = thread_cpu_now();
+            let w0 = exec.trace.as_ref().map(|t| t.recorder.now_ns());
             for &s in &exec.produced_slots {
                 slots[s as usize] = None;
             }
@@ -765,13 +803,26 @@ pub(crate) fn run_worker(
                 }
                 Ok(false)
             });
-            out.split += cpu_elapsed(t0, thread_cpu_now());
+            let split_cpu = cpu_elapsed(t0, thread_cpu_now());
+            out.split += split_cpu;
+            if let (Some(t), Some(w0)) = (&exec.trace, w0) {
+                t.emit(
+                    SpanKind::Split,
+                    worker_idx as u32,
+                    exec.stage_idx,
+                    batch_idx,
+                    w0,
+                    t.recorder.now_ns().saturating_sub(w0),
+                    duration_ns(split_cpu),
+                );
+            }
             if null_split? {
                 break 'driver;
             }
 
             // Run the pipeline on this batch's pieces.
             let t1 = thread_cpu_now();
+            let w1 = exec.trace.as_ref().map(|t| t.recorder.now_ns());
             let task_result = catch_phase(FaultPhase::Task, || {
                 inject(exec, FaultPhase::Task, batch_idx, worker_idx)?;
                 for node in &exec.nodes {
@@ -819,7 +870,19 @@ pub(crate) fn run_worker(
                 }
                 Ok(())
             });
-            out.task += cpu_elapsed(t1, thread_cpu_now());
+            let task_cpu = cpu_elapsed(t1, thread_cpu_now());
+            out.task += task_cpu;
+            if let (Some(t), Some(w1)) = (&exec.trace, w1) {
+                t.emit(
+                    SpanKind::Task,
+                    worker_idx as u32,
+                    exec.stage_idx,
+                    batch_idx,
+                    w1,
+                    t.recorder.now_ns().saturating_sub(w1),
+                    duration_ns(task_cpu),
+                );
+            }
             task_result?;
 
             // Stash pieces of observable outputs ("moved to a list of
@@ -833,6 +896,7 @@ pub(crate) fn run_worker(
                         Some(piece) => {
                             if let Some(pm) = &mo.placement {
                                 let t2 = thread_cpu_now();
+                                let w2 = exec.trace.as_ref().map(|t| t.recorder.now_ns());
                                 let mut alloc_err: Option<Error> = None;
                                 // Resolve the placement decision exactly
                                 // once, on the first piece any worker
@@ -865,7 +929,19 @@ pub(crate) fn run_worker(
                                     pm.state.written.fetch_add(n, Ordering::Relaxed);
                                     pm.state.high.fetch_max(start + n, Ordering::Relaxed);
                                     out.placement_writes += 1;
-                                    out.merge += cpu_elapsed(t2, thread_cpu_now());
+                                    let write_cpu = cpu_elapsed(t2, thread_cpu_now());
+                                    out.merge += write_cpu;
+                                    if let (Some(t), Some(w2)) = (&exec.trace, w2) {
+                                        t.emit(
+                                            SpanKind::PlacementWrite,
+                                            worker_idx as u32,
+                                            exec.stage_idx,
+                                            batch_idx,
+                                            w2,
+                                            t.recorder.now_ns().saturating_sub(w2),
+                                            duration_ns(write_cpu),
+                                        );
+                                    }
                                     continue;
                                 }
                                 out.merge += cpu_elapsed(t2, thread_cpu_now());
@@ -897,6 +973,7 @@ pub(crate) fn run_worker(
     // sensitive merges fold each contiguous run so the final merge can
     // order them globally.
     let t2 = thread_cpu_now();
+    let w2 = exec.trace.as_ref().map(|t| t.recorder.now_ns());
     let partials = catch_phase(FaultPhase::Merge, || {
         exec.merge_outputs
             .iter()
@@ -904,7 +981,21 @@ pub(crate) fn run_worker(
             .map(|(mo, pieces)| local_merge(mo, std::mem::take(pieces)))
             .collect::<Result<Vec<Vec<PieceRun>>>>()
     });
-    out.merge += cpu_elapsed(t2, thread_cpu_now());
+    let merge_cpu = cpu_elapsed(t2, thread_cpu_now());
+    out.merge += merge_cpu;
+    if let (Some(t), Some(w2)) = (&exec.trace, w2) {
+        if out.batches > 0 {
+            t.emit(
+                SpanKind::Merge,
+                worker_idx as u32,
+                exec.stage_idx,
+                0,
+                w2,
+                t.recorder.now_ns().saturating_sub(w2),
+                duration_ns(merge_cpu),
+            );
+        }
+    }
     out.partials = partials?;
     Ok(out)
 }

@@ -103,7 +103,7 @@ pub mod array_split;
 pub mod buffer;
 pub mod config;
 pub mod context;
-mod cputime;
+pub mod cputime;
 pub mod error;
 pub mod executor;
 pub mod faultinject;
@@ -113,6 +113,7 @@ pub mod pool;
 pub mod registry;
 pub mod split;
 pub mod stats;
+pub mod trace;
 pub mod value;
 
 pub use annotation::{Annotation, ArgSpec, Invocation, SplitTypeExpr};
@@ -128,6 +129,9 @@ pub use split::{
     Concat, MergeStrategy, Params, Placement, RuntimeInfo, SizeSplit, SplitInstance, Splitter,
 };
 pub use stats::{PhaseStats, PoolStats, SessionPoolStats};
+pub use trace::{
+    chrome_trace_json, SpanKind, SpanRecord, SpanTree, TraceCtx, TraceId, TraceRecorder,
+};
 pub use value::{BoolValue, DataValue, FloatValue, IntValue, StrValue};
 
 /// Convenient glob-import surface for integrations and applications.
@@ -146,5 +150,6 @@ pub mod prelude {
         Concat, MergeStrategy, Params, Placement, RuntimeInfo, SizeSplit, SplitInstance, Splitter,
     };
     pub use crate::stats::{PhaseStats, PoolStats, SessionPoolStats};
+    pub use crate::trace::{SpanKind, SpanRecord, SpanTree, TraceId, TraceRecorder};
     pub use crate::value::{BoolValue, DataValue, FloatValue, IntValue, StrValue};
 }

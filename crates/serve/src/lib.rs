@@ -56,6 +56,15 @@
 //!   cooperatively mid-evaluation; and [`PipelineService::drain`]
 //!   closes admission gracefully. Faults are injected deterministically
 //!   for testing via [`mozart_core::FaultPlan`].
+//! * **Observability** ([`ServiceBuilder::tracing`]): per-request span
+//!   trees (queue wait, coalesce wait, retry attempts with cause, and
+//!   the executor's per-batch split/task/merge spans — see
+//!   [`mozart_core::trace`]), log2-bucketed latency histograms with
+//!   p50/p90/p99/p999 ([`metrics`]), a Prometheus-style text page
+//!   ([`PipelineService::metrics_text`], the `METRICS` protocol line,
+//!   `serve_tcp --metrics-port`), per-trace lookup (`TRACE <id>`), and
+//!   a deadline-relative slow-request log. Off by default; when off the
+//!   request path records nothing.
 //!
 //! ## Quickstart
 //!
@@ -88,13 +97,16 @@
 
 mod admission;
 pub mod error;
+pub mod metrics;
 pub mod pipelines;
 pub mod protocol;
 mod service;
 
 pub use error::{Result, ServeError};
+pub use metrics::{Histogram, HistogramSnapshot};
 pub use pipelines::builtin_pipelines;
 pub use service::{
     run_segment, Pipeline, PipelineService, Request, Response, Segment, SegmentEval, SegmentInput,
-    SegmentRespond, ServiceBuilder, ServiceConfig, ServiceStats, Session, MAX_COALESCE,
+    SegmentRespond, ServiceBuilder, ServiceConfig, ServiceMetrics, ServiceStats, Session,
+    SlowRequest, MAX_COALESCE, PHASE_NAMES,
 };

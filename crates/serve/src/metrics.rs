@@ -1,0 +1,394 @@
+//! Latency histograms and Prometheus-style text exposition.
+//!
+//! [`Histogram`] is a log2-bucketed (HDR-style) concurrent histogram of
+//! `u64` values (the service records nanoseconds): value `v` lands in
+//! bucket `floor(log2(v))`, so 64 buckets cover the whole `u64` range
+//! with ≤ 2× relative error per bucket, refined below by linear
+//! interpolation inside the bucket. Recording is three relaxed atomic
+//! adds — no locks, no allocation — so it sits on the request path
+//! without perturbing what it measures.
+//!
+//! [`HistogramSnapshot`] is the plain-value copy used for reading:
+//! mergeable (associative and commutative, so per-shard or per-window
+//! snapshots combine freely) and queryable for quantiles
+//! ([`HistogramSnapshot::quantile`], with `p50`/`p90`/`p99`/`p999`
+//! shorthands).
+//!
+//! # Exposition format (stable)
+//!
+//! [`render_histogram`] emits the Prometheus text exposition format
+//! (`# TYPE <name> histogram`, cumulative `<name>_bucket{le="..."}`
+//! series in **seconds**, `<name>_sum`, `<name>_count`); counters
+//! render as `<name> <value>` with a `# TYPE ... counter` header. The
+//! `METRICS` protocol line and `serve_tcp --metrics-port` serve exactly
+//! this text; names and label shapes are part of the wire contract and
+//! only grow, never change meaning.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets: one per possible leading-bit position.
+pub const BUCKETS: usize = 64;
+
+/// A concurrent log2-bucketed histogram of `u64` samples (see the
+/// module docs). `Default`-constructed empty.
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a value: `floor(log2(v))`, with 0 mapping to bucket
+/// 0 (bucket 0 thus holds values 0 and 1).
+pub fn bucket_of(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// Inclusive value range `[lo, hi]` of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    let lo = if i == 0 { 0 } else { 1u64 << i };
+    let hi = if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    };
+    (lo, hi)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample. Lock- and allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Copy the current state into a plain-value snapshot. Not a
+    /// linearizable cut under concurrent writers (a sample may land
+    /// between field reads), but every sample is eventually counted
+    /// exactly once.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value histogram state: mergeable and queryable (see the
+/// module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`counts[i]` holds values whose
+    /// `floor(log2)` is `i`; see [`bucket_bounds`]).
+    pub counts: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping only past `u64::MAX` total).
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Fold another snapshot into this one. Associative and
+    /// commutative, so shard/window snapshots combine in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by rank: the bucket holding the
+    /// `ceil(q·count)`-th smallest sample, linearly interpolated inside
+    /// the bucket (capped at the observed max). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let hi = hi.min(self.max).max(lo);
+                // Position of the rank inside this bucket, interpolated
+                // over the bucket's value range.
+                let into = (rank - seen) as f64 / c as f64;
+                return lo + ((hi - lo) as f64 * into) as u64;
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile shorthand.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile shorthand.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile shorthand.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+/// Append one `# TYPE <name> counter` line pair to a metrics page.
+pub fn render_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Append a gauge (a counter that may go down) to a metrics page.
+pub fn render_gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Append a nanosecond-sample histogram to a metrics page in the
+/// Prometheus text format, with `le` bounds converted to **seconds**
+/// (the Prometheus convention for time). Empty buckets are elided from
+/// the output (the series stays cumulative, so scrapes remain correct).
+pub fn render_histogram(out: &mut String, name: &str, help: &str, snap: &HistogramSnapshot) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for (i, &c) in snap.counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        let (_, hi) = bucket_bounds(i);
+        let le = hi as f64 / 1e9;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le:.9}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(out, "{name}_sum {:.9}", snap.sum as f64 / 1e9);
+    let _ = writeln!(out, "{name}_count {}", snap.count);
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundary_math() {
+        // 0 and 1 share bucket 0; every power of two opens a new
+        // bucket; the value just below it closes the previous one.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        for k in 1..63usize {
+            let v = 1u64 << k;
+            assert_eq!(bucket_of(v), k, "2^{k}");
+            assert_eq!(bucket_of(v - 1), k - 1, "2^{k}-1");
+            assert_eq!(bucket_of(v + 1), k, "2^{k}+1");
+            let (lo, hi) = bucket_bounds(k);
+            assert_eq!(lo, v);
+            assert_eq!(hi, (v << 1) - 1);
+            assert_eq!(bucket_of(lo), k);
+            assert_eq!(bucket_of(hi), k);
+        }
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_bounds(63).1, u64::MAX);
+        assert_eq!(bucket_bounds(0), (0, 1));
+    }
+
+    #[test]
+    fn quantiles_track_exact_values_on_known_distributions() {
+        // Uniform 1..=1000: a log2 histogram's quantile must land in
+        // the same bucket as the exact order statistic, i.e. within 2x.
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        for (q, exact) in [(0.50, 500u64), (0.90, 900), (0.99, 990), (0.999, 999)] {
+            let got = s.quantile(q);
+            let (blo, bhi) = bucket_bounds(bucket_of(exact));
+            assert!(
+                got >= blo && got <= bhi.min(s.max),
+                "q={q}: got {got}, exact {exact} in bucket [{blo}, {bhi}]"
+            );
+        }
+        // Quantiles are monotone in q.
+        let qs: Vec<u64> = [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0]
+            .iter()
+            .map(|&q| s.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+        assert_eq!(s.quantile(1.0), 1000, "top quantile is the max");
+
+        // A point mass: every quantile is the point.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(4096);
+        }
+        let s = h.snapshot();
+        for q in [0.01, 0.5, 0.999] {
+            assert_eq!(s.quantile(q), 4096);
+        }
+        assert_eq!(s.mean(), 4096);
+
+        // Empty histogram: all zeros.
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+        assert_eq!(HistogramSnapshot::default().mean(), 0);
+    }
+
+    #[test]
+    fn bimodal_tail_quantiles_separate_the_modes() {
+        // 980 fast samples at ~1us, 20 slow at ~1s: p50 must sit in the
+        // fast mode, p99 and p999 in the slow mode (rank 991 of 1000 is
+        // the 11th slow sample).
+        let h = Histogram::new();
+        for _ in 0..980 {
+            h.record(1_000);
+        }
+        for _ in 0..20 {
+            h.record(1_000_000_000);
+        }
+        let s = h.snapshot();
+        assert!(s.p50() < 2_048, "p50={}", s.p50());
+        assert!(s.p99() >= 536_870_912, "p99={}", s.p99());
+        assert!(s.p999() >= 536_870_912, "p999={}", s.p999());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 1..=10u64 {
+            a.record(v);
+            b.record(v * 1000);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 20);
+        assert_eq!(m.sum, 55 + 55_000);
+        assert_eq!(m.max, 10_000);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_associative_and_commutative(
+            xs in prop::collection::vec(any::<u64>(), 0..40),
+            ys in prop::collection::vec(any::<u64>(), 0..40),
+            zs in prop::collection::vec(any::<u64>(), 0..40),
+        ) {
+            let snap = |vs: &[u64]| {
+                let h = Histogram::new();
+                for &v in vs {
+                    h.record(v);
+                }
+                h.snapshot()
+            };
+            let (a, b, c) = (snap(&xs), snap(&ys), snap(&zs));
+            // (a + b) + c == a + (b + c)
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ab_c = ab.clone();
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            prop_assert_eq!(&ab_c, &a_bc);
+            // a + b == b + a
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba);
+            // Merging equals recording the concatenation.
+            let mut all = xs.clone();
+            all.extend(&ys);
+            all.extend(&zs);
+            prop_assert_eq!(&ab_c, &snap(&all));
+        }
+    }
+
+    #[test]
+    fn render_histogram_is_cumulative_prometheus_text() {
+        let h = Histogram::new();
+        for v in [500u64, 1_500, 1_500, 3_000_000] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        render_histogram(&mut out, "test_latency_seconds", "help text", &h.snapshot());
+        assert!(out.contains("# TYPE test_latency_seconds histogram"));
+        assert!(out.contains("test_latency_seconds_bucket{le=\"+Inf\"} 4"));
+        assert!(out.contains("test_latency_seconds_count 4"));
+        // Cumulative counts are nondecreasing down the page.
+        let counts: Vec<u64> = out
+            .lines()
+            .filter(|l| l.contains("_bucket{le=") && !l.contains("+Inf"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(!counts.is_empty());
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        let mut page = String::new();
+        render_counter(&mut page, "test_total", "h", 7);
+        assert!(page.contains("# TYPE test_total counter"));
+        assert!(page.contains("test_total 7"));
+    }
+}

@@ -11,12 +11,42 @@
 //!                                wait for in-flight work; default 5000 ms)
 //! LIST                           list registered pipelines
 //! STATS                          service counters
+//! METRICS                        Prometheus-style metrics page (multi-line)
+//! TRACE <id>                     one request's span tree (tracing only)
 //! QUIT                           close the connection
 //! ```
 //!
 //! Responses are single lines: `OK <body>` or `ERR <kind>: <message>`,
 //! with `<kind>` from [`ServeError::kind`]. Everything is UTF-8, no
 //! framing beyond `\n` — trivially scriptable with `nc`.
+//!
+//! # Stable reply formats
+//!
+//! **`STATS`** replies `OK` followed by `key=value` pairs in this
+//! fixed order (new fields are appended, existing ones never move or
+//! change meaning): `started completed rejected failed over_budget
+//! deadline_shed retries slow draining coalesced_requests
+//! coalesce_waiting sessions inflight plan_hits plan_misses
+//! plan_entries pool_workers pool_jobs pool_panicked_batches
+//! pool_respawned_workers`. The request-outcome counters (`started`
+//! through `coalesced_requests`) come from **one** locked snapshot:
+//! a request is either entirely counted or entirely absent, so
+//! `completed + failed + deadline_shed <= started` always holds within
+//! one reply.
+//!
+//! **`METRICS`** is the protocol's only multi-line reply: `OK
+//! lines=<n>` followed by exactly `n` raw lines of the Prometheus text
+//! exposition format (see [`crate::metrics`] for the format contract
+//! and `PipelineService::metrics_text` for the page's contents).
+//!
+//! **`TRACE <id>`** replies `OK` followed by the span tree in the
+//! stable single-line rendering of `SpanTree::render_line`:
+//! `trace=<id> e2e_us=<u> covered_us=<u> spans=<n>` then one
+//! space-separated `<depth>:<kind>:worker=<w>:arg=<a>:link=<l>:`
+//! `start_us=<u>:wall_us=<u>:cpu_us=<u>` token per span in depth-first
+//! order. Unknown or expired trace ids (the ring buffers overwrite
+//! oldest-first) reply `ERR bad_request`; on a service built without
+//! tracing every `TRACE` replies `ERR bad_request`.
 //!
 //! A call line may carry `DEADLINE_MS=<ms>`: a **scheduling directive**,
 //! not a pipeline parameter — it is stripped from the request's
@@ -52,6 +82,12 @@ pub enum ClientLine {
     List,
     /// Report service counters.
     Stats,
+    /// Report the Prometheus-style metrics page (multi-line reply; see
+    /// the module docs).
+    Metrics,
+    /// Report one request's span tree by trace id (tracing-enabled
+    /// services only).
+    Trace(u64),
     /// Close the connection.
     Quit,
 }
@@ -82,6 +118,8 @@ pub fn parse_line(line: &str) -> Result<ClientLine, ServeError> {
     match head {
         "LIST" => Ok(ClientLine::List),
         "STATS" => Ok(ClientLine::Stats),
+        "METRICS" => Ok(ClientLine::Metrics),
+        "TRACE" => Ok(ClientLine::Trace(parse_operand(head, &mut words)?)),
         "QUIT" => Ok(ClientLine::Quit),
         "WEIGHT" => {
             let w: u32 = parse_operand(head, &mut words)?;
@@ -241,6 +279,19 @@ mod tests {
         assert!(parse_line("bs DEADLINE_MS=0").is_ok());
         assert!(parse_line("bs DEADLINE_MS=x").is_err());
         assert!(parse_line("bs DEADLINE_MS=1 DEADLINE_MS=2").is_err());
+    }
+
+    #[test]
+    fn parses_metrics_and_trace_lines() {
+        assert_eq!(parse_line("METRICS").unwrap(), ClientLine::Metrics);
+        assert_eq!(parse_line("TRACE 42").unwrap(), ClientLine::Trace(42));
+        assert_eq!(parse_line("TRACE 0").unwrap(), ClientLine::Trace(0));
+        for bad in ["TRACE", "TRACE x", "TRACE 1 2", "TRACE -1"] {
+            assert!(
+                matches!(parse_line(bad), Err(ServeError::BadRequest(_))),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -4,19 +4,26 @@
 //! weights and byte budgets, request deadlines, bounded retry of
 //! transient failures, and graceful drain.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+use mozart_core::cputime;
 use mozart_core::faultinject::splitmix64;
+use mozart_core::trace::{
+    RetryCause, SpanKind, SpanRecord, SpanTree, TraceId, TraceRecorder, SERVICE_WORKER,
+};
 use mozart_core::{
-    CancelToken, Concat, Config, DataValue, MozartContext, PlanCache, PlanCacheStats, PoolHandle,
-    PoolStats, Splitter,
+    CancelToken, Concat, Config, DataValue, MozartContext, PhaseStats, PlanCache, PlanCacheStats,
+    PoolHandle, PoolStats, Splitter,
 };
 
 use crate::admission::Admission;
 use crate::error::{Result, ServeError};
+use crate::metrics::{
+    render_counter, render_gauge, render_histogram, Histogram, HistogramSnapshot,
+};
 
 /// Most requests one coalesced evaluation may absorb (the leader plus
 /// `MAX_COALESCE - 1` followers). Bounds both the concatenated input
@@ -269,6 +276,10 @@ pub struct ServiceConfig {
     /// duration in `[base·2ᵏ/2, base·2ᵏ]` milliseconds, clamped to the
     /// request's remaining deadline. 0 retries immediately.
     pub retry_backoff_ms: u64,
+    /// End-to-end request tracing and latency histograms (off by
+    /// default; see [`ServiceBuilder::tracing`]). When off, the request
+    /// path records nothing — one `Option` branch per would-be span.
+    pub tracing: bool,
 }
 
 impl Default for ServiceConfig {
@@ -285,6 +296,7 @@ impl Default for ServiceConfig {
             fair_scheduling: true,
             max_retries: 2,
             retry_backoff_ms: 5,
+            tracing: false,
         }
     }
 }
@@ -310,6 +322,11 @@ pub struct ServiceStats {
     /// Evaluation attempts re-run after a transient failure (see
     /// [`ServiceConfig::max_retries`]).
     pub retries: u64,
+    /// Requests (on a tracing-enabled service) that consumed at least
+    /// 80% of their deadline before resolving — the slow-request log's
+    /// counter ([`PipelineService::slow_requests`]). Always 0 when
+    /// tracing is off or requests carry no deadline.
+    pub slow: u64,
     /// Whether [`PipelineService::drain`] has been called: admission is
     /// closed and every new request is shed with
     /// [`ServeError::Draining`].
@@ -333,11 +350,219 @@ pub struct ServiceStats {
     pub pool: PoolStats,
 }
 
+/// The request-outcome counters of [`ServiceStats`], kept behind one
+/// mutex so [`PipelineService::stats`] reads a single consistent
+/// snapshot: a request that just completed can never be counted in
+/// `completed` but not yet in `started`. The lock is uncontended in
+/// steady state (one lock per request outcome, held for a few
+/// increments); admission, plan-cache, and pool counters remain
+/// independently consistent and are documented as such.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    started: u64,
+    completed: u64,
+    rejected: u64,
+    failed: u64,
+    over_budget: u64,
+    coalesced: u64,
+    deadline_shed: u64,
+    retries: u64,
+    slow: u64,
+}
+
+/// One entry of the slow-request log (see
+/// [`PipelineService::slow_requests`]): a request that consumed at
+/// least 80% of its deadline before resolving, successfully or not.
+#[derive(Debug, Clone)]
+pub struct SlowRequest {
+    /// The request's trace id; `TRACE <id>` (or
+    /// [`PipelineService::trace_tree`]) retrieves where the time went.
+    pub trace: TraceId,
+    /// The pipeline the request addressed.
+    pub pipeline: String,
+    /// End-to-end latency in milliseconds.
+    pub e2e_ms: u64,
+    /// The deadline the request carried, in milliseconds.
+    pub deadline_ms: u64,
+    /// `"ok"` or the [`ServeError::kind`] the request failed with.
+    pub outcome: &'static str,
+}
+
+/// Plain-value histogram snapshots of a tracing-enabled service
+/// ([`PipelineService::metrics`]). All samples are nanoseconds;
+/// snapshots merge across services or time windows
+/// ([`HistogramSnapshot::merge`]).
+#[derive(Debug, Clone)]
+pub struct ServiceMetrics {
+    /// End-to-end request latency (admission to response, failures
+    /// included).
+    pub e2e: HistogramSnapshot,
+    /// Time spent waiting for an admission slot.
+    pub admission_wait: HistogramSnapshot,
+    /// Per-evaluation-attempt phase times, keyed by phase name in
+    /// [`PHASE_NAMES`] order.
+    pub phases: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+/// Names (and order) of the per-phase latency histograms in
+/// [`ServiceMetrics::phases`] and on the metrics page
+/// (`mozart_phase_<name>_seconds`).
+pub const PHASE_NAMES: [&str; 5] = ["unprotect", "planner", "split", "task", "merge"];
+
+/// Entries the slow-request log retains (oldest evicted first).
+const SLOW_LOG_CAP: usize = 64;
+
+/// Observability state of a tracing-enabled service: the shared span
+/// recorder plus the serve-side latency histograms and the slow-request
+/// log. Absent entirely when tracing is off.
+struct Obs {
+    recorder: Arc<TraceRecorder>,
+    e2e: Histogram,
+    admission_wait: Histogram,
+    /// Per-phase attempt times, [`PHASE_NAMES`] order.
+    phases: [Histogram; PHASE_NAMES.len()],
+    slow: Mutex<VecDeque<SlowRequest>>,
+}
+
+/// Start stamps of one serve-side span in flight; closed by
+/// [`Obs::span_end`]. Serve-side spans always run on the calling
+/// service thread and record under [`SERVICE_WORKER`].
+#[derive(Clone, Copy)]
+struct SpanTimer {
+    start_ns: u64,
+    cpu0: Duration,
+}
+
+impl Obs {
+    fn new(recorder: Arc<TraceRecorder>) -> Obs {
+        Obs {
+            recorder,
+            e2e: Histogram::new(),
+            admission_wait: Histogram::new(),
+            phases: std::array::from_fn(|_| Histogram::new()),
+            slow: Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAP)),
+        }
+    }
+
+    fn span_start(&self) -> SpanTimer {
+        SpanTimer {
+            start_ns: self.recorder.now_ns(),
+            cpu0: cputime::thread_cpu_now(),
+        }
+    }
+
+    /// Record the span opened by `t`; returns its wall time in ns.
+    fn span_end(&self, trace: TraceId, kind: SpanKind, arg: u64, link: u64, t: SpanTimer) -> u64 {
+        let wall_ns = self.recorder.now_ns().saturating_sub(t.start_ns);
+        let cpu = cputime::cpu_elapsed(t.cpu0, cputime::thread_cpu_now());
+        self.recorder.record(SpanRecord {
+            seq: 0,
+            trace,
+            kind,
+            worker: SERVICE_WORKER,
+            arg,
+            link,
+            start_ns: t.start_ns,
+            wall_ns,
+            cpu_ns: duration_ns(cpu),
+        });
+        wall_ns
+    }
+
+    /// Record a zero-duration marker span (e.g. a deadline shed).
+    fn mark(&self, trace: TraceId, kind: SpanKind, arg: u64, link: u64) {
+        self.recorder.record(SpanRecord {
+            seq: 0,
+            trace,
+            kind,
+            worker: SERVICE_WORKER,
+            arg,
+            link,
+            start_ns: self.recorder.now_ns(),
+            wall_ns: 0,
+            cpu_ns: 0,
+        });
+    }
+
+    /// Feed one evaluation attempt's phase stats into the per-phase
+    /// histograms. Zero phases (e.g. nothing to unprotect) are skipped
+    /// so quantiles reflect work actually done.
+    fn record_phases(&self, stats: &PhaseStats) {
+        let samples = [
+            stats.unprotect,
+            stats.planner,
+            stats.split,
+            stats.task,
+            stats.merge,
+        ];
+        for (h, d) in self.phases.iter().zip(samples) {
+            if !d.is_zero() {
+                h.record(duration_ns(d));
+            }
+        }
+    }
+
+    /// Log the request if it consumed at least 80% of its deadline.
+    fn note_slow(
+        &self,
+        counters: &Mutex<Counters>,
+        trace: TraceId,
+        pipeline: &str,
+        outcome: &'static str,
+        deadline: Option<(Instant, u64)>,
+        wall_ns: u64,
+    ) {
+        let Some((_, deadline_ms)) = deadline else {
+            return;
+        };
+        let threshold_ns = deadline_ms.saturating_mul(1_000_000) / 5 * 4;
+        if deadline_ms == 0 || wall_ns < threshold_ns {
+            return;
+        }
+        let entry = SlowRequest {
+            trace,
+            pipeline: pipeline.to_string(),
+            e2e_ms: wall_ns / 1_000_000,
+            deadline_ms,
+            outcome,
+        };
+        eprintln!(
+            "mozart-serve: slow request: pipeline={} trace={} e2e_ms={} deadline_ms={} outcome={}",
+            entry.pipeline, entry.trace, entry.e2e_ms, entry.deadline_ms, entry.outcome
+        );
+        lock(counters).slow += 1;
+        let mut log = lock(&self.slow);
+        if log.len() >= SLOW_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(entry);
+    }
+}
+
+/// Nanoseconds of a [`Duration`], saturating at `u64::MAX`.
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Classify a failed attempt's error for the next attempt's
+/// [`SpanKind::Attempt`] `link` field.
+fn retry_cause(e: &ServeError) -> RetryCause {
+    match e {
+        ServeError::Runtime(mozart_core::Error::TaskPanicked { .. }) => RetryCause::Panic,
+        ServeError::Runtime(mozart_core::Error::Injected(_)) => RetryCause::Injected,
+        _ => RetryCause::Other,
+    }
+}
+
 /// One forming coalesced batch: the leader's request plus any followers
 /// that joined while the leader waited for admission.
 struct CoalesceBatch {
     state: Mutex<CoalesceState>,
     cv: Condvar,
+    /// The leader's trace id (0 when tracing is off): followers'
+    /// `CoalesceWait` spans link here, tying a follower's trace to the
+    /// evaluation that actually served it.
+    leader_trace: TraceId,
 }
 
 struct CoalesceState {
@@ -356,7 +581,7 @@ struct CoalesceState {
 type BatchOutcome = std::result::Result<(Vec<Result<Response>>, u64), ServeError>;
 
 impl CoalesceBatch {
-    fn new(leader_req: Request) -> CoalesceBatch {
+    fn new(leader_req: Request, leader_trace: TraceId) -> CoalesceBatch {
         CoalesceBatch {
             state: Mutex::new(CoalesceState {
                 reqs: vec![leader_req],
@@ -364,6 +589,7 @@ impl CoalesceBatch {
                 outcome: None,
             }),
             cv: Condvar::new(),
+            leader_trace,
         }
     }
 }
@@ -440,15 +666,12 @@ struct ServiceInner {
     /// Open coalesced batches, keyed by `(pipeline, coalesce_key)`.
     coalescer: Mutex<HashMap<(String, u64), Arc<CoalesceBatch>>>,
     session_counter: AtomicU64,
-    started: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    failed: AtomicU64,
-    over_budget: AtomicU64,
-    coalesced: AtomicU64,
-    deadline_shed: AtomicU64,
-    retries: AtomicU64,
+    /// Request-outcome counters behind one lock (see [`Counters`]).
+    counters: Mutex<Counters>,
     draining: AtomicBool,
+    /// Tracing/metrics state; `None` when tracing is off, and then the
+    /// request path records nothing.
+    obs: Option<Obs>,
 }
 
 /// A multi-tenant, in-process pipeline service (the `mozart-serve`
@@ -541,7 +764,12 @@ impl PipelineService {
         self.inner.cache.clone()
     }
 
-    /// Snapshot of the service counters.
+    /// Snapshot of the service counters. The request-outcome counters
+    /// (`started` through `slow`) are read as **one** locked snapshot:
+    /// a request that just resolved is either entirely in the snapshot
+    /// or entirely absent, never counted in `completed` but missing
+    /// from `started`. The admission, coalescer, plan-cache, and pool
+    /// figures are each internally consistent but sampled separately.
     pub fn stats(&self) -> ServiceStats {
         let inner = &self.inner;
         let (inflight, waiting) = inner.admission.load();
@@ -551,16 +779,18 @@ impl PipelineService {
             .values()
             .map(|b| lock(&b.state).reqs.len().saturating_sub(1))
             .sum();
+        let c = *lock(&inner.counters);
         ServiceStats {
-            started: inner.started.load(Ordering::Relaxed),
-            completed: inner.completed.load(Ordering::Relaxed),
-            rejected: inner.rejected.load(Ordering::Relaxed),
-            failed: inner.failed.load(Ordering::Relaxed),
-            over_budget: inner.over_budget.load(Ordering::Relaxed),
-            deadline_shed: inner.deadline_shed.load(Ordering::Relaxed),
-            retries: inner.retries.load(Ordering::Relaxed),
+            started: c.started,
+            completed: c.completed,
+            rejected: c.rejected,
+            failed: c.failed,
+            over_budget: c.over_budget,
+            deadline_shed: c.deadline_shed,
+            retries: c.retries,
+            slow: c.slow,
             draining: inner.draining.load(Ordering::Relaxed),
-            coalesced_requests: inner.coalesced.load(Ordering::Relaxed),
+            coalesced_requests: c.coalesced,
             coalesce_waiting,
             sessions: inner.session_counter.load(Ordering::Relaxed),
             inflight,
@@ -568,6 +798,249 @@ impl PipelineService {
             plan_cache: inner.cache.stats(),
             pool: inner.pool.stats(),
         }
+    }
+
+    /// Whether the service was built with tracing
+    /// ([`ServiceBuilder::tracing`]).
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.obs.is_some()
+    }
+
+    /// The shared span recorder, when tracing is enabled. Request
+    /// contexts record into it from every worker thread; drained via
+    /// [`TraceRecorder::spans`] / [`TraceRecorder::all_spans`] (e.g.
+    /// for [`mozart_core::chrome_trace_json`] export).
+    pub fn recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.inner.obs.as_ref().map(|o| o.recorder.clone())
+    }
+
+    /// Raw span records of one trace, sorted by start time. Empty when
+    /// tracing is off, the id is unknown, or the ring buffers have
+    /// since overwritten the trace's spans.
+    pub fn trace_spans(&self, trace: TraceId) -> Vec<SpanRecord> {
+        self.inner
+            .obs
+            .as_ref()
+            .map_or_else(Vec::new, |o| o.recorder.spans(trace))
+    }
+
+    /// One request's assembled span tree (`None` when tracing is off or
+    /// no spans of the trace survive in the ring buffers).
+    pub fn trace_tree(&self, trace: TraceId) -> Option<SpanTree> {
+        self.inner.obs.as_ref()?.recorder.tree(trace)
+    }
+
+    /// Histogram snapshots of a tracing-enabled service (`None` when
+    /// tracing is off): end-to-end latency, admission wait, and
+    /// per-attempt phase times, all in nanoseconds.
+    pub fn metrics(&self) -> Option<ServiceMetrics> {
+        let o = self.inner.obs.as_ref()?;
+        Some(ServiceMetrics {
+            e2e: o.e2e.snapshot(),
+            admission_wait: o.admission_wait.snapshot(),
+            phases: PHASE_NAMES
+                .iter()
+                .zip(o.phases.iter())
+                .map(|(&n, h)| (n, h.snapshot()))
+                .collect(),
+        })
+    }
+
+    /// The slow-request log: the most recent 64 requests that consumed
+    /// at least 80% of their deadline, oldest first. Empty when tracing
+    /// is off.
+    pub fn slow_requests(&self) -> Vec<SlowRequest> {
+        self.inner
+            .obs
+            .as_ref()
+            .map_or_else(Vec::new, |o| lock(&o.slow).iter().cloned().collect())
+    }
+
+    /// The service's metrics page in the Prometheus text exposition
+    /// format (see [`crate::metrics`] for the format contract): the
+    /// [`ServiceStats`] counters and gauges always; latency histograms,
+    /// per-span-kind wall/CPU totals, and the recorder's drop counter
+    /// when tracing is enabled. Served verbatim by the `METRICS`
+    /// protocol line and `serve_tcp --metrics-port`.
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let s = self.stats();
+        render_counter(
+            &mut out,
+            "mozart_requests_started_total",
+            "Requests admitted and started (coalesced followers included)",
+            s.started,
+        );
+        render_counter(
+            &mut out,
+            "mozart_requests_completed_total",
+            "Requests completed successfully",
+            s.completed,
+        );
+        render_counter(
+            &mut out,
+            "mozart_requests_rejected_total",
+            "Requests rejected by admission control",
+            s.rejected,
+        );
+        render_counter(
+            &mut out,
+            "mozart_requests_failed_total",
+            "Requests failed inside the pipeline",
+            s.failed,
+        );
+        render_counter(
+            &mut out,
+            "mozart_requests_over_budget_total",
+            "Requests shed by session byte budgets",
+            s.over_budget,
+        );
+        render_counter(
+            &mut out,
+            "mozart_requests_deadline_shed_total",
+            "Requests shed because their deadline passed",
+            s.deadline_shed,
+        );
+        render_counter(
+            &mut out,
+            "mozart_retries_total",
+            "Evaluation attempts re-run after a transient failure",
+            s.retries,
+        );
+        render_counter(
+            &mut out,
+            "mozart_requests_coalesced_total",
+            "Requests served by piggybacking on another evaluation",
+            s.coalesced_requests,
+        );
+        render_counter(
+            &mut out,
+            "mozart_requests_slow_total",
+            "Requests that consumed at least 80% of their deadline",
+            s.slow,
+        );
+        render_gauge(
+            &mut out,
+            "mozart_inflight",
+            "Requests currently evaluating",
+            s.inflight as u64,
+        );
+        render_gauge(
+            &mut out,
+            "mozart_admission_waiting",
+            "Callers waiting for admission",
+            s.waiting as u64,
+        );
+        render_gauge(
+            &mut out,
+            "mozart_coalesce_waiting",
+            "Followers parked in open coalesced batches",
+            s.coalesce_waiting as u64,
+        );
+        render_gauge(&mut out, "mozart_sessions", "Sessions opened", s.sessions);
+        render_gauge(
+            &mut out,
+            "mozart_draining",
+            "1 once drain() has been called",
+            u64::from(s.draining),
+        );
+        render_counter(
+            &mut out,
+            "mozart_plan_cache_hits_total",
+            "Evaluations replayed from a cached plan",
+            s.plan_cache.hits,
+        );
+        render_counter(
+            &mut out,
+            "mozart_plan_cache_misses_total",
+            "Evaluations planned from scratch",
+            s.plan_cache.misses,
+        );
+        render_gauge(
+            &mut out,
+            "mozart_plan_cache_entries",
+            "Plans currently cached",
+            s.plan_cache.entries as u64,
+        );
+        render_gauge(
+            &mut out,
+            "mozart_pool_workers",
+            "Worker threads in the shared pool",
+            s.pool.workers as u64,
+        );
+        render_counter(
+            &mut out,
+            "mozart_pool_jobs_total",
+            "Stages dispatched to the shared pool",
+            s.pool.jobs,
+        );
+        render_counter(
+            &mut out,
+            "mozart_pool_panicked_batches_total",
+            "Batch runs that ended in a caught panic",
+            s.pool.panicked_batches,
+        );
+        render_counter(
+            &mut out,
+            "mozart_pool_respawned_workers_total",
+            "Pool workers respawned after dying",
+            s.pool.respawned_workers,
+        );
+        if let Some(o) = self.inner.obs.as_ref() {
+            render_histogram(
+                &mut out,
+                "mozart_request_seconds",
+                "End-to-end request latency",
+                &o.e2e.snapshot(),
+            );
+            render_histogram(
+                &mut out,
+                "mozart_admission_wait_seconds",
+                "Time waiting for an admission slot",
+                &o.admission_wait.snapshot(),
+            );
+            for (name, h) in PHASE_NAMES.iter().zip(o.phases.iter()) {
+                render_histogram(
+                    &mut out,
+                    &format!("mozart_phase_{name}_seconds"),
+                    "Per-attempt evaluation phase time",
+                    &h.snapshot(),
+                );
+            }
+            render_counter(
+                &mut out,
+                "mozart_trace_spans_dropped_total",
+                "Span records overwritten before being read",
+                o.recorder.dropped(),
+            );
+            // Per-span-kind totals survive ring overwrites (accumulated
+            // at record time), so they are true since-start counters.
+            for t in o.recorder.phase_totals() {
+                if t.count == 0 {
+                    continue;
+                }
+                let kind = t.kind.name();
+                render_counter(
+                    &mut out,
+                    &format!("mozart_span_{kind}_total"),
+                    "Spans recorded of this kind",
+                    t.count,
+                );
+                render_counter(
+                    &mut out,
+                    &format!("mozart_span_{kind}_wall_ns_total"),
+                    "Cumulative wall time of this span kind (ns)",
+                    t.wall_ns,
+                );
+                render_counter(
+                    &mut out,
+                    &format!("mozart_span_{kind}_cpu_ns_total"),
+                    "Cumulative thread CPU time of this span kind (ns)",
+                    t.cpu_ns,
+                );
+            }
+        }
+        out
     }
 
     /// Gracefully drain the service: close admission — every subsequent
@@ -608,9 +1081,57 @@ impl PipelineService {
         req: &Request,
         wait: bool,
     ) -> Result<Response> {
+        self.execute_traced(session, pipeline, req, wait).0
+    }
+
+    /// [`PipelineService::execute`], also minting and returning the
+    /// request's trace id when tracing is enabled. The outermost
+    /// [`SpanKind::Request`] span, the end-to-end histogram sample, and
+    /// the slow-request check all live here, wrapped around the whole
+    /// request lifetime (admission wait included).
+    fn execute_traced(
+        &self,
+        session: &Session,
+        pipeline: &str,
+        req: &Request,
+        wait: bool,
+    ) -> (Result<Response>, Option<TraceId>) {
         let inner = &self.inner;
+        let obs = inner.obs.as_ref();
+        let trace = obs.map_or(0, |o| o.recorder.mint());
+        let timer = obs.map(|o| o.span_start());
+        // The request's deadline clock starts on arrival: an explicit
+        // per-request deadline wins over the session's default.
+        let deadline = req
+            .deadline_ms()
+            .or_else(|| session.deadline_ms())
+            .map(|ms| (Instant::now() + Duration::from_millis(ms), ms));
+        let result = self.execute_inner(session, pipeline, req, wait, deadline, trace);
+        if let (Some(o), Some(t)) = (obs, timer) {
+            let wall_ns = o.span_end(trace, SpanKind::Request, 0, 0, t);
+            o.e2e.record(wall_ns);
+            let outcome = match &result {
+                Ok(_) => "ok",
+                Err(e) => e.kind(),
+            };
+            o.note_slow(&inner.counters, trace, pipeline, outcome, deadline, wall_ns);
+        }
+        (result, (trace != 0).then_some(trace))
+    }
+
+    fn execute_inner(
+        &self,
+        session: &Session,
+        pipeline: &str,
+        req: &Request,
+        wait: bool,
+        deadline: Option<(Instant, u64)>,
+        trace: TraceId,
+    ) -> Result<Response> {
+        let inner = &self.inner;
+        let obs = inner.obs.as_ref();
         if inner.draining.load(Ordering::SeqCst) {
-            inner.rejected.fetch_add(1, Ordering::Relaxed);
+            lock(&inner.counters).rejected += 1;
             return Err(ServeError::Draining);
         }
         let handler = read(&inner.pipelines)
@@ -618,12 +1139,6 @@ impl PipelineService {
             .cloned()
             .ok_or_else(|| ServeError::UnknownPipeline(pipeline.to_string()))?;
         session.check_budget(inner)?;
-        // The request's deadline clock starts here: an explicit
-        // per-request deadline wins over the session's default.
-        let deadline = req
-            .deadline_ms()
-            .or_else(|| session.deadline_ms())
-            .map(|ms| (Instant::now() + Duration::from_millis(ms), ms));
 
         // Cross-request coalescing: blocking requests whose coalesce
         // keys match may share one evaluation. try_call requests never
@@ -634,7 +1149,7 @@ impl PipelineService {
                 // Join the open batch if one exists and has room.
                 let existing = lock(&inner.coalescer).get(&key).cloned();
                 if let Some(batch) = existing {
-                    if let Some(result) = self.join_batch(session, &batch, req, deadline) {
+                    if let Some(result) = self.join_batch(session, &batch, req, deadline, trace) {
                         return result;
                     }
                     // Sealed or full: serve this request on its own
@@ -643,7 +1158,7 @@ impl PipelineService {
                     // Publish a fresh batch and lead it; on an insert
                     // race the other leader won and this request is
                     // served on its own.
-                    let batch = Arc::new(CoalesceBatch::new(req.clone()));
+                    let batch = Arc::new(CoalesceBatch::new(req.clone(), trace));
                     let inserted = {
                         let mut map = lock(&inner.coalescer);
                         match map.entry(key.clone()) {
@@ -655,45 +1170,61 @@ impl PipelineService {
                         }
                     };
                     if inserted {
-                        return self.lead_batch(session, &*handler, key, batch, deadline);
+                        return self.lead_batch(session, &*handler, key, batch, deadline, trace);
                     }
                 }
             }
         }
 
         // Plain single-request path.
+        let qt = obs.map(|o| o.span_start());
         let permit = if wait {
             inner.admission.acquire_deadline(deadline)
         } else {
             inner.admission.try_acquire()
         };
+        if let (Some(o), Some(t)) = (obs, qt) {
+            let wall_ns = o.span_end(trace, SpanKind::QueueWait, 0, 0, t);
+            o.admission_wait.record(wall_ns);
+        }
         let _permit = match permit {
             Ok(p) => p,
             Err(e @ ServeError::DeadlineExceeded { .. }) => {
-                inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                lock(&inner.counters).deadline_shed += 1;
+                if let Some(o) = obs {
+                    o.mark(
+                        trace,
+                        SpanKind::DeadlineShed,
+                        0,
+                        deadline.map_or(0, |(_, ms)| ms),
+                    );
+                }
                 return Err(e);
             }
             Err(e) => {
-                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                lock(&inner.counters).rejected += 1;
                 return Err(e);
             }
         };
-        inner.started.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut c = lock(&inner.counters);
+            c.started += 1;
+        }
         session.requests.fetch_add(1, Ordering::Relaxed);
 
-        let (result, bytes) = self.run_attempts(session, &*handler, req, deadline);
+        let (result, bytes) = self.run_attempts(session, &*handler, req, deadline, trace);
         session.bytes_used.fetch_add(bytes, Ordering::Relaxed);
         match result {
             Ok(resp) => {
-                inner.completed.fetch_add(1, Ordering::Relaxed);
+                lock(&inner.counters).completed += 1;
                 Ok(resp)
             }
             Err(e @ ServeError::DeadlineExceeded { .. }) => {
-                inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                lock(&inner.counters).deadline_shed += 1;
                 Err(e)
             }
             Err(e) => {
-                inner.failed.fetch_add(1, Ordering::Relaxed);
+                lock(&inner.counters).failed += 1;
                 Err(e)
             }
         }
@@ -714,22 +1245,44 @@ impl PipelineService {
         handler: &dyn Pipeline,
         req: &Request,
         deadline: Option<(Instant, u64)>,
+        trace: TraceId,
     ) -> (Result<Response>, u64) {
         let inner = &self.inner;
+        let obs = inner.obs.as_ref();
         let mut bytes = 0u64;
         let mut attempt: u32 = 0;
+        // Cause of the previous attempt's failure, carried in the next
+        // Attempt span's link field.
+        let mut prev_cause = RetryCause::None;
         loop {
             if let Some((d, ms)) = deadline {
                 if Instant::now() >= d {
+                    if let Some(o) = obs {
+                        o.mark(trace, SpanKind::DeadlineShed, u64::from(attempt), ms);
+                    }
                     return (Err(ServeError::DeadlineExceeded { deadline_ms: ms }), bytes);
                 }
             }
+            let at = obs.map(|o| o.span_start());
             let ctx = self.request_context(session);
+            if trace != 0 {
+                ctx.set_trace_id(trace);
+            }
             if let Some((d, _)) = deadline {
                 ctx.set_cancel_token(CancelToken::with_deadline(d));
             }
             let result = handler.run(&ctx, req);
             let stats = ctx.stats();
+            if let (Some(o), Some(t)) = (obs, at) {
+                o.span_end(
+                    trace,
+                    SpanKind::Attempt,
+                    u64::from(attempt),
+                    prev_cause as u64,
+                    t,
+                );
+                o.record_phases(&stats);
+            }
             bytes = bytes.saturating_add(stats.bytes_split.saturating_add(stats.bytes_merged));
             match result {
                 Ok(resp) => return (Ok(resp), bytes),
@@ -737,6 +1290,9 @@ impl PipelineService {
                     // Cooperative abandonment: the deadline token fired
                     // mid-evaluation. Never retried.
                     let ms = deadline.map_or(0, |(_, ms)| ms);
+                    if let Some(o) = obs {
+                        o.mark(trace, SpanKind::DeadlineShed, u64::from(attempt), ms);
+                    }
                     return (Err(ServeError::DeadlineExceeded { deadline_ms: ms }), bytes);
                 }
                 Err(e) => {
@@ -744,9 +1300,14 @@ impl PipelineService {
                     if !e.is_transient() || attempt >= inner.config.max_retries {
                         return (Err(e), bytes);
                     }
+                    prev_cause = retry_cause(&e);
                     attempt += 1;
-                    inner.retries.fetch_add(1, Ordering::Relaxed);
+                    lock(&inner.counters).retries += 1;
+                    let bt = obs.map(|o| o.span_start());
                     self.backoff(session.id, attempt, deadline);
+                    if let (Some(o), Some(t)) = (obs, bt) {
+                        o.span_end(trace, SpanKind::Backoff, u64::from(attempt), 0, t);
+                    }
                 }
             }
         }
@@ -767,7 +1328,7 @@ impl PipelineService {
         let seed = session
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(u64::from(attempt))
-            .wrapping_add(self.inner.retries.load(Ordering::Relaxed) << 17);
+            .wrapping_add(lock(&self.inner.counters).retries << 17);
         let jitter = splitmix64(seed) % (scaled / 2 + 1);
         let mut wait = Duration::from_millis(scaled / 2 + jitter);
         if let Some((d, _)) = deadline {
@@ -790,20 +1351,29 @@ impl PipelineService {
         batch: &Arc<CoalesceBatch>,
         req: &Request,
         deadline: Option<(Instant, u64)>,
+        trace: TraceId,
     ) -> Option<Result<Response>> {
         let inner = &self.inner;
+        let obs = inner.obs.as_ref();
         let mut st = lock(&batch.state);
         if st.sealed || st.reqs.len() >= MAX_COALESCE {
             return None;
         }
         if let Some((d, ms)) = deadline {
             if Instant::now() >= d {
-                inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                lock(&inner.counters).deadline_shed += 1;
+                if let Some(o) = obs {
+                    o.mark(trace, SpanKind::DeadlineShed, 0, ms);
+                }
                 return Some(Err(ServeError::DeadlineExceeded { deadline_ms: ms }));
             }
         }
         let idx = st.reqs.len();
         st.reqs.push(req.clone());
+        // The follower's wait on its leader, linked to the leader's
+        // trace — the span that ties this request's tree to the
+        // evaluation that actually served it.
+        let wt = obs.map(|o| o.span_start());
         while st.outcome.is_none() {
             match deadline {
                 None => st = batch.cv.wait(st).unwrap_or_else(|p| p.into_inner()),
@@ -811,7 +1381,17 @@ impl PipelineService {
                     let now = Instant::now();
                     if now >= d {
                         drop(st);
-                        inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                        lock(&inner.counters).deadline_shed += 1;
+                        if let (Some(o), Some(t)) = (obs, wt) {
+                            o.span_end(
+                                trace,
+                                SpanKind::CoalesceWait,
+                                idx as u64,
+                                batch.leader_trace,
+                                t,
+                            );
+                            o.mark(trace, SpanKind::DeadlineShed, 0, ms);
+                        }
                         return Some(Err(ServeError::DeadlineExceeded { deadline_ms: ms }));
                     }
                     st = batch
@@ -821,6 +1401,15 @@ impl PipelineService {
                         .0;
                 }
             }
+        }
+        if let (Some(o), Some(t)) = (obs, wt) {
+            o.span_end(
+                trace,
+                SpanKind::CoalesceWait,
+                idx as u64,
+                batch.leader_trace,
+                t,
+            );
         }
         let members = st.reqs.len() as u64;
         let Some(outcome) = st.outcome.as_ref() else {
@@ -832,8 +1421,11 @@ impl PipelineService {
         };
         Some(match outcome {
             Ok((results, bytes)) => {
-                inner.started.fetch_add(1, Ordering::Relaxed);
-                inner.coalesced.fetch_add(1, Ordering::Relaxed);
+                {
+                    let mut c = lock(&inner.counters);
+                    c.started += 1;
+                    c.coalesced += 1;
+                }
                 session.requests.fetch_add(1, Ordering::Relaxed);
                 session
                     .bytes_used
@@ -843,15 +1435,12 @@ impl PipelineService {
                         "coalesced batch outcome is missing this member's slot".into(),
                     )))
                 });
-                match &own {
-                    Ok(_) => {
-                        inner.completed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(ServeError::DeadlineExceeded { .. }) => {
-                        inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        inner.failed.fetch_add(1, Ordering::Relaxed);
+                {
+                    let mut c = lock(&inner.counters);
+                    match &own {
+                        Ok(_) => c.completed += 1,
+                        Err(ServeError::DeadlineExceeded { .. }) => c.deadline_shed += 1,
+                        Err(_) => c.failed += 1,
                     }
                 }
                 own
@@ -860,18 +1449,21 @@ impl PipelineService {
                 // The batch never got an admission slot; the follower
                 // would have queued behind the same full (or closed)
                 // line.
-                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                lock(&inner.counters).rejected += 1;
                 Err(e.clone())
             }
             Err(e @ ServeError::DeadlineExceeded { .. }) => {
                 // The leader's deadline expired before admission; the
                 // batch died with it.
-                inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                lock(&inner.counters).deadline_shed += 1;
                 Err(e.clone())
             }
             Err(e) => {
-                inner.started.fetch_add(1, Ordering::Relaxed);
-                inner.failed.fetch_add(1, Ordering::Relaxed);
+                {
+                    let mut c = lock(&inner.counters);
+                    c.started += 1;
+                    c.failed += 1;
+                }
                 session.requests.fetch_add(1, Ordering::Relaxed);
                 Err(e.clone())
             }
@@ -888,8 +1480,10 @@ impl PipelineService {
         key: (String, u64),
         batch: Arc<CoalesceBatch>,
         deadline: Option<(Instant, u64)>,
+        trace: TraceId,
     ) -> Result<Response> {
         let inner = &self.inner;
+        let obs = inner.obs.as_ref();
         let guard = CoalesceGuard {
             inner,
             key,
@@ -898,23 +1492,40 @@ impl PipelineService {
         };
         // Followers join while this blocks — the window where the
         // service is busy is exactly the window coalescing pays off.
+        let qt = obs.map(|o| o.span_start());
         let permit = match inner.admission.acquire_deadline(deadline) {
             Ok(p) => p,
             Err(e) => {
+                if let (Some(o), Some(t)) = (obs, qt) {
+                    let wall_ns = o.span_end(trace, SpanKind::QueueWait, 0, 0, t);
+                    o.admission_wait.record(wall_ns);
+                }
                 if matches!(e, ServeError::DeadlineExceeded { .. }) {
-                    inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                    lock(&inner.counters).deadline_shed += 1;
+                    if let Some(o) = obs {
+                        o.mark(
+                            trace,
+                            SpanKind::DeadlineShed,
+                            0,
+                            deadline.map_or(0, |(_, ms)| ms),
+                        );
+                    }
                 } else {
-                    inner.rejected.fetch_add(1, Ordering::Relaxed);
+                    lock(&inner.counters).rejected += 1;
                 }
                 guard.finish(Err(e.clone()));
                 return Err(e);
             }
         };
+        if let (Some(o), Some(t)) = (obs, qt) {
+            let wall_ns = o.span_end(trace, SpanKind::QueueWait, 0, 0, t);
+            o.admission_wait.record(wall_ns);
+        }
         let reqs = guard.seal();
-        inner.started.fetch_add(1, Ordering::Relaxed);
+        lock(&inner.counters).started += 1;
         session.requests.fetch_add(1, Ordering::Relaxed);
 
-        let (results, bytes) = self.eval_batch(session, handler, &reqs, deadline);
+        let (results, bytes) = self.eval_batch(session, handler, &reqs, deadline, trace);
         drop(permit);
 
         // The batch's byte cost splits evenly across members (failed
@@ -927,15 +1538,12 @@ impl PipelineService {
                 "coalesced batch produced no leader result".into(),
             )))
         });
-        match &own {
-            Ok(_) => {
-                inner.completed.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(ServeError::DeadlineExceeded { .. }) => {
-                inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(_) => {
-                inner.failed.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut c = lock(&inner.counters);
+            match &own {
+                Ok(_) => c.completed += 1,
+                Err(ServeError::DeadlineExceeded { .. }) => c.deadline_shed += 1,
+                Err(_) => c.failed += 1,
             }
         }
         guard.finish(Ok((results, bytes)));
@@ -957,27 +1565,47 @@ impl PipelineService {
         handler: &dyn Pipeline,
         reqs: &[Request],
         deadline: Option<(Instant, u64)>,
+        trace: TraceId,
     ) -> (Vec<Result<Response>>, u64) {
         let inner = &self.inner;
+        let obs = inner.obs.as_ref();
         if reqs.len() == 1 {
-            let (r, b) = self.run_attempts(session, handler, &reqs[0], deadline);
+            let (r, b) = self.run_attempts(session, handler, &reqs[0], deadline, trace);
             return (vec![r], b);
         }
         let mut bytes = 0u64;
         let mut attempt: u32 = 0;
+        let mut prev_cause = RetryCause::None;
         loop {
             if let Some((d, ms)) = deadline {
                 if Instant::now() >= d {
+                    if let Some(o) = obs {
+                        o.mark(trace, SpanKind::DeadlineShed, u64::from(attempt), ms);
+                    }
                     let e = ServeError::DeadlineExceeded { deadline_ms: ms };
                     return (vec![Err(e); reqs.len()], bytes);
                 }
             }
+            let at = obs.map(|o| o.span_start());
             let ctx = self.request_context(session);
+            if trace != 0 {
+                ctx.set_trace_id(trace);
+            }
             if let Some((d, _)) = deadline {
                 ctx.set_cancel_token(CancelToken::with_deadline(d));
             }
             let result = coalesce_segments(&ctx, handler, reqs);
             let stats = ctx.stats();
+            if let (Some(o), Some(t)) = (obs, at) {
+                o.span_end(
+                    trace,
+                    SpanKind::Attempt,
+                    u64::from(attempt),
+                    prev_cause as u64,
+                    t,
+                );
+                o.record_phases(&stats);
+            }
             bytes = bytes.saturating_add(stats.bytes_split.saturating_add(stats.bytes_merged));
             match result {
                 // The pipeline declined (no segment support, a missing
@@ -997,6 +1625,9 @@ impl PipelineService {
                 }
                 Some(Err(mozart_core::Error::Cancelled(_))) => {
                     let ms = deadline.map_or(0, |(_, ms)| ms);
+                    if let Some(o) = obs {
+                        o.mark(trace, SpanKind::DeadlineShed, u64::from(attempt), ms);
+                    }
                     let e = ServeError::DeadlineExceeded { deadline_ms: ms };
                     return (vec![Err(e); reqs.len()], bytes);
                 }
@@ -1008,15 +1639,20 @@ impl PipelineService {
                     if attempt >= inner.config.max_retries {
                         break; // degrade: isolate the fault per member
                     }
+                    prev_cause = retry_cause(&e);
                     attempt += 1;
-                    inner.retries.fetch_add(1, Ordering::Relaxed);
+                    lock(&inner.counters).retries += 1;
+                    let bt = obs.map(|o| o.span_start());
                     self.backoff(session.id, attempt, deadline);
+                    if let (Some(o), Some(t)) = (obs, bt) {
+                        o.span_end(trace, SpanKind::Backoff, u64::from(attempt), 0, t);
+                    }
                 }
             }
         }
         let mut results = Vec::with_capacity(reqs.len());
         for req in reqs {
-            let (r, b) = self.run_attempts(session, handler, req, deadline);
+            let (r, b) = self.run_attempts(session, handler, req, deadline, trace);
             bytes = bytes.saturating_add(b);
             results.push(r);
         }
@@ -1236,6 +1872,19 @@ impl ServiceBuilder {
         self
     }
 
+    /// Enable end-to-end request tracing and latency histograms (off by
+    /// default). A tracing service mints a [`TraceId`] per request,
+    /// records spans for every wait and evaluation phase into lock-free
+    /// per-worker ring buffers ([`mozart_core::trace`]), feeds the
+    /// latency histograms behind [`PipelineService::metrics`] /
+    /// [`PipelineService::metrics_text`], and keeps the slow-request
+    /// log. When off (the default), the request path takes one `Option`
+    /// branch per would-be span and records nothing.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.config.tracing = on;
+        self
+    }
+
     /// Use an existing pool (e.g. [`mozart_core::global_pool`]) instead
     /// of spawning one sized `workers - 1`.
     pub fn pool(mut self, pool: PoolHandle) -> Self {
@@ -1286,6 +1935,17 @@ impl ServiceBuilder {
             .session_config
             .unwrap_or_else(|| Config::with_workers(config.workers));
         session_config.workers = config.workers;
+        // Tracing: one shared recorder feeds every request context (the
+        // executor's per-batch spans) and the serve-side spans alike.
+        let obs = if config.tracing {
+            let recorder = TraceRecorder::new();
+            session_config.tracing = Some(recorder.clone());
+            Some(Obs::new(recorder))
+        } else {
+            // An operator-supplied session Config may carry its own
+            // recorder (e.g. one shared across services); adopt it.
+            session_config.tracing.clone().map(Obs::new)
+        };
         if let Err(e) = session_config.validate() {
             panic!("mozart-serve: session_config rejected: {e}");
         }
@@ -1298,15 +1958,9 @@ impl ServiceBuilder {
                 pipelines: RwLock::new(HashMap::new()),
                 coalescer: Mutex::new(HashMap::new()),
                 session_counter: AtomicU64::new(0),
-                started: AtomicU64::new(0),
-                completed: AtomicU64::new(0),
-                rejected: AtomicU64::new(0),
-                failed: AtomicU64::new(0),
-                over_budget: AtomicU64::new(0),
-                coalesced: AtomicU64::new(0),
-                deadline_shed: AtomicU64::new(0),
-                retries: AtomicU64::new(0),
+                counters: Mutex::new(Counters::default()),
                 draining: AtomicBool::new(false),
+                obs,
                 config,
             }),
         };
@@ -1387,7 +2041,7 @@ impl Session {
         }
         let used = self.bytes_used.load(Ordering::Relaxed);
         if used >= budget {
-            inner.over_budget.fetch_add(1, Ordering::Relaxed);
+            lock(&inner.counters).over_budget += 1;
             return Err(ServeError::OverBudget {
                 session: self.id,
                 used_bytes: used,
@@ -1425,6 +2079,21 @@ impl Session {
     /// queued requests (see [`Pipeline::coalesce_key`]).
     pub fn call(&self, pipeline: &str, req: &Request) -> Result<Response> {
         self.service.execute(self, pipeline, req, true)
+    }
+
+    /// Like [`Session::call`], additionally returning the request's
+    /// trace id when the service was built with tracing
+    /// ([`ServiceBuilder::tracing`]); `None` otherwise. The id is
+    /// returned for failed requests too — their traces show where the
+    /// time went before the failure. Look the trace up with
+    /// [`PipelineService::trace_tree`] or the `TRACE <id>` protocol
+    /// line.
+    pub fn call_traced(
+        &self,
+        pipeline: &str,
+        req: &Request,
+    ) -> (Result<Response>, Option<TraceId>) {
+        self.service.execute_traced(self, pipeline, req, true)
     }
 
     /// Run `pipeline` with `req` only if a slot is free right now;

@@ -1,0 +1,64 @@
+//! Export a traced Mozart evaluation as Chrome trace-event JSON.
+//!
+//! Runs the Black-Scholes workload with [`mozart_core::trace`] enabled
+//! and writes every recorded span — planner, per-batch split/task/merge,
+//! placement writes — to a file `chrome://tracing` / Perfetto
+//! (<https://ui.perfetto.dev>) can open, with one row per worker thread.
+//!
+//! ```text
+//! cargo run --release --example trace_export [n] [out.json]
+//! ```
+//!
+//! Defaults: n = 2,000,000 options, output `mozart_trace.json`.
+
+use std::time::Instant;
+
+use mozart_core::trace::TraceRecorder;
+use mozart_core::{chrome_trace_json, Config};
+use mozart_repro::workloads::black_scholes as bs;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let out = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "mozart_trace.json".to_string());
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4);
+
+    let recorder = TraceRecorder::new();
+    let mut cfg = Config::with_workers(workers);
+    cfg.tracing = Some(recorder.clone());
+    let ctx = mozart_repro::workloads::mozart_context_with(cfg);
+
+    let inp = bs::generate(n, 42);
+    let t0 = Instant::now();
+    let summary = bs::mkl_mozart(&inp, &ctx).expect("mozart run");
+    println!(
+        "priced {n} options on {workers} workers in {:?} (call_sum = {:.2})",
+        t0.elapsed(),
+        summary.call_sum
+    );
+
+    let spans = recorder.all_spans();
+    let json = chrome_trace_json(&spans);
+    std::fs::write(&out, &json).expect("write trace file");
+    println!(
+        "wrote {} spans ({} bytes) to {out}",
+        spans.len(),
+        json.len()
+    );
+    println!("open in chrome://tracing or https://ui.perfetto.dev");
+    for t in recorder.phase_totals() {
+        println!(
+            "  {:>16}: count={:<6} wall={:?} cpu={:?}",
+            t.kind.name(),
+            t.count,
+            std::time::Duration::from_nanos(t.wall_ns),
+            std::time::Duration::from_nanos(t.cpu_ns),
+        );
+    }
+}
