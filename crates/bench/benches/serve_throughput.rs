@@ -45,6 +45,19 @@
 //!   and the tracing-on run's histogram-derived p50/p99/p999 — end to
 //!   end, admission wait, and per executor phase — land in the JSON
 //!   snapshot.
+//! * **Overload**: the closed-loop peak goodput of the adaptive
+//!   (AIMD-limited) service is measured, then a paced open-loop drive
+//!   offers 2x that rate through `try_call`. Excess load must shed
+//!   with a *typed* error (`saturated`/`queue_shed`/`over_memory` —
+//!   anything else aborts the bench), every admitted response must be
+//!   bit-identical to the reference, and on runs of ≥ 40 *offered*
+//!   requests the admitted goodput must stay ≥ 70% of the closed-loop
+//!   peak. The statically pinned `max_inflight` ablation runs under
+//!   the same offered load for comparison.
+//! * **Breaker**: a deterministic fault budget opens the black_scholes
+//!   circuit breaker; the open-state fast-fail latency must be ≥ 5x
+//!   under the healthy evaluation latency, and once the faults clear
+//!   the pipeline must recover within exactly one half-open probe.
 //!
 //! Env knobs: `MOZART_SERVE_CLIENTS` (default 4),
 //! `MOZART_SERVE_REQUESTS` per client (default 60, scaled by
@@ -57,7 +70,7 @@ use std::time::{Duration, Instant};
 
 use mozart_bench::{write_results, BenchOpts};
 use mozart_core::{Config, FaultKind, FaultPhase, FaultPlan, FaultPoint, MozartContext};
-use mozart_serve::{HistogramSnapshot, PipelineService, Request, ServiceMetrics};
+use mozart_serve::{HistogramSnapshot, PipelineService, Request, ServeError, ServiceMetrics};
 use workloads::black_scholes as bs;
 
 const WORKERS: usize = 4;
@@ -518,6 +531,202 @@ fn tracing_overhead_run(
     }
 }
 
+/// Result of one paced open-loop overload run (offered load 2x the
+/// measured closed-loop peak).
+struct Overload {
+    name: &'static str,
+    offered: u64,
+    admitted: u64,
+    shed: u64,
+    wall: Duration,
+    checksums_ok: bool,
+    /// The admission limit at the end of the run (AIMD-moved for the
+    /// adaptive service, pinned for the static ablation).
+    admission_limit: usize,
+    queue_shed: u64,
+}
+
+impl Overload {
+    fn goodput(&self) -> f64 {
+        self.admitted as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Pace `total` `try_call` arrivals at `offered_rps` across `threads`
+/// open-loop threads (each thread follows its own due-time schedule,
+/// so a slow admitted call never delays the offered rate for long).
+/// Excess load must shed with a typed overload error — anything else
+/// panics the bench — and every admitted body is checked against
+/// `want`.
+fn overload_run(
+    name: &'static str,
+    service: &PipelineService,
+    offered_rps: f64,
+    total: usize,
+    threads: usize,
+    n: usize,
+    want: &str,
+) -> Overload {
+    let admitted = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let ok = AtomicBool::new(true);
+    let threads = threads.max(1);
+    let per_thread = total.div_ceil(threads);
+    let interval = Duration::from_secs_f64(threads as f64 / offered_rps.max(1.0));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let session = service.session();
+            let (admitted, shed, ok) = (&admitted, &shed, &ok);
+            let req = Request::new().with("n", n).with("seed", 42u64);
+            s.spawn(move || {
+                let start = Instant::now();
+                for i in 0..per_thread {
+                    let due = start + interval.mul_f64(i as f64);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    match session.try_call("black_scholes", &req) {
+                        Ok(resp) => {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                            if resp.body != want {
+                                ok.store(false, Ordering::Relaxed);
+                            }
+                        }
+                        Err(
+                            ServeError::Saturated { .. }
+                            | ServeError::QueueShed { .. }
+                            | ServeError::OverMemory { .. },
+                        ) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("overload shed must be typed, got {e}"),
+                    }
+                }
+            });
+        }
+    });
+    let (limit, _) = service.admission_limit();
+    Overload {
+        name,
+        offered: (per_thread * threads) as u64,
+        admitted: admitted.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        wall: t0.elapsed(),
+        checksums_ok: ok.load(Ordering::Relaxed),
+        admission_limit: limit,
+        queue_shed: service.stats().queue_shed,
+    }
+}
+
+/// Result of the breaker phase.
+struct BreakerPhase {
+    fastfail_p50: Duration,
+    eval_p50: Duration,
+    recovered_in_one_probe: bool,
+    breaker_shed: u64,
+}
+
+impl BreakerPhase {
+    /// How many open-state fast-fails fit in one healthy evaluation.
+    fn ratio(&self) -> f64 {
+        self.eval_p50.as_secs_f64() / self.fastfail_p50.as_secs_f64().max(1e-9)
+    }
+}
+
+fn median(mut lat: Vec<Duration>) -> Duration {
+    lat.sort_unstable();
+    lat[lat.len() / 2]
+}
+
+/// Open the black_scholes breaker with a deterministic fault budget,
+/// measure the open-state fast-fail latency against the healthy
+/// evaluation latency, and verify recovery within one half-open probe
+/// once the faults clear.
+fn breaker_run(n: usize, session_config: &Config) -> BreakerPhase {
+    const THRESHOLD: u32 = 4;
+    let cooldown = Duration::from_millis(250);
+    let mut cfg = session_config.clone();
+    // Single-batch evaluations: concurrent batches would race for the
+    // fault budget (several checks fire per call), breaking the
+    // one-failure-per-call accounting below. With one batch per call,
+    // each injected task-phase error aborts its evaluation at the first
+    // fault check and consumes exactly one budget point: a budget equal
+    // to the threshold heals the pipeline the moment the breaker opens,
+    // and the first probe must succeed.
+    cfg.batch_override = Some((n as u64).max(1));
+    cfg.fault_plan = Some(Arc::new(FaultPlan::new().point(
+        FaultPoint::once(FaultPhase::Task, FaultKind::Error).times(THRESHOLD as u64),
+    )));
+    let service = PipelineService::builder()
+        .workers(WORKERS)
+        .session_config(cfg)
+        // No retries: every injected fault is a post-retry transient
+        // failure, so THRESHOLD calls open the breaker deterministically.
+        .max_retries(0)
+        .coalescing(false)
+        .breaker(THRESHOLD, cooldown)
+        .builtin_pipelines()
+        .build();
+    let session = service.session();
+    let req = Request::new().with("n", n).with("seed", 42u64);
+    let want = reference_body(n, 42);
+
+    for i in 0..THRESHOLD {
+        let err = session
+            .call("black_scholes", &req)
+            .expect_err("injected fault");
+        assert!(err.is_transient(), "call {i}: {err}");
+    }
+    assert_eq!(
+        service.breaker_states().first().map(|s| s.1),
+        Some("open"),
+        "breaker must open after {THRESHOLD} consecutive transient failures"
+    );
+
+    // Open: every call fast-fails with the typed error. All 32 finish
+    // well inside the cooldown, so none of them becomes the probe.
+    let mut fastfail = Vec::with_capacity(32);
+    for _ in 0..32 {
+        let t = Instant::now();
+        let err = session
+            .call("black_scholes", &req)
+            .expect_err("open breaker");
+        fastfail.push(t.elapsed());
+        assert_eq!(err.kind(), "circuit_open", "{err}");
+    }
+    let breaker_shed = service.stats().breaker_shed;
+
+    // The fault budget is spent: after one cooldown the next request is
+    // the half-open probe, and it must succeed and close the breaker.
+    std::thread::sleep(cooldown + Duration::from_millis(50));
+    let probe = session.call("black_scholes", &req);
+    let recovered_in_one_probe = matches!(&probe, Ok(resp) if resp.body == want);
+    assert_eq!(
+        service.breaker_states().first().map(|s| s.1),
+        Some("closed"),
+        "one successful probe must close the breaker"
+    );
+
+    let mut eval = Vec::with_capacity(16);
+    for _ in 0..16 {
+        let t = Instant::now();
+        let resp = session.call("black_scholes", &req).expect("healthy call");
+        eval.push(t.elapsed());
+        assert_eq!(
+            resp.body, want,
+            "healthy responses must match the reference"
+        );
+    }
+    BreakerPhase {
+        fastfail_p50: median(fastfail),
+        eval_p50: median(eval),
+        recovered_in_one_probe,
+        breaker_shed,
+    }
+}
+
 /// One histogram as a JSON object: count plus derived quantiles in
 /// microseconds (samples are recorded in nanoseconds).
 fn hist_json(snap: &HistogramSnapshot) -> String {
@@ -824,6 +1033,139 @@ fn main() {
         );
     }
 
+    // ---- Overload: paced open-loop drive at 2x the closed-loop peak ----
+    // Peak goodput first: the adaptive service (no pinned max_inflight,
+    // AIMD + CoDel on) under the same closed-loop drive as mode A.
+    let adaptive_service = PipelineService::builder()
+        .workers(WORKERS)
+        .queue_depth(2 * clients)
+        .session_config(session_config.clone())
+        .coalescing(false)
+        .builtin_pipelines()
+        .build();
+    let adaptive_sessions: Vec<_> = (0..clients).map(|_| adaptive_service.session()).collect();
+    adaptive_sessions[0]
+        .call("black_scholes", &req)
+        .expect("overload warmup");
+    let peak = drive("adaptive-peak", clients, requests, |c, _| {
+        adaptive_sessions[c]
+            .call("black_scholes", &req)
+            .expect("peak request");
+    });
+    let peak_rps = peak.rps();
+    let want = reference_body(n, 42);
+    let offered_rps = 2.0 * peak_rps;
+    let offered_total = 2 * clients * requests;
+    let overload_threads = 2 * clients;
+    let over_adaptive = overload_run(
+        "adaptive",
+        &adaptive_service,
+        offered_rps,
+        offered_total,
+        overload_threads,
+        n,
+        &want,
+    );
+    // The static ablation: the pre-PR pinned limit under the identical
+    // offered load.
+    let static_service = PipelineService::builder()
+        .workers(WORKERS)
+        .max_inflight(WORKERS)
+        .queue_depth(2 * clients)
+        .session_config(session_config.clone())
+        .coalescing(false)
+        .builtin_pipelines()
+        .build();
+    static_service
+        .session()
+        .call("black_scholes", &req)
+        .expect("static overload warmup");
+    let over_static = overload_run(
+        "static",
+        &static_service,
+        offered_rps,
+        offered_total,
+        overload_threads,
+        n,
+        &want,
+    );
+    // The goodput bar keys off the *offered* count (2x the closed-loop
+    // total), so even CI smoke runs offer enough load to gate on.
+    let overload_asserted = offered_total >= 40;
+    let goodput_frac = over_adaptive.goodput() / peak_rps.max(1e-9);
+    let goodput_ok = goodput_frac >= 0.70;
+    println!(
+        "\noverload (offered {:.1} req/s = 2x peak {:.1} req/s, {} paced threads):",
+        offered_rps, peak_rps, overload_threads
+    );
+    for o in [&over_adaptive, &over_static] {
+        println!(
+            "  {:>8}: offered {} admitted {} shed {} goodput {:.1} req/s \
+             ({:.1}% of peak) limit={} queue_shed={} checksums_ok={}",
+            o.name,
+            o.offered,
+            o.admitted,
+            o.shed,
+            o.goodput(),
+            100.0 * o.goodput() / peak_rps.max(1e-9),
+            o.admission_limit,
+            o.queue_shed,
+            o.checksums_ok
+        );
+    }
+    println!(
+        "  acceptance: goodput {:.1}% of peak >= 70%: {goodput_ok} (asserted: {overload_asserted})",
+        100.0 * goodput_frac
+    );
+    for o in [&over_adaptive, &over_static] {
+        assert!(
+            o.checksums_ok,
+            "{}: admitted responses must be bit-identical to the reference",
+            o.name
+        );
+        assert!(o.admitted > 0, "{}: overload starved every request", o.name);
+        assert_eq!(
+            o.admitted + o.shed,
+            o.offered,
+            "{}: every offered request must be admitted or typed-shed",
+            o.name
+        );
+    }
+    if overload_asserted {
+        assert!(
+            goodput_ok,
+            "overload goodput {:.1} req/s fell below 70% of the {peak_rps:.1} req/s peak",
+            over_adaptive.goodput()
+        );
+    }
+
+    // ---- Breaker: open-state fast-fail + one-probe recovery ----
+    let br = breaker_run(n, &session_config);
+    let br_ratio = br.ratio();
+    println!(
+        "breaker: fast-fail p50 {:.1}us vs eval p50 {:.1}us (ratio {:.1}x), \
+         {} fast-fails shed, recovered_in_one_probe={}",
+        br.fastfail_p50.as_secs_f64() * 1e6,
+        br.eval_p50.as_secs_f64() * 1e6,
+        br_ratio,
+        br.breaker_shed,
+        br.recovered_in_one_probe
+    );
+    assert!(
+        br.recovered_in_one_probe,
+        "the first half-open probe after the faults clear must succeed"
+    );
+    assert_eq!(
+        br.breaker_shed, 32,
+        "every open-state call must shed through the breaker"
+    );
+    assert!(
+        br_ratio >= 5.0,
+        "open-breaker fast-fail ({:.1}us) must be well under evaluation latency ({:.1}us)",
+        br.fastfail_p50.as_secs_f64() * 1e6,
+        br.eval_p50.as_secs_f64() * 1e6
+    );
+
     // ---- JSON snapshot ----
     let mut json = String::from("{\n  \"figure\": \"serve_throughput\",\n");
     json.push_str(&format!(
@@ -913,15 +1255,56 @@ fn main() {
     }
     json.push_str("  },\n");
     json.push_str(&format!(
+        "  \"overload\": {{ \"peak_rps\": {peak_rps:.2}, \"offered_rps\": {offered_rps:.2}, \
+         \"paced_threads\": {overload_threads},\n"
+    ));
+    for (o, comma) in [(&over_adaptive, ","), (&over_static, ",")] {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"offered\": {}, \"admitted\": {}, \"shed\": {}, \
+             \"wall_seconds\": {:.6}, \"goodput_rps\": {:.2}, \"admission_limit\": {}, \
+             \"queue_shed\": {}, \"checksums_ok\": {} }}{}\n",
+            o.name,
+            o.offered,
+            o.admitted,
+            o.shed,
+            o.wall.as_secs_f64(),
+            o.goodput(),
+            o.admission_limit,
+            o.queue_shed,
+            o.checksums_ok,
+            comma
+        ));
+    }
+    json.push_str(&format!(
+        "    \"goodput_fraction_of_peak\": {goodput_frac:.4}, \
+         \"ratio_asserted\": {overload_asserted} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"breaker\": {{ \"fastfail_p50_us\": {:.2}, \"eval_p50_us\": {:.2}, \
+         \"eval_over_fastfail_ratio\": {br_ratio:.1}, \"fastfail_shed\": {}, \
+         \"recovered_in_one_probe\": {} }},\n",
+        br.fastfail_p50.as_secs_f64() * 1e6,
+        br.eval_p50.as_secs_f64() * 1e6,
+        br.breaker_shed,
+        br.recovered_in_one_probe
+    ));
+    json.push_str(&format!(
         "  \"acceptance\": {{ \"service_beats_independent\": {service_wins}, \
          \"hit_rate_gt_90\": {hit_rate_ok}, \"cold_entitled_share\": {entitled:.4}, \
          \"cold_within_2x_of_entitled_share\": {cold_within_2x}, \
          \"coalesced_nonzero\": {}, \"image_coalesced_nonzero\": {}, \
-         \"fault_recovery_within_1_3x\": {}, \"tracing_overhead_within_1_05x\": {} }}\n}}\n",
+         \"fault_recovery_within_1_3x\": {}, \"tracing_overhead_within_1_05x\": {}, \
+         \"overload_goodput_ge_70pct_peak\": {}, \
+         \"overload_sheds_typed\": true, \
+         \"breaker_fastfail_5x_under_eval\": {}, \
+         \"breaker_one_probe_recovery\": {} }}\n}}\n",
         co.coalesced > 0,
         co_img.coalesced > 0,
         !fr_ratio_asserted || fr_ratio <= 1.3,
-        !to_ratio_asserted || to.on_wall.as_secs_f64() <= to.off_wall.as_secs_f64() * 1.05 + 0.05
+        !to_ratio_asserted || to.on_wall.as_secs_f64() <= to.off_wall.as_secs_f64() * 1.05 + 0.05,
+        !overload_asserted || goodput_ok,
+        br_ratio >= 5.0,
+        br.recovered_in_one_probe
     ));
     write_results("BENCH_serve.json", &json);
     println!("wrote bench_results/BENCH_serve.json");

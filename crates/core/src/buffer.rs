@@ -104,6 +104,15 @@ unsafe impl<T: Send + Sync> Send for RawStorage<T> {}
 struct Inner<T> {
     storage: RawStorage<T>,
     protect: ProtectFlag,
+    /// Metered footprint registered with [`crate::membudget`] at
+    /// construction; returned on drop of the last reference.
+    bytes: usize,
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        crate::membudget::note_free(self.bytes);
+    }
 }
 
 /// A shared, fixed-length vector supporting disjoint parallel mutation.
@@ -164,10 +173,13 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedVec<T> {
         // have no drop obligations, and the caller contract defers
         // initialization to the first writes.
         unsafe { v.set_len(len) };
+        let bytes = len * std::mem::size_of::<T>();
+        crate::membudget::note_alloc(bytes);
         let sv = SharedVec {
             inner: Arc::new(Inner {
                 storage: RawStorage(v.into_boxed_slice()),
                 protect: ProtectFlag::default(),
+                bytes,
             }),
         };
         // SAFETY: freshly created, no other observer. Clobbering one
@@ -300,10 +312,13 @@ impl<T: Copy + Send + Sync + 'static> SharedVec<T> {
     /// Take ownership of a `Vec`'s contents.
     pub fn from_vec(v: Vec<T>) -> Self {
         let storage: Box<[UnsafeCell<T>]> = v.into_iter().map(UnsafeCell::new).collect();
+        let bytes = storage.len() * std::mem::size_of::<T>();
+        crate::membudget::note_alloc(bytes);
         SharedVec {
             inner: Arc::new(Inner {
                 storage: RawStorage(storage),
                 protect: ProtectFlag::default(),
+                bytes,
             }),
         }
     }

@@ -108,6 +108,7 @@ pub mod error;
 pub mod executor;
 pub mod faultinject;
 pub mod graph;
+pub mod membudget;
 pub mod planner;
 pub mod pool;
 pub mod registry;

@@ -57,6 +57,41 @@ pub enum ServeError {
     /// evaluations run to completion. Clients should reconnect
     /// elsewhere; retrying against a draining server cannot succeed.
     Draining,
+    /// The request was shed by the CoDel sojourn controller: it sat at
+    /// the head of the admission queue with its wait persistently above
+    /// target, so the standing queue was serving nobody. Distinct from
+    /// [`ServeError::Saturated`] (the queue was *full* at arrival) —
+    /// here the request was accepted and then sacrificed to keep the
+    /// queue a burst absorber instead of a latency reservoir.
+    QueueShed {
+        /// How long the request waited before being shed, in
+        /// milliseconds.
+        sojourn_ms: u64,
+    },
+    /// Admitting the request would push the process past its global
+    /// memory ceiling (see `mozart_core::membudget`). Load shedding by
+    /// *footprint*: the estimated allocation cost of the request (an
+    /// EWMA of the pipeline's recent split + merge byte traffic) does
+    /// not fit under the ceiling right now. Retryable once live memory
+    /// drains.
+    OverMemory {
+        /// Live metered bytes at rejection time.
+        live_bytes: u64,
+        /// The process-wide ceiling.
+        ceiling_bytes: u64,
+        /// The request's estimated footprint.
+        estimated_bytes: u64,
+    },
+    /// The pipeline's circuit breaker is open: recent evaluations
+    /// failed with consecutive transient faults, so the service
+    /// fast-fails new requests for this pipeline instead of burning
+    /// pool time on work that is overwhelmingly likely to fail. A
+    /// half-open probe closes the breaker as soon as one evaluation
+    /// succeeds again.
+    CircuitOpen {
+        /// The pipeline whose breaker is open.
+        pipeline: String,
+    },
     /// The Mozart runtime failed while evaluating the pipeline.
     Runtime(mozart_core::Error),
 }
@@ -71,6 +106,9 @@ impl ServeError {
             ServeError::BadRequest(_) => "bad_request",
             ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServeError::Draining => "draining",
+            ServeError::QueueShed { .. } => "queue_shed",
+            ServeError::OverMemory { .. } => "over_memory",
+            ServeError::CircuitOpen { .. } => "circuit_open",
             ServeError::Runtime(_) => "runtime",
         }
     }
@@ -122,6 +160,23 @@ impl fmt::Display for ServeError {
             ServeError::Draining => {
                 write!(f, "service is draining; no new requests are admitted")
             }
+            ServeError::QueueShed { sojourn_ms } => write!(
+                f,
+                "shed after {sojourn_ms} ms at the head of a standing queue; retry later"
+            ),
+            ServeError::OverMemory {
+                live_bytes,
+                ceiling_bytes,
+                estimated_bytes,
+            } => write!(
+                f,
+                "over memory ceiling: {live_bytes} bytes live of {ceiling_bytes}, \
+                 request estimated at {estimated_bytes}; retry later"
+            ),
+            ServeError::CircuitOpen { pipeline } => write!(
+                f,
+                "circuit breaker open for pipeline {pipeline:?}; retry after cooldown"
+            ),
             ServeError::Runtime(e) => write!(f, "pipeline evaluation failed: {e}"),
         }
     }
@@ -173,6 +228,21 @@ mod tests {
         assert_eq!(e.kind(), "deadline_exceeded");
         assert!(e.to_string().contains("50 ms"));
         assert_eq!(ServeError::Draining.kind(), "draining");
+        let e = ServeError::QueueShed { sojourn_ms: 120 };
+        assert_eq!(e.kind(), "queue_shed");
+        assert!(e.to_string().contains("120 ms"));
+        let e = ServeError::OverMemory {
+            live_bytes: 900,
+            ceiling_bytes: 1000,
+            estimated_bytes: 200,
+        };
+        assert_eq!(e.kind(), "over_memory");
+        assert!(e.to_string().contains("900"));
+        let e = ServeError::CircuitOpen {
+            pipeline: "bs".into(),
+        };
+        assert_eq!(e.kind(), "circuit_open");
+        assert!(e.to_string().contains("bs"));
     }
 
     #[test]
@@ -190,6 +260,15 @@ mod tests {
             ServeError::UnknownPipeline("zap".into()),
             ServeError::Draining,
             ServeError::DeadlineExceeded { deadline_ms: 1 },
+            ServeError::QueueShed { sojourn_ms: 5 },
+            ServeError::OverMemory {
+                live_bytes: 1,
+                ceiling_bytes: 2,
+                estimated_bytes: 3,
+            },
+            ServeError::CircuitOpen {
+                pipeline: "p".into(),
+            },
             mozart_core::Error::InvalidConfig("bad".into()).into(),
             mozart_core::Error::Cancelled("late".into()).into(),
         ] {

@@ -56,6 +56,16 @@
 //!   cooperatively mid-evaluation; and [`PipelineService::drain`]
 //!   closes admission gracefully. Faults are injected deterministically
 //!   for testing via [`mozart_core::FaultPlan`].
+//! * **Overload resilience**: the in-flight limit adapts by AIMD on
+//!   measured end-to-end latency ([`adaptive`]) with CoDel-style
+//!   sojourn shedding of standing queues ([`ServeError::QueueShed`]);
+//!   a process-wide memory ceiling (`mozart_core::membudget`) sheds
+//!   requests whose estimated footprint cannot fit
+//!   ([`ServeError::OverMemory`]) and stops coalesced batches from
+//!   growing under pressure; and per-pipeline circuit breakers
+//!   ([`breaker`]) fast-fail pipelines stuck in consecutive transient
+//!   failures ([`ServeError::CircuitOpen`]) until a half-open probe
+//!   succeeds.
 //! * **Observability** ([`ServiceBuilder::tracing`]): per-request span
 //!   trees (queue wait, coalesce wait, retry attempts with cause, and
 //!   the executor's per-batch split/task/merge spans — see
@@ -95,13 +105,18 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod adaptive;
 mod admission;
+pub mod breaker;
 pub mod error;
 pub mod metrics;
 pub mod pipelines;
 pub mod protocol;
 mod service;
+pub mod tcpfront;
 
+pub use adaptive::{AimdConfig, AimdController};
+pub use breaker::{BreakerConfig, BreakerState};
 pub use error::{Result, ServeError};
 pub use metrics::{Histogram, HistogramSnapshot};
 pub use pipelines::builtin_pipelines;

@@ -202,6 +202,30 @@ pub fn render_gauge(out: &mut String, name: &str, help: &str, value: u64) {
     let _ = writeln!(out, "{name} {value}");
 }
 
+/// Append a labeled gauge family to a metrics page: one
+/// `name{<label_key>="<label>"} value` series per entry. Label values
+/// are escaped per the exposition format (backslash, double quote,
+/// newline). Callers should emit entries in a stable order (e.g.
+/// sorted by label) so successive scrapes diff cleanly.
+pub fn render_gauge_labeled<'a>(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label_key: &str,
+    series: impl IntoIterator<Item = (&'a str, u64)>,
+) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for (label, value) in series {
+        let escaped = label
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        let _ = writeln!(out, "{name}{{{label_key}=\"{escaped}\"}} {value}");
+    }
+}
+
 /// Append a nanosecond-sample histogram to a metrics page in the
 /// Prometheus text format, with `le` bounds converted to **seconds**
 /// (the Prometheus convention for time). Empty buckets are elided from

@@ -28,7 +28,9 @@
 //! deadline_shed retries slow draining coalesced_requests
 //! coalesce_waiting sessions inflight plan_hits plan_misses
 //! plan_entries pool_workers pool_jobs pool_panicked_batches
-//! pool_respawned_workers`. The request-outcome counters (`started`
+//! pool_respawned_workers admission_limit queue_shed over_memory
+//! breaker_shed breaker_open memory_live_bytes memory_ceiling_bytes`.
+//! The request-outcome counters (`started`
 //! through `coalesced_requests`) come from **one** locked snapshot:
 //! a request is either entirely counted or entirely absent, so
 //! `completed + failed + deadline_shed <= started` always holds within
@@ -115,12 +117,20 @@ pub fn parse_line(line: &str) -> Result<ClientLine, ServeError> {
     let head = words
         .next()
         .ok_or_else(|| ServeError::BadRequest("empty request line".into()))?;
+    // Zero-operand commands reject trailing junk: `STATS STATS` is a
+    // confused client, not a request to be guessed at.
+    let bare = |line: ClientLine, words: &mut std::str::SplitWhitespace<'_>| {
+        if words.next().is_some() {
+            return Err(ServeError::BadRequest(format!("{head} takes no operands")));
+        }
+        Ok(line)
+    };
     match head {
-        "LIST" => Ok(ClientLine::List),
-        "STATS" => Ok(ClientLine::Stats),
-        "METRICS" => Ok(ClientLine::Metrics),
+        "LIST" => bare(ClientLine::List, &mut words),
+        "STATS" => bare(ClientLine::Stats, &mut words),
+        "METRICS" => bare(ClientLine::Metrics, &mut words),
         "TRACE" => Ok(ClientLine::Trace(parse_operand(head, &mut words)?)),
-        "QUIT" => Ok(ClientLine::Quit),
+        "QUIT" => bare(ClientLine::Quit, &mut words),
         "WEIGHT" => {
             let w: u32 = parse_operand(head, &mut words)?;
             if w == 0 {
@@ -307,6 +317,16 @@ mod tests {
         assert!(parse_line("bs seed=1 seed=1").is_err());
         // Distinct keys are fine.
         assert!(parse_line("bs n=1 seed=1").is_ok());
+    }
+
+    #[test]
+    fn zero_operand_commands_reject_trailing_junk() {
+        for bad in ["LIST x", "STATS STATS", "METRICS 1", "QUIT now"] {
+            assert!(
+                matches!(parse_line(bad), Err(ServeError::BadRequest(_))),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The in-process pipeline service: named pipelines, session handles,
 //! per-request contexts wired to the shared worker pool and plan cache,
-//! bounded admission, cross-request coalescing, per-session fair-share
-//! weights and byte budgets, request deadlines, bounded retry of
-//! transient failures, and graceful drain.
+//! bounded admission with an adaptive concurrency limit, cross-request
+//! coalescing, per-session fair-share weights and byte budgets, a
+//! process-wide memory budget, per-pipeline circuit breakers, request
+//! deadlines, bounded retry of transient failures, and graceful drain.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -11,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use mozart_core::cputime;
 use mozart_core::faultinject::splitmix64;
+use mozart_core::membudget;
 use mozart_core::trace::{
     RetryCause, SpanKind, SpanRecord, SpanTree, TraceId, TraceRecorder, SERVICE_WORKER,
 };
@@ -19,10 +21,13 @@ use mozart_core::{
     PoolHandle, PoolStats, Splitter,
 };
 
-use crate::admission::Admission;
+use crate::adaptive::{AimdConfig, AimdController};
+use crate::admission::{Admission, CodelCfg};
+use crate::breaker::{BreakerConfig, BreakerDecision, BreakerMap, BreakerPass, BreakerState};
 use crate::error::{Result, ServeError};
 use crate::metrics::{
-    render_counter, render_gauge, render_histogram, Histogram, HistogramSnapshot,
+    render_counter, render_gauge, render_gauge_labeled, render_histogram, Histogram,
+    HistogramSnapshot,
 };
 
 /// Most requests one coalesced evaluation may absorb (the leader plus
@@ -280,6 +285,37 @@ pub struct ServiceConfig {
     /// default; see [`ServiceBuilder::tracing`]). When off, the request
     /// path records nothing — one `Option` branch per would-be span.
     pub tracing: bool,
+    /// Adaptive AIMD concurrency limiting (see [`crate::adaptive`]):
+    /// the in-flight limit starts at `max_inflight` and follows
+    /// measured end-to-end latency against a target seeded from the
+    /// live latency histograms (or [`ServiceConfig::aimd_target_ms`]).
+    /// On unless the operator pinned `max_inflight` explicitly — a
+    /// pinned limit is the static ablation. CoDel queue-sojourn
+    /// shedding ([`ServeError::QueueShed`]) is active exactly when the
+    /// adaptive limiter is.
+    pub adaptive_limit: bool,
+    /// Explicit AIMD latency target in milliseconds; 0 (the default)
+    /// seeds the target from the measured latency distribution instead
+    /// (median of a warmup window × a slowdown multiple).
+    pub aimd_target_ms: u64,
+    /// CoDel sojourn target in milliseconds: the acceptable standing
+    /// queue wait before head-of-line shedding arms.
+    pub codel_target_ms: u64,
+    /// CoDel interval in milliseconds: how long the head sojourn must
+    /// stay above target before the first shed.
+    pub codel_interval_ms: u64,
+    /// Process-wide memory ceiling in bytes (0 = unlimited), installed
+    /// into `mozart_core::membudget` at build time. Requests whose
+    /// estimated footprint does not fit are shed with
+    /// [`ServeError::OverMemory`] before admission, and the coalescer
+    /// declines batch growth once live bytes cross ⅞ of the ceiling.
+    pub memory_ceiling_bytes: u64,
+    /// Consecutive post-retry transient failures that open a pipeline's
+    /// circuit breaker (0 disables breakers); see [`crate::breaker`].
+    pub breaker_threshold: u32,
+    /// How long an open breaker fast-fails ([`ServeError::CircuitOpen`])
+    /// before admitting a half-open probe, in milliseconds.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -297,6 +333,13 @@ impl Default for ServiceConfig {
             max_retries: 2,
             retry_backoff_ms: 5,
             tracing: false,
+            adaptive_limit: true,
+            aimd_target_ms: 0,
+            codel_target_ms: 50,
+            codel_interval_ms: 100,
+            memory_ceiling_bytes: 0,
+            breaker_threshold: 8,
+            breaker_cooldown_ms: 200,
         }
     }
 }
@@ -348,6 +391,26 @@ pub struct ServiceStats {
     pub plan_cache: PlanCacheStats,
     /// Shared worker pool counters (includes per-session fairness).
     pub pool: PoolStats,
+    /// Current adaptive concurrency limit (equals the configured
+    /// `max_inflight` on a static-limit service).
+    pub admission_limit: usize,
+    /// Waiters shed by the CoDel sojourn controller
+    /// ([`ServeError::QueueShed`]).
+    pub queue_shed: u64,
+    /// Requests shed pre-admission by the process memory ceiling
+    /// ([`ServeError::OverMemory`]).
+    pub over_memory: u64,
+    /// Requests fast-failed by an open circuit breaker
+    /// ([`ServeError::CircuitOpen`]).
+    pub breaker_shed: u64,
+    /// Pipelines whose breaker is currently open (half-open counts as
+    /// not open: it is accepting a probe).
+    pub breaker_open: usize,
+    /// Live process-wide metered buffer bytes
+    /// (`mozart_core::membudget`).
+    pub memory_live_bytes: u64,
+    /// The process-wide memory ceiling (0 = unlimited).
+    pub memory_ceiling_bytes: u64,
 }
 
 /// The request-outcome counters of [`ServiceStats`], kept behind one
@@ -368,6 +431,8 @@ struct Counters {
     deadline_shed: u64,
     retries: u64,
     slow: u64,
+    over_memory: u64,
+    breaker_shed: u64,
 }
 
 /// One entry of the slow-request log (see
@@ -411,6 +476,15 @@ pub const PHASE_NAMES: [&str; 5] = ["unprotect", "planner", "split", "task", "me
 
 /// Entries the slow-request log retains (oldest evicted first).
 const SLOW_LOG_CAP: usize = 64;
+
+/// Successful completions observed before the AIMD latency target is
+/// seeded from the e2e histogram's median.
+const AIMD_WARMUP_SAMPLES: u64 = 32;
+
+/// Seeded AIMD target = warmup median × this multiple: the controller
+/// tolerates this much queueing-induced slowdown over the service's own
+/// warm latency before cutting concurrency.
+const AIMD_TARGET_MULTIPLE: u64 = 8;
 
 /// Observability state of a tracing-enabled service: the shared span
 /// recorder plus the serve-side latency histograms and the slow-request
@@ -669,9 +743,51 @@ struct ServiceInner {
     /// Request-outcome counters behind one lock (see [`Counters`]).
     counters: Mutex<Counters>,
     draining: AtomicBool,
+    /// Drain broadcast for sleepers: retry backoffs wait on this
+    /// condvar instead of a bare `thread::sleep`, so `drain(timeout)`
+    /// cuts them short instead of being held hostage by a backing-off
+    /// retry.
+    drain_mu: Mutex<bool>,
+    drain_cv: Condvar,
+    /// AIMD concurrency controller; `None` on a static-limit service.
+    aimd: Option<AimdController>,
+    /// Per-pipeline circuit breakers.
+    breakers: BreakerMap,
+    /// EWMA of per-request byte footprint per pipeline (split + merge
+    /// traffic of recent evaluations) — the pre-admission estimate the
+    /// memory ceiling checks against.
+    pipeline_cost: Mutex<HashMap<String, u64>>,
     /// Tracing/metrics state; `None` when tracing is off, and then the
     /// request path records nothing.
     obs: Option<Obs>,
+}
+
+impl ServiceInner {
+    /// Update `pipeline`'s footprint EWMA with one request's measured
+    /// byte cost (¼ new, ¾ old — a few requests re-center the estimate
+    /// after a workload shift without letting one outlier swing it).
+    fn note_cost(&self, pipeline: &str, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let mut costs = lock(&self.pipeline_cost);
+        match costs.get_mut(pipeline) {
+            Some(c) => *c = (*c * 3 + bytes) / 4,
+            None => {
+                costs.insert(pipeline.to_string(), bytes);
+            }
+        }
+    }
+
+    /// The current footprint estimate for `pipeline` (0 = unknown; an
+    /// unknown pipeline is never memory-shed — the first request
+    /// measures it).
+    fn estimated_cost(&self, pipeline: &str) -> u64 {
+        lock(&self.pipeline_cost)
+            .get(pipeline)
+            .copied()
+            .unwrap_or(0)
+    }
 }
 
 /// A multi-tenant, in-process pipeline service (the `mozart-serve`
@@ -696,6 +812,7 @@ impl PipelineService {
             config: ServiceConfig::default(),
             max_inflight: None,
             queue_depth: None,
+            adaptive_limit: None,
             session_config: None,
             pool: None,
             pipelines: Vec::new(),
@@ -797,7 +914,41 @@ impl PipelineService {
             waiting,
             plan_cache: inner.cache.stats(),
             pool: inner.pool.stats(),
+            admission_limit: inner.admission.limit(),
+            queue_shed: inner.admission.queue_shed_total() as u64,
+            over_memory: c.over_memory,
+            breaker_shed: c.breaker_shed,
+            breaker_open: inner
+                .breakers
+                .snapshot()
+                .iter()
+                .filter(|(_, state, _)| *state == BreakerState::Open)
+                .count(),
+            memory_live_bytes: membudget::live_bytes(),
+            memory_ceiling_bytes: membudget::ceiling_bytes(),
         }
+    }
+
+    /// `(pipeline, state, times_opened)` for every circuit breaker the
+    /// service has touched, sorted by pipeline name. A pipeline no
+    /// request has reached yet has no entry (equivalent to Closed).
+    pub fn breaker_states(&self) -> Vec<(String, &'static str, u64)> {
+        self.inner
+            .breakers
+            .snapshot()
+            .into_iter()
+            .map(|(name, state, opened)| (name, state.as_str(), opened))
+            .collect()
+    }
+
+    /// The current adaptive concurrency limit (the configured
+    /// `max_inflight` on a static-limit service) and, when adaptive,
+    /// the AIMD latency target once established.
+    pub fn admission_limit(&self) -> (usize, Option<Duration>) {
+        (
+            self.inner.admission.limit(),
+            self.inner.aimd.as_ref().and_then(|a| a.target()),
+        )
     }
 
     /// Whether the service was built with tracing
@@ -986,6 +1137,63 @@ impl PipelineService {
             "Pool workers respawned after dying",
             s.pool.respawned_workers,
         );
+        render_gauge(
+            &mut out,
+            "mozart_admission_limit",
+            "Current (adaptive) concurrency limit",
+            s.admission_limit as u64,
+        );
+        render_counter(
+            &mut out,
+            "mozart_queue_shed_total",
+            "Waiters shed by the CoDel sojourn controller",
+            s.queue_shed,
+        );
+        render_counter(
+            &mut out,
+            "mozart_over_memory_total",
+            "Requests shed by the process memory ceiling",
+            s.over_memory,
+        );
+        render_counter(
+            &mut out,
+            "mozart_breaker_fastfail_total",
+            "Requests fast-failed by an open circuit breaker",
+            s.breaker_shed,
+        );
+        render_gauge(
+            &mut out,
+            "mozart_memory_live_bytes",
+            "Live metered buffer bytes (process-wide)",
+            s.memory_live_bytes,
+        );
+        render_gauge(
+            &mut out,
+            "mozart_memory_ceiling_bytes",
+            "Process-wide memory ceiling (0 = unlimited)",
+            s.memory_ceiling_bytes,
+        );
+        let breakers = self.inner.breakers.snapshot();
+        if !breakers.is_empty() {
+            render_gauge_labeled(
+                &mut out,
+                "mozart_breaker_state",
+                "Circuit breaker state per pipeline (0 closed, 1 half-open, 2 open)",
+                "pipeline",
+                breakers
+                    .iter()
+                    .map(|(name, state, _)| (name.as_str(), state.as_gauge())),
+            );
+            render_gauge_labeled(
+                &mut out,
+                "mozart_breaker_opened_total",
+                "Times each pipeline's breaker has opened",
+                "pipeline",
+                breakers
+                    .iter()
+                    .map(|(name, _, opened)| (name.as_str(), *opened)),
+            );
+        }
         if let Some(o) = self.inner.obs.as_ref() {
             render_histogram(
                 &mut out,
@@ -1054,6 +1262,10 @@ impl PipelineService {
     pub fn drain(&self, timeout: Duration) -> bool {
         self.inner.draining.store(true, Ordering::SeqCst);
         self.inner.admission.close();
+        // Wake every backing-off retry: a drain must not wait out a
+        // sleeper's full backoff before its in-flight request resolves.
+        *lock(&self.inner.drain_mu) = true;
+        self.inner.drain_cv.notify_all();
         self.inner.admission.wait_idle(Instant::now() + timeout)
     }
 
@@ -1106,6 +1318,9 @@ impl PipelineService {
             .deadline_ms()
             .or_else(|| session.deadline_ms())
             .map(|ms| (Instant::now() + Duration::from_millis(ms), ms));
+        // The AIMD controller needs e2e latency whether or not tracing
+        // is on; one Instant pair is cheap enough to take always.
+        let t0 = inner.aimd.as_ref().map(|_| Instant::now());
         let result = self.execute_inner(session, pipeline, req, wait, deadline, trace);
         if let (Some(o), Some(t)) = (obs, timer) {
             let wall_ns = o.span_end(trace, SpanKind::Request, 0, 0, t);
@@ -1115,6 +1330,28 @@ impl PipelineService {
                 Err(e) => e.kind(),
             };
             o.note_slow(&inner.counters, trace, pipeline, outcome, deadline, wall_ns);
+        }
+        // Feed the limit controller with *successful* completions only:
+        // a shed request's latency says nothing about evaluation speed
+        // (rejections resolve instantly, queue sheds report pure wait).
+        if let (Some(aimd), Some(t0)) = (inner.aimd.as_ref(), t0) {
+            if result.is_ok() {
+                if !aimd.has_target() {
+                    if let Some(o) = obs {
+                        // Seed the latency target from the live e2e
+                        // histogram (the PR 7 observability layer): the
+                        // warmup median times a tolerated slowdown.
+                        let snap = o.e2e.snapshot();
+                        if snap.count >= AIMD_WARMUP_SAMPLES {
+                            aimd.seed_target_ns(snap.p50().saturating_mul(AIMD_TARGET_MULTIPLE));
+                        }
+                    }
+                    // Tracing off: the controller self-seeds from its
+                    // internal warmup window.
+                }
+                aimd.on_sample(t0.elapsed());
+                inner.admission.set_limit(aimd.limit());
+            }
         }
         (result, (trace != 0).then_some(trace))
     }
@@ -1140,10 +1377,39 @@ impl PipelineService {
             .ok_or_else(|| ServeError::UnknownPipeline(pipeline.to_string()))?;
         session.check_budget(inner)?;
 
+        // Circuit breaker: a pipeline stuck in consecutive transient
+        // failures fast-fails here — no admission permit, no pool time.
+        let breaker_pass = match inner.breakers.admit(pipeline) {
+            BreakerDecision::Proceed(pass) => pass,
+            BreakerDecision::Reject => {
+                lock(&inner.counters).breaker_shed += 1;
+                return Err(ServeError::CircuitOpen {
+                    pipeline: pipeline.to_string(),
+                });
+            }
+        };
+
+        // Process memory ceiling: shed before admission when the
+        // pipeline's estimated footprint (EWMA of its recent split +
+        // merge byte traffic) does not fit under the global ceiling.
+        let estimated = inner.estimated_cost(pipeline);
+        if membudget::would_exceed(estimated) {
+            lock(&inner.counters).over_memory += 1;
+            return Err(ServeError::OverMemory {
+                live_bytes: membudget::live_bytes(),
+                ceiling_bytes: membudget::ceiling_bytes(),
+                estimated_bytes: estimated,
+            });
+        }
+
         // Cross-request coalescing: blocking requests whose coalesce
         // keys match may share one evaluation. try_call requests never
         // coalesce — joining a batch means waiting for its leader.
-        if wait && inner.config.coalescing {
+        // Under memory pressure (live bytes ≥ ⅞ of the ceiling) the
+        // coalescer declines batch growth: a coalesced evaluation's
+        // concatenated inputs and outputs peak higher than any single
+        // member's, which is exactly the wrong shape near the ceiling.
+        if wait && inner.config.coalescing && !membudget::pressured() {
             if let Some(key) = handler.coalesce_key(req) {
                 let key = (pipeline.to_string(), key);
                 // Join the open batch if one exists and has room.
@@ -1170,7 +1436,15 @@ impl PipelineService {
                         }
                     };
                     if inserted {
-                        return self.lead_batch(session, &*handler, key, batch, deadline, trace);
+                        return self.lead_batch(
+                            session,
+                            &*handler,
+                            key,
+                            batch,
+                            deadline,
+                            trace,
+                            breaker_pass,
+                        );
                     }
                 }
             }
@@ -1213,9 +1487,11 @@ impl PipelineService {
         session.requests.fetch_add(1, Ordering::Relaxed);
 
         let (result, bytes) = self.run_attempts(session, &*handler, req, deadline, trace);
+        inner.note_cost(pipeline, bytes);
         session.bytes_used.fetch_add(bytes, Ordering::Relaxed);
         match result {
             Ok(resp) => {
+                breaker_pass.success();
                 lock(&inner.counters).completed += 1;
                 Ok(resp)
             }
@@ -1224,6 +1500,12 @@ impl PipelineService {
                 Err(e)
             }
             Err(e) => {
+                // Only post-retry transient failures move the breaker;
+                // deterministic errors say nothing about health and
+                // fall through to the pass's neutral drop.
+                if e.is_transient() {
+                    breaker_pass.failure();
+                }
                 lock(&inner.counters).failed += 1;
                 Err(e)
             }
@@ -1334,8 +1616,26 @@ impl PipelineService {
         if let Some((d, _)) = deadline {
             wait = wait.min(d.saturating_duration_since(Instant::now()));
         }
-        if !wait.is_zero() {
-            std::thread::sleep(wait);
+        if wait.is_zero() {
+            return;
+        }
+        // Not a bare sleep: wait on the drain condvar so `drain()` cuts
+        // the backoff short — the retry then runs immediately and the
+        // drain observes its outcome, instead of the drain timeout
+        // being eaten by a sleeper nothing can wake.
+        let until = Instant::now() + wait;
+        let mut drained = lock(&self.inner.drain_mu);
+        while !*drained {
+            let now = Instant::now();
+            if now >= until {
+                break;
+            }
+            let (guard, _) = self
+                .inner
+                .drain_cv
+                .wait_timeout(drained, until - now)
+                .unwrap_or_else(|p| p.into_inner());
+            drained = guard;
         }
     }
 
@@ -1472,7 +1772,11 @@ impl PipelineService {
 
     /// Acquire admission for a published batch, evaluate every member
     /// request (as one coalesced pipeline when possible), and
-    /// distribute the per-member results.
+    /// distribute the per-member results. The leader carries the
+    /// batch's breaker pass: it is the one request that actually
+    /// evaluates, so it reports the pipeline-health outcome (followers
+    /// stay breaker-neutral).
+    #[allow(clippy::too_many_arguments)]
     fn lead_batch(
         &self,
         session: &Session,
@@ -1481,6 +1785,7 @@ impl PipelineService {
         batch: Arc<CoalesceBatch>,
         deadline: Option<(Instant, u64)>,
         trace: TraceId,
+        breaker_pass: BreakerPass<'_>,
     ) -> Result<Response> {
         let inner = &self.inner;
         let obs = inner.obs.as_ref();
@@ -1530,6 +1835,7 @@ impl PipelineService {
 
         // The batch's byte cost splits evenly across members (failed
         // work included): it must not land on the leader's budget alone.
+        inner.note_cost(&guard.key.0, bytes / reqs.len() as u64);
         session
             .bytes_used
             .fetch_add(bytes / reqs.len() as u64, Ordering::Relaxed);
@@ -1538,6 +1844,11 @@ impl PipelineService {
                 "coalesced batch produced no leader result".into(),
             )))
         });
+        match &own {
+            Ok(_) => breaker_pass.success(),
+            Err(e) if e.is_transient() => breaker_pass.failure(),
+            Err(_) => breaker_pass.neutral(),
+        }
         {
             let mut c = lock(&inner.counters);
             match &own {
@@ -1796,6 +2107,9 @@ pub struct ServiceBuilder {
     /// without clobbering values the operator set.
     max_inflight: Option<usize>,
     queue_depth: Option<usize>,
+    /// Explicit adaptive-limit override; `None` derives it: adaptive
+    /// unless the operator pinned `max_inflight` (the static ablation).
+    adaptive_limit: Option<bool>,
     session_config: Option<Config>,
     pool: Option<PoolHandle>,
     pipelines: Vec<Arc<dyn Pipeline>>,
@@ -1810,9 +2124,57 @@ impl ServiceBuilder {
         self
     }
 
-    /// Concurrent evaluations admitted.
+    /// Concurrent evaluations admitted. Pinning this explicitly also
+    /// selects the **static** limit (the measured ablation) unless
+    /// [`ServiceBuilder::adaptive_limit`] re-enables the controller —
+    /// an operator who states a number usually means it.
     pub fn max_inflight(mut self, n: usize) -> Self {
         self.max_inflight = Some(n.max(1));
+        self
+    }
+
+    /// Force the adaptive AIMD concurrency limiter on or off (see
+    /// [`ServiceConfig::adaptive_limit`]). Without this call the
+    /// limiter is on exactly when `max_inflight` was *not* pinned.
+    pub fn adaptive_limit(mut self, on: bool) -> Self {
+        self.adaptive_limit = Some(on);
+        self
+    }
+
+    /// Explicit AIMD latency target in milliseconds (0 = seed from the
+    /// measured latency distribution; see
+    /// [`ServiceConfig::aimd_target_ms`]).
+    pub fn aimd_target_ms(mut self, ms: u64) -> Self {
+        self.config.aimd_target_ms = ms;
+        self
+    }
+
+    /// CoDel queue-sojourn parameters: acceptable standing queue wait
+    /// and the persistence interval before the first head shed (see
+    /// [`ServeError::QueueShed`]). Active only with the adaptive
+    /// limiter.
+    pub fn codel_ms(mut self, target_ms: u64, interval_ms: u64) -> Self {
+        self.config.codel_target_ms = target_ms;
+        self.config.codel_interval_ms = interval_ms;
+        self
+    }
+
+    /// Process-wide memory ceiling in bytes (0 = unlimited), installed
+    /// into `mozart_core::membudget` when the service is built. Note
+    /// the ceiling is **global** to the process — the last service
+    /// built wins — because the buffers it governs are shared across
+    /// every service and session.
+    pub fn memory_ceiling_bytes(mut self, bytes: u64) -> Self {
+        self.config.memory_ceiling_bytes = bytes;
+        self
+    }
+
+    /// Circuit-breaker tuning: consecutive post-retry transient
+    /// failures that open a pipeline's breaker (0 disables breakers)
+    /// and the fast-fail cooldown before a half-open probe.
+    pub fn breaker(mut self, threshold: u32, cooldown: Duration) -> Self {
+        self.config.breaker_threshold = threshold;
+        self.config.breaker_cooldown_ms = cooldown.as_millis() as u64;
         self
     }
 
@@ -1927,6 +2289,10 @@ impl ServiceBuilder {
         let mut config = self.config;
         config.max_inflight = self.max_inflight.unwrap_or(config.workers);
         config.queue_depth = self.queue_depth.unwrap_or(4 * config.workers);
+        // Adaptive unless the operator pinned max_inflight: a pinned
+        // limit is the static ablation, an unpinned one is a guess the
+        // controller can do better than.
+        config.adaptive_limit = self.adaptive_limit.unwrap_or(self.max_inflight.is_none());
         let pool = self
             .pool
             .unwrap_or_else(|| PoolHandle::new(config.workers.max(1) - 1));
@@ -1949,9 +2315,37 @@ impl ServiceBuilder {
         if let Err(e) = session_config.validate() {
             panic!("mozart-serve: session_config rejected: {e}");
         }
+        if config.memory_ceiling_bytes > 0 {
+            membudget::set_ceiling(config.memory_ceiling_bytes);
+        }
+        let admission = if config.adaptive_limit {
+            Admission::with_codel(
+                config.max_inflight,
+                config.queue_depth,
+                CodelCfg {
+                    target: Duration::from_millis(config.codel_target_ms),
+                    interval: Duration::from_millis(config.codel_interval_ms),
+                },
+            )
+        } else {
+            Admission::new(config.max_inflight, config.queue_depth)
+        };
+        let aimd = config.adaptive_limit.then(|| {
+            AimdController::new(AimdConfig {
+                min_limit: 1,
+                // Headroom above the static default: the controller may
+                // discover the pool sustains more concurrency than one
+                // evaluation per worker, but a runaway limit is capped.
+                max_limit: (4 * config.workers).max(8),
+                initial_limit: config.max_inflight,
+                target: (config.aimd_target_ms > 0)
+                    .then(|| Duration::from_millis(config.aimd_target_ms)),
+                decrease_ratio_permille: 900,
+            })
+        });
         let service = PipelineService {
             inner: Arc::new(ServiceInner {
-                admission: Admission::new(config.max_inflight, config.queue_depth),
+                admission,
                 cache: Arc::new(PlanCache::new(config.plan_cache_capacity)),
                 session_config,
                 pool,
@@ -1960,6 +2354,14 @@ impl ServiceBuilder {
                 session_counter: AtomicU64::new(0),
                 counters: Mutex::new(Counters::default()),
                 draining: AtomicBool::new(false),
+                drain_mu: Mutex::new(false),
+                drain_cv: Condvar::new(),
+                aimd,
+                breakers: BreakerMap::new(BreakerConfig {
+                    threshold: config.breaker_threshold,
+                    cooldown: Duration::from_millis(config.breaker_cooldown_ms),
+                }),
+                pipeline_cost: Mutex::new(HashMap::new()),
                 obs,
                 config,
             }),

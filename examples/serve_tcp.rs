@@ -1,6 +1,10 @@
 //! A thin TCP front-end for [`mozart_serve::PipelineService`], speaking
 //! the line-delimited protocol of [`mozart_serve::protocol`] over
-//! `std::net` (no async runtime, no external dependencies).
+//! `std::net` (no async runtime, no external dependencies). The
+//! transport hardening — bounded request lines, stall/idle timeouts,
+//! a connection cap with accept-time shedding — lives in
+//! [`mozart_serve::tcpfront`]; this binary is configuration plus a
+//! self-test.
 //!
 //! ```text
 //! cargo run --release --example serve_tcp            # serve until killed
@@ -9,11 +13,32 @@
 //! ```
 //!
 //! With `--self-test` the process starts the server on an ephemeral
-//! port, runs a scripted client conversation against it (including a
-//! deliberately malformed request), prints the transcript, and exits —
-//! a smoke test that needs no second terminal. The listen address is
-//! `MOZART_SERVE_ADDR` (default `127.0.0.1:7878`, or an ephemeral port
-//! in self-test mode).
+//! port, runs a scripted client conversation against it (including
+//! deliberately malformed, oversized, and non-UTF-8 requests), prints
+//! the transcript, and exits — a smoke test that needs no second
+//! terminal. The listen address is `MOZART_SERVE_ADDR` (default
+//! `127.0.0.1:7878`, or an ephemeral port in self-test mode).
+//!
+//! Environment knobs (all optional):
+//!
+//! ```text
+//! MOZART_SERVE_ADDR          listen address        (127.0.0.1:7878)
+//! MOZART_SERVE_TRACING       0 disables tracing    (on)
+//! MOZART_SERVE_MAX_LINE      request line cap, bytes        (8192)
+//! MOZART_SERVE_READ_TIMEOUT_MS  mid-line stall cap          (10000)
+//! MOZART_SERVE_IDLE_MS       idle connection reap          (300000)
+//! MOZART_SERVE_MAX_CONNS     concurrent connection cap        (256)
+//! MOZART_SERVE_MEM_CEILING   process memory ceiling, bytes (0 = off)
+//! ```
+//!
+//! Oversized lines are answered `ERR bad_request` and discarded without
+//! buffering; clients that stall mid-request or idle past the timeout
+//! are dropped; accepts past the connection cap get one
+//! `ERR saturated` line and are closed before a serving thread exists.
+//! The service itself runs with the adaptive overload controls on
+//! (AIMD concurrency limit, CoDel queue shedding, per-pipeline circuit
+//! breakers; see the `mozart_serve` crate docs), and
+//! `MOZART_SERVE_MEM_CEILING` arms the process-wide memory budget.
 //!
 //! Observability: the example serves with tracing **on** by default
 //! (set `MOZART_SERVE_TRACING=0` to disable) — every `OK` call reply
@@ -34,7 +59,7 @@
 //! > black_scholes n=4096
 //! OK call_sum=47332.145277 put_sum=39160.581264
 //! > STATS
-//! OK started=1 completed=1 rejected=0 failed=0 over_budget=0 coalesced_requests=0 coalesce_waiting=0 ...
+//! OK started=1 completed=1 rejected=0 failed=0 over_budget=0 ... admission_limit=4 ...
 //! > QUIT
 //! OK bye
 //! ```
@@ -42,11 +67,11 @@
 //! `WEIGHT` sets the connection session's fair-share weight (deficit-
 //! weighted scheduling on the shared pool); `BUDGET` caps the bytes the
 //! session may split/merge before requests are shed with
-//! `ERR over_budget` (0 = unlimited). `STATS` reports the generic
-//! cross-request coalescer's counters (`coalesced_requests` served as
-//! followers so far, `coalesce_waiting` parked in open batches right
-//! now), so operators can observe coalescing without attaching a
-//! debugger.
+//! `ERR over_budget` (0 = unlimited). `STATS` reports the service
+//! counters in the stable order documented in
+//! [`mozart_serve::protocol`], including the overload fields
+//! (`admission_limit`, `queue_shed`, `over_memory`, `breaker_shed`,
+//! `breaker_open`, `memory_live_bytes`, `memory_ceiling_bytes`).
 //!
 //! Fault-tolerance controls: `DEADLINE <ms>` sets the session's default
 //! request deadline (0 clears it), a per-call `DEADLINE_MS=<ms>` pair
@@ -62,7 +87,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 
-use mozart_serve::protocol::{err_line, ok_line, parse_line, ClientLine};
+use mozart_serve::tcpfront::{accept_loop, FrontendConfig};
 use mozart_serve::PipelineService;
 
 /// Drain-then-exit on SIGTERM/SIGINT. `std` has no signal API and the
@@ -118,6 +143,13 @@ fn spawn_drain_on_signal(service: PipelineService, timeout: Duration) {
 #[cfg(not(unix))]
 fn spawn_drain_on_signal(_service: PipelineService, _timeout: Duration) {}
 
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let self_test = args.iter().any(|a| a == "--self-test");
@@ -130,11 +162,22 @@ fn main() {
     // under 5%, and the trace ids on OK replies are what make TRACE
     // usable. Self-test always traces — it asserts on TRACE output.
     let tracing = self_test || std::env::var("MOZART_SERVE_TRACING").map_or(true, |v| v != "0");
-    let service = PipelineService::builder()
+    let mut builder = PipelineService::builder()
         .workers(mozart_core::config::default_workers().min(4))
         .tracing(tracing)
-        .builtin_pipelines()
-        .build();
+        .builtin_pipelines();
+    let mem_ceiling = env_u64("MOZART_SERVE_MEM_CEILING", 0);
+    if mem_ceiling > 0 {
+        builder = builder.memory_ceiling_bytes(mem_ceiling);
+    }
+    let service = builder.build();
+
+    let frontend = FrontendConfig {
+        max_line_bytes: env_u64("MOZART_SERVE_MAX_LINE", 8192) as usize,
+        read_timeout: Duration::from_millis(env_u64("MOZART_SERVE_READ_TIMEOUT_MS", 10_000)),
+        idle_timeout: Duration::from_millis(env_u64("MOZART_SERVE_IDLE_MS", 300_000)),
+        max_connections: env_u64("MOZART_SERVE_MAX_CONNS", 256) as usize,
+    };
 
     let addr = std::env::var("MOZART_SERVE_ADDR").unwrap_or_else(|_| {
         if self_test {
@@ -162,7 +205,12 @@ fn main() {
     if self_test {
         let server = {
             let service = service.clone();
-            std::thread::spawn(move || accept_loop(listener, service))
+            let frontend = FrontendConfig {
+                // Small enough to exercise the oversize path cheaply.
+                max_line_bytes: 1024,
+                ..frontend
+            };
+            std::thread::spawn(move || accept_loop(listener, service, frontend))
         };
         run_self_test(local, metrics_addr.expect("self-test metrics listener"));
         let stats = service.stats();
@@ -176,7 +224,7 @@ fn main() {
         return;
     }
     spawn_drain_on_signal(service.clone(), Duration::from_secs(5));
-    accept_loop(listener, service);
+    accept_loop(listener, service, frontend);
 }
 
 /// Serve [`PipelineService::metrics_text`] over minimal HTTP/1.0 on
@@ -205,118 +253,6 @@ fn spawn_metrics_listener(service: PipelineService, port: u16) -> std::net::Sock
         }
     });
     addr
-}
-
-fn accept_loop(listener: TcpListener, service: PipelineService) {
-    for stream in listener.incoming() {
-        let Ok(stream) = stream else { continue };
-        let service = service.clone();
-        std::thread::spawn(move || {
-            let peer = stream
-                .peer_addr()
-                .map(|a| a.to_string())
-                .unwrap_or_else(|_| "?".into());
-            if let Err(e) = serve_connection(stream, &service) {
-                eprintln!("connection {peer}: {e}");
-            }
-        });
-    }
-}
-
-/// Serve one connection: one session, one request per line.
-fn serve_connection(stream: TcpStream, service: &PipelineService) -> std::io::Result<()> {
-    let session = service.session();
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = match parse_line(&line) {
-            Ok(ClientLine::Quit) => {
-                writeln!(writer, "{}", ok_line("bye"))?;
-                break;
-            }
-            Ok(ClientLine::List) => ok_line(&service.pipeline_names().join(" ")),
-            Ok(ClientLine::Stats) => ok_line(&stats_body(service)),
-            Ok(ClientLine::Weight(w)) => {
-                session.set_weight(w);
-                ok_line(&format!("weight={w}"))
-            }
-            Ok(ClientLine::Budget(b)) => {
-                session.set_byte_budget(b);
-                ok_line(&format!("budget={b}"))
-            }
-            Ok(ClientLine::Deadline(ms)) => {
-                session.set_deadline((ms > 0).then(|| Duration::from_millis(ms)));
-                ok_line(&format!("deadline_ms={ms}"))
-            }
-            Ok(ClientLine::Drain(timeout_ms)) => {
-                let idle = service.drain(Duration::from_millis(timeout_ms));
-                ok_line(&format!("draining idle={idle}"))
-            }
-            Ok(ClientLine::Metrics) => {
-                // Multi-line reply: `OK lines=<n>` then n raw page lines.
-                let page = service.metrics_text();
-                let n = page.lines().count();
-                writeln!(writer, "{}", ok_line(&format!("lines={n}")))?;
-                for metric_line in page.lines() {
-                    writeln!(writer, "{metric_line}")?;
-                }
-                continue;
-            }
-            Ok(ClientLine::Trace(id)) => match service.trace_tree(id) {
-                Some(tree) => ok_line(&tree.render_line()),
-                None => err_line(&mozart_serve::ServeError::BadRequest(format!(
-                    "no spans recorded for trace id {id}"
-                ))),
-            },
-            Ok(ClientLine::Call(name, req)) => match session.call_traced(&name, &req) {
-                // Tracing on: tell the client its trace id so it can
-                // come back with `TRACE <id>`.
-                (Ok(resp), Some(trace)) => ok_line(&format!("{} trace={trace}", resp.body)),
-                (Ok(resp), None) => ok_line(&resp.body),
-                (Err(e), _) => err_line(&e),
-            },
-            Err(e) => err_line(&e),
-        };
-        writeln!(writer, "{reply}")?;
-    }
-    Ok(())
-}
-
-/// `STATS` body in the stable field order documented in
-/// [`mozart_serve::protocol`]; new fields are appended, never inserted.
-fn stats_body(service: &PipelineService) -> String {
-    let s = service.stats();
-    format!(
-        "started={} completed={} rejected={} failed={} over_budget={} \
-         deadline_shed={} retries={} slow={} draining={} \
-         coalesced_requests={} coalesce_waiting={} sessions={} inflight={} \
-         plan_hits={} plan_misses={} plan_entries={} pool_workers={} pool_jobs={} \
-         pool_panicked_batches={} pool_respawned_workers={}",
-        s.started,
-        s.completed,
-        s.rejected,
-        s.failed,
-        s.over_budget,
-        s.deadline_shed,
-        s.retries,
-        s.slow,
-        s.draining,
-        s.coalesced_requests,
-        s.coalesce_waiting,
-        s.sessions,
-        s.inflight,
-        s.plan_cache.hits,
-        s.plan_cache.misses,
-        s.plan_cache.entries,
-        s.pool.workers,
-        s.pool.jobs,
-        s.pool.panicked_batches,
-        s.pool.respawned_workers,
-    )
 }
 
 /// Pull `key=<u64>` out of a reply line; panics if absent — self-test
@@ -383,6 +319,27 @@ fn run_self_test(addr: std::net::SocketAddr, metrics_addr: std::net::SocketAddr)
         exchange(&mut writer, &mut reader, line, expect);
     }
 
+    // Front-end hardening: an oversized request line (the self-test
+    // server caps lines at 1024 bytes) is discarded and answered with
+    // the typed error, and the connection stays usable.
+    let oversize = format!("black_scholes n={}", "9".repeat(4096));
+    let reply = exchange(&mut writer, &mut reader, &oversize, "ERR bad_request");
+    assert!(reply.contains("exceeds"), "oversize reply: {reply:?}");
+    exchange(&mut writer, &mut reader, "black_scholes n=1024", "OK");
+    // Non-UTF-8 garbage gets a typed error, not a dropped connection.
+    writer.write_all(b"\xff\xfe\xfd\n").expect("send garbage");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("recv");
+    print!("> <3 bytes of garbage>\n{reply}");
+    assert!(reply.starts_with("ERR bad_request"), "{reply:?}");
+    exchange(&mut writer, &mut reader, "black_scholes n=1024", "OK");
+
+    // The overload fields ride at the end of STATS in stable order.
+    let stats = exchange(&mut writer, &mut reader, "STATS", "OK");
+    for key in ["admission_limit", "queue_shed", "breaker_open"] {
+        assert!(stats.contains(&format!(" {key}=")), "STATS missing {key}");
+    }
+
     // Trace roundtrip: a large call so serve-side bookkeeping is noise,
     // then fetch its span tree and check it accounts for the latency
     // (the ISSUE's 5% acceptance bar, enforced here over the wire).
@@ -418,6 +375,8 @@ fn run_self_test(addr: std::net::SocketAddr, metrics_addr: std::net::SocketAddr)
     }
     assert!(page.contains("mozart_requests_started_total"), "{page}");
     assert!(page.contains("mozart_request_seconds_count"), "{page}");
+    assert!(page.contains("mozart_admission_limit"), "{page}");
+    assert!(page.contains("mozart_memory_live_bytes"), "{page}");
 
     // The same page over HTTP, for scrapers.
     let mut http = TcpStream::connect(metrics_addr).expect("connect metrics port");
