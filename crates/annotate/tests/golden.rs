@@ -5,9 +5,10 @@
 //! file (see the test's failure message); an accidental one fails CI.
 //!
 //! The golden file pins the **v2 splitting API surface**: skeleton
-//! `Splitter` impls with the single `merge_strategy` capability probe
-//! and the three-argument `merge`, never the removed v1 methods
-//! (`merge_hinted`, placement trio, boolean probes).
+//! `Splitter` impls with the single `merge_strategy` capability probe,
+//! the three-argument `merge`, and a companion `Concat` capability
+//! skeleton (`concat`/`slice_back` stubs) per split type — never the
+//! removed v1 methods (`merge_hinted`, placement trio, boolean probes).
 
 use mozart_annotate::{codegen, parser};
 
@@ -47,6 +48,15 @@ fn codegen_matches_golden_v2_output() {
     // present and no removed v1 trait method is ever emitted.
     assert!(generated.contains("fn merge_strategy(&self) -> MergeStrategy"));
     assert!(generated.contains("total_elements: u64"));
+    // Every declared split type also gets a Concat capability skeleton
+    // so split-form hand-offs and request coalescing are one TODO away.
+    for ty in ["SizeSplit", "ArraySplit"] {
+        assert!(
+            generated.contains(&format!("impl Concat for {ty}Concat")),
+            "missing Concat skeleton for `{ty}`"
+        );
+    }
+    assert!(generated.contains("fn slice_back(&self, out: &DataValue, offset: u64, len: u64)"));
     for removed in [
         "merge_hinted",
         "needs_merge",

@@ -10,6 +10,13 @@
 //! placement-off run, and that both configurations produce identical
 //! workload outputs (summary checksums against the copying baseline).
 //!
+//! A third pair runs Nashville with per-call stage evaluation
+//! (`pipeline = false`) under `Config::split_form` on vs off: with the
+//! ablation on, stage-boundary intermediates cross in split form
+//! instead of merging and re-splitting, so the bench asserts the
+//! combined split+merge wall share drops measurably with bit-identical
+//! checksums and a nonzero `split_form_handoffs` count.
+//!
 //! Emits `bench_results/BENCH_phases.json`. Set
 //! `MOZART_TRACE_EXPORT=<file.json>` to additionally record every
 //! evaluation with [`mozart_core::trace`] and write the spans as Chrome
@@ -44,15 +51,13 @@ fn fractions(p: &PhaseStats) -> (f64, f64, f64) {
 
 fn run_workload(
     threads: usize,
-    placement: bool,
-    batch: Option<u64>,
     evals: usize,
     tracing: Option<Arc<TraceRecorder>>,
+    configure: impl Fn(&mut Config),
     mut f: impl FnMut(&mozart_core::MozartContext) -> f64,
 ) -> Measured {
     let mut cfg = Config::with_workers(threads);
-    cfg.placement_merge = placement;
-    cfg.batch_override = batch;
+    configure(&mut cfg);
     cfg.tracing = tracing;
     // One context per evaluation — the serving model, and the honest
     // measurement: a context's dataflow graph retains every value it
@@ -89,29 +94,43 @@ fn run_workload(
     }
 }
 
+/// Combined split + merge share of the accounted total — the wall
+/// share the split-form hand-off targets (it removes both the merge
+/// that produced the intermediate and the split that re-cut it).
+fn split_merge_share(p: &PhaseStats) -> f64 {
+    let (split, _, merge) = fractions(p);
+    split + merge
+}
+
 fn json_entry(m: &Measured, matches: bool) -> String {
     let (split, task, merge) = fractions(&m.stats);
     format!(
         "{{ \"split\": {split:.4}, \"task\": {task:.4}, \"merge\": {merge:.4}, \
          \"seconds\": {:.6}, \"placement_writes\": {}, \"overlapped_merges\": {}, \
+         \"split_form_handoffs\": {}, \"split_form_reslices\": {}, \
          \"checksum_matches_baseline\": {matches} }}",
-        m.seconds, m.stats.placement_writes, m.stats.overlapped_merges
+        m.seconds,
+        m.stats.placement_writes,
+        m.stats.overlapped_merges,
+        m.stats.split_form_handoffs,
+        m.stats.split_form_reslices
     )
 }
 
-fn print_pair(name: &str, on: &Measured, off: &Measured) {
+fn print_pair(name: &str, labels: [&str; 2], on: &Measured, off: &Measured) {
     println!("\n=== phase_breakdown: {name} ===");
-    for (label, m) in [("placement on ", on), ("placement off", off)] {
+    for (label, m) in [(labels[0], on), (labels[1], off)] {
         let (split, task, merge) = fractions(&m.stats);
         println!(
             "{label}: split {:5.1}%  task {:5.1}%  merge {:5.1}%  ({:.4}s/eval, \
-             {} placement writes, {} overlapped merges)",
+             {} placement writes, {} overlapped merges, {} split-form hand-offs)",
             split * 100.0,
             task * 100.0,
             merge * 100.0,
             m.seconds,
             m.stats.placement_writes,
-            m.stats.overlapped_merges
+            m.stats.overlapped_merges,
+            m.stats.split_form_handoffs
         );
     }
     let (_, _, merge_on) = fractions(&on.stats);
@@ -142,10 +161,14 @@ fn main() {
         let n = opts.size(1 << 19);
         let inp = bs::generate(n, 42);
         let base = bs::mkl_base(&inp).call_sum;
-        let run = |placement| {
-            run_workload(threads, placement, None, evals, recorder.clone(), |ctx| {
-                bs::mkl_mozart(&inp, ctx).expect("run").call_sum
-            })
+        let run = |placement: bool| {
+            run_workload(
+                threads,
+                evals,
+                recorder.clone(),
+                |cfg| cfg.placement_merge = placement,
+                |ctx| bs::mkl_mozart(&inp, ctx).expect("run").call_sum,
+            )
         };
         (run(true), run(false), base)
     };
@@ -154,25 +177,80 @@ fn main() {
     // placement target. A sub-heuristic batch override keeps dozens of
     // batches in flight even at smoke scales, so the merge phase is
     // actually exercised.
-    let (na_on, na_off, na_base) = {
-        use workloads::images as im;
-        let (w, h) = (opts.size(1600), opts.size(1200));
-        let img = im::generate(w, h, 3);
-        let batch = Some(32);
-        let base = im::nashville_base(&img).mean;
-        let run = |placement| {
-            run_workload(threads, placement, batch, evals, recorder.clone(), |ctx| {
-                im::nashville_mozart(&img, ctx).expect("run").mean
-            })
+    use workloads::images as im;
+    let (w, h) = (opts.size(1600), opts.size(1200));
+    let na_img = im::generate(w, h, 3);
+    let na_base = im::nashville_base(&na_img).mean;
+    let (na_on, na_off) = {
+        let run = |placement: bool| {
+            run_workload(
+                threads,
+                evals,
+                recorder.clone(),
+                |cfg| {
+                    cfg.placement_merge = placement;
+                    cfg.batch_override = Some(32);
+                },
+                |ctx| im::nashville_mozart(&na_img, ctx).expect("run").mean,
+            )
         };
-        (run(true), run(false), base)
+        (run(true), run(false))
     };
 
-    print_pair("black_scholes", &bs_on, &bs_off);
-    print_pair("nashville", &na_on, &na_off);
+    // ---- Nashville split-form ablation: with per-call stage
+    // evaluation (`pipeline = false`), every stage boundary used to
+    // merge the intermediate image and re-split it in the next stage;
+    // split-form hand-offs elide that round trip, so the combined
+    // split+merge wall share must drop while the output stays
+    // bit-identical.
+    let (sf_on, sf_off) = {
+        let run = |split_form: bool| {
+            run_workload(
+                threads,
+                evals,
+                recorder.clone(),
+                |cfg| {
+                    cfg.pipeline = false;
+                    cfg.split_form = split_form;
+                    cfg.batch_override = Some(32);
+                },
+                |ctx| im::nashville_mozart(&na_img, ctx).expect("run").mean,
+            )
+        };
+        (run(true), run(false))
+    };
+
+    print_pair(
+        "black_scholes",
+        ["placement on ", "placement off"],
+        &bs_on,
+        &bs_off,
+    );
+    print_pair(
+        "nashville",
+        ["placement on ", "placement off"],
+        &na_on,
+        &na_off,
+    );
+    print_pair(
+        "nashville (staged, split-form ablation)",
+        ["split-form on ", "split-form off"],
+        &sf_on,
+        &sf_off,
+    );
+    println!(
+        "split+merge share: split-form on {:.2}% vs off {:.2}%",
+        split_merge_share(&sf_on.stats) * 100.0,
+        split_merge_share(&sf_off.stats) * 100.0
+    );
 
     let bs_match = close(bs_on.checksum, bs_base) && close(bs_off.checksum, bs_base);
     let na_match = close(na_on.checksum, na_base) && close(na_off.checksum, na_base);
+    // The split-form arms must be *bit*-identical to each other — the
+    // hand-off re-slices exactly the bytes the classic path merges.
+    let sf_match = sf_on.checksum.to_bits() == sf_off.checksum.to_bits()
+        && close(sf_on.checksum, na_base)
+        && close(sf_off.checksum, na_base);
 
     let mut json = String::from("{\n  \"figure\": \"phase_breakdown\",\n");
     json.push_str(&format!(
@@ -185,19 +263,30 @@ fn main() {
         json_entry(&bs_off, bs_match)
     ));
     json.push_str(&format!(
-        "    \"nashville\": {{ \"placement_on\": {}, \"placement_off\": {} }}\n",
+        "    \"nashville\": {{ \"placement_on\": {}, \"placement_off\": {} }},\n",
         json_entry(&na_on, na_match),
         json_entry(&na_off, na_match)
     ));
+    json.push_str(&format!(
+        "    \"nashville_staged\": {{ \"split_form_on\": {}, \"split_form_off\": {} }}\n",
+        json_entry(&sf_on, sf_match),
+        json_entry(&sf_off, sf_match)
+    ));
     let na_merge_on = na_on.stats.merge_fraction();
     let na_merge_off = na_off.stats.merge_fraction();
+    let sm_on = split_merge_share(&sf_on.stats);
+    let sm_off = split_merge_share(&sf_off.stats);
     json.push_str(&format!(
-        "  }},\n  \"nashville_merge_fraction_ratio\": {:.4}\n}}\n",
+        "  }},\n  \"nashville_merge_fraction_ratio\": {:.4},\n",
         if na_merge_on > 0.0 {
             na_merge_off / na_merge_on
         } else {
             f64::INFINITY
         }
+    ));
+    json.push_str(&format!(
+        "  \"nashville_split_merge_share\": {{ \"split_form_on\": {sm_on:.4}, \
+         \"split_form_off\": {sm_off:.4} }}\n}}\n"
     ));
     write_results("BENCH_phases.json", &json);
 
@@ -234,10 +323,42 @@ fn main() {
         na_merge_on,
         na_merge_off
     );
+    // Split-form ablation gates: the hand-off must fire, the classic
+    // arm must not, outputs must be bit-identical, and the elision must
+    // visibly shrink the split+merge wall share.
+    assert!(
+        sf_match,
+        "split-form ablation checksums diverged: on {} vs off {} (baseline {na_base})",
+        sf_on.checksum, sf_off.checksum
+    );
+    assert!(
+        sf_on.stats.split_form_handoffs > 0,
+        "staged nashville never handed a value across in split form: {:?}",
+        sf_on.stats
+    );
+    assert_eq!(
+        sf_off.stats.split_form_handoffs, 0,
+        "split-form hand-offs fired with the ablation off: {:?}",
+        sf_off.stats
+    );
+    assert!(
+        sm_on < sm_off * 0.9,
+        "split-form on must drop nashville's split+merge wall share \
+         measurably below the ablation ({:.4} vs {:.4})",
+        sm_on,
+        sm_off
+    );
     println!("\nchecksums match the copying baseline; nashville merge fraction");
     println!(
         "placement on {:.2}% vs off {:.2}% — gate passed.",
         na_merge_on * 100.0,
         na_merge_off * 100.0
+    );
+    println!(
+        "split-form hand-offs elided {} merges/eval-run; split+merge share \
+         {:.2}% vs {:.2}% — gate passed.",
+        sf_on.stats.split_form_handoffs,
+        sm_on * 100.0,
+        sm_off * 100.0
     );
 }

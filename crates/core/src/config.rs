@@ -40,6 +40,19 @@ pub struct Config {
     /// serially on the caller — kept as a measured ablation for the
     /// `phase_breakdown` benchmark.
     pub placement_merge: bool,
+    /// When `true` (the default), a stage's merge output that is only
+    /// re-split by later nodes under the same split type is handed
+    /// across the stage boundary *in split form* — the worker-produced
+    /// piece set with element offsets
+    /// ([`SplitForm`](crate::split::SplitForm)) — eliding both the
+    /// merge and the downstream re-split, which are pure memory
+    /// traffic. Requires the split type to be concatenation-shaped with
+    /// a [`Concat`](crate::split::Concat) capability; outputs the
+    /// application can still observe, terminal/unknown outputs, and
+    /// mut-argument consumers always merge classically. When `false`,
+    /// every merge materializes — kept as a measured ablation for the
+    /// `phase_breakdown` benchmark.
+    pub split_form: bool,
     /// Pedantic mode (§7.1): panic-free runtime checks that splits agree
     /// on element counts, pieces are non-NULL, etc., surfaced as errors.
     pub pedantic: bool,
@@ -70,6 +83,7 @@ impl Default for Config {
             pipeline: true,
             reuse_pool: true,
             placement_merge: true,
+            split_form: true,
             pedantic: cfg!(debug_assertions),
             log_calls: false,
             fault_plan: None,
@@ -191,6 +205,7 @@ mod tests {
             pipeline: true,
             reuse_pool: true,
             placement_merge: true,
+            split_form: true,
             pedantic: true,
             log_calls: false,
             fault_plan: None,

@@ -279,6 +279,7 @@ impl MozartContext {
                 },
                 data: Some(dv.clone()),
                 ready: false,
+                split_form: None,
                 consumers: Vec::new(),
                 user_token: None,
             });
@@ -304,6 +305,7 @@ impl MozartContext {
                 origin: ValueOrigin::Ret(node_id),
                 data: None,
                 ready: false,
+                split_form: None,
                 consumers: Vec::new(),
                 user_token: Some(Arc::downgrade(&token)),
             });
@@ -343,6 +345,16 @@ impl MozartContext {
             return Ok(d);
         }
         self.evaluate()?;
+        {
+            // Defensive: values observed through live Futures are never
+            // handed off in split form (the planner checks liveness),
+            // but a raw `ValueId` fetch bypasses that — materialize on
+            // demand rather than report the value unavailable.
+            let mut st = self.inner.state.lock();
+            if st.graph.materialize_split_form(id)? {
+                st.stats.split_form_fallbacks += 1;
+            }
+        }
         self.value_data(id).ok_or(Error::ValueUnavailable)
     }
 
@@ -499,11 +511,15 @@ fn evaluate_pending(
         }
         if let Some(mut shape) = shape {
             // Mix planning-relevant configuration into the key: the
-            // `pipeline` ablation changes stage grouping, so a plan
+            // `pipeline` ablation changes stage grouping and the
+            // `split_form` ablation changes output rewrites, so a plan
             // recorded under one setting must never replay under the
             // other (one shared cache can serve contexts with both).
             if !st.config.pipeline {
                 shape.fingerprint ^= 0x9e37_79b9_7f4a_7c15;
+            }
+            if !st.config.split_form {
+                shape.fingerprint ^= 0x85eb_ca6b_27d4_eb4f;
             }
             match cache.lookup(shape.fingerprint) {
                 Some(plan) if plan.nodes_total == st.graph.pending_nodes() => {
@@ -511,7 +527,7 @@ fn evaluate_pending(
                     for idx in 0..plan.stage_count() {
                         let t1 = Instant::now();
                         let c1 = trace.as_ref().map(|_| crate::cputime::thread_cpu_now());
-                        let bound = plan.bind_stage(idx, &st.graph, &shape.values);
+                        let bound = plan.bind_stage(idx, &st.graph, &shape.values, &st.config);
                         st.stats.planner += t1.elapsed();
                         if let Some(c1) = c1 {
                             planner_cpu +=
@@ -579,7 +595,14 @@ fn evaluate_pending(
     while !st.graph.fully_executed() {
         let t1 = Instant::now();
         let c1 = trace.as_ref().map(|_| crate::cputime::thread_cpu_now());
-        let plan = plan_next_stage(&st.graph, &st.config);
+        // The planner takes the graph mutably (for the split-form
+        // materialization fallback) next to the config and the
+        // fallback counter — disjoint fields of `st`.
+        let plan = plan_next_stage(
+            &mut st.graph,
+            &st.config,
+            &mut st.stats.split_form_fallbacks,
+        );
         st.stats.planner += t1.elapsed();
         if let Some(c1) = c1 {
             planner_cpu += crate::cputime::cpu_elapsed(c1, crate::cputime::thread_cpu_now());

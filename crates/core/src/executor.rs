@@ -58,6 +58,25 @@
 //! dispatched to the worker pool as a one-shot side job and joined only
 //! when evaluation finishes, overlapping the merge with planning and
 //! executing subsequent stages.
+//!
+//! # Split-form hand-offs
+//!
+//! When the planner marks an output [`OutputKind::SplitForm`] (see the
+//! split-form rewrite in [`crate::planner`]), the merge is elided
+//! entirely: worker batch pieces are collected with their element
+//! ranges (never locally merged, placement disabled) and stored on the
+//! value entry as a [`SplitForm`] — an ordered, contiguous piece set.
+//! The *consuming* stage's `build_exec_stage` recognizes the form and
+//! serves its batches from [`SplitForm::slice`] instead of calling the
+//! split type's `split` on a materialized value: a batch range landing
+//! on piece boundaries is a clone of the piece (the common case, since
+//! batch sizing is deterministic in the element count and per-element
+//! footprint, both preserved by the hand-off), and a misaligned range
+//! is re-sliced through the split type's
+//! [`Concat`](crate::split::Concat) capability (counted in
+//! [`PhaseStats::split_form_reslices`]). Cancellation, fault injection,
+//! tracing, and pedantic checks all apply unchanged — the hand-off only
+//! replaces where batch pieces come from and where result pieces go.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -71,7 +90,7 @@ use crate::faultinject::{panic_message, CancelToken, FaultPhase, FaultPlan, Work
 use crate::graph::{DataflowGraph, ValueId};
 use crate::planner::{OutputKind, StagePlan};
 use crate::pool::{run_stage_scoped, Job, SideJob, WorkerPool};
-use crate::split::{Placement, SplitInstance};
+use crate::split::{Placement, SplitForm, SplitInstance};
 use crate::stats::PhaseStats;
 use crate::trace::{SpanKind, TraceCtx, SERVICE_WORKER};
 use crate::value::DataValue;
@@ -126,7 +145,21 @@ pub(crate) struct ExecStage {
 struct ExecInput {
     slot: u32,
     instance: SplitInstance,
-    data: DataValue,
+    data: InputData,
+}
+
+/// The backing storage a split input draws its batch pieces from.
+enum InputData {
+    /// A materialized value; batches are cut by the split type's
+    /// `split` function (the classic path).
+    Whole(DataValue),
+    /// A split-form hand-off from the producing stage
+    /// ([`OutputKind::SplitForm`]): batches are served from the piece
+    /// set by [`SplitForm::slice`] — a clone when batch boundaries line
+    /// up with piece boundaries (the common case, since batch sizing is
+    /// deterministic in the element count and footprint both preserved
+    /// by the hand-off), a `Concat`-capability re-slice otherwise.
+    Pieces(Arc<SplitForm>),
 }
 
 struct ExecNode {
@@ -155,6 +188,11 @@ struct MergeOutput {
     /// placement capability (commutative merges never do — partial
     /// results have no meaningful element offsets).
     placement: Option<PlacementMerge>,
+    /// `true` for [`OutputKind::SplitForm`] outputs: the pieces are
+    /// never merged — they are collected (each batch piece its own run,
+    /// placement disabled) and handed to the consuming stage as a
+    /// [`SplitForm`].
+    split_form: bool,
 }
 
 /// One output's placement merge: the split type's capability object and
@@ -289,9 +327,12 @@ fn inject(exec: &ExecStage, phase: FaultPhase, batch_idx: u64, worker_idx: usize
     Ok(())
 }
 
-/// A merged (or single) piece covering elements starting at `start`.
+/// A merged (or single) piece covering elements `[start, end)`. The
+/// classic merge path only orders by `start`; split-form hand-offs also
+/// need `end` to rebuild the piece set's element ranges.
 pub(crate) struct PieceRun {
     start: u64,
+    end: u64,
     piece: DataValue,
 }
 
@@ -306,6 +347,10 @@ pub(crate) struct WorkerOut {
     calls: u64,
     /// Result pieces written in place by the placement fast path.
     placement_writes: u64,
+    /// Batch ranges served from a split-form input that did not line up
+    /// with a hand-off piece boundary and went through a
+    /// `Concat`-capability re-slice.
+    split_form_reslices: u64,
     /// Cursor claims (each covering a guided span of >= 1 batches).
     pub(crate) claims: u64,
     /// Batches this worker claimed that static partitioning would have
@@ -421,6 +466,49 @@ pub(crate) fn execute_stage(
             });
         }
         runs.sort_by_key(|r| r.start);
+        if mo.split_form {
+            // Split-form hand-off: no merge at all. The ordered piece
+            // set (with element ranges) is stored on the value entry for
+            // the consuming stage's split phase to slice from;
+            // `SplitForm::new` validates contiguity, so an interior gap
+            // a concat would have silently closed fails loudly here.
+            let pieces: Vec<(u64, u64, DataValue)> = runs
+                .into_iter()
+                .map(|r| (r.start, r.end, r.piece))
+                .collect();
+            let piece_count = pieces.len() as u64;
+            // Per-element footprint via the split info API on the first
+            // piece (the info contract covers pieces; elem size is
+            // range-independent). Zero when the info call declines —
+            // byte-budget degradation, not a correctness issue.
+            let elem_size = mo
+                .instance
+                .splitter
+                .info(&pieces[0].2, &mo.instance.params)
+                .map(|i| i.elem_size_bytes)
+                .unwrap_or(0);
+            let sf = SplitForm::new(pieces, exec.total_elements, mo.instance.clone(), elem_size)?;
+            let entry = &mut graph.values[mo.value.0 as usize];
+            entry.split_form = Some(Arc::new(sf));
+            entry.data = None;
+            entry.ready = false;
+            stats.split_form_handoffs += 1;
+            if let Some(t) = trace {
+                // Near-zero-duration marker span: the elided-merge
+                // analogue of FinalMerge (arg = stage, link = pieces).
+                let now = t.recorder.now_ns();
+                t.emit(
+                    SpanKind::SplitFormHandoff,
+                    SERVICE_WORKER,
+                    stage_idx,
+                    piece_count,
+                    now,
+                    0,
+                    0,
+                );
+            }
+            continue;
+        }
         let pieces: Vec<DataValue> = runs.into_iter().map(|r| r.piece).collect();
         // Merge-size hint (ROADMAP): the final merged value covers the
         // stage's whole element range, so concat-style mergers can
@@ -487,7 +575,7 @@ pub(crate) fn execute_stage(
         match out.kind {
             OutputKind::InPlace => entry.ready = true,
             OutputKind::Discard => entry.ready = false,
-            OutputKind::Merge => {} // handled above
+            OutputKind::Merge | OutputKind::SplitForm => {} // handled above
         }
     }
 
@@ -504,6 +592,7 @@ pub(crate) fn execute_stage(
     stats.batches += outs.iter().map(|o| o.batches).sum::<u64>();
     stats.calls += outs.iter().map(|o| o.calls).sum::<u64>();
     stats.placement_writes += outs.iter().map(|o| o.placement_writes).sum::<u64>();
+    stats.split_form_reslices += outs.iter().map(|o| o.split_form_reslices).sum::<u64>();
     stats.bytes_split += exec.total_elements.saturating_mul(exec.sum_elem_bytes);
     Ok(())
 }
@@ -561,22 +650,39 @@ fn build_exec_stage(
     let mut sum_elem_bytes: u64 = 0;
 
     for (vid, instance) in &stage.inputs {
-        let data = graph
-            .value_data(*vid)
-            .cloned()
-            .ok_or(Error::ValueUnavailable)?;
-        let info = instance.splitter.info(&data, &instance.params)?;
+        // A split-form hand-off serves batches straight from its piece
+        // set; its element count and footprint come from the form (the
+        // producing stage's info results), never from a split call on
+        // the unmaterialized value.
+        let (data, input_total, elem_bytes) = if let Some(sf) = graph.split_form(*vid) {
+            (
+                InputData::Pieces(Arc::clone(sf)),
+                sf.total(),
+                sf.elem_size_bytes(),
+            )
+        } else {
+            let data = graph
+                .value_data(*vid)
+                .cloned()
+                .ok_or(Error::ValueUnavailable)?;
+            let info = instance.splitter.info(&data, &instance.params)?;
+            (
+                InputData::Whole(data),
+                info.total_elements,
+                info.elem_size_bytes,
+            )
+        };
         match total {
-            None => total = Some(info.total_elements),
-            Some(t) if t == info.total_elements => {}
+            None => total = Some(input_total),
+            Some(t) if t == input_total => {}
             Some(t) => {
                 return Err(Error::ElementMismatch {
                     expected: t,
-                    actual: info.total_elements,
+                    actual: input_total,
                 })
             }
         }
-        sum_elem_bytes += info.elem_size_bytes;
+        sum_elem_bytes += elem_bytes;
         inputs.push(ExecInput {
             slot: stage.slot_of(*vid),
             instance: instance.clone(),
@@ -627,8 +733,9 @@ fn build_exec_stage(
     let merge_outputs = stage
         .outputs
         .iter()
-        .filter(|o| o.kind == OutputKind::Merge)
+        .filter(|o| matches!(o.kind, OutputKind::Merge | OutputKind::SplitForm))
         .map(|o| {
+            let split_form = o.kind == OutputKind::SplitForm;
             let strategy = o.instance.merge_strategy();
             let commutative = strategy.commutative();
             // The placement capability comes straight from the merge
@@ -638,8 +745,10 @@ fn build_exec_stage(
             // hold fewer elements than the batch that produced it, so
             // batch offsets are meaningless there and the merger must
             // concatenate; commutative strategies cannot carry
-            // placement by construction.
-            let placement = (config.placement_merge && !o.instance.is_unknown())
+            // placement by construction. Split-form outputs never take
+            // placement — the whole point is that no merged value is
+            // ever allocated.
+            let placement = (config.placement_merge && !o.instance.is_unknown() && !split_form)
                 .then(|| strategy.placement().cloned())
                 .flatten()
                 .map(|cap| PlacementMerge {
@@ -652,6 +761,7 @@ fn build_exec_stage(
                 commutative,
                 last_use: o.last_use,
                 placement,
+                split_form,
                 instance: o.instance.clone(),
             }
         })
@@ -695,6 +805,7 @@ pub(crate) fn run_worker(
         batches: 0,
         calls: 0,
         placement_writes: 0,
+        split_form_reslices: 0,
         claims: 0,
         stolen: 0,
     };
@@ -778,11 +889,24 @@ pub(crate) fn run_worker(
                 inject(exec, FaultPhase::Split, batch_idx, worker_idx)?;
                 let mut produced = 0usize;
                 for input in &exec.inputs {
-                    match input.instance.splitter.split(
-                        &input.data,
-                        start..end,
-                        &input.instance.params,
-                    )? {
+                    // Split-form inputs never see a `split` call — their
+                    // batches come straight from the hand-off piece set
+                    // (a clone when the range lands on piece boundaries,
+                    // a `Concat` re-slice otherwise).
+                    let piece = match &input.data {
+                        InputData::Whole(data) => input.instance.splitter.split(
+                            data,
+                            start..end,
+                            &input.instance.params,
+                        )?,
+                        InputData::Pieces(sf) => sf.slice(start..end)?.map(|(piece, resliced)| {
+                            if resliced {
+                                out.split_form_reslices += 1;
+                            }
+                            piece
+                        }),
+                    };
+                    match piece {
                         Some(piece) => {
                             slots[input.slot as usize] = Some(piece);
                             produced += 1;
@@ -1005,11 +1129,22 @@ fn local_merge(mo: &MergeOutput, pieces: Vec<(u64, u64, DataValue)>) -> Result<V
     if pieces.is_empty() {
         return Ok(Vec::new());
     }
+    if mo.split_form {
+        // No merging at any level: each batch piece stays its own run,
+        // so the hand-off keeps per-batch granularity and the consuming
+        // stage's aligned batches take the clone fast path instead of
+        // re-slicing out of a worker-concatenated chunk.
+        return Ok(pieces
+            .into_iter()
+            .map(|(start, end, piece)| PieceRun { start, end, piece })
+            .collect());
+    }
     if mo.commutative {
         let start = pieces[0].0;
+        let end = pieces.last().map(|&(_, e, _)| e).unwrap_or(start);
         let covered: u64 = pieces.iter().map(|(s, e, _)| e - s).sum();
         let piece = merge_group(mo, pieces.into_iter().map(|p| p.2).collect(), covered)?;
-        return Ok(vec![PieceRun { start, piece }]);
+        return Ok(vec![PieceRun { start, end, piece }]);
     }
     let mut runs = Vec::new();
     let mut group: Vec<DataValue> = Vec::new();
@@ -1019,6 +1154,7 @@ fn local_merge(mo: &MergeOutput, pieces: Vec<(u64, u64, DataValue)>) -> Result<V
         if !group.is_empty() && start != group_end {
             runs.push(PieceRun {
                 start: group_start,
+                end: group_end,
                 piece: merge_group(mo, std::mem::take(&mut group), group_end - group_start)?,
             });
         }
@@ -1031,6 +1167,7 @@ fn local_merge(mo: &MergeOutput, pieces: Vec<(u64, u64, DataValue)>) -> Result<V
     if !group.is_empty() {
         runs.push(PieceRun {
             start: group_start,
+            end: group_end,
             piece: merge_group(mo, group, group_end - group_start)?,
         });
     }

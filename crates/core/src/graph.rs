@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Weak};
 
 use crate::annotation::{Annotation, SplitTypeExpr};
+use crate::split::SplitForm;
 use crate::value::{DataIdentity, DataValue};
 
 /// Index of a value in the graph.
@@ -55,6 +56,12 @@ pub struct ValueEntry {
     pub data: Option<DataValue>,
     /// Whether `data` reflects completed computation.
     pub ready: bool,
+    /// The value held *in split form* (pieces, not merged) after its
+    /// producing stage elided the merge — set instead of `data`/`ready`
+    /// when the planner chose `OutputKind::SplitForm`. Consumed by the
+    /// next stage's split phase, or materialized on demand if a
+    /// consumer turns out to need the whole value.
+    pub split_form: Option<Arc<SplitForm>>,
     /// Nodes that read this value.
     pub consumers: Vec<NodeId>,
     /// Liveness token for application-held `Future`s (return values only).
@@ -125,6 +132,7 @@ impl DataflowGraph {
                 origin: ValueOrigin::Source,
                 data: Some(dv.clone()),
                 ready: true,
+                split_form: None,
                 consumers: Vec::new(),
                 user_token: None,
             });
@@ -136,6 +144,7 @@ impl DataflowGraph {
                 origin: ValueOrigin::Source,
                 data: Some(dv.clone()),
                 ready: true,
+                split_form: None,
                 consumers: Vec::new(),
                 user_token: None,
             })
@@ -160,6 +169,33 @@ impl DataflowGraph {
         } else {
             None
         }
+    }
+
+    /// The split-form piece set for a value, if its producing stage
+    /// elided the merge and the value has not been materialized since.
+    pub fn split_form(&self, id: ValueId) -> Option<&Arc<SplitForm>> {
+        let e = self.values.get(id.0 as usize)?;
+        if e.ready {
+            None
+        } else {
+            e.split_form.as_ref()
+        }
+    }
+
+    /// Materialize a split-form value through the classic merge,
+    /// storing the whole value on the entry. Returns `true` if a merge
+    /// actually ran (the fallback counter's trigger), `false` if the
+    /// value was not in split form.
+    pub fn materialize_split_form(&mut self, id: ValueId) -> crate::error::Result<bool> {
+        let e = match self.values.get_mut(id.0 as usize) {
+            Some(e) if !e.ready && e.split_form.is_some() => e,
+            _ => return Ok(false),
+        };
+        let sf = e.split_form.take().expect("checked above");
+        let merged = sf.materialize()?;
+        e.data = Some(merged);
+        e.ready = true;
+        Ok(true)
     }
 
     /// Data captured for a value even if its producing call has not run.

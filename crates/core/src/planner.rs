@@ -13,6 +13,30 @@
 //! type constructors can depend on values produced by earlier stages
 //! (e.g. the length of a filtered table): by the time the consuming
 //! stage is planned, the value is materialized.
+//!
+//! # The split-form rewrite
+//!
+//! When a stage's return output would be merged only for later stages
+//! to immediately re-split it under the same split type, the merge and
+//! the re-split are pure memory traffic — exactly the movement the
+//! paper targets. `finish_stage` (and `CachedPlan::bind_stage` on
+//! replays) rewrites such `Merge` outputs to [`OutputKind::SplitForm`]:
+//! the executor keeps the worker-produced piece set
+//! ([`crate::split::SplitForm`]) on the value, and when a later stage
+//! binds the value as a split input, `try_add` accepts the split form
+//! directly (`check_use` matches the held type; unbound generics bind
+//! to it; stage totals come from the form). The rewrite **declines** —
+//! the output merges classically — when any of these holds:
+//! `Config::split_form` is off; the value is user-visible (a live
+//! `Future` could observe it) or not consumed later at all; the split
+//! type is `unknown`, terminal, not concatenation-shaped, or lacks a
+//! [`Concat`](crate::split::Concat) capability; or some consumer needs
+//! the value whole (a broadcast/`_` position, a mut argument, a
+//! split-type constructor argument) or under a different split type.
+//! Mispredictions are safe, not just rare: a node that cannot be
+//! scheduled over a split-form value falls back to materializing it
+//! through the classic merge ([`DataflowGraph::materialize_split_form`],
+//! counted as `split_form_fallbacks`) and is retried.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,6 +59,12 @@ pub enum OutputKind {
     InPlace,
     /// The output is not observable (dead intermediate); drop the pieces.
     Discard,
+    /// The output is consumed only by later stages that re-split it
+    /// under the same split type: keep the worker-produced pieces as a
+    /// [`crate::split::SplitForm`] on the value and elide the merge
+    /// (and the consumer's re-split). See the module docs for the
+    /// rewrite rule and `Config::split_form` for the gate.
+    SplitForm,
 }
 
 /// One value a stage produces.
@@ -132,8 +162,17 @@ enum AddOutcome {
 
 /// Plan the next stage starting at `graph.next_unplanned`.
 ///
-/// Returns `None` when there are no pending nodes.
-pub fn plan_next_stage(graph: &DataflowGraph, config: &Config) -> Result<Option<StagePlan>> {
+/// Returns `None` when there are no pending nodes. Takes the graph
+/// mutably for one reason only: a node that cannot be scheduled even in
+/// a fresh stage over split-form values falls back to materializing
+/// them (the classic merge, counted into `fallbacks`) and is retried —
+/// the split-form rewrite is an optimization, never a scheduling
+/// constraint.
+pub fn plan_next_stage(
+    graph: &mut DataflowGraph,
+    config: &Config,
+    fallbacks: &mut u64,
+) -> Result<Option<StagePlan>> {
     if graph.fully_executed() {
         return Ok(None);
     }
@@ -141,7 +180,18 @@ pub fn plan_next_stage(graph: &DataflowGraph, config: &Config) -> Result<Option<
     let mut cursor = graph.next_unplanned;
     while cursor < graph.nodes.len() {
         let node_id = NodeId(cursor as u32);
-        match try_add(graph, &mut b, node_id)? {
+        let mut outcome = try_add(graph, &mut b, node_id)?;
+        if matches!(outcome, AddOutcome::Incompatible)
+            && b.nodes.is_empty()
+            && materialize_node_split_forms(graph, node_id, fallbacks)?
+        {
+            // The node may have been unschedulable only because an
+            // input was held in split form (e.g. needed whole, or
+            // under an incompatible type); with the inputs
+            // materialized, try once more.
+            outcome = try_add(graph, &mut b, node_id)?;
+        }
+        match outcome {
             AddOutcome::Added => {
                 cursor += 1;
                 if !config.pipeline {
@@ -161,7 +211,25 @@ pub fn plan_next_stage(graph: &DataflowGraph, config: &Config) -> Result<Option<
             }
         }
     }
-    Ok(Some(finish_stage(graph, b)))
+    Ok(Some(finish_stage(graph, b, config)))
+}
+
+/// Materialize every split-form value `node_id` references, returning
+/// whether any merge actually ran (and counting each into `fallbacks`).
+fn materialize_node_split_forms(
+    graph: &mut DataflowGraph,
+    node_id: NodeId,
+    fallbacks: &mut u64,
+) -> Result<bool> {
+    let args = graph.nodes[node_id.0 as usize].args.clone();
+    let mut any = false;
+    for vid in args {
+        if graph.materialize_split_form(vid)? {
+            *fallbacks += 1;
+            any = true;
+        }
+    }
+    Ok(any)
 }
 
 /// Attempt to add `node_id` to the stage; on success, commits the node's
@@ -172,18 +240,24 @@ fn try_add(graph: &DataflowGraph, b: &mut StageBuilder, node_id: NodeId) -> Resu
 
     let mut bindings: HashMap<GenericId, SplitInstance> = HashMap::new();
 
-    // Pass 1: bind generics from types already flowing into this node.
+    // Pass 1: bind generics from types already flowing into this node —
+    // types produced or bound within the stage, and the held types of
+    // split-form values arriving from earlier stages.
     for (i, spec) in annot.args.iter().enumerate() {
         if let SplitTypeExpr::Generic(g) = &spec.ty {
             let vid = node.args[i];
-            if let Some(t) = b.known_type(vid) {
+            let known = b
+                .known_type(vid)
+                .or_else(|| graph.split_form(vid).map(|sf| sf.instance()));
+            if let Some(t) = known {
                 if t.terminal() {
                     // Partial results (reductions) must merge first.
                     return Ok(AddOutcome::Incompatible);
                 }
                 match bindings.get(g) {
                     None => {
-                        bindings.insert(*g, t.clone());
+                        let t = t.clone();
+                        bindings.insert(*g, t);
                     }
                     Some(existing) if existing.same_type(t) => {}
                     Some(_) => return Ok(AddOutcome::Incompatible),
@@ -213,6 +287,16 @@ fn try_add(graph: &DataflowGraph, b: &mut StageBuilder, node_id: NodeId) -> Resu
         }
         if b.broadcast.contains(&vid) {
             // Used both whole and split within one stage: not pipelinable.
+            return Ok(false);
+        }
+        // A split-form value is a valid fresh input when the required
+        // type matches the form it is held in: the executor serves the
+        // split phase straight from the pieces (no merge, no re-split).
+        if let Some(sf) = graph.split_form(vid) {
+            if sf.instance().same_type(required) {
+                new_inputs.push((vid, required.clone()));
+                return Ok(true);
+            }
             return Ok(false);
         }
         // A fresh stage input must be materialized.
@@ -328,14 +412,20 @@ fn try_add(graph: &DataflowGraph, b: &mut StageBuilder, node_id: NodeId) -> Resu
     // splits (§3.4) and the pipeline would be ill-formed.
     let mut total = b.total_elements;
     for (vid, inst) in &new_inputs {
-        let data = match graph.captured_data(*vid) {
-            Some(d) => d,
-            None => return Ok(AddOutcome::Incompatible),
+        // Split-form inputs carry their element total on the hand-off;
+        // materialized inputs report it through the split info API.
+        let input_total = if let Some(sf) = graph.split_form(*vid) {
+            sf.total()
+        } else {
+            let data = match graph.captured_data(*vid) {
+                Some(d) => d,
+                None => return Ok(AddOutcome::Incompatible),
+            };
+            inst.splitter.info(data, &inst.params)?.total_elements
         };
-        let info = inst.splitter.info(data, &inst.params)?;
         match total {
-            None => total = Some(info.total_elements),
-            Some(t) if t == info.total_elements => {}
+            None => total = Some(input_total),
+            Some(t) if t == input_total => {}
             Some(_) => return Ok(AddOutcome::Incompatible),
         }
     }
@@ -392,8 +482,72 @@ fn construct_instance(
     Ok(Some(SplitInstance::new(splitter.clone(), params)))
 }
 
+/// Decide whether a would-be `Merge` output may instead be handed to
+/// its consumers in split form (see the module docs for the full rule).
+///
+/// The caller has already established the value is consumed by a later
+/// node and not user-visible. This check is a *prediction* about how
+/// those consumers will bind the value — a wrong prediction is safe
+/// (the consumer falls back to materializing through the classic
+/// merge), so it only needs to be right in the common case, but every
+/// condition that makes the hand-off *impossible* (no concat
+/// capability, terminal/unknown pieces) must be checked here.
+fn split_form_eligible(
+    graph: &DataflowGraph,
+    node_set: &HashSet<NodeId>,
+    value: ValueId,
+    inst: &SplitInstance,
+    config: &Config,
+) -> bool {
+    if !config.split_form || inst.is_unknown() || inst.terminal() {
+        return false;
+    }
+    if inst.split_form_concat().is_none() {
+        return false;
+    }
+    let entry = &graph.values[value.0 as usize];
+    for &c in &entry.consumers {
+        let node = &graph.nodes[c.0 as usize];
+        if node.executed || node_set.contains(&c) {
+            continue;
+        }
+        // Every outside use must be a non-mutable split argument whose
+        // declared type can line up with the held form: a generic (it
+        // will bind to the held type) or a concrete expression of the
+        // same split type.
+        for (i, spec) in node.annot.args.iter().enumerate() {
+            if node.args[i] != value {
+                continue;
+            }
+            if spec.mutable {
+                return false;
+            }
+            match &spec.ty {
+                SplitTypeExpr::Generic(_) => {}
+                SplitTypeExpr::Concrete { splitter, .. }
+                    if splitter.name() == inst.splitter.name() => {}
+                _ => return false,
+            }
+        }
+        // Split type constructors inspect whole values (§3.2), so the
+        // value must not feed any constructor argument of the consumer.
+        let feeds_ctor = |expr: &SplitTypeExpr| match expr {
+            SplitTypeExpr::Concrete { ctor_args, .. } => ctor_args
+                .iter()
+                .any(|&idx| node.args.get(idx) == Some(&value)),
+            _ => false,
+        };
+        if node.annot.args.iter().any(|s| feeds_ctor(&s.ty))
+            || node.annot.ret.as_ref().is_some_and(feeds_ctor)
+        {
+            return false;
+        }
+    }
+    true
+}
+
 /// Close the stage: compute its outputs and their merge plans.
-fn finish_stage(graph: &DataflowGraph, b: StageBuilder) -> StagePlan {
+fn finish_stage(graph: &DataflowGraph, b: StageBuilder, config: &Config) -> StagePlan {
     let mut outputs = Vec::new();
     for &node_id in &b.nodes {
         let node = &graph.nodes[node_id.0 as usize];
@@ -419,7 +573,12 @@ fn finish_stage(graph: &DataflowGraph, b: StageBuilder) -> StagePlan {
                 .as_ref()
                 .map(|w| w.strong_count() > 0)
                 .unwrap_or(false);
-            let kind = if consumed_later || user_visible {
+            let kind = if consumed_later
+                && !user_visible
+                && split_form_eligible(graph, &b.node_set, rv, &inst, config)
+            {
+                OutputKind::SplitForm
+            } else if consumed_later || user_visible {
                 OutputKind::Merge
             } else {
                 OutputKind::Discard
@@ -493,6 +652,14 @@ struct CachedInput {
     /// it does not (e.g. `MatrixSplit`, whose dimensions come from
     /// scalar arguments that the fingerprint already pins).
     rederive: bool,
+    /// Whether the input was bound *in split form* at record time. On
+    /// replay the value must again be held in split form (the previous
+    /// stage's bind re-applies the same rewrite, so this holds unless
+    /// liveness changed) and the instance and element total are taken
+    /// from the current [`crate::split::SplitForm`] — the split-form
+    /// analogue of re-derivation. A mismatch in either direction fails
+    /// the bind, invalidating the entry.
+    split_form: bool,
 }
 
 /// One stage output as recorded in a cached plan. The Merge-vs-Discard
@@ -710,7 +877,13 @@ impl PlanRecorder {
                 .inputs
                 .iter()
                 .map(|(v, inst)| {
-                    let rederive = !inst.is_unknown()
+                    // Split-form inputs have no materialized data to
+                    // re-derive from; their instance comes from the
+                    // upstream hand-off at bind time, which replays
+                    // re-create — they are cache-safe by construction.
+                    let split_form = graph.split_form(*v).is_some();
+                    let rederive = !split_form
+                        && !inst.is_unknown()
                         && graph
                             .value_data(*v)
                             .and_then(|d| inst.splitter.default_params(d).ok())
@@ -721,13 +894,14 @@ impl PlanRecorder {
                     // stages' results) carries parameters the
                     // fingerprint does not pin — refuse to cache the
                     // segment rather than risk replaying stale params.
-                    if !rederive && !self.external.contains(v) {
+                    if !split_form && !rederive && !self.external.contains(v) {
                         poisoned = true;
                     }
                     CachedInput {
                         value: canon(*v, &mut poisoned),
                         instance: inst.clone(),
                         rederive,
+                        split_form,
                     }
                 })
                 .collect(),
@@ -789,6 +963,7 @@ impl CachedPlan {
         idx: usize,
         graph: &DataflowGraph,
         canon: &[ValueId],
+        config: &Config,
     ) -> Result<StagePlan> {
         let cs = self.stages.get(idx).ok_or(Error::ValueUnavailable)?;
         let base = graph.next_unplanned;
@@ -810,6 +985,29 @@ impl CachedPlan {
         let mut inputs = Vec::with_capacity(cs.inputs.len());
         for ci in &cs.inputs {
             let vid = get(ci.value)?;
+            if ci.split_form {
+                // The value must again be held in split form under the
+                // same split type; instance and total come from the
+                // current hand-off. (If the previous stage's bind chose
+                // to merge this time — e.g. liveness changed — the form
+                // is absent and the replay is rejected.)
+                let sf = graph.split_form(vid).ok_or(Error::ValueUnavailable)?;
+                if sf.instance().splitter.name() != ci.instance.splitter.name() {
+                    return Err(Error::ValueUnavailable);
+                }
+                match total {
+                    None => total = Some(sf.total()),
+                    Some(t) if t == sf.total() => {}
+                    Some(t) => {
+                        return Err(Error::ElementMismatch {
+                            expected: t,
+                            actual: sf.total(),
+                        })
+                    }
+                }
+                inputs.push((vid, sf.instance().clone()));
+                continue;
+            }
             let data = graph.value_data(vid).ok_or(Error::ValueUnavailable)?;
             let inst = if ci.rederive {
                 match ci.instance.splitter.default_params(data) {
@@ -858,7 +1056,15 @@ impl CachedPlan {
                     .as_ref()
                     .map(|w| w.strong_count() > 0)
                     .unwrap_or(false);
-                let kind = if consumed_later || user_visible {
+                // Same rewrite rule as `finish_stage`, re-evaluated so
+                // replayed skeletons preserve the split-form hand-off
+                // (and demote it when liveness or config changed).
+                let kind = if consumed_later
+                    && !user_visible
+                    && split_form_eligible(graph, &node_set, vid, &co.instance, config)
+                {
+                    OutputKind::SplitForm
+                } else if consumed_later || user_visible {
                     OutputKind::Merge
                 } else {
                     OutputKind::Discard

@@ -38,6 +38,17 @@
 //! inputs — the split/merge duality run in reverse, with zero
 //! per-pipeline concatenation code.
 //!
+//! The same capability powers **split-form intermediates**
+//! ([`SplitForm`], `Config::split_form`): when a stage's merged output
+//! would only be re-split by the next stage under the same split type,
+//! the executor keeps the piece set produced by the upstream workers
+//! and serves the downstream split phase straight from it, re-slicing
+//! through [`Concat::slice_back`]/[`Concat::concat`] only where batch
+//! boundaries differ — eliding the merge→re-split round-trip of pure
+//! memory traffic. A split type opts in simply by having
+//! [`MergeStrategy::Concat`] semantics and a [`Splitter::concat`]
+//! capability (probed by [`SplitInstance::split_form_concat`]).
+//!
 //! ## Migrating from the v1 trait
 //!
 //! | v1 | v2 |
@@ -424,6 +435,25 @@ impl SplitInstance {
             && self.splitter.name() == other.splitter.name()
             && self.params == other.params
     }
+
+    /// The concatenation capability this instance can use for
+    /// split-form hand-offs ([`SplitForm`]), or `None` when the value
+    /// must be merged classically.
+    ///
+    /// `Some` iff the instance is concrete (not `unknown` — unknown
+    /// pieces may compact, so their offsets are meaningless), its merge
+    /// is a pure concatenation in element order
+    /// ([`MergeStrategy::Concat`]), and the splitter exposes a
+    /// [`Concat`] capability to re-slice misaligned batch ranges with.
+    pub fn split_form_concat(&self) -> Option<Arc<dyn Concat>> {
+        if self.is_unknown() {
+            return None;
+        }
+        if !matches!(self.merge_strategy(), MergeStrategy::Concat { .. }) {
+            return None;
+        }
+        self.splitter.concat()
+    }
 }
 
 impl std::fmt::Debug for SplitInstance {
@@ -432,6 +462,190 @@ impl std::fmt::Debug for SplitInstance {
             Some(u) => write!(f, "unknown#{u}"),
             None => write!(f, "{}{:?}", self.splitter.name(), self.params),
         }
+    }
+}
+
+/// A value held across a stage boundary *in split form*: the ordered
+/// piece set the producing stage's workers left behind, with the
+/// element range each piece covers, instead of the merged whole.
+///
+/// When the planner proves a stage's merge output is consumed only by
+/// later nodes that re-split it under the same split type (see
+/// `OutputKind::SplitForm` in the planner), the executor skips the
+/// final merge and stores one of these on the value entry. The
+/// consuming stage's split phase then serves batch ranges straight from
+/// the pieces: a range that lines up with one piece's boundaries is a
+/// clone of that piece — the dominant case, because batch sizing is a
+/// pure function of the element total and per-element size, both of
+/// which the hand-off preserves — and a misaligned range is re-sliced
+/// out of the overlapping pieces through the split type's [`Concat`]
+/// capability.
+///
+/// Invariants, validated by [`SplitForm::new`]: at least one piece,
+/// pieces sorted by start and contiguous from element 0, and the
+/// covered range ends at or before `total` (a shorter covered range is
+/// the paper's `NULL` under-fill, preserved faithfully across the
+/// boundary).
+pub struct SplitForm {
+    /// `(start, end, piece)` in element order, contiguous from 0.
+    pieces: Vec<(u64, u64, DataValue)>,
+    /// Declared element total of the value (`>= covered()`).
+    total: u64,
+    /// The split type the pieces were produced under — and the type
+    /// any consuming stage must bind the value at.
+    instance: SplitInstance,
+    /// Concatenation capability used for misaligned re-slices.
+    concat: Arc<dyn Concat>,
+    /// Per-element size in bytes, for downstream batch sizing.
+    elem_size_bytes: u64,
+}
+
+impl SplitForm {
+    /// Build a split-form value from an ordered piece set, validating
+    /// the contiguity invariants. `instance` must be split-form capable
+    /// ([`SplitInstance::split_form_concat`]).
+    pub fn new(
+        pieces: Vec<(u64, u64, DataValue)>,
+        total: u64,
+        instance: SplitInstance,
+        elem_size_bytes: u64,
+    ) -> Result<SplitForm> {
+        let split_type = instance.splitter.name();
+        let concat = instance.split_form_concat().ok_or_else(|| Error::Merge {
+            split_type,
+            message: "split type has no concat capability for split-form hand-off".into(),
+        })?;
+        if pieces.is_empty() {
+            return Err(Error::Merge {
+                split_type,
+                message: "split-form value has no pieces".into(),
+            });
+        }
+        let mut cursor = 0u64;
+        for (start, end, _) in &pieces {
+            if *start != cursor || *end < *start {
+                return Err(Error::Merge {
+                    split_type,
+                    message: format!(
+                        "split-form pieces have an interior gap or overlap at element {cursor} \
+                         (piece covers {start}..{end})"
+                    ),
+                });
+            }
+            cursor = *end;
+        }
+        if cursor > total {
+            return Err(Error::Merge {
+                split_type,
+                message: format!(
+                    "split-form pieces cover {cursor} elements, more than total {total}"
+                ),
+            });
+        }
+        Ok(SplitForm {
+            pieces,
+            total,
+            instance,
+            concat,
+            elem_size_bytes,
+        })
+    }
+
+    /// Declared element total of the whole value.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Elements actually covered by pieces (`<= total`; less only when
+    /// the producing split under-filled with a `NULL` return).
+    pub fn covered(&self) -> u64 {
+        self.pieces.last().map(|&(_, end, _)| end).unwrap_or(0)
+    }
+
+    /// Per-element size in bytes (0 when unknown; batch sizing then
+    /// falls back to one batch).
+    pub fn elem_size_bytes(&self) -> u64 {
+        self.elem_size_bytes
+    }
+
+    /// The split type the pieces are held under.
+    pub fn instance(&self) -> &SplitInstance {
+        &self.instance
+    }
+
+    /// Number of pieces.
+    pub fn piece_count(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// Serve the element range `[range.start, range.end)` from the
+    /// piece set — the split-form analogue of [`Splitter::split`].
+    ///
+    /// Returns `Ok(None)` past the covered range (the `NULL` driver
+    /// stop), and otherwise the piece plus a flag that is `true` when
+    /// the range was *re-sliced* through the [`Concat`] capability
+    /// rather than served as a whole piece clone (observable as
+    /// `split_form_reslices` in the stats).
+    pub fn slice(&self, range: Range<u64>) -> Result<Option<(DataValue, bool)>> {
+        let covered = self.covered();
+        if range.start >= covered || range.end <= range.start {
+            return Ok(None);
+        }
+        let end = range.end.min(covered);
+        // Fast path: the range is exactly one piece.
+        if let Ok(i) = self
+            .pieces
+            .binary_search_by(|probe| probe.0.cmp(&range.start))
+        {
+            let (_, piece_end, piece) = &self.pieces[i];
+            if *piece_end == end {
+                return Ok(Some((piece.clone(), false)));
+            }
+        }
+        // Re-slice: take the overlap of every covering piece and
+        // concatenate when the range spans more than one.
+        let first = self.pieces.partition_point(|&(_, e, _)| e <= range.start);
+        let mut parts = Vec::new();
+        for (start, piece_end, piece) in &self.pieces[first..] {
+            if *start >= end {
+                break;
+            }
+            let lo = range.start.max(*start);
+            let hi = end.min(*piece_end);
+            if hi > lo {
+                parts.push(self.concat.slice_back(piece, lo - start, hi - lo)?);
+            }
+        }
+        let piece = match parts.len() {
+            0 => return Ok(None),
+            1 => parts.pop().expect("len checked"),
+            _ => self.concat.concat(&parts)?.0,
+        };
+        Ok(Some((piece, true)))
+    }
+
+    /// Merge the pieces into the whole value through the split type's
+    /// classic [`Splitter::merge`] — the fallback when a consumer turns
+    /// out to need the materialized value after all (observable as
+    /// `split_form_fallbacks` in the stats).
+    pub fn materialize(&self) -> Result<DataValue> {
+        let pieces: Vec<DataValue> = self.pieces.iter().map(|(_, _, v)| v.clone()).collect();
+        self.instance
+            .splitter
+            .merge(pieces, &self.instance.params, self.covered())
+    }
+}
+
+impl std::fmt::Debug for SplitForm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SplitForm {{ {:?}, pieces: {}, covered: {}/{} }}",
+            self.instance,
+            self.pieces.len(),
+            self.covered(),
+            self.total
+        )
     }
 }
 

@@ -54,6 +54,20 @@ pub struct PhaseStats {
     /// collected, and overlapped final merges), via the split info API
     /// on the merged value.
     pub bytes_merged: u64,
+    /// Merge outputs handed to the next stage *in split form* — the
+    /// merge (and the consuming stage's re-split) elided entirely (see
+    /// [`SplitForm`](crate::split::SplitForm) and `Config::split_form`).
+    pub split_form_handoffs: u64,
+    /// Downstream batch ranges that did not line up with a hand-off
+    /// piece boundary and were re-sliced through the
+    /// [`Concat`](crate::split::Concat) capability. Zero when the
+    /// consuming stage's batch size matches the producer's (the common
+    /// case).
+    pub split_form_reslices: u64,
+    /// Split-form values that a consumer turned out to need whole after
+    /// all and were materialized through the classic merge (the
+    /// conservative fallback; correctness-neutral, performance-visible).
+    pub split_form_fallbacks: u64,
 }
 
 impl PhaseStats {
@@ -77,6 +91,9 @@ impl PhaseStats {
         self.overlapped_merges += other.overlapped_merges;
         self.bytes_split += other.bytes_split;
         self.bytes_merged += other.bytes_merged;
+        self.split_form_handoffs += other.split_form_handoffs;
+        self.split_form_reslices += other.split_form_reslices;
+        self.split_form_fallbacks += other.split_form_fallbacks;
     }
 
     /// Fraction of the accounted total spent in the merge phase

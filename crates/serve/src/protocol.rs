@@ -7,6 +7,9 @@
 //! WEIGHT <w>                     set this session's fair-share weight
 //! BUDGET <bytes>                 set this session's byte budget (0 = unlimited)
 //! DEADLINE <ms>                  set this session's default request deadline (0 = none)
+//! PIPELINE <0|1>                 set this session's stage evaluation mode (1 = fused
+//!                                pipelines, the default; 0 = per-call stages with
+//!                                split-form hand-offs across stage boundaries)
 //! DRAIN [timeout_ms]             gracefully drain the service (close admission,
 //!                                wait for in-flight work; default 5000 ms)
 //! LIST                           list registered pipelines
@@ -29,7 +32,8 @@
 //! coalesce_waiting sessions inflight plan_hits plan_misses
 //! plan_entries pool_workers pool_jobs pool_panicked_batches
 //! pool_respawned_workers admission_limit queue_shed over_memory
-//! breaker_shed breaker_open memory_live_bytes memory_ceiling_bytes`.
+//! breaker_shed breaker_open memory_live_bytes memory_ceiling_bytes
+//! split_form_handoffs`.
 //! The request-outcome counters (`started`
 //! through `coalesced_requests`) come from **one** locked snapshot:
 //! a request is either entirely counted or entirely absent, so
@@ -77,6 +81,10 @@ pub enum ClientLine {
     /// Set the connection session's default request deadline in
     /// milliseconds (0 clears it).
     Deadline(u64),
+    /// Set the connection session's stage evaluation mode: `true`
+    /// fuses whole pipelines (the default), `false` evaluates one
+    /// stage per call and hands intermediates across in split form.
+    Pipeline(bool),
     /// Gracefully drain the service, waiting up to the given timeout
     /// (milliseconds) for in-flight work.
     Drain(u64),
@@ -140,6 +148,13 @@ pub fn parse_line(line: &str) -> Result<ClientLine, ServeError> {
         }
         "BUDGET" => Ok(ClientLine::Budget(parse_operand(head, &mut words)?)),
         "DEADLINE" => Ok(ClientLine::Deadline(parse_operand(head, &mut words)?)),
+        "PIPELINE" => match parse_operand::<u64>(head, &mut words)? {
+            0 => Ok(ClientLine::Pipeline(false)),
+            1 => Ok(ClientLine::Pipeline(true)),
+            other => Err(ServeError::BadRequest(format!(
+                "PIPELINE operand must be 0 or 1, got {other}"
+            ))),
+        },
         "DRAIN" => match words.next() {
             None => Ok(ClientLine::Drain(5_000)),
             Some(raw) => {
@@ -243,6 +258,24 @@ mod tests {
             "BUDGET x",
             "BUDGET 1 2",
         ] {
+            assert!(
+                matches!(parse_line(bad), Err(ServeError::BadRequest(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_pipeline_lines() {
+        assert_eq!(
+            parse_line("PIPELINE 0").unwrap(),
+            ClientLine::Pipeline(false)
+        );
+        assert_eq!(
+            parse_line("PIPELINE 1").unwrap(),
+            ClientLine::Pipeline(true)
+        );
+        for bad in ["PIPELINE", "PIPELINE 2", "PIPELINE x", "PIPELINE 0 1"] {
             assert!(
                 matches!(parse_line(bad), Err(ServeError::BadRequest(_))),
                 "{bad:?} must be rejected"

@@ -411,6 +411,11 @@ pub struct ServiceStats {
     pub memory_live_bytes: u64,
     /// The process-wide memory ceiling (0 = unlimited).
     pub memory_ceiling_bytes: u64,
+    /// Stage-boundary intermediates handed to the next stage in split
+    /// form (merge elided), accumulated from every request context's
+    /// phase stats. Nonzero only for staged evaluation
+    /// (`PIPELINE 0` sessions) with `Config::split_form` on.
+    pub split_form_handoffs: u64,
 }
 
 /// The request-outcome counters of [`ServiceStats`], kept behind one
@@ -433,6 +438,7 @@ struct Counters {
     slow: u64,
     over_memory: u64,
     breaker_shed: u64,
+    split_form_handoffs: u64,
 }
 
 /// One entry of the slow-request log (see
@@ -863,6 +869,7 @@ impl PipelineService {
             byte_budget: AtomicU64::new(inner.config.session_byte_budget),
             bytes_used: AtomicU64::new(0),
             default_deadline_ms: AtomicU64::new(0),
+            pipeline: AtomicBool::new(inner.session_config.pipeline),
         }
     }
 
@@ -926,6 +933,7 @@ impl PipelineService {
                 .count(),
             memory_live_bytes: membudget::live_bytes(),
             memory_ceiling_bytes: membudget::ceiling_bytes(),
+            split_form_handoffs: c.split_form_handoffs,
         }
     }
 
@@ -1063,6 +1071,12 @@ impl PipelineService {
             "mozart_requests_coalesced_total",
             "Requests served by piggybacking on another evaluation",
             s.coalesced_requests,
+        );
+        render_counter(
+            &mut out,
+            "mozart_split_form_handoffs_total",
+            "Stage-boundary intermediates handed across in split form",
+            s.split_form_handoffs,
         );
         render_counter(
             &mut out,
@@ -1279,7 +1293,9 @@ impl PipelineService {
     /// plans — live in the shared pool and cache.
     fn request_context(&self, session: &Session) -> MozartContext {
         let inner = &self.inner;
-        let ctx = MozartContext::new(inner.session_config.clone());
+        let mut config = inner.session_config.clone();
+        config.pipeline = session.pipeline.load(Ordering::Relaxed);
+        let ctx = MozartContext::new(config);
         ctx.attach_pool(inner.pool.clone())
             .attach_plan_cache(inner.cache.clone())
             .set_session_tag(session.id);
@@ -1566,6 +1582,9 @@ impl PipelineService {
                 o.record_phases(&stats);
             }
             bytes = bytes.saturating_add(stats.bytes_split.saturating_add(stats.bytes_merged));
+            if stats.split_form_handoffs > 0 {
+                lock(&inner.counters).split_form_handoffs += stats.split_form_handoffs;
+            }
             match result {
                 Ok(resp) => return (Ok(resp), bytes),
                 Err(mozart_core::Error::Cancelled(_)) => {
@@ -1918,6 +1937,9 @@ impl PipelineService {
                 o.record_phases(&stats);
             }
             bytes = bytes.saturating_add(stats.bytes_split.saturating_add(stats.bytes_merged));
+            if stats.split_form_handoffs > 0 {
+                lock(&self.inner.counters).split_form_handoffs += stats.split_form_handoffs;
+            }
             match result {
                 // The pipeline declined (no segment support, a missing
                 // Concat capability, or the size bound): per-member
@@ -2391,6 +2413,11 @@ pub struct Session {
     /// Default deadline in milliseconds for requests that carry none
     /// (0 = no default; sub-millisecond settings round up to 1).
     default_deadline_ms: AtomicU64,
+    /// Stage evaluation mode for this session's request contexts:
+    /// `true` fuses whole pipelines (`Config::pipeline`, the service
+    /// default), `false` evaluates one stage per call, handing
+    /// intermediates across in split form where eligible.
+    pipeline: AtomicBool,
 }
 
 impl Session {
@@ -2472,6 +2499,21 @@ impl Session {
             u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(1)
         });
         self.default_deadline_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// This session's stage evaluation mode: `true` fuses whole
+    /// pipelines, `false` evaluates one stage per call with split-form
+    /// hand-offs across stage boundaries.
+    pub fn pipeline(&self) -> bool {
+        self.pipeline.load(Ordering::Relaxed)
+    }
+
+    /// Set this session's stage evaluation mode (the `PIPELINE <0|1>`
+    /// wire directive). Takes effect on the next request; fused and
+    /// staged evaluation produce bit-identical responses, so this is a
+    /// performance knob, never a semantic one.
+    pub fn set_pipeline(&self, pipeline: bool) {
+        self.pipeline.store(pipeline, Ordering::Relaxed);
     }
 
     /// Run `pipeline` with `req`, waiting in the bounded admission

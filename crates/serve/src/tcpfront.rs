@@ -340,6 +340,10 @@ pub fn serve_connection(
                 session.set_deadline((ms > 0).then(|| Duration::from_millis(ms)));
                 ok_line(&format!("deadline_ms={ms}"))
             }
+            Ok(ClientLine::Pipeline(fused)) => {
+                session.set_pipeline(fused);
+                ok_line(&format!("pipeline={}", u8::from(fused)))
+            }
             Ok(ClientLine::Drain(timeout_ms)) => {
                 let idle = service.drain(Duration::from_millis(timeout_ms));
                 ok_line(&format!("draining idle={idle}"))
@@ -415,7 +419,8 @@ pub fn stats_body(service: &PipelineService) -> String {
          plan_hits={} plan_misses={} plan_entries={} pool_workers={} pool_jobs={} \
          pool_panicked_batches={} pool_respawned_workers={} \
          admission_limit={} queue_shed={} over_memory={} breaker_shed={} \
-         breaker_open={} memory_live_bytes={} memory_ceiling_bytes={}",
+         breaker_open={} memory_live_bytes={} memory_ceiling_bytes={} \
+         split_form_handoffs={}",
         s.started,
         s.completed,
         s.rejected,
@@ -443,6 +448,7 @@ pub fn stats_body(service: &PipelineService) -> String {
         s.breaker_open,
         s.memory_live_bytes,
         s.memory_ceiling_bytes,
+        s.split_form_handoffs,
     )
 }
 

@@ -73,6 +73,13 @@
 //! (`admission_limit`, `queue_shed`, `over_memory`, `breaker_shed`,
 //! `breaker_open`, `memory_live_bytes`, `memory_ceiling_bytes`).
 //!
+//! `PIPELINE <0|1>` picks the session's stage evaluation mode: `1`
+//! (the default) fuses whole pipelines, `0` evaluates one stage per
+//! call and hands intermediates across in split form — bit-identical
+//! responses, with the elided merges counted by the
+//! `split_form_handoffs` STATS field and the
+//! `mozart_split_form_handoffs_total` metric.
+//!
 //! Fault-tolerance controls: `DEADLINE <ms>` sets the session's default
 //! request deadline (0 clears it), a per-call `DEADLINE_MS=<ms>` pair
 //! overrides it, and expired requests are shed with
@@ -393,6 +400,25 @@ fn run_self_test(addr: std::net::SocketAddr, metrics_addr: std::net::SocketAddr)
     println!(
         "> GET http://{metrics_addr}/metrics\nOK ({} bytes)",
         http_reply.len()
+    );
+
+    // Split-form hand-offs: staged evaluation (PIPELINE 0) hands
+    // stage-boundary intermediates to the next stage in split form
+    // instead of merging and re-splitting; the counter rides at the
+    // stable end of STATS. PIPELINE 1 restores the fused default.
+    exchange(&mut writer, &mut reader, "PIPELINE 0", "OK pipeline=0");
+    exchange(
+        &mut writer,
+        &mut reader,
+        "nashville width=64 height=48",
+        "OK",
+    );
+    exchange(&mut writer, &mut reader, "PIPELINE 1", "OK pipeline=1");
+    exchange(&mut writer, &mut reader, "PIPELINE 2", "ERR bad_request");
+    let stats = exchange(&mut writer, &mut reader, "STATS", "OK");
+    assert!(
+        field_u64(&stats, "split_form_handoffs") >= 1,
+        "staged nashville produced no split-form hand-offs: {stats:?}"
     );
 
     // Drain handshake: the service empties (idle=true), then turns new
