@@ -12,6 +12,8 @@
 /// A split type declaration: name and parameter arity.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitTypeDecl {
+    /// 1-based source line of the declaration.
+    pub line: usize,
     /// Split type name `N`.
     pub name: String,
     /// Parameter type names (the paper uses `int` throughout).
@@ -21,6 +23,8 @@ pub struct SplitTypeDecl {
 /// A constructor declaration `Name(a, b) => (expr-args)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConstructorDecl {
+    /// 1-based source line of the declaration.
+    pub line: usize,
     /// Split type name.
     pub name: String,
     /// Constructor argument names.
@@ -51,6 +55,8 @@ pub enum TypeExpr {
 /// One annotated argument.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArgAnnotation {
+    /// 1-based source line of the annotation.
+    pub line: usize,
     /// `mut` tag.
     pub mutable: bool,
     /// Argument name.
@@ -71,6 +77,8 @@ pub struct CParam {
 /// An annotated function.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnnotatedFn {
+    /// 1-based source line of the `@splittable` annotation.
+    pub line: usize,
     /// Argument annotations, in order.
     pub args: Vec<ArgAnnotation>,
     /// Return value's split type, if annotated.

@@ -1,0 +1,293 @@
+//! Static soundness checks over a parsed annotation file.
+//!
+//! This is the DSL-level half of `mozart-check` (the runtime half —
+//! [`mozart_core::verify`]-style checks over built `Annotation` values —
+//! lives in `crates/core`). Every rule here is checkable from the `.sa`
+//! text alone, before any splitter code exists:
+//!
+//! * generics bind consistently: a generic used in the return position
+//!   must also type at least one argument, and an argument-position
+//!   generic is fine on its own;
+//! * constructor arguments name declared function parameters and never
+//!   a `mut` argument (in-place mutation may leave the parameter's
+//!   value stale by the time a replayed plan re-constructs);
+//! * `unknown` appears only in the return position;
+//! * `_` (missing) never types the return;
+//! * `splittype` declarations are unique, constructors refer to a
+//!   declared split type with matching arity, and every declaration is
+//!   actually used (dead declarations are flagged);
+//! * argument names within one `@splittable` are unique.
+//!
+//! Diagnostics carry the 1-based source line so editors and CI logs can
+//! jump straight to the offending declaration.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{AnnotationFile, TypeExpr};
+
+/// One finding, anchored to a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// 1-based line the finding anchors to.
+    pub line: usize,
+    /// Human-readable description of the defect.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Run every DSL-level check over `file`, returning all findings in
+/// source order. An empty vector means the file is sound.
+pub fn check(file: &AnnotationFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_split_type_decls(file, &mut out);
+    check_functions(file, &mut out);
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+fn check_split_type_decls(file: &AnnotationFile, out: &mut Vec<Diagnostic>) {
+    // Duplicate declarations.
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for st in &file.split_types {
+        if let Some(first) = seen.get(st.name.as_str()) {
+            out.push(Diagnostic {
+                line: st.line,
+                message: format!(
+                    "duplicate splittype declaration `{}` (first declared on line {first})",
+                    st.name
+                ),
+            });
+        } else {
+            seen.insert(&st.name, st.line);
+        }
+    }
+
+    let arity: HashMap<&str, (usize, usize)> = file
+        .split_types
+        .iter()
+        .map(|st| (st.name.as_str(), (st.params.len(), st.line)))
+        .collect();
+
+    // Constructors must target a declared split type with matching arity.
+    for ctor in &file.constructors {
+        match arity.get(ctor.name.as_str()) {
+            None => out.push(Diagnostic {
+                line: ctor.line,
+                message: format!("constructor for undeclared splittype `{}`", ctor.name),
+            }),
+            Some((n, _)) if *n != ctor.exprs.len() => out.push(Diagnostic {
+                line: ctor.line,
+                message: format!(
+                    "constructor for `{}` produces {} parameter(s), but the \
+                     splittype declares {n}",
+                    ctor.name,
+                    ctor.exprs.len()
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    // Dead declarations: never named by a constructor or a type expr.
+    let mut used: HashSet<&str> = file.constructors.iter().map(|c| c.name.as_str()).collect();
+    for f in &file.functions {
+        let exprs = f.args.iter().map(|a| &a.ty).chain(f.ret.iter());
+        for ty in exprs {
+            if let TypeExpr::Concrete { name, .. } = ty {
+                used.insert(name);
+            }
+        }
+    }
+    for st in &file.split_types {
+        if !used.contains(st.name.as_str()) {
+            out.push(Diagnostic {
+                line: st.line,
+                message: format!(
+                    "splittype `{}` is declared but never used by a constructor \
+                     or annotation",
+                    st.name
+                ),
+            });
+        }
+    }
+}
+
+fn check_functions(file: &AnnotationFile, out: &mut Vec<Diagnostic>) {
+    for f in &file.functions {
+        let mut_args: HashSet<&str> = f
+            .args
+            .iter()
+            .filter(|a| a.mutable)
+            .map(|a| a.name.as_str())
+            .collect();
+
+        // Unique argument names.
+        let mut names: HashSet<&str> = HashSet::new();
+        for a in &f.args {
+            if !names.insert(&a.name) {
+                out.push(Diagnostic {
+                    line: a.line,
+                    message: format!("{}: duplicate annotated argument `{}`", f.name, a.name),
+                });
+            }
+        }
+
+        // Argument-position rules.
+        let mut arg_generics: HashSet<&str> = HashSet::new();
+        for a in &f.args {
+            match &a.ty {
+                TypeExpr::Unknown => out.push(Diagnostic {
+                    line: a.line,
+                    message: format!(
+                        "{}: argument `{}` is typed `unknown`; unknown describes \
+                         values whose split shape exists only after the call and \
+                         is legal only in the return position",
+                        f.name, a.name
+                    ),
+                }),
+                TypeExpr::Generic(g) => {
+                    arg_generics.insert(g);
+                }
+                TypeExpr::Concrete { name, ctor_args } => {
+                    check_ctor_args(f, name, ctor_args, a.line, &mut_args, out);
+                }
+                TypeExpr::Missing => {}
+            }
+        }
+
+        // Return-position rules.
+        if let Some(ret) = &f.ret {
+            match ret {
+                TypeExpr::Missing => out.push(Diagnostic {
+                    line: f.line,
+                    message: format!(
+                        "{}: return value typed `_`; a returned value must have \
+                         a real split type (or `unknown`) so Mozart can merge it",
+                        f.name
+                    ),
+                }),
+                TypeExpr::Generic(g) => {
+                    if !arg_generics.contains(g.as_str()) {
+                        out.push(Diagnostic {
+                            line: f.line,
+                            message: format!(
+                                "{}: return generic `{g}` is not bound by any \
+                                 argument; the planner could never infer its \
+                                 split type",
+                                f.name
+                            ),
+                        });
+                    }
+                }
+                TypeExpr::Concrete { name, ctor_args } => {
+                    check_ctor_args(f, name, ctor_args, f.line, &mut_args, out);
+                }
+                TypeExpr::Unknown => {}
+            }
+        }
+    }
+}
+
+fn check_ctor_args(
+    f: &crate::ast::AnnotatedFn,
+    split_type: &str,
+    ctor_args: &[String],
+    line: usize,
+    mut_args: &HashSet<&str>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for ca in ctor_args {
+        if f.params.iter().all(|p| p.name != *ca) {
+            out.push(Diagnostic {
+                line,
+                message: format!(
+                    "{}: constructor argument `{ca}` of {split_type} does not \
+                     name a declared parameter",
+                    f.name
+                ),
+            });
+        } else if mut_args.contains(ca.as_str()) {
+            out.push(Diagnostic {
+                line,
+                message: format!(
+                    "{}: constructor argument `{ca}` of {split_type} names a \
+                     `mut` argument; derive split parameters from an explicit \
+                     size argument instead (the MKL convention), never from \
+                     storage the call mutates",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn listing_2_is_clean() {
+        let src = r#"
+            @splittable(
+                size: SizeSplit(size), a: ArraySplit(size),
+                mut out: ArraySplit(size))
+            void vdLog1p(long size, double *a, double *out);
+        "#;
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn ctor_arg_naming_mut_position_is_flagged_with_line() {
+        let src = "@splittable(mut out: ArraySplit(out))\nvoid scale(double *out);\n";
+        let d = diags(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("`mut` argument"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn unknown_argument_is_flagged() {
+        let src = "@splittable(x: unknown)\nvoid f(double *x);\n";
+        let d = diags(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("unknown"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn unbound_return_generic_is_flagged() {
+        let src = "@splittable(x: _) -> S\ndouble f(double x);\n";
+        let d = diags(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("generic `S`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn duplicate_and_dead_splittypes_are_flagged() {
+        let src =
+            "splittype A(int);\nsplittype A(int);\nsplittype Dead(int);\nA(size) => (size);\n";
+        let d = diags(src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("duplicate"), "{}", d[0].message);
+        assert_eq!(d[0].line, 2);
+        assert!(d[1].message.contains("never used"), "{}", d[1].message);
+        assert_eq!(d[1].line, 3);
+    }
+
+    #[test]
+    fn constructor_arity_mismatch_is_flagged() {
+        let src = "splittype M(int, int);\nM(m) => (m.rows);\n";
+        let d = diags(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("declares 2"), "{}", d[0].message);
+    }
+}

@@ -17,10 +17,12 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod check;
 pub mod codegen;
 pub mod parser;
 
 pub use ast::{AnnotatedFn, AnnotationFile, TypeExpr};
+pub use check::{check, Diagnostic};
 pub use codegen::generate;
 pub use parser::{parse, ParseError};
 

@@ -190,6 +190,7 @@ pub fn parse(src: &str) -> Result<AnnotationFile, ParseError> {
 }
 
 fn parse_splittype(lx: &mut Lexer) -> Result<SplitTypeDecl, ParseError> {
+    let line = lx.line();
     let name = lx.expect_ident()?;
     lx.expect_punct('(')?;
     let mut params = Vec::new();
@@ -210,10 +211,11 @@ fn parse_splittype(lx: &mut Lexer) -> Result<SplitTypeDecl, ParseError> {
         }
     }
     lx.expect_punct(';')?;
-    Ok(SplitTypeDecl { name, params })
+    Ok(SplitTypeDecl { line, name, params })
 }
 
 fn parse_constructor(lx: &mut Lexer) -> Result<ConstructorDecl, ParseError> {
+    let line = lx.line();
     let name = lx.expect_ident()?;
     lx.expect_punct('(')?;
     let args = parse_ident_list(lx)?;
@@ -246,7 +248,12 @@ fn parse_constructor(lx: &mut Lexer) -> Result<ConstructorDecl, ParseError> {
         }
     }
     lx.expect_punct(';')?;
-    Ok(ConstructorDecl { name, args, exprs })
+    Ok(ConstructorDecl {
+        line,
+        name,
+        args,
+        exprs,
+    })
 }
 
 fn parse_ident_list(lx: &mut Lexer) -> Result<Vec<String>, ParseError> {
@@ -300,6 +307,7 @@ fn parse_type_expr(lx: &mut Lexer) -> Result<TypeExpr, ParseError> {
 /// Parse `splittable(...) [-> ret] fn-decl;+` — "one or more functions"
 /// may share an SA (Listing 3).
 fn parse_splittable(lx: &mut Lexer) -> Result<Vec<AnnotatedFn>, ParseError> {
+    let line = lx.line();
     match lx.next() {
         Some(Tok::Ident(kw)) if kw == "splittable" => {}
         other => return Err(lx.err(format!("expected 'splittable' after '@', got {other:?}"))),
@@ -313,6 +321,7 @@ fn parse_splittable(lx: &mut Lexer) -> Result<Vec<AnnotatedFn>, ParseError> {
                 break;
             }
             _ => {
+                let line = lx.line();
                 let mut mutable = false;
                 let mut name = lx.expect_ident()?;
                 if name == "mut" {
@@ -321,7 +330,12 @@ fn parse_splittable(lx: &mut Lexer) -> Result<Vec<AnnotatedFn>, ParseError> {
                 }
                 lx.expect_punct(':')?;
                 let ty = parse_type_expr(lx)?;
-                args.push(ArgAnnotation { mutable, name, ty });
+                args.push(ArgAnnotation {
+                    line,
+                    mutable,
+                    name,
+                    ty,
+                });
                 if let Some(Tok::Punct(',')) = lx.peek() {
                     lx.next();
                 }
@@ -339,13 +353,13 @@ fn parse_splittable(lx: &mut Lexer) -> Result<Vec<AnnotatedFn>, ParseError> {
     // declaration start.
     let mut fns = Vec::new();
     loop {
-        let f = parse_c_decl(lx, &args, &ret)?;
+        let f = parse_c_decl(lx, line, &args, &ret)?;
         fns.push(f);
         match lx.peek() {
             Some(Tok::Ident(kw)) if kw != "splittype" => {
                 // Could be another shared declaration; attempt it.
                 let save = lx.pos;
-                match parse_c_decl(lx, &args, &ret) {
+                match parse_c_decl(lx, line, &args, &ret) {
                     Ok(f) => fns.push(f),
                     Err(_) => {
                         lx.pos = save;
@@ -361,6 +375,7 @@ fn parse_splittable(lx: &mut Lexer) -> Result<Vec<AnnotatedFn>, ParseError> {
 
 fn parse_c_decl(
     lx: &mut Lexer,
+    line: usize,
     args: &[ArgAnnotation],
     ret: &Option<TypeExpr>,
 ) -> Result<AnnotatedFn, ParseError> {
@@ -429,6 +444,7 @@ fn parse_c_decl(
         }
     }
     Ok(AnnotatedFn {
+        line,
         args: args.to_vec(),
         ret: ret.clone(),
         c_ret,

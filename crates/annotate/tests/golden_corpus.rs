@@ -1,0 +1,116 @@
+//! Golden-diagnostic tests over the `.sa` corpus: every malformed file
+//! in `corpus/sa-bad/` must produce exactly the expected diagnostics
+//! (message text and 1-based line), and every file in `corpus/sa/`
+//! must check clean. Keeps `mozart-check`'s output stable for CI logs
+//! and editors.
+
+use mozart_annotate::{check, parse};
+
+fn corpus(rel: &str) -> String {
+    let path = format!("{}/../../corpus/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn diags(rel: &str) -> Vec<(usize, String)> {
+    check(&parse(&corpus(rel)).expect("corpus file must parse"))
+        .into_iter()
+        .map(|d| (d.line, d.message))
+        .collect()
+}
+
+#[test]
+fn valid_corpus_is_clean() {
+    for file in ["sa/vectormath.sa", "sa/matrix.sa"] {
+        let d = diags(file);
+        assert!(d.is_empty(), "{file}: unexpected diagnostics {d:?}");
+    }
+}
+
+#[test]
+fn ctor_mut_golden() {
+    assert_eq!(
+        diags("sa-bad/ctor-mut.sa"),
+        vec![(
+            3,
+            "scaleInPlace: constructor argument `out` of ArraySplit names a \
+             `mut` argument; derive split parameters from an explicit size \
+             argument instead (the MKL convention), never from storage the \
+             call mutates"
+                .to_string()
+        )]
+    );
+}
+
+#[test]
+fn unknown_arg_golden() {
+    assert_eq!(
+        diags("sa-bad/unknown-arg.sa"),
+        vec![(
+            3,
+            "consume: argument `x` is typed `unknown`; unknown describes \
+             values whose split shape exists only after the call and is \
+             legal only in the return position"
+                .to_string()
+        )]
+    );
+}
+
+#[test]
+fn unbound_generic_golden() {
+    assert_eq!(
+        diags("sa-bad/unbound-generic.sa"),
+        vec![(
+            3,
+            "make: return generic `S` is not bound by any argument; the \
+             planner could never infer its split type"
+                .to_string()
+        )]
+    );
+}
+
+#[test]
+fn dup_dead_splittype_golden() {
+    assert_eq!(
+        diags("sa-bad/dup-dead-splittype.sa"),
+        vec![
+            (
+                3,
+                "duplicate splittype declaration `RowSplit` (first declared \
+                 on line 2)"
+                    .to_string()
+            ),
+            (
+                4,
+                "splittype `Unused` is declared but never used by a \
+                 constructor or annotation"
+                    .to_string()
+            ),
+        ]
+    );
+}
+
+#[test]
+fn ctor_arity_golden() {
+    assert_eq!(
+        diags("sa-bad/ctor-arity.sa"),
+        vec![(
+            4,
+            "constructor for `MatrixSplit` produces 1 parameter(s), but the \
+             splittype declares 2"
+                .to_string()
+        )]
+    );
+}
+
+#[test]
+fn missing_ret_golden() {
+    assert_eq!(
+        diags("sa-bad/missing-ret.sa"),
+        vec![(
+            2,
+            "head: return value typed `_`; a returned value must have a real \
+             split type (or `unknown`) so Mozart can merge it"
+                .to_string()
+        )]
+    );
+}

@@ -17,6 +17,12 @@
 //! combined split+merge wall share drops measurably with bit-identical
 //! checksums and a nonzero `split_form_handoffs` count.
 //!
+//! A fourth pair runs Nashville with `Config::verify_plans` on vs off:
+//! the static plan verifier must prove every stage (nonzero
+//! `plans_verified`, zero with it off), must not perturb outputs
+//! (bit-identical checksums), and must stay within 1.05x of the
+//! unverified wall time.
+//!
 //! Emits `bench_results/BENCH_phases.json`. Set
 //! `MOZART_TRACE_EXPORT=<file.json>` to additionally record every
 //! evaluation with [`mozart_core::trace`] and write the spans as Chrome
@@ -220,6 +226,26 @@ fn main() {
         (run(true), run(false))
     };
 
+    // ---- Nashville verify ablation: the static plan verifier
+    // (`verify_plans`) runs once per planned/replayed stage and must be
+    // invisible — same bytes out, within 1.05x of the unverified wall.
+    let (vp_on, vp_off) = {
+        let run = |verify: bool| {
+            run_workload(
+                threads,
+                evals,
+                recorder.clone(),
+                |cfg| {
+                    cfg.placement_merge = true;
+                    cfg.batch_override = Some(32);
+                    cfg.verify_plans = verify;
+                },
+                |ctx| im::nashville_mozart(&na_img, ctx).expect("run").mean,
+            )
+        };
+        (run(true), run(false))
+    };
+
     print_pair(
         "black_scholes",
         ["placement on ", "placement off"],
@@ -243,6 +269,18 @@ fn main() {
         split_merge_share(&sf_on.stats) * 100.0,
         split_merge_share(&sf_off.stats) * 100.0
     );
+    print_pair(
+        "nashville (plan-verify ablation)",
+        ["verify on ", "verify off"],
+        &vp_on,
+        &vp_off,
+    );
+    println!(
+        "plans verified: on {} vs off {}; wall ratio (on/off): {:.3}x",
+        vp_on.stats.plans_verified,
+        vp_off.stats.plans_verified,
+        vp_on.seconds / vp_off.seconds.max(f64::EPSILON)
+    );
 
     let bs_match = close(bs_on.checksum, bs_base) && close(bs_off.checksum, bs_base);
     let na_match = close(na_on.checksum, na_base) && close(na_off.checksum, na_base);
@@ -251,6 +289,9 @@ fn main() {
     let sf_match = sf_on.checksum.to_bits() == sf_off.checksum.to_bits()
         && close(sf_on.checksum, na_base)
         && close(sf_off.checksum, na_base);
+    // The verifier only reads the plan; its arms must be bit-identical.
+    let vp_match =
+        vp_on.checksum.to_bits() == vp_off.checksum.to_bits() && close(vp_on.checksum, na_base);
 
     let mut json = String::from("{\n  \"figure\": \"phase_breakdown\",\n");
     json.push_str(&format!(
@@ -268,9 +309,17 @@ fn main() {
         json_entry(&na_off, na_match)
     ));
     json.push_str(&format!(
-        "    \"nashville_staged\": {{ \"split_form_on\": {}, \"split_form_off\": {} }}\n",
+        "    \"nashville_staged\": {{ \"split_form_on\": {}, \"split_form_off\": {} }},\n",
         json_entry(&sf_on, sf_match),
         json_entry(&sf_off, sf_match)
+    ));
+    json.push_str(&format!(
+        "    \"nashville_verify\": {{ \"verify_on\": {}, \"verify_off\": {}, \
+         \"plans_verified\": {}, \"wall_ratio\": {:.4} }}\n",
+        json_entry(&vp_on, vp_match),
+        json_entry(&vp_off, vp_match),
+        vp_on.stats.plans_verified,
+        vp_on.seconds / vp_off.seconds.max(f64::EPSILON)
     ));
     let na_merge_on = na_on.stats.merge_fraction();
     let na_merge_off = na_off.stats.merge_fraction();
@@ -348,6 +397,31 @@ fn main() {
         sm_on,
         sm_off
     );
+    // Plan-verify gates: the verifier must actually run (and only when
+    // asked), change nothing, and cost at most 5% wall (plus a 2ms
+    // absolute allowance so micro smoke runs don't gate on noise).
+    assert!(
+        vp_match,
+        "verify ablation checksums diverged: on {} vs off {} (baseline {na_base})",
+        vp_on.checksum, vp_off.checksum
+    );
+    assert!(
+        vp_on.stats.plans_verified > 0,
+        "verify_plans on but no stage plan was verified: {:?}",
+        vp_on.stats
+    );
+    assert_eq!(
+        vp_off.stats.plans_verified, 0,
+        "verify_plans off but stages were verified anyway: {:?}",
+        vp_off.stats
+    );
+    assert!(
+        vp_on.seconds <= vp_off.seconds * 1.05 + 2e-3,
+        "plan verification overhead exceeds 1.05x: {:.4}s/eval verified \
+         vs {:.4}s/eval unverified",
+        vp_on.seconds,
+        vp_off.seconds
+    );
     println!("\nchecksums match the copying baseline; nashville merge fraction");
     println!(
         "placement on {:.2}% vs off {:.2}% — gate passed.",
@@ -360,5 +434,11 @@ fn main() {
         sf_on.stats.split_form_handoffs,
         sm_on * 100.0,
         sm_off * 100.0
+    );
+    println!(
+        "plan verification: {} plans proved at {:.3}x unverified wall \
+         (≤1.05x) — gate passed.",
+        vp_on.stats.plans_verified,
+        vp_on.seconds / vp_off.seconds.max(f64::EPSILON)
     );
 }

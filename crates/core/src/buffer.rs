@@ -99,6 +99,7 @@ struct RawStorage<T>(Box<[UnsafeCell<T>]>);
 // happen when no execution is in flight (enforced by the protect flag and
 // the context's evaluation lock).
 unsafe impl<T: Send + Sync> Sync for RawStorage<T> {}
+// SAFETY: as above.
 unsafe impl<T: Send + Sync> Send for RawStorage<T> {}
 
 struct Inner<T> {
@@ -487,7 +488,8 @@ impl SliceView {
     /// `out == in` aliasing (the MKL in-place convention) should use the
     /// pointer API.
     pub fn ptr(&self) -> *mut f64 {
-        // In-bounds: `start <= parent.len()` is a construction invariant.
+        // SAFETY: `start <= parent.len()` is a construction invariant,
+        // so the offset stays inside (or one past) the allocation.
         unsafe { self.parent.base_ptr().add(self.start) }
     }
 }

@@ -56,6 +56,15 @@ pub struct Config {
     /// Pedantic mode (§7.1): panic-free runtime checks that splits agree
     /// on element counts, pieces are non-NULL, etc., surfaced as errors.
     pub pedantic: bool,
+    /// Statically verify every stage plan before it executes (and on
+    /// every plan-cache replay bind) — see
+    /// [`verify::verify_stage`](crate::verify::verify_stage) — and
+    /// check annotations against the paper's typing rules on
+    /// registration. On by default in debug builds and tests, opt-in
+    /// for release builds (overridable with `MOZART_VERIFY_PLANS=0/1`).
+    /// Verified stages are counted in
+    /// [`PhaseStats::plans_verified`](crate::stats::PhaseStats).
+    pub verify_plans: bool,
     /// Log every function call on every split piece (§7.1 debugging aid).
     pub log_calls: bool,
     /// Deterministic fault-injection schedule
@@ -85,6 +94,7 @@ impl Default for Config {
             placement_merge: true,
             split_form: true,
             pedantic: cfg!(debug_assertions),
+            verify_plans: default_verify_plans(),
             log_calls: false,
             fault_plan: None,
             tracing: None,
@@ -156,6 +166,15 @@ impl Config {
     }
 }
 
+/// Plan-verification default: `MOZART_VERIFY_PLANS` env var (`1`/`0`),
+/// else on in debug builds and off in release.
+pub fn default_verify_plans() -> bool {
+    if let Ok(s) = std::env::var("MOZART_VERIFY_PLANS") {
+        return s != "0";
+    }
+    cfg!(debug_assertions)
+}
+
 /// Worker-count default: `MOZART_WORKERS` env var, else available
 /// parallelism.
 pub fn default_workers() -> usize {
@@ -207,6 +226,7 @@ mod tests {
             placement_merge: true,
             split_form: true,
             pedantic: true,
+            verify_plans: true,
             log_calls: false,
             fault_plan: None,
             tracing: None,

@@ -245,6 +245,15 @@ impl MozartContext {
                 actual: args.len(),
             });
         }
+        // Layer-1 static check (§3 typing rules): reject unsound
+        // annotations at registration instead of failing deep in the
+        // executor. The call is refused but the context stays usable —
+        // nothing has been scheduled yet.
+        if st.config.verify_plans {
+            if let Some(err) = crate::verify::check_annotation(annot).into_iter().next() {
+                return Err(Error::Verify(err));
+            }
+        }
 
         // Resolve reads first so an in-place call (out == a) reads the
         // pre-mutation version.
@@ -666,6 +675,17 @@ fn execute_locked(
         cancel,
         ..
     } = st;
+    // Layer-2 static check: prove the plan sound before anything
+    // executes. This single site covers both fresh plans and
+    // plan-cache replay binds — both funnel through here.
+    if config.verify_plans {
+        if let Err(v) = crate::verify::verify_stage(graph, stage, config) {
+            let e = Error::Verify(v);
+            st.poisoned = Some(e.clone());
+            return Err(e);
+        }
+        stats.plans_verified += 1;
+    }
     let pool = attached_pool.as_ref().or(pool.as_ref()).map(|h| &**h);
     if let Err(e) = execute_stage(
         graph,

@@ -88,6 +88,10 @@ pub enum Error {
     /// every stage to pathological 1-element batches). Surfaced when the
     /// config is attached to a context rather than mis-scheduling later.
     InvalidConfig(String),
+    /// The static verifier rejected an annotation or a stage plan
+    /// before execution (see [`crate::verify`]); the context is
+    /// poisoned rather than risk an unsound run.
+    Verify(crate::verify::VerifyError),
 }
 
 impl fmt::Display for Error {
@@ -150,6 +154,7 @@ impl fmt::Display for Error {
             Error::Cancelled(m) => write!(f, "evaluation cancelled: {m}"),
             Error::Injected(m) => write!(f, "injected fault: {m}"),
             Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Error::Verify(v) => write!(f, "static verification failed: {v}"),
         }
     }
 }

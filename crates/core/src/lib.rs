@@ -38,22 +38,26 @@
 //!     }
 //! }
 //!
-//! // The annotator wraps it once.
+//! // The annotator wraps it once. Split parameters come from the
+//! // explicit size argument (the MKL convention) — never from the
+//! // mutable array itself, which `mozart-check` rejects.
 //! let annot = Annotation::new("double", |inv| {
-//!     let piece = inv.arg::<SliceView>(0)?;
+//!     let piece = inv.arg::<SliceView>(1)?;
 //!     // SAFETY: the Mozart executor hands each worker disjoint ranges.
 //!     double(unsafe { piece.as_slice_mut() });
 //!     Ok(None)
 //! })
+//! .arg("n", missing())
 //! .mut_arg("xs", concrete(Arc::new(ArraySplit), vec![0]))
 //! .build();
 //!
 //! // The application uses the wrapped function as always.
 //! let ctx = MozartContext::with_workers(2);
 //! let data = SharedVec::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+//! let n = DataValue::new(IntValue(4));
 //! let dv = DataValue::new(VecValue(data.clone()));
-//! ctx.call(&annot, vec![dv.clone()]).unwrap();
-//! ctx.call(&annot, vec![dv]).unwrap();
+//! ctx.call(&annot, vec![n.clone(), dv.clone()]).unwrap();
+//! ctx.call(&annot, vec![n, dv]).unwrap();
 //! // Reading the buffer forces evaluation (the paper's mprotect trick).
 //! assert_eq!(data.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
 //! ```
@@ -97,6 +101,7 @@
 //! [`PipelineService`]: https://docs.rs/mozart-serve
 
 #![warn(missing_docs)]
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 pub mod annotation;
 pub mod array_split;
@@ -116,6 +121,7 @@ pub mod split;
 pub mod stats;
 pub mod trace;
 pub mod value;
+pub mod verify;
 
 pub use annotation::{Annotation, ArgSpec, Invocation, SplitTypeExpr};
 pub use array_split::ArraySplit;
@@ -135,6 +141,7 @@ pub use trace::{
     chrome_trace_json, SpanKind, SpanRecord, SpanTree, TraceCtx, TraceId, TraceRecorder,
 };
 pub use value::{BoolValue, DataValue, FloatValue, IntValue, StrValue};
+pub use verify::{check_annotation, lint_annotation, verify_stage, VerifyError};
 
 /// Convenient glob-import surface for integrations and applications.
 pub mod prelude {
@@ -147,7 +154,7 @@ pub mod prelude {
     pub use crate::faultinject::{CancelToken, FaultKind, FaultPhase, FaultPlan, FaultPoint};
     pub use crate::planner::{PlanCache, PlanCacheStats};
     pub use crate::pool::{global_pool, PoolHandle};
-    pub use crate::registry::register_default_splitter;
+    pub use crate::registry::{register_annotation, register_default_splitter};
     pub use crate::split::{
         Concat, MergeStrategy, Params, Placement, RuntimeInfo, SizeSplit, SplitForm, SplitInstance,
         Splitter,
@@ -155,4 +162,5 @@ pub mod prelude {
     pub use crate::stats::{PhaseStats, PoolStats, SessionPoolStats};
     pub use crate::trace::{SpanKind, SpanRecord, SpanTree, TraceId, TraceRecorder};
     pub use crate::value::{BoolValue, DataValue, FloatValue, IntValue, StrValue};
+    pub use crate::verify::{check_annotation, lint_annotation, verify_stage, VerifyError};
 }

@@ -11,11 +11,14 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::annotation::Annotation;
 use crate::error::{Error, Result};
 use crate::split::{SplitInstance, Splitter};
 use crate::value::{DataObject, DataValue};
 
 static REGISTRY: RwLock<Option<HashMap<TypeId, Arc<dyn Splitter>>>> = RwLock::new(None);
+
+static ANNOTATIONS: RwLock<Vec<Arc<Annotation>>> = RwLock::new(Vec::new());
 
 /// Register `splitter` as the default split type for data type `T`.
 ///
@@ -35,6 +38,26 @@ pub fn default_splitter_for(value: &DataValue) -> Option<Arc<dyn Splitter>> {
         DataValue::Lazy { .. } => return None,
     };
     REGISTRY.read().as_ref()?.get(&type_id).cloned()
+}
+
+/// Register an annotation with the global annotation registry so
+/// static tooling (the `mozart-check` binary, the annotation layer of
+/// [`crate::verify`]) can walk every builtin annotation without
+/// executing a workload. Integration crates call this from their
+/// `register_defaults()` alongside their default-splitter
+/// registrations. Registering the same annotation (by `Arc` identity)
+/// twice is a no-op.
+pub fn register_annotation(annot: Arc<Annotation>) {
+    let mut guard = ANNOTATIONS.write();
+    if !guard.iter().any(|a| Arc::ptr_eq(a, &annot)) {
+        guard.push(annot);
+    }
+}
+
+/// Every annotation registered via [`register_annotation`], in
+/// registration order.
+pub fn registered_annotations() -> Vec<Arc<Annotation>> {
+    ANNOTATIONS.read().clone()
 }
 
 /// Build the default split instance for a value, constructing the

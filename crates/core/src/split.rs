@@ -578,6 +578,36 @@ impl SplitForm {
         self.pieces.len()
     }
 
+    /// The element range each piece covers, in piece order — the view
+    /// the [plan verifier](crate::verify) re-checks contiguity over.
+    pub fn ranges(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.pieces.iter().map(|&(start, end, _)| (start, end))
+    }
+
+    /// Build a split-form value **without** validating the contiguity
+    /// invariants. Exists so verifier tests can construct malformed
+    /// piece sets that [`SplitForm::new`] would reject; never call this
+    /// from runtime code.
+    #[doc(hidden)]
+    pub fn new_unchecked(
+        pieces: Vec<(u64, u64, DataValue)>,
+        total: u64,
+        instance: SplitInstance,
+        elem_size_bytes: u64,
+    ) -> Result<SplitForm> {
+        let concat = instance.split_form_concat().ok_or_else(|| Error::Merge {
+            split_type: instance.splitter.name(),
+            message: "split type has no concat capability for split-form hand-off".into(),
+        })?;
+        Ok(SplitForm {
+            pieces,
+            total,
+            instance,
+            concat,
+            elem_size_bytes,
+        })
+    }
+
     /// Serve the element range `[range.start, range.end)` from the
     /// piece set — the split-form analogue of [`Splitter::split`].
     ///

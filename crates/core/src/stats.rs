@@ -68,6 +68,10 @@ pub struct PhaseStats {
     /// all and were materialized through the classic merge (the
     /// conservative fallback; correctness-neutral, performance-visible).
     pub split_form_fallbacks: u64,
+    /// Stage plans statically verified before execution (see
+    /// [`verify_stage`](crate::verify::verify_stage) and
+    /// `Config::verify_plans`). Zero when verification is off.
+    pub plans_verified: u64,
 }
 
 impl PhaseStats {
@@ -94,6 +98,7 @@ impl PhaseStats {
         self.split_form_handoffs += other.split_form_handoffs;
         self.split_form_reslices += other.split_form_reslices;
         self.split_form_fallbacks += other.split_form_fallbacks;
+        self.plans_verified += other.plans_verified;
     }
 
     /// Fraction of the accounted total spent in the merge phase

@@ -191,8 +191,11 @@ fn vec_scale() -> Arc<Annotation> {
         }
         Ok(None)
     })
-    .mut_arg("xs", concrete(Arc::new(ArraySplit), vec![0]))
+    // MKL convention: split parameters come from the explicit size
+    // argument, never from the mutable array itself.
+    .mut_arg("xs", concrete(Arc::new(ArraySplit), vec![2]))
     .arg("k", missing())
+    .arg("n", missing())
     .build()
 }
 
@@ -237,6 +240,7 @@ fn run_vec(ctx: &MozartContext, n: u64, k: f64) -> Result<Vec<f64>> {
         vec![
             DataValue::new(VecValue(data.clone())),
             DataValue::new(FloatValue(k)),
+            DataValue::new(IntValue(n as i64)),
         ],
     )?;
     ctx.evaluate()?;

@@ -175,8 +175,11 @@ fn scale_annotation() -> Arc<Annotation> {
         lib_scale(unsafe { piece.as_slice_mut() }, k);
         Ok(None)
     })
-    .mut_arg("xs", concrete(Arc::new(ArraySplit), vec![0]))
+    // MKL convention: split parameters come from the explicit size
+    // argument, never from the mutable array itself.
+    .mut_arg("xs", concrete(Arc::new(ArraySplit), vec![2]))
     .arg("k", missing())
+    .arg("n", missing())
     .build()
 }
 
@@ -234,6 +237,10 @@ fn chunk_scale_annotation() -> Arc<Annotation> {
     .build()
 }
 
+fn int_len(data: &SharedVec<f64>) -> DataValue {
+    DataValue::new(IntValue(data.len() as i64))
+}
+
 fn vec_value(data: &SharedVec<f64>) -> DataValue {
     DataValue::new(VecValue(data.clone()))
 }
@@ -258,17 +265,29 @@ fn in_place_chain_pipelines_into_one_stage() {
 
     ctx.call(
         &scale,
-        vec![vec_value(&data), DataValue::new(FloatValue(2.0))],
+        vec![
+            vec_value(&data),
+            DataValue::new(FloatValue(2.0)),
+            int_len(&data),
+        ],
     )
     .unwrap();
     ctx.call(
         &scale,
-        vec![vec_value(&data), DataValue::new(FloatValue(3.0))],
+        vec![
+            vec_value(&data),
+            DataValue::new(FloatValue(3.0)),
+            int_len(&data),
+        ],
     )
     .unwrap();
     ctx.call(
         &scale,
-        vec![vec_value(&data), DataValue::new(FloatValue(0.5))],
+        vec![
+            vec_value(&data),
+            DataValue::new(FloatValue(0.5)),
+            int_len(&data),
+        ],
     )
     .unwrap();
     assert_eq!(ctx.pending_calls(), 3);
@@ -298,12 +317,20 @@ fn pipe_ablation_runs_one_stage_per_function() {
     let scale = scale_annotation();
     ctx.call(
         &scale,
-        vec![vec_value(&data), DataValue::new(FloatValue(2.0))],
+        vec![
+            vec_value(&data),
+            DataValue::new(FloatValue(2.0)),
+            int_len(&data),
+        ],
     )
     .unwrap();
     ctx.call(
         &scale,
-        vec![vec_value(&data), DataValue::new(FloatValue(2.0))],
+        vec![
+            vec_value(&data),
+            DataValue::new(FloatValue(2.0)),
+            int_len(&data),
+        ],
     )
     .unwrap();
     ctx.evaluate().unwrap();
@@ -328,7 +355,11 @@ fn generics_pipeline_binary_ops_and_detect_dependencies() {
         .unwrap();
     ctx.call(
         &scale,
-        vec![vec_value(&out), DataValue::new(FloatValue(2.0))],
+        vec![
+            vec_value(&out),
+            DataValue::new(FloatValue(2.0)),
+            int_len(&out),
+        ],
     )
     .unwrap();
     ctx.call(&add, vec![vec_value(&out), vec_value(&a), vec_value(&out)])
@@ -370,7 +401,11 @@ fn scale_then_sum_pipelines_and_reduces() {
     let sum = sum_annotation();
     ctx.call(
         &scale,
-        vec![vec_value(&data), DataValue::new(FloatValue(3.0))],
+        vec![
+            vec_value(&data),
+            DataValue::new(FloatValue(3.0)),
+            int_len(&data),
+        ],
     )
     .unwrap();
     let fut = ctx.call(&sum, vec![vec_value(&data)]).unwrap().unwrap();
@@ -477,7 +512,11 @@ fn stage_breaks_when_split_value_needed_whole() {
 
     ctx.call(
         &scale,
-        vec![vec_value(&data), DataValue::new(FloatValue(2.0))],
+        vec![
+            vec_value(&data),
+            DataValue::new(FloatValue(2.0)),
+            int_len(&data),
+        ],
     )
     .unwrap();
     let fut = ctx.call(&whole, vec![vec_value(&data)]).unwrap().unwrap();
@@ -497,10 +536,16 @@ fn arrays_of_different_lengths_do_not_pipeline() {
     let a = SharedVec::from_vec(vec![1.0; 30]);
     let b = SharedVec::from_vec(vec![1.0; 40]);
     let scale = scale_annotation();
-    ctx.call(&scale, vec![vec_value(&a), DataValue::new(FloatValue(2.0))])
-        .unwrap();
-    ctx.call(&scale, vec![vec_value(&b), DataValue::new(FloatValue(3.0))])
-        .unwrap();
+    ctx.call(
+        &scale,
+        vec![vec_value(&a), DataValue::new(FloatValue(2.0)), int_len(&a)],
+    )
+    .unwrap();
+    ctx.call(
+        &scale,
+        vec![vec_value(&b), DataValue::new(FloatValue(3.0)), int_len(&b)],
+    )
+    .unwrap();
     ctx.evaluate().unwrap();
     assert_eq!(a.as_slice()[0], 2.0);
     assert_eq!(b.as_slice()[0], 3.0);
@@ -557,7 +602,11 @@ fn evaluate_is_idempotent_and_stats_accumulate() {
     let scale = scale_annotation();
     ctx.call(
         &scale,
-        vec![vec_value(&data), DataValue::new(FloatValue(2.0))],
+        vec![
+            vec_value(&data),
+            DataValue::new(FloatValue(2.0)),
+            int_len(&data),
+        ],
     )
     .unwrap();
     ctx.evaluate().unwrap();
@@ -567,7 +616,11 @@ fn evaluate_is_idempotent_and_stats_accumulate() {
     // A second round of laziness on the same context.
     ctx.call(
         &scale,
-        vec![vec_value(&data), DataValue::new(FloatValue(5.0))],
+        vec![
+            vec_value(&data),
+            DataValue::new(FloatValue(5.0)),
+            int_len(&data),
+        ],
     )
     .unwrap();
     assert_eq!(data.as_slice()[0], 10.0);
@@ -583,7 +636,11 @@ fn many_workers_on_tiny_input_degrade_gracefully() {
     let scale = scale_annotation();
     ctx.call(
         &scale,
-        vec![vec_value(&data), DataValue::new(FloatValue(2.0))],
+        vec![
+            vec_value(&data),
+            DataValue::new(FloatValue(2.0)),
+            int_len(&data),
+        ],
     )
     .unwrap();
     ctx.evaluate().unwrap();

@@ -286,7 +286,8 @@ fn placement_and_mut_alias_outputs_coexist_in_one_stage() {
         "xs",
         concrete(Arc::new(PlacedSplit { claim_factor: 1 }), vec![0]),
     )
-    .mut_arg("out", concrete(Arc::new(ArraySplit), vec![1]))
+    // Split parameters come from `xs` (same length), not the mut arg.
+    .mut_arg("out", concrete(Arc::new(ArraySplit), vec![0]))
     .ret(concrete(Arc::new(PlacedSplit { claim_factor: 1 }), vec![0]))
     .build();
 

@@ -19,8 +19,11 @@ fn scale_annotation() -> Arc<Annotation> {
         }
         Ok(None)
     })
-    .mut_arg("xs", concrete(Arc::new(ArraySplit), vec![0]))
+    // MKL convention: split parameters come from the explicit size
+    // argument, never from the mutable array itself.
+    .mut_arg("xs", concrete(Arc::new(ArraySplit), vec![2]))
     .arg("k", mozart_core::annotation::missing())
+    .arg("n", mozart_core::annotation::missing())
     .build()
 }
 
@@ -39,9 +42,10 @@ fn scale_shift_annotation() -> Arc<Annotation> {
         }
         Ok(None)
     })
-    .mut_arg("xs", concrete(Arc::new(ArraySplit), vec![0]))
+    .mut_arg("xs", concrete(Arc::new(ArraySplit), vec![3]))
     .arg("k", mozart_core::annotation::missing())
     .arg("b", mozart_core::annotation::missing())
+    .arg("n", mozart_core::annotation::missing())
     .build()
 }
 
@@ -58,9 +62,13 @@ fn cached_ctx(cache: &Arc<PlanCache>, workers: usize, batch: u64) -> MozartConte
 fn run_scale(ctx: &MozartContext, annot: &Arc<Annotation>, n: usize, k: f64) -> Vec<f64> {
     let data = SharedVec::from_vec((0..n).map(|i| i as f64).collect());
     let dv = DataValue::new(VecValue(data.clone()));
-    ctx.call(annot, vec![dv.clone(), DataValue::new(FloatValue(k))])
-        .unwrap();
-    ctx.call(annot, vec![dv, DataValue::new(FloatValue(k))])
+    let nn = DataValue::new(IntValue(n as i64));
+    ctx.call(
+        annot,
+        vec![dv.clone(), DataValue::new(FloatValue(k)), nn.clone()],
+    )
+    .unwrap();
+    ctx.call(annot, vec![dv, DataValue::new(FloatValue(k)), nn])
         .unwrap();
     ctx.evaluate().unwrap();
     data.as_slice().to_vec()
@@ -102,8 +110,15 @@ fn repeated_evaluation_hits_within_one_context() {
     let data = SharedVec::from_vec(vec![1.0; 12]);
     let dv = DataValue::new(VecValue(data.clone()));
     for _ in 0..3 {
-        ctx.call(&annot, vec![dv.clone(), DataValue::new(FloatValue(2.0))])
-            .unwrap();
+        ctx.call(
+            &annot,
+            vec![
+                dv.clone(),
+                DataValue::new(FloatValue(2.0)),
+                DataValue::new(IntValue(12)),
+            ],
+        )
+        .unwrap();
         ctx.evaluate().unwrap();
     }
     assert_eq!(data.as_slice(), &[8.0; 12] as &[f64]);
@@ -149,6 +164,7 @@ fn pipeline_structure_change_misses() {
             dv,
             DataValue::new(FloatValue(2.0)),
             DataValue::new(FloatValue(1.0)),
+            DataValue::new(IntValue(16)),
         ],
     )
     .unwrap();

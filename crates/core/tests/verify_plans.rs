@@ -1,0 +1,513 @@
+//! Property tests for the Layer-2 plan verifier: start from a valid
+//! graph + stage plan, apply one randomly-parameterized corruption
+//! (drop a slot, alias two slots, discard a live output, gap a
+//! split-form piece set, ...), and assert `verify_stage` rejects it
+//! with the matching typed [`VerifyError`] — never a panic, never a
+//! silent acceptance.
+//!
+//! The scenario mirrors the planner's output for a two-call pipeline:
+//! `n0` scales a vector in place (mut arg -> `InPlace` output) and
+//! `n1` squares the mut-version into a fresh return (`Merge` output),
+//! with a pending consumer `n2` and a live user future keeping both
+//! outputs observable.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mozart_core::annotation::{concrete, generic, missing, Annotation, Invocation};
+use mozart_core::array_split::ArraySplit;
+use mozart_core::buffer::{SharedVec, VecValue};
+use mozart_core::config::Config;
+use mozart_core::error::{Error, Result};
+use mozart_core::graph::{
+    DataflowGraph, FutureToken, Node, NodeId, ValueEntry, ValueId, ValueOrigin,
+};
+use mozart_core::planner::{OutputKind, StageOutput, StagePlan};
+use mozart_core::split::{MergeStrategy, Params, RuntimeInfo, SplitForm, SplitInstance, Splitter};
+use mozart_core::value::{DataValue, FloatValue, IntValue};
+use mozart_core::verify::{verify_stage, VerifyError};
+
+/// Element count of the scenario's vector values.
+const N: u64 = 16;
+
+fn noop(_: &Invocation<'_>) -> Result<Option<DataValue>> {
+    Ok(None)
+}
+
+/// Configurable stub splitter for the non-`ArraySplit` corruption
+/// cases: commutative merge (so `split_form_concat()` is `None` and
+/// the strategy cannot recover in-place views), optionally terminal,
+/// optionally refusing `info` like a merge-only reducer.
+struct Stub {
+    name: &'static str,
+    terminal: bool,
+    info_ok: bool,
+}
+
+impl Splitter for Stub {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn construct(&self, _c: &[&DataValue]) -> Result<Params> {
+        Ok(vec![])
+    }
+    fn info(&self, _a: &DataValue, _p: &Params) -> Result<RuntimeInfo> {
+        if self.info_ok {
+            Ok(RuntimeInfo {
+                total_elements: N,
+                elem_size_bytes: 8,
+            })
+        } else {
+            Err(Error::Split {
+                split_type: self.name,
+                message: "merge-only".into(),
+            })
+        }
+    }
+    fn split(&self, _a: &DataValue, _r: Range<u64>, _p: &Params) -> Result<Option<DataValue>> {
+        Err(Error::Split {
+            split_type: self.name,
+            message: "merge-only".into(),
+        })
+    }
+    fn merge(&self, pieces: Vec<DataValue>, _p: &Params, _t: u64) -> Result<DataValue> {
+        Ok(pieces.into_iter().next().expect("nonempty"))
+    }
+    fn merge_strategy(&self) -> MergeStrategy {
+        MergeStrategy::Commutative {
+            terminal: self.terminal,
+        }
+    }
+}
+
+fn terminal_inst() -> SplitInstance {
+    SplitInstance::new(
+        Arc::new(Stub {
+            name: "TermStub",
+            terminal: true,
+            info_ok: false,
+        }),
+        vec![],
+    )
+}
+
+fn no_info_inst() -> SplitInstance {
+    SplitInstance::new(
+        Arc::new(Stub {
+            name: "NoInfoStub",
+            terminal: false,
+            info_ok: false,
+        }),
+        vec![],
+    )
+}
+
+fn commut_inst() -> SplitInstance {
+    SplitInstance::new(
+        Arc::new(Stub {
+            name: "CommutStub",
+            terminal: false,
+            info_ok: true,
+        }),
+        vec![],
+    )
+}
+
+fn arr(n: u64) -> SplitInstance {
+    SplitInstance::new(Arc::new(ArraySplit), vec![n as i64])
+}
+
+fn vec_value(n: u64) -> DataValue {
+    DataValue::new(VecValue(SharedVec::from_vec(vec![0.0f64; n as usize])))
+}
+
+fn source(data: DataValue) -> ValueEntry {
+    ValueEntry {
+        origin: ValueOrigin::Source,
+        data: Some(data),
+        ready: true,
+        split_form: None,
+        consumers: Vec::new(),
+        user_token: None,
+    }
+}
+
+/// A valid graph + plan pair that `verify_stage` accepts, plus the
+/// token keeping the user future for `v2` alive.
+struct Scenario {
+    graph: DataflowGraph,
+    plan: StagePlan,
+    _token: Arc<FutureToken>,
+}
+
+/// Values: v0 = source vector (split input), v1 = source scalar
+/// (broadcast), v2 = mut-version of v0 produced by n0 (InPlace output,
+/// user-visible future), v3 = return of n1 (Merge output), v4 = spare
+/// source vector of a different length (unused until the
+/// `ElementMismatch` mutation drafts it as a second split input).
+/// Nodes: n0 and n1 form the stage; n2 is a pending consumer of v3
+/// outside it.
+fn scenario() -> Scenario {
+    let token = Arc::new(FutureToken);
+    let mut graph = DataflowGraph::default();
+
+    let v0 = graph.push_value(source(vec_value(N)));
+    let v1 = graph.push_value(source(DataValue::new(IntValue(N as i64))));
+    let v2 = graph.push_value(ValueEntry {
+        origin: ValueOrigin::MutVersion {
+            node: NodeId(0),
+            arg: 0,
+            prev: v0,
+        },
+        data: Some(vec_value(N)),
+        ready: false,
+        split_form: None,
+        consumers: Vec::new(),
+        user_token: Some(Arc::downgrade(&token)),
+    });
+
+    let scale = Annotation::new("pscale", noop)
+        // MKL convention: the split parameter comes from the size
+        // argument (index 1), never from the mutated storage.
+        .mut_arg("xs", concrete(Arc::new(ArraySplit), vec![1]))
+        .arg("n", missing())
+        .build();
+    graph.push_node(Node {
+        annot: scale,
+        args: vec![v0, v1],
+        mut_out: vec![Some(v2), None],
+        ret: None,
+        executed: false,
+    });
+
+    let v3 = graph.push_value(ValueEntry {
+        origin: ValueOrigin::Ret(NodeId(1)),
+        data: None,
+        ready: false,
+        split_form: None,
+        consumers: Vec::new(),
+        user_token: None,
+    });
+    let square = Annotation::new("psquare", noop)
+        .arg("x", generic(0))
+        .ret(generic(0))
+        .build();
+    graph.push_node(Node {
+        annot: square.clone(),
+        args: vec![v2],
+        mut_out: vec![None],
+        ret: Some(v3),
+        executed: false,
+    });
+    // n2: pending consumer of v3, outside the stage.
+    graph.push_node(Node {
+        annot: square,
+        args: vec![v3],
+        mut_out: vec![None],
+        ret: None,
+        executed: false,
+    });
+
+    // v4: spare source of a different length, not in the valid plan.
+    graph.push_value(source(vec_value(N / 2)));
+
+    let slots: HashMap<ValueId, u32> = (0..4).map(|i| (ValueId(i), i)).collect();
+    let plan = StagePlan {
+        nodes: vec![NodeId(0), NodeId(1)],
+        inputs: vec![(v0, arr(N))],
+        broadcast: vec![v1],
+        outputs: vec![
+            StageOutput {
+                value: v2,
+                instance: arr(N),
+                kind: OutputKind::InPlace,
+                last_use: false,
+            },
+            StageOutput {
+                value: v3,
+                instance: arr(N),
+                kind: OutputKind::Merge,
+                last_use: false,
+            },
+        ],
+        slots,
+        num_slots: 4,
+    };
+    Scenario {
+        graph,
+        plan,
+        _token: token,
+    }
+}
+
+/// One corruption of the valid scenario, with its parameters.
+#[derive(Debug, Clone)]
+enum Mutation {
+    /// Delete value `which`'s slot assignment.
+    UnslotValue(u32),
+    /// Move value `which`'s slot to `num_slots + off`.
+    SlotOutOfRange { which: u32, off: u32 },
+    /// Give value `(base + delta) % 4` the same slot as value `base`.
+    AliasSlots { base: u32, delta: u32 },
+    /// Remove the split input so n0 reads an undefined value.
+    DropSplitInput,
+    /// Point the plan at a node the graph does not have.
+    BogusNode(u32),
+    /// Discard v3 while pending n2 still consumes it.
+    DiscardConsumedOutput,
+    /// Discard v2 while the application holds a live future for it.
+    DiscardUserVisibleOutput,
+    /// Mark the returned v3 as an InPlace output.
+    InPlaceOnReturn,
+    /// Resolve the InPlace output v2 to a commutative-merge instance.
+    InPlaceBadStrategy,
+    /// Rewire n1 to read pre-mutation v0 after n0 mutated its storage.
+    StaleRead,
+    /// Broadcast v0 whole while n0 binds it mut.
+    MutSharedAlias,
+    /// Emit v0 as an output no stage node produces.
+    ForeignOutput,
+    /// Bind the split input under a terminal (merge-only) split type.
+    TerminalInput,
+    /// Bind the split input under a splitter whose `info` errors.
+    InfoUnavailable,
+    /// Add a second split input of `len != N` elements.
+    ElementMismatch { len: u64 },
+    /// Hand v0 over in split form with a piece gap at `split`.
+    SplitFormGap { split: u64, skip: u64 },
+    /// Hand v0 over in split form covering `N + extra` of N elements.
+    SplitFormOverrun { extra: u64 },
+    /// Hand v0 over in split form held under different params than the
+    /// plan binds.
+    SplitFormTypeMismatch,
+    /// Elect v3 for split-form hand-off under a concat-less instance.
+    SplitFormOutputNoConcat,
+}
+
+fn mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (0u32..4).prop_map(Mutation::UnslotValue),
+        (0u32..4, 0u32..8).prop_map(|(which, off)| Mutation::SlotOutOfRange { which, off }),
+        (0u32..4, 1u32..4).prop_map(|(base, delta)| Mutation::AliasSlots { base, delta }),
+        Just(Mutation::DropSplitInput),
+        (0u32..8).prop_map(Mutation::BogusNode),
+        Just(Mutation::DiscardConsumedOutput),
+        Just(Mutation::DiscardUserVisibleOutput),
+        Just(Mutation::InPlaceOnReturn),
+        Just(Mutation::InPlaceBadStrategy),
+        Just(Mutation::StaleRead),
+        Just(Mutation::MutSharedAlias),
+        Just(Mutation::ForeignOutput),
+        Just(Mutation::TerminalInput),
+        Just(Mutation::InfoUnavailable),
+        (1u64..2 * N).prop_map(|len| Mutation::ElementMismatch {
+            len: if len == N { N + N } else { len },
+        }),
+        (1u64..N, 1u64..5).prop_map(|(split, skip)| Mutation::SplitFormGap { split, skip }),
+        (1u64..9).prop_map(|extra| Mutation::SplitFormOverrun { extra }),
+        Just(Mutation::SplitFormTypeMismatch),
+        Just(Mutation::SplitFormOutputNoConcat),
+    ]
+}
+
+/// Put v0 in split form holding `pieces` under `held`, as if its
+/// producing stage elided the merge.
+fn set_split_form(graph: &mut DataflowGraph, pieces: Vec<(u64, u64)>, held: SplitInstance) {
+    let dummy = DataValue::new(FloatValue(0.0));
+    let pieces = pieces
+        .into_iter()
+        .map(|(s, e)| (s, e, dummy.clone()))
+        .collect();
+    let sf = SplitForm::new_unchecked(pieces, N, held, 8).expect("ArraySplit has concat");
+    let entry = &mut graph.values[0];
+    entry.ready = false;
+    entry.split_form = Some(Arc::new(sf));
+}
+
+fn apply(s: &mut Scenario, m: &Mutation) {
+    match m {
+        Mutation::UnslotValue(which) => {
+            s.plan.slots.remove(&ValueId(*which));
+        }
+        Mutation::SlotOutOfRange { which, off } => {
+            let slot = s.plan.num_slots + off;
+            s.plan.slots.insert(ValueId(*which), slot);
+        }
+        Mutation::AliasSlots { base, delta } => {
+            let other = (base + delta) % 4;
+            let slot = s.plan.slots[&ValueId(*base)];
+            s.plan.slots.insert(ValueId(other), slot);
+        }
+        Mutation::DropSplitInput => {
+            s.plan.inputs.clear();
+        }
+        Mutation::BogusNode(k) => {
+            s.plan.nodes = vec![NodeId(3 + k)];
+        }
+        Mutation::DiscardConsumedOutput => {
+            s.plan.outputs[1].kind = OutputKind::Discard;
+        }
+        Mutation::DiscardUserVisibleOutput => {
+            s.plan.outputs[0].kind = OutputKind::Discard;
+        }
+        Mutation::InPlaceOnReturn => {
+            s.plan.outputs[1].kind = OutputKind::InPlace;
+        }
+        Mutation::InPlaceBadStrategy => {
+            s.plan.outputs[0].instance = commut_inst();
+        }
+        Mutation::StaleRead => {
+            s.graph.nodes[1].args = vec![ValueId(0)];
+        }
+        Mutation::MutSharedAlias => {
+            s.plan.broadcast.push(ValueId(0));
+        }
+        Mutation::ForeignOutput => {
+            s.plan.outputs.push(StageOutput {
+                value: ValueId(0),
+                instance: arr(N),
+                kind: OutputKind::Merge,
+                last_use: false,
+            });
+        }
+        Mutation::TerminalInput => {
+            s.plan.inputs[0].1 = terminal_inst();
+        }
+        Mutation::InfoUnavailable => {
+            s.plan.inputs[0].1 = no_info_inst();
+        }
+        Mutation::ElementMismatch { len } => {
+            // v4 was created with N/2 elements; rebuild it at `len` so
+            // the mismatch magnitude varies per case.
+            s.graph.values[4].data = Some(vec_value(*len));
+            s.plan.inputs.push((ValueId(4), arr(*len)));
+            s.plan.slots.insert(ValueId(4), 4);
+            s.plan.num_slots = 5;
+        }
+        Mutation::SplitFormGap { split, skip } => {
+            set_split_form(
+                &mut s.graph,
+                vec![(0, *split), (*split + *skip, N.max(*split + *skip))],
+                arr(N),
+            );
+        }
+        Mutation::SplitFormOverrun { extra } => {
+            set_split_form(&mut s.graph, vec![(0, N + *extra)], arr(N));
+        }
+        Mutation::SplitFormTypeMismatch => {
+            // Pieces contiguous and complete, but held under different
+            // split parameters than the plan's binding.
+            set_split_form(&mut s.graph, vec![(0, N)], arr(N + 1));
+        }
+        Mutation::SplitFormOutputNoConcat => {
+            s.plan.outputs[1].kind = OutputKind::SplitForm;
+            s.plan.outputs[1].instance = commut_inst();
+        }
+    }
+}
+
+/// The typed rejection each mutation must produce.
+fn expected(err: &VerifyError, m: &Mutation) -> bool {
+    match m {
+        Mutation::UnslotValue(w) => {
+            matches!(err, VerifyError::SlotMissing { value } if value == w)
+        }
+        Mutation::SlotOutOfRange { which, .. } => {
+            matches!(err, VerifyError::SlotOutOfRange { value, .. } if value == which)
+        }
+        Mutation::AliasSlots { .. } => matches!(err, VerifyError::SlotAliased { .. }),
+        Mutation::DropSplitInput => {
+            matches!(err, VerifyError::UseBeforeDef { node: 0, value: 0 })
+        }
+        Mutation::BogusNode(_) => matches!(err, VerifyError::NodeOutOfRange { .. }),
+        Mutation::DiscardConsumedOutput => matches!(
+            err,
+            VerifyError::DiscardedLive {
+                value: 3,
+                consumer: Some(2),
+            }
+        ),
+        Mutation::DiscardUserVisibleOutput => matches!(
+            err,
+            VerifyError::DiscardedLive {
+                value: 2,
+                consumer: None,
+            }
+        ),
+        Mutation::InPlaceOnReturn => {
+            matches!(err, VerifyError::InPlaceNotMutVersion { value: 3 })
+        }
+        Mutation::InPlaceBadStrategy => {
+            matches!(err, VerifyError::InPlaceBadStrategy { value: 2, .. })
+        }
+        Mutation::StaleRead => matches!(
+            err,
+            VerifyError::StaleRead {
+                node: 1,
+                value: 0,
+                mutated_by: 0,
+            }
+        ),
+        Mutation::MutSharedAlias => {
+            matches!(err, VerifyError::MutSharedAlias { node: 0, value: 0 })
+        }
+        Mutation::ForeignOutput => {
+            matches!(err, VerifyError::OutputNotProduced { value: 0 })
+        }
+        Mutation::TerminalInput => {
+            matches!(err, VerifyError::TerminalInput { value: 0, .. })
+        }
+        Mutation::InfoUnavailable => {
+            matches!(err, VerifyError::InfoUnavailable { value: 0, .. })
+        }
+        Mutation::ElementMismatch { len } => matches!(
+            err,
+            VerifyError::ElementMismatch { value: 4, expected: N, actual } if actual == len
+        ),
+        Mutation::SplitFormGap { split, .. } => {
+            matches!(err, VerifyError::SplitFormGap { value: 0, at } if at == split)
+        }
+        Mutation::SplitFormOverrun { .. } => {
+            matches!(err, VerifyError::SplitFormGap { value: 0, at: N })
+        }
+        Mutation::SplitFormTypeMismatch => {
+            matches!(err, VerifyError::SplitFormTypeMismatch { value: 0, .. })
+        }
+        Mutation::SplitFormOutputNoConcat => {
+            matches!(err, VerifyError::SplitFormNoConcat { value: 3, .. })
+        }
+    }
+}
+
+#[test]
+fn valid_plan_verifies() {
+    let s = scenario();
+    let cfg = Config::with_workers(2);
+    verify_stage(&s.graph, &s.plan, &cfg).expect("the unmutated scenario must verify");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mutated_plans_are_rejected(m in mutation()) {
+        let mut s = scenario();
+        let cfg = Config::with_workers(2);
+        prop_assert!(
+            verify_stage(&s.graph, &s.plan, &cfg).is_ok(),
+            "baseline scenario failed to verify"
+        );
+        apply(&mut s, &m);
+        match verify_stage(&s.graph, &s.plan, &cfg) {
+            Err(e) => prop_assert!(
+                expected(&e, &m),
+                "mutation {:?} produced unexpected rejection: {}",
+                m, e
+            ),
+            Ok(()) => prop_assert!(false, "mutation {:?} was silently accepted", m),
+        }
+    }
+}

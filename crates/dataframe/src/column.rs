@@ -28,6 +28,7 @@ struct ColBuf<T>(Box<[UnsafeCell<T>]>);
 // concurrent readers; shared reads through the safe APIs only happen
 // once construction is complete.
 unsafe impl<T: Send> Send for ColBuf<T> {}
+// SAFETY: as above.
 unsafe impl<T: Send + Sync> Sync for ColBuf<T> {}
 
 /// Shared storage for one column's values plus a row-range view.

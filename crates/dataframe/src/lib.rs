@@ -10,6 +10,7 @@
 //! nothing about Mozart.
 
 #![warn(missing_docs)]
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 pub mod column;
 pub mod frame;

@@ -52,6 +52,7 @@ struct PixelBuf(Box<[UnsafeCell<f32>]>);
 // from different threads and no concurrent readers; shared reads through
 // the safe APIs only happen once construction is complete.
 unsafe impl Sync for PixelBuf {}
+// SAFETY: as above.
 unsafe impl Send for PixelBuf {}
 
 impl PixelBuf {

@@ -11,6 +11,7 @@
 //! The library knows nothing about Mozart.
 
 #![warn(missing_docs)]
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 pub mod image;
 pub mod ops;

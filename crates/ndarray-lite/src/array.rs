@@ -22,6 +22,7 @@ struct Buf(Box<[UnsafeCell<f64>]>);
 // from different threads and no concurrent readers; shared reads through
 // the safe APIs only happen once construction is complete.
 unsafe impl Sync for Buf {}
+// SAFETY: as above.
 unsafe impl Send for Buf {}
 
 impl Buf {
@@ -198,10 +199,14 @@ impl NdArray {
         const STRIDE: usize = 4096 / std::mem::size_of::<f64>();
         let mut i = 0;
         while i < n {
+            // SAFETY: `i < n == v.len()` and nothing else can hold a
+            // reference into `v` yet — it is a local this function is
+            // still building.
             unsafe { *v[i].get() = 0.0 };
             i += STRIDE;
         }
         if n > 0 {
+            // SAFETY: as above, `n - 1` is in bounds and `v` is private.
             unsafe { *v[n - 1].get() = 0.0 };
         }
         NdArray {

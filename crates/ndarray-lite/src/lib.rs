@@ -12,6 +12,7 @@
 //! separate `sa-ndarray` crate.
 
 #![warn(missing_docs)]
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 pub mod array;
 pub mod elementwise;

@@ -25,6 +25,9 @@ pub use wrappers::*;
 pub fn register_defaults() {
     mozart_core::registry::register_default_splitter::<DfValue>(RowSplit::shared());
     mozart_core::registry::register_default_splitter::<ColValue>(RowSplit::shared());
+    for a in wrappers::annotations() {
+        mozart_core::registry::register_annotation(a);
+    }
 }
 
 #[cfg(test)]

@@ -626,3 +626,43 @@ pub fn get_scalar(f: &FutureHandle) -> Result<f64> {
             actual: dv.type_name(),
         })
 }
+
+/// Every annotation this integration defines, in declaration order —
+/// the walk surface for static tooling (`mozart-check`).
+pub fn annotations() -> Vec<Arc<Annotation>> {
+    vec![
+        ADD.clone(),
+        SUB.clone(),
+        MUL.clone(),
+        DIV.clone(),
+        GT.clone(),
+        AND.clone(),
+        OR.clone(),
+        ADD_SCALAR.clone(),
+        SUB_SCALAR.clone(),
+        MUL_SCALAR.clone(),
+        DIV_SCALAR.clone(),
+        GT_SCALAR.clone(),
+        LT_SCALAR.clone(),
+        GE_SCALAR.clone(),
+        LE_SCALAR.clone(),
+        FILLNA.clone(),
+        NOT.clone(),
+        IS_NULL.clone(),
+        TO_F64.clone(),
+        STR_LEN.clone(),
+        STR_UPPER.clone(),
+        STR_EQ.clone(),
+        STR_STARTSWITH.clone(),
+        STR_CONTAINS.clone(),
+        MASK_ASSIGN.clone(),
+        MASK_ASSIGN_STR.clone(),
+        STR_SLICE.clone(),
+        COL.clone(),
+        WITH_COLUMN.clone(),
+        FILTER.clone(),
+        INNER_JOIN.clone(),
+        COL_SUM.clone(),
+        COL_COUNT.clone(),
+    ]
+}

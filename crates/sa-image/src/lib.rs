@@ -286,6 +286,9 @@ fn band_pieces(pieces: &[DataValue]) -> Result<Vec<Image>> {
 /// Register this integration's default split types. Idempotent.
 pub fn register_defaults() {
     mozart_core::registry::register_default_splitter::<ImgValue>(ImageSplit::shared());
+    for a in annotations() {
+        mozart_core::registry::register_annotation(a);
+    }
 }
 
 /// Values accepted by the wrappers.
@@ -558,6 +561,22 @@ pub fn levels(
             ],
         )?
         .expect("returns"))
+}
+
+/// Every annotation this integration defines, in declaration order —
+/// the walk surface for static tooling (`mozart-check`).
+pub fn annotations() -> Vec<Arc<Annotation>> {
+    vec![
+        GRAYSCALE.clone(),
+        INVERT.clone(),
+        SEPIA.clone(),
+        GAMMA.clone(),
+        CONTRAST.clone(),
+        MODULATE.clone(),
+        COLORIZE.clone(),
+        COLORTONE.clone(),
+        LEVELS.clone(),
+    ]
 }
 
 #[cfg(test)]

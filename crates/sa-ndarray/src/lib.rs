@@ -30,6 +30,9 @@ use ndarray_lite::NdArray;
 /// Register this integration's default split types. Idempotent.
 pub fn register_defaults() {
     mozart_core::registry::register_default_splitter::<NdValue>(std::sync::Arc::new(NdSplit));
+    for a in wrappers::annotations() {
+        mozart_core::registry::register_annotation(a);
+    }
 }
 
 /// Values accepted by the annotated wrappers: concrete arrays or lazy

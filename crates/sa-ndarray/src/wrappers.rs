@@ -330,6 +330,47 @@ pub fn sum_axis(ctx: &MozartContext, a: &impl NdArg, axis: usize) -> Result<Futu
     Ok(fut.expect("sum_axis returns a value"))
 }
 
+/// Every annotation this integration defines, in declaration order —
+/// the walk surface for static tooling (`mozart-check`).
+pub fn annotations() -> Vec<Arc<Annotation>> {
+    vec![
+        ADD.clone(),
+        SUB.clone(),
+        MUL.clone(),
+        DIV.clone(),
+        POW.clone(),
+        MAXIMUM.clone(),
+        MINIMUM.clone(),
+        SQRT.clone(),
+        EXP.clone(),
+        LN.clone(),
+        LOG1P.clone(),
+        ERF.clone(),
+        SIN.clone(),
+        COS.clone(),
+        ASIN.clone(),
+        ABS.clone(),
+        SQUARE.clone(),
+        NEG.clone(),
+        RECIP.clone(),
+        MUL_SCALAR.clone(),
+        ADD_SCALAR.clone(),
+        POW_SCALAR.clone(),
+        RSUB_SCALAR.clone(),
+        RDIV_SCALAR.clone(),
+        SUB_SCALAR.clone(),
+        DIV_SCALAR.clone(),
+        ADD_ROWVEC.clone(),
+        MUL_ROWVEC.clone(),
+        ROLL_AXIS1.clone(),
+        SUM.clone(),
+        MIN.clone(),
+        MAX.clone(),
+        MEAN.clone(),
+        SUM_AXIS.clone(),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

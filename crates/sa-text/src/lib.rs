@@ -218,6 +218,9 @@ impl Concat for CorpusSplit {
 pub fn register_defaults() {
     mozart_core::registry::register_default_splitter::<CorpusValue>(CorpusSplit::shared());
     mozart_core::registry::register_default_splitter::<TaggedValue>(CorpusSplit::shared());
+    for a in annotations() {
+        mozart_core::registry::register_annotation(a);
+    }
 }
 
 /// Wrap a corpus as a Mozart argument.
@@ -274,6 +277,12 @@ static TAG_CORPUS: LazyLock<Arc<Annotation>> = LazyLock::new(|| {
 /// Annotated part-of-speech tagging + feature extraction over a corpus.
 pub fn tag_corpus(ctx: &MozartContext, c: &Corpus) -> Result<FutureHandle> {
     Ok(ctx.call(&TAG_CORPUS, vec![corpus(c)])?.expect("returns"))
+}
+
+/// Every annotation this integration defines, in declaration order —
+/// the walk surface for static tooling (`mozart-check`).
+pub fn annotations() -> Vec<Arc<Annotation>> {
+    vec![TAG_CORPUS.clone()]
 }
 
 #[cfg(test)]

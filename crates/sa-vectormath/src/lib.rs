@@ -36,6 +36,9 @@ use mozart_core::prelude::*;
 /// shared `f64` buffers). Idempotent; call once at startup.
 pub fn register_defaults() {
     ArraySplit::register_default();
+    for a in wrappers::annotations() {
+        mozart_core::registry::register_annotation(a);
+    }
 }
 
 /// Wrap a [`SharedVec<f64>`] as a Mozart argument.

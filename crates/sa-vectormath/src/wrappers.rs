@@ -360,6 +360,41 @@ pub fn dgemv(
     Ok(())
 }
 
+/// Every annotation this integration defines, in declaration order —
+/// the walk surface for static tooling (`mozart-check`).
+pub fn annotations() -> Vec<Arc<Annotation>> {
+    vec![
+        VD_ADD.clone(),
+        VD_SUB.clone(),
+        VD_MUL.clone(),
+        VD_DIV.clone(),
+        VD_POW.clone(),
+        VD_FMAX.clone(),
+        VD_FMIN.clone(),
+        VD_SQR.clone(),
+        VD_SQRT.clone(),
+        VD_ABS.clone(),
+        VD_INV.clone(),
+        VD_NEG.clone(),
+        VD_EXP.clone(),
+        VD_LN.clone(),
+        VD_LOG1P.clone(),
+        VD_ERF.clone(),
+        VD_SIN.clone(),
+        VD_COS.clone(),
+        VD_ASIN.clone(),
+        VD_SCALE.clone(),
+        VD_SHIFT.clone(),
+        VD_POWX.clone(),
+        VD_RSUB.clone(),
+        VD_RDIV.clone(),
+        DAXPY.clone(),
+        DDOT.clone(),
+        DASUM.clone(),
+        DGEMV.clone(),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

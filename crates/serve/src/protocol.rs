@@ -10,6 +10,9 @@
 //! PIPELINE <0|1>                 set this session's stage evaluation mode (1 = fused
 //!                                pipelines, the default; 0 = per-call stages with
 //!                                split-form hand-offs across stage boundaries)
+//! VERIFY <0|1>                   set this session's plan verification mode (1 = prove
+//!                                each stage plan sound before executing it; 0 = trust
+//!                                the planner; default = the service's `Config`)
 //! DRAIN [timeout_ms]             gracefully drain the service (close admission,
 //!                                wait for in-flight work; default 5000 ms)
 //! LIST                           list registered pipelines
@@ -85,6 +88,10 @@ pub enum ClientLine {
     /// fuses whole pipelines (the default), `false` evaluates one
     /// stage per call and hands intermediates across in split form.
     Pipeline(bool),
+    /// Set the connection session's plan verification mode: `true`
+    /// statically proves each stage plan sound before executing it
+    /// (`Config::verify_plans`), `false` trusts the planner.
+    Verify(bool),
     /// Gracefully drain the service, waiting up to the given timeout
     /// (milliseconds) for in-flight work.
     Drain(u64),
@@ -153,6 +160,13 @@ pub fn parse_line(line: &str) -> Result<ClientLine, ServeError> {
             1 => Ok(ClientLine::Pipeline(true)),
             other => Err(ServeError::BadRequest(format!(
                 "PIPELINE operand must be 0 or 1, got {other}"
+            ))),
+        },
+        "VERIFY" => match parse_operand::<u64>(head, &mut words)? {
+            0 => Ok(ClientLine::Verify(false)),
+            1 => Ok(ClientLine::Verify(true)),
+            other => Err(ServeError::BadRequest(format!(
+                "VERIFY operand must be 0 or 1, got {other}"
             ))),
         },
         "DRAIN" => match words.next() {
@@ -276,6 +290,18 @@ mod tests {
             ClientLine::Pipeline(true)
         );
         for bad in ["PIPELINE", "PIPELINE 2", "PIPELINE x", "PIPELINE 0 1"] {
+            assert!(
+                matches!(parse_line(bad), Err(ServeError::BadRequest(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_verify_lines() {
+        assert_eq!(parse_line("VERIFY 0").unwrap(), ClientLine::Verify(false));
+        assert_eq!(parse_line("VERIFY 1").unwrap(), ClientLine::Verify(true));
+        for bad in ["VERIFY", "VERIFY 2", "VERIFY x", "VERIFY 0 1"] {
             assert!(
                 matches!(parse_line(bad), Err(ServeError::BadRequest(_))),
                 "{bad:?} must be rejected"

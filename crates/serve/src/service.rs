@@ -870,6 +870,7 @@ impl PipelineService {
             bytes_used: AtomicU64::new(0),
             default_deadline_ms: AtomicU64::new(0),
             pipeline: AtomicBool::new(inner.session_config.pipeline),
+            verify_plans: AtomicBool::new(inner.session_config.verify_plans),
         }
     }
 
@@ -1295,6 +1296,7 @@ impl PipelineService {
         let inner = &self.inner;
         let mut config = inner.session_config.clone();
         config.pipeline = session.pipeline.load(Ordering::Relaxed);
+        config.verify_plans = session.verify_plans.load(Ordering::Relaxed);
         let ctx = MozartContext::new(config);
         ctx.attach_pool(inner.pool.clone())
             .attach_plan_cache(inner.cache.clone())
@@ -2418,6 +2420,10 @@ pub struct Session {
     /// default), `false` evaluates one stage per call, handing
     /// intermediates across in split form where eligible.
     pipeline: AtomicBool,
+    /// Plan verification mode for this session's request contexts
+    /// (`Config::verify_plans`): `true` statically proves each stage
+    /// plan sound before executing it, `false` trusts the planner.
+    verify_plans: AtomicBool,
 }
 
 impl Session {
@@ -2514,6 +2520,22 @@ impl Session {
     /// performance knob, never a semantic one.
     pub fn set_pipeline(&self, pipeline: bool) {
         self.pipeline.store(pipeline, Ordering::Relaxed);
+    }
+
+    /// This session's plan verification mode: `true` statically proves
+    /// each stage plan sound ([`mozart_core::verify_stage`]) before the
+    /// executor touches it.
+    pub fn verify_plans(&self) -> bool {
+        self.verify_plans.load(Ordering::Relaxed)
+    }
+
+    /// Set this session's plan verification mode (the `VERIFY <0|1>`
+    /// wire directive). Takes effect on the next request. Verification
+    /// rejects unsound plans before execution; it never changes the
+    /// result of a sound one, so — like `PIPELINE` — this trades a
+    /// small per-stage check against planner trust.
+    pub fn set_verify_plans(&self, verify: bool) {
+        self.verify_plans.store(verify, Ordering::Relaxed);
     }
 
     /// Run `pipeline` with `req`, waiting in the bounded admission

@@ -187,3 +187,20 @@ fn connection_cap_sheds_at_accept_time() {
     let (mut w3, mut r3) = connect(addr);
     assert!(roundtrip(&mut w3, &mut r3, "ping").starts_with("OK pong"));
 }
+
+#[test]
+fn verify_directive_toggles_per_session() {
+    let (addr, _service) = spawn_frontend(corpus_cfg());
+    let (mut w, mut r) = connect(addr);
+    // Both settings acknowledge and requests keep flowing under each.
+    assert!(roundtrip(&mut w, &mut r, "VERIFY 1").starts_with("OK verify=1"));
+    assert!(roundtrip(&mut w, &mut r, "ping").starts_with("OK pong"));
+    assert!(roundtrip(&mut w, &mut r, "VERIFY 0").starts_with("OK verify=0"));
+    assert!(roundtrip(&mut w, &mut r, "ping").starts_with("OK pong"));
+    // Malformed operands are typed bad_request, connection survives.
+    for bad in ["VERIFY", "VERIFY 2", "VERIFY on"] {
+        let reply = roundtrip(&mut w, &mut r, bad);
+        assert!(reply.starts_with("ERR bad_request"), "{bad:?} -> {reply:?}");
+    }
+    assert!(roundtrip(&mut w, &mut r, "QUIT").starts_with("OK bye"));
+}

@@ -59,7 +59,10 @@ fn clamp_annotation() -> Arc<Annotation> {
     })
     .arg("lo", missing())
     .arg("hi", missing())
-    .mut_arg("y", concrete(Arc::new(ArraySplit), vec![2]))
+    // MKL convention: split parameters come from the explicit size
+    // argument, never from the mutable array itself.
+    .mut_arg("y", concrete(Arc::new(ArraySplit), vec![3]))
+    .arg("n", missing())
     .build()
 }
 
@@ -97,6 +100,7 @@ fn main() {
                 DataValue::new(FloatValue(lo)),
                 DataValue::new(FloatValue(hi)),
                 DataValue::new(VecValue(y.clone())),
+                DataValue::new(IntValue(n as i64)),
             ],
         )
         .expect("register clamp");
